@@ -1,0 +1,328 @@
+//! Dense polynomial arithmetic over the prime field Z_p.
+//!
+//! Polynomials are coefficient vectors in little-endian order
+//! (`coeffs[i]` is the coefficient of `x^i`) with no trailing zeros
+//! (the zero polynomial is the empty vector). Coefficients live in
+//! `0..p`. This module only needs to support tiny degrees (GF(p^n)
+//! construction with `n ≤ ~6`), so all algorithms are the quadratic
+//! schoolbook versions.
+
+/// A polynomial over Z_p, normalized (no trailing zero coefficients).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Poly {
+    coeffs: Vec<u32>,
+}
+
+impl Poly {
+    /// Builds a polynomial from little-endian coefficients, reducing each
+    /// coefficient mod `p` and trimming trailing zeros.
+    pub fn new(mut coeffs: Vec<u32>, p: u32) -> Self {
+        for c in &mut coeffs {
+            *c %= p;
+        }
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly { coeffs: vec![1] }
+    }
+
+    /// True iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree; the zero polynomial has degree `None`.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Little-endian coefficient slice.
+    pub fn coeffs(&self) -> &[u32] {
+        &self.coeffs
+    }
+
+    /// Encodes the polynomial as an integer in base `p`
+    /// (the canonical element index used by [`crate::FiniteField`]).
+    pub fn encode(&self, p: u32) -> u64 {
+        let mut v = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            v = v * p as u64 + c as u64;
+        }
+        v
+    }
+
+    /// Decodes an integer in base `p` into a polynomial.
+    pub fn decode(mut v: u64, p: u32) -> Self {
+        let mut coeffs = Vec::new();
+        while v > 0 {
+            coeffs.push((v % p as u64) as u32);
+            v /= p as u64;
+        }
+        Poly { coeffs }
+    }
+
+    /// Addition in Z_p[x].
+    pub fn add(&self, other: &Poly, p: u32) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0u32; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *o = (a + b) % p;
+        }
+        Poly::new(out, p)
+    }
+
+    /// Subtraction in Z_p[x].
+    pub fn sub(&self, other: &Poly, p: u32) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0u32; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *o = (a + p - b) % p;
+        }
+        Poly::new(out, p)
+    }
+
+    /// Schoolbook multiplication in Z_p[x].
+    pub fn mul(&self, other: &Poly, p: u32) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a as u64 * b as u64;
+            }
+        }
+        Poly::new(out.into_iter().map(|c| (c % p as u64) as u32).collect(), p)
+    }
+
+    /// Remainder of `self` divided by `divisor` in Z_p[x].
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn rem(&self, divisor: &Poly, p: u32) -> Poly {
+        assert!(!divisor.is_zero(), "polynomial division by zero");
+        let dd = divisor.degree().unwrap();
+        let lead = *divisor.coeffs.last().unwrap();
+        let lead_inv = mod_inverse(lead, p);
+        let mut rem = self.coeffs.clone();
+        while rem.len() > dd {
+            let k = rem.len() - 1 - dd; // shift amount
+            let factor = (*rem.last().unwrap() as u64 * lead_inv as u64 % p as u64) as u32;
+            if factor != 0 {
+                for (i, &dc) in divisor.coeffs.iter().enumerate() {
+                    let idx = k + i;
+                    let sub = (dc as u64 * factor as u64 % p as u64) as u32;
+                    rem[idx] = (rem[idx] + p - sub) % p;
+                }
+            }
+            rem.pop();
+            while rem.last() == Some(&0) {
+                rem.pop();
+            }
+        }
+        Poly { coeffs: rem }
+    }
+
+    /// Evaluates the polynomial at `x` in Z_p (Horner's rule).
+    pub fn eval(&self, x: u32, p: u32) -> u32 {
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = (acc * x as u64 + c as u64) % p as u64;
+        }
+        acc as u32
+    }
+}
+
+/// Multiplicative inverse of `a` in Z_p (p prime, a ≠ 0), via Fermat.
+pub fn mod_inverse(a: u32, p: u32) -> u32 {
+    mod_pow(a, p - 2, p)
+}
+
+/// `a^e mod m` by square-and-multiply.
+pub fn mod_pow(a: u32, mut e: u32, m: u32) -> u32 {
+    let mut base = (a % m) as u64;
+    let mut acc = 1u64;
+    let m = m as u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc * base % m;
+        }
+        base = base * base % m;
+        e >>= 1;
+    }
+    acc as u32
+}
+
+/// Tests whether a monic polynomial of degree ≥ 1 is irreducible over Z_p,
+/// by trial division against all monic polynomials of degree
+/// `1 ..= deg/2`. Exponential in degree but instant for the degrees used
+/// in GF(p^n) construction here (n ≤ 6).
+pub fn is_irreducible(f: &Poly, p: u32) -> bool {
+    let deg = match f.degree() {
+        Some(d) if d >= 1 => d,
+        _ => return false,
+    };
+    if deg == 1 {
+        return true;
+    }
+    // Quick root check: a root in Z_p means a linear factor.
+    for x in 0..p {
+        if f.eval(x, p) == 0 {
+            return false;
+        }
+    }
+    // Trial division by monic polynomials of degree 2..=deg/2.
+    for d in 2..=deg / 2 {
+        let count = (p as u64).pow(d as u32);
+        for idx in 0..count {
+            let mut g = Poly::decode(idx, p);
+            // Force monic of degree d.
+            let mut coeffs = g.coeffs.clone();
+            coeffs.resize(d + 1, 0);
+            coeffs[d] = 1;
+            g = Poly { coeffs };
+            if f.rem(&g, p).is_zero() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Finds some monic irreducible polynomial of degree `n` over Z_p by
+/// exhaustive search in encoding order (deterministic).
+pub fn find_irreducible(p: u32, n: u32) -> Poly {
+    assert!(n >= 1);
+    let count = (p as u64).pow(n);
+    for idx in 0..count {
+        let low = Poly::decode(idx, p);
+        let mut coeffs = low.coeffs.clone();
+        coeffs.resize(n as usize + 1, 0);
+        coeffs[n as usize] = 1;
+        let f = Poly { coeffs };
+        if is_irreducible(&f, p) {
+            return f;
+        }
+    }
+    unreachable!("an irreducible polynomial of every degree exists over every prime field")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(c: &[u32], p: u32) -> Poly {
+        Poly::new(c.to_vec(), p)
+    }
+
+    #[test]
+    fn normalization_trims_zeros() {
+        assert_eq!(poly(&[1, 2, 0, 0], 5).coeffs(), &[1, 2]);
+        assert!(poly(&[0, 0], 5).is_zero());
+        assert_eq!(poly(&[7, 8], 5).coeffs(), &[2, 3]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for v in 0..125u64 {
+            assert_eq!(Poly::decode(v, 5).encode(5), v);
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let p = 7;
+        let a = poly(&[1, 2, 3], p);
+        let b = poly(&[6, 5], p);
+        let s = a.add(&b, p);
+        assert_eq!(s.sub(&b, p), a);
+        assert_eq!(a.sub(&a, p), Poly::zero());
+    }
+
+    #[test]
+    fn mul_known() {
+        // (x+1)(x+2) = x^2 + 3x + 2 over Z_5
+        let p = 5;
+        let a = poly(&[1, 1], p);
+        let b = poly(&[2, 1], p);
+        assert_eq!(a.mul(&b, p), poly(&[2, 3, 1], p));
+    }
+
+    #[test]
+    fn rem_known() {
+        // x^2 mod (x^2 + 1) = -1 = p-1 over Z_3
+        let p = 3;
+        let x2 = poly(&[0, 0, 1], p);
+        let m = poly(&[1, 0, 1], p);
+        assert_eq!(x2.rem(&m, p), poly(&[2], p));
+    }
+
+    #[test]
+    fn rem_degenerate_cases() {
+        let p = 5;
+        let small = poly(&[3], p);
+        let m = poly(&[1, 1], p);
+        assert_eq!(small.rem(&m, p), small); // deg(small) < deg(m)
+        assert_eq!(Poly::zero().rem(&m, p), Poly::zero());
+    }
+
+    #[test]
+    fn eval_horner() {
+        let p = 11;
+        let f = poly(&[1, 2, 3], p); // 3x^2 + 2x + 1
+        assert_eq!(f.eval(0, p), 1);
+        assert_eq!(f.eval(2, p), (3 * 4 + 2 * 2 + 1) % 11);
+    }
+
+    #[test]
+    fn mod_pow_and_inverse() {
+        assert_eq!(mod_pow(2, 10, 1000), 24);
+        for p in [2u32, 3, 5, 7, 11, 13] {
+            for a in 1..p {
+                let inv = mod_inverse(a, p);
+                assert_eq!(a * inv % p, 1, "a={a} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn irreducibility_known_cases() {
+        // x^2 + 1 is irreducible over Z_3 (no square root of -1 mod 3)
+        assert!(is_irreducible(&poly(&[1, 0, 1], 3), 3));
+        // x^2 + 1 = (x+2)(x+3) over Z_5
+        assert!(!is_irreducible(&poly(&[1, 0, 1], 5), 5));
+        // x^2 + x + 1 irreducible over Z_2
+        assert!(is_irreducible(&poly(&[1, 1, 1], 2), 2));
+        // x^2 + x is reducible everywhere
+        assert!(!is_irreducible(&poly(&[0, 1, 1], 2), 2));
+        // x^3 + x + 1 irreducible over Z_2 (GF(8) classic)
+        assert!(is_irreducible(&poly(&[1, 1, 0, 1], 2), 2));
+        // constants and zero are not irreducible
+        assert!(!is_irreducible(&poly(&[1], 5), 5));
+        assert!(!is_irreducible(&Poly::zero(), 5));
+    }
+
+    #[test]
+    fn find_irreducible_every_degree() {
+        for p in [2u32, 3, 5, 7] {
+            for n in 1..=4u32 {
+                let f = find_irreducible(p, n);
+                assert_eq!(f.degree(), Some(n as usize));
+                assert!(is_irreducible(&f, p), "p={p} n={n} f={f:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Primality testing, factorization, and prime-power decomposition.
+//!
+//! All inputs in the Slim Fly domain are tiny (q ≤ a few hundred; network
+//! sizes ≤ millions), so simple trial-division algorithms are both correct
+//! and fast enough; no probabilistic tests are needed.
+
+/// Returns `true` iff `n` is prime. Deterministic trial division.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    if n.is_multiple_of(3) {
+        return n == 3;
+    }
+    let mut d = 5u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// Factorizes `n` into `(prime, exponent)` pairs in increasing prime order.
+///
+/// `factorize(1)` returns an empty vector; `factorize(0)` panics.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    assert!(n > 0, "cannot factorize 0");
+    let mut out = Vec::new();
+    let mut push = |p: u64, e: u32| {
+        if e > 0 {
+            out.push((p, e));
+        }
+    };
+    let mut e = 0;
+    while n.is_multiple_of(2) {
+        n /= 2;
+        e += 1;
+    }
+    push(2, e);
+    let mut d = 3u64;
+    while d * d <= n {
+        let mut e = 0;
+        while n.is_multiple_of(d) {
+            n /= d;
+            e += 1;
+        }
+        push(d, e);
+        d += 2;
+    }
+    if n > 1 {
+        push(n, 1);
+    }
+    out
+}
+
+/// If `n = p^k` for a prime `p` and `k ≥ 1`, returns `Some((p, k))`.
+pub fn prime_power_decompose(n: u64) -> Option<(u64, u32)> {
+    if n < 2 {
+        return None;
+    }
+    let f = factorize(n);
+    if f.len() == 1 {
+        Some(f[0])
+    } else {
+        None
+    }
+}
+
+/// Returns `true` iff `n` is a prime power `p^k`, `k ≥ 1`.
+pub fn is_prime_power(n: u64) -> bool {
+    prime_power_decompose(n).is_some()
+}
+
+/// All primes `≤ limit`, via a sieve of Eratosthenes.
+pub fn primes_up_to(limit: u64) -> Vec<u64> {
+    if limit < 2 {
+        return Vec::new();
+    }
+    let n = limit as usize;
+    let mut sieve = vec![true; n + 1];
+    sieve[0] = false;
+    sieve[1] = false;
+    let mut i = 2usize;
+    while i * i <= n {
+        if sieve[i] {
+            let mut j = i * i;
+            while j <= n {
+                sieve[j] = false;
+                j += i;
+            }
+        }
+        i += 1;
+    }
+    sieve
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| if p { Some(i as u64) } else { None })
+        .collect()
+}
+
+/// All prime powers `p^k ≤ limit` (k ≥ 1), sorted ascending.
+///
+/// These are the admissible Slim Fly parameters `q` (subject additionally to
+/// `q ≡ 0, ±1 (mod 4)`).
+pub fn prime_powers_up_to(limit: u64) -> Vec<u64> {
+    let mut out: Vec<u64> = Vec::new();
+    for p in primes_up_to(limit) {
+        let mut v = p;
+        while v <= limit {
+            out.push(v);
+            match v.checked_mul(p) {
+                Some(next) => v = next,
+                None => break,
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let known = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31];
+        for n in 0..=32u64 {
+            assert_eq!(is_prime(n), known.contains(&n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn larger_primes() {
+        assert!(is_prime(7919)); // 1000th prime
+        assert!(!is_prime(7917));
+        assert!(is_prime(104729)); // 10000th prime
+        assert!(!is_prime(104730));
+    }
+
+    #[test]
+    fn factorize_basic() {
+        assert_eq!(factorize(1), vec![]);
+        assert_eq!(factorize(2), vec![(2, 1)]);
+        assert_eq!(factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+        assert_eq!(factorize(1024), vec![(2, 10)]);
+        assert_eq!(factorize(7919), vec![(7919, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn factorize_zero_panics() {
+        factorize(0);
+    }
+
+    #[test]
+    fn prime_power_decomposition() {
+        assert_eq!(prime_power_decompose(0), None);
+        assert_eq!(prime_power_decompose(1), None);
+        assert_eq!(prime_power_decompose(2), Some((2, 1)));
+        assert_eq!(prime_power_decompose(4), Some((2, 2)));
+        assert_eq!(prime_power_decompose(9), Some((3, 2)));
+        assert_eq!(prime_power_decompose(27), Some((3, 3)));
+        assert_eq!(prime_power_decompose(49), Some((7, 2)));
+        assert_eq!(prime_power_decompose(6), None);
+        assert_eq!(prime_power_decompose(12), None);
+        assert_eq!(prime_power_decompose(100), None);
+    }
+
+    #[test]
+    fn sieve_matches_trial_division() {
+        let sieved = primes_up_to(1000);
+        let trial: Vec<u64> = (0..=1000).filter(|&n| is_prime(n)).collect();
+        assert_eq!(sieved, trial);
+    }
+
+    #[test]
+    fn prime_powers_list() {
+        let pp = prime_powers_up_to(32);
+        assert_eq!(
+            pp,
+            vec![2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32]
+        );
+    }
+}

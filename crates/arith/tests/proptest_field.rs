@@ -1,0 +1,146 @@
+//! Property-based tests for finite-field arithmetic: the field axioms
+//! must hold for *random* element triples in every supported field, and
+//! polynomial arithmetic must satisfy ring identities for random
+//! polynomials.
+
+use proptest::prelude::*;
+use sf_arith::poly::{mod_inverse, mod_pow, Poly};
+use sf_arith::{prime_power_decompose, FiniteField};
+
+const FIELD_ORDERS: &[u32] = &[2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 25, 27, 49, 64];
+
+fn field_and_elements() -> impl Strategy<Value = (u32, u32, u32, u32)> {
+    prop::sample::select(FIELD_ORDERS.to_vec()).prop_flat_map(|q| {
+        (Just(q), 0..q, 0..q, 0..q)
+    })
+}
+
+proptest! {
+    #[test]
+    fn field_axioms_random((q, a, b, c) in field_and_elements()) {
+        let f = FiniteField::new(q).unwrap();
+        // Commutativity.
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        // Associativity.
+        prop_assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        // Distributivity.
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        // Identities and inverses.
+        prop_assert_eq!(f.add(a, 0), a);
+        prop_assert_eq!(f.mul(a, 1), a);
+        prop_assert_eq!(f.add(a, f.neg(a)), 0);
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+        // Subtraction is addition of the negation.
+        prop_assert_eq!(f.sub(a, b), f.add(a, f.neg(b)));
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication((q, a, _b, _c) in field_and_elements(), e in 0u32..20) {
+        let f = FiniteField::new(q).unwrap();
+        let mut acc = 1u32;
+        for _ in 0..e {
+            acc = f.mul(acc, a);
+        }
+        prop_assert_eq!(f.pow(a, e), acc);
+    }
+
+    #[test]
+    fn fermat_little_theorem((q, a, _b, _c) in field_and_elements()) {
+        let f = FiniteField::new(q).unwrap();
+        if a != 0 {
+            prop_assert_eq!(f.pow(a, q - 1), 1, "a^(q-1) = 1 in GF(q)*");
+        }
+        prop_assert_eq!(f.pow(a, q), a, "a^q = a (Frobenius fixed point)");
+    }
+
+    #[test]
+    fn discrete_log_roundtrip((q, a, _b, _c) in field_and_elements()) {
+        let f = FiniteField::new(q).unwrap();
+        if a != 0 {
+            prop_assert_eq!(f.xi_pow(f.log(a)), a);
+        }
+    }
+
+    #[test]
+    fn quadratic_residue_closed_under_product((q, a, b, _c) in field_and_elements()) {
+        let f = FiniteField::new(q).unwrap();
+        if a != 0 && b != 0 && f.characteristic() != 2 {
+            let qa = f.is_quadratic_residue(a);
+            let qb = f.is_quadratic_residue(b);
+            let qp = f.is_quadratic_residue(f.mul(a, b));
+            // residue × residue = residue; nonresidue × nonresidue = residue.
+            prop_assert_eq!(qp, qa == qb);
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_naive(a in 1u32..100, e in 0u32..24, m in 2u32..1000) {
+        let mut acc: u64 = 1;
+        for _ in 0..e {
+            acc = acc * (a % m) as u64 % m as u64;
+        }
+        prop_assert_eq!(mod_pow(a, e, m) as u64, acc);
+    }
+
+    #[test]
+    fn mod_inverse_correct(p in prop::sample::select(vec![3u32, 5, 7, 11, 13, 17, 19, 23]), a in 1u32..23) {
+        if a % p != 0 {
+            let inv = mod_inverse(a % p, p);
+            prop_assert_eq!((a % p) * inv % p, 1);
+        }
+    }
+
+    #[test]
+    fn poly_ring_axioms(
+        p in prop::sample::select(vec![2u32, 3, 5, 7]),
+        ca in prop::collection::vec(0u32..7, 0..6),
+        cb in prop::collection::vec(0u32..7, 0..6),
+        cc in prop::collection::vec(0u32..7, 0..6),
+    ) {
+        let a = Poly::new(ca, p);
+        let b = Poly::new(cb, p);
+        let c = Poly::new(cc, p);
+        prop_assert_eq!(a.add(&b, p), b.add(&a, p));
+        prop_assert_eq!(a.mul(&b, p), b.mul(&a, p));
+        prop_assert_eq!(a.mul(&b.add(&c, p), p),
+                        a.mul(&b, p).add(&a.mul(&c, p), p));
+        prop_assert_eq!(a.sub(&a, p), Poly::zero());
+    }
+
+    #[test]
+    fn poly_division_identity(
+        p in prop::sample::select(vec![3u32, 5, 7]),
+        ca in prop::collection::vec(0u32..7, 0..8),
+        cm in prop::collection::vec(0u32..7, 1..4),
+    ) {
+        let a = Poly::new(ca, p);
+        let mut mcoeffs = cm;
+        mcoeffs.push(1); // force monic, degree ≥ 1
+        let m = Poly::new(mcoeffs, p);
+        let r = a.rem(&m, p);
+        // deg(r) < deg(m)
+        if let (Some(dr), Some(dm)) = (r.degree(), m.degree()) {
+            prop_assert!(dr < dm);
+        }
+        // Evaluation consistency: a(x) ≡ r(x) (mod m(x)) at roots of m —
+        // weaker executable check: (a - r) mod m == 0.
+        prop_assert_eq!(a.sub(&r, p).rem(&m, p), Poly::zero());
+    }
+
+    #[test]
+    fn poly_encode_decode(p in prop::sample::select(vec![2u32, 3, 5, 7]), v in 0u64..2000) {
+        prop_assert_eq!(Poly::decode(v, p).encode(p), v);
+    }
+
+    #[test]
+    fn prime_power_decompose_sound(n in 2u64..100_000) {
+        if let Some((p, k)) = prime_power_decompose(n) {
+            prop_assert!(sf_arith::is_prime(p));
+            prop_assert_eq!(p.pow(k), n);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 1: average number of hops (uniform traffic, minimal routing)
+//! vs network size for every topology.
+//!
+//! Usage: `fig1_avg_hops [--sizes 256,512,1024,2048]`
+//!
+//! Output: CSV `topology,endpoints,routers,avg_hops` — one series per
+//! topology, reproducing the ordering of Fig 1 (Slim Fly lowest,
+//! tori highest).
+
+use sf_bench::{f, print_csv_row, roster};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
+        .unwrap_or_else(|| vec![256, 512, 1024, 2048, 4096]);
+
+    print_csv_row(&[
+        "topology".into(),
+        "endpoints".into(),
+        "routers".into(),
+        "avg_hops".into(),
+    ]);
+    for &n in &sizes {
+        for net in roster(n) {
+            let hops = sf_flow::average_hops_uniform(&net);
+            print_csv_row(&[
+                net.name.clone(),
+                net.num_endpoints().to_string(),
+                net.num_routers().to_string(),
+                f(hops),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! # sf-bench — benchmark harness for the Slim Fly paper
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md
+//! §3 for the experiment index and EXPERIMENTS.md for paper-vs-measured
+//! results). This library hosts the shared roster of comparison
+//! topologies and small output helpers.
+
+use sf_topo::dragonfly::Dragonfly;
+use sf_topo::fattree::FatTree3;
+use sf_topo::flatbutterfly::FlattenedButterfly;
+use sf_topo::hypercube::Hypercube;
+use sf_topo::longhop::LongHop;
+use sf_topo::random_dln::RandomDln;
+use sf_topo::torus::Torus;
+use sf_topo::{Network, SlimFly};
+
+/// Default RNG seed for random constructions in benches.
+pub const BENCH_SEED: u64 = 0x5F1A_2014;
+
+/// Builds the full roster of comparison topologies (Table II) sized as
+/// close as possible to `target_n` endpoints, in their balanced
+/// configurations. Constructions whose parameter grid cannot reach
+/// `target_n` within a factor of ~2 are skipped.
+pub fn roster(target_n: usize) -> Vec<Network> {
+    let mut nets = Vec::new();
+
+    // Slim Fly: smallest balanced config with N ≥ target (or largest below).
+    if let Some(cfg) = slimfly_near(target_n) {
+        nets.push(cfg.network());
+    }
+    // Dragonfly balanced.
+    if let Some(df) = dragonfly_near(target_n) {
+        nets.push(df.network());
+    }
+    // Fat tree (§V slim variant).
+    if let Some(ft) = fattree_near(target_n) {
+        nets.push(ft.network());
+    }
+    // Flattened butterfly 3-flat.
+    if let Some(f) = fbf3_near(target_n) {
+        nets.push(f.network());
+    }
+    // Tori (p = 1): router count = endpoint count.
+    nets.push(Torus::cubic_3d(target_n).network());
+    nets.push(Torus::cubic_5d(target_n).network());
+    // Hypercube and Long Hop (p = 1).
+    nets.push(Hypercube::at_least(target_n).network());
+    nets.push(LongHop::at_least(target_n).network());
+    // Random DLN with radix comparable to the Slim Fly's.
+    let kp = nets
+        .first()
+        .map(|n| n.graph.max_degree() as u32)
+        .unwrap_or(11);
+    let dln = dln_near(target_n, kp);
+    nets.push(dln.network());
+
+    nets
+}
+
+/// Smallest balanced Slim Fly with `N ≥ target` (falls back to the
+/// largest below the target when none reach it).
+pub fn slimfly_near(target_n: usize) -> Option<SlimFly> {
+    let qmax = ((target_n as f64).sqrt() as u32 + 8) * 2;
+    let qs = SlimFly::admissible_q_up_to(qmax);
+    let mut best: Option<(usize, SlimFly)> = None;
+    for q in qs {
+        let sf = SlimFly::new(q).ok()?;
+        let n = sf.balanced_concentration() as usize * sf.num_routers();
+        let diff = n.abs_diff(target_n);
+        if best.as_ref().is_none_or(|(d, _)| diff < *d) {
+            best = Some((diff, sf));
+        }
+    }
+    best.map(|(_, sf)| sf)
+}
+
+/// Balanced Dragonfly closest to `target` endpoints.
+pub fn dragonfly_near(target_n: usize) -> Option<Dragonfly> {
+    (1..200u32)
+        .map(Dragonfly::balanced)
+        .min_by_key(|df| df.num_endpoints().abs_diff(target_n))
+}
+
+/// §V fat tree closest to `target` endpoints.
+pub fn fattree_near(target_n: usize) -> Option<FatTree3> {
+    (2..200u32)
+        .map(|p| FatTree3 { p, full: false })
+        .min_by_key(|ft| ft.num_endpoints().abs_diff(target_n))
+}
+
+/// Balanced FBF-3 closest to `target` endpoints.
+pub fn fbf3_near(target_n: usize) -> Option<FlattenedButterfly> {
+    (2..60u32)
+        .map(|c| FlattenedButterfly { c, dims: 3, p: c })
+        .min_by_key(|f| f.num_endpoints().abs_diff(target_n))
+}
+
+/// DLN with network radix matching `k_prime` and ≥ target endpoints.
+pub fn dln_near(target_n: usize, k_prime: u32) -> RandomDln {
+    let y = k_prime.saturating_sub(2).max(1);
+    // p is solved internally; iterate router count to reach target N.
+    let mut nr = 64usize;
+    loop {
+        let dln = RandomDln::new(nr, y, BENCH_SEED);
+        if dln.p as usize * nr >= target_n || nr > 4 * target_n {
+            return dln;
+        }
+        nr = (nr + nr / 2 + 2) & !1; // grow ~1.5x, keep even
+    }
+}
+
+/// Prints a CSV header + row helper (stdout tables consumed by
+/// EXPERIMENTS.md).
+pub fn print_csv_row(cols: &[String]) {
+    println!("{}", cols.join(","));
+}
+
+/// Formats a float with fixed precision for CSV output.
+pub fn f(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_builds_all_topologies_small() {
+        let nets = roster(256);
+        assert!(nets.len() >= 8, "got {} topologies", nets.len());
+        for n in &nets {
+            assert!(n.num_endpoints() > 0, "{}", n.name);
+            assert!(
+                sf_graph::metrics::is_connected(&n.graph),
+                "{} disconnected",
+                n.name
+            );
+        }
+    }
+
+    #[test]
+    fn slimfly_near_paper_size() {
+        let sf = slimfly_near(10_000).unwrap();
+        assert_eq!(sf.q(), 19);
+    }
+
+    #[test]
+    fn dragonfly_near_paper_size() {
+        let df = dragonfly_near(9_702).unwrap();
+        assert_eq!(df.p, 7); // the paper's k = 27 DF
+    }
+
+    #[test]
+    fn fattree_near_paper_size() {
+        let ft = fattree_near(10_648).unwrap();
+        assert_eq!(ft.p, 22);
+    }
+
+    #[test]
+    fn dln_reaches_target() {
+        let dln = dln_near(500, 11);
+        assert!(dln.p as usize * dln.nr >= 500);
+    }
+}

@@ -1,0 +1,90 @@
+//! # slimfly — Slim Fly: a cost-effective low-diameter network topology
+//!
+//! A from-scratch Rust reproduction of **Besta & Hoefler, "Slim Fly: A
+//! Cost Effective Low-Diameter Network Topology", ACM/IEEE
+//! Supercomputing 2014**: the MMS-graph topology construction, all
+//! comparison topologies, structural analysis, deadlock-free minimal and
+//! adaptive routing, a cycle-level flit simulator, and the paper's cost
+//! and power models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use slimfly::prelude::*;
+//!
+//! // The paper's flagship network: q = 19 → 722 routers, 10,830
+//! // endpoints, diameter 2, router radix 44.
+//! let sf = SlimFly::new(19).unwrap();
+//! let net = sf.network();
+//! assert_eq!(net.num_routers(), 722);
+//! assert_eq!(net.num_endpoints(), 10_830);
+//!
+//! // Structural analysis.
+//! assert_eq!(sf_graph::metrics::diameter(&net.graph), Some(2));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |-----------|-------|----------|
+//! | [`arith`] | `sf-arith` | finite fields GF(p^n) |
+//! | [`graph`] | `sf-graph` | graph substrate, metrics, partitioning, failures |
+//! | [`topo`] | `sf-topo` | SF MMS + all comparison topologies |
+//! | [`routing`] | `sf-routing` | MIN/VAL/UGAL paths, deadlock freedom |
+//! | [`sim`] | `sf-sim` | cycle-based flit-level simulator |
+//! | [`traffic`] | `sf-traffic` | uniform/permutation/worst-case patterns |
+//! | [`flow`] | `sf-flow` | analytic channel-load model |
+//! | [`cost`] | `sf-cost` | physical layout, cost & power models |
+//!
+//! The [`zoo`] module provides the paper's "library of practical
+//! topologies" (§VII-A): every balanced Slim Fly configuration within a
+//! size budget.
+
+pub use sf_arith as arith;
+pub use sf_cost as cost;
+pub use sf_flow as flow;
+pub use sf_graph as graph;
+pub use sf_routing as routing;
+pub use sf_sim as sim;
+pub use sf_topo as topo;
+pub use sf_traffic as traffic;
+
+pub mod expansion;
+pub mod zoo;
+
+pub use sf_topo::{Network, SlimFly, TopologyKind};
+
+/// Commonly used items for quick experiments.
+pub mod prelude {
+    pub use crate::zoo::{self, SlimFlyConfig};
+    pub use sf_cost::{CostBreakdown, CostModel};
+    pub use sf_flow::{average_hops_uniform, uniform_channel_loads};
+    pub use sf_graph::{metrics, partition, Graph};
+    pub use sf_routing::{RouteAlgo, RoutingTables};
+    pub use sf_sim::{LoadSweep, SimConfig, Simulator};
+    pub use sf_topo::{Network, SlimFly, TopologyKind};
+    pub use sf_traffic::TrafficPattern;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let cfg = SimConfig {
+            warmup: 100,
+            measure: 200,
+            drain: 500,
+            ..Default::default()
+        };
+        let res = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.1, cfg).run();
+        assert!(res.ejected > 0);
+        let cost = CostBreakdown::compute(&net, &CostModel::fdr10());
+        assert!(cost.total_cost() > 0.0);
+    }
+}

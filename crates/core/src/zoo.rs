@@ -1,0 +1,172 @@
+//! The "library of practical topologies" (paper §VII-A).
+//!
+//! Enumerates every balanced, full-global-bandwidth Slim Fly
+//! configuration within a size budget — the paper counts 11 such
+//! variants below 20,000 endpoints versus 8 for Dragonfly — and offers
+//! a recommender that picks the smallest configuration covering a
+//! desired endpoint count.
+
+use sf_topo::dragonfly::Dragonfly;
+use sf_topo::SlimFly;
+
+/// One balanced Slim Fly configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlimFlyConfig {
+    /// Underlying prime power.
+    pub q: u32,
+    /// δ with q = 4w + δ.
+    pub delta: i32,
+    /// Network radix k'.
+    pub k_prime: u32,
+    /// Balanced concentration p = ⌈k'/2⌉.
+    pub p: u32,
+    /// Router radix k = k' + p.
+    pub k: u32,
+    /// Routers Nr = 2q².
+    pub nr: u64,
+    /// Endpoints N = p·Nr.
+    pub n: u64,
+}
+
+impl SlimFlyConfig {
+    /// Builds the config record for prime power `q` from the closed
+    /// forms (`Nr = 2q²`, `k' = (3q − δ)/2`, `p = ⌈k'/2⌉`) — no field
+    /// tables are constructed, so this is cheap even for very large q.
+    pub fn for_q(q: u32) -> Option<Self> {
+        let delta: i32 = match q % 4 {
+            0 => 0,
+            1 => 1,
+            3 => -1,
+            _ => return None,
+        };
+        if !sf_arith::is_prime_power(q as u64) {
+            return None;
+        }
+        let k_prime = ((3 * q as i64 - delta as i64) / 2) as u32;
+        let p = k_prime.div_ceil(2);
+        let nr = 2 * q as u64 * q as u64;
+        Some(SlimFlyConfig {
+            q,
+            delta,
+            k_prime,
+            p,
+            k: k_prime + p,
+            nr,
+            n: p as u64 * nr,
+        })
+    }
+
+    /// Instantiates the topology object.
+    pub fn build(&self) -> SlimFly {
+        SlimFly::new(self.q).expect("config q validated on construction")
+    }
+}
+
+/// All balanced Slim Fly configurations with at most `max_endpoints`.
+pub fn balanced_slimflies_up_to(max_endpoints: u64) -> Vec<SlimFlyConfig> {
+    // q ≤ sqrt(max/2) is a safe upper bound for the scan (p ≥ 1).
+    let qmax = ((max_endpoints as f64 / 2.0).sqrt().ceil() as u32).max(4) + 2;
+    SlimFly::admissible_q_up_to(qmax)
+        .into_iter()
+        .filter_map(SlimFlyConfig::for_q)
+        .filter(|c| c.n <= max_endpoints)
+        .collect()
+}
+
+/// All balanced Dragonfly configurations (`a = 2p = 2h`, §VI-B3e) with
+/// at most `max_endpoints`, as (p, Nr, N) triples.
+pub fn balanced_dragonflies_up_to(max_endpoints: u64) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::new();
+    for p in 1.. {
+        let df = Dragonfly::balanced(p);
+        let n = df.num_endpoints() as u64;
+        if n > max_endpoints {
+            break;
+        }
+        out.push((p, df.num_routers() as u32, n as u32));
+    }
+    out
+}
+
+/// The smallest balanced Slim Fly with at least `endpoints` endpoints.
+pub fn recommend(endpoints: u64) -> Option<SlimFlyConfig> {
+    let qmax = ((endpoints as f64).sqrt().ceil() as u32).max(8) * 2 + 8;
+    SlimFly::admissible_q_up_to(qmax)
+        .into_iter()
+        .filter_map(SlimFlyConfig::for_q)
+        .filter(|c| c.n >= endpoints)
+        .min_by_key(|c| c.n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_matches_paper_flagship() {
+        let c = SlimFlyConfig::for_q(19).unwrap();
+        assert_eq!(c.k_prime, 29);
+        assert_eq!(c.p, 15);
+        assert_eq!(c.k, 44);
+        assert_eq!(c.nr, 722);
+        assert_eq!(c.n, 10_830);
+        assert_eq!(c.delta, -1);
+    }
+
+    #[test]
+    fn variant_counts_match_paper_section_7a() {
+        // §VII-A: "For network sizes up to 20,000, there are 11 balanced
+        // SF variants with full global bandwidth; DF offers only 8."
+        // Our enumeration finds 12 (q = 3,4,5,7,8,9,11,13,16,17,19,23);
+        // the paper's 11 matches ours with the q = 3 toy (N = 54)
+        // discounted.
+        let sf = balanced_slimflies_up_to(20_000);
+        assert_eq!(sf.len(), 12, "{sf:?}");
+        let practical = sf.iter().filter(|c| c.q >= 4).count();
+        assert_eq!(practical, 11);
+        let df = balanced_dragonflies_up_to(20_000);
+        assert_eq!(df.len(), 8, "{df:?}");
+    }
+
+    #[test]
+    fn configs_sorted_and_buildable() {
+        let configs = balanced_slimflies_up_to(5_000);
+        assert!(!configs.is_empty());
+        for w in configs.windows(2) {
+            assert!(w[0].q < w[1].q);
+        }
+        for c in configs {
+            let sf = c.build();
+            assert_eq!(sf.num_routers() as u64, c.nr);
+        }
+    }
+
+    #[test]
+    fn recommend_picks_smallest_covering() {
+        // 10,000 endpoints → q = 19 (10,830), the paper's example system.
+        let c = recommend(10_000).unwrap();
+        assert_eq!(c.q, 19);
+        // 300 endpoints → q = 7 (N = 588) beats q = 8 (N = 768).
+        let c = recommend(300).unwrap();
+        assert_eq!(c.q, 7);
+    }
+
+    #[test]
+    fn recommend_none_for_absurd_sizes() {
+        // qmax scan bound keeps this finite; enormous requests still
+        // resolve (millions of endpoints are reachable with q ≈ 500).
+        let c = recommend(1_000_000).unwrap();
+        assert!(c.n >= 1_000_000);
+    }
+
+    #[test]
+    fn dragonfly_counts_are_quartic() {
+        // N(p) = 2p²(2p² + 1): spot-check the balanced DF series.
+        let df = balanced_dragonflies_up_to(20_000);
+        assert_eq!(df[0], (1, 6, 6));
+        let (p, nr, n) = df[6]; // p = 7
+        assert_eq!(p, 7);
+        assert_eq!(nr, 14 * 99);
+        assert_eq!(n, 7 * 14 * 99);
+    }
+}

@@ -1,0 +1,306 @@
+//! Physical layout: racks, cable classification, cable lengths (§VI-A).
+//!
+//! Every topology is mapped to racks; racks are arranged in a grid as
+//! close to a square as possible (§VI-A Step 4). Cables within a rack
+//! are electric with an average length of 1 m (§VI-B: max Manhattan
+//! distance in a rack ≈ 2 m, min 5–10 cm); cables between racks are
+//! optical fiber of length = Manhattan distance between racks + 2 m of
+//! overhead (§VI-B, following Kim et al. [40]).
+//!
+//! Topology-specific rack assignment:
+//!
+//! * **Slim Fly** — subgroup pairing (§VI-A): rack `i` holds the routers
+//!   `(0, i, ·)` and `(1, i, ·)` (2q routers/rack, q racks);
+//! * **Dragonfly** — one group per rack;
+//! * **Flattened butterfly** — the paper's §VI-B3d grouping: the
+//!   first-dimension row (p routers) per rack;
+//! * **Fat tree** — one pod per rack (edge + aggregation); core switches
+//!   in central rack(s); endpoint cables electric;
+//! * **Torus** — folded design, all cables electric (§VI-B3a);
+//! * **Hypercube / Long Hop** — fixed-size racks over consecutive ids
+//!   (low dimensions stay intra-rack); higher-dimension links are fiber;
+//! * **DLN / other** — fixed-size racks over consecutive router ids.
+
+use sf_topo::{Network, TopologyKind};
+
+/// Rack assignment and rack-grid geometry.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Rack index of each router.
+    pub rack_of: Vec<u32>,
+    /// Number of racks.
+    pub num_racks: u32,
+    /// Grid width (racks per row); rack `i` sits at
+    /// `(i % width, i / width)` on a 1 m pitch.
+    pub width: u32,
+    /// Torus-style all-electric layout (no fiber anywhere).
+    pub all_electric: bool,
+}
+
+impl Layout {
+    /// Builds the per-topology layout for a network.
+    pub fn new(net: &Network) -> Self {
+        let nr = net.num_routers() as u32;
+        let (rack_of, all_electric) = match &net.kind {
+            TopologyKind::SlimFly { q, .. } => {
+                // Rack i: subgroup (0,i,·) + subgroup (1,i,·) — 2q routers.
+                let q = *q;
+                let rack_of: Vec<u32> = (0..nr)
+                    .map(|r| {
+                        let within = r % (q * q);
+                        within / q
+                    })
+                    .collect();
+                (rack_of, false)
+            }
+            TopologyKind::Dragonfly { a, .. } => {
+                ((0..nr).map(|r| r / a).collect(), false)
+            }
+            TopologyKind::FlattenedButterfly { c, .. } => {
+                // First dimension is contiguous in router ids.
+                ((0..nr).map(|r| r / c).collect(), false)
+            }
+            TopologyKind::FatTree3 { pods, .. } => {
+                // Edge+agg of pod i in rack i; cores fill extra racks of
+                // comparable size. Level sizes are pods·x (edge),
+                // pods·x (agg), x² (core); x recovered from the fact that
+                // exactly the edge switches host endpoints.
+                let pods = *pods;
+                let x = (0..nr)
+                    .take_while(|&r| net.concentration[r as usize] > 0)
+                    .count() as u32
+                    / pods;
+                let edge_end = pods * x;
+                let agg_end = 2 * pods * x;
+                let rack_of = (0..nr)
+                    .map(|r| {
+                        if r < edge_end {
+                            r / x
+                        } else if r < agg_end {
+                            (r - edge_end) / x
+                        } else {
+                            // Core switches: racks after the pods, 2x per
+                            // rack (a rack holds as many switches as a pod).
+                            pods + (r - agg_end) / (2 * x).max(1)
+                        }
+                    })
+                    .collect();
+                (rack_of, false)
+            }
+            TopologyKind::Torus { .. } => {
+                // Folded torus: all cables electric; rack grouping is
+                // irrelevant for cost, use blocks of 32.
+                ((0..nr).map(|r| r / 32).collect(), true)
+            }
+            TopologyKind::Hypercube { .. } | TopologyKind::LongHop { .. } => {
+                ((0..nr).map(|r| r / 32).collect(), false)
+            }
+            _ => {
+                // DLN / generic: blocks of 32 routers.
+                ((0..nr).map(|r| r / 32).collect(), false)
+            }
+        };
+        let num_racks = rack_of.iter().copied().max().map_or(1, |m| m + 1);
+        let width = (num_racks as f64).sqrt().ceil().max(1.0) as u32;
+        Layout {
+            rack_of,
+            num_racks,
+            width,
+            all_electric,
+        }
+    }
+
+    /// Manhattan distance in meters between two racks on the grid.
+    pub fn rack_distance(&self, r1: u32, r2: u32) -> f64 {
+        let (x1, y1) = (r1 % self.width, r1 / self.width);
+        let (x2, y2) = (r2 % self.width, r2 / self.width);
+        (x1.abs_diff(x2) + y1.abs_diff(y2)) as f64
+    }
+}
+
+/// Classified cable inventory of a network under a layout.
+#[derive(Clone, Debug, Default)]
+pub struct CableInventory {
+    /// Lengths (m) of electric router-router cables.
+    pub electric: Vec<f64>,
+    /// Lengths (m) of optical router-router cables.
+    pub fiber: Vec<f64>,
+    /// Endpoint-to-router cables (electric, 1 m each).
+    pub endpoint_cables: usize,
+}
+
+/// Average intra-rack cable length (m), per §VI-B.
+pub const INTRA_RACK_M: f64 = 1.0;
+/// Optical overhead added to every inter-rack cable (m), per §VI-B.
+pub const FIBER_OVERHEAD_M: f64 = 2.0;
+/// Electric cables longer than this must be optical (§VI-B3c).
+pub const MAX_ELECTRIC_M: f64 = 20.0;
+
+impl CableInventory {
+    /// Walks the router graph and classifies every cable.
+    pub fn new(net: &Network, layout: &Layout) -> Self {
+        let mut inv = CableInventory {
+            endpoint_cables: net.num_endpoints(),
+            ..Default::default()
+        };
+        for (u, v) in net.graph.edge_list() {
+            let ru = layout.rack_of[u as usize];
+            let rv = layout.rack_of[v as usize];
+            if ru == rv {
+                inv.electric.push(INTRA_RACK_M);
+            } else if layout.all_electric {
+                // Folded torus: neighbor racks, short electric cables.
+                let d = (layout.rack_distance(ru, rv)).min(MAX_ELECTRIC_M - 1.0);
+                inv.electric.push(d.max(INTRA_RACK_M));
+            } else {
+                let d = layout.rack_distance(ru, rv) + FIBER_OVERHEAD_M;
+                inv.fiber.push(d);
+            }
+        }
+        inv
+    }
+
+    /// Number of electric router-router cables.
+    pub fn num_electric(&self) -> usize {
+        self.electric.len()
+    }
+
+    /// Number of optical router-router cables.
+    pub fn num_fiber(&self) -> usize {
+        self.fiber.len()
+    }
+
+    /// Mean fiber length (m); 0 when no fiber.
+    pub fn avg_fiber_len(&self) -> f64 {
+        if self.fiber.is_empty() {
+            0.0
+        } else {
+            self.fiber.iter().sum::<f64>() / self.fiber.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_topo::SlimFly;
+
+    #[test]
+    fn slimfly_racks_match_paper() {
+        // §VI-A example: q = 19 → 19 racks of 38 routers each.
+        let sf = SlimFly::new(19).unwrap();
+        let net = sf.network();
+        let l = Layout::new(&net);
+        assert_eq!(l.num_racks, 19);
+        let mut per_rack = vec![0u32; 19];
+        for &r in &l.rack_of {
+            per_rack[r as usize] += 1;
+        }
+        assert!(per_rack.iter().all(|&c| c == 38), "{per_rack:?}");
+    }
+
+    #[test]
+    fn slimfly_interrack_cable_count() {
+        // §VI-A: every pair of SF racks is connected by 2q cables.
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let l = Layout::new(&net);
+        let q = 5u32;
+        let mut between = vec![0u32; (l.num_racks * l.num_racks) as usize];
+        for (u, v) in net.graph.edge_list() {
+            let (ru, rv) = (l.rack_of[u as usize], l.rack_of[v as usize]);
+            if ru != rv {
+                let (a, b) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                between[(a * l.num_racks + b) as usize] += 1;
+            }
+        }
+        for a in 0..l.num_racks {
+            for b in (a + 1)..l.num_racks {
+                assert_eq!(
+                    between[(a * l.num_racks + b) as usize],
+                    2 * q,
+                    "racks {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rack_distance_manhattan() {
+        let l = Layout {
+            rack_of: vec![],
+            num_racks: 9,
+            width: 3,
+            all_electric: false,
+        };
+        assert_eq!(l.rack_distance(0, 0), 0.0);
+        assert_eq!(l.rack_distance(0, 1), 1.0);
+        assert_eq!(l.rack_distance(0, 8), 4.0); // (0,0)->(2,2)
+        assert_eq!(l.rack_distance(2, 6), 4.0); // (2,0)->(0,2)
+    }
+
+    #[test]
+    fn torus_is_all_electric() {
+        let t = sf_topo::torus::Torus::new(vec![4, 4, 4]);
+        let net = t.network();
+        let l = Layout::new(&net);
+        assert!(l.all_electric);
+        let inv = CableInventory::new(&net, &l);
+        assert_eq!(inv.num_fiber(), 0);
+        assert_eq!(inv.num_electric(), net.graph.num_edges());
+    }
+
+    #[test]
+    fn dragonfly_groups_are_racks() {
+        let df = sf_topo::dragonfly::Dragonfly::balanced(2);
+        let net = df.network();
+        let l = Layout::new(&net);
+        assert_eq!(l.num_racks, df.num_groups());
+        let inv = CableInventory::new(&net, &l);
+        // Intra-group cliques are electric: g · a(a−1)/2.
+        let g = df.num_groups() as usize;
+        let a = df.a as usize;
+        assert_eq!(inv.num_electric(), g * a * (a - 1) / 2);
+        // Global links are fiber: g(g−1)/2.
+        assert_eq!(inv.num_fiber(), g * (g - 1) / 2);
+    }
+
+    #[test]
+    fn hypercube_splits_by_rack_blocks() {
+        let hc = sf_topo::hypercube::Hypercube::new(7); // 128 routers, 4 racks
+        let net = hc.network();
+        let l = Layout::new(&net);
+        assert_eq!(l.num_racks, 4);
+        let inv = CableInventory::new(&net, &l);
+        // Low 5 dims intra-rack (32 routers/rack): 128·5/2 = 320 electric;
+        // dims 5,6 cross racks: 128 fiber.
+        assert_eq!(inv.num_electric(), 320);
+        assert_eq!(inv.num_fiber(), 128);
+    }
+
+    #[test]
+    fn fiber_lengths_include_overhead() {
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let l = Layout::new(&net);
+        let inv = CableInventory::new(&net, &l);
+        for &len in &inv.fiber {
+            assert!(len >= FIBER_OVERHEAD_M + 1.0, "len = {len}");
+        }
+        assert_eq!(inv.endpoint_cables, net.num_endpoints());
+    }
+
+    #[test]
+    fn fattree_layout_counts() {
+        let ft = sf_topo::fattree::FatTree3 { p: 4, full: false };
+        let net = ft.network();
+        let l = Layout::new(&net);
+        // p pods + core racks.
+        assert!(l.num_racks >= ft.pods());
+        let inv = CableInventory::new(&net, &l);
+        // Edge-agg links intra-rack (electric): pods · p² = 64.
+        assert_eq!(inv.num_electric(), 64);
+        // Agg-core links fiber: pods · p² = 64.
+        assert_eq!(inv.num_fiber(), 64);
+    }
+}

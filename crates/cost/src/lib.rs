@@ -1,0 +1,18 @@
+//! # sf-cost — cost & power models with physical datacenter layout
+//!
+//! Implements §VI of the Slim Fly paper:
+//!
+//! * [`layout`] — rack assignment per topology (§VI-A: MMS subgroup
+//!   pairing for SF, one group per rack for DF/FBF, pods for fat trees,
+//!   folded cuboids for tori), near-square rack grids, Manhattan
+//!   inter-rack distances, +2 m overhead per optical cable;
+//! * [`model`] — cable cost as $/Gb/s linear functions of length
+//!   (electric vs optical), router cost linear in radix, SerDes-based
+//!   power (§VI-B, §VI-C), and the per-network roll-ups behind
+//!   Fig 11–13 and Table IV.
+
+pub mod layout;
+pub mod model;
+
+pub use layout::{CableInventory, Layout};
+pub use model::{CostBreakdown, CostModel};

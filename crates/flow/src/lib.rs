@@ -1,0 +1,314 @@
+//! # sf-flow — analytic flow-level model
+//!
+//! Closed-form and matrix-based analyses that complement the cycle-level
+//! simulator for large networks:
+//!
+//! * endpoint-weighted **average hop counts** under uniform traffic with
+//!   minimal routing (Fig 1);
+//! * **channel loads** under minimal ECMP routing for an arbitrary
+//!   traffic matrix, and the implied saturation-throughput bound
+//!   (1 / max channel load);
+//! * the paper's **balanced-concentration** algebra of §II-B2
+//!   (`l = (2Nr − k' − 2)p²/k'`, `p ≈ ⌈k'/2⌉`).
+
+use rayon::prelude::*;
+use sf_graph::metrics;
+use sf_topo::Network;
+
+/// Endpoint-weighted average hop count under uniform traffic with
+/// minimal routing: the expected router-to-router distance between two
+/// distinct endpoints chosen uniformly at random (Fig 1's y-axis).
+///
+/// Endpoints on the same router contribute distance 0.
+pub fn average_hops_uniform(net: &Network) -> f64 {
+    let nr = net.num_routers();
+    let n = net.num_endpoints() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let conc: Vec<f64> = net.concentration.iter().map(|&c| c as f64).collect();
+    let total: f64 = (0..nr as u32)
+        .into_par_iter()
+        .map(|s| {
+            if net.concentration[s as usize] == 0 {
+                return 0.0;
+            }
+            let dist = metrics::bfs_distances(&net.graph, s);
+            let mut acc = 0.0;
+            for (v, &d) in dist.iter().enumerate() {
+                if d != metrics::UNREACHABLE {
+                    acc += conc[v] * d as f64;
+                }
+            }
+            acc * conc[s as usize]
+        })
+        .sum();
+    total / (n * (n - 1.0))
+}
+
+/// Expected load on every directed channel under minimal ECMP routing
+/// for a router-level traffic matrix.
+///
+/// `demand(src_r, dst_r)` gives the traffic rate between router pairs
+/// (flits/cycle). Returns a map from directed edge index to load, where
+/// directed edges are enumerated as `2·e` (u→v) and `2·e+1` (v→u) over
+/// the canonical edge list.
+pub struct ChannelLoads {
+    /// Canonical undirected edge list (u < v).
+    pub edges: Vec<(u32, u32)>,
+    /// load\[2e\] = u→v, load\[2e+1\] = v→u.
+    pub load: Vec<f64>,
+}
+
+impl ChannelLoads {
+    /// Maximum channel load.
+    pub fn max(&self) -> f64 {
+        self.load.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean channel load.
+    pub fn mean(&self) -> f64 {
+        if self.load.is_empty() {
+            0.0
+        } else {
+            self.load.iter().sum::<f64>() / self.load.len() as f64
+        }
+    }
+
+    /// Saturation throughput bound: with per-endpoint injection rate λ
+    /// scaling all demands, the network saturates at λ* = 1 / max load
+    /// (loads computed at λ = 1).
+    pub fn saturation_bound(&self) -> f64 {
+        let m = self.max();
+        if m <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / m
+        }
+    }
+}
+
+/// Computes minimal-ECMP channel loads for a demand function over
+/// router pairs. Flow from `s` to `d` splits equally over all minimal
+/// next hops at every router (the standard ECMP fluid model).
+pub fn channel_loads<F>(net: &Network, demand: F) -> ChannelLoads
+where
+    F: Fn(u32, u32) -> f64 + Sync,
+{
+    let g = &net.graph;
+    let nr = g.num_vertices();
+    let edges = g.edge_list();
+    // Directed edge index lookup.
+    let eidx = |u: u32, v: u32| -> usize {
+        let (a, b, dir) = if u < v { (u, v, 0) } else { (v, u, 1) };
+        let pos = edges.binary_search(&(a, b)).expect("edge exists");
+        2 * pos + dir
+    };
+
+    // Process per destination: propagate flow backward from far to near.
+    let partial: Vec<Vec<f64>> = (0..nr as u32)
+        .into_par_iter()
+        .map(|d| {
+            let mut load = vec![0.0f64; 2 * edges.len()];
+            let dist = metrics::bfs_distances(g, d);
+            // inflow[u]: traffic at router u destined to d (own demand +
+            // transit), processed in decreasing distance order.
+            let mut order: Vec<u32> = (0..nr as u32).collect();
+            order.sort_unstable_by_key(|&u| std::cmp::Reverse(dist[u as usize]));
+            let mut inflow = vec![0.0f64; nr];
+            for &u in &order {
+                if u == d || dist[u as usize] == metrics::UNREACHABLE {
+                    continue;
+                }
+                inflow[u as usize] += demand(u, d);
+                let f = inflow[u as usize];
+                if f <= 0.0 {
+                    continue;
+                }
+                let du = dist[u as usize];
+                let next: Vec<u32> = g
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| dist[v as usize] + 1 == du)
+                    .collect();
+                let share = f / next.len() as f64;
+                for v in next {
+                    load[eidx(u, v)] += share;
+                    inflow[v as usize] += share;
+                }
+            }
+            load
+        })
+        .collect();
+
+    let mut load = vec![0.0f64; 2 * edges.len()];
+    for part in partial {
+        for (a, b) in load.iter_mut().zip(part) {
+            *a += b;
+        }
+    }
+    ChannelLoads { edges, load }
+}
+
+/// Uniform-traffic channel loads at per-endpoint injection rate 1: every
+/// endpoint sends 1 flit/cycle spread evenly over all other endpoints.
+pub fn uniform_channel_loads(net: &Network) -> ChannelLoads {
+    let n = net.num_endpoints() as f64;
+    let conc: Vec<f64> = net.concentration.iter().map(|&c| c as f64).collect();
+    channel_loads(net, move |s, d| {
+        if s == d {
+            0.0
+        } else {
+            conc[s as usize] * conc[d as usize] / (n - 1.0)
+        }
+    })
+}
+
+/// The paper's §II-B2 channel-load formula for a Slim Fly:
+/// `l = (2Nr − k' − 2)·p² / k'` — the average number of *routes* through
+/// each of the `k'·Nr` directed channels under all-to-all minimal
+/// routing. The balanced condition is `p·Nr = l`; the rate-normalized
+/// per-channel load at unit injection is `l / (N − 1)`.
+pub fn slimfly_channel_load(nr: f64, k_prime: f64, p: f64) -> f64 {
+    (2.0 * nr - k_prime - 2.0) * p * p / k_prime
+}
+
+/// The balanced concentration solving `p·Nr = l·...` (§II-B2):
+/// `p ≈ k' / (2 − k'/Nr − 2/Nr)`, which the paper rounds to `⌈k'/2⌉`.
+pub fn balanced_concentration(nr: f64, k_prime: f64) -> f64 {
+    k_prime / (2.0 - k_prime / nr - 2.0 / nr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_topo::SlimFly;
+
+    #[test]
+    fn avg_hops_bounded_by_diameter() {
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let h = average_hops_uniform(&net);
+        assert!(h > 1.0 && h < 2.0, "SF avg hops must be in (1,2): {h}");
+    }
+
+    #[test]
+    fn avg_hops_complete_graph_topology() {
+        // FBF-2 with c=4 and p=1: every router pair ≤ 2 hops.
+        let f = sf_topo::flatbutterfly::FlattenedButterfly { c: 4, dims: 2, p: 1 };
+        let net = f.network();
+        let h = average_hops_uniform(&net);
+        let exact = sf_graph::metrics::average_distance(&net.graph).unwrap();
+        // p = 1: endpoint-weighted equals router average.
+        assert!((h - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_loads_symmetric_on_vertex_transitive() {
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let loads = uniform_channel_loads(&net);
+        // Hoffman–Singleton SF: all channels within a tight band.
+        let max = loads.max();
+        let mean = loads.mean();
+        assert!(max > 0.0);
+        assert!(
+            max / mean < 1.6,
+            "vertex-transitive SF must have near-uniform loads: max/mean = {}",
+            max / mean
+        );
+    }
+
+    #[test]
+    fn saturation_bound_near_one_for_balanced_sf() {
+        // Balanced SF is designed for full global bandwidth: the uniform
+        // saturation bound should be close to 1 flit/endpoint/cycle.
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let loads = uniform_channel_loads(&net);
+        let sat = loads.saturation_bound();
+        assert!(
+            sat > 0.7,
+            "balanced SF should sustain ≥ 70% uniform load analytically, got {sat}"
+        );
+    }
+
+    #[test]
+    fn oversubscription_lowers_saturation() {
+        let sf = SlimFly::new(5).unwrap();
+        let balanced = sf.network();
+        let over = sf.network_with_concentration(sf.balanced_concentration() + 2);
+        let sat_b = uniform_channel_loads(&balanced).saturation_bound();
+        let sat_o = uniform_channel_loads(&over).saturation_bound();
+        assert!(sat_o < sat_b, "oversubscribed {sat_o} < balanced {sat_b}");
+    }
+
+    #[test]
+    fn channel_load_formula_matches_flow_model() {
+        // §II-B2 formula (routes/channel) vs the explicit ECMP flow
+        // model: rate-normalized they must agree closely on SF(q=5).
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let loads = uniform_channel_loads(&net);
+        let routes = slimfly_channel_load(
+            net.num_routers() as f64,
+            sf.network_radix() as f64,
+            sf.balanced_concentration() as f64,
+        );
+        let n = net.num_endpoints() as f64;
+        let formula_rate = routes / (n - 1.0);
+        let mean = loads.mean();
+        assert!(
+            (mean - formula_rate).abs() / formula_rate < 0.05,
+            "formula {formula_rate} vs model mean {mean}"
+        );
+        // Balanced condition p·Nr ≈ l (within rounding of p).
+        let p_nr = sf.balanced_concentration() as f64 * net.num_routers() as f64;
+        assert!((p_nr - routes).abs() / routes < 0.10, "p·Nr={p_nr} l={routes}");
+    }
+
+    #[test]
+    fn balanced_concentration_rounds_to_half_radix() {
+        for q in [5u32, 17, 19, 25] {
+            let sf = SlimFly::new(q).unwrap();
+            let exact = balanced_concentration(sf.num_routers() as f64, sf.network_radix() as f64);
+            let rounded = sf.balanced_concentration() as f64;
+            assert!(
+                (exact - rounded).abs() <= 1.0,
+                "q={q}: exact {exact} vs ⌈k'/2⌉ = {rounded}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_demand_bound_matches_worst_case() {
+        // Funnel all traffic of two distance-2 routers through their
+        // middle: saturation bound reflects the bottleneck.
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = sf_routing::RoutingTables::new(&net.graph);
+        // find a distance-2 pair
+        let mut pair = None;
+        'outer: for u in 0..net.num_routers() as u32 {
+            for v in 0..net.num_routers() as u32 {
+                if tables.distance(u, v) == 2 {
+                    pair = Some((u, v));
+                    break 'outer;
+                }
+            }
+        }
+        let (u, v) = pair.unwrap();
+        let p = net.concentration[u as usize] as f64;
+        let loads = channel_loads(&net, |s, d| {
+            if s == u && d == v {
+                p // all p endpoint flows
+            } else {
+                0.0
+            }
+        });
+        // Unique middle (girth 5) ⇒ the middle link carries all p flows.
+        assert!((loads.max() - p).abs() < 1e-9);
+        assert!((loads.saturation_bound() - 1.0 / p).abs() < 1e-9);
+    }
+}

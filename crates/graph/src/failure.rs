@@ -1,0 +1,281 @@
+//! Monte-Carlo random link-failure experiments (paper §III-D).
+//!
+//! The paper studies three resiliency metrics, all under uniformly random
+//! cable (edge) removal in 5% increments:
+//!
+//! 1. **Disconnection** (§III-D1, Table III): the largest removal fraction
+//!    at which the network remains connected;
+//! 2. **Diameter increase** (§III-D2): tolerating a diameter increase of
+//!    up to +2 over the fault-free diameter;
+//! 3. **Average-path-length increase** (§III-D3): tolerating +1 hop on the
+//!    fault-free average distance.
+//!
+//! For each fraction we estimate the survival probability from repeated
+//! samples; the tolerated fraction is the largest one whose estimated
+//! survival probability is ≥ 1/2 (the paper reports "the maximum number of
+//! cables that can be removed before the network is disconnected", which we
+//! operationalize as the majority-survival threshold; sample counts are
+//! chosen so a 95% confidence interval on the survival probability has
+//! width ≤ `ci_width`, mirroring §III-D1).
+
+use crate::metrics;
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// The survivability property checked after link removal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Property {
+    /// The residual graph is connected.
+    Connected,
+    /// The residual graph is connected and its diameter is ≤ the bound.
+    DiameterAtMost(u32),
+    /// The residual graph is connected and its average shortest-path
+    /// length is ≤ the bound.
+    AvgPathAtMost(f64),
+}
+
+/// Tuning knobs for the Monte-Carlo threshold search.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureConfig {
+    /// Removal-fraction step (paper: 0.05).
+    pub step: f64,
+    /// Minimum samples per fraction.
+    pub min_samples: usize,
+    /// Maximum samples per fraction.
+    pub max_samples: usize,
+    /// Target 95% CI width on the survival probability (paper: narrow
+    /// enough for a CI of width 2 percentage points on the threshold; we
+    /// expose the per-fraction probability CI width directly).
+    pub ci_width: f64,
+    /// BFS source samples for diameter / average-path estimates on large
+    /// graphs (`usize::MAX` = exact all-pairs).
+    pub distance_sources: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            step: 0.05,
+            min_samples: 24,
+            max_samples: 96,
+            ci_width: 0.2,
+            distance_sources: 64,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Removes `count` uniformly random edges and reports whether `property`
+/// still holds. Deterministic in `seed`.
+pub fn survives_removal(g: &Graph, count: usize, property: Property, seed: u64) -> bool {
+    survives_removal_cfg(g, count, property, seed, usize::MAX)
+}
+
+fn survives_removal_cfg(
+    g: &Graph,
+    count: usize,
+    property: Property,
+    seed: u64,
+    distance_sources: usize,
+) -> bool {
+    let mut edges = g.edge_list();
+    let mut rng = StdRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+    let removed = &edges[..count.min(edges.len())];
+    let h = g.without_edges(removed);
+    match property {
+        Property::Connected => metrics::is_connected(&h),
+        Property::DiameterAtMost(bound) => {
+            if distance_sources == usize::MAX {
+                matches!(metrics::diameter(&h), Some(d) if d <= bound)
+            } else {
+                matches!(metrics::sampled_distance_stats(&h, distance_sources),
+                    Some((ecc, _)) if ecc <= bound)
+            }
+        }
+        Property::AvgPathAtMost(bound) => {
+            if distance_sources == usize::MAX {
+                matches!(metrics::average_distance(&h), Some(a) if a <= bound)
+            } else {
+                matches!(metrics::sampled_distance_stats(&h, distance_sources),
+                    Some((_, a)) if a <= bound)
+            }
+        }
+    }
+}
+
+/// Estimated survival probability (with adaptive sample count) for a fixed
+/// removal fraction. Returns `(p_hat, samples_used)`.
+pub fn survival_probability(
+    g: &Graph,
+    fraction: f64,
+    property: Property,
+    cfg: &FailureConfig,
+) -> (f64, usize) {
+    let m = g.num_edges();
+    let count = (fraction * m as f64).round() as usize;
+    let mut successes = 0usize;
+    let mut total = 0usize;
+    let mut batch_start = 0u64;
+    loop {
+        let batch = if total == 0 {
+            cfg.min_samples
+        } else {
+            (cfg.min_samples / 2).max(8)
+        };
+        let hits: usize = (0..batch as u64)
+            .into_par_iter()
+            .map(|i| {
+                let seed = cfg
+                    .seed
+                    .wrapping_add((batch_start + i).wrapping_mul(0x9E3779B97F4A7C15))
+                    .wrapping_add((fraction * 1e6) as u64);
+                survives_removal_cfg(g, count, property, seed, cfg.distance_sources) as usize
+            })
+            .sum();
+        successes += hits;
+        total += batch;
+        batch_start += batch as u64;
+        let p = successes as f64 / total as f64;
+        // Normal-approximation 95% CI width.
+        let width = 2.0 * 1.96 * (p * (1.0 - p) / total as f64).sqrt();
+        if width <= cfg.ci_width || total >= cfg.max_samples {
+            return (p, total);
+        }
+    }
+}
+
+/// Largest removal fraction (multiple of `cfg.step`) whose estimated
+/// survival probability is ≥ 1/2. Scans upward from `step` and stops at the
+/// first failing fraction (survival is monotone in expectation).
+pub fn max_tolerable_fraction(g: &Graph, property: Property, cfg: &FailureConfig) -> f64 {
+    let mut best = 0.0;
+    let mut f = cfg.step;
+    while f < 1.0 {
+        let (p, _) = survival_probability(g, f, property, cfg);
+        if p >= 0.5 {
+            best = f;
+        } else {
+            break;
+        }
+        f += cfg.step;
+    }
+    (best * 1e9).round() / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(n: usize) -> Graph {
+        let mut g = Graph::empty(n);
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn removing_zero_edges_always_survives() {
+        let g = cycle(10);
+        assert!(survives_removal(&g, 0, Property::Connected, 1));
+    }
+
+    #[test]
+    fn cycle_disconnects_with_two_removals() {
+        // A cycle always survives one removal. Removing two edges
+        // leaves two arcs and disconnects the graph unless the removed
+        // edges were adjacent (one arc empty) — so over many seeds we
+        // must observe at least one disconnection.
+        let g = cycle(8);
+        assert!(survives_removal(&g, 1, Property::Connected, 3));
+        // With many samples, some seeds disconnect, some (adjacent pair) don't.
+        let outcomes: Vec<bool> = (0..64)
+            .map(|s| survives_removal(&g, 2, Property::Connected, s))
+            .collect();
+        assert!(outcomes.iter().any(|&b| !b), "most 2-removals disconnect a cycle");
+    }
+
+    #[test]
+    fn complete_graph_is_very_resilient() {
+        let g = complete_graph(12);
+        let cfg = FailureConfig {
+            min_samples: 16,
+            max_samples: 32,
+            ..Default::default()
+        };
+        let f = max_tolerable_fraction(&g, Property::Connected, &cfg);
+        assert!(f >= 0.5, "K12 should survive ≥50% random link loss, got {f}");
+    }
+
+    #[test]
+    fn cycle_is_fragile() {
+        let g = cycle(64);
+        let cfg = FailureConfig {
+            min_samples: 16,
+            max_samples: 32,
+            ..Default::default()
+        };
+        let f = max_tolerable_fraction(&g, Property::Connected, &cfg);
+        assert!(f <= 0.05, "a ring disconnects almost immediately, got {f}");
+    }
+
+    #[test]
+    fn diameter_property_tighter_than_connectivity() {
+        let g = complete_graph(10);
+        // Diameter 1 fails as soon as any edge is removed.
+        assert!(!survives_removal(&g, 1, Property::DiameterAtMost(1), 5));
+        assert!(survives_removal(&g, 1, Property::DiameterAtMost(2), 5));
+        assert!(survives_removal(&g, 1, Property::Connected, 5));
+    }
+
+    #[test]
+    fn avg_path_property() {
+        let g = complete_graph(10);
+        assert!(survives_removal(&g, 0, Property::AvgPathAtMost(1.0), 7));
+        // Removing an edge pushes avg slightly above 1.
+        assert!(!survives_removal(&g, 1, Property::AvgPathAtMost(1.0), 7));
+        assert!(survives_removal(&g, 1, Property::AvgPathAtMost(2.0), 7));
+    }
+
+    #[test]
+    fn survival_probability_extremes() {
+        let g = complete_graph(8);
+        let cfg = FailureConfig {
+            min_samples: 8,
+            max_samples: 16,
+            ..Default::default()
+        };
+        let (p0, _) = survival_probability(&g, 0.0, Property::Connected, &cfg);
+        assert_eq!(p0, 1.0);
+        let (p1, _) = survival_probability(&g, 1.0, Property::Connected, &cfg);
+        assert_eq!(p1, 0.0, "removing all edges disconnects K8");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = cycle(20);
+        for s in 0..10 {
+            let a = survives_removal(&g, 3, Property::Connected, s);
+            let b = survives_removal(&g, 3, Property::Connected, s);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn unreachable_marker_is_max() {
+        assert_eq!(metrics::UNREACHABLE, u32::MAX);
+    }
+}

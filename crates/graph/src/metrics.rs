@@ -1,0 +1,276 @@
+//! Distance metrics: BFS, eccentricity, diameter, average path length.
+//!
+//! These back the paper's §III-A (network diameter), §III-B (average
+//! distance, Fig 1), and the resiliency analyses of §III-D. All-pairs
+//! sweeps parallelize over BFS sources with rayon.
+
+use crate::Graph;
+use rayon::prelude::*;
+
+/// Marker for "unreachable" in distance vectors.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances. Unreachable vertices get [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, source: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `source` (max finite BFS distance); `None` if the graph
+/// is disconnected as seen from `source` (some vertex unreachable).
+pub fn eccentricity(g: &Graph, source: u32) -> Option<u32> {
+    let dist = bfs_distances(g, source);
+    let mut max = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// True iff the graph is connected (vacuously true for n ≤ 1).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    let dist = bfs_distances(g, 0);
+    dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Number of connected components.
+pub fn connected_components(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut comp = vec![UNREACHABLE; n];
+    let mut count = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as u32 {
+        if comp[s as usize] != UNREACHABLE {
+            continue;
+        }
+        comp[s as usize] = count as u32;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == UNREACHABLE {
+                    comp[v as usize] = count as u32;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Exact diameter by all-pairs BFS (parallel). `None` if disconnected or
+/// the graph has < 2 vertices.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    (0..n as u32)
+        .into_par_iter()
+        .map(|s| eccentricity(g, s))
+        .try_reduce(|| 0, |a, b| Some(a.max(b)))
+}
+
+/// Exact average shortest-path distance over all ordered vertex pairs
+/// (parallel all-pairs BFS). `None` if disconnected or n < 2.
+pub fn average_distance(g: &Graph) -> Option<f64> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    let sum: Option<u64> = (0..n as u32)
+        .into_par_iter()
+        .map(|s| {
+            let dist = bfs_distances(g, s);
+            let mut acc = 0u64;
+            for &d in &dist {
+                if d == UNREACHABLE {
+                    return None;
+                }
+                acc += d as u64;
+            }
+            Some(acc)
+        })
+        .try_reduce(|| 0, |a, b| Some(a + b));
+    sum.map(|s| s as f64 / (n as f64 * (n as f64 - 1.0)))
+}
+
+/// Approximate diameter and average distance from a sample of BFS sources
+/// (deterministic stride sampling). For very large graphs where exact
+/// all-pairs BFS is wasteful. Returns `(max_ecc_seen, avg_distance)`,
+/// or `None` if a sampled source cannot reach the full graph.
+pub fn sampled_distance_stats(g: &Graph, samples: usize) -> Option<(u32, f64)> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    let samples = samples.clamp(1, n);
+    let stride = (n / samples).max(1);
+    let sources: Vec<u32> = (0..n).step_by(stride).map(|v| v as u32).collect();
+    let per_source: Option<Vec<(u32, u64)>> = sources
+        .par_iter()
+        .map(|&s| {
+            let dist = bfs_distances(g, s);
+            let mut max = 0;
+            let mut sum = 0u64;
+            for &d in &dist {
+                if d == UNREACHABLE {
+                    return None;
+                }
+                max = max.max(d);
+                sum += d as u64;
+            }
+            Some((max, sum))
+        })
+        .collect();
+    let per_source = per_source?;
+    let max = per_source.iter().map(|&(m, _)| m).max().unwrap();
+    let total: u64 = per_source.iter().map(|&(_, s)| s).sum();
+    let avg = total as f64 / (per_source.len() as f64 * (n as f64 - 1.0));
+    Some((max, avg))
+}
+
+/// Histogram of pairwise distances: `hist[d]` = number of ordered pairs at
+/// distance `d` (index 0 counts the n self-pairs). `None` if disconnected.
+pub fn distance_histogram(g: &Graph) -> Option<Vec<u64>> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let partials: Option<Vec<Vec<u64>>> = (0..n as u32)
+        .into_par_iter()
+        .map(|s| {
+            let dist = bfs_distances(g, s);
+            let mut h: Vec<u64> = Vec::new();
+            for &d in &dist {
+                if d == UNREACHABLE {
+                    return None;
+                }
+                let d = d as usize;
+                if h.len() <= d {
+                    h.resize(d + 1, 0);
+                }
+                h[d] += 1;
+            }
+            Some(h)
+        })
+        .collect();
+    let partials = partials?;
+    let maxlen = partials.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = vec![0u64; maxlen];
+    for h in partials {
+        for (d, c) in h.into_iter().enumerate() {
+            out[d] += c;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    fn complete_graph(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert!(!is_connected(&g));
+        assert_eq!(connected_components(&g), 2);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(average_distance(&g), None);
+    }
+
+    #[test]
+    fn diameter_known_graphs() {
+        assert_eq!(diameter(&path_graph(5)), Some(4));
+        assert_eq!(diameter(&complete_graph(6)), Some(1));
+        let cycle = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(diameter(&cycle), Some(3));
+    }
+
+    #[test]
+    fn average_distance_known() {
+        // K4: all pairs at distance 1.
+        assert_eq!(average_distance(&complete_graph(4)), Some(1.0));
+        // Path 0-1-2: distances (ordered): 1,1,1,1,2,2 → avg = 8/6
+        let p3 = path_graph(3);
+        let avg = average_distance(&p3).unwrap();
+        assert!((avg - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = path_graph(5);
+        assert_eq!(eccentricity(&g, 0), Some(4));
+        assert_eq!(eccentricity(&g, 2), Some(2));
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+        assert_eq!(diameter(&Graph::empty(1)), None);
+        assert_eq!(connected_components(&Graph::empty(3)), 3);
+    }
+
+    #[test]
+    fn histogram_consistency() {
+        let g = complete_graph(5);
+        let h = distance_histogram(&g).unwrap();
+        assert_eq!(h, vec![5, 20]); // 5 self-pairs, 20 ordered pairs at d=1
+        let total: u64 = h.iter().sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn sampled_matches_exact_on_small() {
+        let g = path_graph(9);
+        let (max_ecc, avg) = sampled_distance_stats(&g, 9).unwrap();
+        assert_eq!(max_ecc, diameter(&g).unwrap());
+        assert!((avg - average_distance(&g).unwrap()).abs() < 1e-12);
+    }
+}

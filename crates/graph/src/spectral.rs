@@ -1,0 +1,191 @@
+//! Spectral analysis: expander quality of a regular graph.
+//!
+//! The paper explains Slim Fly's counter-intuitive resiliency (§IX) by
+//! the expander property of MMS graphs. For a connected d-regular graph
+//! the adjacency spectrum is `d = λ₁ ≥ λ₂ ≥ … ≥ λ_n ≥ −d`; a small
+//! `max(|λ₂|, |λ_n|)/d` (the normalized second eigenvalue) certifies a
+//! good expander — random-like edge distribution, high conductance, and
+//! robustness to random link failures.
+//!
+//! We estimate λ₂ by power iteration on the adjacency operator with
+//! deflation of the all-ones eigenvector (exact for regular graphs).
+
+use crate::Graph;
+
+/// Result of the spectral-gap estimate for a d-regular graph.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralGap {
+    /// Vertex degree d (= λ₁ for connected regular graphs).
+    pub degree: f64,
+    /// Estimated second-largest *absolute* eigenvalue of the adjacency
+    /// matrix, `max(|λ₂|, |λ_n|)` (power iteration, all-ones deflation).
+    /// For bipartite graphs this is `d` itself (λ_n = −d).
+    pub lambda2: f64,
+}
+
+impl SpectralGap {
+    /// Normalized second eigenvalue `λ₂ / d` ∈ [0, 1]; smaller is a
+    /// better expander. Ramanujan graphs achieve ≈ `2√(d−1)/d`.
+    pub fn normalized(&self) -> f64 {
+        if self.degree == 0.0 {
+            0.0
+        } else {
+            self.lambda2 / self.degree
+        }
+    }
+
+    /// The Ramanujan bound `2√(d−1)` — the best possible λ₂ for an
+    /// infinite family of d-regular graphs (Alon–Boppana).
+    pub fn ramanujan_bound(&self) -> f64 {
+        2.0 * (self.degree - 1.0).max(0.0).sqrt()
+    }
+
+    /// True iff the estimate certifies a near-optimal expander
+    /// (λ₂ within `slack` × the Ramanujan bound).
+    pub fn is_near_ramanujan(&self, slack: f64) -> bool {
+        self.lambda2 <= slack * self.ramanujan_bound()
+    }
+}
+
+/// Estimates the second-largest absolute adjacency eigenvalue of a
+/// connected regular graph by deflated power iteration.
+///
+/// Panics if the graph is not regular (the deflation assumes the
+/// Perron vector is all-ones).
+pub fn spectral_gap(g: &Graph, iterations: usize, seed: u64) -> SpectralGap {
+    assert!(g.is_regular(), "spectral_gap requires a regular graph");
+    let n = g.num_vertices();
+    let d = g.max_degree() as f64;
+    if n == 0 || d == 0.0 {
+        return SpectralGap { degree: d, lambda2: 0.0 };
+    }
+
+    // Deterministic pseudo-random start vector, orthogonal to 1.
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed)
+                .rotate_left(17);
+            (h as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect();
+    deflate_mean(&mut x);
+    normalize(&mut x);
+
+    let mut lambda = 0.0f64;
+    let mut y = vec![0.0f64; n];
+    for _ in 0..iterations {
+        // y = A x
+        for (v, yv) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for &u in g.neighbors(v as u32) {
+                acc += x[u as usize];
+            }
+            *yv = acc;
+        }
+        deflate_mean(&mut y);
+        lambda = norm(&y);
+        if lambda == 0.0 {
+            break;
+        }
+        for (xv, yv) in x.iter_mut().zip(&y) {
+            *xv = yv / lambda;
+        }
+    }
+    SpectralGap { degree: d, lambda2: lambda }
+}
+
+fn deflate_mean(x: &mut [f64]) {
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let n = norm(x);
+    if n > 0.0 {
+        for v in x.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::empty(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn complete_graph_lambda2_is_one() {
+        // K_n spectrum: {n−1, −1, …, −1} → |λ₂| = 1.
+        let g = complete(12);
+        let s = spectral_gap(&g, 200, 1);
+        assert!((s.lambda2 - 1.0).abs() < 0.05, "λ₂ = {}", s.lambda2);
+        assert!(s.normalized() < 0.15);
+    }
+
+    #[test]
+    fn cycle_lambda2_close_to_degree() {
+        // C_n spectrum: 2cos(2πk/n) → λ₂ = 2cos(2π/n) ≈ 2 — a terrible
+        // expander.
+        let g = cycle(64);
+        let s = spectral_gap(&g, 400, 2);
+        let exact = 2.0 * (2.0 * std::f64::consts::PI / 64.0).cos();
+        assert!((s.lambda2 - exact).abs() < 0.05, "λ₂ = {} vs {exact}", s.lambda2);
+        assert!(s.normalized() > 0.95);
+    }
+
+    #[test]
+    fn hypercube_two_sided_gap_is_degree() {
+        // Q_d spectrum: {d − 2k}: bipartite, so λ_n = −d and the
+        // two-sided second eigenvalue is |−d| = d — hypercubes are NOT
+        // two-sided expanders (part of why their resiliency lags SF's,
+        // §IX).
+        let mut g = Graph::empty(64);
+        for v in 0..64u32 {
+            for b in 0..6 {
+                let u = v ^ (1 << b);
+                if v < u {
+                    g.add_edge(v, u);
+                }
+            }
+        }
+        let s = spectral_gap(&g, 400, 3);
+        assert!((s.lambda2 - 6.0).abs() < 0.1, "two-sided λ₂ = {}", s.lambda2);
+        assert!(s.normalized() > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "regular")]
+    fn irregular_graph_rejected() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        spectral_gap(&g, 10, 0);
+    }
+
+    #[test]
+    fn ramanujan_bound_formula() {
+        let s = SpectralGap { degree: 7.0, lambda2: 4.9 };
+        assert!((s.ramanujan_bound() - 2.0 * 6.0f64.sqrt()).abs() < 1e-12);
+        assert!(s.is_near_ramanujan(1.01));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the graph substrate: structural invariants
+//! over random graphs — BFS distance properties, partition balance,
+//! failure-injection consistency.
+
+use proptest::prelude::*;
+use sf_graph::{failure, metrics, partition, Graph};
+
+/// Strategy: a random simple graph with n in [2, 40] and random edges.
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..(n * 3)).prop_map(move |pairs| {
+            let edges: Vec<(u32, u32)> =
+                pairs.into_iter().filter(|&(u, v)| u != v).collect();
+            Graph::from_edges(n, &edges)
+        })
+    })
+}
+
+/// Strategy: a random *connected* graph (random tree + extra edges).
+fn random_connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u32..u32::MAX, n - 1),
+            prop::collection::vec((0..n as u32, 0..n as u32), 0..n),
+        )
+            .prop_map(move |(parents, extra)| {
+                let mut g = Graph::empty(n);
+                for (i, &r) in parents.iter().enumerate() {
+                    let v = (i + 1) as u32;
+                    let p = r % v; // parent among earlier vertices
+                    g.add_edge(v, p);
+                }
+                for (u, v) in extra {
+                    if u != v {
+                        g.add_edge(u, v);
+                    }
+                }
+                g
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn degree_sum_is_twice_edges(g in random_graph()) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(g in random_connected_graph()) {
+        // For every edge (u,v): |d(s,u) − d(s,v)| ≤ 1.
+        let d = metrics::bfs_distances(&g, 0);
+        for (u, v) in g.edge_list() {
+            let du = d[u as usize];
+            let dv = d[v as usize];
+            prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+        }
+    }
+
+    #[test]
+    fn bfs_symmetric_distance(g in random_connected_graph()) {
+        // d(0, v) computed from 0 equals d(v, 0) computed from v.
+        let from0 = metrics::bfs_distances(&g, 0);
+        for v in 0..g.num_vertices().min(5) as u32 {
+            let fromv = metrics::bfs_distances(&g, v);
+            prop_assert_eq!(from0[v as usize], fromv[0]);
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_average(g in random_connected_graph()) {
+        let diam = metrics::diameter(&g);
+        let avg = metrics::average_distance(&g);
+        if let (Some(d), Some(a)) = (diam, avg) {
+            prop_assert!(a <= d as f64 + 1e-12);
+            prop_assert!(a >= 1.0 - 1e-12, "every distinct pair is ≥ 1 apart");
+        }
+    }
+
+    #[test]
+    fn connected_components_partition_vertices(g in random_graph()) {
+        let c = metrics::connected_components(&g);
+        prop_assert!(c >= 1 || g.num_vertices() == 0);
+        prop_assert!(c <= g.num_vertices());
+        // Connected graph iff 1 component.
+        prop_assert_eq!(metrics::is_connected(&g), c <= 1);
+    }
+
+    #[test]
+    fn histogram_total_is_n_squared(g in random_connected_graph()) {
+        if let Some(h) = metrics::distance_histogram(&g) {
+            let total: u64 = h.iter().sum();
+            let n = g.num_vertices() as u64;
+            prop_assert_eq!(total, n * n);
+            prop_assert_eq!(h[0], n, "exactly the self-pairs at distance 0");
+            // 2·|E| ordered pairs at distance 1.
+            if h.len() > 1 {
+                prop_assert_eq!(h[1], 2 * g.num_edges() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_side_consistent_and_balanced(g in random_connected_graph()) {
+        let b = partition::bisect(&g, 4, 7);
+        prop_assert_eq!(b.cut, partition::cut_size(&g, &b.side));
+        let a = b.side.iter().filter(|&&s| !s).count();
+        let n = g.num_vertices();
+        // Unit weights, default tolerance = 1.
+        prop_assert!(a.abs_diff(n - a) <= 1, "sides {a} vs {}", n - a);
+    }
+
+    #[test]
+    fn bisection_cut_at_most_all_edges(g in random_connected_graph()) {
+        let b = partition::bisect(&g, 2, 3);
+        prop_assert!(b.cut <= g.num_edges());
+    }
+
+    #[test]
+    fn without_edges_monotone(g in random_connected_graph(), frac in 0.0f64..1.0) {
+        let edges = g.edge_list();
+        let k = (frac * edges.len() as f64) as usize;
+        let h = g.without_edges(&edges[..k]);
+        prop_assert_eq!(h.num_edges(), g.num_edges() - k);
+        // Removing edges can only grow component count.
+        prop_assert!(metrics::connected_components(&h) >= metrics::connected_components(&g));
+    }
+
+    #[test]
+    fn survival_monotone_extremes(g in random_connected_graph()) {
+        // Removing 0 edges always survives; removing all edges of a
+        // graph with ≥ 2 vertices always disconnects.
+        prop_assert!(failure::survives_removal(&g, 0, failure::Property::Connected, 1));
+        prop_assert!(!failure::survives_removal(
+            &g,
+            g.num_edges(),
+            failure::Property::Connected,
+            1
+        ));
+    }
+
+    #[test]
+    fn sampled_stats_bounded_by_exact(g in random_connected_graph()) {
+        if let (Some((ecc, avg)), Some(d), Some(a)) = (
+            metrics::sampled_distance_stats(&g, 4),
+            metrics::diameter(&g),
+            metrics::average_distance(&g),
+        ) {
+            prop_assert!(ecc <= d, "sampled eccentricity cannot exceed diameter");
+            // Sampled average is over a subset of sources; allow slack.
+            prop_assert!(avg <= d as f64 + 1e-12);
+            prop_assert!(avg > 0.0 && a > 0.0);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # sf-routing — routing algorithms and deadlock freedom
+//!
+//! Implements the routing layer of the Slim Fly paper (§IV):
+//!
+//! * [`tables::RoutingTables`] — all-pairs distance tables with
+//!   ECMP-aware minimal next-hop queries (the substrate for **MIN**
+//!   routing, §IV-A);
+//! * [`paths`] — random minimal paths, **Valiant** random paths (§IV-B,
+//!   with the optional 3-hop cap ablation), and **UGAL** candidate sets
+//!   (§IV-C; the actual UGAL-L/UGAL-G queue-based choice lives in
+//!   `sf-sim`, which owns the queues);
+//! * [`deadlock`] — virtual-channel assignment (hop-index scheme of
+//!   Gopal, §IV-D), channel-dependency-graph acyclicity checking, and a
+//!   DFSSSP-style layered VC assignment that reproduces the paper's
+//!   "SF needs ~3 VCs, random DLN needs 8–15 VLs" experiment.
+
+pub mod deadlock;
+pub mod diversity;
+pub mod paths;
+pub mod tables;
+
+pub use paths::{PathGen, RouteAlgo};
+pub use tables::RoutingTables;

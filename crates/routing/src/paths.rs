@@ -1,0 +1,249 @@
+//! Path generation: MIN, Valiant, and UGAL candidate sets (paper §IV).
+//!
+//! Paths are sequences of router ids, source router first, destination
+//! router last (a direct-neighbor path has length 2; `[r]` means source
+//! and destination share the router). The queue-sensitive UGAL *choice*
+//! is made in `sf-sim`, which owns router state; this module generates
+//! the candidate paths the choice is made over.
+
+use crate::tables::RoutingTables;
+use rand::Rng;
+use sf_graph::Graph;
+
+/// Routing algorithm selector, mirroring §IV and Fig 6 legends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteAlgo {
+    /// Minimal static routing (SF-MIN), random ECMP tie-break.
+    Min,
+    /// Valiant random routing (SF-VAL); `cap3` restricts random paths to
+    /// at most 3 hops (the ablation of §IV-B which the paper found to
+    /// *increase* latency).
+    Valiant { cap3: bool },
+    /// UGAL with local queue information (§IV-C2); `candidates` random
+    /// Valiant paths are compared against MIN (paper: 4 is best).
+    UgalL { candidates: usize },
+    /// UGAL with global queue information (§IV-C1).
+    UgalG { candidates: usize },
+    /// Per-hop adaptive ECMP over minimal paths — the stand-in for the
+    /// fat tree's Adaptive Nearest Common Ancestor protocol (ANCA): at
+    /// every hop the least-loaded minimal next hop is taken.
+    AdaptiveEcmp,
+}
+
+impl RouteAlgo {
+    /// Display name matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteAlgo::Min => "MIN",
+            RouteAlgo::Valiant { cap3: false } => "VAL",
+            RouteAlgo::Valiant { cap3: true } => "VAL-cap3",
+            RouteAlgo::UgalL { .. } => "UGAL-L",
+            RouteAlgo::UgalG { .. } => "UGAL-G",
+            RouteAlgo::AdaptiveEcmp => "ANCA",
+        }
+    }
+}
+
+/// Path generator bound to a topology's routing tables.
+pub struct PathGen<'a> {
+    graph: &'a Graph,
+    tables: &'a RoutingTables,
+}
+
+impl<'a> PathGen<'a> {
+    /// Creates a generator over a router graph and its tables.
+    pub fn new(graph: &'a Graph, tables: &'a RoutingTables) -> Self {
+        PathGen { graph, tables }
+    }
+
+    /// The distance tables in use.
+    pub fn tables(&self) -> &RoutingTables {
+        self.tables
+    }
+
+    /// A uniformly random minimal path from `s` to `d` (router ids,
+    /// inclusive). Random ECMP: each next hop drawn uniformly from the
+    /// minimal next-hop set.
+    pub fn min_path<R: Rng>(&self, s: u32, d: u32, rng: &mut R) -> Vec<u32> {
+        let mut path = vec![s];
+        let mut cur = s;
+        while cur != d {
+            let hops: Vec<u32> = self.tables.min_next_hops(self.graph, cur, d).collect();
+            debug_assert!(!hops.is_empty(), "no minimal next hop {cur}->{d}");
+            cur = hops[rng.gen_range(0..hops.len())];
+            path.push(cur);
+        }
+        path
+    }
+
+    /// A Valiant random path (§IV-B): minimal to a random intermediate
+    /// router `Rr ∉ {Rs, Rd}`, then minimal to `d`. With `cap3`, the
+    /// intermediate is redrawn until the total length is ≤ 3 hops
+    /// (paper's constrained variant).
+    pub fn valiant_path<R: Rng>(&self, s: u32, d: u32, cap3: bool, rng: &mut R) -> Vec<u32> {
+        let nr = self.tables.num_routers() as u32;
+        if s == d || nr <= 2 {
+            return self.min_path(s, d, rng);
+        }
+        for _attempt in 0..64 {
+            let mut r = rng.gen_range(0..nr);
+            while r == s || r == d {
+                r = rng.gen_range(0..nr);
+            }
+            let hops = self.tables.distance(s, r) as u32 + self.tables.distance(r, d) as u32;
+            if cap3 && hops > 3 {
+                continue;
+            }
+            let mut path = self.min_path(s, r, rng);
+            let tail = self.min_path(r, d, rng);
+            path.extend_from_slice(&tail[1..]);
+            return path;
+        }
+        // cap3 may be infeasible for far pairs; fall back to minimal.
+        self.min_path(s, d, rng)
+    }
+
+    /// UGAL candidate set: the MIN path plus `n` Valiant candidates
+    /// (§IV-C: the simulator picks by queue occupancy).
+    pub fn ugal_candidates<R: Rng>(
+        &self,
+        s: u32,
+        d: u32,
+        n: usize,
+        rng: &mut R,
+    ) -> (Vec<u32>, Vec<Vec<u32>>) {
+        let min = self.min_path(s, d, rng);
+        let cands = (0..n)
+            .map(|_| self.valiant_path(s, d, false, rng))
+            .collect();
+        (min, cands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    fn validate_path(g: &Graph, path: &[u32], s: u32, d: u32) {
+        assert_eq!(*path.first().unwrap(), s);
+        assert_eq!(*path.last().unwrap(), d);
+        for w in path.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "non-edge {}-{}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn min_path_is_shortest() {
+        let g = cycle(8);
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in 0..8u32 {
+            for d in 0..8u32 {
+                let p = gen.min_path(s, d, &mut rng);
+                validate_path(&g, &p, s, d);
+                assert_eq!(p.len() as u8 - 1, t.distance(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn min_path_uses_both_ecmp_branches() {
+        let g = cycle(6);
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen_cw = false;
+        let mut seen_ccw = false;
+        for _ in 0..64 {
+            let p = gen.min_path(0, 3, &mut rng);
+            if p[1] == 1 {
+                seen_cw = true;
+            }
+            if p[1] == 5 {
+                seen_ccw = true;
+            }
+        }
+        assert!(seen_cw && seen_ccw, "ECMP must randomize over both branches");
+    }
+
+    #[test]
+    fn valiant_path_valid_and_longer() {
+        let g = cycle(8);
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total_val = 0usize;
+        let mut total_min = 0usize;
+        for _ in 0..100 {
+            let p = gen.valiant_path(0, 2, false, &mut rng);
+            validate_path(&g, &p, 0, 2);
+            total_val += p.len() - 1;
+            total_min += t.distance(0, 2) as usize;
+        }
+        assert!(
+            total_val > total_min,
+            "Valiant takes detours on average: {total_val} vs {total_min}"
+        );
+    }
+
+    #[test]
+    fn valiant_cap3_respects_cap_when_feasible() {
+        // Complete graph: every Valiant path is exactly 2 hops — cap 3
+        // always feasible.
+        let mut g = Graph::empty(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                g.add_edge(u, v);
+            }
+        }
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let p = gen.valiant_path(0, 1, true, &mut rng);
+            assert!(p.len() - 1 <= 3);
+            validate_path(&g, &p, 0, 1);
+        }
+    }
+
+    #[test]
+    fn valiant_same_router_is_trivial() {
+        let g = cycle(5);
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(gen.valiant_path(2, 2, false, &mut rng), vec![2]);
+    }
+
+    #[test]
+    fn ugal_candidate_counts() {
+        let g = cycle(8);
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (min, cands) = gen.ugal_candidates(0, 4, 4, &mut rng);
+        assert_eq!(min.len() as u8 - 1, t.distance(0, 4));
+        assert_eq!(cands.len(), 4);
+        for c in &cands {
+            validate_path(&g, c, 0, 4);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RouteAlgo::Min.label(), "MIN");
+        assert_eq!(RouteAlgo::Valiant { cap3: false }.label(), "VAL");
+        assert_eq!(RouteAlgo::Valiant { cap3: true }.label(), "VAL-cap3");
+        assert_eq!(RouteAlgo::UgalL { candidates: 4 }.label(), "UGAL-L");
+        assert_eq!(RouteAlgo::UgalG { candidates: 4 }.label(), "UGAL-G");
+        assert_eq!(RouteAlgo::AdaptiveEcmp.label(), "ANCA");
+    }
+}

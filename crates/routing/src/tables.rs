@@ -1,0 +1,176 @@
+//! All-pairs distance tables and minimal next-hop queries.
+//!
+//! A [`RoutingTables`] instance stores the full router-to-router distance
+//! matrix as `u8` (network diameters here are ≤ ~30; 255 = unreachable).
+//! For the network sizes the paper simulates (Nr ≤ ~2500) this is a few
+//! megabytes and gives O(1) distance lookups and O(degree) next-hop
+//! queries — the substrate for MIN routing and for the worst-case
+//! traffic-pattern generator.
+
+use sf_graph::{metrics, Graph};
+
+/// Unreachable marker in the distance matrix.
+pub const UNREACHABLE: u8 = u8::MAX;
+
+/// Dense all-pairs distance matrix over routers.
+#[derive(Clone, Debug)]
+pub struct RoutingTables {
+    nr: usize,
+    dist: Vec<u8>,
+}
+
+impl RoutingTables {
+    /// Builds tables by parallel BFS from every router.
+    pub fn new(g: &Graph) -> Self {
+        use rayon::prelude::*;
+        let nr = g.num_vertices();
+        let rows: Vec<Vec<u8>> = (0..nr as u32)
+            .into_par_iter()
+            .map(|s| {
+                metrics::bfs_distances(g, s)
+                    .into_iter()
+                    .map(|d| if d == metrics::UNREACHABLE { UNREACHABLE } else { d.min(254) as u8 })
+                    .collect()
+            })
+            .collect();
+        let mut dist = Vec::with_capacity(nr * nr);
+        for row in rows {
+            dist.extend_from_slice(&row);
+        }
+        RoutingTables { nr, dist }
+    }
+
+    /// Number of routers covered.
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.nr
+    }
+
+    /// Hop distance from `u` to `v` ([`UNREACHABLE`] if disconnected).
+    #[inline]
+    pub fn distance(&self, u: u32, v: u32) -> u8 {
+        self.dist[u as usize * self.nr + v as usize]
+    }
+
+    /// All neighbors of `u` lying on some shortest path to `d`
+    /// (the ECMP next-hop set for MIN routing).
+    pub fn min_next_hops<'a>(&'a self, g: &'a Graph, u: u32, d: u32) -> impl Iterator<Item = u32> + 'a {
+        let need = self.distance(u, d);
+        g.neighbors(u)
+            .iter()
+            .copied()
+            .filter(move |&v| need != UNREACHABLE && self.distance(v, d) + 1 == need)
+    }
+
+    /// Number of distinct shortest paths from `u` to `d` (path
+    /// diversity; counts can overflow for huge graphs so saturate).
+    pub fn count_min_paths(&self, g: &Graph, u: u32, d: u32) -> u64 {
+        if u == d {
+            return 1;
+        }
+        let du = self.distance(u, d);
+        if du == UNREACHABLE {
+            return 0;
+        }
+        self.min_next_hops(g, u, d)
+            .map(|v| self.count_min_paths(g, v, d))
+            .fold(0u64, |a, b| a.saturating_add(b))
+    }
+
+    /// Maximum finite distance (the diameter if connected).
+    pub fn max_distance(&self) -> u8 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average inter-router distance over ordered pairs (u ≠ v).
+    pub fn average_distance(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for u in 0..self.nr {
+            for v in 0..self.nr {
+                if u == v {
+                    continue;
+                }
+                let d = self.dist[u * self.nr + v];
+                if d != UNREACHABLE {
+                    sum += d as u64;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = cycle(6);
+        let t = RoutingTables::new(&g);
+        assert_eq!(t.distance(0, 0), 0);
+        assert_eq!(t.distance(0, 1), 1);
+        assert_eq!(t.distance(0, 3), 3);
+        assert_eq!(t.distance(0, 5), 1);
+        assert_eq!(t.max_distance(), 3);
+    }
+
+    #[test]
+    fn next_hops_ecmp() {
+        let g = cycle(6);
+        let t = RoutingTables::new(&g);
+        // From 0 to the antipode 3: both directions are minimal.
+        let hops: Vec<u32> = t.min_next_hops(&g, 0, 3).collect();
+        assert_eq!(hops.len(), 2);
+        assert!(hops.contains(&1) && hops.contains(&5));
+        // From 0 to 1: single next hop.
+        let hops: Vec<u32> = t.min_next_hops(&g, 0, 1).collect();
+        assert_eq!(hops, vec![1]);
+    }
+
+    #[test]
+    fn path_counting() {
+        let g = cycle(6);
+        let t = RoutingTables::new(&g);
+        assert_eq!(t.count_min_paths(&g, 0, 3), 2);
+        assert_eq!(t.count_min_paths(&g, 0, 2), 1);
+        assert_eq!(t.count_min_paths(&g, 0, 0), 1);
+        // 4-cycle grid-like diversity: K4 minus an edge.
+        let h = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let th = RoutingTables::new(&h);
+        assert_eq!(th.count_min_paths(&h, 0, 3), 2);
+    }
+
+    #[test]
+    fn disconnected_marked_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let t = RoutingTables::new(&g);
+        assert_eq!(t.distance(0, 2), UNREACHABLE);
+        assert_eq!(t.count_min_paths(&g, 0, 2), 0);
+        assert_eq!(t.min_next_hops(&g, 0, 2).count(), 0);
+    }
+
+    #[test]
+    fn average_distance_matches_metrics() {
+        let g = cycle(8);
+        let t = RoutingTables::new(&g);
+        let exact = metrics::average_distance(&g).unwrap();
+        assert!((t.average_distance() - exact).abs() < 1e-12);
+    }
+}

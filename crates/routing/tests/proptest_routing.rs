@@ -1,0 +1,171 @@
+//! Property-based tests for routing: path validity, minimality, and
+//! deadlock-freedom invariants over random topologies and endpoints.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sf_routing::deadlock::{hop_index_is_deadlock_free, hop_index_vcs, ChannelDependencyGraph};
+use sf_routing::{PathGen, RoutingTables};
+use sf_topo::SlimFly;
+
+fn slimfly_graph(q: u32) -> sf_graph::Graph {
+    SlimFly::new(q).unwrap().router_graph()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn min_paths_are_valid_and_minimal(
+        q in prop::sample::select(&[5u32, 7, 8, 9][..]),
+        s_raw in 0u32..1000,
+        d_raw in 0u32..1000,
+        seed in 0u64..1000,
+    ) {
+        let g = slimfly_graph(q);
+        let n = g.num_vertices() as u32;
+        let (s, d) = (s_raw % n, d_raw % n);
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = gen.min_path(s, d, &mut rng);
+        prop_assert_eq!(p[0], s);
+        prop_assert_eq!(*p.last().unwrap(), d);
+        prop_assert_eq!(p.len() as u8 - 1, t.distance(s, d));
+        for w in p.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn valiant_paths_are_valid_walks(
+        q in prop::sample::select(&[5u32, 7][..]),
+        s_raw in 0u32..1000,
+        d_raw in 0u32..1000,
+        cap3 in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let g = slimfly_graph(q);
+        let n = g.num_vertices() as u32;
+        let (s, d) = (s_raw % n, d_raw % n);
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = gen.valiant_path(s, d, cap3, &mut rng);
+        prop_assert_eq!(p[0], s);
+        prop_assert_eq!(*p.last().unwrap(), d);
+        for w in p.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+        // Valiant on a diameter-2 network is at most 4 hops.
+        prop_assert!(p.len() <= 5, "path {:?}", p);
+        // Never shorter than the minimal distance.
+        prop_assert!(p.len() as u8 - 1 >= t.distance(s, d));
+    }
+
+    #[test]
+    fn ugal_candidates_contain_min(
+        q in prop::sample::select(&[5u32, 7][..]),
+        s_raw in 0u32..1000,
+        d_raw in 0u32..1000,
+        n_cands in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let g = slimfly_graph(q);
+        let n = g.num_vertices() as u32;
+        let (s, d) = (s_raw % n, d_raw % n);
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (min, cands) = gen.ugal_candidates(s, d, n_cands, &mut rng);
+        prop_assert_eq!(cands.len(), n_cands);
+        prop_assert_eq!(min.len() as u8 - 1, t.distance(s, d));
+        for c in &cands {
+            prop_assert!(c.len() >= min.len());
+        }
+    }
+
+    #[test]
+    fn hop_index_always_deadlock_free(
+        q in prop::sample::select(&[5u32, 7][..]),
+        seeds in prop::collection::vec(0u64..500, 1..20),
+    ) {
+        // Any mixture of random minimal + Valiant paths is deadlock-free
+        // under the hop-index VC assignment.
+        let g = slimfly_graph(q);
+        let n = g.num_vertices() as u32;
+        let t = RoutingTables::new(&g);
+        let gen = PathGen::new(&g, &t);
+        let mut paths = Vec::new();
+        for seed in seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = (seed % n as u64) as u32;
+            let d = ((seed * 31 + 7) % n as u64) as u32;
+            paths.push(gen.min_path(s, d, &mut rng));
+            paths.push(gen.valiant_path(s, d, false, &mut rng));
+        }
+        prop_assert!(hop_index_is_deadlock_free(&paths));
+    }
+
+    #[test]
+    fn single_vc_detects_ring_cycles(len in 3u32..12) {
+        // Paths chasing each other around a ring on one VC must be
+        // reported cyclic; hop-index must clear it.
+        let paths: Vec<Vec<u32>> = (0..len)
+            .map(|i| vec![i, (i + 1) % len, (i + 2) % len])
+            .collect();
+        let mut cdg = ChannelDependencyGraph::new();
+        for p in &paths {
+            cdg.add_path(p, &[0, 0]);
+        }
+        prop_assert!(!cdg.is_acyclic());
+        prop_assert!(hop_index_is_deadlock_free(&paths));
+    }
+
+    #[test]
+    fn try_add_path_rollback_preserves_acyclicity(len in 3u32..10) {
+        // After a rejected insertion the CDG stays acyclic and accepts
+        // non-conflicting paths again.
+        let mut cdg = ChannelDependencyGraph::new();
+        let ring: Vec<Vec<u32>> = (0..len)
+            .map(|i| vec![i, (i + 1) % len, (i + 2) % len])
+            .collect();
+        let mut rejected = 0;
+        for p in &ring {
+            if !cdg.try_add_path_acyclic(p, 0) {
+                rejected += 1;
+            }
+        }
+        prop_assert!(rejected >= 1, "the full ring cannot fit one layer");
+        prop_assert!(cdg.is_acyclic());
+        // A fresh disjoint path (vertex ids beyond the ring) must insert.
+        let far = vec![100, 101, 102];
+        prop_assert!(cdg.try_add_path_acyclic(&far, 0));
+        prop_assert!(cdg.is_acyclic());
+    }
+
+    #[test]
+    fn distance_matrix_triangle_inequality(
+        q in prop::sample::select(&[5u32, 7][..]),
+        a_raw in 0u32..1000,
+        b_raw in 0u32..1000,
+        c_raw in 0u32..1000,
+    ) {
+        let g = slimfly_graph(q);
+        let n = g.num_vertices() as u32;
+        let (a, b, c) = (a_raw % n, b_raw % n, c_raw % n);
+        let t = RoutingTables::new(&g);
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert_eq!(t.distance(a, a), 0);
+    }
+
+    #[test]
+    fn hop_index_vcs_strictly_increase(path_len in 2usize..8) {
+        let path: Vec<u32> = (0..path_len as u32).collect();
+        let vcs = hop_index_vcs(&path);
+        for w in vcs.windows(2) {
+            prop_assert!(w[1] == w[0] + 1);
+        }
+    }
+}

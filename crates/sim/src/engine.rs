@@ -1,0 +1,875 @@
+//! The cycle-driven simulation engine.
+//!
+//! One [`Simulator`] instance owns the full router state for a network ×
+//! routing-algorithm × traffic-pattern configuration at one offered load.
+//! [`LoadSweep`] runs many loads in parallel (rayon) to produce the
+//! latency-vs-load curves of Fig 6 / Fig 8.
+
+use crate::stats::LatencyStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sf_routing::{PathGen, RouteAlgo, RoutingTables};
+use sf_topo::Network;
+use sf_traffic::TrafficPattern;
+use std::collections::VecDeque;
+
+/// Router micro-architecture and measurement parameters (§V defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Virtual channels per port. The paper quotes 3; its §IV-D scheme
+    /// needs 4 for 4-hop adaptive paths, so we default to 4 (see
+    /// DESIGN.md). Paths longer than `num_vcs` hops clamp to the last
+    /// VC, weakening the deadlock guarantee — raise this (e.g. to 6 for
+    /// Valiant on diameter-3 topologies) when routing non-minimally on
+    /// deeper networks.
+    pub num_vcs: usize,
+    /// Total flit buffering per port, split evenly across VCs (paper: 64;
+    /// swept in Fig 8a).
+    pub buf_per_port: usize,
+    /// Channel traversal latency in cycles (paper: 1).
+    pub channel_latency: u32,
+    /// Lumped per-hop router pipeline delay: switch allocation + VC
+    /// allocation + crossbar, 1 cycle each (paper: 3 × 1).
+    pub router_delay: u32,
+    /// Credit processing delay (paper: 2).
+    pub credit_delay: u32,
+    /// Internal speedup: flits a single output may accept from the
+    /// crossbar per cycle (paper: 2).
+    pub output_speedup: usize,
+    /// Output staging queue depth (absorbs the speedup burst).
+    pub output_queue_cap: usize,
+    /// Number of random Valiant candidates for UGAL (paper: 4 best).
+    pub ugal_candidates: usize,
+    /// Restrict Valiant paths to ≤ 3 hops (§IV-B ablation).
+    pub val_cap3: bool,
+    /// Warm-up cycles before measurement.
+    pub warmup: u32,
+    /// Measurement window in cycles.
+    pub measure: u32,
+    /// Extra drain cycles allowed after the window.
+    pub drain: u32,
+    /// RNG seed (simulations are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_vcs: 4,
+            buf_per_port: 64,
+            channel_latency: 1,
+            router_delay: 3,
+            credit_delay: 2,
+            output_speedup: 2,
+            output_queue_cap: 4,
+            ugal_candidates: 4,
+            val_cap3: false,
+            warmup: 2_000,
+            measure: 4_000,
+            drain: 4_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Offered load (flits/endpoint/cycle).
+    pub offered_load: f64,
+    /// Mean end-to-end packet latency (cycles), over sample packets
+    /// (generated inside the measurement window). NaN if none ejected.
+    pub avg_latency: f64,
+    /// Approximate 99th percentile latency.
+    pub p99_latency: f64,
+    /// Accepted throughput: flits ejected per active endpoint per cycle
+    /// during the measurement window.
+    pub accepted: f64,
+    /// Total packets ejected over the whole run.
+    pub ejected: u64,
+    /// True when the network could not drain the sample packets —
+    /// operating past saturation.
+    pub saturated: bool,
+    /// Mean hop count of ejected sample packets.
+    pub avg_hops: f64,
+    /// Maximum channel utilization over the measurement window
+    /// (flits sent / cycles; 1.0 = a fully busy channel).
+    pub max_link_util: f64,
+    /// Mean channel utilization over the measurement window.
+    pub mean_link_util: f64,
+}
+
+#[derive(Clone, Copy)]
+struct Packet {
+    dst_ep: u32,
+    gen_time: u32,
+    /// Router path for source-routed algorithms; for per-hop adaptive
+    /// routing `path_len == 0` and `path[0]` holds the destination
+    /// router.
+    path: [u32; 10],
+    path_len: u8,
+    /// Index of the router the packet currently occupies (or is flying
+    /// toward) within `path`; doubles as the hop counter for adaptive.
+    hop: u8,
+    /// Base virtual channel: hop `i` travels on VC `vc_base + i`.
+    /// Strictly increasing VCs along a path keep the channel dependency
+    /// graph acyclic (the generalized Gopal scheme of §IV-D); bases are
+    /// spread at injection to avoid VC-level head-of-line blocking.
+    vc_base: u8,
+}
+
+struct OutLink {
+    to: u32,
+    /// Input-port index at the receiving router.
+    to_port: u32,
+    /// Credits per VC (available downstream buffer slots).
+    credits: Vec<u32>,
+    staging: VecDeque<(Packet, u8)>,
+    inflight: VecDeque<(u32, Packet, u8)>,
+    credit_inflight: VecDeque<(u32, u8)>,
+}
+
+/// A single simulation instance.
+pub struct Simulator<'a> {
+    net: &'a Network,
+    tables: &'a RoutingTables,
+    algo: RouteAlgo,
+    pattern: &'a TrafficPattern,
+    cfg: SimConfig,
+    load: f64,
+
+    vc_cap: usize,
+    /// in_buf[flat_port][vc]
+    in_buf: Vec<Vec<VecDeque<Packet>>>,
+    /// First flat input-port index per router; network ports first,
+    /// then injection ports.
+    port_base: Vec<u32>,
+    out: Vec<Vec<OutLink>>,
+    rr_cursor: Vec<u32>,
+
+    src_q: Vec<VecDeque<(u32, u32)>>, // per endpoint: (gen_time, dst)
+    ep_router: Vec<u32>,
+
+    rng: StdRng,
+    now: u32,
+
+    stats: LatencyStats,
+    /// Flits sent per (router, out-link), counted during the
+    /// measurement window — used for channel-utilization reporting.
+    link_flits: Vec<Vec<u64>>,
+    hops_sum: u64,
+    sample_generated: u64,
+    sample_ejected: u64,
+    window_ejected: u64,
+    total_ejected: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator. `tables` must be built over `net.graph`.
+    pub fn new(
+        net: &'a Network,
+        tables: &'a RoutingTables,
+        algo: RouteAlgo,
+        pattern: &'a TrafficPattern,
+        load: f64,
+        cfg: SimConfig,
+    ) -> Self {
+        assert_eq!(tables.num_routers(), net.num_routers());
+        assert_eq!(pattern.num_endpoints() as usize, net.num_endpoints());
+        assert!((0.0..=1.0).contains(&load));
+        let nr = net.num_routers();
+        let vc_cap = (cfg.buf_per_port / cfg.num_vcs).max(1);
+
+        let mut port_base = Vec::with_capacity(nr + 1);
+        let mut acc = 0u32;
+        for r in 0..nr as u32 {
+            port_base.push(acc);
+            acc += (net.graph.degree(r) + net.concentration[r as usize] as usize) as u32;
+        }
+        port_base.push(acc);
+
+        let in_buf = (0..acc)
+            .map(|_| (0..cfg.num_vcs).map(|_| VecDeque::new()).collect())
+            .collect();
+
+        let mut out: Vec<Vec<OutLink>> = Vec::with_capacity(nr);
+        for r in 0..nr as u32 {
+            let links = net
+                .graph
+                .neighbors(r)
+                .iter()
+                .map(|&to| {
+                    let to_port = net.graph.neighbors(to).binary_search(&r).unwrap() as u32;
+                    OutLink {
+                        to,
+                        to_port,
+                        credits: vec![vc_cap as u32; cfg.num_vcs],
+                        staging: VecDeque::new(),
+                        inflight: VecDeque::new(),
+                        credit_inflight: VecDeque::new(),
+                    }
+                })
+                .collect();
+            out.push(links);
+        }
+
+        let ep_router = (0..net.num_endpoints() as u32)
+            .map(|e| net.endpoint_router(e))
+            .collect();
+
+        Simulator {
+            net,
+            tables,
+            algo,
+            pattern,
+            cfg,
+            load,
+            vc_cap,
+            in_buf,
+            port_base,
+            out,
+            rr_cursor: vec![0; nr],
+            src_q: vec![VecDeque::new(); net.num_endpoints()],
+            ep_router,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            now: 0,
+            stats: LatencyStats::new(),
+            link_flits: (0..nr).map(|r| vec![0u64; net.graph.degree(r as u32)]).collect(),
+            hops_sum: 0,
+            sample_generated: 0,
+            sample_ejected: 0,
+            window_ejected: 0,
+            total_ejected: 0,
+        }
+    }
+
+    #[inline]
+    fn flat_port(&self, r: u32, port: u32) -> usize {
+        (self.port_base[r as usize] + port) as usize
+    }
+
+    /// Occupancy metric of an output link: staged flits + downstream
+    /// buffer slots in use (the "output queue length" UGAL inspects).
+    fn out_occupancy(&self, r: u32, j: usize) -> u32 {
+        let l = &self.out[r as usize][j];
+        let used: u32 = l
+            .credits
+            .iter()
+            .map(|&c| self.vc_cap as u32 - c)
+            .sum();
+        l.staging.len() as u32 + used
+    }
+
+    fn out_index(&self, r: u32, to: u32) -> usize {
+        self.net
+            .graph
+            .neighbors(r)
+            .binary_search(&to)
+            .expect("next hop must be a neighbor")
+    }
+
+    /// Chooses a path at injection time per the routing algorithm.
+    fn choose_path(&mut self, src_r: u32, dst_r: u32) -> ([u32; 10], u8) {
+        let gen = PathGen::new(&self.net.graph, self.tables);
+        let to_array = |v: &[u32]| {
+            assert!(v.len() <= 10, "path longer than the Packet array: {v:?}");
+            let mut a = [0u32; 10];
+            a[..v.len()].copy_from_slice(v);
+            (a, v.len() as u8)
+        };
+        match self.algo {
+            RouteAlgo::Min => {
+                let p = gen.min_path(src_r, dst_r, &mut self.rng);
+                to_array(&p)
+            }
+            RouteAlgo::Valiant { cap3 } => {
+                let p = gen.valiant_path(src_r, dst_r, cap3, &mut self.rng);
+                to_array(&p)
+            }
+            RouteAlgo::UgalL { candidates } => {
+                let n = if candidates == 0 {
+                    self.cfg.ugal_candidates
+                } else {
+                    candidates
+                };
+                let (min, cands) = gen.ugal_candidates(src_r, dst_r, n, &mut self.rng);
+                let score = |p: &[u32]| -> u64 {
+                    if p.len() < 2 {
+                        return 0;
+                    }
+                    let j = self.out_index(src_r, p[1]);
+                    (p.len() as u64 - 1) * (self.out_occupancy(src_r, j) as u64 + 1)
+                };
+                let mut best = min.clone();
+                let mut best_score = score(&min);
+                for c in cands {
+                    let s = score(&c);
+                    if s < best_score {
+                        best_score = s;
+                        best = c;
+                    }
+                }
+                to_array(&best)
+            }
+            RouteAlgo::UgalG { candidates } => {
+                let n = if candidates == 0 {
+                    self.cfg.ugal_candidates
+                } else {
+                    candidates
+                };
+                let (min, cands) = gen.ugal_candidates(src_r, dst_r, n, &mut self.rng);
+                let score = |p: &[u32]| -> u64 {
+                    let mut s = 0u64;
+                    for w in p.windows(2) {
+                        let j = self.out_index(w[0], w[1]);
+                        s += self.out_occupancy(w[0], j) as u64;
+                    }
+                    s
+                };
+                let mut best = min.clone();
+                let mut best_score = score(&min);
+                for c in cands {
+                    let s = score(&c);
+                    if s < best_score || (s == best_score && c.len() < best.len()) {
+                        best_score = s;
+                        best = c;
+                    }
+                }
+                to_array(&best)
+            }
+            RouteAlgo::AdaptiveEcmp => {
+                // Per-hop routing: packet only carries the destination.
+                let mut a = [0u32; 10];
+                a[0] = dst_r;
+                (a, 0)
+            }
+        }
+    }
+
+    /// Destination router of a packet.
+    #[inline]
+    fn dst_router(&self, p: &Packet) -> u32 {
+        if p.path_len == 0 {
+            p.path[0]
+        } else {
+            p.path[p.path_len as usize - 1]
+        }
+    }
+
+    /// Whether the packet terminates at router `r`.
+    #[inline]
+    fn terminates_here(&self, p: &Packet, r: u32) -> bool {
+        self.dst_router(p) == r
+    }
+
+    /// Next-hop router for a packet sitting at `r` (adaptive algorithms
+    /// pick the least-occupied minimal next hop).
+    fn next_hop(&mut self, p: &Packet, r: u32) -> u32 {
+        if p.path_len > 0 {
+            p.path[p.hop as usize + 1]
+        } else {
+            let dst = p.path[0];
+            let mut best: Option<(u32, u32)> = None; // (occupancy, router)
+            let hops: Vec<u32> = self.tables.min_next_hops(&self.net.graph, r, dst).collect();
+            for v in hops {
+                let j = self.out_index(r, v);
+                let occ = self.out_occupancy(r, j);
+                if best.is_none_or(|(bo, _)| occ < bo) {
+                    best = Some((occ, v));
+                }
+            }
+            best.expect("connected network").1
+        }
+    }
+
+    fn step(&mut self) {
+        let nr = self.net.num_routers() as u32;
+        let now = self.now;
+
+        // 1. Arrivals: flying flits reach downstream input buffers;
+        //    credits mature.
+        for r in 0..nr {
+            for j in 0..self.out[r as usize].len() {
+                loop {
+                    let l = &mut self.out[r as usize][j];
+                    match l.inflight.front() {
+                        Some(&(t, pkt, vc)) if t <= now => {
+                            l.inflight.pop_front();
+                            let to = l.to;
+                            let to_port = l.to_port;
+                            let fp = self.flat_port(to, to_port);
+                            self.in_buf[fp][vc as usize].push_back(pkt);
+                        }
+                        _ => break,
+                    }
+                }
+                let l = &mut self.out[r as usize][j];
+                while let Some(&(t, vc)) = l.credit_inflight.front() {
+                    if t > now {
+                        break;
+                    }
+                    l.credit_inflight.pop_front();
+                    l.credits[vc as usize] += 1;
+                }
+            }
+        }
+
+        // 2. Traffic generation (Bernoulli per active endpoint).
+        if self.load > 0.0 {
+            for e in 0..self.net.num_endpoints() as u32 {
+                if !self.pattern.is_active(e) {
+                    continue;
+                }
+                if self.rng.gen_bool(self.load) {
+                    if let Some(d) = self.pattern.dest(e, &mut self.rng) {
+                        if now >= self.cfg.warmup && now < self.cfg.warmup + self.cfg.measure {
+                            self.sample_generated += 1;
+                        }
+                        self.src_q[e as usize].push_back((now, d));
+                    }
+                }
+            }
+        }
+
+        // 3. Injection: head-of-queue packets enter their router's
+        //    injection port (path chosen now, seeing current queues).
+        for e in 0..self.net.num_endpoints() as u32 {
+            if self.src_q[e as usize].is_empty() {
+                continue;
+            }
+            let r = self.ep_router[e as usize];
+            let inj_port = self.net.graph.degree(r) as u32
+                + (e - self.net.endpoints_of_router(r).start);
+            let fp = self.flat_port(r, inj_port);
+            if self.in_buf[fp][0].len() >= self.vc_cap {
+                continue;
+            }
+            let (gen_time, dst_ep) = self.src_q[e as usize].pop_front().unwrap();
+            let dst_r = self.ep_router[dst_ep as usize];
+            let (path, path_len) = self.choose_path(r, dst_r);
+            // Spread packets over VC classes: an h-hop path may start at
+            // any base with base + h ≤ num_vcs (adaptive paths reserve
+            // the full diameter-bound budget).
+            let hops = if path_len == 0 {
+                self.tables.distance(r, dst_r).min(4) as usize
+            } else {
+                path_len as usize - 1
+            };
+            let slack = self.cfg.num_vcs.saturating_sub(hops.max(1));
+            let vc_base = if slack == 0 {
+                0
+            } else {
+                self.rng.gen_range(0..=slack.min(self.cfg.num_vcs - 1)) as u8
+            };
+            self.in_buf[fp][0].push_back(Packet {
+                dst_ep,
+                gen_time,
+                path,
+                path_len,
+                hop: 0,
+                vc_base,
+            });
+        }
+
+        // 4. Ejection: one flit per endpoint per cycle.
+        for r in 0..nr {
+            let base = self.port_base[r as usize];
+            let nports = self.port_base[r as usize + 1] - base;
+            let net_deg = self.net.graph.degree(r) as u32;
+            let mut ejected_ep: Vec<u32> = Vec::new();
+            for port in 0..nports {
+                for vc in 0..self.cfg.num_vcs {
+                    let fp = (base + port) as usize;
+                    let eject = match self.in_buf[fp][vc].front() {
+                        Some(p) if self.terminates_here(p, r) && !ejected_ep.contains(&p.dst_ep) => {
+                            true
+                        }
+                        _ => false,
+                    };
+                    if !eject {
+                        continue;
+                    }
+                    let p = self.in_buf[fp][vc].pop_front().unwrap();
+                    ejected_ep.push(p.dst_ep);
+                    // Return a credit upstream for network ports.
+                    if port < net_deg {
+                        let up = self.net.graph.neighbors(r)[port as usize];
+                        let uj = self.out_index(up, r);
+                        self.out[up as usize][uj]
+                            .credit_inflight
+                            .push_back((now + self.cfg.credit_delay, vc as u8));
+                    }
+                    self.total_ejected += 1;
+                    if now >= self.cfg.warmup && now < self.cfg.warmup + self.cfg.measure {
+                        self.window_ejected += 1;
+                    }
+                    if p.gen_time >= self.cfg.warmup
+                        && p.gen_time < self.cfg.warmup + self.cfg.measure
+                    {
+                        self.sample_ejected += 1;
+                        self.stats.record(now.saturating_sub(p.gen_time));
+                        self.hops_sum += p.hop as u64;
+                    }
+                }
+            }
+        }
+
+        // 5. Switch allocation: round-robin over input VCs; each input
+        //    grants ≤ 1 flit, each output accepts ≤ `output_speedup`.
+        for r in 0..nr {
+            let base = self.port_base[r as usize];
+            let nports = (self.port_base[r as usize + 1] - base) as usize;
+            let nvcs = self.cfg.num_vcs;
+            let total = nports * nvcs;
+            let start = self.rr_cursor[r as usize] as usize % total.max(1);
+            let mut out_grants = vec![0usize; self.out[r as usize].len()];
+            // Internal speedup: the crossbar runs `output_speedup`
+            // allocation iterations per cycle; an input may win once per
+            // iteration (and sees its new queue head in the next one).
+            let mut in_grants = vec![0usize; nports];
+            let net_deg = self.net.graph.degree(r) as u32;
+
+            for iter in 0..self.cfg.output_speedup {
+            for step in 0..total {
+                let idx = (start + step) % total;
+                let port = idx / nvcs;
+                let vc = idx % nvcs;
+                if in_grants[port] > iter {
+                    continue;
+                }
+                let fp = (base as usize) + port;
+                let head = match self.in_buf[fp][vc].front() {
+                    Some(p) => *p,
+                    None => continue,
+                };
+                if self.terminates_here(&head, r) {
+                    continue; // handled by ejection
+                }
+                let nxt = self.next_hop(&head, r);
+                let j = self.out_index(r, nxt);
+                if out_grants[j] >= self.cfg.output_speedup {
+                    continue;
+                }
+                let next_vc =
+                    (head.vc_base as usize + head.hop as usize).min(self.cfg.num_vcs - 1);
+                {
+                    let l = &self.out[r as usize][j];
+                    if l.staging.len() >= self.cfg.output_queue_cap
+                        || l.credits[next_vc] == 0
+                    {
+                        continue;
+                    }
+                }
+                // Grant.
+                let mut pkt = self.in_buf[fp][vc].pop_front().unwrap();
+                if pkt.path_len == 0 {
+                    // Adaptive: record chosen hop implicitly by counter.
+                    pkt.hop = pkt.hop.saturating_add(1);
+                } else {
+                    pkt.hop += 1;
+                }
+                {
+                    let l = &mut self.out[r as usize][j];
+                    l.credits[next_vc] -= 1;
+                    l.staging.push_back((pkt, next_vc as u8));
+                }
+                out_grants[j] += 1;
+                in_grants[port] = iter + 1;
+                // Credit to upstream for the freed input slot.
+                if (port as u32) < net_deg {
+                    let up = self.net.graph.neighbors(r)[port];
+                    let uj = self.out_index(up, r);
+                    self.out[up as usize][uj]
+                        .credit_inflight
+                        .push_back((now + self.cfg.credit_delay, vc as u8));
+                }
+            }
+            }
+            self.rr_cursor[r as usize] = self.rr_cursor[r as usize].wrapping_add(1);
+        }
+
+        // 6. Channel transmission: one flit per link per cycle leaves
+        //    staging; arrival after router pipeline + wire delay.
+        let delay = self.cfg.router_delay + self.cfg.channel_latency;
+        let in_window = now >= self.cfg.warmup && now < self.cfg.warmup + self.cfg.measure;
+        for r in 0..nr {
+            for (j, l) in self.out[r as usize].iter_mut().enumerate() {
+                if let Some((pkt, vc)) = l.staging.pop_front() {
+                    l.inflight.push_back((now + delay, pkt, vc));
+                    if in_window {
+                        self.link_flits[r as usize][j] += 1;
+                    }
+                }
+            }
+        }
+
+        self.now += 1;
+    }
+
+    /// Runs the configured warm-up + measurement (+ drain) phases and
+    /// returns aggregate results.
+    pub fn run(mut self) -> SimResult {
+        let end_measure = self.cfg.warmup + self.cfg.measure;
+        let horizon = end_measure + self.cfg.drain;
+        while self.now < horizon {
+            self.step();
+            if self.now >= end_measure && self.sample_ejected >= self.sample_generated {
+                break;
+            }
+        }
+        let active = self.pattern.num_active().max(1) as f64;
+        let drained = self.sample_ejected >= self.sample_generated;
+        let mcycles = self.cfg.measure.max(1) as f64;
+        let mut max_util = 0.0f64;
+        let mut sum_util = 0.0f64;
+        let mut nlinks = 0usize;
+        for per_router in &self.link_flits {
+            for &c in per_router {
+                let u = c as f64 / mcycles;
+                max_util = max_util.max(u);
+                sum_util += u;
+                nlinks += 1;
+            }
+        }
+        SimResult {
+            offered_load: self.load,
+            avg_latency: self.stats.mean(),
+            p99_latency: self.stats.quantile(0.99).map(|v| v as f64).unwrap_or(f64::NAN),
+            accepted: self.window_ejected as f64 / (active * self.cfg.measure as f64),
+            ejected: self.total_ejected,
+            saturated: !drained,
+            avg_hops: if self.sample_ejected == 0 {
+                f64::NAN
+            } else {
+                self.hops_sum as f64 / self.sample_ejected as f64
+            },
+            max_link_util: max_util,
+            mean_link_util: if nlinks == 0 { 0.0 } else { sum_util / nlinks as f64 },
+        }
+    }
+}
+
+/// Convenience driver: sweep offered loads in parallel.
+pub struct LoadSweep;
+
+impl LoadSweep {
+    /// Runs `loads` simulations in parallel and returns results in input
+    /// order.
+    pub fn run(
+        net: &Network,
+        tables: &RoutingTables,
+        algo: RouteAlgo,
+        pattern: &TrafficPattern,
+        loads: &[f64],
+        cfg: SimConfig,
+    ) -> Vec<SimResult> {
+        use rayon::prelude::*;
+        loads
+            .par_iter()
+            .map(|&load| {
+                let mut c = cfg;
+                c.seed = cfg.seed.wrapping_add((load * 1e4) as u64);
+                Simulator::new(net, tables, algo, pattern, load, c).run()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_topo::SlimFly;
+
+    fn small_sf() -> (Network, RoutingTables) {
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network(); // 50 routers, p=4, N=200
+        let tables = RoutingTables::new(&net.graph);
+        (net, tables)
+    }
+
+    fn quick_cfg(seed: u64) -> SimConfig {
+        SimConfig {
+            warmup: 300,
+            measure: 600,
+            drain: 2_000,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn zero_load_no_packets() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let r = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.0, quick_cfg(1)).run();
+        assert_eq!(r.ejected, 0);
+        assert!(!r.saturated);
+    }
+
+    #[test]
+    fn low_load_low_latency_all_drained() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let r = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.1, quick_cfg(2)).run();
+        assert!(!r.saturated, "10% load must not saturate a balanced SF");
+        assert!(r.ejected > 0);
+        // Zero-load-ish latency: ≤ 2 hops × (router 3 + wire 1) + inject
+        // + eject ≈ ≤ 20 cycles at 10% load.
+        assert!(
+            r.avg_latency < 20.0,
+            "latency {} too high for 10% load",
+            r.avg_latency
+        );
+        // Average hops ≤ diameter 2 (+ tiny adaptive noise).
+        assert!(r.avg_hops <= 2.01, "hops = {}", r.avg_hops);
+        assert!(r.avg_hops >= 1.0);
+    }
+
+    #[test]
+    fn min_beats_valiant_latency_uniform() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let rmin =
+            Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.2, quick_cfg(3)).run();
+        let rval = Simulator::new(
+            &net,
+            &tables,
+            RouteAlgo::Valiant { cap3: false },
+            &pat,
+            0.2,
+            quick_cfg(3),
+        )
+        .run();
+        assert!(
+            rmin.avg_latency < rval.avg_latency,
+            "MIN {} must beat VAL {} at low uniform load",
+            rmin.avg_latency,
+            rval.avg_latency
+        );
+        assert!(rval.avg_hops > rmin.avg_hops);
+    }
+
+    #[test]
+    fn valiant_saturates_below_half() {
+        // §V-A: VAL doubles link pressure — saturates < 50% load.
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let r = Simulator::new(
+            &net,
+            &tables,
+            RouteAlgo::Valiant { cap3: false },
+            &pat,
+            0.85,
+            quick_cfg(4),
+        )
+        .run();
+        assert!(
+            r.saturated || r.accepted < 0.7,
+            "VAL at 85% offered must saturate (accepted {})",
+            r.accepted
+        );
+    }
+
+    #[test]
+    fn min_sustains_high_uniform_load() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let r = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.6, quick_cfg(5)).run();
+        assert!(
+            r.accepted > 0.5,
+            "MIN at 60% offered should accept most traffic, got {}",
+            r.accepted
+        );
+    }
+
+    #[test]
+    fn ugal_variants_run_and_adapt() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        for algo in [
+            RouteAlgo::UgalL { candidates: 4 },
+            RouteAlgo::UgalG { candidates: 4 },
+        ] {
+            let r = Simulator::new(&net, &tables, algo, &pat, 0.3, quick_cfg(6)).run();
+            assert!(!r.saturated, "{algo:?} must not saturate at 30%");
+            // UGAL should mostly choose minimal paths under uniform load.
+            assert!(r.avg_hops < 2.5, "{algo:?} hops = {}", r.avg_hops);
+        }
+    }
+
+    #[test]
+    fn worst_case_crushes_min_but_not_ugal() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::worst_case_slimfly(&net, &tables);
+        let cfg = quick_cfg(7);
+        let rmin = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.4, cfg).run();
+        assert!(
+            rmin.saturated || rmin.accepted < 0.35,
+            "MIN must collapse under worst-case traffic, accepted {}",
+            rmin.accepted
+        );
+        let rugal = Simulator::new(
+            &net,
+            &tables,
+            RouteAlgo::UgalL { candidates: 4 },
+            &pat,
+            0.25,
+            cfg,
+        )
+        .run();
+        assert!(
+            rugal.accepted > rmin.accepted * 0.9,
+            "UGAL-L {} should sustain ≥ MIN {} under adversarial load",
+            rugal.accepted,
+            rmin.accepted
+        );
+    }
+
+    #[test]
+    fn fattree_adaptive_ecmp_works() {
+        let ft = sf_topo::fattree::FatTree3 { p: 4, full: false };
+        let net = ft.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let r = Simulator::new(
+            &net,
+            &tables,
+            RouteAlgo::AdaptiveEcmp,
+            &pat,
+            0.3,
+            quick_cfg(8),
+        )
+        .run();
+        assert!(!r.saturated);
+        assert!(r.ejected > 0);
+        // FT-3 paths are up to 4 router hops.
+        assert!(r.avg_hops <= 4.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let a = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.25, quick_cfg(9)).run();
+        let b = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.25, quick_cfg(9)).run();
+        assert_eq!(a.ejected, b.ejected);
+        assert_eq!(a.avg_latency, b.avg_latency);
+    }
+
+    #[test]
+    fn load_sweep_parallel_matches_shape() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let res = LoadSweep::run(
+            &net,
+            &tables,
+            RouteAlgo::Min,
+            &pat,
+            &[0.1, 0.3, 0.5],
+            quick_cfg(10),
+        );
+        assert_eq!(res.len(), 3);
+        // Latency is non-decreasing in load (allowing small noise).
+        assert!(res[0].avg_latency <= res[2].avg_latency + 2.0);
+    }
+}

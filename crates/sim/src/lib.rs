@@ -1,0 +1,27 @@
+//! # sf-sim — cycle-based flit-level network simulator
+//!
+//! An independent implementation of the router model the Slim Fly paper
+//! simulates with (§V):
+//!
+//! * input-queued routers with per-(port, VC) FIFO buffers and
+//!   credit-based flow control;
+//! * single-flit packets injected by a Bernoulli process;
+//! * router timing: channel latency, switch/VC allocation and crossbar
+//!   delays of 1 cycle each, credit-processing delay of 2 cycles,
+//!   internal speedup 2 over the channel rate;
+//! * warm-up to steady state before measurement.
+//!
+//! Routing algorithms ([`sf_routing::RouteAlgo`]): source-routed MIN /
+//! VAL / UGAL-L / UGAL-G (queue-sensitive choice at injection, §IV) and
+//! per-hop adaptive ECMP (the fat-tree ANCA stand-in).
+//!
+//! Deviation noted in DESIGN.md: the paper states 3 VCs for every
+//! simulation while its own §IV-D scheme needs 4 VCs for ≤4-hop adaptive
+//! paths; we default to 4 (configurable) and assign VC = min(hop, VCs−1),
+//! which keeps the escape order monotone.
+
+pub mod engine;
+pub mod stats;
+
+pub use engine::{LoadSweep, SimConfig, SimResult, Simulator};
+pub use stats::LatencyStats;

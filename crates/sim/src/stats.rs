@@ -1,0 +1,156 @@
+//! Latency statistics accumulation.
+
+/// Streaming latency statistics (mean/min/max plus a coarse histogram
+/// for percentile estimates).
+#[derive(Clone, Debug)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    min: u32,
+    max: u32,
+    /// hist[i] counts latencies in [i·BUCKET, (i+1)·BUCKET).
+    hist: Vec<u64>,
+}
+
+const BUCKET: u32 = 4;
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            count: 0,
+            sum: 0,
+            min: u32::MAX,
+            max: 0,
+            hist: vec![0; 512],
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one packet latency (cycles).
+    pub fn record(&mut self, latency: u32) {
+        self.count += 1;
+        self.sum += latency as u64;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+        let b = (latency / BUCKET) as usize;
+        let b = b.min(self.hist.len() - 1);
+        self.hist[b] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Minimum observed latency (None when empty).
+    pub fn min(&self) -> Option<u32> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observed latency (None when empty).
+    pub fn max(&self) -> Option<u32> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile (bucket resolution = 4 cycles).
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.hist.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return Some((i as u32 + 1) * BUCKET);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.hist.iter_mut().zip(&other.hist) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_nan());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn basic_accumulation() {
+        let mut s = LatencyStats::new();
+        for l in [10u32, 20, 30] {
+            s.record(l);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+    }
+
+    #[test]
+    fn quantiles_ordered() {
+        let mut s = LatencyStats::new();
+        for l in 0..100u32 {
+            s.record(l);
+        }
+        let q50 = s.quantile(0.5).unwrap();
+        let q99 = s.quantile(0.99).unwrap();
+        assert!(q50 <= q99);
+        assert!((44..=56).contains(&q50), "q50 = {q50}");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 20.0);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(30));
+    }
+
+    #[test]
+    fn huge_latencies_clamp_to_last_bucket() {
+        let mut s = LatencyStats::new();
+        s.record(1_000_000);
+        assert_eq!(s.count(), 1);
+        assert!(s.quantile(1.0).is_some());
+    }
+}

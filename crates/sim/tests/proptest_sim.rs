@@ -1,0 +1,108 @@
+//! Property-based tests for the simulator: conservation laws and
+//! determinism that must hold for every configuration.
+
+use proptest::prelude::*;
+use sf_routing::{RouteAlgo, RoutingTables};
+use sf_sim::{SimConfig, Simulator};
+use sf_topo::SlimFly;
+use sf_traffic::TrafficPattern;
+
+fn quick_cfg(seed: u64, vcs: usize, buf: usize) -> SimConfig {
+    SimConfig {
+        num_vcs: vcs,
+        buf_per_port: buf,
+        warmup: 100,
+        measure: 300,
+        drain: 1_500,
+        ..Default::default()
+    }
+    .with_seed(seed)
+}
+
+trait WithSeed {
+    fn with_seed(self, seed: u64) -> Self;
+}
+impl WithSeed for SimConfig {
+    fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservation_and_sanity(
+        load in 0.05f64..0.5,
+        seed in 0u64..500,
+        vcs in 3usize..6,
+        algo_idx in 0usize..4,
+    ) {
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let algo = [
+            RouteAlgo::Min,
+            RouteAlgo::Valiant { cap3: false },
+            RouteAlgo::UgalL { candidates: 4 },
+            RouteAlgo::UgalG { candidates: 4 },
+        ][algo_idx];
+        let res = Simulator::new(&net, &tables, algo, &pattern, load, quick_cfg(seed, vcs, 64)).run();
+        // Accepted throughput can never exceed offered (up to Bernoulli noise).
+        prop_assert!(res.accepted <= load * 1.25 + 0.05, "accepted {} offered {load}", res.accepted);
+        // Latency (when measured) is at least the minimum pipeline time.
+        if !res.avg_latency.is_nan() {
+            prop_assert!(res.avg_latency >= 1.0);
+        }
+        // Hop counts bounded by the Valiant worst case on diameter 2.
+        if !res.avg_hops.is_nan() {
+            prop_assert!(res.avg_hops <= 4.0 + 1e-9);
+        }
+        // Utilization is a fraction of cycles.
+        prop_assert!(res.max_link_util <= 1.0 + 1e-9);
+        prop_assert!(res.mean_link_util <= res.max_link_util + 1e-9);
+    }
+
+    #[test]
+    fn determinism(load in 0.05f64..0.4, seed in 0u64..200) {
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let a = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, load, quick_cfg(seed, 4, 64)).run();
+        let b = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, load, quick_cfg(seed, 4, 64)).run();
+        prop_assert_eq!(a.ejected, b.ejected);
+        prop_assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
+        prop_assert_eq!(a.accepted.to_bits(), b.accepted.to_bits());
+    }
+
+    #[test]
+    fn min_latency_non_decreasing_in_load(seed in 0u64..100) {
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let lo = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.1, quick_cfg(seed, 4, 64)).run();
+        let hi = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.55, quick_cfg(seed, 4, 64)).run();
+        // Allow small noise at these short measurement windows.
+        prop_assert!(hi.avg_latency + 3.0 >= lo.avg_latency,
+            "lo {} hi {}", lo.avg_latency, hi.avg_latency);
+    }
+
+    #[test]
+    fn min_routed_packets_take_min_hops(seed in 0u64..100) {
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let res = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.15, quick_cfg(seed, 4, 64)).run();
+        // Average hops equals the endpoint-weighted average distance
+        // (≤ diameter 2) — MIN never detours.
+        if !res.avg_hops.is_nan() {
+            prop_assert!(res.avg_hops <= 2.0 + 1e-9);
+            prop_assert!(res.avg_hops >= 1.5, "SF(q=5) average distance ≈ 1.83");
+        }
+    }
+}

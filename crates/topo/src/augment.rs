@@ -1,0 +1,102 @@
+//! Random shortcut augmentation (paper §VII-A).
+//!
+//! "Another option is to add random channels to utilize empty ports of
+//! routers with radix > k (using strategies presented in [42], [52]).
+//! This would additionally improve the latency and bandwidth of such SF
+//! variants." — this module implements exactly that: given a network and
+//! a number of spare ports per router, add that many random-matching
+//! links (the Koibuchi/Jellyfish strategy) on top of the existing
+//! topology.
+
+use crate::network::Network;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Adds `extra_ports` random shortcut links per router (in expectation)
+/// to a copy of `net`, drawn as random perfect matchings that avoid
+/// duplicating existing edges. Returns the augmented network.
+///
+/// Matching rounds keep the augmentation near-regular: after the call
+/// every router has gained between `extra_ports − 1` and `extra_ports`
+/// links (duplicate-avoidance may skip a few pairs).
+pub fn add_random_shortcuts(net: &Network, extra_ports: u32, seed: u64) -> Network {
+    let nr = net.num_routers();
+    let mut g = net.graph.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _round in 0..extra_ports {
+        let mut verts: Vec<u32> = (0..nr as u32).collect();
+        verts.shuffle(&mut rng);
+        for c in verts.chunks(2) {
+            if c.len() == 2 && !g.has_edge(c[0], c[1]) {
+                g.add_edge(c[0], c[1]);
+            }
+        }
+    }
+    Network::new(
+        g,
+        net.concentration.clone(),
+        format!("{}+rs{}", net.name, extra_ports),
+        net.kind.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlimFly;
+    use sf_graph::metrics;
+
+    #[test]
+    fn augmentation_adds_expected_ports() {
+        let net = SlimFly::new(5).unwrap().network();
+        let aug = add_random_shortcuts(&net, 3, 42);
+        let before = net.graph.avg_degree();
+        let after = aug.graph.avg_degree();
+        assert!(after > before + 2.0, "expected ~3 extra ports, got {}", after - before);
+        assert!(after <= before + 3.0 + 1e-9);
+        assert_eq!(aug.num_endpoints(), net.num_endpoints());
+    }
+
+    #[test]
+    fn augmentation_never_hurts_distances() {
+        // §VII-A: shortcuts improve latency/bandwidth — average distance
+        // must not increase (edges are only added).
+        let net = SlimFly::new(7).unwrap().network();
+        let aug = add_random_shortcuts(&net, 5, 7);
+        let before = metrics::average_distance(&net.graph).unwrap();
+        let after = metrics::average_distance(&aug.graph).unwrap();
+        assert!(after <= before + 1e-12, "{after} vs {before}");
+        assert!(after < before, "5 shortcut ports should strictly shorten paths");
+    }
+
+    #[test]
+    fn paper_example_48_port_routers() {
+        // §VII-A: an SF(k = 43) deployed on 48-port routers leaves 5
+        // spare ports per router for shortcuts — e.g. on SF(q=19):
+        // (we verify on q=7 for test speed; same construction).
+        let sf = SlimFly::new(7).unwrap();
+        let net = sf.network();
+        let k = net.max_router_radix();
+        let aug = add_random_shortcuts(&net, 5, 1);
+        assert_eq!(aug.max_router_radix(), k + 5);
+        assert!(metrics::is_connected(&aug.graph));
+        // Diameter stays ≤ 2 (it can only shrink, and 2 is already low).
+        assert_eq!(metrics::diameter(&aug.graph), Some(2));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let net = SlimFly::new(5).unwrap().network();
+        let a = add_random_shortcuts(&net, 2, 3);
+        let b = add_random_shortcuts(&net, 2, 3);
+        assert_eq!(a.graph.edge_list(), b.graph.edge_list());
+    }
+
+    #[test]
+    fn zero_extra_is_identity() {
+        let net = SlimFly::new(5).unwrap().network();
+        let aug = add_random_shortcuts(&net, 0, 9);
+        assert_eq!(aug.graph.edge_list(), net.graph.edge_list());
+    }
+}

@@ -1,0 +1,228 @@
+//! Bermond–Delorme–Fahri (BDF) diameter-3 constructions (paper §II-C1).
+//!
+//! Two pieces are implemented:
+//!
+//! 1. **The projective-plane graph `P_u`** for an odd prime power `u`:
+//!    points of PG(2, u) under the standard orthogonal polarity
+//!    (`M_i ~ M_j` iff `M_j ∈ D_i`, realized as x·x' + y·y' + z·z' = 0).
+//!    `P_u` has `u² + u + 1` vertices, degree `u + 1` (the `u + 1`
+//!    self-conjugate points have degree `u`), and diameter 2.
+//! 2. **The `∗`-product** `G1 ∗ G2` with caller-supplied arc orientation
+//!    and per-arc bijections (paper §II-C1a), used to assemble
+//!    `P_u ∗ G_{k'/3}` instances. The specific `G_{k'/3}` family with
+//!    property P* comes from reference [6], whose tables the paper does
+//!    not reproduce; the Fig 5b Moore-bound comparison only requires the
+//!    closed-form sizes, given by [`bdf_routers`].
+
+use crate::network::TopologyKind;
+use crate::Network;
+use sf_arith::FiniteField;
+use sf_graph::Graph;
+
+/// Number of routers of the BDF graph for network radix
+/// `k' = 3(u+1)/2`: `Nr = (8/27)k'³ − (4/9)k'² + (2/3)k'` (§II-C).
+pub fn bdf_routers(k_prime: u64) -> u64 {
+    // Computed in exact integer arithmetic: with k' = 3(u+1)/2,
+    // Nr = (u²+u+1)·(number of vertices of G_{k'/3}) = (u²+u+1)·(2k'/3 ... )
+    // The paper's closed form over 27 denominators:
+    let k = k_prime as i128;
+    let val = (8 * k * k * k - 12 * k * k + 18 * k) / 27;
+    val.max(0) as u64
+}
+
+/// Network radix of the BDF construction for odd prime power `u`.
+pub fn bdf_network_radix(u: u64) -> u64 {
+    3 * (u + 1) / 2
+}
+
+/// The projective-plane polarity graph `P_u` (u an odd prime power).
+#[derive(Clone, Debug)]
+pub struct ProjectivePlaneGraph {
+    /// Plane order.
+    pub u: u32,
+    points: Vec<(u32, u32, u32)>,
+}
+
+impl ProjectivePlaneGraph {
+    /// Builds the point set of PG(2, u): canonical representatives
+    /// (1, y, z), (0, 1, z), (0, 0, 1).
+    pub fn new(u: u32) -> Option<Self> {
+        let f = FiniteField::new(u)?;
+        let q = f.order();
+        let mut points = Vec::with_capacity((q * q + q + 1) as usize);
+        for y in 0..q {
+            for z in 0..q {
+                points.push((1, y, z));
+            }
+        }
+        for z in 0..q {
+            points.push((0, 1, z));
+        }
+        points.push((0, 0, 1));
+        Some(ProjectivePlaneGraph { u, points })
+    }
+
+    /// Number of vertices `u² + u + 1`.
+    pub fn num_vertices(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Builds the polarity graph: `(x,y,z) ~ (x',y',z')` iff
+    /// `x·x' + y·y' + z·z' = 0` (self-conjugate points yield no loop).
+    pub fn graph(&self) -> Graph {
+        let f = FiniteField::new(self.u).expect("validated in new()");
+        let n = self.num_vertices();
+        let mut g = Graph::empty(n);
+        for i in 0..n {
+            let (a, b, c) = self.points[i];
+            for j in (i + 1)..n {
+                let (x, y, z) = self.points[j];
+                let dot = f.add(f.add(f.mul(a, x), f.mul(b, y)), f.mul(c, z));
+                if dot == 0 {
+                    g.add_edge(i as u32, j as u32);
+                }
+            }
+        }
+        g
+    }
+
+    /// Wraps the polarity graph as a [`Network`] with concentration `p`.
+    pub fn network(&self, p: u32) -> Network {
+        Network::with_uniform_concentration(
+            self.graph(),
+            p,
+            format!("P_u(u={})", self.u),
+            TopologyKind::Bdf { u: self.u },
+        )
+    }
+}
+
+/// The `∗`-product of two graphs (paper §II-C1a).
+///
+/// `V' = V1 × V2`; `(a1,a2) ~ (b1,b2)` iff either
+/// * `a1 = b1` and `{a2, b2} ∈ E2`, or
+/// * `(a1, b1) ∈ U` (an orientation of E1) and `b2 = f_(a1,b1)(a2)`.
+///
+/// `f` maps each oriented arc of G1 to a bijection on `V2`, supplied by
+/// the caller as `f(arc_source, arc_target, a2) -> b2`. Arcs are oriented
+/// from the smaller to the larger vertex id.
+pub fn star_product<F>(g1: &Graph, g2: &Graph, f: F) -> Graph
+where
+    F: Fn(u32, u32, u32) -> u32,
+{
+    let n1 = g1.num_vertices();
+    let n2 = g2.num_vertices();
+    let idx = |a1: u32, a2: u32| a1 * n2 as u32 + a2;
+    let mut g = Graph::empty(n1 * n2);
+    // Copies of G2 in each fiber.
+    for a1 in 0..n1 as u32 {
+        for (a2, b2) in g2.edge_list() {
+            g.add_edge(idx(a1, a2), idx(a1, b2));
+        }
+    }
+    // Cross edges along oriented G1 arcs.
+    for (a1, b1) in g1.edge_list() {
+        for a2 in 0..n2 as u32 {
+            let b2 = f(a1, b1, a2);
+            debug_assert!((b2 as usize) < n2);
+            g.add_edge(idx(a1, a2), idx(b1, b2));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_graph::metrics;
+
+    #[test]
+    fn pg_point_count() {
+        for u in [3u32, 5, 7, 9] {
+            let p = ProjectivePlaneGraph::new(u).unwrap();
+            assert_eq!(p.num_vertices() as u32, u * u + u + 1, "u={u}");
+        }
+    }
+
+    #[test]
+    fn polarity_graph_degree_and_diameter() {
+        for u in [3u32, 5, 7] {
+            let p = ProjectivePlaneGraph::new(u).unwrap();
+            let g = p.graph();
+            // Degrees are u+1 except u+1 self-conjugate points of degree u.
+            let mut deg_u = 0;
+            let mut deg_u1 = 0;
+            for v in 0..g.num_vertices() as u32 {
+                match g.degree(v) as u32 {
+                    d if d == u => deg_u += 1,
+                    d if d == u + 1 => deg_u1 += 1,
+                    d => panic!("unexpected degree {d} for u={u}"),
+                }
+            }
+            assert_eq!(deg_u, (u + 1) as usize, "self-conjugate count u={u}");
+            assert_eq!(deg_u1, (u * u) as usize);
+            assert_eq!(metrics::diameter(&g), Some(2), "P_u diameter u={u}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_prime_power() {
+        assert!(ProjectivePlaneGraph::new(6).is_none());
+        assert!(ProjectivePlaneGraph::new(10).is_none());
+    }
+
+    #[test]
+    fn bdf_router_formula() {
+        // §II-C: for k' = 96 the BDF construction reaches 30% of
+        // MB(96, 3) = 1 + 96(1 + 95 + 95²) = 875617... check ratio.
+        let mb3 = crate::moore::moore_bound(96, 3);
+        let frac = bdf_routers(96) as f64 / mb3 as f64;
+        assert!((0.25..=0.35).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn bdf_radix_from_u() {
+        assert_eq!(bdf_network_radix(3), 6);
+        assert_eq!(bdf_network_radix(5), 9);
+        assert_eq!(bdf_network_radix(7), 12);
+    }
+
+    #[test]
+    fn star_product_with_identity_is_categorical_like() {
+        // C4 * K2 with identity bijections: each fiber K2, cross edges
+        // preserve the second coordinate.
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let k2 = Graph::from_edges(2, &[(0, 1)]);
+        let g = star_product(&c4, &k2, |_, _, a2| a2);
+        assert_eq!(g.num_vertices(), 8);
+        // Edges: 4 fibers × 1 + 4 arcs × 2 = 12.
+        assert_eq!(g.num_edges(), 12);
+        assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn star_product_with_swap_bijection() {
+        // K2 * K2 with the swap bijection on one arc: a 4-cycle.
+        let k2 = Graph::from_edges(2, &[(0, 1)]);
+        let g = star_product(&k2, &k2, |_, _, a2| 1 - a2);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(metrics::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn star_product_diameter_bound() {
+        // P_3 * K4 (identity f): diameter ≤ diam(P_3) + 1 = 3 — the
+        // qualitative property the BDF composition relies on.
+        let p3 = ProjectivePlaneGraph::new(3).unwrap().graph();
+        let mut k4 = Graph::empty(4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                k4.add_edge(i, j);
+            }
+        }
+        let g = star_product(&p3, &k4, |_, _, a2| a2);
+        let d = metrics::diameter(&g).unwrap();
+        assert!(d <= 3, "got {d}");
+    }
+}

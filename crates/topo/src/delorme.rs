@@ -1,0 +1,64 @@
+//! Delorme (DEL) diameter-3 graph family (paper §II-C).
+//!
+//! For a prime power `v`, the Delorme graphs have network radix
+//! `k' = (v + 1)²` and `Nr = (v + 1)² (v² + 1)²` vertices. Sanity check
+//! against the Moore bound: `MB(k', 3) ≈ k'³ = (v+1)^6`, and
+//! `(v+1)²(v²+1)² ≈ (v+1)^6 · (v/(v+1))^4 ≈ 68%` of the bound around
+//! `v = 9`, exactly the fraction the paper quotes in Fig 5b.
+//!
+//! The paper itself only uses the closed-form sizes of this family (for
+//! the Fig 5b comparison); the explicit adjacency would require the
+//! generalized-quadrangle construction of reference [24], which is out
+//! of scope here for the same reason.
+
+/// Network radix of the Delorme construction: `k' = (v + 1)²`.
+pub fn del_network_radix(v: u64) -> u64 {
+    (v + 1) * (v + 1)
+}
+
+/// Router count of the Delorme construction:
+/// `Nr = (v + 1)² (v² + 1)²`.
+pub fn del_routers(v: u64) -> u64 {
+    let a = (v + 1) * (v + 1);
+    let b = (v * v + 1) * (v * v + 1);
+    a * b
+}
+
+/// Enumerates (k', Nr) pairs for prime-power `v ≤ v_max`.
+pub fn del_series(v_max: u64) -> Vec<(u64, u64)> {
+    sf_arith::prime::prime_powers_up_to(v_max)
+        .into_iter()
+        .map(|v| (del_network_radix(v), del_routers(v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moore::moore_bound;
+
+    #[test]
+    fn radix_and_size_formulas() {
+        assert_eq!(del_network_radix(2), 9);
+        assert_eq!(del_routers(2), 9 * 25);
+        assert_eq!(del_network_radix(3), 16);
+        assert_eq!(del_routers(3), 16 * 100);
+    }
+
+    #[test]
+    fn approaches_68_percent_of_moore_bound() {
+        // §II-C: Delorme graphs achieve ~68% of MB(k', 3) (for larger v).
+        let v = 9u64;
+        let frac = del_routers(v) as f64 / moore_bound(del_network_radix(v), 3) as f64;
+        assert!((0.6..=0.75).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn series_is_sorted_by_radix() {
+        let s = del_series(16);
+        assert!(!s.is_empty());
+        for w in s.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Flattened butterfly (Kim, Dally & Abts, ISCA'07) — k-ary n-flat.
+//!
+//! Routers form an n'-dimensional grid of extent `c` per dimension
+//! (`n' = levels − 1`); each router is directly connected to the `c − 1`
+//! other routers in each dimension (fully connected rows). With
+//! concentration `p = c` the topology is balanced.
+//!
+//! The paper's FBF-3 ("3-level flattened butterfly") is the 3-dimension
+//! variant: `Nr = c³`, network radix `k' = 3(c−1)`, `p = ⌊(k+3)/4⌋ = c`
+//! (§III "Topology parameters", §VI-B3d), diameter 3.
+//! FBF-2 (2 dimensions, diameter 2) appears in the Fig 5a Moore-bound
+//! comparison.
+
+use crate::network::{Network, TopologyKind};
+use sf_graph::Graph;
+
+/// A k-ary n-flat flattened butterfly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlattenedButterfly {
+    /// Extent of each router dimension.
+    pub c: u32,
+    /// Number of router dimensions (levels − 1 of the unflattened
+    /// butterfly); 3 for the paper's FBF-3 per §VI-B3d, 2 for FBF-2.
+    pub dims: u32,
+    /// Endpoints per router (balanced: `p = c`).
+    pub p: u32,
+}
+
+impl FlattenedButterfly {
+    /// Balanced FBF-3 from router radix `k` (paper: `p = ⌊(k+3)/4⌋`,
+    /// `c = p`, radix `k = p + 3(p−1)` = `4p − 3`).
+    pub fn fbf3_from_radix(k: u32) -> Self {
+        let p = k.div_ceil(4);
+        FlattenedButterfly { c: p, dims: 3, p }
+    }
+
+    /// Balanced FBF-2 (diameter 2) from extent `c`.
+    pub fn fbf2(c: u32) -> Self {
+        FlattenedButterfly { c, dims: 2, p: c }
+    }
+
+    /// Number of routers `c^dims`.
+    pub fn num_routers(&self) -> usize {
+        (self.c as usize).pow(self.dims)
+    }
+
+    /// Number of endpoints.
+    pub fn num_endpoints(&self) -> usize {
+        self.num_routers() * self.p as usize
+    }
+
+    /// Network radix `k' = dims · (c − 1)`.
+    pub fn network_radix(&self) -> u32 {
+        self.dims * (self.c - 1)
+    }
+
+    /// Router radix `k = p + k'`.
+    pub fn router_radix(&self) -> u32 {
+        self.p + self.network_radix()
+    }
+
+    /// Router id from grid coordinates (little-endian, length = dims).
+    pub fn router_id(&self, coords: &[u32]) -> u32 {
+        debug_assert_eq!(coords.len(), self.dims as usize);
+        let mut id = 0u32;
+        for &x in coords.iter().rev() {
+            debug_assert!(x < self.c);
+            id = id * self.c + x;
+        }
+        id
+    }
+
+    /// Grid coordinates of a router id.
+    pub fn router_coords(&self, mut id: u32) -> Vec<u32> {
+        let mut coords = Vec::with_capacity(self.dims as usize);
+        for _ in 0..self.dims {
+            coords.push(id % self.c);
+            id /= self.c;
+        }
+        coords
+    }
+
+    /// Builds the router graph: along each dimension, all routers
+    /// sharing the other coordinates form a clique.
+    pub fn router_graph(&self) -> Graph {
+        let n = self.num_routers();
+        let mut g = Graph::empty(n);
+        for id in 0..n as u32 {
+            let coords = self.router_coords(id);
+            for d in 0..self.dims as usize {
+                for v in (coords[d] + 1)..self.c {
+                    let mut other = coords.clone();
+                    other[d] = v;
+                    g.add_edge(id, self.router_id(&other));
+                }
+            }
+        }
+        g
+    }
+
+    /// Builds the full network.
+    pub fn network(&self) -> Network {
+        Network::with_uniform_concentration(
+            self.router_graph(),
+            self.p,
+            format!("FBF-{}(c={},p={})", self.dims, self.c, self.p),
+            TopologyKind::FlattenedButterfly {
+                c: self.c,
+                dims: self.dims,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_graph::metrics;
+
+    #[test]
+    fn fbf3_balanced_parameters() {
+        // Table IV first FBF-3 column: N = 20736, Nr = 1728 (c = 12).
+        let f = FlattenedButterfly { c: 12, dims: 3, p: 12 };
+        assert_eq!(f.num_routers(), 1728);
+        assert_eq!(f.num_endpoints(), 20736);
+        assert_eq!(f.network_radix(), 33);
+    }
+
+    #[test]
+    fn from_radix() {
+        let f = FlattenedButterfly::fbf3_from_radix(43);
+        assert_eq!(f.p, 11);
+        assert_eq!(f.c, 11);
+        assert_eq!(f.num_routers(), 1331);
+    }
+
+    #[test]
+    fn diameter_equals_dims() {
+        for dims in [2u32, 3] {
+            let f = FlattenedButterfly { c: 3, dims, p: 3 };
+            let g = f.router_graph();
+            assert!(g.is_regular());
+            assert_eq!(g.max_degree() as u32, f.network_radix());
+            assert_eq!(metrics::diameter(&g), Some(dims), "dims={dims}");
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let f = FlattenedButterfly { c: 4, dims: 3, p: 4 };
+        for id in 0..f.num_routers() as u32 {
+            assert_eq!(f.router_id(&f.router_coords(id)), id);
+        }
+    }
+
+    #[test]
+    fn edge_count() {
+        // Per dimension: c^(dims-1) cliques of c(c−1)/2 edges.
+        let f = FlattenedButterfly { c: 4, dims: 2, p: 4 };
+        let g = f.router_graph();
+        let expected = 2 * 4 * (4 * 3 / 2);
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn rows_are_cliques() {
+        let f = FlattenedButterfly { c: 5, dims: 2, p: 5 };
+        let g = f.router_graph();
+        // Row 0 (y = 0): routers 0..5 pairwise adjacent.
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                assert!(g.has_edge(u, v));
+            }
+        }
+        // (0,0) and (1,1) are not adjacent (differ in both dims).
+        assert!(!g.has_edge(0, 6));
+    }
+}

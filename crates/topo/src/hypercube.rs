@@ -1,0 +1,114 @@
+//! Binary hypercubes (HC; e.g. NASA Pleiades).
+//!
+//! `Nr = 2^d` routers, network radix `k' = d`, diameter `d`, one endpoint
+//! per router (paper §III "Topology parameters").
+
+use crate::network::{Network, TopologyKind};
+use sf_graph::Graph;
+
+/// A binary hypercube of dimension `d`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hypercube {
+    /// Dimension (number of address bits).
+    pub d: u32,
+    /// Endpoints per router.
+    pub p: u32,
+}
+
+impl Hypercube {
+    /// Hypercube of dimension `d` with `p = 1`.
+    pub fn new(d: u32) -> Self {
+        assert!((1..31).contains(&d));
+        Hypercube { d, p: 1 }
+    }
+
+    /// Smallest hypercube with at least `n` routers.
+    pub fn at_least(n: usize) -> Self {
+        let mut d = 1;
+        while (1usize << d) < n {
+            d += 1;
+        }
+        Hypercube::new(d)
+    }
+
+    /// Number of routers `2^d`.
+    pub fn num_routers(&self) -> usize {
+        1usize << self.d
+    }
+
+    /// Builds the router graph: v ~ v ⊕ 2^i for every bit i.
+    pub fn router_graph(&self) -> Graph {
+        let n = self.num_routers();
+        let mut g = Graph::empty(n);
+        for v in 0..n as u32 {
+            for bit in 0..self.d {
+                let u = v ^ (1 << bit);
+                if v < u {
+                    g.add_edge(v, u);
+                }
+            }
+        }
+        g
+    }
+
+    /// Builds the network.
+    pub fn network(&self) -> Network {
+        Network::with_uniform_concentration(
+            self.router_graph(),
+            self.p,
+            format!("HC(d={})", self.d),
+            TopologyKind::Hypercube { d: self.d },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_graph::metrics;
+
+    #[test]
+    fn cube_structure() {
+        let hc = Hypercube::new(3);
+        let g = hc.router_graph();
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(metrics::diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn diameter_is_dimension() {
+        for d in 1..=8u32 {
+            let g = Hypercube::new(d).router_graph();
+            assert_eq!(metrics::diameter(&g), Some(d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn average_distance_is_half_dimension_asymptotic() {
+        // Exact: d · 2^(d-1) / (2^d - 1) average over distinct pairs.
+        let d = 6;
+        let g = Hypercube::new(d).router_graph();
+        let avg = metrics::average_distance(&g).unwrap();
+        let expected = d as f64 * 2f64.powi(d as i32 - 1) / (2f64.powi(d as i32) - 1.0);
+        assert!((avg - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_least_sizing() {
+        assert_eq!(Hypercube::at_least(1000).d, 10);
+        assert_eq!(Hypercube::at_least(1024).d, 10);
+        assert_eq!(Hypercube::at_least(1025).d, 11);
+    }
+
+    #[test]
+    fn bisection_is_half() {
+        // Cut on the top bit: 2^(d-1) edges = N/2.
+        let hc = Hypercube::new(5);
+        let g = hc.router_graph();
+        let side: Vec<bool> = (0..32).map(|v| v & 16 != 0).collect();
+        assert_eq!(sf_graph::partition::cut_size(&g, &side), 16);
+    }
+}

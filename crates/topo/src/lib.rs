@@ -1,0 +1,40 @@
+//! # sf-topo — network topologies
+//!
+//! Constructions for every topology evaluated in the Slim Fly paper
+//! (Besta & Hoefler, SC'14, Table II), plus the Moore-bound machinery of
+//! §II-A and the diameter-3 graph families of §II-C:
+//!
+//! | Module | Topology | Paper symbol |
+//! |--------|----------|--------------|
+//! | [`slimfly`] | Slim Fly on McKay–Miller–Širáň graphs | SF |
+//! | [`dragonfly`] | Dragonfly (Kim et al.) | DF |
+//! | [`fattree`] | three-level folded-Clos fat trees | FT-3 |
+//! | [`flatbutterfly`] | k-ary n-flat flattened butterflies | FBF-3 |
+//! | [`torus`] | k-ary n-cube tori | T3D, T5D |
+//! | [`hypercube`] | binary hypercubes | HC |
+//! | [`longhop`] | Long Hop augmented hypercubes | LH-HC |
+//! | [`random_dln`] | random shortcut (DLN) networks | DLN |
+//! | [`bdf`] | Bermond–Delorme–Fahri graphs & ∗-product | SF BDF |
+//! | [`delorme`] | Delorme graph size formulas | SF DEL |
+//! | [`moore`] | Moore bounds | MB |
+//!
+//! Each construction produces a [`Network`]: the router-level graph plus
+//! endpoint concentrations and structural annotations used by routing,
+//! simulation, and the cost model.
+
+pub mod augment;
+pub mod bdf;
+pub mod delorme;
+pub mod dragonfly;
+pub mod fattree;
+pub mod flatbutterfly;
+pub mod hypercube;
+pub mod longhop;
+pub mod moore;
+pub mod network;
+pub mod random_dln;
+pub mod slimfly;
+pub mod torus;
+
+pub use network::{Network, TopologyKind};
+pub use slimfly::SlimFly;

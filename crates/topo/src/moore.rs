@@ -1,0 +1,103 @@
+//! The Moore bound (paper §II-A).
+//!
+//! For network radix `k'` and diameter `D`, the Moore bound is the
+//! maximum number of radix-k' routers any network of that diameter can
+//! contain:
+//!
+//! ```text
+//! MB(k', D) = 1 + k' · Σ_{i=0}^{D−1} (k'−1)^i
+//! ```
+//!
+//! Slim Fly's construction target is to approach `MB(k', 2) = k'² + 1`.
+
+/// Moore bound on the number of routers for network radix `k'` and
+/// diameter `D`. Saturates at `u64::MAX` for absurd inputs.
+pub fn moore_bound(k_prime: u64, diameter: u32) -> u64 {
+    if diameter == 0 || k_prime == 0 {
+        return 1;
+    }
+    let mut sum: u64 = 0;
+    let mut term: u64 = 1; // (k'-1)^i
+    for _ in 0..diameter {
+        sum = match sum.checked_add(term) {
+            Some(s) => s,
+            None => return u64::MAX,
+        };
+        term = match term.checked_mul(k_prime.saturating_sub(1)) {
+            Some(t) => t,
+            None => return u64::MAX,
+        };
+    }
+    k_prime
+        .checked_mul(sum)
+        .and_then(|v| v.checked_add(1))
+        .unwrap_or(u64::MAX)
+}
+
+/// Moore bound on *endpoints* assuming the paper's balanced split
+/// `k' = ⌈2k/3⌉` of a radix-k router and concentration `p = k − k'`
+/// (§II-A: "k' = ⌈2k/3⌉ enables full global bandwidth for D = 2").
+pub fn moore_bound_endpoints(router_radix: u64, diameter: u32) -> u64 {
+    let k_prime = 2 * router_radix / 3 + if (2 * router_radix).is_multiple_of(3) { 0 } else { 1 };
+    let p = router_radix.saturating_sub(k_prime);
+    moore_bound(k_prime, diameter).saturating_mul(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diameter_two_is_k_squared_plus_one() {
+        for k in 1..200u64 {
+            assert_eq!(moore_bound(k, 2), k * k + 1);
+        }
+    }
+
+    #[test]
+    fn diameter_one_is_clique() {
+        // D = 1: complete graph on k'+1 routers.
+        for k in 1..50u64 {
+            assert_eq!(moore_bound(k, 1), k + 1);
+        }
+    }
+
+    #[test]
+    fn diameter_three_cubic() {
+        // MB(k',3) = 1 + k'(1 + (k'−1) + (k'−1)²)
+        assert_eq!(moore_bound(3, 3), 1 + 3 * (1 + 2 + 4));
+        assert_eq!(moore_bound(10, 3), 1 + 10 * (1 + 9 + 81));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(moore_bound(0, 5), 1);
+        assert_eq!(moore_bound(7, 0), 1);
+        // Petersen graph meets MB(3,2) = 10 exactly.
+        assert_eq!(moore_bound(3, 2), 10);
+        // Hoffman–Singleton meets MB(7,2) = 50 exactly.
+        assert_eq!(moore_bound(7, 2), 50);
+    }
+
+    #[test]
+    fn paper_k96_value() {
+        // §II-B3: for k' = 96 the upper bound is 9,217 routers.
+        assert_eq!(moore_bound(96, 2), 9217);
+    }
+
+    #[test]
+    fn no_overflow_on_large_inputs() {
+        assert_eq!(moore_bound(u64::MAX, 3), u64::MAX);
+        assert!(moore_bound(1000, 10) > 0);
+    }
+
+    #[test]
+    fn endpoint_bound_monotone_in_radix() {
+        let mut last = 0;
+        for k in 3..100u64 {
+            let v = moore_bound_endpoints(k, 2);
+            assert!(v >= last, "k={k}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The [`Network`] type: a router graph with attached endpoints and
+//! structural annotations.
+//!
+//! Terminology follows Table I of the paper:
+//!
+//! * `N`  — number of endpoints,
+//! * `p`  — endpoints per router (concentration),
+//! * `k'` — network radix (channels to other routers),
+//! * `k`  — router radix, `k = k' + p`,
+//! * `Nr` — number of routers,
+//! * `D`  — network diameter.
+
+use sf_graph::Graph;
+
+/// Which topology family a [`Network`] instance belongs to.
+///
+/// Routing protocols and the cost model use this to select
+/// topology-specific behaviour (e.g. Dragonfly group-aware Valiant
+/// routing, fat-tree up/down paths, per-topology rack layouts).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Slim Fly on an MMS graph: `q`, `delta` with `q = 4w + delta`.
+    SlimFly { q: u32, delta: i32 },
+    /// Dragonfly: `a` routers/group, `h` global links/router, `g` groups.
+    Dragonfly { a: u32, h: u32, g: u32 },
+    /// Three-level folded Clos; `pods` pods, router port counts in
+    /// [`Network::concentration`]. `full` distinguishes the 2p-pod
+    /// (§VI cost model) from the p-pod (§V performance) variant.
+    FatTree3 { pods: u32, full: bool },
+    /// k-ary n-flat flattened butterfly: `dims` dimensions of extent `c`.
+    FlattenedButterfly { c: u32, dims: u32 },
+    /// k-ary n-cube torus; per-dimension extents.
+    Torus { dims: Vec<u32> },
+    /// Binary hypercube of dimension `d`.
+    Hypercube { d: u32 },
+    /// Long Hop augmented hypercube: `d` base dimensions + `l` long-hop
+    /// mask links per router.
+    LongHop { d: u32, l: u32 },
+    /// Random shortcut network (DLN-2-y): ring + `y` random shortcut
+    /// rounds.
+    RandomDln { y: u32 },
+    /// Bermond–Delorme–Fahri diameter-3 construction (or its P_u factor).
+    Bdf { u: u32 },
+    /// Generic / test topology.
+    Other,
+}
+
+/// A complete interconnection network: router graph + endpoints.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// Router-to-router graph (each full-duplex cable is one edge).
+    pub graph: Graph,
+    /// Endpoints attached to each router (`concentration[r]`).
+    pub concentration: Vec<u32>,
+    /// Cumulative endpoint offsets: router `r` hosts endpoint ids
+    /// `offsets[r] .. offsets[r+1]`.
+    offsets: Vec<u32>,
+    /// Human-readable instance name, e.g. `"SF(q=19)"`.
+    pub name: String,
+    /// Structural annotation.
+    pub kind: TopologyKind,
+}
+
+impl Network {
+    /// Assembles a network from a router graph and per-router endpoint
+    /// counts.
+    pub fn new(graph: Graph, concentration: Vec<u32>, name: String, kind: TopologyKind) -> Self {
+        assert_eq!(graph.num_vertices(), concentration.len());
+        let mut offsets = Vec::with_capacity(concentration.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &concentration {
+            acc += c;
+            offsets.push(acc);
+        }
+        Network {
+            graph,
+            concentration,
+            offsets,
+            name,
+            kind,
+        }
+    }
+
+    /// Uniform-concentration convenience constructor.
+    pub fn with_uniform_concentration(
+        graph: Graph,
+        p: u32,
+        name: String,
+        kind: TopologyKind,
+    ) -> Self {
+        let n = graph.num_vertices();
+        Network::new(graph, vec![p; n], name, kind)
+    }
+
+    /// Number of routers `Nr`.
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of endpoints `N`.
+    #[inline]
+    pub fn num_endpoints(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0) as usize
+    }
+
+    /// Network radix `k'` of router `r` (channels to other routers).
+    #[inline]
+    pub fn network_radix(&self, r: u32) -> usize {
+        self.graph.degree(r)
+    }
+
+    /// Router radix `k = k' + p` of router `r`.
+    #[inline]
+    pub fn router_radix(&self, r: u32) -> usize {
+        self.graph.degree(r) + self.concentration[r as usize] as usize
+    }
+
+    /// Maximum router radix over the network (the port count one would
+    /// have to buy).
+    pub fn max_router_radix(&self) -> usize {
+        (0..self.num_routers() as u32)
+            .map(|r| self.router_radix(r))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The router hosting endpoint `e`.
+    pub fn endpoint_router(&self, e: u32) -> u32 {
+        debug_assert!((e as usize) < self.num_endpoints());
+        // offsets is sorted; find r with offsets[r] <= e < offsets[r+1].
+        match self.offsets.binary_search(&e) {
+            Ok(mut idx) => {
+                // e == offsets[idx]: first endpoint of router idx, but skip
+                // zero-concentration routers that share the same offset.
+                while self.concentration[idx] == 0 {
+                    idx += 1;
+                }
+                idx as u32
+            }
+            Err(idx) => (idx - 1) as u32,
+        }
+    }
+
+    /// Endpoint id range hosted by router `r`.
+    pub fn endpoints_of_router(&self, r: u32) -> std::ops::Range<u32> {
+        self.offsets[r as usize]..self.offsets[r as usize + 1]
+    }
+
+    /// Average concentration `p` (endpoints per router).
+    pub fn avg_concentration(&self) -> f64 {
+        if self.num_routers() == 0 {
+            0.0
+        } else {
+            self.num_endpoints() as f64 / self.num_routers() as f64
+        }
+    }
+
+    /// One-line summary used by example binaries and benches.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: Nr={} N={} k'={}..{} k={} |E|={}",
+            self.name,
+            self.num_routers(),
+            self.num_endpoints(),
+            self.graph.min_degree(),
+            self.graph.max_degree(),
+            self.max_router_radix(),
+            self.graph.num_edges(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        Network::new(g, vec![2, 0, 3], "tiny".into(), TopologyKind::Other)
+    }
+
+    #[test]
+    fn counts() {
+        let n = tiny();
+        assert_eq!(n.num_routers(), 3);
+        assert_eq!(n.num_endpoints(), 5);
+        assert_eq!(n.network_radix(1), 2);
+        assert_eq!(n.router_radix(0), 1 + 2);
+        assert_eq!(n.router_radix(2), 1 + 3);
+        assert_eq!(n.max_router_radix(), 4);
+        assert!((n.avg_concentration() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_router_mapping() {
+        let n = tiny();
+        // endpoints 0,1 on router 0; 2,3,4 on router 2 (router 1 hosts none)
+        assert_eq!(n.endpoint_router(0), 0);
+        assert_eq!(n.endpoint_router(1), 0);
+        assert_eq!(n.endpoint_router(2), 2);
+        assert_eq!(n.endpoint_router(4), 2);
+        assert_eq!(n.endpoints_of_router(0), 0..2);
+        assert_eq!(n.endpoints_of_router(1), 2..2);
+        assert_eq!(n.endpoints_of_router(2), 2..5);
+    }
+
+    #[test]
+    fn endpoint_router_is_inverse_of_ranges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let n = Network::new(
+            g,
+            vec![0, 3, 0, 2],
+            "zeros".into(),
+            TopologyKind::Other,
+        );
+        for r in 0..n.num_routers() as u32 {
+            for e in n.endpoints_of_router(r) {
+                assert_eq!(n.endpoint_router(e), r, "endpoint {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let n = Network::with_uniform_concentration(g, 5, "u".into(), TopologyKind::Other);
+        assert_eq!(n.num_endpoints(), 20);
+        assert_eq!(n.endpoint_router(19), 3);
+        assert_eq!(n.endpoint_router(0), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Random shortcut topologies (Koibuchi et al., ISCA'12) — "DLN-2-y":
+//! a ring (degree 2) augmented with `y` random shortcut links per router.
+//!
+//! The paper uses these as the random-topology comparison point (DLN).
+//! We realize the random shortcuts as `y` rounds of uniformly random
+//! perfect matchings over the routers, which keeps the graph regular of
+//! degree `2 + y` (matching edges that would duplicate an existing edge
+//! or form a self-pair are re-drawn). Concentration is `p = ⌊√k⌋`
+//! (paper §III "Topology parameters").
+
+use crate::network::{Network, TopologyKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sf_graph::Graph;
+
+/// A DLN-2-y random shortcut network.
+#[derive(Clone, Debug)]
+pub struct RandomDln {
+    /// Number of routers (must be even for perfect matchings).
+    pub nr: usize,
+    /// Shortcut rounds (extra degree beyond the ring).
+    pub y: u32,
+    /// Endpoints per router.
+    pub p: u32,
+    /// RNG seed (construction is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl RandomDln {
+    /// DLN with `nr` routers, `y` shortcuts per router, `p = ⌊√(2+y+p)⌋`…
+    /// the paper ties p to the router radix: `p = ⌊√k⌋` with
+    /// `k = 2 + y + p`; we solve the fixed point below.
+    pub fn new(nr: usize, y: u32, seed: u64) -> Self {
+        assert!(nr >= 4 && nr.is_multiple_of(2), "need an even router count ≥ 4");
+        // p = ⌊√k⌋, k = 2 + y + p  ⇒ iterate to the fixed point.
+        let mut p = 1u32;
+        for _ in 0..8 {
+            let k = 2 + y + p;
+            p = (k as f64).sqrt().floor() as u32;
+        }
+        RandomDln { nr, y, p: p.max(1), seed }
+    }
+
+    /// Network radix `k' = 2 + y`.
+    pub fn network_radix(&self) -> u32 {
+        2 + self.y
+    }
+
+    /// Builds the router graph: ring + `y` random matchings.
+    pub fn router_graph(&self) -> Graph {
+        let n = self.nr;
+        let mut g = Graph::empty(n);
+        for v in 0..n as u32 {
+            g.add_edge(v, (v + 1) % n as u32);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _round in 0..self.y {
+            // Draw matchings until one adds only new edges (retry a few
+            // times, then accept partial duplicates by skipping them —
+            // degrees may then differ by 1, matching the "DLN-2-y adds
+            // ~y shortcuts" spirit).
+            let mut verts: Vec<u32> = (0..n as u32).collect();
+            let mut placed = false;
+            for _try in 0..32 {
+                verts.shuffle(&mut rng);
+                if verts
+                    .chunks(2)
+                    .all(|c| c.len() == 2 && !g.has_edge(c[0], c[1]))
+                {
+                    for c in verts.chunks(2) {
+                        g.add_edge(c[0], c[1]);
+                    }
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                verts.shuffle(&mut rng);
+                for c in verts.chunks(2) {
+                    if c.len() == 2 && !g.has_edge(c[0], c[1]) {
+                        g.add_edge(c[0], c[1]);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Builds the network.
+    pub fn network(&self) -> Network {
+        Network::with_uniform_concentration(
+            self.router_graph(),
+            self.p,
+            format!("DLN-2-{}(Nr={})", self.y, self.nr),
+            TopologyKind::RandomDln { y: self.y },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_graph::metrics;
+
+    #[test]
+    fn ring_plus_matchings_regular() {
+        let dln = RandomDln::new(64, 4, 7);
+        let g = dln.router_graph();
+        assert_eq!(g.num_vertices(), 64);
+        // Degree 2 (ring) + 4 (matchings) with at most slight deficit
+        // from duplicate-avoidance.
+        assert!(g.max_degree() <= 6);
+        assert!(g.min_degree() >= 5);
+    }
+
+    #[test]
+    fn low_diameter_like_random_graph() {
+        // ISCA'12 observes diameters of 3–10 for practical sizes; with
+        // y = 8 shortcuts a 256-router DLN lands well below the ring's
+        // n/2.
+        let dln = RandomDln::new(256, 8, 42);
+        let g = dln.router_graph();
+        let d = metrics::diameter(&g).unwrap();
+        assert!((3..=10).contains(&d), "diameter {d}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = RandomDln::new(32, 3, 11).router_graph();
+        let b = RandomDln::new(32, 3, 11).router_graph();
+        assert_eq!(a.edge_list(), b.edge_list());
+        let c = RandomDln::new(32, 3, 12).router_graph();
+        assert_ne!(a.edge_list(), c.edge_list());
+    }
+
+    #[test]
+    fn concentration_fixed_point() {
+        // p = ⌊√k⌋ with k = 2 + y + p.
+        let dln = RandomDln::new(64, 10, 1);
+        let k = 2 + dln.y + dln.p;
+        assert_eq!(dln.p, (k as f64).sqrt().floor() as u32);
+    }
+
+    #[test]
+    fn connected_always() {
+        // The ring alone guarantees connectivity.
+        for seed in 0..5 {
+            let g = RandomDln::new(50, 2, seed).router_graph();
+            assert!(metrics::is_connected(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even router count")]
+    fn odd_count_rejected() {
+        RandomDln::new(33, 2, 0);
+    }
+}

@@ -1,0 +1,445 @@
+//! Slim Fly topology construction on McKay–Miller–Širáň (MMS) graphs
+//! (paper §II-B).
+//!
+//! For a prime power `q = 4w + δ`, `δ ∈ {−1, 0, 1}`, the MMS graph has
+//! `Nr = 2q²` routers of network radix `k' = (3q − δ)/2` and diameter 2.
+//! Routers form the set `{0,1} × GF(q) × GF(q)` and are connected by
+//! (Eq. (1)–(3) of the paper):
+//!
+//! * `(0, x, y) ~ (0, x, y')`  iff  `y − y' ∈ X`,
+//! * `(1, m, c) ~ (1, m, c')`  iff  `c − c' ∈ X'`,
+//! * `(0, x, y) ~ (1, m, c)`   iff  `y = m·x + c`,
+//!
+//! where the generator sets `X, X'` are built from a primitive element ξ
+//! of GF(q) following Hafner \[35\]:
+//!
+//! * δ = +1: `X = {1, ξ², …, ξ^(q−3)}` (the quadratic residues),
+//!   `X' = {ξ, ξ³, …, ξ^(q−2)}` (the non-residues);
+//! * δ = −1: `X = {±ξ^(2i) : 0 ≤ i < w}`, `X' = {±ξ^(2i+1) : 0 ≤ i < w}`
+//!   (sets overlap; each has (q+1)/2 elements);
+//! * δ = 0 (q = 2^m): `X = {ξ^(2i) : 0 ≤ i < q/2}`,
+//!   `X' = {ξ^(2i+1) : 0 ≤ i < q/2}` (exponents wrap mod the odd q−1,
+//!   making the sets overlap in one element).
+//!
+//! The construction is validated structurally in tests: the diameter-2
+//! property, k'-regularity, and for `q = 5` the Hoffman–Singleton graph
+//! (50 vertices, 7-regular, girth 5) of the paper's worked example.
+//!
+//! Endpoint attachment (§II-B2): the balanced concentration is
+//! `p = ⌈k'/2⌉`, making ≈67% of router ports network ports and achieving
+//! full global bandwidth; any other `p` yields an under-/oversubscribed
+//! variant (§V-E).
+
+use crate::network::{Network, TopologyKind};
+use sf_arith::FiniteField;
+use sf_graph::Graph;
+
+/// A Slim Fly (SF MMS) instance description.
+#[derive(Clone, Debug)]
+pub struct SlimFly {
+    field: FiniteField,
+    q: u32,
+    delta: i32,
+    x_set: Vec<u32>,
+    xp_set: Vec<u32>,
+}
+
+/// Errors from Slim Fly parameter validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlimFlyError {
+    /// `q` must be a prime power.
+    NotPrimePower(u32),
+    /// `q mod 4` must be 0, 1, or 3.
+    BadResidue(u32),
+}
+
+impl std::fmt::Display for SlimFlyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlimFlyError::NotPrimePower(q) => write!(f, "q = {q} is not a prime power"),
+            SlimFlyError::BadResidue(q) => {
+                write!(f, "q = {q} ≡ 2 (mod 4) admits no MMS graph (need q = 4w + δ, δ ∈ {{−1,0,1}})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlimFlyError {}
+
+impl SlimFly {
+    /// Creates the Slim Fly structure for prime power `q = 4w + δ`.
+    pub fn new(q: u32) -> Result<Self, SlimFlyError> {
+        let delta = match q % 4 {
+            0 => 0,
+            1 => 1,
+            3 => -1,
+            _ => return Err(SlimFlyError::BadResidue(q)),
+        };
+        let field = FiniteField::new(q).ok_or(SlimFlyError::NotPrimePower(q))?;
+        let (x_set, xp_set) = generator_sets(&field, delta);
+        Ok(SlimFly {
+            field,
+            q,
+            delta,
+            x_set,
+            xp_set,
+        })
+    }
+
+    /// The underlying prime power q.
+    pub fn q(&self) -> u32 {
+        self.q
+    }
+
+    /// δ with q = 4w + δ.
+    pub fn delta(&self) -> i32 {
+        self.delta
+    }
+
+    /// Number of routers `Nr = 2q²`.
+    pub fn num_routers(&self) -> usize {
+        2 * (self.q as usize) * (self.q as usize)
+    }
+
+    /// Network radix `k' = (3q − δ)/2`.
+    pub fn network_radix(&self) -> usize {
+        ((3 * self.q as i64 - self.delta as i64) / 2) as usize
+    }
+
+    /// Balanced concentration `p = ⌈k'/2⌉` (§II-B2) giving full global
+    /// bandwidth.
+    pub fn balanced_concentration(&self) -> u32 {
+        (self.network_radix() as u32).div_ceil(2)
+    }
+
+    /// Generator set X (for subgraph 0).
+    pub fn x_set(&self) -> &[u32] {
+        &self.x_set
+    }
+
+    /// Generator set X' (for subgraph 1).
+    pub fn xp_set(&self) -> &[u32] {
+        &self.xp_set
+    }
+
+    /// Router id of `(s, a, b)` with `s ∈ {0,1}`, `a, b ∈ GF(q)`.
+    ///
+    /// Layout: id = s·q² + a·q + b. Subgraph 0 routers are `(0, x, y)`,
+    /// subgraph 1 routers are `(1, m, c)`.
+    pub fn router_id(&self, s: u32, a: u32, b: u32) -> u32 {
+        debug_assert!(s < 2 && a < self.q && b < self.q);
+        s * self.q * self.q + a * self.q + b
+    }
+
+    /// Inverse of [`Self::router_id`]: `(s, a, b)` of a router id.
+    pub fn router_coords(&self, id: u32) -> (u32, u32, u32) {
+        let q2 = self.q * self.q;
+        let s = id / q2;
+        let rem = id % q2;
+        (s, rem / self.q, rem % self.q)
+    }
+
+    /// Builds the router graph (Eq. (1)–(3)).
+    pub fn router_graph(&self) -> Graph {
+        let q = self.q;
+        let f = &self.field;
+        let mut g = Graph::empty(self.num_routers());
+
+        // Eq. (1): (0,x,y) ~ (0,x,y') iff y − y' ∈ X.
+        // Eq. (2): (1,m,c) ~ (1,m,c') iff c − c' ∈ X'.
+        for (s, gens) in [(0u32, &self.x_set), (1u32, &self.xp_set)] {
+            for a in 0..q {
+                for b in 0..q {
+                    for &d in gens.iter() {
+                        let b2 = f.add(b, d);
+                        let u = self.router_id(s, a, b);
+                        let v = self.router_id(s, a, b2);
+                        if u != v {
+                            g.add_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Eq. (3): (0,x,y) ~ (1,m,c) iff y = m·x + c.
+        for x in 0..q {
+            for m in 0..q {
+                for c in 0..q {
+                    let y = f.add(f.mul(m, x), c);
+                    g.add_edge(self.router_id(0, x, y), self.router_id(1, m, c));
+                }
+            }
+        }
+        g
+    }
+
+    /// Builds the full balanced network (p = ⌈k'/2⌉).
+    pub fn network(&self) -> Network {
+        self.network_with_concentration(self.balanced_concentration())
+    }
+
+    /// Builds a network with explicit concentration `p` (use
+    /// `p > ⌈k'/2⌉` for the oversubscribed variants of §V-E).
+    pub fn network_with_concentration(&self, p: u32) -> Network {
+        let g = self.router_graph();
+        Network::with_uniform_concentration(
+            g,
+            p,
+            format!("SF(q={},p={})", self.q, p),
+            TopologyKind::SlimFly {
+                q: self.q,
+                delta: self.delta,
+            },
+        )
+    }
+
+    /// Admissible q values (prime powers with q mod 4 ∈ {0,1,3}) up to a
+    /// limit — the "library of practical topologies" driver (§VII-A).
+    pub fn admissible_q_up_to(limit: u32) -> Vec<u32> {
+        sf_arith::prime::prime_powers_up_to(limit as u64)
+            .into_iter()
+            .map(|q| q as u32)
+            .filter(|&q| q % 4 != 2 && q > 2)
+            .collect()
+    }
+}
+
+/// Builds the Hafner generator sets (X, X') for GF(q), q = 4w + δ.
+fn generator_sets(f: &FiniteField, delta: i32) -> (Vec<u32>, Vec<u32>) {
+    let q = f.order();
+    let mut x = Vec::new();
+    let mut xp = Vec::new();
+    match delta {
+        1 => {
+            // X = even powers of ξ (quadratic residues), X' = odd powers.
+            let s = (q - 1) / 2;
+            for i in 0..s {
+                x.push(f.xi_pow(2 * i));
+                xp.push(f.xi_pow(2 * i + 1));
+            }
+        }
+        0 => {
+            // q = 2^m: exponents wrap modulo the odd q−1, the two sets
+            // overlap in exactly one element; each has q/2 elements.
+            let s = q / 2;
+            for i in 0..s {
+                x.push(f.xi_pow(2 * i));
+                xp.push(f.xi_pow((2 * i + 1) % (q - 1)));
+            }
+        }
+        -1 => {
+            // X = {±ξ^(2i)}, X' = {±ξ^(2i+1)}, i < w = (q+1)/4.
+            let w = (q + 1) / 4;
+            for i in 0..w {
+                let e = f.xi_pow(2 * i);
+                let o = f.xi_pow(2 * i + 1);
+                x.push(e);
+                x.push(f.neg(e));
+                xp.push(o);
+                xp.push(f.neg(o));
+            }
+        }
+        _ => unreachable!(),
+    }
+    x.sort_unstable();
+    x.dedup();
+    xp.sort_unstable();
+    xp.dedup();
+    (x, xp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_graph::metrics;
+
+    /// q values covering all three δ classes and both prime and
+    /// prime-power fields.
+    const TEST_QS: &[u32] = &[4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25];
+
+    #[test]
+    fn rejects_invalid_q() {
+        assert!(matches!(SlimFly::new(6), Err(SlimFlyError::BadResidue(6))));
+        assert!(matches!(SlimFly::new(15), Err(SlimFlyError::NotPrimePower(15))));
+        assert!(matches!(SlimFly::new(21), Err(SlimFlyError::NotPrimePower(21))));
+        // 2 ≡ 2 (mod 4)
+        assert!(matches!(SlimFly::new(2), Err(SlimFlyError::BadResidue(2))));
+    }
+
+    #[test]
+    fn delta_classification() {
+        assert_eq!(SlimFly::new(5).unwrap().delta(), 1);
+        assert_eq!(SlimFly::new(7).unwrap().delta(), -1);
+        assert_eq!(SlimFly::new(8).unwrap().delta(), 0);
+        assert_eq!(SlimFly::new(9).unwrap().delta(), 1);
+        assert_eq!(SlimFly::new(19).unwrap().delta(), -1);
+    }
+
+    #[test]
+    fn generator_sets_structure() {
+        for &q in TEST_QS {
+            let sf = SlimFly::new(q).unwrap();
+            let f = FiniteField::new(q).unwrap();
+            let expected = ((3 * q as i64 - sf.delta() as i64) / 2 - q as i64) as usize;
+            assert_eq!(sf.x_set().len(), expected, "|X| for q={q}");
+            assert_eq!(sf.xp_set().len(), expected, "|X'| for q={q}");
+            // Symmetry: X = −X, X' = −X' (required for undirected edges).
+            for &e in sf.x_set() {
+                assert!(sf.x_set().contains(&f.neg(e)), "X symmetric q={q} e={e}");
+                assert_ne!(e, 0);
+            }
+            for &e in sf.xp_set() {
+                assert!(sf.xp_set().contains(&f.neg(e)), "X' symmetric q={q}");
+                assert_ne!(e, 0);
+            }
+            // Coverage: X ∪ X' = GF(q)* (needed for diameter 2 across
+            // subgraphs; see module docs).
+            let mut union: Vec<u32> = sf.x_set().to_vec();
+            union.extend_from_slice(sf.xp_set());
+            union.sort_unstable();
+            union.dedup();
+            assert_eq!(union.len(), (q - 1) as usize, "X ∪ X' covers GF({q})*");
+        }
+    }
+
+    #[test]
+    fn paper_example_q5_generators() {
+        // §II-B1d: q=5, ξ=2: X = {1, 4}, X' = {2, 3}.
+        let sf = SlimFly::new(5).unwrap();
+        assert_eq!(sf.x_set(), &[1, 4]);
+        assert_eq!(sf.xp_set(), &[2, 3]);
+    }
+
+    #[test]
+    fn router_graph_is_regular_diameter_two() {
+        for &q in TEST_QS {
+            let sf = SlimFly::new(q).unwrap();
+            let g = sf.router_graph();
+            assert_eq!(g.num_vertices(), 2 * (q * q) as usize, "Nr = 2q² for q={q}");
+            assert!(
+                g.is_regular(),
+                "MMS graph must be regular, q={q}: min={} max={}",
+                g.min_degree(),
+                g.max_degree()
+            );
+            assert_eq!(g.max_degree(), sf.network_radix(), "k' for q={q}");
+            assert_eq!(
+                metrics::diameter(&g),
+                Some(2),
+                "MMS graph must have diameter 2, q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn q5_is_hoffman_singleton() {
+        // The unique (7,5)-cage: 50 vertices, 7-regular, girth 5,
+        // diameter 2 — the Hoffman–Singleton graph (§II-B).
+        let sf = SlimFly::new(5).unwrap();
+        let g = sf.router_graph();
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 175);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 7);
+        assert_eq!(metrics::diameter(&g), Some(2));
+        // Girth 5: no triangles and no 4-cycles. Adjacent vertices share
+        // no common neighbor; non-adjacent share exactly one.
+        for u in 0..50u32 {
+            for v in 0..u {
+                let common = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&w| g.has_edge(v, w))
+                    .count();
+                if g.has_edge(u, v) {
+                    assert_eq!(common, 0, "triangle at ({u},{v})");
+                } else {
+                    assert_eq!(common, 1, "4-cycle or diameter>2 at ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn router_id_roundtrip() {
+        let sf = SlimFly::new(7).unwrap();
+        for s in 0..2 {
+            for a in 0..7 {
+                for b in 0..7 {
+                    let id = sf.router_id(s, a, b);
+                    assert_eq!(sf.router_coords(id), (s, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_concentration_ratio() {
+        // p ≈ ⌈k'/2⌉ — about 33% of ports to endpoints, 67% to network.
+        for &q in &[5u32, 17, 19, 25] {
+            let sf = SlimFly::new(q).unwrap();
+            let p = sf.balanced_concentration() as f64;
+            let k = p + sf.network_radix() as f64;
+            let ratio = p / k;
+            assert!((0.30..=0.37).contains(&ratio), "q={q} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn paper_flagship_configuration_q19() {
+        // §V: SF has k = 44, p = 15, Nr = 722, N = 10830 (q = 19).
+        let sf = SlimFly::new(19).unwrap();
+        assert_eq!(sf.num_routers(), 722);
+        assert_eq!(sf.network_radix(), 29);
+        assert_eq!(sf.balanced_concentration(), 15);
+        let net = sf.network();
+        assert_eq!(net.num_endpoints(), 10830);
+        assert_eq!(net.max_router_radix(), 44);
+    }
+
+    #[test]
+    fn oversubscribed_network_sizes() {
+        // §V-E: q=19 with p ∈ {16..21} connects 11552..15162 endpoints.
+        let sf = SlimFly::new(19).unwrap();
+        assert_eq!(sf.network_with_concentration(16).num_endpoints(), 11552);
+        assert_eq!(sf.network_with_concentration(21).num_endpoints(), 15162);
+    }
+
+    #[test]
+    fn cross_subgraph_edges_count() {
+        // Eq. (3) contributes exactly q edges per (x, m) subgroup pair:
+        // q² · q cross edges in total.
+        for &q in &[5u32, 7, 8] {
+            let sf = SlimFly::new(q).unwrap();
+            let g = sf.router_graph();
+            let q2 = q * q;
+            let cross = g
+                .edge_list()
+                .iter()
+                .filter(|&&(u, v)| (u < q2) != (v < q2))
+                .count();
+            assert_eq!(cross, (q * q * q) as usize, "q={q}");
+        }
+    }
+
+    #[test]
+    fn admissible_q_list() {
+        let qs = SlimFly::admissible_q_up_to(30);
+        assert_eq!(qs, vec![3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29]);
+        for q in qs {
+            SlimFly::new(q).expect("admissible q must construct");
+        }
+    }
+
+    #[test]
+    fn moore_bound_gap_small() {
+        // §II-B3: SF MMS is close to the Moore bound; e.g. for k'=96 MMS
+        // has 8192 routers vs the bound 9217 (12% below). Check the same
+        // relation for our range: Nr ≥ 85% of MB(k',2) for δ=0 cases.
+        let sf = SlimFly::new(8).unwrap(); // k' = 12, Nr = 128
+        let mb = 1 + sf.network_radix() * sf.network_radix();
+        let frac = sf.num_routers() as f64 / mb as f64;
+        assert!(frac > 0.85, "frac = {frac}");
+    }
+}

@@ -1,0 +1,202 @@
+//! k-ary n-cube tori (T3D, T5D in the paper; e.g. Cray Gemini,
+//! IBM BlueGene/Q).
+//!
+//! Routers form an n-dimensional grid with wrap-around links in every
+//! dimension; network radix `k' = 2n` (dimensions of extent 2 contribute
+//! a single link, extent 1 contributes none). The paper attaches one
+//! endpoint per router (`p = 1`, §III "Topology parameters").
+
+use crate::network::{Network, TopologyKind};
+use sf_graph::Graph;
+
+/// An n-dimensional torus with per-dimension extents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Torus {
+    /// Extent of each dimension (≥ 1).
+    pub dims: Vec<u32>,
+    /// Endpoints per router.
+    pub p: u32,
+}
+
+impl Torus {
+    /// A torus with the given extents and `p = 1`.
+    pub fn new(dims: Vec<u32>) -> Self {
+        assert!(!dims.is_empty());
+        assert!(dims.iter().all(|&d| d >= 1));
+        Torus { dims, p: 1 }
+    }
+
+    /// Near-cubic 3D torus with at least `n` routers (extents as equal
+    /// as possible).
+    pub fn cubic_3d(n: usize) -> Self {
+        Torus::near_cubic(n, 3)
+    }
+
+    /// Near-cubic 5D torus with at least `n` routers.
+    pub fn cubic_5d(n: usize) -> Self {
+        Torus::near_cubic(n, 5)
+    }
+
+    fn near_cubic(n: usize, ndims: u32) -> Self {
+        let side = (n as f64).powf(1.0 / ndims as f64).round().max(2.0) as u32;
+        let mut dims = vec![side; ndims as usize];
+        // Adjust the last dimensions upward until we reach ≥ n routers.
+        let mut i = 0usize;
+        while dims.iter().map(|&d| d as usize).product::<usize>() < n {
+            dims[i % ndims as usize] += 1;
+            i += 1;
+        }
+        Torus::new(dims)
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.dims.iter().map(|&d| d as usize).product()
+    }
+
+    /// Router id from coordinates (little-endian mixed radix).
+    pub fn router_id(&self, coords: &[u32]) -> u32 {
+        debug_assert_eq!(coords.len(), self.dims.len());
+        let mut id = 0u64;
+        for (i, &x) in coords.iter().enumerate().rev() {
+            debug_assert!(x < self.dims[i]);
+            id = id * self.dims[i] as u64 + x as u64;
+        }
+        id as u32
+    }
+
+    /// Coordinates of a router id.
+    pub fn router_coords(&self, mut id: u32) -> Vec<u32> {
+        let mut coords = Vec::with_capacity(self.dims.len());
+        for &d in &self.dims {
+            coords.push(id % d);
+            id /= d;
+        }
+        coords
+    }
+
+    /// Builds the torus router graph.
+    pub fn router_graph(&self) -> Graph {
+        let n = self.num_routers();
+        let mut g = Graph::empty(n);
+        for id in 0..n as u32 {
+            let coords = self.router_coords(id);
+            for (d, &extent) in self.dims.iter().enumerate() {
+                if extent < 2 {
+                    continue;
+                }
+                let mut nb = coords.clone();
+                nb[d] = (coords[d] + 1) % extent;
+                let v = self.router_id(&nb);
+                if v != id {
+                    g.add_edge(id, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Builds the network (`p` endpoints per router).
+    pub fn network(&self) -> Network {
+        let dims_str: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        Network::with_uniform_concentration(
+            self.router_graph(),
+            self.p,
+            format!("T{}D({})", self.dims.len(), dims_str.join("x")),
+            TopologyKind::Torus {
+                dims: self.dims.clone(),
+            },
+        )
+    }
+
+    /// Analytic diameter: sum over dimensions of ⌊extent/2⌋.
+    pub fn diameter(&self) -> u32 {
+        self.dims.iter().map(|&d| d / 2).sum()
+    }
+
+    /// Analytic bisection in cables for a balanced cut across the
+    /// largest dimension: `2 · Nr / max_extent` wrap-around pairs.
+    pub fn bisection_cables(&self) -> u64 {
+        let max = *self.dims.iter().max().unwrap();
+        if max < 2 {
+            return 0;
+        }
+        let cross_section = self.num_routers() as u64 / max as u64;
+        if max == 2 {
+            cross_section
+        } else {
+            2 * cross_section
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_graph::metrics;
+
+    #[test]
+    fn ring_is_torus_1d() {
+        let t = Torus::new(vec![6]);
+        let g = t.router_graph();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(metrics::diameter(&g), Some(3));
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn torus_3d_structure() {
+        let t = Torus::new(vec![4, 4, 4]);
+        let g = t.router_graph();
+        assert_eq!(g.num_vertices(), 64);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 6);
+        assert_eq!(metrics::diameter(&g), Some(t.diameter()));
+        assert_eq!(t.diameter(), 6);
+    }
+
+    #[test]
+    fn extent_two_single_link() {
+        let t = Torus::new(vec![2, 2]);
+        let g = t.router_graph();
+        // 2x2 torus = 4-cycle (each dim contributes one link, not two).
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn near_cubic_sizing() {
+        let t = Torus::cubic_3d(1000);
+        assert!(t.num_routers() >= 1000);
+        assert!(t.num_routers() <= 1400, "not wildly oversized: {}", t.num_routers());
+        let t5 = Torus::cubic_5d(1024);
+        assert!(t5.num_routers() >= 1024);
+        assert_eq!(t5.dims.len(), 5);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Torus::new(vec![3, 4, 5]);
+        for id in 0..t.num_routers() as u32 {
+            assert_eq!(t.router_id(&t.router_coords(id)), id);
+        }
+    }
+
+    #[test]
+    fn diameter_matches_bfs_asymmetric() {
+        let t = Torus::new(vec![3, 5]);
+        let g = t.router_graph();
+        assert_eq!(metrics::diameter(&g), Some(t.diameter()));
+    }
+
+    #[test]
+    fn bisection_cables_formula() {
+        // 4x4x4: cut across one dim: 2 * 16 = 32 cables.
+        let t = Torus::new(vec![4, 4, 4]);
+        assert_eq!(t.bisection_cables(), 32);
+        // extent-2 dimension has only single links.
+        let t2 = Torus::new(vec![2, 8]);
+        assert_eq!(t2.bisection_cables(), 4);
+    }
+}

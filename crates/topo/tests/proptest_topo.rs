@@ -1,0 +1,139 @@
+//! Property-based tests for topology constructions: every constructor
+//! must produce graphs whose structural invariants (regularity, size
+//! formulas, diameter bounds) hold across the full parameter space.
+
+use proptest::prelude::*;
+use sf_graph::metrics;
+use sf_topo::dragonfly::Dragonfly;
+use sf_topo::fattree::FatTree3;
+use sf_topo::flatbutterfly::FlattenedButterfly;
+use sf_topo::hypercube::Hypercube;
+use sf_topo::longhop::LongHop;
+use sf_topo::moore::moore_bound;
+use sf_topo::random_dln::RandomDln;
+use sf_topo::torus::Torus;
+use sf_topo::SlimFly;
+
+const ADMISSIBLE_Q: &[u32] = &[3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn slimfly_invariants(q in prop::sample::select(ADMISSIBLE_Q.to_vec())) {
+        let sf = SlimFly::new(q).unwrap();
+        let g = sf.router_graph();
+        prop_assert_eq!(g.num_vertices(), 2 * (q as usize) * (q as usize));
+        prop_assert!(g.is_regular());
+        prop_assert_eq!(g.max_degree(), sf.network_radix());
+        prop_assert_eq!(metrics::diameter(&g), Some(2));
+        // At or below — but near — the Moore bound (q = 5 is the
+        // Hoffman–Singleton graph, which *meets* MB(7,2) = 50 exactly).
+        let mb = moore_bound(sf.network_radix() as u64, 2);
+        prop_assert!((g.num_vertices() as u64) <= mb);
+        prop_assert!(g.num_vertices() as f64 > 0.6 * mb as f64);
+    }
+
+    #[test]
+    fn slimfly_never_exceeds_moore_bound(q in prop::sample::select(ADMISSIBLE_Q.to_vec())) {
+        let sf = SlimFly::new(q).unwrap();
+        let n = sf.num_routers() as u64;
+        prop_assert!(n <= moore_bound(sf.network_radix() as u64, 2));
+    }
+
+    #[test]
+    fn dragonfly_invariants(p in 1u32..6) {
+        let df = Dragonfly::balanced(p);
+        let g = df.router_graph();
+        prop_assert_eq!(g.num_vertices(), df.num_routers());
+        prop_assert!(g.is_regular());
+        prop_assert_eq!(g.max_degree() as u32, df.a - 1 + df.h);
+        let d = metrics::diameter(&g).unwrap();
+        prop_assert!(d <= 3);
+    }
+
+    #[test]
+    fn fattree_invariants(p in 2u32..9, full in any::<bool>()) {
+        let ft = FatTree3 { p, full };
+        let net = ft.network();
+        prop_assert_eq!(net.num_routers(), ft.num_routers());
+        prop_assert_eq!(net.num_endpoints(), ft.num_endpoints());
+        prop_assert_eq!(metrics::diameter(&net.graph), Some(4));
+        prop_assert!(metrics::is_connected(&net.graph));
+    }
+
+    #[test]
+    fn flattened_butterfly_invariants(c in 2u32..7, dims in 2u32..4) {
+        let f = FlattenedButterfly { c, dims, p: c };
+        let g = f.router_graph();
+        prop_assert!(g.is_regular());
+        prop_assert_eq!(g.max_degree() as u32, f.network_radix());
+        prop_assert_eq!(metrics::diameter(&g), Some(dims));
+    }
+
+    #[test]
+    fn torus_invariants(dims in prop::collection::vec(2u32..6, 1..4)) {
+        let t = Torus::new(dims.clone());
+        let g = t.router_graph();
+        prop_assert_eq!(g.num_vertices(), t.num_routers());
+        prop_assert!(metrics::is_connected(&g));
+        prop_assert_eq!(metrics::diameter(&g), Some(t.diameter()).filter(|&d| d > 0));
+    }
+
+    #[test]
+    fn hypercube_invariants(d in 1u32..10) {
+        let hc = Hypercube::new(d);
+        let g = hc.router_graph();
+        prop_assert_eq!(g.num_vertices(), 1 << d);
+        prop_assert_eq!(g.num_edges(), (d as usize) << (d.saturating_sub(1)));
+        prop_assert_eq!(metrics::diameter(&g), Some(d));
+    }
+
+    #[test]
+    fn longhop_reduces_diameter(d in 5u32..11, l in 1u32..4) {
+        let lh = LongHop::new(d, l);
+        let g = lh.router_graph();
+        prop_assert!(g.is_regular());
+        let diam = metrics::diameter(&g).unwrap();
+        prop_assert!(diam < d, "long hops must shrink the diameter: {diam} vs {d}");
+    }
+
+    #[test]
+    fn dln_connected_and_near_regular(nr in 3usize..40, y in 1u32..6, seed in 0u64..100) {
+        let nr = nr * 2; // even
+        let dln = RandomDln::new(nr, y, seed);
+        let g = dln.router_graph();
+        prop_assert!(metrics::is_connected(&g), "ring guarantees connectivity");
+        prop_assert!(g.max_degree() <= (2 + y) as usize);
+        prop_assert!(g.min_degree() >= 2);
+    }
+
+    #[test]
+    fn balanced_concentration_about_third_of_ports(
+        q in prop::sample::select(ADMISSIBLE_Q.to_vec())
+    ) {
+        let sf = SlimFly::new(q).unwrap();
+        let p = sf.balanced_concentration() as f64;
+        let k = p + sf.network_radix() as f64;
+        prop_assert!((p / k - 1.0 / 3.0).abs() < 0.08, "p/k = {}", p / k);
+    }
+
+    #[test]
+    fn oversubscription_monotone_in_endpoints(
+        q in prop::sample::select(&[5u32, 7, 9][..]),
+        extra in 0u32..5
+    ) {
+        let sf = SlimFly::new(q).unwrap();
+        let base = sf.balanced_concentration();
+        let n1 = sf.network_with_concentration(base + extra).num_endpoints();
+        let n2 = sf.network_with_concentration(base + extra + 1).num_endpoints();
+        prop_assert_eq!(n2 - n1, sf.num_routers());
+    }
+
+    #[test]
+    fn moore_bound_monotone(k1 in 1u64..50, k2 in 1u64..50, d in 1u32..4) {
+        let (lo, hi) = if k1 < k2 { (k1, k2) } else { (k2, k1) };
+        prop_assert!(moore_bound(lo, d) <= moore_bound(hi, d));
+        prop_assert!(moore_bound(hi, d) <= moore_bound(hi, d + 1));
+    }
+}

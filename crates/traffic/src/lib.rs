@@ -1,0 +1,468 @@
+//! # sf-traffic — traffic patterns (paper §V)
+//!
+//! Destination generators for all workloads the paper evaluates:
+//!
+//! * **uniform random** (§V-A) — irregular workloads (graph computing,
+//!   sparse solvers, AMR);
+//! * **bit permutations** (§V-B) — shuffle, bit reversal, bit complement
+//!   (stencils and collectives); only the nearest power-of-two endpoint
+//!   population is active, as in the paper;
+//! * **shift** (§V-B) — each source talks to its ±N/2 counterpart;
+//! * **worst case** (§V-C) — per-topology adversarial permutations:
+//!   Slim Fly (colliding 2-hop paths through a shared middle router,
+//!   Fig 9), Dragonfly (group g → group g+1, Kim et al. §4.2), fat tree
+//!   (all packets forced through core switches).
+//!
+//! All patterns are *endpoint-safe*: no endpoint is required to absorb
+//! more than one full-rate flow (the paper's stated constraint for
+//! adversarial patterns).
+
+use rand::Rng;
+use sf_routing::RoutingTables;
+use sf_topo::{Network, TopologyKind};
+
+/// A traffic pattern over `n_total` endpoints (some possibly inactive).
+#[derive(Clone, Debug)]
+pub struct TrafficPattern {
+    kind: Kind,
+    /// Total endpoints in the network.
+    n_total: u32,
+    /// Active endpoints (power of two for bit patterns, else n_total).
+    n_active: u32,
+    /// Explicit permutation table for worst-case patterns.
+    perm: Option<Vec<u32>>,
+    /// Display name.
+    name: String,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Uniform,
+    Shuffle,
+    BitReversal,
+    BitComplement,
+    Shift,
+    Permutation,
+}
+
+/// The largest power of two ≤ n, as used for the active-endpoint subset.
+pub fn active_power_of_two(n: u32) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        1 << (31 - n.leading_zeros())
+    }
+}
+
+impl TrafficPattern {
+    fn new_bitwise(kind: Kind, name: &str, n_total: u32) -> Self {
+        let n_active = active_power_of_two(n_total);
+        TrafficPattern {
+            kind,
+            n_total,
+            n_active,
+            perm: None,
+            name: name.to_string(),
+        }
+    }
+
+    /// Uniform random traffic: every active endpoint picks destinations
+    /// uniformly among the other endpoints.
+    pub fn uniform(n_total: u32) -> Self {
+        TrafficPattern {
+            kind: Kind::Uniform,
+            n_total,
+            n_active: n_total,
+            perm: None,
+            name: "uniform".into(),
+        }
+    }
+
+    /// Shuffle: `d_i = s_(i−1 mod b)` (rotate address bits left).
+    pub fn shuffle(n_total: u32) -> Self {
+        Self::new_bitwise(Kind::Shuffle, "shuffle", n_total)
+    }
+
+    /// Bit reversal: `d_i = s_(b−i−1)`.
+    pub fn bit_reversal(n_total: u32) -> Self {
+        Self::new_bitwise(Kind::BitReversal, "bitrev", n_total)
+    }
+
+    /// Bit complement: `d_i = ¬s_i`.
+    pub fn bit_complement(n_total: u32) -> Self {
+        Self::new_bitwise(Kind::BitComplement, "bitcomp", n_total)
+    }
+
+    /// Shift: destination is the source's counterpart in the other half
+    /// (or the same index in the lower half), each with probability 1/2
+    /// (§V-B).
+    pub fn shift(n_total: u32) -> Self {
+        TrafficPattern {
+            kind: Kind::Shift,
+            n_total,
+            n_active: n_total & !1, // need an even count
+            perm: None,
+            name: "shift".into(),
+        }
+    }
+
+    /// Explicit (partial) permutation pattern; `perm[s] == u32::MAX`
+    /// marks an inactive source.
+    pub fn permutation(perm: Vec<u32>, name: &str) -> Self {
+        let n = perm.len() as u32;
+        TrafficPattern {
+            kind: Kind::Permutation,
+            n_total: n,
+            n_active: perm.iter().filter(|&&d| d != u32::MAX).count() as u32,
+            perm: Some(perm),
+            name: name.to_string(),
+        }
+    }
+
+    /// The Slim Fly worst case (§V-C, Fig 9): routers are paired so that
+    /// each pair is at distance 2 with minimal paths funneled through a
+    /// single middle router; the p endpoint flows of each router then
+    /// collide on one link, capping MIN throughput near `1/(p+1)`.
+    ///
+    /// Greedy matching: scan routers in id order; pair each unpaired
+    /// router with an unpaired distance-2 partner, preferring partners
+    /// with the fewest shared minimal middles (1 in girth-5 MMS graphs).
+    /// Endpoints are paired index-to-index (a symmetric permutation —
+    /// endpoint-safe by construction).
+    pub fn worst_case_slimfly(net: &Network, tables: &RoutingTables) -> Self {
+        let nr = net.num_routers() as u32;
+        let mut partner = vec![u32::MAX; nr as usize];
+        for r in 0..nr {
+            if partner[r as usize] != u32::MAX {
+                continue;
+            }
+            // Candidate partners at distance 2, fewest common middles.
+            let mut best: Option<(usize, u32)> = None;
+            for s in 0..nr {
+                if s == r || partner[s as usize] != u32::MAX || tables.distance(r, s) != 2 {
+                    continue;
+                }
+                let middles = net
+                    .graph
+                    .neighbors(r)
+                    .iter()
+                    .filter(|&&m| net.graph.has_edge(m, s))
+                    .count();
+                if best.is_none_or(|(bm, _)| middles < bm) {
+                    best = Some((middles, s));
+                    if middles == 1 {
+                        break;
+                    }
+                }
+            }
+            if let Some((_, s)) = best {
+                partner[r as usize] = s;
+                partner[s as usize] = r;
+            }
+        }
+        // Endpoint permutation: index-to-index across paired routers;
+        // routers left unpaired (odd remainder) stay silent.
+        let mut perm = vec![u32::MAX; net.num_endpoints()];
+        for r in 0..nr {
+            let s = partner[r as usize];
+            if s == u32::MAX {
+                continue;
+            }
+            let re = net.endpoints_of_router(r);
+            let se = net.endpoints_of_router(s);
+            for (a, b) in re.zip(se) {
+                perm[a as usize] = b;
+            }
+        }
+        let mut p = TrafficPattern::permutation(perm, "worst-sf");
+        p.n_total = net.num_endpoints() as u32;
+        p
+    }
+
+    /// The Dragonfly worst case (Kim et al. §4.2): every endpoint in
+    /// group `G` sends to its positional counterpart in group `G+1`,
+    /// forcing all minimal traffic across the single global link between
+    /// consecutive groups.
+    pub fn worst_case_dragonfly(net: &Network) -> Self {
+        let (a, g) = match net.kind {
+            TopologyKind::Dragonfly { a, g, .. } => (a, g),
+            _ => panic!("worst_case_dragonfly requires a Dragonfly network"),
+        };
+        let n = net.num_endpoints() as u32;
+        let per_group = n / g;
+        let mut perm = vec![u32::MAX; n as usize];
+        let _ = a;
+        for e in 0..n {
+            let grp = e / per_group;
+            let idx = e % per_group;
+            let dst_grp = (grp + 1) % g;
+            perm[e as usize] = dst_grp * per_group + idx;
+        }
+        TrafficPattern::permutation(perm, "worst-df")
+    }
+
+    /// The fat-tree worst case (§V-C): every packet must traverse a core
+    /// switch — endpoints send to the same position in the next pod.
+    pub fn worst_case_fattree(net: &Network) -> Self {
+        let pods = match net.kind {
+            TopologyKind::FatTree3 { pods, .. } => pods,
+            _ => panic!("worst_case_fattree requires a FatTree3 network"),
+        };
+        let n = net.num_endpoints() as u32;
+        let per_pod = n / pods;
+        let mut perm = vec![u32::MAX; n as usize];
+        for e in 0..n {
+            let pod = e / per_pod;
+            let idx = e % per_pod;
+            perm[e as usize] = ((pod + 1) % pods) * per_pod + idx;
+        }
+        TrafficPattern::permutation(perm, "worst-ft")
+    }
+
+    /// Pattern name (figure-legend style).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total endpoints.
+    pub fn num_endpoints(&self) -> u32 {
+        self.n_total
+    }
+
+    /// Active endpoints.
+    pub fn num_active(&self) -> u32 {
+        self.n_active
+    }
+
+    /// Whether `src` participates in the pattern.
+    pub fn is_active(&self, src: u32) -> bool {
+        match self.kind {
+            Kind::Uniform => true,
+            Kind::Permutation => {
+                self.perm.as_ref().is_some_and(|p| p[src as usize] != u32::MAX)
+            }
+            _ => src < self.n_active,
+        }
+    }
+
+    /// Draws a destination for `src`; `None` if the source is inactive
+    /// or the pattern maps it to itself.
+    pub fn dest<R: Rng>(&self, src: u32, rng: &mut R) -> Option<u32> {
+        if !self.is_active(src) {
+            return None;
+        }
+        let b = self.n_active.trailing_zeros(); // address bits (power of 2)
+        let d = match self.kind {
+            Kind::Uniform => {
+                if self.n_total < 2 {
+                    return None;
+                }
+                let mut d = rng.gen_range(0..self.n_total - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            Kind::Shuffle => {
+                // d_i = s_(i−1) : rotate left by one bit.
+                let s = src;
+                ((s << 1) | (s >> (b - 1))) & (self.n_active - 1)
+            }
+            Kind::BitReversal => {
+                let mut d = 0u32;
+                for i in 0..b {
+                    if src & (1 << i) != 0 {
+                        d |= 1 << (b - 1 - i);
+                    }
+                }
+                d
+            }
+            Kind::BitComplement => !src & (self.n_active - 1),
+            Kind::Shift => {
+                let half = self.n_active / 2;
+                let low = src % half;
+                if rng.gen_bool(0.5) {
+                    low + half
+                } else {
+                    low
+                }
+            }
+            Kind::Permutation => self.perm.as_ref().unwrap()[src as usize],
+        };
+        if d == src || d >= self.n_total {
+            None
+        } else {
+            Some(d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn active_subset_power_of_two() {
+        assert_eq!(active_power_of_two(10830), 8192);
+        assert_eq!(active_power_of_two(8192), 8192);
+        assert_eq!(active_power_of_two(1), 1);
+        assert_eq!(active_power_of_two(0), 0);
+    }
+
+    #[test]
+    fn uniform_never_self() {
+        let p = TrafficPattern::uniform(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in 0..16 {
+            for _ in 0..50 {
+                let d = p.dest(s, &mut rng).unwrap();
+                assert_ne!(d, s);
+                assert!(d < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let p = TrafficPattern::uniform(8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(p.dest(0, &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn shuffle_rotates_bits() {
+        let p = TrafficPattern::shuffle(16); // b = 4
+        let mut rng = StdRng::seed_from_u64(3);
+        // 0b0011 -> 0b0110
+        assert_eq!(p.dest(0b0011, &mut rng), Some(0b0110));
+        // 0b1000 -> 0b0001
+        assert_eq!(p.dest(0b1000, &mut rng), Some(0b0001));
+        // 0 -> 0 (self) => None
+        assert_eq!(p.dest(0, &mut rng), None);
+    }
+
+    #[test]
+    fn bit_reversal_involution() {
+        let p = TrafficPattern::bit_reversal(64);
+        let mut rng = StdRng::seed_from_u64(4);
+        for s in 0..64u32 {
+            if let Some(d) = p.dest(s, &mut rng) {
+                // reversing twice returns to s
+                let dd = p.dest(d, &mut rng).unwrap_or(d);
+                assert_eq!(dd, s, "s={s} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_complement_pairs() {
+        let p = TrafficPattern::bit_complement(32);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(p.dest(0, &mut rng), Some(31));
+        assert_eq!(p.dest(31, &mut rng), Some(0));
+        assert_eq!(p.dest(0b01010, &mut rng), Some(0b10101));
+    }
+
+    #[test]
+    fn inactive_endpoints_silent() {
+        // N = 20 → active 16; endpoints 16..20 never send.
+        let p = TrafficPattern::bit_reversal(20);
+        assert_eq!(p.num_active(), 16);
+        let mut rng = StdRng::seed_from_u64(6);
+        for s in 16..20 {
+            assert!(!p.is_active(s));
+            assert_eq!(p.dest(s, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn shift_targets_lower_index_or_partner() {
+        let p = TrafficPattern::shift(16);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut partner_seen = false;
+        let mut low_seen = false;
+        for _ in 0..100 {
+            match p.dest(11, &mut rng) {
+                Some(3) => low_seen = true,      // 11 mod 8 = 3
+                Some(11) => panic!("self"),      // filtered
+                Some(d) => {
+                    assert_eq!(d, 3 + 8); // == 11 → None; so only 3 or 11
+                    partner_seen = true;
+                }
+                None => partner_seen = true, // 3 + 8 == 11 → self → None
+            }
+        }
+        assert!(low_seen || partner_seen);
+        // Source in the lower half gets its upper partner.
+        let mut upper = false;
+        for _ in 0..100 {
+            if p.dest(3, &mut rng) == Some(11) {
+                upper = true;
+            }
+        }
+        assert!(upper);
+    }
+
+    #[test]
+    fn worst_case_slimfly_is_symmetric_distance2() {
+        let sf = sf_topo::SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let p = TrafficPattern::worst_case_slimfly(&net, &tables);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut checked = 0;
+        for s in 0..net.num_endpoints() as u32 {
+            if let Some(d) = p.dest(s, &mut rng) {
+                // symmetric permutation
+                assert_eq!(p.dest(d, &mut rng), Some(s));
+                // routers at distance exactly 2
+                let rs = net.endpoint_router(s);
+                let rd = net.endpoint_router(d);
+                assert_eq!(tables.distance(rs, rd), 2, "s={s} d={d}");
+                checked += 1;
+            }
+        }
+        assert!(checked >= net.num_endpoints() as u32 - 2 * 7, "most endpoints paired");
+    }
+
+    #[test]
+    fn worst_case_dragonfly_next_group() {
+        let df = sf_topo::dragonfly::Dragonfly::balanced(2);
+        let net = df.network();
+        let p = TrafficPattern::worst_case_dragonfly(&net);
+        let g = df.num_groups();
+        let per_group = net.num_endpoints() as u32 / g;
+        let mut rng = StdRng::seed_from_u64(9);
+        for s in 0..net.num_endpoints() as u32 {
+            let d = p.dest(s, &mut rng).unwrap();
+            assert_eq!(d / per_group, (s / per_group + 1) % g);
+        }
+    }
+
+    #[test]
+    fn worst_case_fattree_crosses_pods() {
+        let ft = sf_topo::fattree::FatTree3 { p: 3, full: false };
+        let net = ft.network();
+        let p = TrafficPattern::worst_case_fattree(&net);
+        let mut rng = StdRng::seed_from_u64(10);
+        let per_pod = net.num_endpoints() as u32 / ft.pods();
+        for s in 0..net.num_endpoints() as u32 {
+            let d = p.dest(s, &mut rng).unwrap();
+            assert_ne!(s / per_pod, d / per_pod, "must cross pods");
+        }
+    }
+
+    #[test]
+    fn permutation_activity_counts() {
+        let p = TrafficPattern::permutation(vec![1, 0, u32::MAX], "t");
+        assert_eq!(p.num_active(), 2);
+        assert!(p.is_active(0));
+        assert!(!p.is_active(2));
+    }
+}

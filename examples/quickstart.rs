@@ -1,0 +1,61 @@
+//! Quickstart: build the paper's flagship Slim Fly, inspect its
+//! structure, route a packet, and run a short simulation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use slimfly::prelude::*;
+
+fn main() {
+    // 1. Construct the Slim Fly from §V of the paper: q = 19.
+    let sf = SlimFly::new(19).expect("19 is an admissible prime power");
+    let net = sf.network();
+    println!("network: {}", net.summary());
+    println!(
+        "  q = {}, δ = {}, k' = {}, balanced p = {}",
+        sf.q(),
+        sf.delta(),
+        sf.network_radix(),
+        sf.balanced_concentration()
+    );
+
+    // 2. Structural properties (§III).
+    let diameter = metrics::diameter(&net.graph).unwrap();
+    let avg = metrics::average_distance(&net.graph).unwrap();
+    println!("  diameter = {diameter} (paper: 2)");
+    println!("  average router distance = {avg:.3}");
+    println!(
+        "  average endpoint hops (uniform traffic) = {:.3}",
+        average_hops_uniform(&net)
+    );
+
+    // 3. Minimal routing (§IV-A): route between two endpoints.
+    let tables = RoutingTables::new(&net.graph);
+    let gen = slimfly::routing::paths::PathGen::new(&net.graph, &tables);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let (src, dst) = (0u32, net.num_endpoints() as u32 - 1);
+    let (rs, rd) = (net.endpoint_router(src), net.endpoint_router(dst));
+    let path = gen.min_path(rs, rd, &mut rng);
+    println!("  minimal route endpoint {src} -> {dst}: routers {path:?}");
+
+    // 4. A short cycle-accurate simulation at 30% uniform load (§V-A).
+    let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+    let cfg = SimConfig {
+        warmup: 500,
+        measure: 1_000,
+        drain: 2_000,
+        ..Default::default()
+    };
+    let res = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.3, cfg).run();
+    println!(
+        "  sim @ 30% load: latency = {:.1} cycles, accepted = {:.2}, hops = {:.2}",
+        res.avg_latency, res.accepted, res.avg_hops
+    );
+
+    // 5. What does it cost (§VI)?
+    let cost = CostBreakdown::compute(&net, &CostModel::fdr10());
+    println!(
+        "  cost = ${:.0}/endpoint, power = {:.2} W/endpoint (paper: $1,033 and 8.02 W)",
+        cost.cost_per_endpoint(),
+        cost.power_per_endpoint()
+    );
+}

@@ -1,0 +1,48 @@
+//! Resiliency study (§III-D): how many random cable failures can a
+//! Slim Fly take before it disconnects, its diameter inflates, or its
+//! average path length degrades — compared against a Dragonfly.
+//!
+//! Run with: `cargo run --release --example resiliency_study`
+
+use slimfly::graph::failure::{max_tolerable_fraction, FailureConfig, Property};
+use slimfly::prelude::*;
+use slimfly::topo::dragonfly::Dragonfly;
+
+fn main() {
+    let nets = vec![
+        SlimFly::new(7).unwrap().network(),
+        Dragonfly::balanced(3).network(),
+    ];
+    let cfg = FailureConfig {
+        min_samples: 16,
+        max_samples: 48,
+        ..Default::default()
+    };
+
+    println!(
+        "{:<22} {:>12} {:>14} {:>16}",
+        "network", "disconnect", "diameter(+2)", "avg-path(+1)"
+    );
+    for net in &nets {
+        let d0 = metrics::diameter(&net.graph).unwrap();
+        let a0 = metrics::average_distance(&net.graph).unwrap();
+        let f_conn = max_tolerable_fraction(&net.graph, Property::Connected, &cfg);
+        let f_diam =
+            max_tolerable_fraction(&net.graph, Property::DiameterAtMost(d0 + 2), &cfg);
+        let f_path =
+            max_tolerable_fraction(&net.graph, Property::AvgPathAtMost(a0 + 1.0), &cfg);
+        println!(
+            "{:<22} {:>11.0}% {:>13.0}% {:>15.0}%",
+            net.name,
+            f_conn * 100.0,
+            f_diam * 100.0,
+            f_path * 100.0
+        );
+    }
+    println!(
+        "\npaper (§III-D): SF tolerates more failures than DF on all three \
+         metrics despite having fewer cables — its MMS graph is an expander \
+         with 2q links between every rack pair instead of DF's single \
+         inter-group cable."
+    );
+}

@@ -1,0 +1,57 @@
+//! Topology explorer: print the §VII-A "library of practical
+//! topologies" — every balanced Slim Fly configuration up to a size
+//! budget — and structural metrics for a chosen entry.
+//!
+//! Run with: `cargo run --release --example topology_explorer -- [max_endpoints]`
+
+use slimfly::prelude::*;
+
+fn main() {
+    let max: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    println!("balanced Slim Fly configurations with N ≤ {max}:");
+    println!(
+        "{:>4} {:>3} {:>4} {:>4} {:>4} {:>7} {:>8}",
+        "q", "δ", "k'", "p", "k", "Nr", "N"
+    );
+    let configs = zoo::balanced_slimflies_up_to(max);
+    for c in &configs {
+        println!(
+            "{:>4} {:>3} {:>4} {:>4} {:>4} {:>7} {:>8}",
+            c.q, c.delta, c.k_prime, c.p, c.k, c.nr, c.n
+        );
+    }
+    println!(
+        "{} variants ({} discounting the q=3 toy; paper §VII-A: 11) vs {} balanced Dragonflies (paper: 8)\n",
+        configs.len(),
+        configs.iter().filter(|c| c.q >= 4).count(),
+        zoo::balanced_dragonflies_up_to(max).len()
+    );
+
+    // Deep-dive on the largest one that stays quick to analyze.
+    if let Some(c) = configs.iter().find(|c| c.n >= 500) {
+        let net = c.build().network();
+        println!("deep dive on {}:", net.summary());
+        println!(
+            "  diameter = {:?}, avg distance = {:.3}",
+            metrics::diameter(&net.graph),
+            metrics::average_distance(&net.graph).unwrap()
+        );
+        let weights: Vec<u64> = net.concentration.iter().map(|&c| c as u64).collect();
+        let bis = partition::bisect_weighted(&net.graph, &weights, 8, 42, 0);
+        println!(
+            "  bisection ≈ {} links ({:.2}×N/2 at 10 Gb/s: {:.0} Gb/s)",
+            bis.cut,
+            bis.cut as f64 / (net.num_endpoints() as f64 / 2.0),
+            bis.cut as f64 * 10.0
+        );
+        let loads = uniform_channel_loads(&net);
+        println!(
+            "  analytic uniform saturation bound = {:.2} of full injection",
+            loads.saturation_bound()
+        );
+    }
+}

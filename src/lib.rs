@@ -1,0 +1,6 @@
+//! Workspace umbrella crate: re-exports the `slimfly` facade for the
+//! examples in `examples/` and the cross-crate integration tests in
+//! `tests/`. Library users should depend on the `slimfly` crate
+//! directly.
+
+pub use slimfly;
