@@ -10,9 +10,7 @@ use sf_arith::{prime_power_decompose, FiniteField};
 const FIELD_ORDERS: &[u32] = &[2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 25, 27, 49, 64];
 
 fn field_and_elements() -> impl Strategy<Value = (u32, u32, u32, u32)> {
-    prop::sample::select(FIELD_ORDERS.to_vec()).prop_flat_map(|q| {
-        (Just(q), 0..q, 0..q, 0..q)
-    })
+    prop::sample::select(FIELD_ORDERS.to_vec()).prop_flat_map(|q| (Just(q), 0..q, 0..q, 0..q))
 }
 
 proptest! {

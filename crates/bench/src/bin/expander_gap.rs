@@ -7,38 +7,37 @@
 //! expander); tori/hypercubes near 1.0 (poor expanders); DLN close to
 //! SF (random regular graphs are near-Ramanujan).
 
-use sf_bench::{f, print_csv_row, roster};
+use sf_bench::{f, print_csv_row, run_cli};
 use sf_graph::spectral::spectral_gap;
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size: usize = args
-        .iter()
-        .position(|a| a == "--size")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(512);
+    run_cli(|args| {
+        let size: usize = args.value("size", 512)?;
 
-    print_csv_row(&[
-        "topology".into(),
-        "routers".into(),
-        "degree".into(),
-        "lambda2".into(),
-        "normalized".into(),
-        "ramanujan_bound".into(),
-    ]);
-    for net in roster(size) {
-        if !net.graph.is_regular() {
-            continue; // fat trees etc. are out of scope for this metric
-        }
-        let s = spectral_gap(&net.graph, 500, 17);
         print_csv_row(&[
-            net.name.clone(),
-            net.num_routers().to_string(),
-            format!("{:.0}", s.degree),
-            f(s.lambda2),
-            f(s.normalized()),
-            f(s.ramanujan_bound()),
+            "topology".into(),
+            "routers".into(),
+            "degree".into(),
+            "lambda2".into(),
+            "normalized".into(),
+            "ramanujan_bound".into(),
         ]);
-    }
+        for topo in spec::roster(size) {
+            let net = topo.build()?;
+            if !net.graph.is_regular() {
+                continue; // fat trees etc. are out of scope for this metric
+            }
+            let s = spectral_gap(&net.graph, 500, 17);
+            print_csv_row(&[
+                net.name.clone(),
+                net.num_routers().to_string(),
+                format!("{:.0}", s.degree),
+                f(s.lambda2),
+                f(s.normalized()),
+                f(s.ramanujan_bound()),
+            ]);
+        }
+        Ok(())
+    })
 }

@@ -5,40 +5,43 @@
 //!   `model,cable,length_m,cost_per_gbps`
 //!   `model,radix,router_cost`
 
-use sf_bench::{f, print_csv_row};
-use sf_cost::CostModel;
+use sf_bench::{f, print_csv_row, run_cli};
+use slimfly::prelude::*;
 
 fn main() {
-    let models = [CostModel::fdr10(), CostModel::qdr56(), CostModel::sfp10()];
+    run_cli(|_args| {
+        let models = [CostModel::fdr10(), CostModel::qdr56(), CostModel::sfp10()];
 
-    print_csv_row(&[
-        "model".into(),
-        "cable".into(),
-        "length_m".into(),
-        "cost_per_gbps".into(),
-    ]);
-    for m in &models {
-        for len in [1u32, 2, 5, 10, 15, 20, 25, 30] {
-            print_csv_row(&[
-                m.name.into(),
-                "electric".into(),
-                len.to_string(),
-                f(m.electric_cable_cost(len as f64) / m.gbps),
-            ]);
-            print_csv_row(&[
-                m.name.into(),
-                "optical".into(),
-                len.to_string(),
-                f(m.fiber_cable_cost(len as f64) / m.gbps),
-            ]);
+        print_csv_row(&[
+            "model".into(),
+            "cable".into(),
+            "length_m".into(),
+            "cost_per_gbps".into(),
+        ]);
+        for m in &models {
+            for len in [1u32, 2, 5, 10, 15, 20, 25, 30] {
+                print_csv_row(&[
+                    m.name.into(),
+                    "electric".into(),
+                    len.to_string(),
+                    f(m.electric_cable_cost(len as f64) / m.gbps),
+                ]);
+                print_csv_row(&[
+                    m.name.into(),
+                    "optical".into(),
+                    len.to_string(),
+                    f(m.fiber_cable_cost(len as f64) / m.gbps),
+                ]);
+            }
         }
-    }
 
-    println!();
-    print_csv_row(&["model".into(), "radix".into(), "router_cost".into()]);
-    for m in &models {
-        for k in [12u32, 18, 24, 36, 48, 64, 96, 108] {
-            print_csv_row(&[m.name.into(), k.to_string(), f(m.router_cost(k as usize))]);
+        println!();
+        print_csv_row(&["model".into(), "radix".into(), "router_cost".into()]);
+        for m in &models {
+            for k in [12u32, 18, 24, 36, 48, 64, 96, 108] {
+                print_csv_row(&[m.name.into(), k.to_string(), f(m.router_cost(k as usize))]);
+            }
         }
-    }
+        Ok(())
+    })
 }

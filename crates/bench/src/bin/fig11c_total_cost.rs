@@ -7,52 +7,49 @@
 //! 10K endpoints); low-radix topologies (tori, HC, LH) most expensive
 //! per node.
 
-use sf_bench::{print_csv_row, roster};
-use sf_cost::{CostBreakdown, CostModel};
+use sf_bench::{print_csv_row, run_cli};
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let sizes: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--sizes")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
-        .unwrap_or_else(|| vec![512, 1024, 2048, 4096, 10_000]);
-    let which = args
-        .iter()
-        .position(|a| a == "--model")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "fdr10".into());
-    let models: Vec<CostModel> = match which.as_str() {
-        "fdr10" => vec![CostModel::fdr10()],
-        "qdr56" => vec![CostModel::qdr56()],
-        "sfp10" => vec![CostModel::sfp10()],
-        _ => vec![CostModel::fdr10(), CostModel::qdr56(), CostModel::sfp10()],
-    };
+    run_cli(|args| {
+        let sizes = args.list("sizes", &[512usize, 1024, 2048, 4096, 10_000])?;
+        let which = args.get("model").unwrap_or("fdr10");
+        let models: Vec<CostModel> = match which {
+            "fdr10" => vec![CostModel::fdr10()],
+            "qdr56" => vec![CostModel::qdr56()],
+            "sfp10" => vec![CostModel::sfp10()],
+            "all" => vec![CostModel::fdr10(), CostModel::qdr56(), CostModel::sfp10()],
+            other => {
+                return Err(SfError::Cli(format!(
+                    "--model: expected fdr10|qdr56|sfp10|all, got {other:?}"
+                )))
+            }
+        };
 
-    print_csv_row(&[
-        "model".into(),
-        "topology".into(),
-        "endpoints".into(),
-        "routers".into(),
-        "total_cost".into(),
-        "cost_per_node".into(),
-    ]);
-    for &n in &sizes {
-        let nets = roster(n);
-        for m in &models {
-            for net in &nets {
-                let b = CostBreakdown::compute(net, m);
-                print_csv_row(&[
-                    m.name.into(),
-                    net.name.clone(),
-                    b.n.to_string(),
-                    b.nr.to_string(),
-                    format!("{:.0}", b.total_cost()),
-                    format!("{:.0}", b.cost_per_endpoint()),
-                ]);
+        print_csv_row(&[
+            "model".into(),
+            "topology".into(),
+            "endpoints".into(),
+            "routers".into(),
+            "total_cost".into(),
+            "cost_per_node".into(),
+        ]);
+        for &n in &sizes {
+            for topo in spec::roster(n) {
+                let net = topo.build()?;
+                for m in &models {
+                    let b = CostBreakdown::compute(&net, m);
+                    print_csv_row(&[
+                        m.name.into(),
+                        net.name.clone(),
+                        b.n.to_string(),
+                        b.nr.to_string(),
+                        format!("{:.0}", b.total_cost()),
+                        format!("{:.0}", b.cost_per_endpoint()),
+                    ]);
+                }
             }
         }
-    }
+        Ok(())
+    })
 }

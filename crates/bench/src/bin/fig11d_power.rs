@@ -5,36 +5,33 @@
 //! Paper shape: SF lowest (≈8 W/node at 10K endpoints vs ≈10.9 for DF);
 //! low-radix topologies burn 2–6× more per node.
 
-use sf_bench::{f, print_csv_row, roster};
-use sf_cost::{CostBreakdown, CostModel};
+use sf_bench::{f, print_csv_row, run_cli};
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let sizes: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--sizes")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
-        .unwrap_or_else(|| vec![512, 1024, 2048, 4096, 10_000]);
-    let model = CostModel::fdr10();
+    run_cli(|args| {
+        let sizes = args.list("sizes", &[512usize, 1024, 2048, 4096, 10_000])?;
+        let model = CostModel::fdr10();
 
-    print_csv_row(&[
-        "topology".into(),
-        "endpoints".into(),
-        "routers".into(),
-        "power_w".into(),
-        "power_per_node_w".into(),
-    ]);
-    for &n in &sizes {
-        for net in roster(n) {
-            let b = CostBreakdown::compute(&net, &model);
-            print_csv_row(&[
-                net.name.clone(),
-                b.n.to_string(),
-                b.nr.to_string(),
-                format!("{:.0}", b.power_w),
-                f(b.power_per_endpoint()),
-            ]);
+        print_csv_row(&[
+            "topology".into(),
+            "endpoints".into(),
+            "routers".into(),
+            "power_w".into(),
+            "power_per_node_w".into(),
+        ]);
+        for &n in &sizes {
+            for topo in spec::roster(n) {
+                let b = Experiment::on(topo).cost(&model)?;
+                print_csv_row(&[
+                    b.name.clone(),
+                    b.n.to_string(),
+                    b.nr.to_string(),
+                    format!("{:.0}", b.power_w),
+                    f(b.power_per_endpoint()),
+                ]);
+            }
         }
-    }
+        Ok(())
+    })
 }

@@ -7,32 +7,30 @@
 //! topology, reproducing the ordering of Fig 1 (Slim Fly lowest,
 //! tori highest).
 
-use sf_bench::{f, print_csv_row, roster};
+use sf_bench::{f, print_csv_row, run_cli};
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let sizes: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--sizes")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
-        .unwrap_or_else(|| vec![256, 512, 1024, 2048, 4096]);
+    run_cli(|args| {
+        let sizes = args.list("sizes", &[256usize, 512, 1024, 2048, 4096])?;
 
-    print_csv_row(&[
-        "topology".into(),
-        "endpoints".into(),
-        "routers".into(),
-        "avg_hops".into(),
-    ]);
-    for &n in &sizes {
-        for net in roster(n) {
-            let hops = sf_flow::average_hops_uniform(&net);
-            print_csv_row(&[
-                net.name.clone(),
-                net.num_endpoints().to_string(),
-                net.num_routers().to_string(),
-                f(hops),
-            ]);
+        print_csv_row(&[
+            "topology".into(),
+            "endpoints".into(),
+            "routers".into(),
+            "avg_hops".into(),
+        ]);
+        for &n in &sizes {
+            for topo in spec::roster(n) {
+                let flow = Experiment::on(topo).flow()?;
+                print_csv_row(&[
+                    flow.topology,
+                    flow.endpoints.to_string(),
+                    flow.routers.to_string(),
+                    f(flow.avg_hops),
+                ]);
+            }
         }
-    }
+        Ok(())
+    })
 }

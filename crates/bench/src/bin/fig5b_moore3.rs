@@ -2,51 +2,57 @@
 //! constructions — BDF and Delorme (Slim Fly variants) vs Dragonfly and
 //! 3-level flattened butterfly.
 //!
+//! Usage: `fig5b_moore3 [--umax 64]`
 //! Output: CSV `series,kprime,nr,frac_of_mb3`.
 //! Paper checkpoints: DEL ≈ 68%, BDF ≈ 30%, DF ≈ 14%, FBF-3 ≈ 4.9% of
 //! MB(k', 3).
 
 use sf_arith::prime::prime_powers_up_to;
-use sf_bench::{f, print_csv_row};
+use sf_bench::{f, print_csv_row, run_cli};
 use sf_topo::bdf::{bdf_network_radix, bdf_routers};
 use sf_topo::delorme::{del_network_radix, del_routers};
 use sf_topo::dragonfly::Dragonfly;
 use sf_topo::moore::moore_bound;
 
 fn main() {
-    print_csv_row(&[
-        "series".into(),
-        "kprime".into(),
-        "nr".into(),
-        "frac_of_mb3".into(),
-    ]);
-    let row = |series: &str, kp: u64, nr: u64| {
-        let mb = moore_bound(kp, 3);
-        print_csv_row(&[
-            series.into(),
-            kp.to_string(),
-            nr.to_string(),
-            f(nr as f64 / mb as f64),
-        ]);
-    };
+    run_cli(|args| {
+        let umax: u64 = args.value("umax", 64)?;
 
-    // BDF: odd prime powers u → k' = 3(u+1)/2.
-    for u in prime_powers_up_to(64).into_iter().filter(|&u| u % 2 == 1) {
-        let kp = bdf_network_radix(u);
-        row("SF-BDF", kp, bdf_routers(kp));
-    }
-    // Delorme: prime powers v → k' = (v+1)².
-    for v in prime_powers_up_to(9) {
-        row("SF-DEL", del_network_radix(v), del_routers(v));
-    }
-    // Dragonfly balanced: k' = h + a − 1 = 3p − 1.
-    for p in 1..=33u32 {
-        let df = Dragonfly::balanced(p);
-        let kp = (df.h + df.a - 1) as u64;
-        row("Dragonfly", kp, df.num_routers() as u64);
-    }
-    // FBF-3: k' = 3(c−1).
-    for c in 2..=33u64 {
-        row("FBF-3", 3 * (c - 1), c * c * c);
-    }
+        print_csv_row(&[
+            "series".into(),
+            "kprime".into(),
+            "nr".into(),
+            "frac_of_mb3".into(),
+        ]);
+        let row = |series: &str, kp: u64, nr: u64| {
+            let mb = moore_bound(kp, 3);
+            print_csv_row(&[
+                series.into(),
+                kp.to_string(),
+                nr.to_string(),
+                f(nr as f64 / mb as f64),
+            ]);
+        };
+
+        // BDF: odd prime powers u → k' = 3(u+1)/2.
+        for u in prime_powers_up_to(umax).into_iter().filter(|&u| u % 2 == 1) {
+            let kp = bdf_network_radix(u);
+            row("SF-BDF", kp, bdf_routers(kp));
+        }
+        // Delorme: prime powers v → k' = (v+1)².
+        for v in prime_powers_up_to(9) {
+            row("SF-DEL", del_network_radix(v), del_routers(v));
+        }
+        // Dragonfly balanced: k' = h + a − 1 = 3p − 1.
+        for p in 1..=33u32 {
+            let df = Dragonfly::balanced(p);
+            let kp = (df.h + df.a - 1) as u64;
+            row("Dragonfly", kp, df.num_routers() as u64);
+        }
+        // FBF-3: k' = 3(c−1).
+        for c in 2..=33u64 {
+            row("FBF-3", 3 * (c - 1), c * c * c);
+        }
+        Ok(())
+    })
 }

@@ -1,69 +1,49 @@
 //! Figure 5c: bisection bandwidth vs network size (10 Gb/s links).
 //!
-//! Slim Fly and DLN are partitioned with the FM bisector (the paper uses
-//! METIS); the other topologies use their analytic bisections:
-//! `N/2` (HC, FT-3), `≈N/4` (DF, FBF-3), `2·Nr/extent` (tori),
-//! `3N/2`-class (LH-HC, also measured).
+//! Slim Fly, DLN and Long Hop are partitioned with the FM bisector (the
+//! paper uses METIS); the other topologies use their analytic
+//! bisections via [`Network::analytic_bisection_cables`].
 //!
 //! Usage: `fig5c_bisection [--sizes 256,512,...] [--starts 8]`
 //! Output: CSV `topology,endpoints,bisection_links,bisection_gbps`.
 
-use sf_bench::{print_csv_row, roster, BENCH_SEED};
-use sf_graph::partition;
-use sf_topo::TopologyKind;
+use sf_bench::{print_csv_row, run_cli, BENCH_SEED};
+use slimfly::prelude::*;
 
 const LINK_GBPS: f64 = 10.0;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let sizes: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--sizes")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
-        .unwrap_or_else(|| vec![256, 512, 1024, 2048]);
-    let starts: usize = args
-        .iter()
-        .position(|a| a == "--starts")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    run_cli(|args| {
+        let sizes = args.list("sizes", &[256usize, 512, 1024, 2048])?;
+        let starts: usize = args.value("starts", 8)?;
 
-    print_csv_row(&[
-        "topology".into(),
-        "endpoints".into(),
-        "bisection_links".into(),
-        "bisection_gbps".into(),
-    ]);
-    for &n in &sizes {
-        for net in roster(n) {
-            let links = match &net.kind {
-                // Analytic values where the paper uses them.
-                TopologyKind::Hypercube { .. } | TopologyKind::FatTree3 { .. } => {
-                    (net.num_endpoints() / 2) as u64
-                }
-                TopologyKind::Dragonfly { .. } | TopologyKind::FlattenedButterfly { .. } => {
-                    (net.num_endpoints() / 4) as u64
-                }
-                TopologyKind::Torus { dims } => {
-                    let max = *dims.iter().max().unwrap() as u64;
-                    let nr = net.num_routers() as u64;
-                    if max == 2 { nr / max } else { 2 * nr / max }
-                }
-                // Partitioned (paper: METIS) for SF, DLN, LH-HC.
-                _ => {
-                    let weights: Vec<u64> =
-                        net.concentration.iter().map(|&c| c.max(1) as u64).collect();
-                    partition::bisect_weighted(&net.graph, &weights, starts, BENCH_SEED, 0).cut
-                        as u64
-                }
-            };
-            print_csv_row(&[
-                net.name.clone(),
-                net.num_endpoints().to_string(),
-                links.to_string(),
-                format!("{:.0}", links as f64 * LINK_GBPS),
-            ]);
+        print_csv_row(&[
+            "topology".into(),
+            "endpoints".into(),
+            "bisection_links".into(),
+            "bisection_gbps".into(),
+        ]);
+        for &n in &sizes {
+            for topo in spec::roster(n) {
+                let net = topo.build()?;
+                let links = match net.analytic_bisection_cables() {
+                    Some(links) => links,
+                    // Partitioned (paper: METIS) for SF, DLN, LH-HC.
+                    None => {
+                        let weights: Vec<u64> =
+                            net.concentration.iter().map(|&c| c.max(1) as u64).collect();
+                        partition::bisect_weighted(&net.graph, &weights, starts, BENCH_SEED, 0).cut
+                            as u64
+                    }
+                };
+                print_csv_row(&[
+                    net.name.clone(),
+                    net.num_endpoints().to_string(),
+                    links.to_string(),
+                    format!("{:.0}", links as f64 * LINK_GBPS),
+                ]);
+            }
         }
-    }
+        Ok(())
+    })
 }

@@ -10,121 +10,85 @@
 //! FT p=22); the default uses the ~500-endpoint class (SF q=7, DF p=3,
 //! FT p=8), which §V notes behaves within ~10% of the 10K results.
 //!
-//! Output: CSV `network,routing,traffic,offered,latency,p99,accepted,saturated`.
+//! Output: the shared experiment-record CSV schema.
 
-use sf_bench::{f, print_csv_row};
-use sf_routing::{RouteAlgo, RoutingTables};
-use sf_sim::{LoadSweep, SimConfig};
-use sf_topo::dragonfly::Dragonfly;
-use sf_topo::fattree::FatTree3;
-use sf_topo::{Network, SlimFly};
-use sf_traffic::TrafficPattern;
-
-fn pattern_for(net: &Network, tables: &RoutingTables, traffic: &str) -> TrafficPattern {
-    let n = net.num_endpoints() as u32;
-    match traffic {
-        "uniform" => TrafficPattern::uniform(n),
-        "bitrev" => TrafficPattern::bit_reversal(n),
-        "bitcomp" => TrafficPattern::bit_complement(n),
-        "shuffle" => TrafficPattern::shuffle(n),
-        "shift" => TrafficPattern::shift(n),
-        "worst" => match net.kind {
-            sf_topo::TopologyKind::SlimFly { .. } => {
-                TrafficPattern::worst_case_slimfly(net, tables)
-            }
-            sf_topo::TopologyKind::Dragonfly { .. } => TrafficPattern::worst_case_dragonfly(net),
-            sf_topo::TopologyKind::FatTree3 { .. } => TrafficPattern::worst_case_fattree(net),
-            _ => TrafficPattern::uniform(n),
-        },
-        other => panic!("unknown traffic pattern {other}"),
-    }
-}
+use sf_bench::{print_records, run_cli};
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let get = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let traffic = get("--traffic").unwrap_or_else(|| "uniform".into());
-    let large = args.iter().any(|a| a == "--large");
-    let ugal_paths: usize = get("--ugal-paths").and_then(|s| s.parse().ok()).unwrap_or(4);
-    let val_cap3 = args.iter().any(|a| a == "--val-cap3");
-    let loads: Vec<f64> = get("--loads")
-        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
-        .unwrap_or_else(|| {
-            if traffic == "worst" {
-                vec![0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5]
-            } else {
-                vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    run_cli(|args| {
+        let traffic = args.traffic("traffic", TrafficSpec::Uniform)?;
+        let large = args.flag("large");
+        let ugal_paths: usize = args.value("ugal-paths", 4)?;
+        let val_cap3 = args.flag("val-cap3");
+        let default_loads: Vec<f64> = if traffic == TrafficSpec::WorstCase {
+            vec![0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5]
+        } else {
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+        };
+        let loads = args.list("loads", &default_loads)?;
+
+        // Network class (§V): SF k=44/p=15, DF k=27/p=7, FT k=44/p=22
+        // for --large; scaled-down equivalents otherwise.
+        let (sf, df, ft): (TopologySpec, TopologySpec, TopologySpec) = if large {
+            ("sf:q=19".parse()?, "df:p=7".parse()?, "ft3:p=22".parse()?)
+        } else {
+            ("sf:q=7".parse()?, "df:p=3".parse()?, "ft3:p=8".parse()?)
+        };
+        let cfg = if large {
+            SimConfig {
+                warmup: 2_000,
+                measure: 4_000,
+                drain: 8_000,
+                ..Default::default()
             }
-        });
+        } else {
+            SimConfig {
+                warmup: 1_000,
+                measure: 2_000,
+                drain: 6_000,
+                ..Default::default()
+            }
+        };
 
-    // Network class (§V): SF k=44/p=15, DF k=27/p=7, FT k=44/p=22 for
-    // --large; scaled-down equivalents otherwise.
-    let (sf, df, ft) = if large {
-        (SlimFly::new(19).unwrap(), Dragonfly::balanced(7), FatTree3 { p: 22, full: false })
-    } else {
-        (SlimFly::new(7).unwrap(), Dragonfly::balanced(3), FatTree3 { p: 8, full: false })
-    };
-    let cfg = if large {
-        SimConfig { warmup: 2_000, measure: 4_000, drain: 8_000, ..Default::default() }
-    } else {
-        SimConfig { warmup: 1_000, measure: 2_000, drain: 6_000, ..Default::default() }
-    };
+        let experiments = [
+            Experiment::on(sf)
+                .routings(&[
+                    RouteAlgo::Min,
+                    RouteAlgo::Valiant { cap3: val_cap3 },
+                    RouteAlgo::UgalL {
+                        candidates: ugal_paths,
+                    },
+                    RouteAlgo::UgalG {
+                        candidates: ugal_paths,
+                    },
+                ])
+                .traffic(traffic)
+                .loads(&loads)
+                .sim(cfg),
+            // Valiant detours on the diameter-3 Dragonfly reach 6 hops;
+            // give those runs enough VCs for a strictly increasing
+            // assignment.
+            Experiment::on(df)
+                .routing(RouteAlgo::UgalL {
+                    candidates: ugal_paths,
+                })
+                .traffic(traffic)
+                .loads(&loads)
+                .sim(cfg)
+                .num_vcs(6),
+            Experiment::on(ft)
+                .routing(RouteAlgo::AdaptiveEcmp)
+                .traffic(traffic)
+                .loads(&loads)
+                .sim(cfg),
+        ];
 
-    print_csv_row(&[
-        "network".into(),
-        "routing".into(),
-        "traffic".into(),
-        "offered".into(),
-        "latency".into(),
-        "p99".into(),
-        "accepted".into(),
-        "saturated".into(),
-    ]);
-
-    let sf_net = sf.network();
-    let sf_tables = RoutingTables::new(&sf_net.graph);
-    let sf_algos = [
-        RouteAlgo::Min,
-        RouteAlgo::Valiant { cap3: val_cap3 },
-        RouteAlgo::UgalL { candidates: ugal_paths },
-        RouteAlgo::UgalG { candidates: ugal_paths },
-    ];
-    let mut jobs: Vec<(Network, RoutingTables, RouteAlgo)> = Vec::new();
-    for algo in sf_algos {
-        jobs.push((sf_net.clone(), sf_tables.clone(), algo));
-    }
-    let df_net = df.network();
-    let df_tables = RoutingTables::new(&df_net.graph);
-    jobs.push((df_net, df_tables, RouteAlgo::UgalL { candidates: ugal_paths }));
-    let ft_net = ft.network();
-    let ft_tables = RoutingTables::new(&ft_net.graph);
-    jobs.push((ft_net, ft_tables, RouteAlgo::AdaptiveEcmp));
-
-    for (net, tables, algo) in &jobs {
-        let pattern = pattern_for(net, tables, &traffic);
-        // Valiant detours on diameter-3 topologies reach 6 hops; give
-        // those runs enough VCs for a strictly increasing assignment.
-        let mut job_cfg = cfg;
-        if matches!(net.kind, sf_topo::TopologyKind::Dragonfly { .. }) {
-            job_cfg.num_vcs = 6;
+        let mut records = Vec::new();
+        for exp in experiments {
+            records.extend(exp.run()?);
         }
-        let results = LoadSweep::run(net, tables, *algo, &pattern, &loads, job_cfg);
-        for r in results {
-            print_csv_row(&[
-                net.name.clone(),
-                algo.label().into(),
-                traffic.clone(),
-                f(r.offered_load),
-                f(r.avg_latency),
-                f(r.p99_latency),
-                f(r.accepted),
-                r.saturated.to_string(),
-            ]);
-        }
-    }
+        print_records(&records);
+        Ok(())
+    })
 }

@@ -2,78 +2,54 @@
 //! accepted bandwidth for concentrations above the balanced p (§V-E).
 //!
 //! Usage: `fig8_oversub [--large] [--concentrations 15,16,18]`
-//! Output: CSV `p,traffic,routing,offered,latency,accepted,saturated`.
+//! Output: the shared experiment-record CSV schema (the spec column
+//! carries the concentration, e.g. `sf:q=19,p=18`).
 //! Paper checkpoints (q = 19): balanced p = 15 accepts ≈87.5% of uniform
 //! traffic; p = 16 ≈80%; p = 18 ≈75%.
 
-use sf_bench::{f, print_csv_row};
-use sf_routing::{RouteAlgo, RoutingTables};
-use sf_sim::{LoadSweep, SimConfig};
-use sf_topo::SlimFly;
-use sf_traffic::TrafficPattern;
+use sf_bench::{print_records, run_cli};
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let large = args.iter().any(|a| a == "--large");
-    let sf = if large { SlimFly::new(19).unwrap() } else { SlimFly::new(7).unwrap() };
-    let balanced = sf.balanced_concentration();
-    let concentrations: Vec<u32> = args
-        .iter()
-        .position(|a| a == "--concentrations")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
-        .unwrap_or_else(|| vec![balanced, balanced + 1, balanced + 3]);
+    run_cli(|args| {
+        let q = if args.flag("large") { 19 } else { 7 };
+        let sf = SlimFly::new(q)?;
+        let balanced = sf.balanced_concentration();
+        let concentrations =
+            args.list("concentrations", &[balanced, balanced + 1, balanced + 3])?;
 
-    let cfg = SimConfig {
-        warmup: 1_000,
-        measure: 2_000,
-        drain: 6_000,
-        ..Default::default()
-    };
-    let algos = [
-        RouteAlgo::Min,
-        RouteAlgo::Valiant { cap3: false },
-        RouteAlgo::UgalL { candidates: 4 },
-        RouteAlgo::UgalG { candidates: 4 },
-    ];
+        let cfg = SimConfig {
+            warmup: 1_000,
+            measure: 2_000,
+            drain: 6_000,
+            ..Default::default()
+        };
+        let algos = [
+            RouteAlgo::Min,
+            RouteAlgo::Valiant { cap3: false },
+            RouteAlgo::UgalL { candidates: 4 },
+            RouteAlgo::UgalG { candidates: 4 },
+        ];
 
-    print_csv_row(&[
-        "p".into(),
-        "traffic".into(),
-        "routing".into(),
-        "offered".into(),
-        "latency".into(),
-        "accepted".into(),
-        "saturated".into(),
-    ]);
-    for &p in &concentrations {
-        let net = sf.network_with_concentration(p);
-        let tables = RoutingTables::new(&net.graph);
-        for traffic in ["uniform", "worst"] {
-            let pattern = if traffic == "uniform" {
-                TrafficPattern::uniform(net.num_endpoints() as u32)
-            } else {
-                TrafficPattern::worst_case_slimfly(&net, &tables)
-            };
-            let loads: Vec<f64> = if traffic == "worst" {
-                vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
-            } else {
-                vec![0.1, 0.25, 0.5, 0.625, 0.75, 0.875, 1.0]
-            };
-            for algo in algos {
-                let results = LoadSweep::run(&net, &tables, algo, &pattern, &loads, cfg);
-                for r in results {
-                    print_csv_row(&[
-                        p.to_string(),
-                        traffic.into(),
-                        algo.label().into(),
-                        f(r.offered_load),
-                        f(r.avg_latency),
-                        f(r.accepted),
-                        r.saturated.to_string(),
-                    ]);
-                }
+        let mut records = Vec::new();
+        for &p in &concentrations {
+            for traffic in [TrafficSpec::Uniform, TrafficSpec::WorstCase] {
+                let loads: &[f64] = if traffic == TrafficSpec::WorstCase {
+                    &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
+                } else {
+                    &[0.1, 0.25, 0.5, 0.625, 0.75, 0.875, 1.0]
+                };
+                records.extend(
+                    Experiment::on(TopologySpec::SlimFly { q, p: Some(p) })
+                        .routings(&algos)
+                        .traffic(traffic)
+                        .loads(loads)
+                        .sim(cfg)
+                        .run()?,
+                );
             }
         }
-    }
+        print_records(&records);
+        Ok(())
+    })
 }

@@ -2,63 +2,44 @@
 //! under worst-case traffic (UGAL-L).
 //!
 //! Usage: `fig8a_buffers [--large] [--buffers 8,16,32,64,128,256]`
-//! Output: CSV `buffer_flits,offered,latency,accepted,saturated`.
+//! Output: CSV `buffer_flits` + the shared experiment-record schema.
 //! Paper shape: smaller buffers → lower latency (stiffer backpressure);
 //! larger buffers → higher bandwidth.
 
-use sf_bench::{f, print_csv_row};
-use sf_routing::{RouteAlgo, RoutingTables};
-use sf_sim::{LoadSweep, SimConfig};
-use sf_topo::SlimFly;
-use sf_traffic::TrafficPattern;
+use sf_bench::{print_raw_line, run_cli};
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let large = args.iter().any(|a| a == "--large");
-    let buffers: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--buffers")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
-        .unwrap_or_else(|| vec![8, 16, 32, 64, 128, 256]);
-
-    let sf = if large { SlimFly::new(19).unwrap() } else { SlimFly::new(7).unwrap() };
-    let net = sf.network();
-    let tables = RoutingTables::new(&net.graph);
-    let pattern = TrafficPattern::worst_case_slimfly(&net, &tables);
-    let loads = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
-
-    print_csv_row(&[
-        "buffer_flits".into(),
-        "offered".into(),
-        "latency".into(),
-        "accepted".into(),
-        "saturated".into(),
-    ]);
-    for &b in &buffers {
-        let cfg = SimConfig {
-            buf_per_port: b,
-            warmup: 1_000,
-            measure: 2_000,
-            drain: 6_000,
-            ..Default::default()
+    run_cli(|args| {
+        let buffers = args.list("buffers", &[8usize, 16, 32, 64, 128, 256])?;
+        let spec: TopologySpec = if args.flag("large") {
+            "sf:q=19".parse()?
+        } else {
+            "sf:q=7".parse()?
         };
-        let results = LoadSweep::run(
-            &net,
-            &tables,
-            RouteAlgo::UgalL { candidates: 4 },
-            &pattern,
-            &loads,
-            cfg,
-        );
-        for r in results {
-            print_csv_row(&[
-                b.to_string(),
-                f(r.offered_load),
-                f(r.avg_latency),
-                f(r.accepted),
-                r.saturated.to_string(),
-            ]);
+        let loads = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
+
+        print_raw_line(&format!("buffer_flits,{}", Record::CSV_HEADER));
+        for &b in &buffers {
+            let cfg = SimConfig {
+                buf_per_port: b,
+                warmup: 1_000,
+                measure: 2_000,
+                drain: 6_000,
+                ..Default::default()
+            };
+            let records = Experiment::on(spec.clone())
+                .routing(RouteAlgo::UgalL { candidates: 4 })
+                .traffic(TrafficSpec::WorstCase)
+                .loads(&loads)
+                .sim(cfg)
+                .run()?;
+            for r in records {
+                // `to_csv` is already per-field quoted; prefix the
+                // buffer column and emit verbatim.
+                print_raw_line(&format!("{b},{}", r.to_csv()));
+            }
         }
-    }
+        Ok(())
+    })
 }

@@ -5,50 +5,42 @@
 //! Output: CSV `topology,endpoints,diameter,max_removal_fraction`.
 //! Paper checkpoints (N = 2^13): SF 40%, DLN 60%, DF 25%.
 
-use sf_bench::{print_csv_row, roster};
+use sf_bench::{print_csv_row, run_cli};
 use sf_graph::failure::{max_tolerable_fraction, FailureConfig, Property};
-use sf_graph::metrics;
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size: usize = args
-        .iter()
-        .position(|a| a == "--size")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
-    let samples: usize = args
-        .iter()
-        .position(|a| a == "--samples")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(32);
+    run_cli(|args| {
+        let size: usize = args.value("size", 1024)?;
+        let samples: usize = args.value("samples", 32)?;
 
-    let cfg = FailureConfig {
-        min_samples: samples / 2,
-        max_samples: samples,
-        distance_sources: 48,
-        ..Default::default()
-    };
-
-    print_csv_row(&[
-        "topology".into(),
-        "endpoints".into(),
-        "diameter".into(),
-        "max_removal_fraction".into(),
-    ]);
-    for net in roster(size) {
-        let d0 = match metrics::diameter(&net.graph) {
-            Some(d) => d,
-            None => continue,
+        let cfg = FailureConfig {
+            min_samples: samples / 2,
+            max_samples: samples,
+            distance_sources: 48,
+            ..Default::default()
         };
-        let frac =
-            max_tolerable_fraction(&net.graph, Property::DiameterAtMost(d0 + 2), &cfg);
+
         print_csv_row(&[
-            net.name.clone(),
-            net.num_endpoints().to_string(),
-            d0.to_string(),
-            format!("{:.0}%", frac * 100.0),
+            "topology".into(),
+            "endpoints".into(),
+            "diameter".into(),
+            "max_removal_fraction".into(),
         ]);
-    }
+        for topo in spec::roster(size) {
+            let net = topo.build()?;
+            let d0 = match metrics::diameter(&net.graph) {
+                Some(d) => d,
+                None => continue,
+            };
+            let frac = max_tolerable_fraction(&net.graph, Property::DiameterAtMost(d0 + 2), &cfg);
+            print_csv_row(&[
+                net.name.clone(),
+                net.num_endpoints().to_string(),
+                d0.to_string(),
+                format!("{:.0}%", frac * 100.0),
+            ]);
+        }
+        Ok(())
+    })
 }

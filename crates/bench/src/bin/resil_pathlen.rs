@@ -6,50 +6,42 @@
 //! Output: CSV `topology,endpoints,avg_path,max_removal_fraction`.
 //! Paper checkpoints (N = 2^13): tori 55%, DLN 60%, DF 45%, SF 55%.
 
-use sf_bench::{f, print_csv_row, roster};
+use sf_bench::{f, print_csv_row, run_cli};
 use sf_graph::failure::{max_tolerable_fraction, FailureConfig, Property};
-use sf_graph::metrics;
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size: usize = args
-        .iter()
-        .position(|a| a == "--size")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
-    let samples: usize = args
-        .iter()
-        .position(|a| a == "--samples")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(32);
+    run_cli(|args| {
+        let size: usize = args.value("size", 1024)?;
+        let samples: usize = args.value("samples", 32)?;
 
-    let cfg = FailureConfig {
-        min_samples: samples / 2,
-        max_samples: samples,
-        distance_sources: 48,
-        ..Default::default()
-    };
-
-    print_csv_row(&[
-        "topology".into(),
-        "endpoints".into(),
-        "avg_path".into(),
-        "max_removal_fraction".into(),
-    ]);
-    for net in roster(size) {
-        let a0 = match metrics::average_distance(&net.graph) {
-            Some(a) => a,
-            None => continue,
+        let cfg = FailureConfig {
+            min_samples: samples / 2,
+            max_samples: samples,
+            distance_sources: 48,
+            ..Default::default()
         };
-        let frac =
-            max_tolerable_fraction(&net.graph, Property::AvgPathAtMost(a0 + 1.0), &cfg);
+
         print_csv_row(&[
-            net.name.clone(),
-            net.num_endpoints().to_string(),
-            f(a0),
-            format!("{:.0}%", frac * 100.0),
+            "topology".into(),
+            "endpoints".into(),
+            "avg_path".into(),
+            "max_removal_fraction".into(),
         ]);
-    }
+        for topo in spec::roster(size) {
+            let net = topo.build()?;
+            let a0 = match metrics::average_distance(&net.graph) {
+                Some(a) => a,
+                None => continue,
+            };
+            let frac = max_tolerable_fraction(&net.graph, Property::AvgPathAtMost(a0 + 1.0), &cfg);
+            print_csv_row(&[
+                net.name.clone(),
+                net.num_endpoints().to_string(),
+                f(a0),
+                format!("{:.0}%", frac * 100.0),
+            ]);
+        }
+        Ok(())
+    })
 }

@@ -4,53 +4,31 @@
 //! Usage: `table2_diameter [--size 1024]`
 //! Output: CSV `topology,routers,formula_diameter,measured_diameter`.
 
-use sf_bench::{print_csv_row, roster};
-use sf_graph::metrics;
-use sf_topo::TopologyKind;
-
-fn formula(net: &sf_topo::Network) -> String {
-    let nr = net.num_routers() as f64;
-    match &net.kind {
-        TopologyKind::SlimFly { .. } => "2".into(),
-        TopologyKind::Dragonfly { .. } => "3".into(),
-        TopologyKind::FatTree3 { .. } => "4".into(),
-        TopologyKind::FlattenedButterfly { dims, .. } => dims.to_string(),
-        TopologyKind::Torus { dims } => {
-            // ⌈(n/2)·Nr^(1/n)⌉ in the paper; exact = Σ ⌊extent/2⌋.
-            let exact: u32 = dims.iter().map(|&d| d / 2).sum();
-            exact.to_string()
-        }
-        TopologyKind::Hypercube { d } => d.to_string(),
-        TopologyKind::LongHop { .. } => "4-6".into(),
-        TopologyKind::RandomDln { .. } => "3-10".into(),
-        _ => format!("~{:.0}", nr.log2()),
-    }
-}
+use sf_bench::{print_csv_row, run_cli};
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let size: usize = args
-        .iter()
-        .position(|a| a == "--size")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    run_cli(|args| {
+        let size: usize = args.value("size", 1024)?;
 
-    print_csv_row(&[
-        "topology".into(),
-        "routers".into(),
-        "formula_diameter".into(),
-        "measured_diameter".into(),
-    ]);
-    for net in roster(size) {
-        let measured = metrics::diameter(&net.graph)
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "disconnected".into());
         print_csv_row(&[
-            net.name.clone(),
-            net.num_routers().to_string(),
-            formula(&net),
-            measured,
+            "topology".into(),
+            "routers".into(),
+            "formula_diameter".into(),
+            "measured_diameter".into(),
         ]);
-    }
+        for topo in spec::roster(size) {
+            let net = topo.build()?;
+            let measured = metrics::diameter(&net.graph)
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "disconnected".into());
+            print_csv_row(&[
+                net.name.clone(),
+                net.num_routers().to_string(),
+                net.diameter_formula(),
+                measured,
+            ]);
+        }
+        Ok(())
+    })
 }

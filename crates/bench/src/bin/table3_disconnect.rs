@@ -6,43 +6,37 @@
 //! Paper checkpoints (N = 4096 row): T3D 5%, T5D 40%, HC 45%, LH-HC 55%,
 //! FT-3 55%, DF 60%, FBF-3 70%, DLN 70%, SF 70%.
 
-use sf_bench::{print_csv_row, roster};
+use sf_bench::{print_csv_row, run_cli};
 use sf_graph::failure::{max_tolerable_fraction, FailureConfig, Property};
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let sizes: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--sizes")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
-        .unwrap_or_else(|| vec![256, 512, 1024]);
-    let samples: usize = args
-        .iter()
-        .position(|a| a == "--samples")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(48);
+    run_cli(|args| {
+        let sizes = args.list("sizes", &[256usize, 512, 1024])?;
+        let samples: usize = args.value("samples", 48)?;
 
-    let cfg = FailureConfig {
-        min_samples: samples / 2,
-        max_samples: samples,
-        ..Default::default()
-    };
+        let cfg = FailureConfig {
+            min_samples: samples / 2,
+            max_samples: samples,
+            ..Default::default()
+        };
 
-    print_csv_row(&[
-        "topology".into(),
-        "endpoints".into(),
-        "max_removal_fraction".into(),
-    ]);
-    for &n in &sizes {
-        for net in roster(n) {
-            let frac = max_tolerable_fraction(&net.graph, Property::Connected, &cfg);
-            print_csv_row(&[
-                net.name.clone(),
-                net.num_endpoints().to_string(),
-                format!("{:.0}%", frac * 100.0),
-            ]);
+        print_csv_row(&[
+            "topology".into(),
+            "endpoints".into(),
+            "max_removal_fraction".into(),
+        ]);
+        for &n in &sizes {
+            for topo in spec::roster(n) {
+                let net = topo.build()?;
+                let frac = max_tolerable_fraction(&net.graph, Property::Connected, &cfg);
+                print_csv_row(&[
+                    net.name.clone(),
+                    net.num_endpoints().to_string(),
+                    format!("{:.0}%", frac * 100.0),
+                ]);
+            }
         }
-    }
+        Ok(())
+    })
 }

@@ -1,6 +1,10 @@
 //! Table IV: detailed cost & power comparison at N ≈ 10,830 / k ≈ 43 —
 //! the paper's flagship cost table.
 //!
+//! Usage: `table4_cost_power [--specs sf:q=19,df:p=11]` (semicolon- or
+//! comma-free spec lists are awkward in CSV flags, so `--specs` takes a
+//! `;`-separated list).
+//!
 //! Output: CSV with one row per configuration:
 //! `topology,endpoints,routers,radix,electric,fiber,cost_per_node,power_per_node`.
 //!
@@ -9,56 +13,46 @@
 //! 2–6× SF. Cable *counts* differ from the paper's (see DESIGN.md §6 —
 //! we count from an explicit layout and include endpoint cables).
 
-use sf_bench::print_csv_row;
-use sf_cost::{CostBreakdown, CostModel};
-use sf_topo::dragonfly::Dragonfly;
-use sf_topo::fattree::FatTree3;
-use sf_topo::flatbutterfly::FlattenedButterfly;
-use sf_topo::hypercube::Hypercube;
-use sf_topo::longhop::LongHop;
-use sf_topo::random_dln::RandomDln;
-use sf_topo::torus::Torus;
-use sf_topo::{Network, SlimFly};
+use sf_bench::{print_csv_row, run_cli};
+use slimfly::prelude::*;
+
+/// The paper's Table IV configurations (as close as integer parameters
+/// allow; see EXPERIMENTS.md E15), as declarative specs.
+const TABLE_IV: &str = "torus3:k=22;torus:dims=6x6x6x6x8;hc:d=13;lh:d=13,l=3;ft3:p=22,full;\
+                        dln:nr=4020,y=31;fbf:c=12,dims=3;df:p=11;df:a=22,h=11,p=11,g=45;sf:q=19";
 
 fn main() {
-    let model = CostModel::fdr10();
+    run_cli(|args| {
+        let model = CostModel::fdr10();
+        let raw = args.get("specs").unwrap_or(TABLE_IV);
+        let specs = raw
+            .split(';')
+            .map(|s| s.trim().parse::<TopologySpec>())
+            .collect::<Result<Vec<_>, _>>()?;
 
-    // The paper's Table IV configurations (as close as integer
-    // parameters allow; see EXPERIMENTS.md E15).
-    let nets: Vec<Network> = vec![
-        Torus::new(vec![22, 22, 22]).network(), // N = 10648
-        Torus::new(vec![6, 6, 6, 6, 8]).network(), // N = 10368
-        Hypercube::new(13).network(),           // N = 8192
-        LongHop::new(13, 3).network(),          // N = 8192
-        FatTree3 { p: 22, full: true }.network(), // §VI cost variant
-        RandomDln::new(4020, 31, sf_bench::BENCH_SEED).network(),
-        FlattenedButterfly { c: 12, dims: 3, p: 12 }.network(), // N = 20736
-        Dragonfly::balanced(11).network(),      // k = 43 class
-        Dragonfly::paper_table4_variant().network(), // k=43, N=10890
-        SlimFly::new(19).unwrap().network(),    // k = 44, N = 10830
-    ];
-
-    print_csv_row(&[
-        "topology".into(),
-        "endpoints".into(),
-        "routers".into(),
-        "radix".into(),
-        "electric_cables".into(),
-        "fiber_cables".into(),
-        "cost_per_node".into(),
-        "power_per_node_w".into(),
-    ]);
-    for net in &nets {
-        let b = CostBreakdown::compute(net, &model);
         print_csv_row(&[
-            net.name.clone(),
-            b.n.to_string(),
-            b.nr.to_string(),
-            b.radix.to_string(),
-            b.electric_cables.to_string(),
-            b.fiber_cables.to_string(),
-            format!("{:.0}", b.cost_per_endpoint()),
-            format!("{:.2}", b.power_per_endpoint()),
+            "topology".into(),
+            "endpoints".into(),
+            "routers".into(),
+            "radix".into(),
+            "electric_cables".into(),
+            "fiber_cables".into(),
+            "cost_per_node".into(),
+            "power_per_node_w".into(),
         ]);
-    }
+        for topo in &specs {
+            let b = Experiment::on(topo.clone()).cost(&model)?;
+            print_csv_row(&[
+                b.name.clone(),
+                b.n.to_string(),
+                b.nr.to_string(),
+                b.radix.to_string(),
+                b.electric_cables.to_string(),
+                b.fiber_cables.to_string(),
+                format!("{:.0}", b.cost_per_endpoint()),
+                format!("{:.2}", b.power_per_endpoint()),
+            ]);
+        }
+        Ok(())
+    })
 }

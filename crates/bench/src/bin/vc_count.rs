@@ -7,74 +7,57 @@
 //!    random DLN networks — the paper reports 3 VCs for SF (OFED
 //!    DFSSSP) vs 8–15 VLs for DLN.
 //!
-//! Usage: `vc_count [--q 5] [--dln-routers 50]`
+//! Usage: `vc_count [--q 5] [--dln-routers 170]`
 //! Output: CSV `network,routers,scheme,vcs,acyclic`.
 
-use sf_bench::{print_csv_row, BENCH_SEED};
+use sf_bench::{print_csv_row, run_cli, BENCH_SEED};
 use sf_routing::deadlock::{
     all_pairs_min_paths, hop_index_is_deadlock_free, layered_vc_count, vcs_required,
 };
-use sf_topo::random_dln::RandomDln;
-use sf_topo::SlimFly;
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let q: u32 = args
-        .iter()
-        .position(|a| a == "--q")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
-    let dln_nr: usize = args
-        .iter()
-        .position(|a| a == "--dln-routers")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(170); // ≈ the paper's 338-endpoint DLN (p = 2)
+    run_cli(|args| {
+        let q: u32 = args.value("q", 5)?;
+        // ≈ the paper's 338-endpoint DLN (p = 2) by default. The
+        // paper's DLN-2-y networks are sparse (y = 2 shortcuts, degree
+        // 4) — that sparsity is what drives their 8–15 VL requirement.
+        let dln_nr: usize = args.value("dln-routers", 170)?;
 
-    print_csv_row(&[
-        "network".into(),
-        "routers".into(),
-        "scheme".into(),
-        "vcs".into(),
-        "acyclic".into(),
-    ]);
+        print_csv_row(&[
+            "network".into(),
+            "routers".into(),
+            "scheme".into(),
+            "vcs".into(),
+            "acyclic".into(),
+        ]);
 
-    let sf = SlimFly::new(q).unwrap();
-    let g = sf.router_graph();
-    let paths = all_pairs_min_paths(&g, BENCH_SEED);
-    print_csv_row(&[
-        format!("SF(q={q})"),
-        g.num_vertices().to_string(),
-        "hop-index".into(),
-        vcs_required(&paths).to_string(),
-        hop_index_is_deadlock_free(&paths).to_string(),
-    ]);
-    print_csv_row(&[
-        format!("SF(q={q})"),
-        g.num_vertices().to_string(),
-        "layered(DFSSSP-style)".into(),
-        layered_vc_count(&paths).to_string(),
-        "true".into(),
-    ]);
-
-    // The paper's DLN-2-y networks are sparse (y = 2 shortcuts, degree
-    // 4) — that sparsity is what drives their 8–15 VL requirement.
-    let dln = RandomDln::new(dln_nr, 2, BENCH_SEED);
-    let gd = dln.router_graph();
-    let paths_d = all_pairs_min_paths(&gd, BENCH_SEED);
-    print_csv_row(&[
-        format!("DLN(Nr={dln_nr})"),
-        gd.num_vertices().to_string(),
-        "hop-index".into(),
-        vcs_required(&paths_d).to_string(),
-        hop_index_is_deadlock_free(&paths_d).to_string(),
-    ]);
-    print_csv_row(&[
-        format!("DLN(Nr={dln_nr})"),
-        gd.num_vertices().to_string(),
-        "layered(DFSSSP-style)".into(),
-        layered_vc_count(&paths_d).to_string(),
-        "true".into(),
-    ]);
+        let specs = [
+            TopologySpec::slimfly(q),
+            TopologySpec::RandomDln {
+                nr: dln_nr,
+                y: 2,
+                seed: BENCH_SEED,
+            },
+        ];
+        for topo in specs {
+            let net = topo.build()?;
+            let paths = all_pairs_min_paths(&net.graph, BENCH_SEED);
+            print_csv_row(&[
+                net.name.clone(),
+                net.num_routers().to_string(),
+                "hop-index".into(),
+                vcs_required(&paths).to_string(),
+                hop_index_is_deadlock_free(&paths).to_string(),
+            ]);
+            print_csv_row(&[
+                net.name.clone(),
+                net.num_routers().to_string(),
+                "layered(DFSSSP-style)".into(),
+                layered_vc_count(&paths).to_string(),
+                "true".into(),
+            ]);
+        }
+        Ok(())
+    })
 }

@@ -3,46 +3,47 @@
 //! Dragonflies (paper: 11 SF vs 8 DF below 20,000 endpoints).
 //!
 //! Usage: `zoo_variants [--max 20000]`
-//! Output: CSV `q,delta,kprime,p,k,routers,endpoints`, then DF counts.
+//! Output: CSV `spec,q,delta,kprime,p,k,routers,endpoints`, then DF
+//! counts.
 
-use sf_bench::print_csv_row;
-use slimfly::zoo;
+use sf_bench::{print_csv_row, run_cli};
+use slimfly::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let max: u64 = args
-        .iter()
-        .position(|a| a == "--max")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000);
+    run_cli(|args| {
+        let max: u64 = args.value("max", 20_000)?;
 
-    print_csv_row(&[
-        "q".into(),
-        "delta".into(),
-        "kprime".into(),
-        "p".into(),
-        "k".into(),
-        "routers".into(),
-        "endpoints".into(),
-    ]);
-    let sf = zoo::balanced_slimflies_up_to(max);
-    for c in &sf {
         print_csv_row(&[
-            c.q.to_string(),
-            c.delta.to_string(),
-            c.k_prime.to_string(),
-            c.p.to_string(),
-            c.k.to_string(),
-            c.nr.to_string(),
-            c.n.to_string(),
+            "spec".into(),
+            "q".into(),
+            "delta".into(),
+            "kprime".into(),
+            "p".into(),
+            "k".into(),
+            "routers".into(),
+            "endpoints".into(),
         ]);
-    }
-    let df = zoo::balanced_dragonflies_up_to(max);
-    eprintln!(
-        "# {} balanced SF variants ≤ {max} endpoints ({} with q ≥ 4; paper: 11); {} balanced DF variants (paper: 8)",
-        sf.len(),
-        sf.iter().filter(|c| c.q >= 4).count(),
-        df.len()
-    );
+        let sf = zoo::balanced_slimflies_up_to(max);
+        for c in &sf {
+            print_csv_row(&[
+                TopologySpec::slimfly(c.q).to_string(),
+                c.q.to_string(),
+                c.delta.to_string(),
+                c.k_prime.to_string(),
+                c.p.to_string(),
+                c.k.to_string(),
+                c.nr.to_string(),
+                c.n.to_string(),
+            ]);
+        }
+        let df = zoo::balanced_dragonflies_up_to(max);
+        eprintln!(
+            "# {} balanced SF variants ≤ {max} endpoints ({} with q ≥ 4; paper: 11); \
+             {} balanced DF variants (paper: 8)",
+            sf.len(),
+            sf.iter().filter(|c| c.q >= 4).count(),
+            df.len()
+        );
+        Ok(())
+    })
 }

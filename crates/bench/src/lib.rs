@@ -1,128 +1,200 @@
 //! # sf-bench — benchmark harness for the Slim Fly paper
 //!
-//! One binary per table/figure of the paper's evaluation (see DESIGN.md
-//! §3 for the experiment index and EXPERIMENTS.md for paper-vs-measured
-//! results). This library hosts the shared roster of comparison
-//! topologies and small output helpers.
+//! One binary per table/figure of the paper's evaluation. Every binary
+//! is a thin declarative program over the `slimfly` experiment API:
+//! topologies come from [`slimfly::spec::TopologySpec`] (and the
+//! [`slimfly::spec::roster`] registry), sweeps run through
+//! [`slimfly::experiment::Experiment`], and flags are parsed by the
+//! shared [`SweepArgs`] parser — no per-binary argument scanning or
+//! topology dispatch.
 
-use sf_topo::dragonfly::Dragonfly;
-use sf_topo::fattree::FatTree3;
-use sf_topo::flatbutterfly::FlattenedButterfly;
-use sf_topo::hypercube::Hypercube;
-use sf_topo::longhop::LongHop;
-use sf_topo::random_dln::RandomDln;
-use sf_topo::torus::Torus;
-use sf_topo::{Network, SlimFly};
+use slimfly::prelude::*;
+use slimfly::spec;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::str::FromStr;
 
 /// Default RNG seed for random constructions in benches.
-pub const BENCH_SEED: u64 = 0x5F1A_2014;
+pub const BENCH_SEED: u64 = spec::DEFAULT_SEED;
 
-/// Builds the full roster of comparison topologies (Table II) sized as
-/// close as possible to `target_n` endpoints, in their balanced
-/// configurations. Constructions whose parameter grid cannot reach
-/// `target_n` within a factor of ~2 are skipped.
-pub fn roster(target_n: usize) -> Vec<Network> {
-    let mut nets = Vec::new();
-
-    // Slim Fly: smallest balanced config with N ≥ target (or largest below).
-    if let Some(cfg) = slimfly_near(target_n) {
-        nets.push(cfg.network());
-    }
-    // Dragonfly balanced.
-    if let Some(df) = dragonfly_near(target_n) {
-        nets.push(df.network());
-    }
-    // Fat tree (§V slim variant).
-    if let Some(ft) = fattree_near(target_n) {
-        nets.push(ft.network());
-    }
-    // Flattened butterfly 3-flat.
-    if let Some(f) = fbf3_near(target_n) {
-        nets.push(f.network());
-    }
-    // Tori (p = 1): router count = endpoint count.
-    nets.push(Torus::cubic_3d(target_n).network());
-    nets.push(Torus::cubic_5d(target_n).network());
-    // Hypercube and Long Hop (p = 1).
-    nets.push(Hypercube::at_least(target_n).network());
-    nets.push(LongHop::at_least(target_n).network());
-    // Random DLN with radix comparable to the Slim Fly's.
-    let kp = nets
-        .first()
-        .map(|n| n.graph.max_degree() as u32)
-        .unwrap_or(11);
-    let dln = dln_near(target_n, kp);
-    nets.push(dln.network());
-
-    nets
-}
-
-/// Smallest balanced Slim Fly with `N ≥ target` (falls back to the
-/// largest below the target when none reach it).
-pub fn slimfly_near(target_n: usize) -> Option<SlimFly> {
-    let qmax = ((target_n as f64).sqrt() as u32 + 8) * 2;
-    let qs = SlimFly::admissible_q_up_to(qmax);
-    let mut best: Option<(usize, SlimFly)> = None;
-    for q in qs {
-        let sf = SlimFly::new(q).ok()?;
-        let n = sf.balanced_concentration() as usize * sf.num_routers();
-        let diff = n.abs_diff(target_n);
-        if best.as_ref().is_none_or(|(d, _)| diff < *d) {
-            best = Some((diff, sf));
+/// Writes one stdout line, exiting quietly when the consumer hung up
+/// (`bench | head` must not panic with a broken-pipe backtrace).
+fn print_line(line: std::fmt::Arguments<'_>) {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_fmt(format_args!("{line}\n")) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
         }
+        panic!("stdout write failed: {e}");
     }
-    best.map(|(_, sf)| sf)
 }
 
-/// Balanced Dragonfly closest to `target` endpoints.
-pub fn dragonfly_near(target_n: usize) -> Option<Dragonfly> {
-    (1..200u32)
-        .map(Dragonfly::balanced)
-        .min_by_key(|df| df.num_endpoints().abs_diff(target_n))
-}
-
-/// §V fat tree closest to `target` endpoints.
-pub fn fattree_near(target_n: usize) -> Option<FatTree3> {
-    (2..200u32)
-        .map(|p| FatTree3 { p, full: false })
-        .min_by_key(|ft| ft.num_endpoints().abs_diff(target_n))
-}
-
-/// Balanced FBF-3 closest to `target` endpoints.
-pub fn fbf3_near(target_n: usize) -> Option<FlattenedButterfly> {
-    (2..60u32)
-        .map(|c| FlattenedButterfly { c, dims: 3, p: c })
-        .min_by_key(|f| f.num_endpoints().abs_diff(target_n))
-}
-
-/// DLN with network radix matching `k_prime` and ≥ target endpoints.
-pub fn dln_near(target_n: usize, k_prime: u32) -> RandomDln {
-    let y = k_prime.saturating_sub(2).max(1);
-    // p is solved internally; iterate router count to reach target N.
-    let mut nr = 64usize;
-    loop {
-        let dln = RandomDln::new(nr, y, BENCH_SEED);
-        if dln.p as usize * nr >= target_n || nr > 4 * target_n {
-            return dln;
-        }
-        nr = (nr + nr / 2 + 2) & !1; // grow ~1.5x, keep even
-    }
+/// Prints one already-formatted CSV line verbatim (for callers that
+/// compose rows from pre-quoted pieces, e.g. a prefix column plus
+/// [`Record::to_csv`] — routing those through [`print_csv_row`] would
+/// re-quote the whole line as one field).
+pub fn print_raw_line(line: &str) {
+    print_line(format_args!("{line}"));
 }
 
 /// Prints a CSV header + row helper (stdout tables consumed by
-/// EXPERIMENTS.md).
+/// EXPERIMENTS.md). Fields containing commas are RFC 4180-quoted.
 pub fn print_csv_row(cols: &[String]) {
-    println!("{}", cols.join(","));
+    let escaped: Vec<String> = cols
+        .iter()
+        .map(|c| slimfly::experiment::csv_field(c))
+        .collect();
+    print_line(format_args!("{}", escaped.join(",")));
 }
 
-/// Formats a float with fixed precision for CSV output.
+/// Formats a float with fixed precision for CSV output (the shared
+/// [`slimfly::experiment::fmt_float`] convention).
 pub fn f(v: f64) -> String {
-    if v.is_nan() {
-        "nan".to_string()
-    } else if v.abs() >= 100.0 {
-        format!("{v:.0}")
-    } else {
-        format!("{v:.3}")
+    slimfly::experiment::fmt_float(v)
+}
+
+/// Prints experiment records as a CSV table (header + rows).
+pub fn print_records(records: &[Record]) {
+    print_line(format_args!("{}", Record::CSV_HEADER));
+    for r in records {
+        print_line(format_args!("{}", r.to_csv()));
+    }
+}
+
+/// Runs a bench body with parsed [`SweepArgs`], reporting any
+/// [`SfError`] on stderr with a non-zero exit code — the shared `main`
+/// of every binary in this crate. After the body succeeds, any
+/// `--flag` the body never queried is reported as an unknown flag
+/// (so `--trafic` typos fail loudly instead of silently producing the
+/// default sweep).
+pub fn run_cli(body: impl FnOnce(&SweepArgs) -> Result<(), SfError>) {
+    let args = SweepArgs::parse();
+    let result = body(&args).and_then(|()| args.check_unknown_flags());
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// The shared CLI parser for sweep binaries.
+///
+/// Grammar: boolean flags (`--large`), valued flags (`--size 1024`),
+/// comma-separated lists (`--loads 0.1,0.2`), [`TopologySpec`] flags
+/// (`--topo sf:q=19`), [`TrafficSpec`] flags (`--traffic worst`), and
+/// bare positional values *before* any flag (`datacenter_design 4096`).
+/// Unknown or malformed values surface as typed [`SfError::Cli`] /
+/// parse errors, never panics.
+#[derive(Clone, Debug, Default)]
+pub struct SweepArgs {
+    argv: Vec<String>,
+    /// Flag names the program has queried — the recognized-flag set
+    /// for [`SweepArgs::check_unknown_flags`].
+    queried: RefCell<BTreeSet<String>>,
+}
+
+impl SweepArgs {
+    /// Parses the process arguments (excluding the program name).
+    pub fn parse() -> Self {
+        SweepArgs::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Builds from an explicit vector (tests).
+    pub fn from_vec(argv: Vec<String>) -> Self {
+        SweepArgs {
+            argv,
+            queried: RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    fn note(&self, name: &str) {
+        self.queried.borrow_mut().insert(name.to_string());
+    }
+
+    /// True when the boolean flag `--name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.note(name);
+        let tag = format!("--{name}");
+        self.argv.contains(&tag)
+    }
+
+    /// Raw value of `--name`, when present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.note(name);
+        let tag = format!("--{name}");
+        self.argv
+            .iter()
+            .position(|a| *a == tag)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// The `idx`-th bare positional argument (0-based). Positionals
+    /// must precede any `--flag`: the scan stops at the first flag
+    /// token, since flag arity is unknowable here.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.argv
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .nth(idx)
+            .map(String::as_str)
+    }
+
+    /// Value of `--name` parsed as `T`, or `default` when absent.
+    pub fn value<T: FromStr>(&self, name: &str, default: T) -> Result<T, SfError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| SfError::Cli(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Comma-separated list value of `--name`, or `default` when absent.
+    pub fn list<T: FromStr + Clone>(&self, name: &str, default: &[T]) -> Result<Vec<T>, SfError> {
+        match self.get(name) {
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .map(|v| {
+                    v.parse::<T>().map_err(|_| {
+                        SfError::Cli(format!("--{name}: cannot parse list item {v:?}"))
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Topology spec value of `--name`, or `default` (itself parsed)
+    /// when absent.
+    pub fn spec(&self, name: &str, default: &str) -> Result<TopologySpec, SfError> {
+        self.get(name).unwrap_or(default).parse()
+    }
+
+    /// Traffic spec value of `--name`, or `default` when absent.
+    pub fn traffic(&self, name: &str, default: TrafficSpec) -> Result<TrafficSpec, SfError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => Ok(raw.parse::<TrafficSpec>().map_err(SfError::from)?),
+        }
+    }
+
+    /// Errors on any `--flag` in the argv the program never queried —
+    /// typo protection, called by [`run_cli`] after the body returns.
+    pub fn check_unknown_flags(&self) -> Result<(), SfError> {
+        let queried = self.queried.borrow();
+        for token in &self.argv {
+            if let Some(name) = token.strip_prefix("--") {
+                if !queried.contains(name) {
+                    let known: Vec<String> = queried.iter().map(|n| format!("--{n}")).collect();
+                    return Err(SfError::Cli(format!(
+                        "unknown flag --{name} (this binary accepts: {})",
+                        known.join(", ")
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -130,41 +202,70 @@ pub fn f(v: f64) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn roster_builds_all_topologies_small() {
-        let nets = roster(256);
-        assert!(nets.len() >= 8, "got {} topologies", nets.len());
-        for n in &nets {
-            assert!(n.num_endpoints() > 0, "{}", n.name);
-            assert!(
-                sf_graph::metrics::is_connected(&n.graph),
-                "{} disconnected",
-                n.name
-            );
-        }
+    fn args(s: &[&str]) -> SweepArgs {
+        SweepArgs::from_vec(s.iter().map(|s| s.to_string()).collect())
     }
 
     #[test]
-    fn slimfly_near_paper_size() {
-        let sf = slimfly_near(10_000).unwrap();
-        assert_eq!(sf.q(), 19);
+    fn sweep_args_flags_values_lists() {
+        let a = args(&["--large", "--size", "512", "--loads", "0.1,0.5"]);
+        assert!(a.flag("large"));
+        assert!(!a.flag("small"));
+        assert_eq!(a.value("size", 0usize).unwrap(), 512);
+        assert_eq!(a.value("missing", 7u32).unwrap(), 7);
+        assert_eq!(a.list("loads", &[0.9f64]).unwrap(), vec![0.1, 0.5]);
+        assert_eq!(a.list("missing", &[0.9f64]).unwrap(), vec![0.9]);
     }
 
     #[test]
-    fn dragonfly_near_paper_size() {
-        let df = dragonfly_near(9_702).unwrap();
-        assert_eq!(df.p, 7); // the paper's k = 27 DF
+    fn sweep_args_typed_errors() {
+        let a = args(&["--size", "many"]);
+        assert!(matches!(
+            a.value("size", 0usize).unwrap_err(),
+            SfError::Cli(_)
+        ));
+        let a = args(&["--topo", "zz:q=1"]);
+        assert!(a.spec("topo", "sf:q=5").is_err());
+        let a = args(&["--traffic", "wurst"]);
+        assert!(matches!(
+            a.traffic("traffic", TrafficSpec::Uniform).unwrap_err(),
+            SfError::Traffic(_)
+        ));
     }
 
     #[test]
-    fn fattree_near_paper_size() {
-        let ft = fattree_near(10_648).unwrap();
-        assert_eq!(ft.p, 22);
+    fn sweep_args_spec_and_positional() {
+        let a = args(&["--topo", "df:p=3"]);
+        assert_eq!(
+            a.spec("topo", "sf:q=5").unwrap(),
+            TopologySpec::dragonfly_balanced(3)
+        );
+        assert_eq!(a.spec("other", "sf:q=5").unwrap(), TopologySpec::slimfly(5));
+
+        // Positionals come before flags; the scan stops at the first
+        // flag token.
+        let a = args(&["4096", "extra", "--size", "512"]);
+        assert_eq!(a.positional(0), Some("4096"));
+        assert_eq!(a.positional(1), Some("extra"));
+        assert_eq!(a.positional(2), None);
+        let a = args(&["--size", "512", "late"]);
+        assert_eq!(a.positional(0), None);
     }
 
     #[test]
-    fn dln_reaches_target() {
-        let dln = dln_near(500, 11);
-        assert!(dln.p as usize * dln.nr >= 500);
+    fn unknown_flags_are_rejected() {
+        let a = args(&["--trafic", "worst"]);
+        let _ = a.traffic("traffic", TrafficSpec::Uniform);
+        let err = a.check_unknown_flags().unwrap_err();
+        assert!(matches!(err, SfError::Cli(_)), "{err}");
+        assert!(err.to_string().contains("--trafic"));
+        assert!(
+            err.to_string().contains("--traffic"),
+            "suggests known flags"
+        );
+
+        let a = args(&["--traffic", "worst"]);
+        let _ = a.traffic("traffic", TrafficSpec::Uniform);
+        assert!(a.check_unknown_flags().is_ok());
     }
 }

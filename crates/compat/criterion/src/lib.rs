@@ -1,0 +1,116 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! this crate provides just enough of the criterion API for the
+//! workspace's `benches/` to compile and produce coarse wall-clock
+//! numbers: `Criterion::benchmark_group`, `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. No statistics, warm-up, or HTML reports —
+//! each benchmark runs a small fixed number of iterations and prints the
+//! mean time.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark.
+const ITERS: u32 = 5;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { _priv: () }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup {
+    _priv: (),
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; sampling is fixed in this stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            total_nanos: 0,
+            runs: 0,
+        };
+        f(&mut b, input);
+        let mean = if b.runs == 0 {
+            0
+        } else {
+            b.total_nanos / b.runs as u128
+        };
+        println!("  {:<40} {:>12} ns/iter", id.label, mean);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/parameter`.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    total_nanos: u128,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Times the closure over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..ITERS {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.runs += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! this crate provides the parallel-iterator subset the workspace uses
+//! (`into_par_iter()` / `par_iter()` followed by one `map` and a
+//! terminal `sum` / `collect` / `min_by_key` / `try_reduce`), executed
+//! on scoped `std::thread` workers with contiguous chunking. The
+//! workspace's parallel sections are all coarse-grained (a BFS per
+//! source, a simulation per offered load), so plain chunking recovers
+//! nearly all of rayon's benefit without a work-stealing pool.
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set, else
+//! `std::thread::available_parallelism()`.
+
+/// Everything call sites need in scope.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice};
+}
+
+/// The parallel-iterator façade.
+pub mod iter {
+    /// Number of worker threads to use for a job of `len` items.
+    fn num_threads(len: usize) -> usize {
+        let configured = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        configured.unwrap_or(hw).min(len).max(1)
+    }
+
+    /// Applies `f` to every item on scoped worker threads, preserving
+    /// input order in the output.
+    fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let threads = num_threads(items.len());
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_size = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut it = items.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// A materialized "parallel" iterator: the item list awaiting a
+    /// `map` + terminal operation.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Parallel map; the closure runs on worker threads at the
+        /// terminal operation.
+        pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// A mapped parallel iterator; terminal operations execute the map
+    /// across threads.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, F> ParMap<T, F>
+    where
+        T: Send,
+    {
+        /// Runs the map in parallel and collects results in input order.
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            par_map_vec(self.items, &self.f).into_iter().collect()
+        }
+
+        /// Runs the map in parallel and sums the results.
+        pub fn sum<S>(self) -> S
+        where
+            S: Send + std::iter::Sum<S>,
+            F: Fn(T) -> S + Sync,
+        {
+            par_map_vec(self.items, &self.f).into_iter().sum()
+        }
+
+        /// Runs the map in parallel and returns the item minimizing the
+        /// key (first such item on ties, matching sequential order).
+        pub fn min_by_key<R, K, G>(self, key: G) -> Option<R>
+        where
+            R: Send,
+            K: Ord,
+            F: Fn(T) -> R + Sync,
+            G: FnMut(&R) -> K,
+        {
+            let mut key = key;
+            par_map_vec(self.items, &self.f)
+                .into_iter()
+                // min_by_key returns the *last* minimum; fold keeps the
+                // first, which matches rayon's deterministic reduce.
+                .fold(None::<(K, R)>, |best, r| {
+                    let k = key(&r);
+                    match best {
+                        Some((bk, br)) if bk <= k => Some((bk, br)),
+                        _ => Some((k, r)),
+                    }
+                })
+                .map(|(_, r)| r)
+        }
+
+        /// Fallible reduction over `Option` items (the rayon
+        /// `try_reduce` the workspace uses): `None` short-circuits the
+        /// whole reduction to `None`.
+        pub fn try_reduce<V, ID, OP>(self, identity: ID, op: OP) -> Option<V>
+        where
+            V: Send,
+            F: Fn(T) -> Option<V> + Sync,
+            ID: Fn() -> V,
+            OP: Fn(V, V) -> Option<V>,
+        {
+            let mut acc = identity();
+            for item in par_map_vec(self.items, &self.f) {
+                acc = op(acc, item?)?;
+            }
+            Some(acc)
+        }
+    }
+
+    /// Conversion of owned collections (ranges, vectors) into a parallel
+    /// iterator.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Materializes the items for parallel processing.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    /// `par_iter()` over slices (and anything that derefs to one).
+    pub trait ParallelSlice<T: Sync> {
+        /// Borrowing parallel iterator.
+        fn par_iter(&self) -> ParIter<&T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<&T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..1000u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000u32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_sum() {
+        let s: u64 = (0..101u64).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn par_iter_on_slice() {
+        let data = [1.5f64, 2.5, 3.0];
+        let doubled: Vec<f64> = data.par_iter().map(|&x| x * 2.0).collect();
+        assert_eq!(doubled, vec![3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn min_by_key_takes_first_minimum() {
+        let v = vec![(3, 'a'), (1, 'b'), (1, 'c'), (2, 'd')];
+        let m = v.into_par_iter().map(|x| x).min_by_key(|&(k, _)| k);
+        assert_eq!(m, Some((1, 'b')));
+    }
+
+    #[test]
+    fn try_reduce_short_circuits_on_none() {
+        let all: Option<u32> = (0..10u32)
+            .into_par_iter()
+            .map(Some)
+            .try_reduce(|| 0, |a, b| Some(a.max(b)));
+        assert_eq!(all, Some(9));
+        let none: Option<u32> = (0..10u32)
+            .into_par_iter()
+            .map(|x| if x == 5 { None } else { Some(x) })
+            .try_reduce(|| 0, |a, b| Some(a.max(b)));
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn collect_into_option_vec() {
+        let ok: Option<Vec<u32>> = (0..5u32).into_par_iter().map(Some).collect();
+        assert_eq!(ok, Some(vec![0, 1, 2, 3, 4]));
+        let bad: Option<Vec<u32>> = (0..5u32)
+            .into_par_iter()
+            .map(|x| if x == 3 { None } else { Some(x) })
+            .collect();
+        assert_eq!(bad, None);
+    }
+}

@@ -1,0 +1,500 @@
+//! The fluent experiment builder.
+//!
+//! One [`Experiment`] describes a full topology × routing × traffic ×
+//! load study declaratively and executes it through the cycle-level
+//! simulator ([`Experiment::run`]), the analytic flow model
+//! ([`Experiment::flow`]), or the cost model ([`Experiment::cost`]):
+//!
+//! ```
+//! use slimfly::prelude::*;
+//!
+//! let records = Experiment::on("sf:q=5".parse()?)
+//!     .routing(RouteAlgo::Min)
+//!     .traffic(TrafficSpec::Uniform)
+//!     .loads(&[0.1, 0.3])
+//!     .sim(SimConfig { warmup: 200, measure: 400, drain: 1_000, ..Default::default() })
+//!     .run()?;
+//! assert_eq!(records.len(), 2);
+//! println!("{}", Record::CSV_HEADER);
+//! for r in &records {
+//!     println!("{}", r.to_csv());
+//! }
+//! # Ok::<(), slimfly::SfError>(())
+//! ```
+
+use crate::error::SfError;
+use crate::spec::TopologySpec;
+use sf_cost::{CostBreakdown, CostModel};
+use sf_flow::{average_hops_uniform, uniform_channel_loads};
+use sf_routing::{RouteAlgo, RoutingTables};
+use sf_sim::{LoadSweep, SimConfig};
+use sf_topo::Network;
+use sf_traffic::TrafficSpec;
+
+/// Formats a float for CSV cells: `nan` for NaN, no decimals at ≥ 100,
+/// three decimals otherwise (the workspace-wide table convention).
+pub fn fmt_float(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Quotes a CSV field when needed (RFC 4180): topology names and specs
+/// contain commas (`SF(q=19,p=15)`, `dln:nr=64,y=4`), which would
+/// otherwise shift every downstream column.
+pub fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest representation that round-trips.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One structured result row of a simulated experiment.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Network instance name (e.g. `SF(q=19,p=15)`).
+    pub topology: String,
+    /// Canonical spec string that produced the network.
+    pub spec: String,
+    /// Routing-algorithm label (figure-legend style).
+    pub routing: String,
+    /// Traffic-pattern name.
+    pub traffic: String,
+    /// Offered load (flits/endpoint/cycle).
+    pub offered: f64,
+    /// Mean packet latency in cycles (NaN if nothing ejected).
+    pub latency: f64,
+    /// Approximate 99th-percentile latency.
+    pub p99: f64,
+    /// Accepted throughput (flits/active endpoint/cycle).
+    pub accepted: f64,
+    /// Mean hop count of measured packets.
+    pub avg_hops: f64,
+    /// Whether the run operated past saturation.
+    pub saturated: bool,
+    /// Maximum channel utilization over the measurement window.
+    pub max_link_util: f64,
+}
+
+impl Record {
+    /// Header row matching [`Record::to_csv`].
+    pub const CSV_HEADER: &'static str =
+        "topology,spec,routing,traffic,offered,latency,p99,accepted,avg_hops,saturated,max_link_util";
+
+    /// One CSV row (fields in [`Record::CSV_HEADER`] order; fields
+    /// containing commas are RFC 4180-quoted).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            csv_field(&self.topology),
+            csv_field(&self.spec),
+            csv_field(&self.routing),
+            csv_field(&self.traffic),
+            fmt_float(self.offered),
+            fmt_float(self.latency),
+            fmt_float(self.p99),
+            fmt_float(self.accepted),
+            fmt_float(self.avg_hops),
+            self.saturated,
+            fmt_float(self.max_link_util),
+        )
+    }
+
+    /// One JSON object (a JSON-lines row; non-finite floats are `null`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"topology\":{},\"spec\":{},\"routing\":{},\"traffic\":{},\"offered\":{},\
+             \"latency\":{},\"p99\":{},\"accepted\":{},\"avg_hops\":{},\"saturated\":{},\
+             \"max_link_util\":{}}}",
+            json_str(&self.topology),
+            json_str(&self.spec),
+            json_str(&self.routing),
+            json_str(&self.traffic),
+            json_num(self.offered),
+            json_num(self.latency),
+            json_num(self.p99),
+            json_num(self.accepted),
+            json_num(self.avg_hops),
+            self.saturated,
+            json_num(self.max_link_util),
+        )
+    }
+}
+
+/// Writes records as a CSV table (header + one row per record).
+pub fn write_csv<W: std::io::Write>(records: &[Record], mut w: W) -> Result<(), SfError> {
+    writeln!(w, "{}", Record::CSV_HEADER)?;
+    for r in records {
+        writeln!(w, "{}", r.to_csv())?;
+    }
+    Ok(())
+}
+
+/// Writes records as JSON lines (one object per line).
+pub fn write_json_lines<W: std::io::Write>(records: &[Record], mut w: W) -> Result<(), SfError> {
+    for r in records {
+        writeln!(w, "{}", r.to_json())?;
+    }
+    Ok(())
+}
+
+/// Analytic (flow-model) summary of a topology, from
+/// [`Experiment::flow`].
+#[derive(Clone, Debug)]
+pub struct FlowSummary {
+    /// Network instance name.
+    pub topology: String,
+    /// Canonical spec string.
+    pub spec: String,
+    /// Endpoint count `N`.
+    pub endpoints: usize,
+    /// Router count `Nr`.
+    pub routers: usize,
+    /// Endpoint-weighted average hop count under uniform minimal
+    /// routing (Fig 1).
+    pub avg_hops: f64,
+    /// Analytic uniform saturation bound (1 / max channel load).
+    pub saturation_bound: f64,
+    /// Maximum channel load at unit injection.
+    pub max_channel_load: f64,
+    /// Mean channel load at unit injection.
+    pub mean_channel_load: f64,
+}
+
+/// A declarative experiment: topology × routing × traffic × loads.
+///
+/// Build with [`Experiment::on`], chain configuration fluently, then
+/// execute with [`Experiment::run`] (simulation), [`Experiment::flow`]
+/// (analytic model) or [`Experiment::cost`] (cost model).
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    spec: TopologySpec,
+    routings: Vec<RouteAlgo>,
+    traffic: TrafficSpec,
+    loads: Vec<f64>,
+    sim: SimConfig,
+}
+
+impl Experiment {
+    /// Starts an experiment on the given topology. Defaults: MIN
+    /// routing, uniform traffic, loads 0.1–0.9 in steps of 0.1, the
+    /// paper's §V simulator configuration.
+    pub fn on(spec: TopologySpec) -> Self {
+        Experiment {
+            spec,
+            routings: Vec::new(),
+            traffic: TrafficSpec::Uniform,
+            loads: (1..10).map(|i| i as f64 / 10.0).collect(),
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Adds one routing algorithm to the sweep (replaces the MIN
+    /// default on first call; call repeatedly to compare algorithms).
+    pub fn routing(mut self, algo: RouteAlgo) -> Self {
+        self.routings.push(algo);
+        self
+    }
+
+    /// Adds several routing algorithms to the sweep.
+    pub fn routings(mut self, algos: &[RouteAlgo]) -> Self {
+        self.routings.extend_from_slice(algos);
+        self
+    }
+
+    /// Sets the traffic pattern (default: uniform).
+    pub fn traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Sets the offered-load sweep points.
+    pub fn loads(mut self, loads: &[f64]) -> Self {
+        self.loads = loads.to_vec();
+        self
+    }
+
+    /// Sets the simulator configuration.
+    pub fn sim(mut self, cfg: SimConfig) -> Self {
+        self.sim = cfg;
+        self
+    }
+
+    /// Overrides the virtual-channel count (e.g. 6 for Valiant detours
+    /// on diameter-3 topologies) without rebuilding the whole
+    /// [`SimConfig`].
+    pub fn num_vcs(mut self, vcs: usize) -> Self {
+        self.sim.num_vcs = vcs;
+        self
+    }
+
+    /// The topology spec this experiment runs on.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// Builds the concrete network (without running anything).
+    pub fn build_network(&self) -> Result<Network, SfError> {
+        self.spec.build()
+    }
+
+    /// Runs the load sweep through the cycle-level simulator: one
+    /// [`Record`] per (routing, load), routings in insertion order and
+    /// loads in the given order.
+    pub fn run(&self) -> Result<Vec<Record>, SfError> {
+        if self.loads.is_empty() {
+            return Err(SfError::Experiment("no offered loads configured".into()));
+        }
+        if let Some(&bad) = self
+            .loads
+            .iter()
+            .find(|l| !(0.0..=1.0).contains(*l) || l.is_nan())
+        {
+            return Err(SfError::Experiment(format!(
+                "offered load {bad} outside [0, 1]"
+            )));
+        }
+        if self.sim.num_vcs == 0 {
+            return Err(SfError::Experiment(
+                "num_vcs must be ≥ 1 (the simulator needs at least one virtual channel)".into(),
+            ));
+        }
+        let net = self.spec.build()?;
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = self.traffic.build(&net, &tables)?;
+        let routings: &[RouteAlgo] = if self.routings.is_empty() {
+            &[RouteAlgo::Min]
+        } else {
+            &self.routings
+        };
+        let spec_str = self.spec.to_string();
+        let mut records = Vec::with_capacity(routings.len() * self.loads.len());
+        for &algo in routings {
+            let results = LoadSweep::run(&net, &tables, algo, &pattern, &self.loads, self.sim);
+            for r in results {
+                records.push(Record {
+                    topology: net.name.clone(),
+                    spec: spec_str.clone(),
+                    routing: algo.label().to_string(),
+                    traffic: pattern.name().to_string(),
+                    offered: r.offered_load,
+                    latency: r.avg_latency,
+                    p99: r.p99_latency,
+                    accepted: r.accepted,
+                    avg_hops: r.avg_hops,
+                    saturated: r.saturated,
+                    max_link_util: r.max_link_util,
+                });
+            }
+        }
+        Ok(records)
+    }
+
+    /// Evaluates the analytic flow model on the topology (no
+    /// simulation): average hops and uniform channel loads.
+    pub fn flow(&self) -> Result<FlowSummary, SfError> {
+        let net = self.spec.build()?;
+        let loads = uniform_channel_loads(&net);
+        Ok(FlowSummary {
+            topology: net.name.clone(),
+            spec: self.spec.to_string(),
+            endpoints: net.num_endpoints(),
+            routers: net.num_routers(),
+            avg_hops: average_hops_uniform(&net),
+            saturation_bound: loads.saturation_bound(),
+            max_channel_load: loads.max(),
+            mean_channel_load: loads.mean(),
+        })
+    }
+
+    /// Prices the topology under a cost model (§VI).
+    pub fn cost(&self, model: &CostModel) -> Result<CostBreakdown, SfError> {
+        Ok(CostBreakdown::compute(&self.spec.build()?, model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_sim() -> SimConfig {
+        SimConfig {
+            warmup: 150,
+            measure: 300,
+            drain: 1_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_produces_one_record_per_algo_and_load() {
+        let records = Experiment::on(TopologySpec::slimfly(5))
+            .routing(RouteAlgo::Min)
+            .routing(RouteAlgo::Valiant { cap3: false })
+            .loads(&[0.1, 0.2])
+            .sim(quick_sim())
+            .run()
+            .unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].routing, "MIN");
+        assert_eq!(records[3].routing, "VAL");
+        assert!(records.iter().all(|r| r.spec == "sf:q=5"));
+        assert!(records.iter().all(|r| r.traffic == "uniform"));
+        assert!(records.iter().all(|r| r.accepted > 0.0));
+    }
+
+    #[test]
+    fn default_routing_is_min() {
+        let records = Experiment::on(TopologySpec::slimfly(5))
+            .loads(&[0.1])
+            .sim(quick_sim())
+            .run()
+            .unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].routing, "MIN");
+    }
+
+    #[test]
+    fn bad_loads_are_rejected() {
+        let err = Experiment::on(TopologySpec::slimfly(5))
+            .loads(&[1.5])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
+        let err = Experiment::on(TopologySpec::slimfly(5))
+            .loads(&[])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
+    }
+
+    #[test]
+    fn spec_errors_propagate() {
+        let err = Experiment::on(TopologySpec::SlimFly { q: 6, p: None })
+            .loads(&[0.1])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SfError::Topology(_)), "{err}");
+    }
+
+    #[test]
+    fn worst_case_on_wrong_topology_is_traffic_error() {
+        let err = Experiment::on(TopologySpec::Hypercube { d: 4 })
+            .traffic(TrafficSpec::WorstCase)
+            .loads(&[0.1])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SfError::Traffic(_)), "{err}");
+    }
+
+    #[test]
+    fn csv_and_json_serialization() {
+        let records = Experiment::on(TopologySpec::slimfly(5))
+            .loads(&[0.1])
+            .sim(quick_sim())
+            .run()
+            .unwrap();
+        let mut csv = Vec::new();
+        write_csv(&records, &mut csv).unwrap();
+        let csv = String::from_utf8(csv).unwrap();
+        assert!(csv.starts_with(Record::CSV_HEADER));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("sf:q=5"));
+
+        let mut json = Vec::new();
+        write_json_lines(&records, &mut json).unwrap();
+        let json = String::from_utf8(json).unwrap();
+        assert!(json.trim().starts_with('{') && json.trim().ends_with('}'));
+        assert!(json.contains("\"spec\":\"sf:q=5\""));
+    }
+
+    #[test]
+    fn flow_and_cost_views() {
+        let exp = Experiment::on(TopologySpec::slimfly(5));
+        let flow = exp.flow().unwrap();
+        assert_eq!(flow.endpoints, 200);
+        assert!(flow.avg_hops > 1.0 && flow.avg_hops < 2.0);
+        assert!(flow.saturation_bound > 0.7);
+        let cost = exp.cost(&CostModel::fdr10()).unwrap();
+        assert!(cost.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn float_formatting_convention() {
+        assert_eq!(fmt_float(f64::NAN), "nan");
+        assert_eq!(fmt_float(123.456), "123");
+        assert_eq!(fmt_float(1.23456), "1.235");
+    }
+
+    #[test]
+    fn csv_fields_with_commas_are_quoted() {
+        assert_eq!(csv_field("SF(q=19,p=15)"), "\"SF(q=19,p=15)\"");
+        assert_eq!(csv_field("uniform"), "uniform");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+        // A full record row has exactly as many top-level fields as the
+        // header, despite commas inside the topology/spec names.
+        let r = Record {
+            topology: "SF(q=5,p=4)".into(),
+            spec: "dln:nr=64,y=4".into(),
+            routing: "MIN".into(),
+            traffic: "uniform".into(),
+            offered: 0.1,
+            latency: 1.0,
+            p99: 2.0,
+            accepted: 0.1,
+            avg_hops: 1.5,
+            saturated: false,
+            max_link_util: 0.2,
+        };
+        let row = r.to_csv();
+        let mut fields = 0;
+        let mut in_quotes = false;
+        for c in row.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fields + 1, Record::CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn zero_vcs_is_rejected_not_a_panic() {
+        let err = Experiment::on(TopologySpec::slimfly(5))
+            .num_vcs(0)
+            .loads(&[0.1])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
+    }
+}

@@ -5,23 +5,52 @@
 //! Supercomputing 2014**: the MMS-graph topology construction, all
 //! comparison topologies, structural analysis, deadlock-free minimal and
 //! adaptive routing, a cycle-level flit simulator, and the paper's cost
-//! and power models.
+//! and power models — fronted by a declarative experiment API.
 //!
 //! ## Quickstart
+//!
+//! Every experiment starts from a [`TopologySpec`] — a parseable,
+//! printable description of a concrete network — and runs through the
+//! fluent [`Experiment`] builder:
 //!
 //! ```
 //! use slimfly::prelude::*;
 //!
-//! // The paper's flagship network: q = 19 → 722 routers, 10,830
-//! // endpoints, diameter 2, router radix 44.
-//! let sf = SlimFly::new(19).unwrap();
-//! let net = sf.network();
-//! assert_eq!(net.num_routers(), 722);
-//! assert_eq!(net.num_endpoints(), 10_830);
-//!
-//! // Structural analysis.
+//! // Parse a declarative spec (CLI flags and config files use the
+//! // same strings): a Slim Fly with q = 5, the Hoffman–Singleton
+//! // example of §II-B — 50 routers, 200 endpoints, diameter 2.
+//! let spec: TopologySpec = "sf:q=5".parse()?;
+//! let net = spec.build()?;
+//! assert_eq!(net.num_routers(), 50);
+//! assert_eq!(net.num_endpoints(), 200);
 //! assert_eq!(sf_graph::metrics::diameter(&net.graph), Some(2));
+//!
+//! // Sweep offered loads through the cycle-level simulator (§V):
+//! let records = Experiment::on(spec)
+//!     .routing(RouteAlgo::Min)
+//!     .traffic(TrafficSpec::Uniform)
+//!     .loads(&[0.1, 0.3])
+//!     .sim(SimConfig { warmup: 200, measure: 400, drain: 1_000, ..Default::default() })
+//!     .run()?;
+//! assert_eq!(records.len(), 2);
+//! assert!(records.iter().all(|r| r.accepted > 0.0));
+//!
+//! // Records serialize to CSV rows or JSON lines:
+//! println!("{}", Record::CSV_HEADER);
+//! println!("{}", records[0].to_csv());
+//!
+//! // The same experiment evaluates analytically (flow model, §II-B2)
+//! // and economically (cost model, §VI):
+//! let flow = Experiment::on("sf:q=5".parse()?).flow()?;
+//! assert!(flow.saturation_bound > 0.7);
+//! let cost = Experiment::on("sf:q=5".parse()?).cost(&CostModel::fdr10())?;
+//! assert!(cost.total_cost() > 0.0);
+//! # Ok::<(), slimfly::SfError>(())
 //! ```
+//!
+//! Failures are typed ([`SfError`]) — an unknown spec family, an
+//! inadmissible `q`, an unknown traffic-pattern name, or an offered
+//! load outside \[0, 1\] all surface as values, not panics.
 //!
 //! ## Crate map
 //!
@@ -36,9 +65,13 @@
 //! | [`flow`] | `sf-flow` | analytic channel-load model |
 //! | [`cost`] | `sf-cost` | physical layout, cost & power models |
 //!
-//! The [`zoo`] module provides the paper's "library of practical
-//! topologies" (§VII-A): every balanced Slim Fly configuration within a
-//! size budget.
+//! On top of those this crate provides the experiment layer:
+//!
+//! * [`spec`] — [`TopologySpec`], the declarative constructor registry;
+//! * [`experiment`] — the fluent [`Experiment`] builder and [`Record`]s;
+//! * [`error`] — the workspace-wide [`SfError`];
+//! * [`zoo`] — the paper's "library of practical topologies" (§VII-A);
+//! * [`expansion`] — incremental endpoint growth (§VII-C).
 
 pub use sf_arith as arith;
 pub use sf_cost as cost;
@@ -49,13 +82,23 @@ pub use sf_sim as sim;
 pub use sf_topo as topo;
 pub use sf_traffic as traffic;
 
+pub mod error;
 pub mod expansion;
+pub mod experiment;
+pub mod spec;
 pub mod zoo;
 
+pub use error::SfError;
+pub use experiment::{Experiment, FlowSummary, Record};
 pub use sf_topo::{Network, SlimFly, TopologyKind};
+pub use sf_traffic::{TrafficError, TrafficSpec};
+pub use spec::TopologySpec;
 
 /// Commonly used items for quick experiments.
 pub mod prelude {
+    pub use crate::error::SfError;
+    pub use crate::experiment::{write_csv, write_json_lines, Experiment, FlowSummary, Record};
+    pub use crate::spec::{self, TopologySpec};
     pub use crate::zoo::{self, SlimFlyConfig};
     pub use sf_cost::{CostBreakdown, CostModel};
     pub use sf_flow::{average_hops_uniform, uniform_channel_loads};
@@ -63,7 +106,7 @@ pub mod prelude {
     pub use sf_routing::{RouteAlgo, RoutingTables};
     pub use sf_sim::{LoadSweep, SimConfig, Simulator};
     pub use sf_topo::{Network, SlimFly, TopologyKind};
-    pub use sf_traffic::TrafficPattern;
+    pub use sf_traffic::{TrafficPattern, TrafficSpec};
 }
 
 #[cfg(test)]
@@ -86,5 +129,12 @@ mod tests {
         assert!(res.ejected > 0);
         let cost = CostBreakdown::compute(&net, &CostModel::fdr10());
         assert!(cost.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn spec_and_experiment_are_in_prelude() {
+        let spec: TopologySpec = "sf:q=5".parse().unwrap();
+        let summary = Experiment::on(spec).flow().unwrap();
+        assert_eq!(summary.routers, 50);
     }
 }

@@ -1,0 +1,123 @@
+//! Property tests for the declarative topology specs: for *every*
+//! family `sf-topo` exposes, a generated [`TopologySpec`] must print to
+//! its canonical string and parse back to the same value (the
+//! [`std::fmt::Display`] / [`std::str::FromStr`] round trip the
+//! experiment API relies on for CLI flags and config files).
+
+use proptest::prelude::*;
+use slimfly::spec::{TopologySpec, DEFAULT_SEED};
+
+const ADMISSIBLE_Q: &[u32] = &[4, 5, 7, 8, 9, 11, 13, 16, 17, 19];
+const ODD_PRIME_POWERS: &[u32] = &[3, 5, 7, 9, 11, 13];
+
+/// A strategy producing specs across every topology family.
+fn any_spec() -> impl Strategy<Value = TopologySpec> {
+    (0usize..9).prop_flat_map(|family| {
+        (
+            Just(family),
+            prop::sample::select(ADMISSIBLE_Q.to_vec()),
+            1u32..24,
+            1u32..24,
+            prop::collection::vec(1u32..9, 1..5),
+            any::<bool>(),
+            0u64..3,
+        )
+            .prop_map(|(family, q, a, b, dims, flag, seed_sel)| match family {
+                0 => TopologySpec::SlimFly {
+                    q,
+                    p: flag.then_some(a),
+                },
+                1 => {
+                    if flag {
+                        TopologySpec::dragonfly_balanced(a)
+                    } else {
+                        TopologySpec::Dragonfly {
+                            a: a + 1, // avoid the balanced shape by construction
+                            h: b,
+                            p: b,
+                            groups: (seed_sel > 0).then_some(2 + (a * b) % 7),
+                        }
+                    }
+                }
+                2 => TopologySpec::FatTree3 {
+                    p: 2 + a,
+                    full: flag,
+                },
+                3 => TopologySpec::FlattenedButterfly {
+                    c: 2 + a,
+                    dims: 1 + b % 4,
+                    p: flag.then_some(b),
+                },
+                4 => TopologySpec::Torus { dims },
+                5 => TopologySpec::Hypercube { d: 1 + a % 20 },
+                6 => TopologySpec::LongHop {
+                    d: 3 + a % 20,
+                    l: 1 + b % 5,
+                },
+                7 => TopologySpec::RandomDln {
+                    nr: 4 + 2 * a as usize,
+                    y: b,
+                    seed: if seed_sel == 0 {
+                        DEFAULT_SEED
+                    } else {
+                        seed_sel
+                    },
+                },
+                _ => TopologySpec::Bdf {
+                    u: ODD_PRIME_POWERS[(a as usize) % ODD_PRIME_POWERS.len()],
+                    p: 1 + b % 4,
+                },
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(display(spec)) == spec` for every family.
+    #[test]
+    fn display_from_str_round_trip(spec in any_spec()) {
+        let rendered = spec.to_string();
+        let reparsed: TopologySpec = rendered.parse().unwrap_or_else(|e| {
+            panic!("canonical form {rendered:?} of {spec:?} must reparse: {e}")
+        });
+        prop_assert_eq!(&reparsed, &spec, "round trip through {}", rendered);
+        // Display is canonical: printing the reparse is a fixed point.
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// The family tag printed is the one reported by `family()`.
+    #[test]
+    fn rendered_family_matches(spec in any_spec()) {
+        let rendered = spec.to_string();
+        let tag = rendered.split(':').next().unwrap();
+        // `torus3` / `torus5` sugar still belongs to the torus family.
+        prop_assert!(
+            tag == spec.family() || tag.starts_with(spec.family()),
+            "{rendered} vs {}", spec.family()
+        );
+    }
+
+    /// Small specs of every family actually construct, and spec strings
+    /// drive the registry end to end.
+    #[test]
+    fn small_specs_build(idx in 0usize..9) {
+        let (_, example) = TopologySpec::FAMILIES[idx];
+        let spec: TopologySpec = example.parse().unwrap();
+        // Swap the flagship sizes for quick-to-build ones.
+        let quick: TopologySpec = match spec.family() {
+            "sf" => "sf:q=5".parse().unwrap(),
+            "df" => "df:p=2".parse().unwrap(),
+            "ft3" => "ft3:p=3".parse().unwrap(),
+            "fbf" => "fbf:c=3,dims=2".parse().unwrap(),
+            "torus" => "torus2:k=4".parse().unwrap(),
+            "hc" => "hc:d=4".parse().unwrap(),
+            "lh" => "lh:d=5,l=2".parse().unwrap(),
+            "dln" => "dln:nr=16,y=2".parse().unwrap(),
+            _ => "bdf:u=3".parse().unwrap(),
+        };
+        let net = quick.build().unwrap();
+        prop_assert!(net.num_routers() > 0);
+        prop_assert!(slimfly::graph::metrics::is_connected(&net.graph), "{quick}");
+    }
+}

@@ -53,9 +53,7 @@ impl Layout {
                     .collect();
                 (rack_of, false)
             }
-            TopologyKind::Dragonfly { a, .. } => {
-                ((0..nr).map(|r| r / a).collect(), false)
-            }
+            TopologyKind::Dragonfly { a, .. } => ((0..nr).map(|r| r / a).collect(), false),
             TopologyKind::FlattenedButterfly { c, .. } => {
                 // First dimension is contiguous in router ids.
                 ((0..nr).map(|r| r / c).collect(), false)

@@ -53,10 +53,19 @@ impl CostModel {
     /// the paper's headline numbers).
     pub fn fdr10() -> Self {
         CostModel {
-            electric: Linear { a: 0.4079, b: 0.5771 },
-            fiber: Linear { a: 0.0919, b: 2.7452 },
+            electric: Linear {
+                a: 0.4079,
+                b: 0.5771,
+            },
+            fiber: Linear {
+                a: 0.0919,
+                b: 2.7452,
+            },
             gbps: 40.0,
-            router: Linear { a: 350.4, b: -892.3 },
+            router: Linear {
+                a: 350.4,
+                b: -892.3,
+            },
             watts_per_lane: 0.7,
             lanes_per_port: 4.0,
             name: "Mellanox IB FDR10 40Gb/s QSFP",
@@ -69,10 +78,19 @@ impl CostModel {
     pub fn qdr56() -> Self {
         let scale = 40.0 / 56.0;
         CostModel {
-            electric: Linear { a: 0.4079 * scale, b: 0.5771 * scale },
-            fiber: Linear { a: 0.0919 * scale, b: 2.7452 * scale },
+            electric: Linear {
+                a: 0.4079 * scale,
+                b: 0.5771 * scale,
+            },
+            fiber: Linear {
+                a: 0.0919 * scale,
+                b: 2.7452 * scale,
+            },
             gbps: 56.0,
-            router: Linear { a: 350.4, b: -892.3 },
+            router: Linear {
+                a: 350.4,
+                b: -892.3,
+            },
             watts_per_lane: 0.7,
             lanes_per_port: 4.0,
             name: "Mellanox IB QDR56 56Gb/s QSFP (approx.)",
@@ -83,10 +101,19 @@ impl CostModel {
     /// cables, lower rate: higher $/Gb/s (approximation, DESIGN.md).
     pub fn sfp10() -> Self {
         CostModel {
-            electric: Linear { a: 0.8158, b: 1.1542 },
-            fiber: Linear { a: 0.1838, b: 5.4904 },
+            electric: Linear {
+                a: 0.8158,
+                b: 1.1542,
+            },
+            fiber: Linear {
+                a: 0.1838,
+                b: 5.4904,
+            },
             gbps: 10.0,
-            router: Linear { a: 350.4, b: -892.3 },
+            router: Linear {
+                a: 350.4,
+                b: -892.3,
+            },
             watts_per_lane: 0.7,
             lanes_per_port: 4.0,
             name: "Elpeus Ethernet 10Gb/s SFP+ (approx.)",
@@ -244,10 +271,7 @@ mod tests {
         let net = sf.network();
         let b = CostBreakdown::compute(&net, &CostModel::fdr10());
         let c = b.cost_per_endpoint();
-        assert!(
-            (900.0..=1250.0).contains(&c),
-            "SF(q=19) cost/node = {c}"
-        );
+        assert!((900.0..=1250.0).contains(&c), "SF(q=19) cost/node = {c}");
     }
 
     #[test]
@@ -273,10 +297,7 @@ mod tests {
         let m = CostModel::fdr10();
         let psf = CostBreakdown::compute(&sf, &m).power_per_endpoint();
         let pdf = CostBreakdown::compute(&df, &m).power_per_endpoint();
-        assert!(
-            psf < pdf,
-            "SF {psf} W/node must beat DF {pdf} W/node"
-        );
+        assert!(psf < pdf, "SF {psf} W/node must beat DF {pdf} W/node");
         // Table IV: DF 10.9 vs SF 8.02 → ~26% saving.
         let saving = 1.0 - psf / pdf;
         assert!((0.15..=0.40).contains(&saving), "saving = {saving}");
@@ -302,10 +323,8 @@ mod tests {
         // §VI-B1: other cable families change relative differences by
         // only a few percent — orderings must hold.
         let sf = SlimFly::new(11).unwrap().network();
-        let df = sf_topo::dragonfly::Dragonfly::balanced_from_radix(
-            sf.max_router_radix() as u32,
-        )
-        .network();
+        let df = sf_topo::dragonfly::Dragonfly::balanced_from_radix(sf.max_router_radix() as u32)
+            .network();
         for m in [CostModel::fdr10(), CostModel::qdr56(), CostModel::sfp10()] {
             let csf = CostBreakdown::compute(&sf, &m).cost_per_endpoint();
             let cdf = CostBreakdown::compute(&df, &m).cost_per_endpoint();
@@ -321,9 +340,6 @@ mod tests {
         assert_eq!(b.n, 200);
         assert_eq!(b.nr, 50);
         assert!(b.cost_per_endpoint() > 0.0);
-        assert_eq!(
-            b.electric_cables + b.fiber_cables,
-            net.graph.num_edges()
-        );
+        assert_eq!(b.electric_cables + b.fiber_cables, net.graph.num_edges());
     }
 }

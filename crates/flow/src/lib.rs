@@ -196,7 +196,11 @@ mod tests {
     #[test]
     fn avg_hops_complete_graph_topology() {
         // FBF-2 with c=4 and p=1: every router pair ≤ 2 hops.
-        let f = sf_topo::flatbutterfly::FlattenedButterfly { c: 4, dims: 2, p: 1 };
+        let f = sf_topo::flatbutterfly::FlattenedButterfly {
+            c: 4,
+            dims: 2,
+            p: 1,
+        };
         let net = f.network();
         let h = average_hops_uniform(&net);
         let exact = sf_graph::metrics::average_distance(&net.graph).unwrap();
@@ -265,7 +269,10 @@ mod tests {
         );
         // Balanced condition p·Nr ≈ l (within rounding of p).
         let p_nr = sf.balanced_concentration() as f64 * net.num_routers() as f64;
-        assert!((p_nr - routes).abs() / routes < 0.10, "p·Nr={p_nr} l={routes}");
+        assert!(
+            (p_nr - routes).abs() / routes < 0.10,
+            "p·Nr={p_nr} l={routes}"
+        );
     }
 
     #[test]

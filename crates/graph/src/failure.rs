@@ -205,7 +205,10 @@ mod tests {
         let outcomes: Vec<bool> = (0..64)
             .map(|s| survives_removal(&g, 2, Property::Connected, s))
             .collect();
-        assert!(outcomes.iter().any(|&b| !b), "most 2-removals disconnect a cycle");
+        assert!(
+            outcomes.iter().any(|&b| !b),
+            "most 2-removals disconnect a cycle"
+        );
     }
 
     #[test]
@@ -217,7 +220,10 @@ mod tests {
             ..Default::default()
         };
         let f = max_tolerable_fraction(&g, Property::Connected, &cfg);
-        assert!(f >= 0.5, "K12 should survive ≥50% random link loss, got {f}");
+        assert!(
+            f >= 0.5,
+            "K12 should survive ≥50% random link loss, got {f}"
+        );
     }
 
     #[test]

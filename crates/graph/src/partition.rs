@@ -99,12 +99,7 @@ fn initial_partition_bfs(g: &Graph, weights: &[u64], target_a: u64, rng: &mut St
 }
 
 /// One FM refinement pass. Returns the improved assignment and cut.
-fn fm_pass(
-    g: &Graph,
-    weights: &[u64],
-    side: &mut Vec<bool>,
-    tolerance: u64,
-) -> usize {
+fn fm_pass(g: &Graph, weights: &[u64], side: &mut [bool], tolerance: u64) -> usize {
     let n = g.num_vertices();
     let maxdeg = g.max_degree() as i64;
     let offset = maxdeg; // gains live in [-maxdeg, +maxdeg]
@@ -335,7 +330,11 @@ mod tests {
             32,
             "balanced halves"
         );
-        assert!(b.cut <= 10, "FM should find a near-straight cut, got {}", b.cut);
+        assert!(
+            b.cut <= 10,
+            "FM should find a near-straight cut, got {}",
+            b.cut
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub fn spectral_gap(g: &Graph, iterations: usize, seed: u64) -> SpectralGap {
     let n = g.num_vertices();
     let d = g.max_degree() as f64;
     if n == 0 || d == 0.0 {
-        return SpectralGap { degree: d, lambda2: 0.0 };
+        return SpectralGap {
+            degree: d,
+            lambda2: 0.0,
+        };
     }
 
     // Deterministic pseudo-random start vector, orthogonal to 1.
@@ -93,7 +96,10 @@ pub fn spectral_gap(g: &Graph, iterations: usize, seed: u64) -> SpectralGap {
             *xv = yv / lambda;
         }
     }
-    SpectralGap { degree: d, lambda2: lambda }
+    SpectralGap {
+        degree: d,
+        lambda2: lambda,
+    }
 }
 
 fn deflate_mean(x: &mut [f64]) {
@@ -151,7 +157,11 @@ mod tests {
         let g = cycle(64);
         let s = spectral_gap(&g, 400, 2);
         let exact = 2.0 * (2.0 * std::f64::consts::PI / 64.0).cos();
-        assert!((s.lambda2 - exact).abs() < 0.05, "λ₂ = {} vs {exact}", s.lambda2);
+        assert!(
+            (s.lambda2 - exact).abs() < 0.05,
+            "λ₂ = {} vs {exact}",
+            s.lambda2
+        );
         assert!(s.normalized() > 0.95);
     }
 
@@ -171,7 +181,11 @@ mod tests {
             }
         }
         let s = spectral_gap(&g, 400, 3);
-        assert!((s.lambda2 - 6.0).abs() < 0.1, "two-sided λ₂ = {}", s.lambda2);
+        assert!(
+            (s.lambda2 - 6.0).abs() < 0.1,
+            "two-sided λ₂ = {}",
+            s.lambda2
+        );
         assert!(s.normalized() > 0.95);
     }
 
@@ -184,7 +198,10 @@ mod tests {
 
     #[test]
     fn ramanujan_bound_formula() {
-        let s = SpectralGap { degree: 7.0, lambda2: 4.9 };
+        let s = SpectralGap {
+            degree: 7.0,
+            lambda2: 4.9,
+        };
         assert!((s.ramanujan_bound() - 2.0 * 6.0f64.sqrt()).abs() < 1e-12);
         assert!(s.is_near_ramanujan(1.01));
     }

@@ -9,8 +9,7 @@ use sf_graph::{failure, metrics, partition, Graph};
 fn random_graph() -> impl Strategy<Value = Graph> {
     (2usize..40).prop_flat_map(|n| {
         prop::collection::vec((0..n as u32, 0..n as u32), 0..(n * 3)).prop_map(move |pairs| {
-            let edges: Vec<(u32, u32)> =
-                pairs.into_iter().filter(|&(u, v)| u != v).collect();
+            let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|&(u, v)| u != v).collect();
             Graph::from_edges(n, &edges)
         })
     })

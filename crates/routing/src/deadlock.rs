@@ -26,7 +26,11 @@ pub fn hop_index_vcs(path: &[u32]) -> Vec<u8> {
 /// Number of VCs required by hop-index assignment for a set of paths
 /// (= max hop count).
 pub fn vcs_required(paths: &[Vec<u32>]) -> usize {
-    paths.iter().map(|p| p.len().saturating_sub(1)).max().unwrap_or(0)
+    paths
+        .iter()
+        .map(|p| p.len().saturating_sub(1))
+        .max()
+        .unwrap_or(0)
 }
 
 /// A channel dependency graph over directed channels tagged with VCs.
@@ -264,7 +268,10 @@ mod tests {
         let mut cdg = ChannelDependencyGraph::new();
         cdg.add_path(&[3, 4], &[0]);
         cdg.add_path(&[4, 3], &[0]);
-        assert!(cdg.is_acyclic(), "opposite directions are distinct channels");
+        assert!(
+            cdg.is_acyclic(),
+            "opposite directions are distinct channels"
+        );
         assert_eq!(cdg.num_channels(), 2);
     }
 

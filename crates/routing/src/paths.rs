@@ -171,7 +171,10 @@ mod tests {
                 seen_ccw = true;
             }
         }
-        assert!(seen_cw && seen_ccw, "ECMP must randomize over both branches");
+        assert!(
+            seen_cw && seen_ccw,
+            "ECMP must randomize over both branches"
+        );
     }
 
     #[test]

@@ -29,7 +29,13 @@ impl RoutingTables {
             .map(|s| {
                 metrics::bfs_distances(g, s)
                     .into_iter()
-                    .map(|d| if d == metrics::UNREACHABLE { UNREACHABLE } else { d.min(254) as u8 })
+                    .map(|d| {
+                        if d == metrics::UNREACHABLE {
+                            UNREACHABLE
+                        } else {
+                            d.min(254) as u8
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -54,7 +60,12 @@ impl RoutingTables {
 
     /// All neighbors of `u` lying on some shortest path to `d`
     /// (the ECMP next-hop set for MIN routing).
-    pub fn min_next_hops<'a>(&'a self, g: &'a Graph, u: u32, d: u32) -> impl Iterator<Item = u32> + 'a {
+    pub fn min_next_hops<'a>(
+        &'a self,
+        g: &'a Graph,
+        u: u32,
+        d: u32,
+    ) -> impl Iterator<Item = u32> + 'a {
         let need = self.distance(u, d);
         g.neighbors(u)
             .iter()

@@ -234,7 +234,9 @@ impl<'a> Simulator<'a> {
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
             stats: LatencyStats::new(),
-            link_flits: (0..nr).map(|r| vec![0u64; net.graph.degree(r as u32)]).collect(),
+            link_flits: (0..nr)
+                .map(|r| vec![0u64; net.graph.degree(r as u32)])
+                .collect(),
             hops_sum: 0,
             sample_generated: 0,
             sample_ejected: 0,
@@ -252,11 +254,7 @@ impl<'a> Simulator<'a> {
     /// buffer slots in use (the "output queue length" UGAL inspects).
     fn out_occupancy(&self, r: u32, j: usize) -> u32 {
         let l = &self.out[r as usize][j];
-        let used: u32 = l
-            .credits
-            .iter()
-            .map(|&c| self.vc_cap as u32 - c)
-            .sum();
+        let used: u32 = l.credits.iter().map(|&c| self.vc_cap as u32 - c).sum();
         l.staging.len() as u32 + used
     }
 
@@ -438,8 +436,8 @@ impl<'a> Simulator<'a> {
                 continue;
             }
             let r = self.ep_router[e as usize];
-            let inj_port = self.net.graph.degree(r) as u32
-                + (e - self.net.endpoints_of_router(r).start);
+            let inj_port =
+                self.net.graph.degree(r) as u32 + (e - self.net.endpoints_of_router(r).start);
             let fp = self.flat_port(r, inj_port);
             if self.in_buf[fp][0].len() >= self.vc_cap {
                 continue;
@@ -480,12 +478,10 @@ impl<'a> Simulator<'a> {
             for port in 0..nports {
                 for vc in 0..self.cfg.num_vcs {
                     let fp = (base + port) as usize;
-                    let eject = match self.in_buf[fp][vc].front() {
-                        Some(p) if self.terminates_here(p, r) && !ejected_ep.contains(&p.dst_ep) => {
-                            true
-                        }
-                        _ => false,
-                    };
+                    let eject = matches!(
+                        self.in_buf[fp][vc].front(),
+                        Some(p) if self.terminates_here(p, r) && !ejected_ep.contains(&p.dst_ep)
+                    );
                     if !eject {
                         continue;
                     }
@@ -530,60 +526,58 @@ impl<'a> Simulator<'a> {
             let net_deg = self.net.graph.degree(r) as u32;
 
             for iter in 0..self.cfg.output_speedup {
-            for step in 0..total {
-                let idx = (start + step) % total;
-                let port = idx / nvcs;
-                let vc = idx % nvcs;
-                if in_grants[port] > iter {
-                    continue;
-                }
-                let fp = (base as usize) + port;
-                let head = match self.in_buf[fp][vc].front() {
-                    Some(p) => *p,
-                    None => continue,
-                };
-                if self.terminates_here(&head, r) {
-                    continue; // handled by ejection
-                }
-                let nxt = self.next_hop(&head, r);
-                let j = self.out_index(r, nxt);
-                if out_grants[j] >= self.cfg.output_speedup {
-                    continue;
-                }
-                let next_vc =
-                    (head.vc_base as usize + head.hop as usize).min(self.cfg.num_vcs - 1);
-                {
-                    let l = &self.out[r as usize][j];
-                    if l.staging.len() >= self.cfg.output_queue_cap
-                        || l.credits[next_vc] == 0
-                    {
+                for step in 0..total {
+                    let idx = (start + step) % total;
+                    let port = idx / nvcs;
+                    let vc = idx % nvcs;
+                    if in_grants[port] > iter {
                         continue;
                     }
+                    let fp = (base as usize) + port;
+                    let head = match self.in_buf[fp][vc].front() {
+                        Some(p) => *p,
+                        None => continue,
+                    };
+                    if self.terminates_here(&head, r) {
+                        continue; // handled by ejection
+                    }
+                    let nxt = self.next_hop(&head, r);
+                    let j = self.out_index(r, nxt);
+                    if out_grants[j] >= self.cfg.output_speedup {
+                        continue;
+                    }
+                    let next_vc =
+                        (head.vc_base as usize + head.hop as usize).min(self.cfg.num_vcs - 1);
+                    {
+                        let l = &self.out[r as usize][j];
+                        if l.staging.len() >= self.cfg.output_queue_cap || l.credits[next_vc] == 0 {
+                            continue;
+                        }
+                    }
+                    // Grant.
+                    let mut pkt = self.in_buf[fp][vc].pop_front().unwrap();
+                    if pkt.path_len == 0 {
+                        // Adaptive: record chosen hop implicitly by counter.
+                        pkt.hop = pkt.hop.saturating_add(1);
+                    } else {
+                        pkt.hop += 1;
+                    }
+                    {
+                        let l = &mut self.out[r as usize][j];
+                        l.credits[next_vc] -= 1;
+                        l.staging.push_back((pkt, next_vc as u8));
+                    }
+                    out_grants[j] += 1;
+                    in_grants[port] = iter + 1;
+                    // Credit to upstream for the freed input slot.
+                    if (port as u32) < net_deg {
+                        let up = self.net.graph.neighbors(r)[port];
+                        let uj = self.out_index(up, r);
+                        self.out[up as usize][uj]
+                            .credit_inflight
+                            .push_back((now + self.cfg.credit_delay, vc as u8));
+                    }
                 }
-                // Grant.
-                let mut pkt = self.in_buf[fp][vc].pop_front().unwrap();
-                if pkt.path_len == 0 {
-                    // Adaptive: record chosen hop implicitly by counter.
-                    pkt.hop = pkt.hop.saturating_add(1);
-                } else {
-                    pkt.hop += 1;
-                }
-                {
-                    let l = &mut self.out[r as usize][j];
-                    l.credits[next_vc] -= 1;
-                    l.staging.push_back((pkt, next_vc as u8));
-                }
-                out_grants[j] += 1;
-                in_grants[port] = iter + 1;
-                // Credit to upstream for the freed input slot.
-                if (port as u32) < net_deg {
-                    let up = self.net.graph.neighbors(r)[port];
-                    let uj = self.out_index(up, r);
-                    self.out[up as usize][uj]
-                        .credit_inflight
-                        .push_back((now + self.cfg.credit_delay, vc as u8));
-                }
-            }
             }
             self.rr_cursor[r as usize] = self.rr_cursor[r as usize].wrapping_add(1);
         }
@@ -634,7 +628,11 @@ impl<'a> Simulator<'a> {
         SimResult {
             offered_load: self.load,
             avg_latency: self.stats.mean(),
-            p99_latency: self.stats.quantile(0.99).map(|v| v as f64).unwrap_or(f64::NAN),
+            p99_latency: self
+                .stats
+                .quantile(0.99)
+                .map(|v| v as f64)
+                .unwrap_or(f64::NAN),
             accepted: self.window_ejected as f64 / (active * self.cfg.measure as f64),
             ejected: self.total_ejected,
             saturated: !drained,
@@ -644,7 +642,11 @@ impl<'a> Simulator<'a> {
                 self.hops_sum as f64 / self.sample_ejected as f64
             },
             max_link_util: max_util,
-            mean_link_util: if nlinks == 0 { 0.0 } else { sum_util / nlinks as f64 },
+            mean_link_util: if nlinks == 0 {
+                0.0
+            } else {
+                sum_util / nlinks as f64
+            },
         }
     }
 }
@@ -729,8 +731,7 @@ mod tests {
     fn min_beats_valiant_latency_uniform() {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let rmin =
-            Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.2, quick_cfg(3)).run();
+        let rmin = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.2, quick_cfg(3)).run();
         let rval = Simulator::new(
             &net,
             &tables,

@@ -53,7 +53,11 @@ mod tests {
         let aug = add_random_shortcuts(&net, 3, 42);
         let before = net.graph.avg_degree();
         let after = aug.graph.avg_degree();
-        assert!(after > before + 2.0, "expected ~3 extra ports, got {}", after - before);
+        assert!(
+            after > before + 2.0,
+            "expected ~3 extra ports, got {}",
+            after - before
+        );
         assert!(after <= before + 3.0 + 1e-9);
         assert_eq!(aug.num_endpoints(), net.num_endpoints());
     }
@@ -67,7 +71,10 @@ mod tests {
         let before = metrics::average_distance(&net.graph).unwrap();
         let after = metrics::average_distance(&aug.graph).unwrap();
         assert!(after <= before + 1e-12, "{after} vs {before}");
-        assert!(after < before, "5 shortcut ports should strictly shorten paths");
+        assert!(
+            after < before,
+            "5 shortcut ports should strictly shorten paths"
+        );
     }
 
     #[test]

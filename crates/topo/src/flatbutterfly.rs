@@ -120,7 +120,11 @@ mod tests {
     #[test]
     fn fbf3_balanced_parameters() {
         // Table IV first FBF-3 column: N = 20736, Nr = 1728 (c = 12).
-        let f = FlattenedButterfly { c: 12, dims: 3, p: 12 };
+        let f = FlattenedButterfly {
+            c: 12,
+            dims: 3,
+            p: 12,
+        };
         assert_eq!(f.num_routers(), 1728);
         assert_eq!(f.num_endpoints(), 20736);
         assert_eq!(f.network_radix(), 33);
@@ -147,7 +151,11 @@ mod tests {
 
     #[test]
     fn coords_roundtrip() {
-        let f = FlattenedButterfly { c: 4, dims: 3, p: 4 };
+        let f = FlattenedButterfly {
+            c: 4,
+            dims: 3,
+            p: 4,
+        };
         for id in 0..f.num_routers() as u32 {
             assert_eq!(f.router_id(&f.router_coords(id)), id);
         }
@@ -156,7 +164,11 @@ mod tests {
     #[test]
     fn edge_count() {
         // Per dimension: c^(dims-1) cliques of c(c−1)/2 edges.
-        let f = FlattenedButterfly { c: 4, dims: 2, p: 4 };
+        let f = FlattenedButterfly {
+            c: 4,
+            dims: 2,
+            p: 4,
+        };
         let g = f.router_graph();
         let expected = 2 * 4 * (4 * 3 / 2);
         assert_eq!(g.num_edges(), expected);
@@ -164,7 +176,11 @@ mod tests {
 
     #[test]
     fn rows_are_cliques() {
-        let f = FlattenedButterfly { c: 5, dims: 2, p: 5 };
+        let f = FlattenedButterfly {
+            c: 5,
+            dims: 2,
+            p: 5,
+        };
         let g = f.router_graph();
         // Row 0 (y = 0): routers 0..5 pairwise adjacent.
         for u in 0..5u32 {

@@ -38,7 +38,12 @@ pub fn moore_bound(k_prime: u64, diameter: u32) -> u64 {
 /// `k' = ⌈2k/3⌉` of a radix-k router and concentration `p = k − k'`
 /// (§II-A: "k' = ⌈2k/3⌉ enables full global bandwidth for D = 2").
 pub fn moore_bound_endpoints(router_radix: u64, diameter: u32) -> u64 {
-    let k_prime = 2 * router_radix / 3 + if (2 * router_radix).is_multiple_of(3) { 0 } else { 1 };
+    let k_prime = 2 * router_radix / 3
+        + if (2 * router_radix).is_multiple_of(3) {
+            0
+        } else {
+            1
+        };
     let p = router_radix.saturating_sub(k_prime);
     moore_bound(k_prime, diameter).saturating_mul(p)
 }

@@ -157,6 +157,49 @@ impl Network {
         }
     }
 
+    /// The paper's closed-form diameter for this family (Table II), as
+    /// a display string: exact for most families, a band for the
+    /// randomized ones, `~log2(Nr)` for unannotated graphs.
+    pub fn diameter_formula(&self) -> String {
+        match &self.kind {
+            TopologyKind::SlimFly { .. } => "2".into(),
+            TopologyKind::Dragonfly { .. } => "3".into(),
+            TopologyKind::FatTree3 { .. } => "4".into(),
+            TopologyKind::FlattenedButterfly { dims, .. } => dims.to_string(),
+            TopologyKind::Torus { dims } => {
+                // ⌈(n/2)·Nr^(1/n)⌉ in the paper; exact = Σ ⌊extent/2⌋.
+                let exact: u32 = dims.iter().map(|&d| d / 2).sum();
+                exact.to_string()
+            }
+            TopologyKind::Hypercube { d } => d.to_string(),
+            TopologyKind::LongHop { .. } => "4-6".into(),
+            TopologyKind::RandomDln { .. } => "3-10".into(),
+            _ => format!("~{:.0}", (self.num_routers() as f64).log2()),
+        }
+    }
+
+    /// The analytic bisection size in cables where the paper uses one
+    /// (Fig 5c): `N/2` for hypercubes and fat trees, `N/4` for
+    /// Dragonfly and flattened butterflies, the wrap-around cut for
+    /// tori. `None` for the families the paper partitions numerically
+    /// (SF, DLN, Long Hop).
+    pub fn analytic_bisection_cables(&self) -> Option<u64> {
+        match &self.kind {
+            TopologyKind::Hypercube { .. } | TopologyKind::FatTree3 { .. } => {
+                Some((self.num_endpoints() / 2) as u64)
+            }
+            TopologyKind::Dragonfly { .. } | TopologyKind::FlattenedButterfly { .. } => {
+                Some((self.num_endpoints() / 4) as u64)
+            }
+            TopologyKind::Torus { dims } => {
+                let max = *dims.iter().max()? as u64;
+                let nr = self.num_routers() as u64;
+                Some(if max == 2 { nr / max } else { 2 * nr / max })
+            }
+            _ => None,
+        }
+    }
+
     /// One-line summary used by example binaries and benches.
     pub fn summary(&self) -> String {
         format!(
@@ -209,12 +252,7 @@ mod tests {
     #[test]
     fn endpoint_router_is_inverse_of_ranges() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let n = Network::new(
-            g,
-            vec![0, 3, 0, 2],
-            "zeros".into(),
-            TopologyKind::Other,
-        );
+        let n = Network::new(g, vec![0, 3, 0, 2], "zeros".into(), TopologyKind::Other);
         for r in 0..n.num_routers() as u32 {
             for e in n.endpoints_of_router(r) {
                 assert_eq!(n.endpoint_router(e), r, "endpoint {e}");

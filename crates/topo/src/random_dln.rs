@@ -32,14 +32,22 @@ impl RandomDln {
     /// the paper ties p to the router radix: `p = ⌊√k⌋` with
     /// `k = 2 + y + p`; we solve the fixed point below.
     pub fn new(nr: usize, y: u32, seed: u64) -> Self {
-        assert!(nr >= 4 && nr.is_multiple_of(2), "need an even router count ≥ 4");
+        assert!(
+            nr >= 4 && nr.is_multiple_of(2),
+            "need an even router count ≥ 4"
+        );
         // p = ⌊√k⌋, k = 2 + y + p  ⇒ iterate to the fixed point.
         let mut p = 1u32;
         for _ in 0..8 {
             let k = 2 + y + p;
             p = (k as f64).sqrt().floor() as u32;
         }
-        RandomDln { nr, y, p: p.max(1), seed }
+        RandomDln {
+            nr,
+            y,
+            p: p.max(1),
+            seed,
+        }
     }
 
     /// Network radix `k' = 2 + y`.

@@ -58,7 +58,10 @@ impl std::fmt::Display for SlimFlyError {
         match self {
             SlimFlyError::NotPrimePower(q) => write!(f, "q = {q} is not a prime power"),
             SlimFlyError::BadResidue(q) => {
-                write!(f, "q = {q} ≡ 2 (mod 4) admits no MMS graph (need q = 4w + δ, δ ∈ {{−1,0,1}})")
+                write!(
+                    f,
+                    "q = {q} ≡ 2 (mod 4) admits no MMS graph (need q = 4w + δ, δ ∈ {{−1,0,1}})"
+                )
             }
         }
     }
@@ -261,8 +264,14 @@ mod tests {
     #[test]
     fn rejects_invalid_q() {
         assert!(matches!(SlimFly::new(6), Err(SlimFlyError::BadResidue(6))));
-        assert!(matches!(SlimFly::new(15), Err(SlimFlyError::NotPrimePower(15))));
-        assert!(matches!(SlimFly::new(21), Err(SlimFlyError::NotPrimePower(21))));
+        assert!(matches!(
+            SlimFly::new(15),
+            Err(SlimFlyError::NotPrimePower(15))
+        ));
+        assert!(matches!(
+            SlimFly::new(21),
+            Err(SlimFlyError::NotPrimePower(21))
+        ));
         // 2 ≡ 2 (mod 4)
         assert!(matches!(SlimFly::new(2), Err(SlimFlyError::BadResidue(2))));
     }
@@ -347,11 +356,7 @@ mod tests {
         // no common neighbor; non-adjacent share exactly one.
         for u in 0..50u32 {
             for v in 0..u {
-                let common = g
-                    .neighbors(u)
-                    .iter()
-                    .filter(|&&w| g.has_edge(v, w))
-                    .count();
+                let common = g.neighbors(u).iter().filter(|&&w| g.has_edge(v, w)).count();
                 if g.has_edge(u, v) {
                     assert_eq!(common, 0, "triangle at ({u},{v})");
                 } else {
@@ -426,7 +431,10 @@ mod tests {
     #[test]
     fn admissible_q_list() {
         let qs = SlimFly::admissible_q_up_to(30);
-        assert_eq!(qs, vec![3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29]);
+        assert_eq!(
+            qs,
+            vec![3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29]
+        );
         for q in qs {
             SlimFly::new(q).expect("admissible q must construct");
         }

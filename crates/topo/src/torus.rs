@@ -169,7 +169,11 @@ mod tests {
     fn near_cubic_sizing() {
         let t = Torus::cubic_3d(1000);
         assert!(t.num_routers() >= 1000);
-        assert!(t.num_routers() <= 1400, "not wildly oversized: {}", t.num_routers());
+        assert!(
+            t.num_routers() <= 1400,
+            "not wildly oversized: {}",
+            t.num_routers()
+        );
         let t5 = Torus::cubic_5d(1024);
         assert!(t5.num_routers() >= 1024);
         assert_eq!(t5.dims.len(), 5);

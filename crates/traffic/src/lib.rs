@@ -17,6 +17,10 @@
 //! more than one full-rate flow (the paper's stated constraint for
 //! adversarial patterns).
 
+pub mod spec;
+
+pub use spec::{TrafficError, TrafficSpec};
+
 use rand::Rng;
 use sf_routing::RoutingTables;
 use sf_topo::{Network, TopologyKind};
@@ -183,30 +187,37 @@ impl TrafficPattern {
     /// group `G` sends to its positional counterpart in group `G+1`,
     /// forcing all minimal traffic across the single global link between
     /// consecutive groups.
-    pub fn worst_case_dragonfly(net: &Network) -> Self {
-        let (a, g) = match net.kind {
-            TopologyKind::Dragonfly { a, g, .. } => (a, g),
-            _ => panic!("worst_case_dragonfly requires a Dragonfly network"),
+    pub fn worst_case_dragonfly(net: &Network) -> Result<Self, TrafficError> {
+        let g = match net.kind {
+            TopologyKind::Dragonfly { g, .. } => g,
+            _ => {
+                return Err(TrafficError::UnsupportedWorstCase {
+                    topology: net.name.clone(),
+                })
+            }
         };
         let n = net.num_endpoints() as u32;
         let per_group = n / g;
         let mut perm = vec![u32::MAX; n as usize];
-        let _ = a;
         for e in 0..n {
             let grp = e / per_group;
             let idx = e % per_group;
             let dst_grp = (grp + 1) % g;
             perm[e as usize] = dst_grp * per_group + idx;
         }
-        TrafficPattern::permutation(perm, "worst-df")
+        Ok(TrafficPattern::permutation(perm, "worst-df"))
     }
 
     /// The fat-tree worst case (§V-C): every packet must traverse a core
     /// switch — endpoints send to the same position in the next pod.
-    pub fn worst_case_fattree(net: &Network) -> Self {
+    pub fn worst_case_fattree(net: &Network) -> Result<Self, TrafficError> {
         let pods = match net.kind {
             TopologyKind::FatTree3 { pods, .. } => pods,
-            _ => panic!("worst_case_fattree requires a FatTree3 network"),
+            _ => {
+                return Err(TrafficError::UnsupportedWorstCase {
+                    topology: net.name.clone(),
+                })
+            }
         };
         let n = net.num_endpoints() as u32;
         let per_pod = n / pods;
@@ -216,7 +227,7 @@ impl TrafficPattern {
             let idx = e % per_pod;
             perm[e as usize] = ((pod + 1) % pods) * per_pod + idx;
         }
-        TrafficPattern::permutation(perm, "worst-ft")
+        Ok(TrafficPattern::permutation(perm, "worst-ft"))
     }
 
     /// Pattern name (figure-legend style).
@@ -238,9 +249,10 @@ impl TrafficPattern {
     pub fn is_active(&self, src: u32) -> bool {
         match self.kind {
             Kind::Uniform => true,
-            Kind::Permutation => {
-                self.perm.as_ref().is_some_and(|p| p[src as usize] != u32::MAX)
-            }
+            Kind::Permutation => self
+                .perm
+                .as_ref()
+                .is_some_and(|p| p[src as usize] != u32::MAX),
             _ => src < self.n_active,
         }
     }
@@ -389,8 +401,8 @@ mod tests {
         let mut low_seen = false;
         for _ in 0..100 {
             match p.dest(11, &mut rng) {
-                Some(3) => low_seen = true,      // 11 mod 8 = 3
-                Some(11) => panic!("self"),      // filtered
+                Some(3) => low_seen = true, // 11 mod 8 = 3
+                Some(11) => panic!("self"), // filtered
                 Some(d) => {
                     assert_eq!(d, 3 + 8); // == 11 → None; so only 3 or 11
                     partner_seen = true;
@@ -428,14 +440,17 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked >= net.num_endpoints() as u32 - 2 * 7, "most endpoints paired");
+        assert!(
+            checked >= net.num_endpoints() as u32 - 2 * 7,
+            "most endpoints paired"
+        );
     }
 
     #[test]
     fn worst_case_dragonfly_next_group() {
         let df = sf_topo::dragonfly::Dragonfly::balanced(2);
         let net = df.network();
-        let p = TrafficPattern::worst_case_dragonfly(&net);
+        let p = TrafficPattern::worst_case_dragonfly(&net).unwrap();
         let g = df.num_groups();
         let per_group = net.num_endpoints() as u32 / g;
         let mut rng = StdRng::seed_from_u64(9);
@@ -449,7 +464,7 @@ mod tests {
     fn worst_case_fattree_crosses_pods() {
         let ft = sf_topo::fattree::FatTree3 { p: 3, full: false };
         let net = ft.network();
-        let p = TrafficPattern::worst_case_fattree(&net);
+        let p = TrafficPattern::worst_case_fattree(&net).unwrap();
         let mut rng = StdRng::seed_from_u64(10);
         let per_pod = net.num_endpoints() as u32 / ft.pods();
         for s in 0..net.num_endpoints() as u32 {

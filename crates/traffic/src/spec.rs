@@ -1,0 +1,179 @@
+//! Declarative traffic-pattern selection: [`TrafficSpec`] names a
+//! pattern family; [`TrafficSpec::build`] instantiates it for a concrete
+//! network, dispatching the per-topology worst cases of §V-C.
+//!
+//! Unknown pattern names are a typed [`TrafficError`], not a panic — the
+//! experiment layer in the `slimfly` facade folds this into its
+//! workspace-wide `SfError`.
+
+use crate::TrafficPattern;
+use sf_routing::RoutingTables;
+use sf_topo::{Network, TopologyKind};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from traffic-pattern parsing and construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrafficError {
+    /// The pattern name is not one of [`TrafficSpec::ALL`].
+    UnknownPattern(String),
+    /// A worst-case pattern was requested for a topology without one
+    /// (the paper defines adversarial permutations only for SF, DF and
+    /// FT-3).
+    UnsupportedWorstCase {
+        /// Name of the offending network.
+        topology: String,
+    },
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::UnknownPattern(name) => {
+                write!(f, "unknown traffic pattern {name:?} (expected one of: ")?;
+                for (i, s) in TrafficSpec::ALL.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+            TrafficError::UnsupportedWorstCase { topology } => write!(
+                f,
+                "no worst-case traffic pattern is defined for {topology} \
+                 (only Slim Fly, Dragonfly and fat-tree networks have one)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// A traffic-pattern family, independent of any concrete network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficSpec {
+    /// Uniform random destinations (§V-A).
+    Uniform,
+    /// Bit shuffle `d_i = s_(i−1)` (§V-B).
+    Shuffle,
+    /// Bit reversal `d_i = s_(b−i−1)` (§V-B).
+    BitReversal,
+    /// Bit complement `d_i = ¬s_i` (§V-B).
+    BitComplement,
+    /// Shift to the ±N/2 counterpart (§V-B).
+    Shift,
+    /// The topology-specific adversarial permutation (§V-C).
+    WorstCase,
+}
+
+impl TrafficSpec {
+    /// Every selectable pattern family.
+    pub const ALL: &'static [TrafficSpec] = &[
+        TrafficSpec::Uniform,
+        TrafficSpec::Shuffle,
+        TrafficSpec::BitReversal,
+        TrafficSpec::BitComplement,
+        TrafficSpec::Shift,
+        TrafficSpec::WorstCase,
+    ];
+
+    /// Canonical name (figure-legend style; round-trips via [`FromStr`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficSpec::Uniform => "uniform",
+            TrafficSpec::Shuffle => "shuffle",
+            TrafficSpec::BitReversal => "bitrev",
+            TrafficSpec::BitComplement => "bitcomp",
+            TrafficSpec::Shift => "shift",
+            TrafficSpec::WorstCase => "worst",
+        }
+    }
+
+    /// Instantiates the pattern for a concrete network. `tables` must be
+    /// built over `net.graph`; only worst-case patterns consult them.
+    pub fn build(
+        &self,
+        net: &Network,
+        tables: &RoutingTables,
+    ) -> Result<TrafficPattern, TrafficError> {
+        let n = net.num_endpoints() as u32;
+        match self {
+            TrafficSpec::Uniform => Ok(TrafficPattern::uniform(n)),
+            TrafficSpec::Shuffle => Ok(TrafficPattern::shuffle(n)),
+            TrafficSpec::BitReversal => Ok(TrafficPattern::bit_reversal(n)),
+            TrafficSpec::BitComplement => Ok(TrafficPattern::bit_complement(n)),
+            TrafficSpec::Shift => Ok(TrafficPattern::shift(n)),
+            TrafficSpec::WorstCase => match net.kind {
+                TopologyKind::SlimFly { .. } => Ok(TrafficPattern::worst_case_slimfly(net, tables)),
+                TopologyKind::Dragonfly { .. } => TrafficPattern::worst_case_dragonfly(net),
+                TopologyKind::FatTree3 { .. } => TrafficPattern::worst_case_fattree(net),
+                _ => Err(TrafficError::UnsupportedWorstCase {
+                    topology: net.name.clone(),
+                }),
+            },
+        }
+    }
+}
+
+impl fmt::Display for TrafficSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for TrafficSpec {
+    type Err = TrafficError;
+
+    fn from_str(s: &str) -> Result<Self, TrafficError> {
+        match s {
+            "uniform" => Ok(TrafficSpec::Uniform),
+            "shuffle" => Ok(TrafficSpec::Shuffle),
+            "bitrev" => Ok(TrafficSpec::BitReversal),
+            "bitcomp" => Ok(TrafficSpec::BitComplement),
+            "shift" => Ok(TrafficSpec::Shift),
+            "worst" => Ok(TrafficSpec::WorstCase),
+            other => Err(TrafficError::UnknownPattern(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_topo::SlimFly;
+
+    #[test]
+    fn names_round_trip() {
+        for &spec in TrafficSpec::ALL {
+            let parsed: TrafficSpec = spec.to_string().parse().unwrap();
+            assert_eq!(parsed, spec);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_typed_error() {
+        let err = "wurst".parse::<TrafficSpec>().unwrap_err();
+        assert_eq!(err, TrafficError::UnknownPattern("wurst".into()));
+        assert!(err.to_string().contains("wurst"));
+        assert!(err.to_string().contains("uniform"));
+    }
+
+    #[test]
+    fn build_dispatches_by_kind() {
+        let net = SlimFly::new(5).unwrap().network();
+        let tables = RoutingTables::new(&net.graph);
+        for &spec in TrafficSpec::ALL {
+            let pat = spec.build(&net, &tables).unwrap();
+            assert_eq!(pat.num_endpoints() as usize, net.num_endpoints());
+        }
+    }
+
+    #[test]
+    fn worst_case_unsupported_topologies_error() {
+        let net = sf_topo::hypercube::Hypercube::new(4).network();
+        let tables = RoutingTables::new(&net.graph);
+        let err = TrafficSpec::WorstCase.build(&net, &tables).unwrap_err();
+        assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
+    }
+}

@@ -1,16 +1,16 @@
 //! Datacenter design study: size a Slim Fly for a target machine,
-//! compare against a Dragonfly of the same router radix, and print the
+//! compare against a Dragonfly of comparable size, and print the
 //! physical layout and bill of materials (§VI of the paper).
 //!
 //! Run with: `cargo run --release --example datacenter_design -- [endpoints]`
 
 use slimfly::cost::{CableInventory, Layout};
 use slimfly::prelude::*;
-use slimfly::topo::dragonfly::Dragonfly;
 
-fn main() {
-    let target: u64 = std::env::args()
-        .nth(1)
+fn main() -> Result<(), SfError> {
+    let args = sf_bench::SweepArgs::parse();
+    let target: u64 = args
+        .positional(0)
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000);
 
@@ -20,8 +20,8 @@ fn main() {
         "recommended Slim Fly: q={} (δ={}) → Nr={}, N={}, k={} ports",
         cfg.q, cfg.delta, cfg.nr, cfg.n, cfg.k
     );
-    let sf = cfg.build();
-    let net = sf.network();
+    let sf_spec = TopologySpec::slimfly(cfg.q);
+    let net = sf_spec.build()?;
 
     // Physical layout (§VI-A).
     let layout = Layout::new(&net);
@@ -55,17 +55,12 @@ fn main() {
     // Balanced Dragonfly of comparable size (§VI-B4; the paper compares
     // against balanced DFs — unbalanced same-radix DFs found by raw
     // search can be far worse and overstate SF's advantage).
-    let df = (1..200u32)
-        .map(Dragonfly::balanced)
-        .min_by_key(|d| d.num_endpoints().abs_diff(cfg.n as usize))
-        .expect("search space non-empty");
-    let df_net = df.network();
+    let df_spec = TopologySpec::dragonfly_balanced(spec::dragonfly_p_near(cfg.n as usize));
     let model = CostModel::fdr10();
     let b_sf = CostBreakdown::compute(&net, &model);
-    let b_df = CostBreakdown::compute(&df_net, &model);
+    let b_df = Experiment::on(df_spec.clone()).cost(&model)?;
     println!(
-        "vs Dragonfly {}: N={}, Nr={}, ${:.0}/endpoint, {:.2} W/endpoint",
-        df_net.name,
+        "vs Dragonfly {df_spec}: N={}, Nr={}, ${:.0}/endpoint, {:.2} W/endpoint",
         b_df.n,
         b_df.nr,
         b_df.cost_per_endpoint(),
@@ -76,4 +71,5 @@ fn main() {
         100.0 * (1.0 - b_sf.cost_per_endpoint() / b_df.cost_per_endpoint()),
         100.0 * (1.0 - b_sf.power_per_endpoint() / b_df.power_per_endpoint())
     );
+    Ok(())
 }

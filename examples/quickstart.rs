@@ -1,22 +1,17 @@
-//! Quickstart: build the paper's flagship Slim Fly, inspect its
-//! structure, route a packet, and run a short simulation.
+//! Quickstart: build the paper's flagship Slim Fly from a declarative
+//! spec, inspect its structure, route a packet, and run a load sweep
+//! through the fluent experiment builder.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use slimfly::prelude::*;
 
-fn main() {
-    // 1. Construct the Slim Fly from §V of the paper: q = 19.
-    let sf = SlimFly::new(19).expect("19 is an admissible prime power");
-    let net = sf.network();
+fn main() -> Result<(), SfError> {
+    // 1. The flagship network of §V as a declarative spec: q = 19 →
+    //    722 routers, 10,830 endpoints, diameter 2, router radix 44.
+    let spec: TopologySpec = "sf:q=19".parse()?;
+    let net = spec.build()?;
     println!("network: {}", net.summary());
-    println!(
-        "  q = {}, δ = {}, k' = {}, balanced p = {}",
-        sf.q(),
-        sf.delta(),
-        sf.network_radix(),
-        sf.balanced_concentration()
-    );
 
     // 2. Structural properties (§III).
     let diameter = metrics::diameter(&net.graph).unwrap();
@@ -37,25 +32,33 @@ fn main() {
     let path = gen.min_path(rs, rd, &mut rng);
     println!("  minimal route endpoint {src} -> {dst}: routers {path:?}");
 
-    // 4. A short cycle-accurate simulation at 30% uniform load (§V-A).
-    let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
-    let cfg = SimConfig {
-        warmup: 500,
-        measure: 1_000,
-        drain: 2_000,
-        ..Default::default()
-    };
-    let res = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.3, cfg).run();
+    // 4. A short cycle-accurate load sweep at 30% uniform load (§V-A),
+    //    through the experiment builder.
+    let records = Experiment::on(spec)
+        .routing(RouteAlgo::Min)
+        .traffic(TrafficSpec::Uniform)
+        .loads(&[0.3])
+        .sim(SimConfig {
+            warmup: 500,
+            measure: 1_000,
+            drain: 2_000,
+            ..Default::default()
+        })
+        .run()?;
+    let r = &records[0];
     println!(
         "  sim @ 30% load: latency = {:.1} cycles, accepted = {:.2}, hops = {:.2}",
-        res.avg_latency, res.accepted, res.avg_hops
+        r.latency, r.accepted, r.avg_hops
     );
+    println!("  as CSV:  {}", r.to_csv());
+    println!("  as JSON: {}", r.to_json());
 
     // 5. What does it cost (§VI)?
-    let cost = CostBreakdown::compute(&net, &CostModel::fdr10());
+    let cost = Experiment::on("sf:q=19".parse()?).cost(&CostModel::fdr10())?;
     println!(
         "  cost = ${:.0}/endpoint, power = {:.2} W/endpoint (paper: $1,033 and 8.02 W)",
         cost.cost_per_endpoint(),
         cost.power_per_endpoint()
     );
+    Ok(())
 }

@@ -6,13 +6,9 @@
 
 use slimfly::graph::failure::{max_tolerable_fraction, FailureConfig, Property};
 use slimfly::prelude::*;
-use slimfly::topo::dragonfly::Dragonfly;
 
-fn main() {
-    let nets = vec![
-        SlimFly::new(7).unwrap().network(),
-        Dragonfly::balanced(3).network(),
-    ];
+fn main() -> Result<(), SfError> {
+    let specs: Vec<TopologySpec> = vec!["sf:q=7".parse()?, "df:p=3".parse()?];
     let cfg = FailureConfig {
         min_samples: 16,
         max_samples: 48,
@@ -23,14 +19,13 @@ fn main() {
         "{:<22} {:>12} {:>14} {:>16}",
         "network", "disconnect", "diameter(+2)", "avg-path(+1)"
     );
-    for net in &nets {
+    for topo in &specs {
+        let net = topo.build()?;
         let d0 = metrics::diameter(&net.graph).unwrap();
         let a0 = metrics::average_distance(&net.graph).unwrap();
         let f_conn = max_tolerable_fraction(&net.graph, Property::Connected, &cfg);
-        let f_diam =
-            max_tolerable_fraction(&net.graph, Property::DiameterAtMost(d0 + 2), &cfg);
-        let f_path =
-            max_tolerable_fraction(&net.graph, Property::AvgPathAtMost(a0 + 1.0), &cfg);
+        let f_diam = max_tolerable_fraction(&net.graph, Property::DiameterAtMost(d0 + 2), &cfg);
+        let f_path = max_tolerable_fraction(&net.graph, Property::AvgPathAtMost(a0 + 1.0), &cfg);
         println!(
             "{:<22} {:>11.0}% {:>13.0}% {:>15.0}%",
             net.name,
@@ -45,4 +40,5 @@ fn main() {
          with 2q links between every rack pair instead of DF's single \
          inter-group cable."
     );
+    Ok(())
 }

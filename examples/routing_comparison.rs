@@ -9,14 +9,12 @@ use slimfly::routing::deadlock::{
     all_pairs_min_paths, hop_index_is_deadlock_free, layered_vc_count, vcs_required,
 };
 
-fn main() {
-    let q: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
-    let sf = SlimFly::new(q).expect("admissible q");
-    let net = sf.network();
-    let tables = RoutingTables::new(&net.graph);
+fn main() -> Result<(), SfError> {
+    let args = sf_bench::SweepArgs::parse();
+    let q: u32 = args.positional(0).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let spec = TopologySpec::slimfly(q);
+    let net = spec.build()?;
+    let sf = SlimFly::new(q)?;
     println!("network: {}", net.summary());
 
     // Deadlock freedom (§IV-D).
@@ -42,27 +40,31 @@ fn main() {
         RouteAlgo::UgalG { candidates: 4 },
     ];
 
-    for (label, loads) in [("uniform", vec![0.2, 0.5, 0.8]), ("worst-case", vec![0.05, 0.15, 0.3])] {
-        println!("\ntraffic: {label}");
-        println!("{:>8} {:>8} {:>10} {:>10} {:>10}", "routing", "offered", "latency", "accepted", "hops");
-        let pattern = if label == "uniform" {
-            TrafficPattern::uniform(net.num_endpoints() as u32)
-        } else {
-            TrafficPattern::worst_case_slimfly(&net, &tables)
-        };
-        for algo in algos {
-            let results = LoadSweep::run(&net, &tables, algo, &pattern, &loads, cfg);
-            for r in results {
-                println!(
-                    "{:>8} {:>8.2} {:>10.1} {:>10.2} {:>10.2}{}",
-                    algo.label(),
-                    r.offered_load,
-                    r.avg_latency,
-                    r.accepted,
-                    r.avg_hops,
-                    if r.saturated { "  (saturated)" } else { "" }
-                );
-            }
+    for (traffic, loads) in [
+        (TrafficSpec::Uniform, vec![0.2, 0.5, 0.8]),
+        (TrafficSpec::WorstCase, vec![0.05, 0.15, 0.3]),
+    ] {
+        println!("\ntraffic: {traffic}");
+        println!(
+            "{:>8} {:>8} {:>10} {:>10} {:>10}",
+            "routing", "offered", "latency", "accepted", "hops"
+        );
+        let records = Experiment::on(spec.clone())
+            .routings(&algos)
+            .traffic(traffic)
+            .loads(&loads)
+            .sim(cfg)
+            .run()?;
+        for r in records {
+            println!(
+                "{:>8} {:>8.2} {:>10.1} {:>10.2} {:>10.2}{}",
+                r.routing,
+                r.offered,
+                r.latency,
+                r.accepted,
+                r.avg_hops,
+                if r.saturated { "  (saturated)" } else { "" }
+            );
         }
     }
     println!(
@@ -70,4 +72,5 @@ fn main() {
          worst-case (~1/(p+1) = {:.2}) while VAL/UGAL recover to 40–45%",
         1.0 / (sf.balanced_concentration() as f64 + 1.0)
     );
+    Ok(())
 }

@@ -6,22 +6,30 @@
 
 use slimfly::prelude::*;
 
-fn main() {
-    let max: u64 = std::env::args()
-        .nth(1)
+fn main() -> Result<(), SfError> {
+    let args = sf_bench::SweepArgs::parse();
+    let max: u64 = args
+        .positional(0)
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
 
     println!("balanced Slim Fly configurations with N ≤ {max}:");
     println!(
-        "{:>4} {:>3} {:>4} {:>4} {:>4} {:>7} {:>8}",
-        "q", "δ", "k'", "p", "k", "Nr", "N"
+        "{:>10} {:>4} {:>3} {:>4} {:>4} {:>4} {:>7} {:>8}",
+        "spec", "q", "δ", "k'", "p", "k", "Nr", "N"
     );
     let configs = zoo::balanced_slimflies_up_to(max);
     for c in &configs {
         println!(
-            "{:>4} {:>3} {:>4} {:>4} {:>4} {:>7} {:>8}",
-            c.q, c.delta, c.k_prime, c.p, c.k, c.nr, c.n
+            "{:>10} {:>4} {:>3} {:>4} {:>4} {:>4} {:>7} {:>8}",
+            TopologySpec::slimfly(c.q).to_string(),
+            c.q,
+            c.delta,
+            c.k_prime,
+            c.p,
+            c.k,
+            c.nr,
+            c.n
         );
     }
     println!(
@@ -33,7 +41,8 @@ fn main() {
 
     // Deep-dive on the largest one that stays quick to analyze.
     if let Some(c) = configs.iter().find(|c| c.n >= 500) {
-        let net = c.build().network();
+        let spec = TopologySpec::slimfly(c.q);
+        let net = spec.build()?;
         println!("deep dive on {}:", net.summary());
         println!(
             "  diameter = {:?}, avg distance = {:.3}",
@@ -48,10 +57,12 @@ fn main() {
             bis.cut as f64 / (net.num_endpoints() as f64 / 2.0),
             bis.cut as f64 * 10.0
         );
-        let loads = uniform_channel_loads(&net);
+        // The flow model through the same experiment API the benches use.
+        let flow = Experiment::on(spec).flow()?;
         println!(
             "  analytic uniform saturation bound = {:.2} of full injection",
-            loads.saturation_bound()
+            flow.saturation_bound
         );
     }
+    Ok(())
 }

@@ -21,8 +21,10 @@ fn e1_avg_hops_ordering() {
     let h_df = average_hops_uniform(&df);
     let h_ft = average_hops_uniform(&ft);
     let h_t3 = average_hops_uniform(&t3);
-    assert!(h_sf < h_df && h_df < h_ft && h_ft < h_t3,
-        "SF {h_sf} < DF {h_df} < FT {h_ft} < T3D {h_t3}");
+    assert!(
+        h_sf < h_df && h_df < h_ft && h_ft < h_t3,
+        "SF {h_sf} < DF {h_df} < FT {h_ft} < T3D {h_t3}"
+    );
     assert!(h_sf < 2.0);
 }
 
@@ -46,8 +48,10 @@ fn e3_moore3_ordering() {
     let kp = (df.h + df.a - 1) as u64;
     let frac_df = df.num_routers() as f64 / moore_bound(kp, 3) as f64;
     let frac_fbf = (25u64 * 25 * 25) as f64 / moore_bound(72, 3) as f64;
-    assert!(frac_del > frac_bdf && frac_bdf > frac_df && frac_df > frac_fbf,
-        "DEL {frac_del} > BDF {frac_bdf} > DF {frac_df} > FBF {frac_fbf}");
+    assert!(
+        frac_del > frac_bdf && frac_bdf > frac_df && frac_df > frac_fbf,
+        "DEL {frac_del} > BDF {frac_bdf} > DF {frac_df} > FBF {frac_fbf}"
+    );
 }
 
 /// E4 / Fig 5c: SF bisection above DF's N/4 class, HC at N/2.
@@ -57,7 +61,11 @@ fn e4_bisection_ordering() {
     let w: Vec<u64> = sf.concentration.iter().map(|&c| c as u64).collect();
     let cut = partition::bisect_weighted(&sf.graph, &w, 8, 1, 0).cut;
     let n = sf.num_endpoints();
-    assert!(cut * 2 > n / 4, "SF bisection {cut} links > N/4 = {} class", n / 4);
+    assert!(
+        cut * 2 > n / 4,
+        "SF bisection {cut} links > N/4 = {} class",
+        n / 4
+    );
     let hc = Hypercube::new(8).router_graph();
     let side: Vec<bool> = (0..256).map(|v| v & 128 != 0).collect();
     assert_eq!(partition::cut_size(&hc, &side), 128);

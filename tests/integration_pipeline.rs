@@ -21,7 +21,9 @@ fn full_pipeline_slimfly_q5() {
     let tables = RoutingTables::new(&net.graph);
     assert_eq!(tables.max_distance(), 2);
     let paths = slimfly::routing::deadlock::all_pairs_min_paths(&net.graph, 9);
-    assert!(slimfly::routing::deadlock::hop_index_is_deadlock_free(&paths));
+    assert!(slimfly::routing::deadlock::hop_index_is_deadlock_free(
+        &paths
+    ));
 
     // §V: simulate uniform traffic at moderate load.
     let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
@@ -172,8 +174,7 @@ fn oversubscription_degrades_gracefully() {
         let net = sf.network_with_concentration(p);
         let tables = RoutingTables::new(&net.graph);
         let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let res =
-            Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.95, cfg).run();
+        let res = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.95, cfg).run();
         accepted.push(res.accepted);
     }
     assert!(
