@@ -71,7 +71,7 @@ impl Poly {
         Poly { coeffs }
     }
 
-    /// Addition in Z_p[x].
+    /// Addition in Z_p\[x\].
     pub fn add(&self, other: &Poly, p: u32) -> Poly {
         let n = self.coeffs.len().max(other.coeffs.len());
         let mut out = vec![0u32; n];
@@ -83,7 +83,7 @@ impl Poly {
         Poly::new(out, p)
     }
 
-    /// Subtraction in Z_p[x].
+    /// Subtraction in Z_p\[x\].
     pub fn sub(&self, other: &Poly, p: u32) -> Poly {
         let n = self.coeffs.len().max(other.coeffs.len());
         let mut out = vec![0u32; n];
@@ -95,7 +95,7 @@ impl Poly {
         Poly::new(out, p)
     }
 
-    /// Schoolbook multiplication in Z_p[x].
+    /// Schoolbook multiplication in Z_p\[x\].
     pub fn mul(&self, other: &Poly, p: u32) -> Poly {
         if self.is_zero() || other.is_zero() {
             return Poly::zero();
@@ -109,7 +109,7 @@ impl Poly {
         Poly::new(out.into_iter().map(|c| (c % p as u64) as u32).collect(), p)
     }
 
-    /// Remainder of `self` divided by `divisor` in Z_p[x].
+    /// Remainder of `self` divided by `divisor` in Z_p\[x\].
     ///
     /// Panics if `divisor` is zero.
     pub fn rem(&self, divisor: &Poly, p: u32) -> Poly {

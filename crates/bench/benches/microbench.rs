@@ -73,14 +73,8 @@ fn bench_simulator(c: &mut Criterion) {
             &load,
             |b, &load| {
                 b.iter(|| {
-                    let sim = Simulator::new(
-                        &net,
-                        &tables,
-                        sf_routing::RouteAlgo::Min,
-                        &pattern,
-                        load,
-                        cfg,
-                    );
+                    let sim =
+                        Simulator::new(&net, &tables, &sf_routing::MinRouter, &pattern, load, cfg);
                     std::hint::black_box(sim.run())
                 })
             },

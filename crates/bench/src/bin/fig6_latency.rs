@@ -4,7 +4,10 @@
 //! Usage:
 //!   `fig6_latency [--traffic uniform|bitrev|shift|shuffle|bitcomp|worst]
 //!                 [--large] [--loads 0.1,0.2,...] [--ugal-paths 4]
-//!                 [--val-cap3]`
+//!                 [--val-cap3] [--routing min,ugal-l:c=4,...]`
+//!
+//! `--routing` overrides the Slim Fly scheme list with any
+//! comma-separated `RoutingSpec` strings (e.g. `fatpaths:layers=3`).
 //!
 //! `--large` runs the paper-size N ≈ 10K networks (SF q=19, DF p=7,
 //! FT p=22); the default uses the ~500-endpoint class (SF q=7, DF p=3,
@@ -51,18 +54,23 @@ fn main() {
             }
         };
 
+        let sf_routings = args.routing(
+            "routing",
+            &[
+                RoutingSpec::Min,
+                RoutingSpec::Valiant { cap3: val_cap3 },
+                RoutingSpec::UgalL {
+                    candidates: ugal_paths,
+                },
+                RoutingSpec::UgalG {
+                    candidates: ugal_paths,
+                },
+            ],
+        )?;
+
         let experiments = [
             Experiment::on(sf)
-                .routings(&[
-                    RouteAlgo::Min,
-                    RouteAlgo::Valiant { cap3: val_cap3 },
-                    RouteAlgo::UgalL {
-                        candidates: ugal_paths,
-                    },
-                    RouteAlgo::UgalG {
-                        candidates: ugal_paths,
-                    },
-                ])
+                .routings(&sf_routings)
                 .traffic(traffic)
                 .loads(&loads)
                 .sim(cfg),
@@ -70,7 +78,7 @@ fn main() {
             // give those runs enough VCs for a strictly increasing
             // assignment.
             Experiment::on(df)
-                .routing(RouteAlgo::UgalL {
+                .routing(RoutingSpec::UgalL {
                     candidates: ugal_paths,
                 })
                 .traffic(traffic)
@@ -78,7 +86,7 @@ fn main() {
                 .sim(cfg)
                 .num_vcs(6),
             Experiment::on(ft)
-                .routing(RouteAlgo::AdaptiveEcmp)
+                .routing(RoutingSpec::Ecmp)
                 .traffic(traffic)
                 .loads(&loads)
                 .sim(cfg),

@@ -1,7 +1,8 @@
 //! Figures 8b–8e: oversubscribed Slim Fly networks — latency and
 //! accepted bandwidth for concentrations above the balanced p (§V-E).
 //!
-//! Usage: `fig8_oversub [--large] [--concentrations 15,16,18]`
+//! Usage: `fig8_oversub [--large] [--concentrations 15,16,18]
+//!                      [--routing min,val,ugal-l:c=4,ugal-g:c=4]`
 //! Output: the shared experiment-record CSV schema (the spec column
 //! carries the concentration, e.g. `sf:q=19,p=18`).
 //! Paper checkpoints (q = 19): balanced p = 15 accepts ≈87.5% of uniform
@@ -24,12 +25,15 @@ fn main() {
             drain: 6_000,
             ..Default::default()
         };
-        let algos = [
-            RouteAlgo::Min,
-            RouteAlgo::Valiant { cap3: false },
-            RouteAlgo::UgalL { candidates: 4 },
-            RouteAlgo::UgalG { candidates: 4 },
-        ];
+        let algos = args.routing(
+            "routing",
+            &[
+                RoutingSpec::Min,
+                RoutingSpec::Valiant { cap3: false },
+                RoutingSpec::UgalL { candidates: 4 },
+                RoutingSpec::UgalG { candidates: 4 },
+            ],
+        )?;
 
         let mut records = Vec::new();
         for &p in &concentrations {

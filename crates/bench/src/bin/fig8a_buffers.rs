@@ -1,7 +1,8 @@
 //! Figure 8a: influence of input-buffer size on Slim Fly performance
 //! under worst-case traffic (UGAL-L).
 //!
-//! Usage: `fig8a_buffers [--large] [--buffers 8,16,32,64,128,256]`
+//! Usage: `fig8a_buffers [--large] [--buffers 8,16,32,64,128,256]
+//!                       [--routing ugal-l:c=4]`
 //! Output: CSV `buffer_flits` + the shared experiment-record schema.
 //! Paper shape: smaller buffers → lower latency (stiffer backpressure);
 //! larger buffers → higher bandwidth.
@@ -12,6 +13,7 @@ use slimfly::prelude::*;
 fn main() {
     run_cli(|args| {
         let buffers = args.list("buffers", &[8usize, 16, 32, 64, 128, 256])?;
+        let routings = args.routing("routing", &[RoutingSpec::UgalL { candidates: 4 }])?;
         let spec: TopologySpec = if args.flag("large") {
             "sf:q=19".parse()?
         } else {
@@ -29,7 +31,7 @@ fn main() {
                 ..Default::default()
             };
             let records = Experiment::on(spec.clone())
-                .routing(RouteAlgo::UgalL { candidates: 4 })
+                .routings(&routings)
                 .traffic(TrafficSpec::WorstCase)
                 .loads(&loads)
                 .sim(cfg)

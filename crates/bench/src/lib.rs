@@ -179,6 +179,24 @@ impl SweepArgs {
         }
     }
 
+    /// Routing-spec list value of `--name` — comma-separated
+    /// [`RoutingSpec`] strings (`--routing min,ugal-l:c=4,fatpaths:layers=3`)
+    /// — or `default` when absent. Malformed schemes surface as typed
+    /// routing errors (`ugal-l:c=0` fails here, not mid-sweep).
+    pub fn routing(
+        &self,
+        name: &str,
+        default: &[RoutingSpec],
+    ) -> Result<Vec<RoutingSpec>, SfError> {
+        match self.get(name) {
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .map(|v| v.parse::<RoutingSpec>().map_err(SfError::from))
+                .collect(),
+        }
+    }
+
     /// Errors on any `--flag` in the argv the program never queried —
     /// typo protection, called by [`run_cli`] after the body returns.
     pub fn check_unknown_flags(&self) -> Result<(), SfError> {
@@ -230,6 +248,29 @@ mod tests {
         assert!(matches!(
             a.traffic("traffic", TrafficSpec::Uniform).unwrap_err(),
             SfError::Traffic(_)
+        ));
+    }
+
+    #[test]
+    fn sweep_args_routing_lists() {
+        let a = args(&["--routing", "min,ugal-l:c=4,fatpaths:layers=2"]);
+        assert_eq!(
+            a.routing("routing", &[RoutingSpec::Min]).unwrap(),
+            vec![
+                RoutingSpec::Min,
+                RoutingSpec::UgalL { candidates: 4 },
+                RoutingSpec::FatPaths { layers: 2 },
+            ]
+        );
+        let a = args(&[]);
+        assert_eq!(
+            a.routing("routing", &[RoutingSpec::Ecmp]).unwrap(),
+            vec![RoutingSpec::Ecmp]
+        );
+        let a = args(&["--routing", "ugal-l:c=0"]);
+        assert!(matches!(
+            a.routing("routing", &[]).unwrap_err(),
+            SfError::Routing(_)
         ));
     }
 

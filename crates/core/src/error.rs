@@ -6,6 +6,7 @@
 //! callers — bench binaries, examples, future config-file drivers — can
 //! report failures uniformly instead of panicking.
 
+use sf_routing::RoutingError;
 use sf_topo::slimfly::SlimFlyError;
 use sf_traffic::TrafficError;
 use std::fmt;
@@ -30,6 +31,8 @@ pub enum SfError {
     /// Slim Fly construction rejected its parameters (q not a prime
     /// power, or q ≡ 2 mod 4).
     Topology(SlimFlyError),
+    /// Routing-spec parsing or router construction failed.
+    Routing(RoutingError),
     /// Traffic-pattern parsing or instantiation failed.
     Traffic(TrafficError),
     /// The experiment itself is ill-formed (e.g. an offered load outside
@@ -52,6 +55,7 @@ impl fmt::Display for SfError {
                 write!(f, "invalid parameters in {spec}: {reason}")
             }
             SfError::Topology(e) => write!(f, "topology construction failed: {e}"),
+            SfError::Routing(e) => write!(f, "routing error: {e}"),
             SfError::Traffic(e) => write!(f, "traffic pattern error: {e}"),
             SfError::Experiment(msg) => write!(f, "ill-formed experiment: {msg}"),
             SfError::Cli(msg) => write!(f, "bad command line: {msg}"),
@@ -64,6 +68,7 @@ impl std::error::Error for SfError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SfError::Topology(e) => Some(e),
+            SfError::Routing(e) => Some(e),
             SfError::Traffic(e) => Some(e),
             SfError::Io(e) => Some(e),
             _ => None,
@@ -74,6 +79,12 @@ impl std::error::Error for SfError {
 impl From<SlimFlyError> for SfError {
     fn from(e: SlimFlyError) -> Self {
         SfError::Topology(e)
+    }
+}
+
+impl From<RoutingError> for SfError {
+    fn from(e: RoutingError) -> Self {
+        SfError::Routing(e)
     }
 }
 

@@ -3,30 +3,41 @@
 //! One [`Experiment`] describes a full topology × routing × traffic ×
 //! load study declaratively and executes it through the cycle-level
 //! simulator ([`Experiment::run`]), the analytic flow model
-//! ([`Experiment::flow`]), or the cost model ([`Experiment::cost`]):
+//! ([`Experiment::flow`]), or the cost model ([`Experiment::cost`]).
+//! Topologies and routings can be given as typed values or as their
+//! spec strings — both of these are the same experiment:
 //!
 //! ```
 //! use slimfly::prelude::*;
 //!
-//! let records = Experiment::on("sf:q=5".parse()?)
-//!     .routing(RouteAlgo::Min)
+//! let records = Experiment::on("sf:q=5")
+//!     .routing_str("min")
 //!     .traffic(TrafficSpec::Uniform)
 //!     .loads(&[0.1, 0.3])
 //!     .sim(SimConfig { warmup: 200, measure: 400, drain: 1_000, ..Default::default() })
 //!     .run()?;
 //! assert_eq!(records.len(), 2);
+//!
+//! let typed = Experiment::on(TopologySpec::slimfly(5))
+//!     .routing(RoutingSpec::Min)
+//!     .loads(&[0.1, 0.3]);
+//! # let _ = typed;
 //! println!("{}", Record::CSV_HEADER);
 //! for r in &records {
 //!     println!("{}", r.to_csv());
 //! }
 //! # Ok::<(), slimfly::SfError>(())
 //! ```
+//!
+//! String inputs (`Experiment::on("sf:q=5")`, `.routing_str("ugal-l:c=4")`)
+//! keep the builder chain infallible: parse errors are deferred and
+//! surface as typed [`SfError`]s when the experiment executes.
 
 use crate::error::SfError;
 use crate::spec::TopologySpec;
 use sf_cost::{CostBreakdown, CostModel};
 use sf_flow::{average_hops_uniform, uniform_channel_loads};
-use sf_routing::{RouteAlgo, RoutingTables};
+use sf_routing::{RoutingSpec, RoutingTables};
 use sf_sim::{LoadSweep, SimConfig};
 use sf_topo::Network;
 use sf_traffic::TrafficSpec;
@@ -190,6 +201,49 @@ pub struct FlowSummary {
     pub mean_channel_load: f64,
 }
 
+/// The topology half of [`Experiment::on`]: a parsed [`TopologySpec`]
+/// or a spec string that is parsed (with a typed error) at run time.
+#[derive(Clone, Debug)]
+pub struct SpecArg(SpecSource);
+
+#[derive(Clone, Debug)]
+enum SpecSource {
+    Parsed(TopologySpec),
+    Raw(String),
+}
+
+impl From<TopologySpec> for SpecArg {
+    fn from(spec: TopologySpec) -> Self {
+        SpecArg(SpecSource::Parsed(spec))
+    }
+}
+
+impl From<&TopologySpec> for SpecArg {
+    fn from(spec: &TopologySpec) -> Self {
+        SpecArg(SpecSource::Parsed(spec.clone()))
+    }
+}
+
+impl From<&str> for SpecArg {
+    fn from(spec: &str) -> Self {
+        SpecArg(SpecSource::Raw(spec.to_string()))
+    }
+}
+
+impl From<String> for SpecArg {
+    fn from(spec: String) -> Self {
+        SpecArg(SpecSource::Raw(spec))
+    }
+}
+
+/// A routing selection: a parsed [`RoutingSpec`] or a spec string
+/// resolved (with a typed error) at run time.
+#[derive(Clone, Debug)]
+enum RoutingChoice {
+    Spec(RoutingSpec),
+    Raw(String),
+}
+
 /// A declarative experiment: topology × routing × traffic × loads.
 ///
 /// Build with [`Experiment::on`], chain configuration fluently, then
@@ -197,20 +251,22 @@ pub struct FlowSummary {
 /// (analytic model) or [`Experiment::cost`] (cost model).
 #[derive(Clone, Debug)]
 pub struct Experiment {
-    spec: TopologySpec,
-    routings: Vec<RouteAlgo>,
+    spec: SpecSource,
+    routings: Vec<RoutingChoice>,
     traffic: TrafficSpec,
     loads: Vec<f64>,
     sim: SimConfig,
 }
 
 impl Experiment {
-    /// Starts an experiment on the given topology. Defaults: MIN
-    /// routing, uniform traffic, loads 0.1–0.9 in steps of 0.1, the
-    /// paper's §V simulator configuration.
-    pub fn on(spec: TopologySpec) -> Self {
+    /// Starts an experiment on the given topology — a parsed
+    /// [`TopologySpec`] or a spec string (`Experiment::on("sf:q=19")`).
+    /// Defaults: MIN routing, uniform traffic, loads 0.1–0.9 in steps
+    /// of 0.1, the paper's §V simulator configuration. String parse
+    /// errors surface as typed errors when the experiment executes.
+    pub fn on(spec: impl Into<SpecArg>) -> Self {
         Experiment {
-            spec,
+            spec: spec.into().0,
             routings: Vec::new(),
             traffic: TrafficSpec::Uniform,
             loads: (1..10).map(|i| i as f64 / 10.0).collect(),
@@ -218,16 +274,33 @@ impl Experiment {
         }
     }
 
-    /// Adds one routing algorithm to the sweep (replaces the MIN
-    /// default on first call; call repeatedly to compare algorithms).
-    pub fn routing(mut self, algo: RouteAlgo) -> Self {
-        self.routings.push(algo);
+    /// Adds one routing scheme to the sweep (replaces the MIN default
+    /// on first call; call repeatedly to compare schemes). Accepts a
+    /// [`RoutingSpec`] or a legacy `RouteAlgo` value.
+    pub fn routing(mut self, spec: impl Into<RoutingSpec>) -> Self {
+        self.routings.push(RoutingChoice::Spec(spec.into()));
         self
     }
 
-    /// Adds several routing algorithms to the sweep.
-    pub fn routings(mut self, algos: &[RouteAlgo]) -> Self {
-        self.routings.extend_from_slice(algos);
+    /// Adds one routing scheme by spec string (`"min"`, `"ugal-l:c=4"`,
+    /// `"fatpaths:layers=3"`, …). Parse errors surface as typed errors
+    /// when the experiment executes.
+    pub fn routing_str(mut self, spec: &str) -> Self {
+        self.routings.push(RoutingChoice::Raw(spec.to_string()));
+        self
+    }
+
+    /// Adds several routing schemes to the sweep.
+    pub fn routings<T: Into<RoutingSpec> + Copy>(mut self, specs: &[T]) -> Self {
+        self.routings
+            .extend(specs.iter().map(|&s| RoutingChoice::Spec(s.into())));
+        self
+    }
+
+    /// Adds several routing schemes by spec string.
+    pub fn routing_strs(mut self, specs: &[&str]) -> Self {
+        self.routings
+            .extend(specs.iter().map(|s| RoutingChoice::Raw(s.to_string())));
         self
     }
 
@@ -257,14 +330,38 @@ impl Experiment {
         self
     }
 
-    /// The topology spec this experiment runs on.
-    pub fn spec(&self) -> &TopologySpec {
-        &self.spec
+    /// The topology spec this experiment runs on (parsing a string
+    /// target if needed).
+    pub fn spec(&self) -> Result<TopologySpec, SfError> {
+        match &self.spec {
+            SpecSource::Parsed(spec) => Ok(spec.clone()),
+            SpecSource::Raw(s) => s.parse(),
+        }
+    }
+
+    /// The routing schemes this experiment sweeps, in insertion order
+    /// (the MIN default when none were added), with all string inputs
+    /// parsed and all parameters validated.
+    pub fn routing_specs(&self) -> Result<Vec<RoutingSpec>, SfError> {
+        if self.routings.is_empty() {
+            return Ok(vec![RoutingSpec::Min]);
+        }
+        self.routings
+            .iter()
+            .map(|choice| {
+                let spec = match choice {
+                    RoutingChoice::Spec(spec) => *spec,
+                    RoutingChoice::Raw(s) => s.parse::<RoutingSpec>()?,
+                };
+                spec.validate()?;
+                Ok(spec)
+            })
+            .collect()
     }
 
     /// Builds the concrete network (without running anything).
     pub fn build_network(&self) -> Result<Network, SfError> {
-        self.spec.build()
+        self.spec()?.build()
     }
 
     /// Runs the load sweep through the cycle-level simulator: one
@@ -288,23 +385,28 @@ impl Experiment {
                 "num_vcs must be ≥ 1 (the simulator needs at least one virtual channel)".into(),
             ));
         }
-        let net = self.spec.build()?;
+        let spec = self.spec()?;
+        let routings = self.routing_specs()?;
+        let net = spec.build()?;
         let tables = RoutingTables::new(&net.graph);
         let pattern = self.traffic.build(&net, &tables)?;
-        let routings: &[RouteAlgo] = if self.routings.is_empty() {
-            &[RouteAlgo::Min]
-        } else {
-            &self.routings
-        };
-        let spec_str = self.spec.to_string();
+        let spec_str = spec.to_string();
         let mut records = Vec::with_capacity(routings.len() * self.loads.len());
-        for &algo in routings {
-            let results = LoadSweep::run(&net, &tables, algo, &pattern, &self.loads, self.sim);
+        for rspec in routings {
+            let router = rspec.build(&net.graph, &tables)?;
+            let results = LoadSweep::run(
+                &net,
+                &tables,
+                router.as_ref(),
+                &pattern,
+                &self.loads,
+                self.sim,
+            );
             for r in results {
                 records.push(Record {
                     topology: net.name.clone(),
                     spec: spec_str.clone(),
-                    routing: algo.label().to_string(),
+                    routing: router.label(),
                     traffic: pattern.name().to_string(),
                     offered: r.offered_load,
                     latency: r.avg_latency,
@@ -322,11 +424,12 @@ impl Experiment {
     /// Evaluates the analytic flow model on the topology (no
     /// simulation): average hops and uniform channel loads.
     pub fn flow(&self) -> Result<FlowSummary, SfError> {
-        let net = self.spec.build()?;
+        let spec = self.spec()?;
+        let net = spec.build()?;
         let loads = uniform_channel_loads(&net);
         Ok(FlowSummary {
             topology: net.name.clone(),
-            spec: self.spec.to_string(),
+            spec: spec.to_string(),
             endpoints: net.num_endpoints(),
             routers: net.num_routers(),
             avg_hops: average_hops_uniform(&net),
@@ -338,13 +441,14 @@ impl Experiment {
 
     /// Prices the topology under a cost model (§VI).
     pub fn cost(&self, model: &CostModel) -> Result<CostBreakdown, SfError> {
-        Ok(CostBreakdown::compute(&self.spec.build()?, model))
+        Ok(CostBreakdown::compute(&self.spec()?.build()?, model))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sf_routing::RouteAlgo;
 
     fn quick_sim() -> SimConfig {
         SimConfig {
@@ -370,6 +474,59 @@ mod tests {
         assert!(records.iter().all(|r| r.spec == "sf:q=5"));
         assert!(records.iter().all(|r| r.traffic == "uniform"));
         assert!(records.iter().all(|r| r.accepted > 0.0));
+    }
+
+    #[test]
+    fn string_topology_and_routing_run_end_to_end() {
+        // The all-strings form a config-file driver would use.
+        let records = Experiment::on("sf:q=5")
+            .routing_str("ugal-l:c=4")
+            .routing_str("fatpaths:layers=3")
+            .loads(&[0.15])
+            .sim(quick_sim())
+            .run()
+            .unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].routing, "UGAL-L");
+        assert_eq!(records[1].routing, "FatPaths-3");
+        assert!(records.iter().all(|r| r.accepted > 0.0));
+    }
+
+    #[test]
+    fn string_parse_errors_surface_at_run_as_typed_errors() {
+        let err = Experiment::on("warp:q=9").loads(&[0.1]).run().unwrap_err();
+        assert!(matches!(err, SfError::ParseSpec { .. }), "{err}");
+        let err = Experiment::on("sf:q=5")
+            .routing_str("warp-speed")
+            .loads(&[0.1])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SfError::Routing(_)), "{err}");
+        // UGAL with zero candidates: typed at resolution, no silent
+        // fallback to a default candidate count.
+        let err = Experiment::on("sf:q=5")
+            .routing(sf_routing::RoutingSpec::UgalL { candidates: 0 })
+            .loads(&[0.1])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SfError::Routing(_)), "{err}");
+    }
+
+    #[test]
+    fn routing_specs_resolve_with_min_default() {
+        let exp = Experiment::on("sf:q=5");
+        assert_eq!(
+            exp.routing_specs().unwrap(),
+            vec![sf_routing::RoutingSpec::Min]
+        );
+        let exp = Experiment::on("sf:q=5").routing_strs(&["min", "ugal-g:c=2"]);
+        assert_eq!(
+            exp.routing_specs().unwrap(),
+            vec![
+                sf_routing::RoutingSpec::Min,
+                sf_routing::RoutingSpec::UgalG { candidates: 2 }
+            ]
+        );
     }
 
     #[test]

@@ -25,9 +25,11 @@
 //! assert_eq!(net.num_endpoints(), 200);
 //! assert_eq!(sf_graph::metrics::diameter(&net.graph), Some(2));
 //!
-//! // Sweep offered loads through the cycle-level simulator (§V):
+//! // Sweep offered loads through the cycle-level simulator (§V).
+//! // Routing schemes are declarative too: `"min"`, `"val:cap3"`,
+//! // `"ugal-l:c=4"`, `"fatpaths:layers=3"`, … (`RoutingSpec`).
 //! let records = Experiment::on(spec)
-//!     .routing(RouteAlgo::Min)
+//!     .routing_str("min")
 //!     .traffic(TrafficSpec::Uniform)
 //!     .loads(&[0.1, 0.3])
 //!     .sim(SimConfig { warmup: 200, measure: 400, drain: 1_000, ..Default::default() })
@@ -41,9 +43,9 @@
 //!
 //! // The same experiment evaluates analytically (flow model, §II-B2)
 //! // and economically (cost model, §VI):
-//! let flow = Experiment::on("sf:q=5".parse()?).flow()?;
+//! let flow = Experiment::on("sf:q=5").flow()?;
 //! assert!(flow.saturation_bound > 0.7);
-//! let cost = Experiment::on("sf:q=5".parse()?).cost(&CostModel::fdr10())?;
+//! let cost = Experiment::on("sf:q=5").cost(&CostModel::fdr10())?;
 //! assert!(cost.total_cost() > 0.0);
 //! # Ok::<(), slimfly::SfError>(())
 //! ```
@@ -90,6 +92,7 @@ pub mod zoo;
 
 pub use error::SfError;
 pub use experiment::{Experiment, FlowSummary, Record};
+pub use sf_routing::{Router, RoutingError, RoutingSpec};
 pub use sf_topo::{Network, SlimFly, TopologyKind};
 pub use sf_traffic::{TrafficError, TrafficSpec};
 pub use spec::TopologySpec;
@@ -103,7 +106,10 @@ pub mod prelude {
     pub use sf_cost::{CostBreakdown, CostModel};
     pub use sf_flow::{average_hops_uniform, uniform_channel_loads};
     pub use sf_graph::{metrics, partition, Graph};
-    pub use sf_routing::{RouteAlgo, RoutingTables};
+    pub use sf_routing::{
+        AdaptiveEcmpRouter, FatPathsRouter, MinRouter, QueueView, RouteAlgo, Router, RoutingError,
+        RoutingSpec, RoutingTables, UgalRouter, ValiantRouter,
+    };
     pub use sf_sim::{LoadSweep, SimConfig, Simulator};
     pub use sf_topo::{Network, SlimFly, TopologyKind};
     pub use sf_traffic::{TrafficPattern, TrafficSpec};
@@ -125,7 +131,7 @@ mod tests {
             drain: 500,
             ..Default::default()
         };
-        let res = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.1, cfg).run();
+        let res = Simulator::new(&net, &tables, &MinRouter, &pattern, 0.1, cfg).run();
         assert!(res.ejected > 0);
         let cost = CostBreakdown::compute(&net, &CostModel::fdr10());
         assert!(cost.total_cost() > 0.0);

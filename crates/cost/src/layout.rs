@@ -5,7 +5,7 @@
 //! are electric with an average length of 1 m (§VI-B: max Manhattan
 //! distance in a rack ≈ 2 m, min 5–10 cm); cables between racks are
 //! optical fiber of length = Manhattan distance between racks + 2 m of
-//! overhead (§VI-B, following Kim et al. [40]).
+//! overhead (§VI-B, following Kim et al. \[40\]).
 //!
 //! Topology-specific rack assignment:
 //!

@@ -180,7 +180,7 @@ pub fn hop_index_is_deadlock_free(paths: &[Vec<u32>]) -> bool {
     cdg.is_acyclic()
 }
 
-/// Greedy layered VC assignment (DFSSSP-style, cf. Domke et al. [26]):
+/// Greedy layered VC assignment (DFSSSP-style, cf. Domke et al. \[26\]):
 /// every path is placed entirely within one virtual layer; a path goes to
 /// the first layer where its dependencies keep the layer acyclic.
 /// Returns the number of layers used.

@@ -1,14 +1,21 @@
-//! # sf-routing — routing algorithms and deadlock freedom
+//! # sf-routing — the pluggable routing engine and deadlock freedom
 //!
-//! Implements the routing layer of the Slim Fly paper (§IV):
+//! Implements the routing layer of the Slim Fly paper (§IV) as an
+//! *open* engine: policies are [`router::Router`] trait objects selected
+//! by declarative [`spec::RoutingSpec`] strings, not a closed enum.
 //!
+//! * [`router`] — the [`Router`] trait (source-routing
+//!   and per-hop hooks over a narrow [`QueueView`])
+//!   plus all built-in policies: **MIN** (§IV-A), **Valiant** (§IV-B),
+//!   **UGAL-L/G** (§IV-C), adaptive **ECMP**, and FatPaths-style
+//!   layered multipath (Besta et al. 2020);
+//! * [`spec`] — the `min` / `val:cap3` / `ugal-l:c=4` /
+//!   `fatpaths:layers=3` string grammar and the single
+//!   [`RoutingSpec::build`](spec::RoutingSpec::build) registry;
 //! * [`tables::RoutingTables`] — all-pairs distance tables with
-//!   ECMP-aware minimal next-hop queries (the substrate for **MIN**
-//!   routing, §IV-A);
-//! * [`paths`] — random minimal paths, **Valiant** random paths (§IV-B,
-//!   with the optional 3-hop cap ablation), and **UGAL** candidate sets
-//!   (§IV-C; the actual UGAL-L/UGAL-G queue-based choice lives in
-//!   `sf-sim`, which owns the queues);
+//!   ECMP-aware minimal next-hop queries;
+//! * [`paths`] — the path generators the policies draw from (random
+//!   minimal paths, Valiant detours, UGAL candidate sets);
 //! * [`deadlock`] — virtual-channel assignment (hop-index scheme of
 //!   Gopal, §IV-D), channel-dependency-graph acyclicity checking, and a
 //!   DFSSSP-style layered VC assignment that reproduces the paper's
@@ -17,7 +24,14 @@
 pub mod deadlock;
 pub mod diversity;
 pub mod paths;
+pub mod router;
+pub mod spec;
 pub mod tables;
 
 pub use paths::{PathGen, RouteAlgo};
+pub use router::{
+    AdaptiveEcmpRouter, FatPathsRouter, MinRouter, NoQueues, QueueView, RouteCtx, RouteDecision,
+    Router, UgalRouter, ValiantRouter,
+};
+pub use spec::{RoutingError, RoutingSpec};
 pub use tables::RoutingTables;

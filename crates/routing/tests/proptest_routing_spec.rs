@@ -1,0 +1,58 @@
+//! Property tests for the declarative routing specs, parallel to the
+//! topology-spec round-trip suite: for *every* routing scheme, a
+//! generated [`RoutingSpec`] must print to its canonical string and
+//! parse back to the same value — the Display/FromStr round trip the
+//! experiment API relies on for `--routing` CLI flags and config files.
+
+use proptest::prelude::*;
+use sf_routing::RoutingSpec;
+
+/// A strategy producing specs across every routing scheme.
+fn any_spec() -> impl Strategy<Value = RoutingSpec> {
+    (0usize..6).prop_flat_map(|scheme| {
+        (Just(scheme), 1usize..24, any::<bool>()).prop_map(|(scheme, n, flag)| match scheme {
+            0 => RoutingSpec::Min,
+            1 => RoutingSpec::Valiant { cap3: flag },
+            2 => RoutingSpec::UgalL { candidates: n },
+            3 => RoutingSpec::UgalG { candidates: n },
+            4 => RoutingSpec::Ecmp,
+            _ => RoutingSpec::FatPaths { layers: 1 + n % 16 },
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(display(spec)) == spec` for every scheme.
+    #[test]
+    fn display_from_str_round_trip(spec in any_spec()) {
+        let rendered = spec.to_string();
+        let reparsed: RoutingSpec = rendered.parse().unwrap_or_else(|e| {
+            panic!("canonical form {rendered:?} of {spec:?} must reparse: {e}")
+        });
+        prop_assert_eq!(reparsed, spec, "round trip through {}", rendered);
+        // Display is canonical: printing the reparse is a fixed point.
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// Generated specs always pass validation (the strategy covers the
+    /// whole legal parameter space) and carry a non-empty label.
+    #[test]
+    fn generated_specs_validate_and_label(spec in any_spec()) {
+        prop_assert!(spec.validate().is_ok(), "{spec:?}");
+        prop_assert!(!spec.label().is_empty());
+    }
+
+    /// Every scheme builds a live router on a real topology, and the
+    /// router's label agrees with the spec's.
+    #[test]
+    fn small_specs_build(idx in 0usize..6) {
+        let (_, example) = RoutingSpec::SCHEMES[idx];
+        let spec: RoutingSpec = example.parse().unwrap();
+        let g = sf_topo::SlimFly::new(5).unwrap().router_graph();
+        let tables = sf_routing::RoutingTables::new(&g);
+        let router = spec.build(&g, &tables).unwrap();
+        prop_assert_eq!(router.label(), spec.label());
+    }
+}

@@ -8,7 +8,7 @@
 use crate::stats::LatencyStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sf_routing::{PathGen, RouteAlgo, RoutingTables};
+use sf_routing::{QueueView, RouteCtx, RouteDecision, Router, RoutingTables};
 use sf_topo::Network;
 use sf_traffic::TrafficPattern;
 use std::collections::VecDeque;
@@ -38,10 +38,6 @@ pub struct SimConfig {
     pub output_speedup: usize,
     /// Output staging queue depth (absorbs the speedup burst).
     pub output_queue_cap: usize,
-    /// Number of random Valiant candidates for UGAL (paper: 4 best).
-    pub ugal_candidates: usize,
-    /// Restrict Valiant paths to ≤ 3 hops (§IV-B ablation).
-    pub val_cap3: bool,
     /// Warm-up cycles before measurement.
     pub warmup: u32,
     /// Measurement window in cycles.
@@ -62,8 +58,6 @@ impl Default for SimConfig {
             credit_delay: 2,
             output_speedup: 2,
             output_queue_cap: 4,
-            ugal_candidates: 4,
-            val_cap3: false,
             warmup: 2_000,
             measure: 4_000,
             drain: 4_000,
@@ -99,8 +93,44 @@ pub struct SimResult {
     pub mean_link_util: f64,
 }
 
+/// The queue-state window the engine exposes to [`Router`] policies:
+/// occupancy of any output link, computed exactly as the engine's own
+/// allocator sees it (staged flits + downstream slots in use). The
+/// engine hands this to every routing decision; *which* links a policy
+/// inspects is the policy's business (see the `QueueView` contract in
+/// `sf-routing`).
+struct EngineQueues<'b> {
+    net: &'b Network,
+    out: &'b [Vec<OutLink>],
+    vc_cap: usize,
+}
+
+impl QueueView for EngineQueues<'_> {
+    fn occupancy(&self, r: u32, to: u32) -> u32 {
+        let j = self
+            .net
+            .graph
+            .neighbors(r)
+            .binary_search(&to)
+            .expect("occupancy query for a non-neighbor");
+        let l = &self.out[r as usize][j];
+        let used: u32 = l.credits.iter().map(|&c| self.vc_cap as u32 - c).sum();
+        l.staging.len() as u32 + used
+    }
+}
+
+/// The stable flow identifier handed to routing policies: the
+/// (source, destination) endpoint pair. Identical at injection and at
+/// every per-hop decision of the same packet, so flowlet-based schemes
+/// can key on it consistently.
+#[inline]
+fn flow_id(src_ep: u32, dst_ep: u32) -> u64 {
+    ((src_ep as u64) << 32) | dst_ep as u64
+}
+
 #[derive(Clone, Copy)]
 struct Packet {
+    src_ep: u32,
     dst_ep: u32,
     gen_time: u32,
     /// Router path for source-routed algorithms; for per-hop adaptive
@@ -130,10 +160,15 @@ struct OutLink {
 }
 
 /// A single simulation instance.
+///
+/// The engine owns router micro-architecture (buffers, credits,
+/// allocation, VCs) but **no routing policy**: every path decision is
+/// delegated to the [`Router`] trait object, which sees live queue
+/// state only through the narrow [`QueueView`] window.
 pub struct Simulator<'a> {
     net: &'a Network,
     tables: &'a RoutingTables,
-    algo: RouteAlgo,
+    router: &'a dyn Router,
     pattern: &'a TrafficPattern,
     cfg: SimConfig,
     load: f64,
@@ -165,11 +200,13 @@ pub struct Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    /// Builds a simulator. `tables` must be built over `net.graph`.
+    /// Builds a simulator. `tables` must be built over `net.graph`;
+    /// `router` is the pluggable routing policy (build one directly or
+    /// through `sf_routing::RoutingSpec::build`).
     pub fn new(
         net: &'a Network,
         tables: &'a RoutingTables,
-        algo: RouteAlgo,
+        router: &'a dyn Router,
         pattern: &'a TrafficPattern,
         load: f64,
         cfg: SimConfig,
@@ -220,7 +257,7 @@ impl<'a> Simulator<'a> {
         Simulator {
             net,
             tables,
-            algo,
+            router,
             pattern,
             cfg,
             load,
@@ -250,14 +287,6 @@ impl<'a> Simulator<'a> {
         (self.port_base[r as usize] + port) as usize
     }
 
-    /// Occupancy metric of an output link: staged flits + downstream
-    /// buffer slots in use (the "output queue length" UGAL inspects).
-    fn out_occupancy(&self, r: u32, j: usize) -> u32 {
-        let l = &self.out[r as usize][j];
-        let used: u32 = l.credits.iter().map(|&c| self.vc_cap as u32 - c).sum();
-        l.staging.len() as u32 + used
-    }
-
     fn out_index(&self, r: u32, to: u32) -> usize {
         self.net
             .graph
@@ -266,76 +295,30 @@ impl<'a> Simulator<'a> {
             .expect("next hop must be a neighbor")
     }
 
-    /// Chooses a path at injection time per the routing algorithm.
-    fn choose_path(&mut self, src_r: u32, dst_r: u32) -> ([u32; 10], u8) {
-        let gen = PathGen::new(&self.net.graph, self.tables);
-        let to_array = |v: &[u32]| {
-            assert!(v.len() <= 10, "path longer than the Packet array: {v:?}");
-            let mut a = [0u32; 10];
-            a[..v.len()].copy_from_slice(v);
-            (a, v.len() as u8)
+    /// Asks the routing policy for an injection-time decision.
+    fn choose_path(&mut self, src_r: u32, dst_r: u32, flow: u64) -> ([u32; 10], u8) {
+        let queues = EngineQueues {
+            net: self.net,
+            out: &self.out,
+            vc_cap: self.vc_cap,
         };
-        match self.algo {
-            RouteAlgo::Min => {
-                let p = gen.min_path(src_r, dst_r, &mut self.rng);
-                to_array(&p)
+        let ctx = RouteCtx {
+            graph: &self.net.graph,
+            tables: self.tables,
+            queues: &queues,
+            src: src_r,
+            dst: dst_r,
+            flow,
+            now: self.now,
+        };
+        match self.router.route(&ctx, &mut self.rng) {
+            RouteDecision::Path(v) => {
+                assert!(v.len() <= 10, "path longer than the Packet array: {v:?}");
+                let mut a = [0u32; 10];
+                a[..v.len()].copy_from_slice(&v);
+                (a, v.len() as u8)
             }
-            RouteAlgo::Valiant { cap3 } => {
-                let p = gen.valiant_path(src_r, dst_r, cap3, &mut self.rng);
-                to_array(&p)
-            }
-            RouteAlgo::UgalL { candidates } => {
-                let n = if candidates == 0 {
-                    self.cfg.ugal_candidates
-                } else {
-                    candidates
-                };
-                let (min, cands) = gen.ugal_candidates(src_r, dst_r, n, &mut self.rng);
-                let score = |p: &[u32]| -> u64 {
-                    if p.len() < 2 {
-                        return 0;
-                    }
-                    let j = self.out_index(src_r, p[1]);
-                    (p.len() as u64 - 1) * (self.out_occupancy(src_r, j) as u64 + 1)
-                };
-                let mut best = min.clone();
-                let mut best_score = score(&min);
-                for c in cands {
-                    let s = score(&c);
-                    if s < best_score {
-                        best_score = s;
-                        best = c;
-                    }
-                }
-                to_array(&best)
-            }
-            RouteAlgo::UgalG { candidates } => {
-                let n = if candidates == 0 {
-                    self.cfg.ugal_candidates
-                } else {
-                    candidates
-                };
-                let (min, cands) = gen.ugal_candidates(src_r, dst_r, n, &mut self.rng);
-                let score = |p: &[u32]| -> u64 {
-                    let mut s = 0u64;
-                    for w in p.windows(2) {
-                        let j = self.out_index(w[0], w[1]);
-                        s += self.out_occupancy(w[0], j) as u64;
-                    }
-                    s
-                };
-                let mut best = min.clone();
-                let mut best_score = score(&min);
-                for c in cands {
-                    let s = score(&c);
-                    if s < best_score || (s == best_score && c.len() < best.len()) {
-                        best_score = s;
-                        best = c;
-                    }
-                }
-                to_array(&best)
-            }
-            RouteAlgo::AdaptiveEcmp => {
+            RouteDecision::PerHop => {
                 // Per-hop routing: packet only carries the destination.
                 let mut a = [0u32; 10];
                 a[0] = dst_r;
@@ -360,23 +343,27 @@ impl<'a> Simulator<'a> {
         self.dst_router(p) == r
     }
 
-    /// Next-hop router for a packet sitting at `r` (adaptive algorithms
-    /// pick the least-occupied minimal next hop).
+    /// Next-hop router for a packet sitting at `r`: the recorded source
+    /// route, or the policy's per-hop hook for adaptive packets.
     fn next_hop(&mut self, p: &Packet, r: u32) -> u32 {
         if p.path_len > 0 {
             p.path[p.hop as usize + 1]
         } else {
-            let dst = p.path[0];
-            let mut best: Option<(u32, u32)> = None; // (occupancy, router)
-            let hops: Vec<u32> = self.tables.min_next_hops(&self.net.graph, r, dst).collect();
-            for v in hops {
-                let j = self.out_index(r, v);
-                let occ = self.out_occupancy(r, j);
-                if best.is_none_or(|(bo, _)| occ < bo) {
-                    best = Some((occ, v));
-                }
-            }
-            best.expect("connected network").1
+            let queues = EngineQueues {
+                net: self.net,
+                out: &self.out,
+                vc_cap: self.vc_cap,
+            };
+            let ctx = RouteCtx {
+                graph: &self.net.graph,
+                tables: self.tables,
+                queues: &queues,
+                src: r,
+                dst: p.path[0],
+                flow: flow_id(p.src_ep, p.dst_ep),
+                now: self.now,
+            };
+            self.router.next_hop(&ctx, r, &mut self.rng)
         }
     }
 
@@ -444,7 +431,7 @@ impl<'a> Simulator<'a> {
             }
             let (gen_time, dst_ep) = self.src_q[e as usize].pop_front().unwrap();
             let dst_r = self.ep_router[dst_ep as usize];
-            let (path, path_len) = self.choose_path(r, dst_r);
+            let (path, path_len) = self.choose_path(r, dst_r, flow_id(e, dst_ep));
             // Spread packets over VC classes: an h-hop path may start at
             // any base with base + h ≤ num_vcs (adaptive paths reserve
             // the full diameter-bound budget).
@@ -460,6 +447,7 @@ impl<'a> Simulator<'a> {
                 self.rng.gen_range(0..=slack.min(self.cfg.num_vcs - 1)) as u8
             };
             self.in_buf[fp][0].push_back(Packet {
+                src_ep: e,
                 dst_ep,
                 gen_time,
                 path,
@@ -656,11 +644,12 @@ pub struct LoadSweep;
 
 impl LoadSweep {
     /// Runs `loads` simulations in parallel and returns results in input
-    /// order.
+    /// order. One `router` instance is shared by all load points
+    /// (hence the `Send + Sync` bound on the [`Router`] trait).
     pub fn run(
         net: &Network,
         tables: &RoutingTables,
-        algo: RouteAlgo,
+        router: &dyn Router,
         pattern: &TrafficPattern,
         loads: &[f64],
         cfg: SimConfig,
@@ -671,7 +660,7 @@ impl LoadSweep {
             .map(|&load| {
                 let mut c = cfg;
                 c.seed = cfg.seed.wrapping_add((load * 1e4) as u64);
-                Simulator::new(net, tables, algo, pattern, load, c).run()
+                Simulator::new(net, tables, router, pattern, load, c).run()
             })
             .collect()
     }
@@ -680,6 +669,9 @@ impl LoadSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sf_routing::{
+        AdaptiveEcmpRouter, FatPathsRouter, MinRouter, RoutingSpec, UgalRouter, ValiantRouter,
+    };
     use sf_topo::SlimFly;
 
     fn small_sf() -> (Network, RoutingTables) {
@@ -703,7 +695,7 @@ mod tests {
     fn zero_load_no_packets() {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let r = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.0, quick_cfg(1)).run();
+        let r = Simulator::new(&net, &tables, &MinRouter, &pat, 0.0, quick_cfg(1)).run();
         assert_eq!(r.ejected, 0);
         assert!(!r.saturated);
     }
@@ -712,7 +704,7 @@ mod tests {
     fn low_load_low_latency_all_drained() {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let r = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.1, quick_cfg(2)).run();
+        let r = Simulator::new(&net, &tables, &MinRouter, &pat, 0.1, quick_cfg(2)).run();
         assert!(!r.saturated, "10% load must not saturate a balanced SF");
         assert!(r.ejected > 0);
         // Zero-load-ish latency: ≤ 2 hops × (router 3 + wire 1) + inject
@@ -731,11 +723,11 @@ mod tests {
     fn min_beats_valiant_latency_uniform() {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let rmin = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.2, quick_cfg(3)).run();
+        let rmin = Simulator::new(&net, &tables, &MinRouter, &pat, 0.2, quick_cfg(3)).run();
         let rval = Simulator::new(
             &net,
             &tables,
-            RouteAlgo::Valiant { cap3: false },
+            &ValiantRouter { cap3: false },
             &pat,
             0.2,
             quick_cfg(3),
@@ -758,7 +750,7 @@ mod tests {
         let r = Simulator::new(
             &net,
             &tables,
-            RouteAlgo::Valiant { cap3: false },
+            &ValiantRouter { cap3: false },
             &pat,
             0.85,
             quick_cfg(4),
@@ -775,7 +767,7 @@ mod tests {
     fn min_sustains_high_uniform_load() {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let r = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.6, quick_cfg(5)).run();
+        let r = Simulator::new(&net, &tables, &MinRouter, &pat, 0.6, quick_cfg(5)).run();
         assert!(
             r.accepted > 0.5,
             "MIN at 60% offered should accept most traffic, got {}",
@@ -787,14 +779,12 @@ mod tests {
     fn ugal_variants_run_and_adapt() {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
-        for algo in [
-            RouteAlgo::UgalL { candidates: 4 },
-            RouteAlgo::UgalG { candidates: 4 },
-        ] {
-            let r = Simulator::new(&net, &tables, algo, &pat, 0.3, quick_cfg(6)).run();
-            assert!(!r.saturated, "{algo:?} must not saturate at 30%");
+        for global in [false, true] {
+            let router = UgalRouter::new(4, global).unwrap();
+            let r = Simulator::new(&net, &tables, &router, &pat, 0.3, quick_cfg(6)).run();
+            assert!(!r.saturated, "{} must not saturate at 30%", router.label());
             // UGAL should mostly choose minimal paths under uniform load.
-            assert!(r.avg_hops < 2.5, "{algo:?} hops = {}", r.avg_hops);
+            assert!(r.avg_hops < 2.5, "{} hops = {}", router.label(), r.avg_hops);
         }
     }
 
@@ -803,21 +793,14 @@ mod tests {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::worst_case_slimfly(&net, &tables);
         let cfg = quick_cfg(7);
-        let rmin = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.4, cfg).run();
+        let rmin = Simulator::new(&net, &tables, &MinRouter, &pat, 0.4, cfg).run();
         assert!(
             rmin.saturated || rmin.accepted < 0.35,
             "MIN must collapse under worst-case traffic, accepted {}",
             rmin.accepted
         );
-        let rugal = Simulator::new(
-            &net,
-            &tables,
-            RouteAlgo::UgalL { candidates: 4 },
-            &pat,
-            0.25,
-            cfg,
-        )
-        .run();
+        let ugal = UgalRouter::new(4, false).unwrap();
+        let rugal = Simulator::new(&net, &tables, &ugal, &pat, 0.25, cfg).run();
         assert!(
             rugal.accepted > rmin.accepted * 0.9,
             "UGAL-L {} should sustain ≥ MIN {} under adversarial load",
@@ -832,15 +815,7 @@ mod tests {
         let net = ft.network();
         let tables = RoutingTables::new(&net.graph);
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let r = Simulator::new(
-            &net,
-            &tables,
-            RouteAlgo::AdaptiveEcmp,
-            &pat,
-            0.3,
-            quick_cfg(8),
-        )
-        .run();
+        let r = Simulator::new(&net, &tables, &AdaptiveEcmpRouter, &pat, 0.3, quick_cfg(8)).run();
         assert!(!r.saturated);
         assert!(r.ejected > 0);
         // FT-3 paths are up to 4 router hops.
@@ -851,8 +826,8 @@ mod tests {
     fn deterministic_given_seed() {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let a = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.25, quick_cfg(9)).run();
-        let b = Simulator::new(&net, &tables, RouteAlgo::Min, &pat, 0.25, quick_cfg(9)).run();
+        let a = Simulator::new(&net, &tables, &MinRouter, &pat, 0.25, quick_cfg(9)).run();
+        let b = Simulator::new(&net, &tables, &MinRouter, &pat, 0.25, quick_cfg(9)).run();
         assert_eq!(a.ejected, b.ejected);
         assert_eq!(a.avg_latency, b.avg_latency);
     }
@@ -864,7 +839,7 @@ mod tests {
         let res = LoadSweep::run(
             &net,
             &tables,
-            RouteAlgo::Min,
+            &MinRouter,
             &pat,
             &[0.1, 0.3, 0.5],
             quick_cfg(10),
@@ -872,5 +847,34 @@ mod tests {
         assert_eq!(res.len(), 3);
         // Latency is non-decreasing in load (allowing small noise).
         assert!(res[0].avg_latency <= res[2].avg_latency + 2.0);
+    }
+
+    #[test]
+    fn fatpaths_runs_end_to_end_and_spreads_load() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let fp = FatPathsRouter::build(&net.graph, &tables, 3, sf_routing::router::FATPATHS_SEED)
+            .unwrap();
+        let r = Simulator::new(&net, &tables, &fp, &pat, 0.2, quick_cfg(11)).run();
+        assert!(!r.saturated, "FatPaths at 20% uniform must drain");
+        assert!(r.ejected > 0);
+        // Degraded layers detour: average hops above pure MIN but
+        // bounded by the layer budget.
+        let rmin = Simulator::new(&net, &tables, &MinRouter, &pat, 0.2, quick_cfg(11)).run();
+        assert!(r.avg_hops >= rmin.avg_hops);
+        assert!(r.avg_hops <= sf_routing::router::FATPATHS_MAX_LAYER_HOPS as f64);
+    }
+
+    #[test]
+    fn spec_built_router_matches_direct_construction() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let spec: RoutingSpec = "ugal-l:c=4".parse().unwrap();
+        let built = spec.build(&net.graph, &tables).unwrap();
+        let direct = UgalRouter::new(4, false).unwrap();
+        let a = Simulator::new(&net, &tables, built.as_ref(), &pat, 0.3, quick_cfg(12)).run();
+        let b = Simulator::new(&net, &tables, &direct, &pat, 0.3, quick_cfg(12)).run();
+        assert_eq!(a.ejected, b.ejected);
+        assert_eq!(a.avg_latency, b.avg_latency);
     }
 }

@@ -11,9 +11,13 @@
 //!   internal speedup 2 over the channel rate;
 //! * warm-up to steady state before measurement.
 //!
-//! Routing algorithms ([`sf_routing::RouteAlgo`]): source-routed MIN /
-//! VAL / UGAL-L / UGAL-G (queue-sensitive choice at injection, §IV) and
-//! per-hop adaptive ECMP (the fat-tree ANCA stand-in).
+//! Routing is **pluggable**: the engine owns queues and flit movement
+//! but delegates every path decision to an [`sf_routing::Router`] trait
+//! object (source-routed MIN / VAL / UGAL-L / UGAL-G / FatPaths, or
+//! per-hop adaptive ECMP), handing policies live queue state only
+//! through the narrow [`sf_routing::QueueView`] window. Build routers
+//! directly or from [`sf_routing::RoutingSpec`] strings
+//! (`"ugal-l:c=4"`, `"fatpaths:layers=3"`).
 //!
 //! Deviation noted in DESIGN.md: the paper states 3 VCs for every
 //! simulation while its own §IV-D scheme needs 4 VCs for ≤4-hop adaptive

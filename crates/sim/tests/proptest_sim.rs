@@ -2,7 +2,7 @@
 //! determinism that must hold for every configuration.
 
 use proptest::prelude::*;
-use sf_routing::{RouteAlgo, RoutingTables};
+use sf_routing::{RoutingSpec, RoutingTables};
 use sf_sim::{SimConfig, Simulator};
 use sf_topo::SlimFly;
 use sf_traffic::TrafficPattern;
@@ -37,28 +37,28 @@ proptest! {
         load in 0.05f64..0.5,
         seed in 0u64..500,
         vcs in 3usize..6,
-        algo_idx in 0usize..4,
+        algo_idx in 0usize..5,
     ) {
         let sf = SlimFly::new(5).unwrap();
         let net = sf.network();
         let tables = RoutingTables::new(&net.graph);
         let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let algo = [
-            RouteAlgo::Min,
-            RouteAlgo::Valiant { cap3: false },
-            RouteAlgo::UgalL { candidates: 4 },
-            RouteAlgo::UgalG { candidates: 4 },
-        ][algo_idx];
-        let res = Simulator::new(&net, &tables, algo, &pattern, load, quick_cfg(seed, vcs, 64)).run();
+        let spec: RoutingSpec = ["min", "val", "ugal-l:c=4", "ugal-g:c=4", "fatpaths:layers=3"][algo_idx]
+            .parse()
+            .unwrap();
+        let router = spec.build(&net.graph, &tables).unwrap();
+        let res = Simulator::new(&net, &tables, router.as_ref(), &pattern, load, quick_cfg(seed, vcs, 64)).run();
         // Accepted throughput can never exceed offered (up to Bernoulli noise).
         prop_assert!(res.accepted <= load * 1.25 + 0.05, "accepted {} offered {load}", res.accepted);
         // Latency (when measured) is at least the minimum pipeline time.
         if !res.avg_latency.is_nan() {
             prop_assert!(res.avg_latency >= 1.0);
         }
-        // Hop counts bounded by the Valiant worst case on diameter 2.
+        // Hop counts bounded by the Valiant worst case on diameter 2
+        // (FatPaths detours stay within the layer hop budget).
         if !res.avg_hops.is_nan() {
-            prop_assert!(res.avg_hops <= 4.0 + 1e-9);
+            let bound = if router.label().starts_with("FatPaths") { 9.0 } else { 4.0 };
+            prop_assert!(res.avg_hops <= bound + 1e-9, "{} hops {}", router.label(), res.avg_hops);
         }
         // Utilization is a fraction of cycles.
         prop_assert!(res.max_link_util <= 1.0 + 1e-9);
@@ -71,8 +71,8 @@ proptest! {
         let net = sf.network();
         let tables = RoutingTables::new(&net.graph);
         let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let a = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, load, quick_cfg(seed, 4, 64)).run();
-        let b = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, load, quick_cfg(seed, 4, 64)).run();
+        let a = Simulator::new(&net, &tables, &sf_routing::MinRouter, &pattern, load, quick_cfg(seed, 4, 64)).run();
+        let b = Simulator::new(&net, &tables, &sf_routing::MinRouter, &pattern, load, quick_cfg(seed, 4, 64)).run();
         prop_assert_eq!(a.ejected, b.ejected);
         prop_assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
         prop_assert_eq!(a.accepted.to_bits(), b.accepted.to_bits());
@@ -84,8 +84,8 @@ proptest! {
         let net = sf.network();
         let tables = RoutingTables::new(&net.graph);
         let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let lo = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.1, quick_cfg(seed, 4, 64)).run();
-        let hi = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.55, quick_cfg(seed, 4, 64)).run();
+        let lo = Simulator::new(&net, &tables, &sf_routing::MinRouter, &pattern, 0.1, quick_cfg(seed, 4, 64)).run();
+        let hi = Simulator::new(&net, &tables, &sf_routing::MinRouter, &pattern, 0.55, quick_cfg(seed, 4, 64)).run();
         // Allow small noise at these short measurement windows.
         prop_assert!(hi.avg_latency + 3.0 >= lo.avg_latency,
             "lo {} hi {}", lo.avg_latency, hi.avg_latency);
@@ -97,7 +97,7 @@ proptest! {
         let net = sf.network();
         let tables = RoutingTables::new(&net.graph);
         let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let res = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.15, quick_cfg(seed, 4, 64)).run();
+        let res = Simulator::new(&net, &tables, &sf_routing::MinRouter, &pattern, 0.15, quick_cfg(seed, 4, 64)).run();
         // Average hops equals the endpoint-weighted average distance
         // (≤ diameter 2) — MIN never detours.
         if !res.avg_hops.is_nan() {

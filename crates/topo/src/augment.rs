@@ -1,7 +1,7 @@
 //! Random shortcut augmentation (paper §VII-A).
 //!
 //! "Another option is to add random channels to utilize empty ports of
-//! routers with radix > k (using strategies presented in [42], [52]).
+//! routers with radix > k (using strategies presented in \[42\], \[52\]).
 //! This would additionally improve the latency and bandwidth of such SF
 //! variants." — this module implements exactly that: given a network and
 //! a number of spare ports per router, add that many random-matching

@@ -10,7 +10,7 @@
 //! 2. **The `∗`-product** `G1 ∗ G2` with caller-supplied arc orientation
 //!    and per-arc bijections (paper §II-C1a), used to assemble
 //!    `P_u ∗ G_{k'/3}` instances. The specific `G_{k'/3}` family with
-//!    property P* comes from reference [6], whose tables the paper does
+//!    property P* comes from reference \[6\], whose tables the paper does
 //!    not reproduce; the Fig 5b Moore-bound comparison only requires the
 //!    closed-form sizes, given by [`bdf_routers`].
 

@@ -8,7 +8,7 @@
 //!
 //! The paper itself only uses the closed-form sizes of this family (for
 //! the Fig 5b comparison); the explicit adjacency would require the
-//! generalized-quadrangle construction of reference [24], which is out
+//! generalized-quadrangle construction of reference \[24\], which is out
 //! of scope here for the same reason.
 
 /// Network radix of the Delorme construction: `k' = (v + 1)²`.

@@ -1,4 +1,4 @@
-//! Long Hop networks (Tomic [56], §E-S-3) — hypercubes augmented with
+//! Long Hop networks (Tomic \[56\], §E-S-3) — hypercubes augmented with
 //! "long hop" links to raise bisection bandwidth (to ~3N/2) at the cost
 //! of extra router ports.
 //!

@@ -11,7 +11,9 @@
 //! * **worst case** (§V-C) — per-topology adversarial permutations:
 //!   Slim Fly (colliding 2-hop paths through a shared middle router,
 //!   Fig 9), Dragonfly (group g → group g+1, Kim et al. §4.2), fat tree
-//!   (all packets forced through core switches).
+//!   (all packets forced through core switches), torus (dimension
+//!   reversal across the coordinate diagonal), flattened butterfly
+//!   (row collision on single dimension-0 links).
 //!
 //! All patterns are *endpoint-safe*: no endpoint is required to absorb
 //! more than one full-rate flow (the paper's stated constraint for
@@ -228,6 +230,107 @@ impl TrafficPattern {
             perm[e as usize] = ((pod + 1) % pods) * per_pod + idx;
         }
         Ok(TrafficPattern::permutation(perm, "worst-ft"))
+    }
+
+    /// Builds a router-permutation traffic pattern: every endpoint of
+    /// router `r` sends to its positional counterpart on `router_perm(r)`
+    /// (index-to-index, so no endpoint absorbs more than one full-rate
+    /// flow). Self-mapped routers stay silent.
+    fn router_permutation(net: &Network, name: &str, router_perm: impl Fn(u32) -> u32) -> Self {
+        let mut perm = vec![u32::MAX; net.num_endpoints()];
+        for r in 0..net.num_routers() as u32 {
+            let s = router_perm(r);
+            if s == r {
+                continue;
+            }
+            for (a, b) in net.endpoints_of_router(r).zip(net.endpoints_of_router(s)) {
+                perm[a as usize] = b;
+            }
+        }
+        TrafficPattern::permutation(perm, name)
+    }
+
+    /// The torus worst case: **dimension reversal** — the router at
+    /// coordinates `(x_0, …, x_{n−1})` sends to `(x_{n−1}, …, x_0)`.
+    /// Traffic concentrates through the coordinate-space "diagonal",
+    /// defeating minimal routing's load balance on k-ary n-cubes.
+    /// Requires a palindromic extent vector (all uniform tori qualify)
+    /// so the reversed coordinates are in range.
+    pub fn worst_case_torus(net: &Network) -> Result<Self, TrafficError> {
+        let dims = match &net.kind {
+            TopologyKind::Torus { dims } => dims.clone(),
+            _ => {
+                return Err(TrafficError::UnsupportedWorstCase {
+                    topology: net.name.clone(),
+                })
+            }
+        };
+        let nd = dims.len();
+        if (0..nd).any(|i| dims[i] != dims[nd - 1 - i]) {
+            // Reversed coordinates fall out of range on asymmetric tori.
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        // Mixed-radix addressing matching `sf_topo::torus::Torus`:
+        // coords[0] is the least-significant digit with radix dims[0].
+        let coords_of = |mut id: u32| -> Vec<u32> {
+            dims.iter()
+                .map(|&d| {
+                    let c = id % d;
+                    id /= d;
+                    c
+                })
+                .collect()
+        };
+        let id_of = |coords: &[u32]| -> u32 {
+            coords
+                .iter()
+                .enumerate()
+                .rev()
+                .fold(0u32, |acc, (i, &x)| acc * dims[i] + x)
+        };
+        let p = Self::router_permutation(net, "worst-torus", |r| {
+            let mut c = coords_of(r);
+            c.reverse();
+            id_of(&c)
+        });
+        if p.num_active() == 0 {
+            // Reversal is the identity (e.g. a 1-D torus): an all-silent
+            // pattern would report Ok with zero traffic — make the
+            // degenerate case a typed error instead.
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        Ok(p)
+    }
+
+    /// The flattened-butterfly worst case: **row collision** — every
+    /// router sends to its dimension-0 successor in the same row
+    /// (`x_0 → x_0 + 1 mod c`, other coordinates fixed). The unique
+    /// minimal path is the single direct row link, so all `p` endpoint
+    /// flows of a router collide on one channel and MIN throughput caps
+    /// near `1/p` — the FBF analogue of the Slim Fly Fig 9 adversary.
+    pub fn worst_case_fbf(net: &Network) -> Result<Self, TrafficError> {
+        let (c, dims) = match net.kind {
+            TopologyKind::FlattenedButterfly { c, dims } => (c, dims),
+            _ => {
+                return Err(TrafficError::UnsupportedWorstCase {
+                    topology: net.name.clone(),
+                })
+            }
+        };
+        if c < 2 {
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        let _ = dims; // radix-c addressing: dim 0 is the low digit
+        Ok(Self::router_permutation(net, "worst-fbf", |r| {
+            let x0 = r % c;
+            r - x0 + (x0 + 1) % c
+        }))
     }
 
     /// Pattern name (figure-legend style).
@@ -471,6 +574,68 @@ mod tests {
             let d = p.dest(s, &mut rng).unwrap();
             assert_ne!(s / per_pod, d / per_pod, "must cross pods");
         }
+    }
+
+    #[test]
+    fn worst_case_torus_reverses_dimensions() {
+        let t = sf_topo::torus::Torus::new(vec![4, 3, 4]);
+        let net = t.network();
+        let p = TrafficPattern::worst_case_torus(&net).unwrap();
+        assert_eq!(p.name(), "worst-torus");
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut active = 0;
+        for s in 0..net.num_endpoints() as u32 {
+            if let Some(d) = p.dest(s, &mut rng) {
+                let mut rc = t.router_coords(net.endpoint_router(s));
+                rc.reverse();
+                assert_eq!(net.endpoint_router(d), t.router_id(&rc), "s={s}");
+                // Deterministic permutation, involutive on routers.
+                assert_eq!(p.dest(d, &mut rng), Some(s));
+                active += 1;
+            }
+        }
+        assert!(active > 0, "most routers move under reversal");
+    }
+
+    #[test]
+    fn worst_case_torus_asymmetric_is_error() {
+        let net = sf_topo::torus::Torus::new(vec![4, 6, 8]).network();
+        let err = TrafficPattern::worst_case_torus(&net).unwrap_err();
+        assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
+        // Wrong topology kind is also a typed error.
+        let hc = sf_topo::hypercube::Hypercube::new(4).network();
+        assert!(TrafficPattern::worst_case_torus(&hc).is_err());
+        // Degenerate reversal (1-D torus: identity permutation) is a
+        // typed error, not a silent all-inactive pattern.
+        let line = sf_topo::torus::Torus::new(vec![8]).network();
+        let err = TrafficPattern::worst_case_torus(&line).unwrap_err();
+        assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
+    }
+
+    #[test]
+    fn worst_case_fbf_collides_rows() {
+        let f = sf_topo::flatbutterfly::FlattenedButterfly {
+            c: 4,
+            dims: 2,
+            p: 4,
+        };
+        let net = f.network();
+        let p = TrafficPattern::worst_case_fbf(&net).unwrap();
+        assert_eq!(p.name(), "worst-fbf");
+        let mut rng = StdRng::seed_from_u64(12);
+        for s in 0..net.num_endpoints() as u32 {
+            let d = p.dest(s, &mut rng).unwrap();
+            let rs = f.router_coords(net.endpoint_router(s));
+            let rd = f.router_coords(net.endpoint_router(d));
+            // Same row: only the dimension-0 coordinate moves, by +1.
+            assert_eq!(rd[0], (rs[0] + 1) % 4, "s={s}");
+            assert_eq!(rs[1..], rd[1..], "s={s}");
+            // Endpoint-safe: the permutation is injective per position.
+            assert_eq!(s % 4, d % 4);
+        }
+        // The wrong kind errors.
+        let hc = sf_topo::hypercube::Hypercube::new(4).network();
+        assert!(TrafficPattern::worst_case_fbf(&hc).is_err());
     }
 
     #[test]

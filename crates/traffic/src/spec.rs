@@ -18,8 +18,8 @@ pub enum TrafficError {
     /// The pattern name is not one of [`TrafficSpec::ALL`].
     UnknownPattern(String),
     /// A worst-case pattern was requested for a topology without one
-    /// (the paper defines adversarial permutations only for SF, DF and
-    /// FT-3).
+    /// (adversarial permutations exist for SF, DF, FT-3, symmetric
+    /// tori and flattened butterflies).
     UnsupportedWorstCase {
         /// Name of the offending network.
         topology: String,
@@ -42,7 +42,8 @@ impl fmt::Display for TrafficError {
             TrafficError::UnsupportedWorstCase { topology } => write!(
                 f,
                 "no worst-case traffic pattern is defined for {topology} \
-                 (only Slim Fly, Dragonfly and fat-tree networks have one)"
+                 (Slim Fly, Dragonfly, fat-tree, symmetric-torus and \
+                 flattened-butterfly networks have one)"
             ),
         }
     }
@@ -108,6 +109,8 @@ impl TrafficSpec {
                 TopologyKind::SlimFly { .. } => Ok(TrafficPattern::worst_case_slimfly(net, tables)),
                 TopologyKind::Dragonfly { .. } => TrafficPattern::worst_case_dragonfly(net),
                 TopologyKind::FatTree3 { .. } => TrafficPattern::worst_case_fattree(net),
+                TopologyKind::Torus { .. } => TrafficPattern::worst_case_torus(net),
+                TopologyKind::FlattenedButterfly { .. } => TrafficPattern::worst_case_fbf(net),
                 _ => Err(TrafficError::UnsupportedWorstCase {
                     topology: net.name.clone(),
                 }),

@@ -54,7 +54,7 @@ fn main() -> Result<(), SfError> {
     println!("  as JSON: {}", r.to_json());
 
     // 5. What does it cost (§VI)?
-    let cost = Experiment::on("sf:q=19".parse()?).cost(&CostModel::fdr10())?;
+    let cost = Experiment::on("sf:q=19").cost(&CostModel::fdr10())?;
     println!(
         "  cost = ${:.0}/endpoint, power = {:.2} W/endpoint (paper: $1,033 and 8.02 W)",
         cost.cost_per_endpoint(),

@@ -1,6 +1,10 @@
-//! Routing-algorithm shoot-out on a Slim Fly (§IV–§V): MIN, Valiant,
-//! UGAL-L and UGAL-G under benign (uniform) and adversarial (worst-case)
-//! traffic, plus the deadlock-freedom check of §IV-D.
+//! Routing-scheme shoot-out on a Slim Fly (§IV–§V): MIN, Valiant,
+//! UGAL-L, UGAL-G and FatPaths-style layered multipath under benign
+//! (uniform) and adversarial (worst-case) traffic, plus the
+//! deadlock-freedom check of §IV-D.
+//!
+//! Every scheme is selected through the `RoutingSpec` string grammar —
+//! the same strings work as `--routing` CLI flags on the bench binaries.
 //!
 //! Run with: `cargo run --release --example routing_comparison -- [q]`
 
@@ -33,11 +37,15 @@ fn main() -> Result<(), SfError> {
         drain: 4_000,
         ..Default::default()
     };
-    let algos = [
-        RouteAlgo::Min,
-        RouteAlgo::Valiant { cap3: false },
-        RouteAlgo::UgalL { candidates: 4 },
-        RouteAlgo::UgalG { candidates: 4 },
+    // The full scheme roster by spec string — `fatpaths:layers=3` is
+    // the layered-multipath newcomer (Besta et al. 2020); everything
+    // else matches the paper's Fig 6 legend.
+    let schemes = [
+        "min",
+        "val",
+        "ugal-l:c=4",
+        "ugal-g:c=4",
+        "fatpaths:layers=3",
     ];
 
     for (traffic, loads) in [
@@ -46,18 +54,18 @@ fn main() -> Result<(), SfError> {
     ] {
         println!("\ntraffic: {traffic}");
         println!(
-            "{:>8} {:>8} {:>10} {:>10} {:>10}",
+            "{:>12} {:>8} {:>10} {:>10} {:>10}",
             "routing", "offered", "latency", "accepted", "hops"
         );
         let records = Experiment::on(spec.clone())
-            .routings(&algos)
+            .routing_strs(&schemes)
             .traffic(traffic)
             .loads(&loads)
             .sim(cfg)
             .run()?;
         for r in records {
             println!(
-                "{:>8} {:>8.2} {:>10.1} {:>10.2} {:>10.2}{}",
+                "{:>12} {:>8.2} {:>10.1} {:>10.2} {:>10.2}{}",
                 r.routing,
                 r.offered,
                 r.latency,

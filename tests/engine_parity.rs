@@ -1,0 +1,172 @@
+//! Engine-parity regression suite for the pluggable-routing refactor.
+//!
+//! The routing policies used to live as `match` arms inside the
+//! simulator core; they are now `sf_routing::Router` trait impls behind
+//! the engine's `QueueView` window. The refactor preserves the RNG call
+//! sequence exactly, so MIN / VAL / UGAL latency-vs-load curves on
+//! `sf:q=5` must reproduce the pre-refactor values captured below (the
+//! tolerances absorb only future benign engine changes, not behavioral
+//! drift), and the paper's Fig 6 qualitative result — worst-case
+//! traffic crushes MIN but not UGAL — must keep holding end to end.
+
+use slimfly::prelude::*;
+
+fn parity_cfg() -> SimConfig {
+    SimConfig {
+        warmup: 400,
+        measure: 800,
+        drain: 2_500,
+        ..Default::default()
+    }
+}
+
+/// (routing label, offered load, avg latency, accepted throughput)
+/// captured from the pre-refactor engine (closed `RouteAlgo` enum) with
+/// `parity_cfg()` on `sf:q=5`, uniform traffic.
+const PRE_REFACTOR_UNIFORM: &[(&str, f64, f64, f64)] = &[
+    ("MIN", 0.1, 7.468813, 0.099269),
+    ("MIN", 0.3, 7.896257, 0.300419),
+    ("MIN", 0.5, 8.841631, 0.500494),
+    ("VAL", 0.1, 14.933872, 0.099369),
+    ("VAL", 0.3, 17.629093, 0.301787),
+    ("VAL", 0.5, 200.037457, 0.410737),
+    ("UGAL-L", 0.1, 8.505701, 0.100144),
+    ("UGAL-L", 0.3, 9.543049, 0.298269),
+    ("UGAL-L", 0.5, 10.390863, 0.502219),
+    ("UGAL-G", 0.1, 9.657796, 0.099450),
+    ("UGAL-G", 0.3, 9.428159, 0.298406),
+    ("UGAL-G", 0.5, 10.061011, 0.499431),
+];
+
+#[test]
+fn min_val_ugal_curves_match_pre_refactor_values() {
+    let records = Experiment::on("sf:q=5")
+        .routing_strs(&["min", "val", "ugal-l:c=4", "ugal-g:c=4"])
+        .loads(&[0.1, 0.3, 0.5])
+        .sim(parity_cfg())
+        .run()
+        .unwrap();
+    assert_eq!(records.len(), PRE_REFACTOR_UNIFORM.len());
+    for (r, &(label, offered, latency, accepted)) in records.iter().zip(PRE_REFACTOR_UNIFORM) {
+        assert_eq!(r.routing, label);
+        assert_eq!(r.offered, offered);
+        let lat_tol = latency * 0.10;
+        assert!(
+            (r.latency - latency).abs() <= lat_tol,
+            "{label}@{offered}: latency {} drifted from pre-refactor {latency}",
+            r.latency
+        );
+        let acc_tol = (accepted * 0.05).max(0.01);
+        assert!(
+            (r.accepted - accepted).abs() <= acc_tol,
+            "{label}@{offered}: accepted {} drifted from pre-refactor {accepted}",
+            r.accepted
+        );
+    }
+}
+
+#[test]
+fn fig6_worst_case_crushes_min_but_not_ugal() {
+    // Pre-refactor capture at offered 0.3, worst-case traffic:
+    //   MIN    latency ≈ 830.6, accepted ≈ 0.150, saturated
+    //   UGAL-L latency ≈  14.1, accepted ≈ 0.301, not saturated
+    let records = Experiment::on("sf:q=5")
+        .routing_strs(&["min", "ugal-l:c=4"])
+        .traffic(TrafficSpec::WorstCase)
+        .loads(&[0.3])
+        .sim(parity_cfg())
+        .run()
+        .unwrap();
+    let (min, ugal) = (&records[0], &records[1]);
+    assert_eq!(min.routing, "MIN");
+    assert_eq!(ugal.routing, "UGAL-L");
+    assert!(
+        min.saturated && min.accepted < 0.2,
+        "MIN must collapse under the Fig 9 adversary: accepted {}",
+        min.accepted
+    );
+    assert!(
+        !ugal.saturated && ugal.accepted > 0.28,
+        "UGAL-L must sustain adversarial load: accepted {}",
+        ugal.accepted
+    );
+    assert!(
+        (min.accepted - 0.150438).abs() < 0.02,
+        "MIN accepted {} drifted from pre-refactor capture",
+        min.accepted
+    );
+    assert!(
+        (ugal.accepted - 0.300712).abs() < 0.02,
+        "UGAL-L accepted {} drifted from pre-refactor capture",
+        ugal.accepted
+    );
+}
+
+/// The acceptance scenario for the pluggable engine: routing selected
+/// purely by spec string — including the genuinely new FatPaths scheme
+/// — runs end to end through the fluent builder.
+#[test]
+fn routing_str_and_fatpaths_run_end_to_end() {
+    let quick = SimConfig {
+        warmup: 200,
+        measure: 400,
+        drain: 1_200,
+        ..Default::default()
+    };
+    let records = Experiment::on("sf:q=5")
+        .routing_str("ugal-l:c=4")
+        .routing_str("fatpaths:layers=3")
+        .loads(&[0.2])
+        .sim(quick)
+        .run()
+        .unwrap();
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].routing, "UGAL-L");
+    assert_eq!(records[1].routing, "FatPaths-3");
+    for r in &records {
+        assert!(!r.saturated, "{} at 20% must drain", r.routing);
+        assert!(r.accepted > 0.15, "{} accepted {}", r.routing, r.accepted);
+    }
+    // FatPaths spreads over degraded layers: some detours, bounded hops.
+    assert!(records[1].avg_hops > records[0].avg_hops * 0.9);
+    assert!(records[1].avg_hops <= 9.0);
+}
+
+/// The literal acceptance expressions on the paper-size network resolve
+/// to valid routers and a buildable topology (the full q=19 sweep is
+/// exercised by the bench binaries; here we verify resolution cheaply).
+#[test]
+fn acceptance_expressions_resolve_on_q19() {
+    let exp = Experiment::on("sf:q=19").routing_str("ugal-l:c=4");
+    assert_eq!(
+        exp.routing_specs().unwrap(),
+        vec![RoutingSpec::UgalL { candidates: 4 }]
+    );
+    assert_eq!(exp.build_network().unwrap().num_endpoints(), 10_830);
+    let exp = Experiment::on("sf:q=19").routing_str("fatpaths:layers=3");
+    assert_eq!(
+        exp.routing_specs().unwrap(),
+        vec![RoutingSpec::FatPaths { layers: 3 }]
+    );
+}
+
+/// FatPaths layered multipath holds up under the Slim Fly worst-case
+/// adversary far better than MIN: path layers steer flows off the
+/// colliding minimal links (the FatPaths design claim).
+#[test]
+fn fatpaths_beats_min_under_worst_case() {
+    let records = Experiment::on("sf:q=5")
+        .routing_strs(&["min", "fatpaths:layers=4"])
+        .traffic(TrafficSpec::WorstCase)
+        .loads(&[0.25])
+        .sim(parity_cfg())
+        .run()
+        .unwrap();
+    let (min, fp) = (&records[0], &records[1]);
+    assert!(
+        fp.accepted > min.accepted,
+        "FatPaths {} must beat MIN {} under adversarial traffic",
+        fp.accepted,
+        min.accepted
+    );
+}

@@ -9,7 +9,7 @@ use slimfly::prelude::*;
 /// through `ExperimentBuilder`, yielding non-empty records.
 #[test]
 fn tiny_end_to_end_experiment() {
-    let records = Experiment::on("sf:q=5".parse().unwrap())
+    let records = Experiment::on("sf:q=5")
         .routing(RouteAlgo::Min)
         .traffic(TrafficSpec::Uniform)
         .loads(&[0.1, 0.3])
@@ -41,7 +41,7 @@ fn tiny_end_to_end_experiment() {
 /// Records serialize to both CSV (with header) and JSON lines.
 #[test]
 fn records_serialize_to_csv_and_json() {
-    let records = Experiment::on("sf:q=5".parse().unwrap())
+    let records = Experiment::on("sf:q=5")
         .loads(&[0.2])
         .sim(SimConfig {
             warmup: 150,
@@ -68,14 +68,12 @@ fn records_serialize_to_csv_and_json() {
 /// The same experiment value drives the analytic flow and cost models.
 #[test]
 fn one_spec_three_backends() {
-    let exp = Experiment::on("sf:q=5".parse().unwrap())
-        .loads(&[0.2])
-        .sim(SimConfig {
-            warmup: 150,
-            measure: 300,
-            drain: 1_000,
-            ..Default::default()
-        });
+    let exp = Experiment::on("sf:q=5").loads(&[0.2]).sim(SimConfig {
+        warmup: 150,
+        measure: 300,
+        drain: 1_000,
+        ..Default::default()
+    });
     let sim = exp.run().unwrap();
     let flow = exp.flow().unwrap();
     let cost = exp.cost(&CostModel::fdr10()).unwrap();
@@ -108,7 +106,7 @@ fn error_paths_are_typed() {
     ));
     // Worst-case traffic on a topology without one.
     assert!(matches!(
-        Experiment::on("hc:d=4".parse().unwrap())
+        Experiment::on("hc:d=4")
             .traffic(TrafficSpec::WorstCase)
             .loads(&[0.1])
             .run(),
@@ -116,9 +114,7 @@ fn error_paths_are_typed() {
     ));
     // Out-of-range load.
     assert!(matches!(
-        Experiment::on("sf:q=5".parse().unwrap())
-            .loads(&[2.0])
-            .run(),
+        Experiment::on("sf:q=5").loads(&[2.0]).run(),
         Err(SfError::Experiment(_))
     ));
 }

@@ -33,7 +33,7 @@ fn full_pipeline_slimfly_q5() {
         drain: 2_000,
         ..Default::default()
     };
-    let res = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.4, cfg).run();
+    let res = Simulator::new(&net, &tables, &MinRouter, &pattern, 0.4, cfg).run();
     assert!(!res.saturated, "balanced SF at 40% must not saturate");
     assert!(res.avg_hops <= 2.0 + 1e-9);
 
@@ -60,16 +60,9 @@ fn slimfly_latency_beats_dragonfly() {
     let df_tables = RoutingTables::new(&df_net.graph);
     let sf_pat = TrafficPattern::uniform(sf_net.num_endpoints() as u32);
     let df_pat = TrafficPattern::uniform(df_net.num_endpoints() as u32);
-    let sf_res = Simulator::new(&sf_net, &sf_tables, RouteAlgo::Min, &sf_pat, 0.2, cfg).run();
-    let df_res = Simulator::new(
-        &df_net,
-        &df_tables,
-        RouteAlgo::UgalL { candidates: 4 },
-        &df_pat,
-        0.2,
-        cfg,
-    )
-    .run();
+    let sf_res = Simulator::new(&sf_net, &sf_tables, &MinRouter, &sf_pat, 0.2, cfg).run();
+    let df_ugal = UgalRouter::new(4, false).unwrap();
+    let df_res = Simulator::new(&df_net, &df_tables, &df_ugal, &df_pat, 0.2, cfg).run();
     assert!(
         sf_res.avg_latency < df_res.avg_latency,
         "SF-MIN {:.1} must beat DF-UGAL-L {:.1} at low load",
@@ -134,16 +127,9 @@ fn worst_case_traffic_end_to_end() {
         ..Default::default()
     };
     let offered = 0.35;
-    let min = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, offered, cfg).run();
-    let ugal = Simulator::new(
-        &net,
-        &tables,
-        RouteAlgo::UgalL { candidates: 4 },
-        &pattern,
-        offered,
-        cfg,
-    )
-    .run();
+    let min = Simulator::new(&net, &tables, &MinRouter, &pattern, offered, cfg).run();
+    let ugal_router = UgalRouter::new(4, false).unwrap();
+    let ugal = Simulator::new(&net, &tables, &ugal_router, &pattern, offered, cfg).run();
     assert!(
         min.accepted < offered * 0.8,
         "MIN must not sustain adversarial load: accepted {}",
@@ -174,7 +160,7 @@ fn oversubscription_degrades_gracefully() {
         let net = sf.network_with_concentration(p);
         let tables = RoutingTables::new(&net.graph);
         let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
-        let res = Simulator::new(&net, &tables, RouteAlgo::Min, &pattern, 0.95, cfg).run();
+        let res = Simulator::new(&net, &tables, &MinRouter, &pattern, 0.95, cfg).run();
         accepted.push(res.accepted);
     }
     assert!(
