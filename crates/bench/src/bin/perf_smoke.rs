@@ -1,0 +1,249 @@
+//! Engine performance smoke test: wall-clock timing of a pinned
+//! simulator configuration set, tracked across PRs in `BENCH_sim.json`.
+//!
+//! Usage:
+//!   `perf_smoke [--quick] [--repeat N] [--tag LABEL] [--out PATH] [--no-write]`
+//!
+//! The pinned set is `sf:q=19` (N = 10 830 endpoints, the paper-size
+//! network) × routings {`min`, `ugal-g:c=4`} × offered loads
+//! {0.1, 0.3, 0.5} with a short warm-up/measure/drain window — enough
+//! cycles to exercise every hot phase (injection, allocation, ejection,
+//! credits, UGAL-G's global occupancy scans) while finishing in
+//! seconds. `--quick` substitutes `sf:q=7` (~500 endpoints) for CI.
+//!
+//! Every run appends one entry to `BENCH_sim.json` (repo root by
+//! default; `--out` overrides, `--no-write` skips persistence). Entries
+//! accumulate across PRs, so the file is the engine's performance
+//! trajectory; each entry also records its speedup versus the *first*
+//! entry in the file (the pre-CSR-engine baseline).
+//!
+//! Runs are strictly sequential and single-threaded so cycles/sec is an
+//! engine metric, not a parallelism metric (`fig6_latency` and friends
+//! exercise the parallel sweep path). `--repeat N` (default 3) runs
+//! every cell N times and reports the fastest wall time — the standard
+//! guard against scheduler noise on shared machines; the simulated
+//! results are identical across repeats (same seed), only timing varies.
+
+use sf_bench::{print_raw_line, run_cli};
+use slimfly::prelude::*;
+use slimfly::SfError;
+use std::time::Instant;
+
+/// One timed (routing, load) cell.
+struct Cell {
+    routing: String,
+    load: f64,
+    wall_ms: f64,
+    cycles: u64,
+    packets: u64,
+}
+
+fn pinned_cfg() -> SimConfig {
+    SimConfig {
+        warmup: 150,
+        measure: 300,
+        drain: 450,
+        ..Default::default()
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// JSON string escaping for interpolated fields (tags are user input;
+/// an unescaped quote would corrupt BENCH_sim.json permanently).
+fn json_s(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn entry_json(tag: &str, topo: &str, cells: &[Cell], speedup_vs_first: Option<f64>) -> String {
+    let total_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
+    let total_cycles: u64 = cells.iter().map(|c| c.cycles).sum();
+    let total_packets: u64 = cells.iter().map(|c| c.packets).sum();
+    let secs = (total_ms / 1e3).max(1e-12);
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let cs = (c.wall_ms / 1e3).max(1e-12);
+        rows.push_str(&format!(
+            "        {{\"routing\": {}, \"load\": {}, \"wall_ms\": {}, \
+             \"cycles\": {}, \"cycles_per_sec\": {}, \"packets\": {}, \
+             \"packets_per_sec\": {}}}",
+            json_s(&c.routing),
+            c.load,
+            json_f(c.wall_ms),
+            c.cycles,
+            json_f(c.cycles as f64 / cs),
+            c.packets,
+            json_f(c.packets as f64 / cs),
+        ));
+    }
+    // `None` = no comparable baseline (e.g. a --quick run against a
+    // full-size history): record null, never a fabricated ratio.
+    let speedup = speedup_vs_first
+        .map(json_f)
+        .unwrap_or_else(|| "null".into());
+    format!(
+        "    {{\n      \"tag\": {},\n      \"topo\": {},\n      \
+         \"unix_time\": {unix_time},\n      \"total_wall_ms\": {},\n      \
+         \"total_cycles\": {total_cycles},\n      \"cycles_per_sec\": {},\n      \
+         \"packets_per_sec\": {},\n      \"speedup_vs_first\": {speedup},\n      \
+         \"configs\": [\n{rows}\n      ]\n    }}",
+        json_s(tag),
+        json_s(topo),
+        json_f(total_ms),
+        json_f(total_cycles as f64 / secs),
+        json_f(total_packets as f64 / secs),
+    )
+}
+
+/// First entry's `total_wall_ms` in an existing BENCH_sim.json — the
+/// baseline every later entry is compared against — provided that
+/// entry ran the same pinned topology (a `--quick` run must not be
+/// compared against, or poison, the full-size baseline). The file is
+/// only ever written by this binary, so a plain scan of the known
+/// layout is sufficient (no JSON parser in the workspace).
+fn first_total_ms(existing: &str, topo: &str) -> Option<f64> {
+    let topo_key = "\"topo\": \"";
+    let at = existing.find(topo_key)? + topo_key.len();
+    let first_topo = &existing[at..at + existing[at..].find('"')?];
+    if first_topo != topo {
+        return None;
+    }
+    let key = "\"total_wall_ms\": ";
+    let at = existing.find(key)? + key.len();
+    let rest = &existing[at..];
+    let end = rest.find([',', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn append_entry(path: &str, entry: &str) -> Result<(), SfError> {
+    let updated = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let suffix = "\n  ]\n}\n";
+            match existing.strip_suffix(suffix) {
+                Some(head) => format!("{head},\n{entry}{suffix}"),
+                None => {
+                    return Err(SfError::Experiment(format!(
+                        "{path} exists but does not end with the perf_smoke \
+                         entry-list suffix; refusing to rewrite it"
+                    )))
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            format!("{{\n  \"benchmark\": \"perf_smoke\",\n  \"entries\": [\n{entry}\n  ]\n}}\n")
+        }
+        Err(e) => return Err(e.into()),
+    };
+    std::fs::write(path, updated)?;
+    Ok(())
+}
+
+fn main() {
+    run_cli(|args| {
+        let quick = args.flag("quick");
+        let repeat: usize = args.value("repeat", 3)?;
+        let repeat = repeat.max(1);
+        let tag: String = args.value("tag", "dev".to_string())?;
+        let out: String = args.value("out", "BENCH_sim.json".to_string())?;
+        let no_write = args.flag("no-write");
+        let topo = if quick { "sf:q=7" } else { "sf:q=19" };
+        let routings = ["min", "ugal-g:c=4"];
+        let loads = [0.1, 0.3, 0.5];
+        let cfg = pinned_cfg();
+
+        let spec: TopologySpec = topo.parse()?;
+        let net = spec.build()?;
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficSpec::Uniform.build(&net, &tables)?;
+
+        print_raw_line(&format!(
+            "perf_smoke: {} ({} endpoints, {} routers)",
+            net.name,
+            net.num_endpoints(),
+            net.num_routers()
+        ));
+        print_raw_line("routing,load,wall_ms,cycles,cycles_per_sec,packets,packets_per_sec");
+        let mut cells = Vec::new();
+        for rspec in routings {
+            let parsed: RoutingSpec = rspec.parse()?;
+            let router = parsed.build(&net.graph, &tables)?;
+            for &load in &loads {
+                let mut c = cfg;
+                c.seed = cfg.seed.wrapping_add((load * 1e4) as u64);
+                let mut wall_ms = f64::INFINITY;
+                let mut res = None;
+                for _ in 0..repeat {
+                    let t0 = Instant::now();
+                    let r =
+                        sf_sim::Simulator::new(&net, &tables, router.as_ref(), &pattern, load, c)
+                            .run();
+                    wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                    res = Some(r);
+                }
+                let res = res.unwrap();
+                let secs = (wall_ms / 1e3).max(1e-12);
+                print_raw_line(&format!(
+                    "{},{load},{:.1},{},{:.0},{},{:.0}",
+                    router.label(),
+                    wall_ms,
+                    res.cycles,
+                    res.cycles as f64 / secs,
+                    res.ejected,
+                    res.ejected as f64 / secs,
+                ));
+                cells.push(Cell {
+                    routing: router.label(),
+                    load,
+                    wall_ms,
+                    cycles: res.cycles as u64,
+                    packets: res.ejected,
+                });
+            }
+        }
+        let total_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
+        print_raw_line(&format!("total wall: {total_ms:.1} ms"));
+
+        if no_write {
+            return Ok(());
+        }
+        let existing = std::fs::read_to_string(&out).ok();
+        let speedup = match existing.as_deref() {
+            // No history yet: this entry becomes the baseline (1.0 by
+            // definition). Otherwise compare only against a same-topo
+            // first entry; a mismatch records null.
+            None => Some(1.0),
+            Some(text) => first_total_ms(text, topo).map(|b| b / total_ms),
+        };
+        if let Some(s) = speedup.filter(|_| existing.is_some()) {
+            print_raw_line(&format!("speedup vs first recorded entry: {s:.2}x"));
+        }
+        let entry = entry_json(&tag, topo, &cells, speedup);
+        append_entry(&out, &entry)?;
+        print_raw_line(&format!("appended entry '{tag}' to {out}"));
+        Ok(())
+    })
+}

@@ -64,16 +64,24 @@ macro_rules! impl_int_sample_range {
         impl SampleRange<$t> for Range<$t> {
             fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "empty range in gen_range");
-                let span = (self.end as u128).wrapping_sub(self.start as u128);
-                self.start + (rng.next_u64() as u128 % span) as $t
+                // 64-bit modulo: for spans ≤ 2^64 this equals the
+                // widening-u128 reduction bit for bit, without the
+                // 128-bit division library call on every draw (this
+                // sits on the simulator's innermost loops).
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
             fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty inclusive range in gen_range");
-                let span = (hi as u128) - (lo as u128) + 1;
-                lo + (rng.next_u64() as u128 % span) as $t
+                let diff = (hi as u64).wrapping_sub(lo as u64);
+                if diff == u64::MAX {
+                    // Full 64-bit span: the modulo is the identity.
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (diff + 1)) as $t
             }
         }
     )*};

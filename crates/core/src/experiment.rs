@@ -565,7 +565,9 @@ mod tests {
 
     #[test]
     fn worst_case_on_wrong_topology_is_traffic_error() {
-        let err = Experiment::on(TopologySpec::Hypercube { d: 4 })
+        // Random DLNs have no adversarial permutation (hypercubes
+        // gained one: dimension reversal).
+        let err = Experiment::on("dln:nr=16,y=2")
             .traffic(TrafficSpec::WorstCase)
             .loads(&[0.1])
             .run()

@@ -65,15 +65,67 @@ impl<'a> PathGen<'a> {
     /// inclusive). Random ECMP: each next hop drawn uniformly from the
     /// minimal next-hop set.
     pub fn min_path<R: Rng>(&self, s: u32, d: u32, rng: &mut R) -> Vec<u32> {
-        let mut path = vec![s];
+        let mut path = Vec::with_capacity(8);
+        self.extend_min_path(s, d, rng, &mut path);
+        path
+    }
+
+    /// Appends a uniformly random minimal path from `s` to `d`
+    /// (inclusive of both) to `out` — the allocation-free form of
+    /// [`PathGen::min_path`] for hot loops that reuse a buffer. The
+    /// RNG draw sequence is identical to [`PathGen::min_path`].
+    pub fn extend_min_path<R: Rng>(&self, s: u32, d: u32, rng: &mut R, out: &mut Vec<u32>) {
+        out.push(s);
+        self.extend_min_hops(s, d, rng, out);
+    }
+
+    /// Appends the hops *after* `s` of a uniformly random minimal path
+    /// `s → d`. Each next hop is drawn with the same
+    /// `gen_range(0..count)` a materialized next-hop list would use —
+    /// count first, then select the k-th qualifying neighbor — so the
+    /// draw sequence matches the collecting implementation exactly.
+    fn extend_min_hops<R: Rng>(&self, s: u32, d: u32, rng: &mut R, out: &mut Vec<u32>) {
+        // Symmetric distance matrix: all per-neighbor lookups read row
+        // `d`, which stays cache-resident for the whole path walk. The
+        // qualifying next hops are staged in a stack buffer so the
+        // row is read once per hop (a second selection pass for the
+        // rare router with more than 128 neighbors).
+        let row = self.tables.row(d);
+        let mut cand = [0u32; 128];
         let mut cur = s;
         while cur != d {
-            let hops: Vec<u32> = self.tables.min_next_hops(self.graph, cur, d).collect();
-            debug_assert!(!hops.is_empty(), "no minimal next hop {cur}->{d}");
-            cur = hops[rng.gen_range(0..hops.len())];
-            path.push(cur);
+            let need = row[cur as usize];
+            let nbrs = self.graph.neighbors(cur);
+            let mut n = 0usize;
+            if nbrs.len() <= cand.len() {
+                for &v in nbrs {
+                    if need != crate::tables::UNREACHABLE && row[v as usize] + 1 == need {
+                        cand[n] = v;
+                        n += 1;
+                    }
+                }
+                debug_assert!(n > 0, "no minimal next hop {cur}->{d}");
+                cur = cand[rng.gen_range(0..n)];
+            } else {
+                for &v in nbrs {
+                    if need != crate::tables::UNREACHABLE && row[v as usize] + 1 == need {
+                        n += 1;
+                    }
+                }
+                debug_assert!(n > 0, "no minimal next hop {cur}->{d}");
+                let mut k = rng.gen_range(0..n);
+                for &v in nbrs {
+                    if row[v as usize] + 1 == need {
+                        if k == 0 {
+                            cur = v;
+                            break;
+                        }
+                        k -= 1;
+                    }
+                }
+            }
+            out.push(cur);
         }
-        path
     }
 
     /// A Valiant random path (§IV-B): minimal to a random intermediate
@@ -81,30 +133,50 @@ impl<'a> PathGen<'a> {
     /// intermediate is redrawn until the total length is ≤ 3 hops
     /// (paper's constrained variant).
     pub fn valiant_path<R: Rng>(&self, s: u32, d: u32, cap3: bool, rng: &mut R) -> Vec<u32> {
+        let mut path = Vec::with_capacity(8);
+        self.extend_valiant_path(s, d, cap3, rng, &mut path);
+        path
+    }
+
+    /// Appends a Valiant random path from `s` to `d` (inclusive of
+    /// both) to `out` — the allocation-free form of
+    /// [`PathGen::valiant_path`], with the identical RNG draw sequence
+    /// (intermediate draws, then the two minimal segments).
+    pub fn extend_valiant_path<R: Rng>(
+        &self,
+        s: u32,
+        d: u32,
+        cap3: bool,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+    ) {
         let nr = self.tables.num_routers() as u32;
         if s == d || nr <= 2 {
-            return self.min_path(s, d, rng);
+            return self.extend_min_path(s, d, rng, out);
         }
+        let (row_s, row_d) = (self.tables.row(s), self.tables.row(d));
         for _attempt in 0..64 {
             let mut r = rng.gen_range(0..nr);
             while r == s || r == d {
                 r = rng.gen_range(0..nr);
             }
-            let hops = self.tables.distance(s, r) as u32 + self.tables.distance(r, d) as u32;
+            let hops = row_s[r as usize] as u32 + row_d[r as usize] as u32;
             if cap3 && hops > 3 {
                 continue;
             }
-            let mut path = self.min_path(s, r, rng);
-            let tail = self.min_path(r, d, rng);
-            path.extend_from_slice(&tail[1..]);
-            return path;
+            self.extend_min_path(s, r, rng, out);
+            self.extend_min_hops(r, d, rng, out);
+            return;
         }
         // cap3 may be infeasible for far pairs; fall back to minimal.
-        self.min_path(s, d, rng)
+        self.extend_min_path(s, d, rng, out)
     }
 
     /// UGAL candidate set: the MIN path plus `n` Valiant candidates
-    /// (§IV-C: the simulator picks by queue occupancy).
+    /// (§IV-C: the simulator picks by queue occupancy). Hot paths
+    /// (`UgalRouter::route`) generate and score candidates one at a
+    /// time through [`PathGen::extend_valiant_path`] instead — same
+    /// paths, same RNG sequence, no per-candidate allocation.
     pub fn ugal_candidates<R: Rng>(
         &self,
         s: u32,

@@ -38,11 +38,15 @@ use sf_graph::Graph;
 /// queue length" the UGAL papers inspect. `to` **must** be a neighbor
 /// of `r` in the router graph; implementations may panic otherwise.
 ///
-/// The view is a snapshot of the current cycle. Implementations are
-/// cheap (O(num_vcs)) — routers may query many links per decision.
-/// Policies that model *local* knowledge (UGAL-L) must only query
-/// `r == ctx.src`; the engine does not enforce this, the trait impl is
-/// the policy.
+/// The view is a snapshot of the current cycle: occupancy does not
+/// change while a routing decision is being made. Implementations are
+/// **O(1) per query** — the engine maintains an incremental per-link
+/// occupancy counter (updated at grant, transmission and credit
+/// arrival), so a query is a single array read and policies may probe
+/// every hop of every candidate path without a cost cliff (UGAL-G and
+/// per-hop adaptive schemes rely on this). Policies that model *local*
+/// knowledge (UGAL-L) must only query `r == ctx.src`; the engine does
+/// not enforce this, the trait impl is the policy.
 pub trait QueueView {
     /// Queue occupancy of the link `r → to` (flits; 0 = idle link).
     fn occupancy(&self, r: u32, to: u32) -> u32;
@@ -207,9 +211,13 @@ impl Router for UgalRouter {
     }
 
     fn route(&self, ctx: &RouteCtx<'_>, rng: &mut StdRng) -> RouteDecision {
-        let (min, cands) = ctx
-            .path_gen()
-            .ugal_candidates(ctx.src, ctx.dst, self.candidates, rng);
+        // Candidates are generated and scored one at a time into two
+        // reused buffers (scoring draws no RNG, so the draw sequence is
+        // identical to materializing the whole candidate set first).
+        let gen = ctx.path_gen();
+        let mut best = Vec::with_capacity(8);
+        gen.extend_min_path(ctx.src, ctx.dst, rng, &mut best);
+        let mut cand = Vec::with_capacity(8);
         if self.global {
             // Global: total queue occupancy along the whole path.
             let score = |p: &[u32]| -> u64 {
@@ -217,16 +225,16 @@ impl Router for UgalRouter {
                     .map(|w| ctx.queues.occupancy(w[0], w[1]) as u64)
                     .sum()
             };
-            let mut best = min;
             let mut best_score = score(&best);
-            for c in cands {
-                let s = score(&c);
-                if s < best_score || (s == best_score && c.len() < best.len()) {
+            for _ in 0..self.candidates {
+                cand.clear();
+                gen.extend_valiant_path(ctx.src, ctx.dst, false, rng, &mut cand);
+                let s = score(&cand);
+                if s < best_score || (s == best_score && cand.len() < best.len()) {
                     best_score = s;
-                    best = c;
+                    std::mem::swap(&mut best, &mut cand);
                 }
             }
-            RouteDecision::Path(best)
         } else {
             // Local: queue length at the source × path length (the
             // classic UGAL-L product score).
@@ -236,17 +244,18 @@ impl Router for UgalRouter {
                 }
                 (p.len() as u64 - 1) * (ctx.queues.occupancy(ctx.src, p[1]) as u64 + 1)
             };
-            let mut best = min;
             let mut best_score = score(&best);
-            for c in cands {
-                let s = score(&c);
+            for _ in 0..self.candidates {
+                cand.clear();
+                gen.extend_valiant_path(ctx.src, ctx.dst, false, rng, &mut cand);
+                let s = score(&cand);
                 if s < best_score {
                     best_score = s;
-                    best = c;
+                    std::mem::swap(&mut best, &mut cand);
                 }
             }
-            RouteDecision::Path(best)
         }
+        RouteDecision::Path(best)
     }
 }
 

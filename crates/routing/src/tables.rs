@@ -58,6 +58,19 @@ impl RoutingTables {
         self.dist[u as usize * self.nr + v as usize]
     }
 
+    /// The contiguous distance row of `u`: `row(u)[v] == distance(u, v)`.
+    ///
+    /// Since router graphs are undirected the matrix is symmetric, so
+    /// `row(d)[v]` is also the distance *from* `v` *to* `d` — hot loops
+    /// that probe many sources against one destination (ECMP next-hop
+    /// counting, Valiant candidate screening) use this row to stay
+    /// within one cache-resident slice instead of striding the matrix
+    /// column-wise.
+    #[inline]
+    pub fn row(&self, u: u32) -> &[u8] {
+        &self.dist[u as usize * self.nr..(u as usize + 1) * self.nr]
+    }
+
     /// All neighbors of `u` lying on some shortest path to `d`
     /// (the ECMP next-hop set for MIN routing).
     pub fn min_next_hops<'a>(
@@ -66,11 +79,14 @@ impl RoutingTables {
         u: u32,
         d: u32,
     ) -> impl Iterator<Item = u32> + 'a {
-        let need = self.distance(u, d);
+        // Symmetric matrix: distance(v, d) read from row d (cache-hot
+        // across the whole query instead of striding a column).
+        let row = self.row(d);
+        let need = row[u as usize];
         g.neighbors(u)
             .iter()
             .copied()
-            .filter(move |&v| need != UNREACHABLE && self.distance(v, d) + 1 == need)
+            .filter(move |&v| need != UNREACHABLE && row[v as usize] + 1 == need)
     }
 
     /// Number of distinct shortest paths from `u` to `d` (path

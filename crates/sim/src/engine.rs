@@ -4,6 +4,68 @@
 //! routing-algorithm × traffic-pattern configuration at one offered load.
 //! [`LoadSweep`] runs many loads in parallel (rayon) to produce the
 //! latency-vs-load curves of Fig 6 / Fig 8.
+//!
+//! # Engine internals: state layout and the hot path
+//!
+//! The engine is built for >10K-endpoint cycle-accurate sweeps, so the
+//! per-cycle loop is flat, allocation-free and skips idle state:
+//!
+//! * **CSR link layout** — every directed link `r → to` has a flat
+//!   *link id* assigned in CSR order (`LinkIndex`): the links of
+//!   router `r` are the contiguous range `link_base[r]..link_base[r+1]`,
+//!   ordered like `Graph::neighbors(r)`. All per-link state (credits,
+//!   staging, in-flight flits, occupancy, flit counters) lives in flat
+//!   arrays indexed by link id. Prebuilt reverse maps — `to_port`
+//!   (input-port index at the receiving router) and `rev` (the flat id
+//!   of the opposite-direction link) — replace every
+//!   `neighbors().binary_search()` the old engine did in occupancy
+//!   queries, ejection credit returns and switch allocation. Arbitrary
+//!   `(r, to) → link id` queries (routing policies probing queues)
+//!   resolve through a per-router perfect-hash slot table in O(1).
+//!
+//! * **Incremental occupancy** — the queue-occupancy metric exposed to
+//!   [`Router`] policies (`staged flits + downstream slots in use`) is
+//!   maintained as a counter per link, updated at exactly the three
+//!   events that change it: a switch-allocation grant (+2: one staged
+//!   flit, one credit consumed), a channel transmission (−1: the flit
+//!   left staging) and a credit arrival (−1: a downstream slot freed).
+//!   [`QueueView::occupancy`] is then a single array read — this turns
+//!   UGAL-G injection from O(path × VCs) credit sums into O(path)
+//!   reads. The invariant `occ[l] == staging[l].len() + Σ_vc (vc_cap −
+//!   credits[l][vc])` is checked by
+//!   [`Simulator::verify_occupancy_counters`] (property-tested).
+//!
+//! * **Allocation-free stepping** — all per-cycle scratch (switch
+//!   allocator grant counters, the candidate-slot list, the per-cycle
+//!   ejected-endpoint set) is persistent storage owned by the
+//!   `Simulator`, reset in O(work) per cycle; the ejected-endpoint set
+//!   is a generation-stamped array (`stamp == now + 1` means "ejected
+//!   this cycle"), so membership is O(1) with no clearing pass.
+//!
+//! * **Active-set tracking** — a per-router buffered-packet counter
+//!   lets ejection and switch allocation skip routers with nothing
+//!   queued; bitmasks over the (port, VC) input queues and over the
+//!   per-link staging queues narrow those scans (and channel
+//!   transmission) to non-empty queues in the exact order the full
+//!   scan would visit them; a bitmask over endpoint source queues does
+//!   the same for the injection pass.
+//!
+//! * **Time-bucketed wires** — flit and credit delays are run
+//!   constants, so in-flight events live in rotating per-cycle buckets
+//!   and the arrivals phase drains exactly the due events instead of
+//!   polling a timestamped queue on every link every cycle.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-for-bit reproducible** given `SimConfig::seed`,
+//! and the layout optimizations above are required to preserve the
+//! exact RNG call sequence of the straightforward engine (pinned by the
+//! `engine_parity` suite): traffic generation and injection iterate
+//! endpoints in ascending order unconditionally, and the skipping
+//! phases only elide state that could not have produced a routing-hook
+//! call (`Router::next_hop` is reached for exactly the same packets in
+//! the same order). Any future fast-path must preserve both the RNG
+//! draw sequence and the occupancy values policies observe.
 
 use crate::stats::LatencyStats;
 use rand::rngs::StdRng;
@@ -91,31 +153,167 @@ pub struct SimResult {
     pub max_link_util: f64,
     /// Mean channel utilization over the measurement window.
     pub mean_link_util: f64,
+    /// Simulated cycles actually executed (the drain phase exits early
+    /// once all sample packets are delivered).
+    pub cycles: u32,
+}
+
+/// CSR layout of the directed router-to-router links, with the reverse
+/// maps the hot loops need (see the module docs).
+///
+/// Flat link ids follow the graph's sorted adjacency: link
+/// `link_base[r] + j` is `r → neighbors(r)[j]`. The `(r, to) → id`
+/// lookup uses one perfect-hash slot table per router: the smallest
+/// modulus `m ≥ degree(r)` under which all neighbor ids are distinct
+/// (for the near-regular graphs simulated here `m` stays within a
+/// small factor of the degree).
+struct LinkIndex {
+    /// CSR row offsets; `link_base[nr]` is the directed-link count.
+    link_base: Vec<u32>,
+    /// Destination router per link.
+    to: Vec<u32>,
+    /// Input-port index at the destination router per link.
+    to_port: Vec<u32>,
+    /// Flat id of the opposite-direction link (`to → r`).
+    rev: Vec<u32>,
+    /// Per-router offset into `slots`.
+    slot_base: Vec<u32>,
+    /// Per-router Lemire multiply-shift magic for reducing modulo the
+    /// perfect-hash modulus without a hardware divide:
+    /// `a % m == (((magic · a) as u128 · m) >> 64)` with
+    /// `magic = ⌊2^64 / m⌋ + 1` (wrapping to 0 for m = 1).
+    slot_magic: Vec<u64>,
+    /// Per-router perfect-hash modulus.
+    slot_mod: Vec<u32>,
+    /// `slots[slot_base[r] + to % slot_mod[r]]` is the link id of
+    /// `r → to`, or `u32::MAX` on an empty slot.
+    slots: Vec<u32>,
+}
+
+/// `a % m` via the precomputed Lemire magic (see [`LinkIndex::slot_magic`]).
+#[inline]
+fn fast_mod(a: u32, magic: u64, m: u32) -> u32 {
+    ((magic.wrapping_mul(a as u64) as u128 * m as u128) >> 64) as u32
+}
+
+/// `a / d` via a precomputed magic `⌊2^64 / d⌋ + 1`; exact for every
+/// `a < 2^32` and `d ≥ 2`. For `d = 1` the magic wraps to 0 and this
+/// returns 0 — callers must special-case the identity (see
+/// `Simulator::slot_port`).
+#[inline]
+fn fast_div(a: u32, magic: u64) -> u32 {
+    ((magic as u128 * a as u128) >> 64) as u32
+}
+
+impl LinkIndex {
+    fn new(net: &Network) -> Self {
+        let g = &net.graph;
+        let nr = g.num_vertices();
+        let mut link_base = Vec::with_capacity(nr + 1);
+        let mut acc = 0u32;
+        for r in 0..nr as u32 {
+            link_base.push(acc);
+            acc += g.degree(r) as u32;
+        }
+        link_base.push(acc);
+
+        let mut to = Vec::with_capacity(acc as usize);
+        let mut to_port = Vec::with_capacity(acc as usize);
+        let mut rev = Vec::with_capacity(acc as usize);
+        for r in 0..nr as u32 {
+            for &v in g.neighbors(r) {
+                let back = g.neighbors(v).binary_search(&r).unwrap() as u32;
+                to.push(v);
+                to_port.push(back);
+                rev.push(link_base[v as usize] + back);
+            }
+        }
+
+        // Perfect-hash slot tables: per router, the smallest modulus
+        // that separates all neighbor ids.
+        let mut slot_base = Vec::with_capacity(nr);
+        let mut slot_magic = Vec::with_capacity(nr);
+        let mut slot_mod = Vec::with_capacity(nr);
+        let mut slots = Vec::new();
+        let mut stamp: Vec<u32> = Vec::new();
+        let mut gen = 0u32;
+        for r in 0..nr as u32 {
+            let nbrs = g.neighbors(r);
+            let mut m = nbrs.len().max(1) as u32;
+            loop {
+                if stamp.len() < m as usize {
+                    stamp.resize(m as usize, 0);
+                }
+                gen += 1;
+                if nbrs.iter().all(|&v| {
+                    let s = (v % m) as usize;
+                    let fresh = stamp[s] != gen;
+                    stamp[s] = gen;
+                    fresh
+                }) {
+                    break;
+                }
+                m += 1;
+            }
+            slot_base.push(slots.len() as u32);
+            slot_mod.push(m);
+            slot_magic.push((u64::MAX / m as u64).wrapping_add(1));
+            let base = slots.len();
+            slots.resize(base + m as usize, u32::MAX);
+            for (j, &v) in nbrs.iter().enumerate() {
+                slots[base + (v % m) as usize] = link_base[r as usize] + j as u32;
+            }
+        }
+
+        LinkIndex {
+            link_base,
+            to,
+            to_port,
+            rev,
+            slot_base,
+            slot_magic,
+            slot_mod,
+            slots,
+        }
+    }
+
+    /// Flat link id of `r → to`. Panics if `to` is not a neighbor of
+    /// `r` (the [`QueueView`] contract).
+    #[inline]
+    fn link(&self, r: u32, to: u32) -> u32 {
+        let ri = r as usize;
+        let slot = self.slot_base[ri] + fast_mod(to, self.slot_magic[ri], self.slot_mod[ri]);
+        let l = self.slots[slot as usize];
+        assert!(
+            l != u32::MAX && self.to[l as usize] == to,
+            "link query for a non-neighbor: {r} -> {to}"
+        );
+        l
+    }
+
+    /// Links owned by router `r`, as a flat-id range.
+    #[inline]
+    fn links_of(&self, r: u32) -> std::ops::Range<usize> {
+        self.link_base[r as usize] as usize..self.link_base[r as usize + 1] as usize
+    }
 }
 
 /// The queue-state window the engine exposes to [`Router`] policies:
-/// occupancy of any output link, computed exactly as the engine's own
-/// allocator sees it (staged flits + downstream slots in use). The
-/// engine hands this to every routing decision; *which* links a policy
-/// inspects is the policy's business (see the `QueueView` contract in
-/// `sf-routing`).
+/// occupancy of any output link, exactly as the engine's own allocator
+/// sees it (staged flits + downstream slots in use). With the
+/// incremental counters this is one perfect-hash lookup plus one array
+/// read — O(1) per query. The engine hands this to every routing
+/// decision; *which* links a policy inspects is the policy's business
+/// (see the `QueueView` contract in `sf-routing`).
 struct EngineQueues<'b> {
-    net: &'b Network,
-    out: &'b [Vec<OutLink>],
-    vc_cap: usize,
+    links: &'b LinkIndex,
+    occ: &'b [u32],
 }
 
 impl QueueView for EngineQueues<'_> {
+    #[inline]
     fn occupancy(&self, r: u32, to: u32) -> u32 {
-        let j = self
-            .net
-            .graph
-            .neighbors(r)
-            .binary_search(&to)
-            .expect("occupancy query for a non-neighbor");
-        let l = &self.out[r as usize][j];
-        let used: u32 = l.credits.iter().map(|&c| self.vc_cap as u32 - c).sum();
-        l.staging.len() as u32 + used
+        self.occ[self.links.link(r, to) as usize]
     }
 }
 
@@ -148,15 +346,33 @@ struct Packet {
     vc_base: u8,
 }
 
-struct OutLink {
-    to: u32,
-    /// Input-port index at the receiving router.
-    to_port: u32,
-    /// Credits per VC (available downstream buffer slots).
-    credits: Vec<u32>,
-    staging: VecDeque<(Packet, u8)>,
-    inflight: VecDeque<(u32, Packet, u8)>,
-    credit_inflight: VecDeque<(u32, u8)>,
+/// Appends the set bits of `mask` within the absolute bit range
+/// `[from, to)` to `out`, in ascending order.
+fn gather_segment(mask: &[u64], from: usize, to: usize, out: &mut Vec<u32>) {
+    if from >= to {
+        return;
+    }
+    let last = (to - 1) / 64;
+    let mut w = from / 64;
+    let mut word = mask[w] & (!0u64 << (from % 64));
+    loop {
+        let mut m = word;
+        if w == last {
+            let rem = to - w * 64;
+            if rem < 64 {
+                m &= (1u64 << rem) - 1;
+            }
+        }
+        while m != 0 {
+            out.push((w * 64 + m.trailing_zeros() as usize) as u32);
+            m &= m - 1;
+        }
+        if w == last {
+            break;
+        }
+        w += 1;
+        word = mask[w];
+    }
 }
 
 /// A single simulation instance.
@@ -165,6 +381,10 @@ struct OutLink {
 /// allocation, VCs) but **no routing policy**: every path decision is
 /// delegated to the [`Router`] trait object, which sees live queue
 /// state only through the narrow [`QueueView`] window.
+///
+/// All mutable state is laid out flat (see the module docs): per-link
+/// arrays in CSR order, per-(port, VC) input queues in one flat vector,
+/// and persistent scratch for the per-cycle allocator working set.
 pub struct Simulator<'a> {
     net: &'a Network,
     tables: &'a RoutingTables,
@@ -174,24 +394,85 @@ pub struct Simulator<'a> {
     load: f64,
 
     vc_cap: usize,
-    /// in_buf[flat_port][vc]
-    in_buf: Vec<Vec<VecDeque<Packet>>>,
+    links: LinkIndex,
+
+    // ---- per-link state, indexed by flat link id (× VC where noted) ----
+    /// Credits per (link, VC): available downstream buffer slots.
+    credits: Vec<u32>,
+    /// Output staging queue per link (absorbs crossbar speedup).
+    staging: Vec<VecDeque<(Packet, u8)>>,
+    /// Bitmask over links: bit set ⇔ staging queue non-empty, so
+    /// transmission visits exactly the staged links in link-id order.
+    staged_mask: Vec<u64>,
+    /// Incremental occupancy counter per link (see the module docs).
+    occ: Vec<u32>,
+    /// Flits sent per link during the measurement window.
+    link_flits: Vec<u64>,
+
+    // ---- time-bucketed in-flight events ----
+    // Wire and credit delays are run constants, so every event lands a
+    // fixed number of cycles after it is produced: a rotating bucket per
+    // future cycle replaces per-link timestamped queues, and the
+    // arrivals phase drains exactly the due events instead of polling
+    // every link. Delivery effects (input-buffer pushes to distinct
+    // queues, credit/occupancy increments) are commutative within a
+    // cycle and each link produces at most one flit per cycle, so
+    // bucket order reproduces the old per-link scan bit-for-bit.
+    /// Effective flit delay (`router_delay + channel_latency`, min 1 —
+    /// a zero-delay flit still arrives the next cycle because
+    /// transmission runs after arrivals).
+    flit_eff: u32,
+    /// Flits on the wire: bucket `(send_cycle + flit_eff) % (flit_eff+1)`
+    /// holds (link, packet, VC) triples due that cycle.
+    flit_buckets: Vec<Vec<(u32, Packet, u8)>>,
+    /// Effective credit delay (`credit_delay`, min 1).
+    credit_eff: u32,
+    /// Credits returning upstream: (link, VC) pairs per due cycle.
+    credit_buckets: Vec<Vec<(u32, u8)>>,
+
+    // ---- per-port state ----
     /// First flat input-port index per router; network ports first,
     /// then injection ports.
     port_base: Vec<u32>,
-    out: Vec<Vec<OutLink>>,
-    rr_cursor: Vec<u32>,
+    /// Input buffers, indexed `flat_port * num_vcs + vc`.
+    in_buf: Vec<VecDeque<Packet>>,
+    /// Bitmask over `in_buf` slots: bit set ⇔ queue non-empty. Lets
+    /// ejection/allocation visit only occupied queues, in scan order.
+    buf_mask: Vec<u64>,
 
+    // ---- endpoint state ----
     src_q: Vec<VecDeque<(u32, u32)>>, // per endpoint: (gen_time, dst)
+    /// Bitmask over endpoints: bit set ⇔ source queue non-empty, so
+    /// injection visits exactly the queued endpoints in ascending order.
+    src_mask: Vec<u64>,
     ep_router: Vec<u32>,
+    /// Flat `in_buf` slot (VC 0) of each endpoint's injection port.
+    ep_inj_slot: Vec<u32>,
+
+    // ---- active-set counters ----
+    /// Packets buffered in the router's input queues (ejection and
+    /// switch allocation skip routers at zero).
+    r_buffered: Vec<u32>,
+
+    // ---- persistent per-cycle scratch (hoisted allocations) ----
+    /// Switch-allocator grants per output link of the current router.
+    out_grants: Vec<u32>,
+    /// Switch-allocator grants per input port of the current router.
+    in_grants: Vec<u32>,
+    /// Non-empty input slots of the current router, in scan order.
+    slot_scratch: Vec<u32>,
+    /// Endpoints with queued packets, gathered per injection pass.
+    ep_scratch: Vec<u32>,
+    /// Lemire magic for dividing flat input-slot ids by `num_vcs`.
+    nvc_magic: u64,
+    /// Generation-stamped "endpoint ejected this cycle" set: the
+    /// endpoint received a flit in cycle `now` iff stamp == now + 1.
+    ejected_seen: Vec<u32>,
 
     rng: StdRng,
     now: u32,
 
     stats: LatencyStats,
-    /// Flits sent per (router, out-link), counted during the
-    /// measurement window — used for channel-utilization reporting.
-    link_flits: Vec<Vec<u64>>,
     hops_sum: u64,
     sample_generated: u64,
     sample_ejected: u64,
@@ -215,7 +496,10 @@ impl<'a> Simulator<'a> {
         assert_eq!(pattern.num_endpoints() as usize, net.num_endpoints());
         assert!((0.0..=1.0).contains(&load));
         let nr = net.num_routers();
-        let vc_cap = (cfg.buf_per_port / cfg.num_vcs).max(1);
+        let nvc = cfg.num_vcs;
+        let vc_cap = (cfg.buf_per_port / nvc).max(1);
+        let links = LinkIndex::new(net);
+        let nlinks = *links.link_base.last().unwrap() as usize;
 
         let mut port_base = Vec::with_capacity(nr + 1);
         let mut acc = 0u32;
@@ -224,36 +508,28 @@ impl<'a> Simulator<'a> {
             acc += (net.graph.degree(r) + net.concentration[r as usize] as usize) as u32;
         }
         port_base.push(acc);
+        let nslots = acc as usize * nvc;
 
-        let in_buf = (0..acc)
-            .map(|_| (0..cfg.num_vcs).map(|_| VecDeque::new()).collect())
-            .collect();
-
-        let mut out: Vec<Vec<OutLink>> = Vec::with_capacity(nr);
-        for r in 0..nr as u32 {
-            let links = net
-                .graph
-                .neighbors(r)
-                .iter()
-                .map(|&to| {
-                    let to_port = net.graph.neighbors(to).binary_search(&r).unwrap() as u32;
-                    OutLink {
-                        to,
-                        to_port,
-                        credits: vec![vc_cap as u32; cfg.num_vcs],
-                        staging: VecDeque::new(),
-                        inflight: VecDeque::new(),
-                        credit_inflight: VecDeque::new(),
-                    }
-                })
-                .collect();
-            out.push(links);
+        let mut ep_router = Vec::with_capacity(net.num_endpoints());
+        let mut ep_inj_slot = Vec::with_capacity(net.num_endpoints());
+        for e in 0..net.num_endpoints() as u32 {
+            let r = net.endpoint_router(e);
+            let inj_port = net.graph.degree(r) as u32 + (e - net.endpoints_of_router(r).start);
+            ep_router.push(r);
+            ep_inj_slot.push((port_base[r as usize] + inj_port) * nvc as u32);
         }
 
-        let ep_router = (0..net.num_endpoints() as u32)
-            .map(|e| net.endpoint_router(e))
-            .collect();
+        let max_deg = (0..nr as u32)
+            .map(|r| net.graph.degree(r))
+            .max()
+            .unwrap_or(0);
+        let max_ports = (0..nr)
+            .map(|r| (port_base[r + 1] - port_base[r]) as usize)
+            .max()
+            .unwrap_or(0);
 
+        let flit_eff = (cfg.router_delay + cfg.channel_latency).max(1);
+        let credit_eff = cfg.credit_delay.max(1);
         Simulator {
             net,
             tables,
@@ -262,18 +538,33 @@ impl<'a> Simulator<'a> {
             cfg,
             load,
             vc_cap,
-            in_buf,
+            links,
+            credits: vec![vc_cap as u32; nlinks * nvc],
+            staging: (0..nlinks).map(|_| VecDeque::new()).collect(),
+            staged_mask: vec![0; nlinks.div_ceil(64)],
+            occ: vec![0; nlinks],
+            link_flits: vec![0; nlinks],
+            flit_eff,
+            flit_buckets: (0..=flit_eff).map(|_| Vec::new()).collect(),
+            credit_eff,
+            credit_buckets: (0..=credit_eff).map(|_| Vec::new()).collect(),
             port_base,
-            out,
-            rr_cursor: vec![0; nr],
+            in_buf: (0..nslots).map(|_| VecDeque::new()).collect(),
+            buf_mask: vec![0; nslots.div_ceil(64)],
             src_q: vec![VecDeque::new(); net.num_endpoints()],
+            src_mask: vec![0; net.num_endpoints().div_ceil(64)],
             ep_router,
+            ep_inj_slot,
+            r_buffered: vec![0; nr],
+            out_grants: vec![0; max_deg],
+            in_grants: vec![0; max_ports],
+            slot_scratch: Vec::with_capacity(max_ports * nvc),
+            ep_scratch: Vec::new(),
+            nvc_magic: (u64::MAX / nvc as u64).wrapping_add(1),
+            ejected_seen: vec![0; net.num_endpoints()],
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
             stats: LatencyStats::new(),
-            link_flits: (0..nr)
-                .map(|r| vec![0u64; net.graph.degree(r as u32)])
-                .collect(),
             hops_sum: 0,
             sample_generated: 0,
             sample_ejected: 0,
@@ -282,25 +573,42 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Pushes a packet into input-buffer slot `slot` of router `r`,
+    /// maintaining the non-empty bitmask and the active-set counter.
     #[inline]
-    fn flat_port(&self, r: u32, port: u32) -> usize {
-        (self.port_base[r as usize] + port) as usize
+    fn buf_push(&mut self, r: u32, slot: usize, p: Packet) {
+        self.in_buf[slot].push_back(p);
+        self.buf_mask[slot / 64] |= 1 << (slot % 64);
+        self.r_buffered[r as usize] += 1;
     }
 
-    fn out_index(&self, r: u32, to: u32) -> usize {
-        self.net
-            .graph
-            .neighbors(r)
-            .binary_search(&to)
-            .expect("next hop must be a neighbor")
+    /// Pops the head of input-buffer slot `slot` of router `r`.
+    #[inline]
+    fn buf_pop(&mut self, r: u32, slot: usize) -> Packet {
+        let p = self.in_buf[slot].pop_front().unwrap();
+        if self.in_buf[slot].is_empty() {
+            self.buf_mask[slot / 64] &= !(1 << (slot % 64));
+        }
+        self.r_buffered[r as usize] -= 1;
+        p
+    }
+
+    /// Flat input port of input-buffer slot `slot` (`slot / num_vcs`,
+    /// strength-reduced; `num_vcs == 1` makes it the identity).
+    #[inline]
+    fn slot_port(&self, slot: usize) -> usize {
+        if self.cfg.num_vcs == 1 {
+            slot
+        } else {
+            fast_div(slot as u32, self.nvc_magic) as usize
+        }
     }
 
     /// Asks the routing policy for an injection-time decision.
     fn choose_path(&mut self, src_r: u32, dst_r: u32, flow: u64) -> ([u32; 10], u8) {
         let queues = EngineQueues {
-            net: self.net,
-            out: &self.out,
-            vc_cap: self.vc_cap,
+            links: &self.links,
+            occ: &self.occ,
         };
         let ctx = RouteCtx {
             graph: &self.net.graph,
@@ -350,9 +658,8 @@ impl<'a> Simulator<'a> {
             p.path[p.hop as usize + 1]
         } else {
             let queues = EngineQueues {
-                net: self.net,
-                out: &self.out,
-                vc_cap: self.vc_cap,
+                links: &self.links,
+                occ: &self.occ,
             };
             let ctx = RouteCtx {
                 graph: &self.net.graph,
@@ -367,39 +674,42 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    fn step(&mut self) {
+    /// Advances the simulation by one cycle.
+    ///
+    /// Public for embedding and invariant testing (see
+    /// [`Simulator::verify_occupancy_counters`]); [`Simulator::run`]
+    /// drives the full warm-up / measure / drain schedule.
+    pub fn step(&mut self) {
         let nr = self.net.num_routers() as u32;
+        let nvc = self.cfg.num_vcs;
         let now = self.now;
 
         // 1. Arrivals: flying flits reach downstream input buffers;
-        //    credits mature.
-        for r in 0..nr {
-            for j in 0..self.out[r as usize].len() {
-                loop {
-                    let l = &mut self.out[r as usize][j];
-                    match l.inflight.front() {
-                        Some(&(t, pkt, vc)) if t <= now => {
-                            l.inflight.pop_front();
-                            let to = l.to;
-                            let to_port = l.to_port;
-                            let fp = self.flat_port(to, to_port);
-                            self.in_buf[fp][vc as usize].push_back(pkt);
-                        }
-                        _ => break,
-                    }
-                }
-                let l = &mut self.out[r as usize][j];
-                while let Some(&(t, vc)) = l.credit_inflight.front() {
-                    if t > now {
-                        break;
-                    }
-                    l.credit_inflight.pop_front();
-                    l.credits[vc as usize] += 1;
-                }
-            }
+        //    credits mature. Events live in per-cycle buckets, so the
+        //    drain touches exactly the due events (no RNG; delivery
+        //    effects within a cycle are commutative — see the bucket
+        //    field docs).
+        let fb = (now % (self.flit_eff + 1)) as usize;
+        let mut bucket = std::mem::take(&mut self.flit_buckets[fb]);
+        for &(l, pkt, vc) in &bucket {
+            let to = self.links.to[l as usize];
+            let fp = self.port_base[to as usize] + self.links.to_port[l as usize];
+            let slot = fp as usize * nvc + vc as usize;
+            self.buf_push(to, slot, pkt);
         }
+        bucket.clear();
+        self.flit_buckets[fb] = bucket;
+        let cb = (now % (self.credit_eff + 1)) as usize;
+        let mut bucket = std::mem::take(&mut self.credit_buckets[cb]);
+        for &(l, vc) in &bucket {
+            self.credits[l as usize * nvc + vc as usize] += 1;
+            self.occ[l as usize] -= 1;
+        }
+        bucket.clear();
+        self.credit_buckets[cb] = bucket;
 
-        // 2. Traffic generation (Bernoulli per active endpoint).
+        // 2. Traffic generation (Bernoulli per active endpoint). RNG
+        //    phase: iterates every endpoint in order, unconditionally.
         if self.load > 0.0 {
             for e in 0..self.net.num_endpoints() as u32 {
                 if !self.pattern.is_active(e) {
@@ -411,6 +721,7 @@ impl<'a> Simulator<'a> {
                             self.sample_generated += 1;
                         }
                         self.src_q[e as usize].push_back((now, d));
+                        self.src_mask[e as usize / 64] |= 1 << (e % 64);
                     }
                 }
             }
@@ -418,111 +729,147 @@ impl<'a> Simulator<'a> {
 
         // 3. Injection: head-of-queue packets enter their router's
         //    injection port (path chosen now, seeing current queues).
-        for e in 0..self.net.num_endpoints() as u32 {
-            if self.src_q[e as usize].is_empty() {
-                continue;
+        //    RNG phase: endpoints with queued packets are visited in
+        //    ascending order — exactly the endpoints a full scan would
+        //    visit (no RNG is drawn for endpoints with empty queues).
+        {
+            let mut ep_scratch = std::mem::take(&mut self.ep_scratch);
+            ep_scratch.clear();
+            gather_segment(&self.src_mask, 0, self.net.num_endpoints(), &mut ep_scratch);
+            for &e in &ep_scratch {
+                let slot = self.ep_inj_slot[e as usize] as usize;
+                if self.in_buf[slot].len() >= self.vc_cap {
+                    continue;
+                }
+                let (gen_time, dst_ep) = self.src_q[e as usize].pop_front().unwrap();
+                if self.src_q[e as usize].is_empty() {
+                    self.src_mask[e as usize / 64] &= !(1 << (e % 64));
+                }
+                let r = self.ep_router[e as usize];
+                let dst_r = self.ep_router[dst_ep as usize];
+                let (path, path_len) = self.choose_path(r, dst_r, flow_id(e, dst_ep));
+                // Spread packets over VC classes: an h-hop path may start at
+                // any base with base + h ≤ num_vcs (adaptive paths reserve
+                // the full diameter-bound budget).
+                let hops = if path_len == 0 {
+                    self.tables.distance(r, dst_r).min(4) as usize
+                } else {
+                    path_len as usize - 1
+                };
+                let slack = self.cfg.num_vcs.saturating_sub(hops.max(1));
+                let vc_base = if slack == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(0..=slack.min(self.cfg.num_vcs - 1)) as u8
+                };
+                self.buf_push(
+                    r,
+                    slot,
+                    Packet {
+                        src_ep: e,
+                        dst_ep,
+                        gen_time,
+                        path,
+                        path_len,
+                        hop: 0,
+                        vc_base,
+                    },
+                );
             }
-            let r = self.ep_router[e as usize];
-            let inj_port =
-                self.net.graph.degree(r) as u32 + (e - self.net.endpoints_of_router(r).start);
-            let fp = self.flat_port(r, inj_port);
-            if self.in_buf[fp][0].len() >= self.vc_cap {
-                continue;
-            }
-            let (gen_time, dst_ep) = self.src_q[e as usize].pop_front().unwrap();
-            let dst_r = self.ep_router[dst_ep as usize];
-            let (path, path_len) = self.choose_path(r, dst_r, flow_id(e, dst_ep));
-            // Spread packets over VC classes: an h-hop path may start at
-            // any base with base + h ≤ num_vcs (adaptive paths reserve
-            // the full diameter-bound budget).
-            let hops = if path_len == 0 {
-                self.tables.distance(r, dst_r).min(4) as usize
-            } else {
-                path_len as usize - 1
-            };
-            let slack = self.cfg.num_vcs.saturating_sub(hops.max(1));
-            let vc_base = if slack == 0 {
-                0
-            } else {
-                self.rng.gen_range(0..=slack.min(self.cfg.num_vcs - 1)) as u8
-            };
-            self.in_buf[fp][0].push_back(Packet {
-                src_ep: e,
-                dst_ep,
-                gen_time,
-                path,
-                path_len,
-                hop: 0,
-                vc_base,
-            });
+            self.ep_scratch = ep_scratch;
         }
 
-        // 4. Ejection: one flit per endpoint per cycle.
+        // 4. Ejection: one flit per endpoint per cycle. (No RNG.)
+        let eject_stamp = now + 1;
+        let credit_due = ((now + self.credit_eff) % (self.credit_eff + 1)) as usize;
         for r in 0..nr {
-            let base = self.port_base[r as usize];
-            let nports = self.port_base[r as usize + 1] - base;
-            let net_deg = self.net.graph.degree(r) as u32;
-            let mut ejected_ep: Vec<u32> = Vec::new();
-            for port in 0..nports {
-                for vc in 0..self.cfg.num_vcs {
-                    let fp = (base + port) as usize;
-                    let eject = matches!(
-                        self.in_buf[fp][vc].front(),
-                        Some(p) if self.terminates_here(p, r) && !ejected_ep.contains(&p.dst_ep)
-                    );
-                    if !eject {
-                        continue;
-                    }
-                    let p = self.in_buf[fp][vc].pop_front().unwrap();
-                    ejected_ep.push(p.dst_ep);
-                    // Return a credit upstream for network ports.
-                    if port < net_deg {
-                        let up = self.net.graph.neighbors(r)[port as usize];
-                        let uj = self.out_index(up, r);
-                        self.out[up as usize][uj]
-                            .credit_inflight
-                            .push_back((now + self.cfg.credit_delay, vc as u8));
-                    }
-                    self.total_ejected += 1;
-                    if now >= self.cfg.warmup && now < self.cfg.warmup + self.cfg.measure {
-                        self.window_ejected += 1;
-                    }
-                    if p.gen_time >= self.cfg.warmup
-                        && p.gen_time < self.cfg.warmup + self.cfg.measure
-                    {
-                        self.sample_ejected += 1;
-                        self.stats.record(now.saturating_sub(p.gen_time));
-                        self.hops_sum += p.hop as u64;
-                    }
+            if self.r_buffered[r as usize] == 0 {
+                continue;
+            }
+            let lo = self.port_base[r as usize] as usize * nvc;
+            let hi = self.port_base[r as usize + 1] as usize * nvc;
+            let net_deg = self.net.graph.degree(r);
+            let mut scratch = std::mem::take(&mut self.slot_scratch);
+            scratch.clear();
+            gather_segment(&self.buf_mask, lo, hi, &mut scratch);
+            for &slot in &scratch {
+                let slot = slot as usize;
+                let eject = matches!(
+                    self.in_buf[slot].front(),
+                    Some(p) if self.terminates_here(p, r)
+                        && self.ejected_seen[p.dst_ep as usize] != eject_stamp
+                );
+                if !eject {
+                    continue;
+                }
+                let p = self.buf_pop(r, slot);
+                self.ejected_seen[p.dst_ep as usize] = eject_stamp;
+                // Return a credit upstream for network ports.
+                let fp = self.slot_port(slot);
+                let port = fp - self.port_base[r as usize] as usize;
+                if port < net_deg {
+                    let down = self.links.link_base[r as usize] as usize + port;
+                    let up_link = self.links.rev[down];
+                    let vc = (slot - fp * nvc) as u8;
+                    self.credit_buckets[credit_due].push((up_link, vc));
+                }
+                self.total_ejected += 1;
+                if now >= self.cfg.warmup && now < self.cfg.warmup + self.cfg.measure {
+                    self.window_ejected += 1;
+                }
+                if p.gen_time >= self.cfg.warmup && p.gen_time < self.cfg.warmup + self.cfg.measure
+                {
+                    self.sample_ejected += 1;
+                    self.stats.record(now.saturating_sub(p.gen_time));
+                    self.hops_sum += p.hop as u64;
                 }
             }
+            self.slot_scratch = scratch;
         }
 
         // 5. Switch allocation: round-robin over input VCs; each input
         //    grants ≤ 1 flit, each output accepts ≤ `output_speedup`.
+        //    `Router::next_hop` (which may draw RNG) is reached for
+        //    exactly the packets a full scan would reach, in the same
+        //    order: only non-empty queues are visited, in round-robin
+        //    order from the same per-cycle offset.
         for r in 0..nr {
-            let base = self.port_base[r as usize];
-            let nports = (self.port_base[r as usize + 1] - base) as usize;
-            let nvcs = self.cfg.num_vcs;
-            let total = nports * nvcs;
-            let start = self.rr_cursor[r as usize] as usize % total.max(1);
-            let mut out_grants = vec![0usize; self.out[r as usize].len()];
+            if self.r_buffered[r as usize] == 0 {
+                continue;
+            }
+            let base = self.port_base[r as usize] as usize;
+            let nports = self.port_base[r as usize + 1] as usize - base;
+            let total = nports * nvc;
+            // The pre-CSR engine kept a per-router round-robin cursor
+            // incremented once per cycle; it always equals `now`.
+            let start = now as usize % total.max(1);
+            let net_deg = self.net.graph.degree(r);
+            let nlinks_r = self.links.links_of(r).len();
+            self.out_grants[..nlinks_r].fill(0);
+            self.in_grants[..nports].fill(0);
+
+            // Candidate queues, gathered once in round-robin order
+            // (allocation only ever empties queues, so the set cannot
+            // grow mid-phase; emptied queues are re-checked cheaply).
+            let lo = base * nvc;
+            let hi = lo + total;
+            let mut scratch = std::mem::take(&mut self.slot_scratch);
+            scratch.clear();
+            gather_segment(&self.buf_mask, lo + start, hi, &mut scratch);
+            gather_segment(&self.buf_mask, lo, lo + start, &mut scratch);
+
             // Internal speedup: the crossbar runs `output_speedup`
             // allocation iterations per cycle; an input may win once per
             // iteration (and sees its new queue head in the next one).
-            let mut in_grants = vec![0usize; nports];
-            let net_deg = self.net.graph.degree(r) as u32;
-
             for iter in 0..self.cfg.output_speedup {
-                for step in 0..total {
-                    let idx = (start + step) % total;
-                    let port = idx / nvcs;
-                    let vc = idx % nvcs;
-                    if in_grants[port] > iter {
+                for &slot in &scratch {
+                    let slot = slot as usize;
+                    let fp = self.slot_port(slot);
+                    let port = fp - base;
+                    if self.in_grants[port] > iter as u32 {
                         continue;
                     }
-                    let fp = (base as usize) + port;
-                    let head = match self.in_buf[fp][vc].front() {
+                    let head = match self.in_buf[slot].front() {
                         Some(p) => *p,
                         None => continue,
                     };
@@ -530,62 +877,138 @@ impl<'a> Simulator<'a> {
                         continue; // handled by ejection
                     }
                     let nxt = self.next_hop(&head, r);
-                    let j = self.out_index(r, nxt);
-                    if out_grants[j] >= self.cfg.output_speedup {
+                    let l = self.links.link(r, nxt) as usize;
+                    let j = l - self.links.link_base[r as usize] as usize;
+                    if self.out_grants[j] >= self.cfg.output_speedup as u32 {
                         continue;
                     }
-                    let next_vc =
-                        (head.vc_base as usize + head.hop as usize).min(self.cfg.num_vcs - 1);
+                    let next_vc = (head.vc_base as usize + head.hop as usize).min(nvc - 1);
+                    if self.staging[l].len() >= self.cfg.output_queue_cap
+                        || self.credits[l * nvc + next_vc] == 0
                     {
-                        let l = &self.out[r as usize][j];
-                        if l.staging.len() >= self.cfg.output_queue_cap || l.credits[next_vc] == 0 {
-                            continue;
-                        }
+                        continue;
                     }
                     // Grant.
-                    let mut pkt = self.in_buf[fp][vc].pop_front().unwrap();
-                    if pkt.path_len == 0 {
+                    let mut pkt = self.buf_pop(r, slot);
+                    pkt.hop = if pkt.path_len == 0 {
                         // Adaptive: record chosen hop implicitly by counter.
-                        pkt.hop = pkt.hop.saturating_add(1);
+                        pkt.hop.saturating_add(1)
                     } else {
-                        pkt.hop += 1;
-                    }
-                    {
-                        let l = &mut self.out[r as usize][j];
-                        l.credits[next_vc] -= 1;
-                        l.staging.push_back((pkt, next_vc as u8));
-                    }
-                    out_grants[j] += 1;
-                    in_grants[port] = iter + 1;
+                        pkt.hop + 1
+                    };
+                    self.credits[l * nvc + next_vc] -= 1;
+                    self.staging[l].push_back((pkt, next_vc as u8));
+                    self.staged_mask[l / 64] |= 1 << (l % 64);
+                    // One staged flit + one downstream slot consumed.
+                    self.occ[l] += 2;
+                    self.out_grants[j] += 1;
+                    self.in_grants[port] = iter as u32 + 1;
                     // Credit to upstream for the freed input slot.
-                    if (port as u32) < net_deg {
-                        let up = self.net.graph.neighbors(r)[port];
-                        let uj = self.out_index(up, r);
-                        self.out[up as usize][uj]
-                            .credit_inflight
-                            .push_back((now + self.cfg.credit_delay, vc as u8));
+                    if port < net_deg {
+                        let down = self.links.link_base[r as usize] as usize + port;
+                        let up_link = self.links.rev[down];
+                        let vc = (slot - fp * nvc) as u8;
+                        self.credit_buckets[credit_due].push((up_link, vc));
                     }
                 }
             }
-            self.rr_cursor[r as usize] = self.rr_cursor[r as usize].wrapping_add(1);
+            self.slot_scratch = scratch;
         }
 
         // 6. Channel transmission: one flit per link per cycle leaves
-        //    staging; arrival after router pipeline + wire delay.
-        let delay = self.cfg.router_delay + self.cfg.channel_latency;
+        //    staging; arrival after router pipeline + wire delay. The
+        //    staged-link bitmask yields exactly the non-empty staging
+        //    queues in ascending link order — the order a full scan
+        //    over routers × links would visit them. (No RNG.)
+        let flit_due = ((now + self.flit_eff) % (self.flit_eff + 1)) as usize;
         let in_window = now >= self.cfg.warmup && now < self.cfg.warmup + self.cfg.measure;
-        for r in 0..nr {
-            for (j, l) in self.out[r as usize].iter_mut().enumerate() {
-                if let Some((pkt, vc)) = l.staging.pop_front() {
-                    l.inflight.push_back((now + delay, pkt, vc));
-                    if in_window {
-                        self.link_flits[r as usize][j] += 1;
-                    }
+        let mut scratch = std::mem::take(&mut self.slot_scratch);
+        scratch.clear();
+        gather_segment(&self.staged_mask, 0, self.occ.len(), &mut scratch);
+        for &l in &scratch {
+            let l = l as usize;
+            let (pkt, vc) = self.staging[l].pop_front().unwrap();
+            if self.staging[l].is_empty() {
+                self.staged_mask[l / 64] &= !(1 << (l % 64));
+            }
+            self.flit_buckets[flit_due].push((l as u32, pkt, vc));
+            self.occ[l] -= 1;
+            if in_window {
+                self.link_flits[l] += 1;
+            }
+        }
+        self.slot_scratch = scratch;
+
+        self.now += 1;
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> u32 {
+        self.now
+    }
+
+    /// Checks every incremental counter against a from-scratch
+    /// recomputation: per-link occupancy (staging + credits in use),
+    /// the per-router active-set counters, and the input-queue,
+    /// staged-link and source-queue bitmasks. Returns the first mismatch as
+    /// an error. O(state); intended for tests (property-tested after
+    /// random step sequences), not for the hot loop.
+    pub fn verify_occupancy_counters(&self) -> Result<(), String> {
+        let nvc = self.cfg.num_vcs;
+        let nlinks = self.occ.len();
+        for l in 0..nlinks {
+            let used: u32 = (0..nvc)
+                .map(|vc| self.vc_cap as u32 - self.credits[l * nvc + vc])
+                .sum();
+            let expect = self.staging[l].len() as u32 + used;
+            if self.occ[l] != expect {
+                return Err(format!(
+                    "link {l}: occ counter {} != recomputed {expect} \
+                     (staging {}, credits in use {used})",
+                    self.occ[l],
+                    self.staging[l].len()
+                ));
+            }
+        }
+        for r in 0..self.net.num_routers() {
+            let lo = self.port_base[r] as usize * nvc;
+            let hi = self.port_base[r + 1] as usize * nvc;
+            let buffered: u32 = (lo..hi).map(|s| self.in_buf[s].len() as u32).sum();
+            if self.r_buffered[r] != buffered {
+                return Err(format!(
+                    "router {r}: r_buffered {} != recomputed {buffered}",
+                    self.r_buffered[r]
+                ));
+            }
+            for slot in lo..hi {
+                let bit = self.buf_mask[slot / 64] >> (slot % 64) & 1 == 1;
+                if bit == self.in_buf[slot].is_empty() {
+                    return Err(format!(
+                        "slot {slot}: mask bit {bit} but queue len {}",
+                        self.in_buf[slot].len()
+                    ));
                 }
             }
         }
-
-        self.now += 1;
+        for l in 0..nlinks {
+            let bit = self.staged_mask[l / 64] >> (l % 64) & 1 == 1;
+            if bit == self.staging[l].is_empty() {
+                return Err(format!(
+                    "link {l}: staged-mask bit {bit} but staging len {}",
+                    self.staging[l].len()
+                ));
+            }
+        }
+        for (e, q) in self.src_q.iter().enumerate() {
+            let bit = self.src_mask[e / 64] >> (e % 64) & 1 == 1;
+            if bit == q.is_empty() {
+                return Err(format!(
+                    "endpoint {e}: source-mask bit {bit} but queue len {}",
+                    q.len()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Runs the configured warm-up + measurement (+ drain) phases and
@@ -604,15 +1027,12 @@ impl<'a> Simulator<'a> {
         let mcycles = self.cfg.measure.max(1) as f64;
         let mut max_util = 0.0f64;
         let mut sum_util = 0.0f64;
-        let mut nlinks = 0usize;
-        for per_router in &self.link_flits {
-            for &c in per_router {
-                let u = c as f64 / mcycles;
-                max_util = max_util.max(u);
-                sum_util += u;
-                nlinks += 1;
-            }
+        for &c in &self.link_flits {
+            let u = c as f64 / mcycles;
+            max_util = max_util.max(u);
+            sum_util += u;
         }
+        let nlinks = self.link_flits.len();
         SimResult {
             offered_load: self.load,
             avg_latency: self.stats.mean(),
@@ -635,6 +1055,7 @@ impl<'a> Simulator<'a> {
             } else {
                 sum_util / nlinks as f64
             },
+            cycles: self.now,
         }
     }
 }
@@ -823,6 +1244,36 @@ mod tests {
     }
 
     #[test]
+    fn hypercube_bit_reversal_concentrates_min_but_not_adaptive() {
+        // The dimension-reversal adversary: at equal accepted load, MIN
+        // funnels the half-swap pairs through the middle subcube (hot
+        // links near saturation) while per-hop adaptive ECMP spreads
+        // the same demand over the minimal DAG.
+        let hc = sf_topo::hypercube::Hypercube::new(8);
+        let net = hc.network();
+        let tables = RoutingTables::new(&net.graph);
+        let worst = TrafficPattern::worst_case_hypercube(&net).unwrap();
+        let uniform = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let mut cfg = quick_cfg(14);
+        cfg.num_vcs = 10; // diameter-8 paths need one VC per hop
+        let m_worst = Simulator::new(&net, &tables, &MinRouter, &worst, 0.7, cfg).run();
+        let m_unif = Simulator::new(&net, &tables, &MinRouter, &uniform, 0.7, cfg).run();
+        assert!(
+            m_worst.max_link_util > m_unif.max_link_util * 1.5,
+            "bit reversal must concentrate MIN traffic: worst {} vs uniform {}",
+            m_worst.max_link_util,
+            m_unif.max_link_util
+        );
+        let a_worst = Simulator::new(&net, &tables, &AdaptiveEcmpRouter, &worst, 0.7, cfg).run();
+        assert!(
+            a_worst.max_link_util < m_worst.max_link_util * 0.85,
+            "per-hop adaptive must spread the adversary: ANCA {} vs MIN {}",
+            a_worst.max_link_util,
+            m_worst.max_link_util
+        );
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
@@ -876,5 +1327,66 @@ mod tests {
         let b = Simulator::new(&net, &tables, &direct, &pat, 0.3, quick_cfg(12)).run();
         assert_eq!(a.ejected, b.ejected);
         assert_eq!(a.avg_latency, b.avg_latency);
+    }
+
+    #[test]
+    fn link_index_matches_graph_adjacency() {
+        let (net, _) = small_sf();
+        let links = LinkIndex::new(&net);
+        for r in 0..net.num_routers() as u32 {
+            for (j, &v) in net.graph.neighbors(r).iter().enumerate() {
+                let l = links.link(r, v) as usize;
+                assert_eq!(l, links.link_base[r as usize] as usize + j);
+                assert_eq!(links.to[l], v);
+                // The reverse link points back at r from v's row.
+                let rl = links.rev[l] as usize;
+                assert_eq!(links.to[rl], r);
+                assert_eq!(links.rev[rl] as usize, l);
+                // to_port is v's input-port (= neighbor) index for r.
+                assert_eq!(net.graph.neighbors(v)[links.to_port[l] as usize], r);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn link_index_panics_on_non_neighbor() {
+        let (net, _) = small_sf();
+        let links = LinkIndex::new(&net);
+        let r = 0u32;
+        let non = (0..net.num_routers() as u32)
+            .find(|&v| v != r && !net.graph.has_edge(r, v))
+            .unwrap();
+        links.link(r, non);
+    }
+
+    #[test]
+    fn occupancy_counters_hold_during_a_run() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let router = UgalRouter::new(4, true).unwrap();
+        let mut sim = Simulator::new(&net, &tables, &router, &pat, 0.3, quick_cfg(13));
+        for _ in 0..200 {
+            sim.step();
+        }
+        sim.verify_occupancy_counters().unwrap();
+    }
+
+    #[test]
+    fn gather_segment_handles_word_boundaries() {
+        let mask = [0b1010u64, !0u64, 1u64];
+        let mut out = Vec::new();
+        gather_segment(&mask, 0, 192, &mut out);
+        let expect: Vec<u32> = [1u32, 3].into_iter().chain(64..128).chain([128]).collect();
+        assert_eq!(out, expect);
+        out.clear();
+        gather_segment(&mask, 3, 65, &mut out);
+        assert_eq!(out, vec![3, 64]);
+        out.clear();
+        gather_segment(&mask, 4, 4, &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        gather_segment(&mask, 120, 130, &mut out);
+        assert_eq!(out, vec![120, 121, 122, 123, 124, 125, 126, 127, 128]);
     }
 }

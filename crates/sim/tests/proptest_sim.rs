@@ -66,6 +66,47 @@ proptest! {
     }
 
     #[test]
+    fn incremental_occupancy_matches_recomputation(
+        load in 0.05f64..0.6,
+        seed in 0u64..500,
+        vcs in 3usize..6,
+        algo_idx in 0usize..6,
+        batches in proptest::collection::vec(1usize..40, 1..6),
+    ) {
+        // After any random step sequence, every link's incremental
+        // occupancy counter must equal the from-scratch recomputation
+        // (staged flits + credits in use), and the active-set
+        // bookkeeping (bitmasks, buffered counters) must match the
+        // queues — for every routing scheme, including the per-hop
+        // adaptive one.
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let spec: RoutingSpec =
+            ["min", "val", "ugal-l:c=4", "ugal-g:c=4", "fatpaths:layers=3", "ecmp"][algo_idx]
+                .parse()
+                .unwrap();
+        let router = spec.build(&net.graph, &tables).unwrap();
+        let mut sim = Simulator::new(
+            &net,
+            &tables,
+            router.as_ref(),
+            &pattern,
+            load,
+            quick_cfg(seed, vcs, 64),
+        );
+        for steps in batches {
+            for _ in 0..steps {
+                sim.step();
+            }
+            if let Err(e) = sim.verify_occupancy_counters() {
+                prop_assert!(false, "{} after {} cycles: {e}", router.label(), sim.now());
+            }
+        }
+    }
+
+    #[test]
     fn determinism(load in 0.05f64..0.4, seed in 0u64..200) {
         let sf = SlimFly::new(5).unwrap();
         let net = sf.network();

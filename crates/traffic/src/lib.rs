@@ -13,7 +13,8 @@
 //!   Fig 9), Dragonfly (group g → group g+1, Kim et al. §4.2), fat tree
 //!   (all packets forced through core switches), torus (dimension
 //!   reversal across the coordinate diagonal), flattened butterfly
-//!   (row collision on single dimension-0 links).
+//!   (row collision on single dimension-0 links), hypercube (address
+//!   bit reversal through the middle subcube).
 //!
 //! All patterns are *endpoint-safe*: no endpoint is required to absorb
 //! more than one full-rate flow (the paper's stated constraint for
@@ -304,6 +305,36 @@ impl TrafficPattern {
             });
         }
         Ok(p)
+    }
+
+    /// The hypercube worst case: **dimension reversal** — the router
+    /// with `d`-bit address `b_{d−1} … b_0` sends to the bit-reversed
+    /// address `b_0 … b_{d−1}` (the hypercube analogue of the torus
+    /// coordinate-reversal adversary). Every minimal path between a
+    /// pair that swaps its high and low address halves must cross the
+    /// middle subcube, so the √Nr pairs of each half-pattern contend
+    /// for Θ(d) exits — congestion Θ(√Nr ⁄ d) that holds even under
+    /// randomized minimal ECMP (the classic oblivious-routing lower
+    /// bound construction), while detouring schemes spread it.
+    /// Palindromic addresses map to themselves and stay silent.
+    /// Requires `d ≥ 2` (reversal is the identity below that).
+    pub fn worst_case_hypercube(net: &Network) -> Result<Self, TrafficError> {
+        let d = match net.kind {
+            TopologyKind::Hypercube { d } => d,
+            _ => {
+                return Err(TrafficError::UnsupportedWorstCase {
+                    topology: net.name.clone(),
+                })
+            }
+        };
+        if d < 2 {
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        Ok(Self::router_permutation(net, "worst-hc", |r| {
+            r.reverse_bits() >> (32 - d)
+        }))
     }
 
     /// The flattened-butterfly worst case: **row collision** — every
@@ -636,6 +667,41 @@ mod tests {
         // The wrong kind errors.
         let hc = sf_topo::hypercube::Hypercube::new(4).network();
         assert!(TrafficPattern::worst_case_fbf(&hc).is_err());
+    }
+
+    #[test]
+    fn worst_case_hypercube_reverses_address_bits() {
+        let hc = sf_topo::hypercube::Hypercube::new(6);
+        let net = hc.network();
+        let p = TrafficPattern::worst_case_hypercube(&net).unwrap();
+        assert_eq!(p.name(), "worst-hc");
+        let mut rng = StdRng::seed_from_u64(13);
+        let reverse = |r: u32| r.reverse_bits() >> (32 - 6);
+        let mut active = 0u32;
+        for s in 0..net.num_endpoints() as u32 {
+            let rs = net.endpoint_router(s);
+            if reverse(rs) == rs {
+                // Palindromic addresses are self-mapped and silent.
+                assert!(!p.is_active(s), "s={s}");
+                continue;
+            }
+            let d = p.dest(s, &mut rng).unwrap();
+            assert_eq!(net.endpoint_router(d), reverse(rs), "s={s}");
+            // Bit reversal is an involution — endpoint-safe by symmetry.
+            assert_eq!(p.dest(d, &mut rng), Some(s));
+            active += 1;
+        }
+        // 2^6 routers, 2^3 palindromes: 56 of 64 routers participate.
+        assert_eq!(active, 56);
+    }
+
+    #[test]
+    fn worst_case_hypercube_degenerate_or_wrong_kind_errors() {
+        let line = sf_topo::hypercube::Hypercube::new(1).network();
+        let err = TrafficPattern::worst_case_hypercube(&line).unwrap_err();
+        assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
+        let torus = sf_topo::torus::Torus::new(vec![4, 4]).network();
+        assert!(TrafficPattern::worst_case_hypercube(&torus).is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub enum TrafficError {
     UnknownPattern(String),
     /// A worst-case pattern was requested for a topology without one
     /// (adversarial permutations exist for SF, DF, FT-3, symmetric
-    /// tori and flattened butterflies).
+    /// tori, flattened butterflies and hypercubes).
     UnsupportedWorstCase {
         /// Name of the offending network.
         topology: String,
@@ -42,8 +42,8 @@ impl fmt::Display for TrafficError {
             TrafficError::UnsupportedWorstCase { topology } => write!(
                 f,
                 "no worst-case traffic pattern is defined for {topology} \
-                 (Slim Fly, Dragonfly, fat-tree, symmetric-torus and \
-                 flattened-butterfly networks have one)"
+                 (Slim Fly, Dragonfly, fat-tree, symmetric-torus, \
+                 flattened-butterfly and hypercube networks have one)"
             ),
         }
     }
@@ -111,6 +111,7 @@ impl TrafficSpec {
                 TopologyKind::FatTree3 { .. } => TrafficPattern::worst_case_fattree(net),
                 TopologyKind::Torus { .. } => TrafficPattern::worst_case_torus(net),
                 TopologyKind::FlattenedButterfly { .. } => TrafficPattern::worst_case_fbf(net),
+                TopologyKind::Hypercube { .. } => TrafficPattern::worst_case_hypercube(net),
                 _ => Err(TrafficError::UnsupportedWorstCase {
                     topology: net.name.clone(),
                 }),
@@ -174,9 +175,17 @@ mod tests {
 
     #[test]
     fn worst_case_unsupported_topologies_error() {
-        let net = sf_topo::hypercube::Hypercube::new(4).network();
+        let net = sf_topo::random_dln::RandomDln::new(32, 2, 7).network();
         let tables = RoutingTables::new(&net.graph);
         let err = TrafficSpec::WorstCase.build(&net, &tables).unwrap_err();
         assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
+    }
+
+    #[test]
+    fn worst_case_hypercube_dispatches() {
+        let net = sf_topo::hypercube::Hypercube::new(4).network();
+        let tables = RoutingTables::new(&net.graph);
+        let pat = TrafficSpec::WorstCase.build(&net, &tables).unwrap();
+        assert_eq!(pat.name(), "worst-hc");
     }
 }

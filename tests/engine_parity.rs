@@ -38,6 +38,19 @@ const PRE_REFACTOR_UNIFORM: &[(&str, f64, f64, f64)] = &[
     ("UGAL-G", 0.5, 10.061011, 0.499431),
 ];
 
+/// The per-hop adaptive curve, captured from the pre-CSR-refactor
+/// engine with `parity_cfg()` on `sf:q=5`, uniform traffic. ANCA draws
+/// no injection-path RNG of its own but consults live queue occupancy
+/// at *every hop*, so this curve pins two things the flat-engine
+/// refactor must not perturb: the exact `next_hop` call sequence under
+/// active-set skipping, and the exact occupancy values the incremental
+/// counters report.
+const PRE_REFACTOR_ECMP: &[(&str, f64, f64, f64)] = &[
+    ("ANCA", 0.1, 7.477989, 0.099106),
+    ("ANCA", 0.3, 7.894476, 0.298475),
+    ("ANCA", 0.5, 8.823595, 0.499525),
+];
+
 #[test]
 fn min_val_ugal_curves_match_pre_refactor_values() {
     let records = Experiment::on("sf:q=5")
@@ -59,6 +72,31 @@ fn min_val_ugal_curves_match_pre_refactor_values() {
         let acc_tol = (accepted * 0.05).max(0.01);
         assert!(
             (r.accepted - accepted).abs() <= acc_tol,
+            "{label}@{offered}: accepted {} drifted from pre-refactor {accepted}",
+            r.accepted
+        );
+    }
+}
+
+#[test]
+fn ecmp_per_hop_curve_matches_pre_refactor_values() {
+    let records = Experiment::on("sf:q=5")
+        .routing_str("ecmp")
+        .loads(&[0.1, 0.3, 0.5])
+        .sim(parity_cfg())
+        .run()
+        .unwrap();
+    assert_eq!(records.len(), PRE_REFACTOR_ECMP.len());
+    for (r, &(label, offered, latency, accepted)) in records.iter().zip(PRE_REFACTOR_ECMP) {
+        assert_eq!(r.routing, label);
+        assert_eq!(r.offered, offered);
+        assert!(
+            (r.latency - latency).abs() <= latency * 0.10,
+            "{label}@{offered}: latency {} drifted from pre-refactor {latency}",
+            r.latency
+        );
+        assert!(
+            (r.accepted - accepted).abs() <= (accepted * 0.05).max(0.01),
             "{label}@{offered}: accepted {} drifted from pre-refactor {accepted}",
             r.accepted
         );

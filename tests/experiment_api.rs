@@ -104,9 +104,10 @@ fn error_paths_are_typed() {
         "turbulence".parse::<TrafficSpec>(),
         Err(slimfly::TrafficError::UnknownPattern(_))
     ));
-    // Worst-case traffic on a topology without one.
+    // Worst-case traffic on a topology without one (hypercubes gained
+    // an adversary — dimension reversal — so use a random DLN).
     assert!(matches!(
-        Experiment::on("hc:d=4")
+        Experiment::on("dln:nr=16,y=2")
             .traffic(TrafficSpec::WorstCase)
             .loads(&[0.1])
             .run(),
