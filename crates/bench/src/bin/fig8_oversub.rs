@@ -1,59 +1,66 @@
 //! Figures 8b–8e: oversubscribed Slim Fly networks — latency and
 //! accepted bandwidth for concentrations above the balanced p (§V-E).
 //!
+//! A thin wrapper over the checked-in `figures/fig8.toml` experiment
+//! file (`sf-bench run figures/fig8.toml` executes it unmodified). The
+//! file's first two sweeps — a (uniform, worst) pair on the balanced
+//! concentration — serve as the template; flags re-instantiate that
+//! pair per requested concentration:
+//!
 //! Usage: `fig8_oversub [--large] [--concentrations 15,16,18]
-//!                      [--routing min,val,ugal-l:c=4,ugal-g:c=4]`
+//!                      [--routing min,val,ugal-l:c=4,ugal-g:c=4]
+//!                      [--workers N]`
 //! Output: the shared experiment-record CSV schema (the spec column
 //! carries the concentration, e.g. `sf:q=19,p=18`).
 //! Paper checkpoints (q = 19): balanced p = 15 accepts ≈87.5% of uniform
 //! traffic; p = 16 ≈80%; p = 18 ≈75%.
 
-use sf_bench::{print_records, run_cli};
+use sf_bench::{run_cli, run_plan_stdout};
 use slimfly::prelude::*;
+
+const FIG8_TOML: &str = include_str!("../../../../figures/fig8.toml");
 
 fn main() {
     run_cli(|args| {
-        let q = if args.flag("large") { 19 } else { 7 };
-        let sf = SlimFly::new(q)?;
-        let balanced = sf.balanced_concentration();
-        let concentrations =
-            args.list("concentrations", &[balanced, balanced + 1, balanced + 3])?;
+        let mut plan = ExperimentPlan::from_toml_str(FIG8_TOML)?;
+        let large = args.flag("large");
+        let q = if large { 19 } else { 7 };
+        let workers: usize = args.value("workers", 0)?;
+        let routings = args.routing("routing", &plan.sweeps[0].routings.clone())?;
 
-        let cfg = SimConfig {
-            warmup: 1_000,
-            measure: 2_000,
-            drain: 6_000,
-            ..Default::default()
-        };
-        let algos = args.routing(
-            "routing",
-            &[
-                RoutingSpec::Min,
-                RoutingSpec::Valiant { cap3: false },
-                RoutingSpec::UgalL { candidates: 4 },
-                RoutingSpec::UgalG { candidates: 4 },
-            ],
-        )?;
-
-        let mut records = Vec::new();
-        for &p in &concentrations {
-            for traffic in [TrafficSpec::Uniform, TrafficSpec::WorstCase] {
-                let loads: &[f64] = if traffic == TrafficSpec::WorstCase {
-                    &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
-                } else {
-                    &[0.1, 0.25, 0.5, 0.625, 0.75, 0.875, 1.0]
-                };
-                records.extend(
-                    Experiment::on(TopologySpec::SlimFly { q, p: Some(p) })
-                        .routings(&algos)
-                        .traffic(traffic)
-                        .loads(loads)
-                        .sim(cfg)
-                        .run()?,
-                );
+        // With no overriding flags the run is exactly the checked-in
+        // file; --large/--concentrations re-instantiate the template
+        // (uniform, worst) sweep pair per requested concentration.
+        if large || args.get("concentrations").is_some() {
+            if plan.sweeps.len() < 2 {
+                return Err(SfError::Experiment(
+                    "figures/fig8.toml no longer starts with the (uniform, worst) \
+                     template sweep pair this wrapper re-instantiates — update \
+                     fig8_oversub to match the file"
+                        .into(),
+                ));
+            }
+            let balanced = SlimFly::new(q)?.balanced_concentration();
+            let concentrations =
+                args.list("concentrations", &[balanced, balanced + 1, balanced + 3])?;
+            let template: Vec<SweepPlan> = plan.sweeps.drain(..2).collect();
+            let mut sweeps = Vec::with_capacity(concentrations.len() * template.len());
+            for &p in &concentrations {
+                for t in &template {
+                    let mut s = t.clone();
+                    s.topos = vec![TopologySpec::SlimFly { q, p: Some(p) }];
+                    sweeps.push(s);
+                }
+            }
+            plan.sweeps = sweeps;
+        }
+        if args.get("routing").is_some() {
+            for sweep in &mut plan.sweeps {
+                sweep.routings = routings.clone();
             }
         }
-        print_records(&records);
+
+        run_plan_stdout(&plan, workers)?;
         Ok(())
     })
 }

@@ -1,8 +1,13 @@
 //! Figure 8a: influence of input-buffer size on Slim Fly performance
 //! under worst-case traffic (UGAL-L).
 //!
+//! A thin wrapper over the checked-in `figures/fig8a.toml` experiment
+//! file (`sf-bench run figures/fig8a.toml` executes it unmodified; one
+//! sweep per buffer size). Flags re-instantiate the file's first sweep
+//! per requested buffer size:
+//!
 //! Usage: `fig8a_buffers [--large] [--buffers 8,16,32,64,128,256]
-//!                       [--routing ugal-l:c=4]`
+//!                       [--routing ugal-l:c=4] [--workers N]`
 //! Output: CSV `buffer_flits` + the shared experiment-record schema.
 //! Paper shape: smaller buffers → lower latency (stiffer backpressure);
 //! larger buffers → higher bandwidth.
@@ -10,38 +15,76 @@
 use sf_bench::{print_raw_line, run_cli};
 use slimfly::prelude::*;
 
+const FIG8A_TOML: &str = include_str!("../../../../figures/fig8a.toml");
+
 fn main() {
     run_cli(|args| {
+        let mut plan = ExperimentPlan::from_toml_str(FIG8A_TOML)?;
         let buffers = args.list("buffers", &[8usize, 16, 32, 64, 128, 256])?;
-        let routings = args.routing("routing", &[RoutingSpec::UgalL { candidates: 4 }])?;
-        let spec: TopologySpec = if args.flag("large") {
+        let routings = args.routing("routing", &plan.sweeps[0].routings.clone())?;
+        let workers: usize = args.value("workers", 0)?;
+        let topo: TopologySpec = if args.flag("large") {
             "sf:q=19".parse()?
         } else {
-            "sf:q=7".parse()?
+            plan.sweeps[0].topos[0].clone()
         };
-        let loads = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
 
-        print_raw_line(&format!("buffer_flits,{}", Record::CSV_HEADER));
-        for &b in &buffers {
-            let cfg = SimConfig {
-                buf_per_port: b,
-                warmup: 1_000,
-                measure: 2_000,
-                drain: 6_000,
-                ..Default::default()
-            };
-            let records = Experiment::on(spec.clone())
-                .routings(&routings)
-                .traffic(TrafficSpec::WorstCase)
-                .loads(&loads)
-                .sim(cfg)
-                .run()?;
-            for r in records {
-                // `to_csv` is already per-field quoted; prefix the
-                // buffer column and emit verbatim.
-                print_raw_line(&format!("{b},{}", r.to_csv()));
+        // With no overriding flags the run is exactly the checked-in
+        // file. --buffers re-instantiates the file's first sweep as
+        // the template (one sweep per requested size); --large and
+        // --routing mutate the file's sweeps in place, preserving its
+        // buffer list.
+        if args.get("buffers").is_some() {
+            let template = plan.sweeps[0].clone();
+            plan.sweeps = buffers
+                .iter()
+                .map(|&b| {
+                    let mut s = template.clone();
+                    s.sim.buf_per_port = b;
+                    s
+                })
+                .collect();
+        }
+        for sweep in &mut plan.sweeps {
+            if args.flag("large") {
+                sweep.topos = vec![topo.clone()];
+            }
+            if args.get("routing").is_some() {
+                sweep.routings = routings.clone();
             }
         }
+
+        // Stream rows as jobs finish, prefixed with their sweep's
+        // buffer size: records arrive in job order, so the per-record
+        // prefix sequence is known up front from the expansion.
+        let mut set = plan.expand()?;
+        let prefixes: Vec<usize> = set
+            .jobs()
+            .iter()
+            .flat_map(|j| {
+                std::iter::repeat_n(plan.sweeps[j.sweep].sim.buf_per_port, j.loads.len())
+            })
+            .collect();
+        struct PrefixSink {
+            prefixes: Vec<usize>,
+            at: usize,
+        }
+        impl RecordSink for PrefixSink {
+            fn begin(&mut self) -> Result<(), SfError> {
+                print_raw_line(&format!("buffer_flits,{}", Record::CSV_HEADER));
+                Ok(())
+            }
+
+            fn record(&mut self, r: &Record) -> Result<(), SfError> {
+                // `to_csv` is already per-field quoted; prefix the
+                // buffer column and emit verbatim.
+                print_raw_line(&format!("{},{}", self.prefixes[self.at], r.to_csv()));
+                self.at += 1;
+                Ok(())
+            }
+        }
+        let mut sink = PrefixSink { prefixes, at: 0 };
+        Scheduler::new(workers).run(&mut set, &mut sink)?;
         Ok(())
     })
 }

@@ -17,12 +17,20 @@
 //! trajectory; each entry also records its speedup versus the *first*
 //! entry in the file (the pre-CSR-engine baseline).
 //!
-//! Runs are strictly sequential and single-threaded so cycles/sec is an
-//! engine metric, not a parallelism metric (`fig6_latency` and friends
-//! exercise the parallel sweep path). `--repeat N` (default 3) runs
-//! every cell N times and reports the fastest wall time — the standard
-//! guard against scheduler noise on shared machines; the simulated
-//! results are identical across repeats (same seed), only timing varies.
+//! The headline cells are strictly sequential and single-threaded so
+//! cycles/sec is an engine metric, not a parallelism metric. `--repeat
+//! N` (default 3) runs every cell N times and reports the fastest wall
+//! time — the standard guard against scheduler noise on shared
+//! machines; the simulated results are identical across repeats (same
+//! seed), only timing varies.
+//!
+//! A second section then times the **work-stealing scheduler** on the
+//! same pinned sweep — a heterogeneous job mix (low loads drain almost
+//! instantly, the 0.5 UGAL-G point dominates) — once with a single
+//! worker and once with `--workers N` (default 4, or the machine's
+//! parallelism if larger), asserting both record streams are
+//! byte-identical and appending a `workers=N` speedup entry to
+//! `BENCH_sim.json`. `--seq-only` skips this section.
 
 use sf_bench::{print_raw_line, run_cli};
 use slimfly::prelude::*;
@@ -119,6 +127,31 @@ fn entry_json(tag: &str, topo: &str, cells: &[Cell], speedup_vs_first: Option<f6
     )
 }
 
+/// One scheduler-timing entry: the pinned sweep through the
+/// work-stealing scheduler with one worker vs `workers` workers.
+fn sched_entry_json(tag: &str, topo: &str, workers: usize, wall1_ms: f64, walln_ms: f64) -> String {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "    {{\n      \"tag\": {},\n      \"topo\": {},\n      \
+         \"unix_time\": {unix_time},\n      \"workers\": {workers},\n      \
+         \"available_parallelism\": {hw},\n      \
+         \"sched_wall_ms_workers1\": {},\n      \
+         \"sched_wall_ms_workersN\": {},\n      \
+         \"sched_speedup\": {},\n      \"configs\": []\n    }}",
+        json_s(tag),
+        json_s(topo),
+        json_f(wall1_ms),
+        json_f(walln_ms),
+        json_f(wall1_ms / walln_ms.max(1e-12)),
+    )
+}
+
 /// First entry's `total_wall_ms` in an existing BENCH_sim.json — the
 /// baseline every later entry is compared against — provided that
 /// entry ran the same pinned topology (a `--quick` run must not be
@@ -193,7 +226,7 @@ fn main() {
             let router = parsed.build(&net.graph, &tables)?;
             for &load in &loads {
                 let mut c = cfg;
-                c.seed = cfg.seed.wrapping_add((load * 1e4) as u64);
+                c.seed = LoadSweep::seed_for_load(&cfg, load);
                 let mut wall_ms = f64::INFINITY;
                 let mut res = None;
                 for _ in 0..repeat {
@@ -227,6 +260,64 @@ fn main() {
         let total_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
         print_raw_line(&format!("total wall: {total_ms:.1} ms"));
 
+        // Scheduler section: the same heterogeneous sweep as one
+        // work-stealing JobSet, workers=1 vs workers=N (prepare —
+        // topology + tables — excluded from both timings).
+        let seq_only = args.flag("seq-only");
+        let workers: usize = args.value(
+            "workers",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(4),
+        )?;
+        let mut sched_walls: Option<(f64, f64)> = None;
+        if !seq_only {
+            let plan = slimfly::ExperimentPlan {
+                name: "perf_smoke".into(),
+                title: None,
+                sweeps: vec![slimfly::SweepPlan {
+                    topos: vec![spec.clone()],
+                    routings: routings
+                        .iter()
+                        .map(|r| r.parse::<RoutingSpec>())
+                        .collect::<Result<_, _>>()?,
+                    traffic: TrafficSpec::Uniform,
+                    loads: loads.to_vec(),
+                    sim: cfg,
+                    warm_start: false,
+                }],
+            };
+            let mut set = plan.expand()?;
+            set.prepare()?;
+            let mut time_run = |n: usize| -> Result<(f64, Vec<String>), SfError> {
+                let mut best = f64::INFINITY;
+                let mut rows = Vec::new();
+                for _ in 0..repeat {
+                    let mut sink = MemorySink::new();
+                    let t0 = Instant::now();
+                    Scheduler::new(n).run(&mut set, &mut sink)?;
+                    best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                    rows = sink.records().iter().map(|r| r.to_csv()).collect();
+                }
+                Ok((best, rows))
+            };
+            let (wall1, rows1) = time_run(1)?;
+            let (walln, rowsn) = time_run(workers)?;
+            if rows1 != rowsn {
+                return Err(SfError::Experiment(
+                    "scheduler record stream changed with the worker count".into(),
+                ));
+            }
+            print_raw_line(&format!(
+                "scheduler: workers=1 {wall1:.1} ms, workers={workers} {walln:.1} ms \
+                 ({:.2}x, {} jobs)",
+                wall1 / walln.max(1e-12),
+                set.jobs().len(),
+            ));
+            sched_walls = Some((wall1, walln));
+        }
+
         if no_write {
             return Ok(());
         }
@@ -244,6 +335,11 @@ fn main() {
         let entry = entry_json(&tag, topo, &cells, speedup);
         append_entry(&out, &entry)?;
         print_raw_line(&format!("appended entry '{tag}' to {out}"));
+        if let Some((wall1, walln)) = sched_walls {
+            let entry = sched_entry_json(&format!("{tag}-sched"), topo, workers, wall1, walln);
+            append_entry(&out, &entry)?;
+            print_raw_line(&format!("appended entry '{tag}-sched' to {out}"));
+        }
         Ok(())
     })
 }

@@ -62,6 +62,56 @@ pub fn print_records(records: &[Record]) {
     }
 }
 
+/// A [`slimfly::sink::RecordSink`] that streams CSV rows to stdout as
+/// jobs finish (broken-pipe-safe like every bench binary) and
+/// optionally keeps a copy of the records for post-processing (report
+/// generation, parity checks).
+#[derive(Default)]
+pub struct StdoutCsvSink {
+    /// Suppress stdout (still collects when `collect` is set).
+    pub quiet: bool,
+    /// Keep records in [`StdoutCsvSink::records`].
+    pub collect: bool,
+    /// Collected records (when `collect`).
+    pub records: Vec<Record>,
+}
+
+impl slimfly::sink::RecordSink for StdoutCsvSink {
+    fn begin(&mut self) -> Result<(), SfError> {
+        if !self.quiet {
+            print_raw_line(Record::CSV_HEADER);
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, r: &Record) -> Result<(), SfError> {
+        if !self.quiet {
+            print_raw_line(&r.to_csv());
+        }
+        if self.collect {
+            self.records.push(r.clone());
+        }
+        Ok(())
+    }
+}
+
+/// Runs a plan through the work-stealing scheduler, streaming CSV to
+/// stdout, and returns the schedule report — the shared execution path
+/// of the figure wrapper binaries (records stream; nothing is
+/// buffered).
+pub fn run_plan_stdout(
+    plan: &slimfly::ExperimentPlan,
+    workers: usize,
+) -> Result<slimfly::schedule::ScheduleReport, SfError> {
+    let mut set = plan.expand()?;
+    let mut sink = StdoutCsvSink {
+        quiet: false,
+        collect: false,
+        records: Vec::new(),
+    };
+    slimfly::Scheduler::new(workers).run(&mut set, &mut sink)
+}
+
 /// Runs a bench body with parsed [`SweepArgs`], reporting any
 /// [`SfError`] on stderr with a non-zero exit code — the shared `main`
 /// of every binary in this crate. After the body succeeds, any

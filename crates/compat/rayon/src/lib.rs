@@ -4,10 +4,16 @@
 //! this crate provides the parallel-iterator subset the workspace uses
 //! (`into_par_iter()` / `par_iter()` followed by one `map` and a
 //! terminal `sum` / `collect` / `min_by_key` / `try_reduce`), executed
-//! on scoped `std::thread` workers with contiguous chunking. The
-//! workspace's parallel sections are all coarse-grained (a BFS per
-//! source, a simulation per offered load), so plain chunking recovers
-//! nearly all of rayon's benefit without a work-stealing pool.
+//! on scoped `std::thread` workers that **claim items dynamically**
+//! from a shared queue (an atomic cursor over the item list) instead of
+//! the fixed contiguous chunks earlier versions used. Heterogeneous
+//! items — a saturated simulation next to one that drains instantly —
+//! therefore balance automatically: a worker that finishes early keeps
+//! claiming, it is never stuck with a pre-assigned chunk. (Whole-sweep
+//! scheduling with persistent workers, stealing *between* worker
+//! deques and streamed results lives one level up, in
+//! `slimfly::schedule::Scheduler`; this crate stays a drop-in for
+//! rayon's iterator façade.)
 //!
 //! Thread count: `RAYON_NUM_THREADS` if set, else
 //! `std::thread::available_parallelism()`.
@@ -32,38 +38,55 @@ pub mod iter {
     }
 
     /// Applies `f` to every item on scoped worker threads, preserving
-    /// input order in the output.
+    /// input order in the output. Workers claim items one at a time
+    /// through a shared atomic cursor, so uneven item costs balance
+    /// dynamically (no fixed chunk assignment).
     fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
         let threads = num_threads(items.len());
         if threads <= 1 {
             return items.into_iter().map(f).collect();
         }
-        let chunk_size = items.len().div_ceil(threads);
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-        let mut it = items.into_iter();
-        loop {
-            let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
-            if chunk.is_empty() {
-                break;
-            }
-            chunks.push(chunk);
-        }
-        let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        // Item cells are taken by exactly one worker; result cells are
+        // written by exactly one worker. The per-cell mutexes are
+        // uncontended (the cursor hands every index to one claimant)
+        // and negligible next to the coarse-grained work items this
+        // façade is used for.
+        let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("parallel worker panicked"));
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let item = tasks[i]
+                        .lock()
+                        .expect("task cell poisoned")
+                        .take()
+                        .expect("task claimed twice");
+                    let r = f(item);
+                    *results[i].lock().expect("result cell poisoned") = Some(r);
+                });
             }
         });
-        results.into_iter().flatten().collect()
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result cell poisoned")
+                    .expect("parallel worker panicked")
+            })
+            .collect()
     }
 
     /// A materialized "parallel" iterator: the item list awaiting a

@@ -41,6 +41,9 @@ pub enum SfError {
     /// A command-line flag could not be interpreted (`sf-bench`'s shared
     /// `SweepArgs` parser).
     Cli(String),
+    /// An experiment file (TOML/JSON plan) could not be parsed or
+    /// interpreted against the plan schema.
+    Plan(String),
     /// Writing records to a sink failed.
     Io(std::io::Error),
 }
@@ -59,6 +62,7 @@ impl fmt::Display for SfError {
             SfError::Traffic(e) => write!(f, "traffic pattern error: {e}"),
             SfError::Experiment(msg) => write!(f, "ill-formed experiment: {msg}"),
             SfError::Cli(msg) => write!(f, "bad command line: {msg}"),
+            SfError::Plan(msg) => write!(f, "bad experiment file: {msg}"),
             SfError::Io(e) => write!(f, "record output failed: {e}"),
         }
     }

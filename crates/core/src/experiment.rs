@@ -34,11 +34,14 @@
 //! surface as typed [`SfError`]s when the experiment executes.
 
 use crate::error::SfError;
+use crate::plan::{ExperimentPlan, SweepPlan};
+use crate::schedule::Scheduler;
+use crate::sink::MemorySink;
 use crate::spec::TopologySpec;
 use sf_cost::{CostBreakdown, CostModel};
 use sf_flow::{average_hops_uniform, uniform_channel_loads};
-use sf_routing::{RoutingSpec, RoutingTables};
-use sf_sim::{LoadSweep, SimConfig};
+use sf_routing::RoutingSpec;
+use sf_sim::SimConfig;
 use sf_topo::Network;
 use sf_traffic::TrafficSpec;
 
@@ -256,6 +259,7 @@ pub struct Experiment {
     traffic: TrafficSpec,
     loads: Vec<f64>,
     sim: SimConfig,
+    warm_start: bool,
 }
 
 impl Experiment {
@@ -271,6 +275,7 @@ impl Experiment {
             traffic: TrafficSpec::Uniform,
             loads: (1..10).map(|i| i as f64 / 10.0).collect(),
             sim: SimConfig::default(),
+            warm_start: false,
         }
     }
 
@@ -330,6 +335,16 @@ impl Experiment {
         self
     }
 
+    /// Chains the loads of each routing through one warm simulator
+    /// (instead of cold per-load runs): consecutive loads reuse the
+    /// warmed queue state, skipping the cold ramp. Off by default
+    /// because the non-first loads of a chain are then near-identical,
+    /// not bit-identical, to their cold equivalents.
+    pub fn warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
     /// The topology spec this experiment runs on (parsing a string
     /// target if needed).
     pub fn spec(&self) -> Result<TopologySpec, SfError> {
@@ -364,10 +379,39 @@ impl Experiment {
         self.spec()?.build()
     }
 
+    /// Lowers the builder to a single-sweep [`ExperimentPlan`] — the
+    /// declarative form config files use ([`crate::plan`]). String
+    /// topology/routing inputs are parsed here (typed errors), loads
+    /// and VC counts validated by the plan's
+    /// [`expand`](ExperimentPlan::expand).
+    pub fn to_plan(&self) -> Result<ExperimentPlan, SfError> {
+        let spec = self.spec()?;
+        let routings = self.routing_specs()?;
+        Ok(ExperimentPlan {
+            name: spec.to_string(),
+            title: None,
+            sweeps: vec![SweepPlan {
+                topos: vec![spec],
+                routings,
+                traffic: self.traffic,
+                loads: self.loads.clone(),
+                sim: self.sim,
+                warm_start: self.warm_start,
+            }],
+        })
+    }
+
     /// Runs the load sweep through the cycle-level simulator: one
     /// [`Record`] per (routing, load), routings in insertion order and
     /// loads in the given order.
+    ///
+    /// The builder lowers to an [`ExperimentPlan`] and executes through
+    /// the work-stealing [`Scheduler`] (worker count from
+    /// [`Scheduler::default_workers`]); records are ordered by job id,
+    /// so the result is bit-identical to a sequential run.
     pub fn run(&self) -> Result<Vec<Record>, SfError> {
+        // Load/VC validation precedes spec parsing, matching the
+        // pre-plan builder's error precedence.
         if self.loads.is_empty() {
             return Err(SfError::Experiment("no offered loads configured".into()));
         }
@@ -385,40 +429,10 @@ impl Experiment {
                 "num_vcs must be ≥ 1 (the simulator needs at least one virtual channel)".into(),
             ));
         }
-        let spec = self.spec()?;
-        let routings = self.routing_specs()?;
-        let net = spec.build()?;
-        let tables = RoutingTables::new(&net.graph);
-        let pattern = self.traffic.build(&net, &tables)?;
-        let spec_str = spec.to_string();
-        let mut records = Vec::with_capacity(routings.len() * self.loads.len());
-        for rspec in routings {
-            let router = rspec.build(&net.graph, &tables)?;
-            let results = LoadSweep::run(
-                &net,
-                &tables,
-                router.as_ref(),
-                &pattern,
-                &self.loads,
-                self.sim,
-            );
-            for r in results {
-                records.push(Record {
-                    topology: net.name.clone(),
-                    spec: spec_str.clone(),
-                    routing: router.label(),
-                    traffic: pattern.name().to_string(),
-                    offered: r.offered_load,
-                    latency: r.avg_latency,
-                    p99: r.p99_latency,
-                    accepted: r.accepted,
-                    avg_hops: r.avg_hops,
-                    saturated: r.saturated,
-                    max_link_util: r.max_link_util,
-                });
-            }
-        }
-        Ok(records)
+        let mut set = self.to_plan()?.expand()?;
+        let mut sink = MemorySink::new();
+        Scheduler::default().run(&mut set, &mut sink)?;
+        Ok(sink.into_records())
     }
 
     /// Evaluates the analytic flow model on the topology (no

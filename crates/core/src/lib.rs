@@ -71,6 +71,12 @@
 //!
 //! * [`spec`] — [`TopologySpec`], the declarative constructor registry;
 //! * [`experiment`] — the fluent [`Experiment`] builder and [`Record`]s;
+//! * [`plan`] — [`ExperimentPlan`]: whole figures as TOML/JSON data,
+//!   expanded to a deterministic [`JobSet`];
+//! * [`schedule`] — the work-stealing [`Scheduler`] executing job sets
+//!   on persistent workers;
+//! * [`sink`] — streaming [`RecordSink`]s (CSV/JSON-lines/memory/tee);
+//! * [`report`] — markdown report generation for EXPERIMENTS.md;
 //! * [`error`] — the workspace-wide [`SfError`];
 //! * [`zoo`] — the paper's "library of practical topologies" (§VII-A);
 //! * [`expansion`] — incremental endpoint growth (§VII-C).
@@ -87,20 +93,30 @@ pub use sf_traffic as traffic;
 pub mod error;
 pub mod expansion;
 pub mod experiment;
+pub mod plan;
+pub mod report;
+pub mod schedule;
+pub mod sink;
 pub mod spec;
 pub mod zoo;
 
 pub use error::SfError;
 pub use experiment::{Experiment, FlowSummary, Record};
+pub use plan::{ExperimentPlan, Job, JobSet, SweepPlan};
+pub use schedule::Scheduler;
 pub use sf_routing::{Router, RoutingError, RoutingSpec};
 pub use sf_topo::{Network, SlimFly, TopologyKind};
 pub use sf_traffic::{TrafficError, TrafficSpec};
+pub use sink::{CsvSink, JsonLinesSink, MemorySink, RecordSink, TeeSink};
 pub use spec::TopologySpec;
 
 /// Commonly used items for quick experiments.
 pub mod prelude {
     pub use crate::error::SfError;
     pub use crate::experiment::{write_csv, write_json_lines, Experiment, FlowSummary, Record};
+    pub use crate::plan::{ExperimentPlan, Job, JobSet, SweepPlan};
+    pub use crate::schedule::Scheduler;
+    pub use crate::sink::{CsvSink, JsonLinesSink, MemorySink, RecordSink, TeeSink};
     pub use crate::spec::{self, TopologySpec};
     pub use crate::zoo::{self, SlimFlyConfig};
     pub use sf_cost::{CostBreakdown, CostModel};

@@ -1,0 +1,973 @@
+//! Experiments as data: the declarative [`ExperimentPlan`].
+//!
+//! A plan is the checked-in, runnable description of a whole paper
+//! figure — a list of sweeps, each a cross-product of topologies ×
+//! routings × one traffic pattern × offered loads under one simulator
+//! configuration. Plans parse from TOML or JSON experiment files
+//! ([`ExperimentPlan::from_path`]), print back to canonical TOML
+//! ([`ExperimentPlan::to_toml_string`]), and expand to a flat,
+//! deterministic [`JobSet`] ([`ExperimentPlan::expand`]) that the
+//! [`Scheduler`](crate::schedule::Scheduler) executes on parallel
+//! workers. The fluent [`Experiment`](crate::Experiment) builder is a
+//! front-end that lowers to a single-sweep plan
+//! ([`Experiment::to_plan`](crate::Experiment::to_plan)).
+//!
+//! # Experiment-file schema (TOML)
+//!
+//! ```toml
+//! [figure]
+//! name = "fig8"                     # required
+//! title = "Oversubscribed Slim Fly" # optional
+//!
+//! [defaults]                        # optional, inherited by sweeps
+//! loads = [0.1, 0.5, 0.9]
+//! routing = ["min", "ugal-l:c=4"]
+//! traffic = "uniform"
+//! warm_start = false
+//!
+//! [defaults.sim]                    # any SimConfig field
+//! warmup = 1000
+//! measure = 2000
+//! drain = 6000
+//!
+//! [[sweep]]                         # one or more sweeps
+//! topo = "sf:q=7"                   # or: topos = ["sf:q=7", "df:p=3"]
+//! traffic = "worst"                 # overrides the default
+//! loads = [0.05, 0.1, 0.2]
+//!
+//! [sweep.sim]                       # per-sweep SimConfig overrides
+//! num_vcs = 6
+//! ```
+//!
+//! The same structure as a JSON object (`{"figure": {...}, "sweep":
+//! [...]}`) parses through [`ExperimentPlan::from_json_str`]. Leaf
+//! values reuse the workspace string grammars: topologies are
+//! [`TopologySpec`] strings, routings [`RoutingSpec`] strings, traffic
+//! a [`TrafficSpec`] name.
+//!
+//! # Expansion and determinism
+//!
+//! [`ExperimentPlan::expand`] flattens sweeps in file order, each sweep
+//! over its topologies, then routings, then loads — exactly the
+//! nesting the fluent builder executes — assigning consecutive job
+//! ids. Record order is **defined by job id**, never by completion
+//! order, so a parallel run's output is byte-identical to a sequential
+//! one. With `warm_start = false` (the default) every load is its own
+//! [`Job`] and runs cold, bit-identical to the builder path; with
+//! `warm_start = true` the loads of one (topology, routing) chain into
+//! a single job that reuses the warmed simulator state between loads
+//! (see [`sf_sim::LoadSweep::run_warm`]).
+
+use crate::error::SfError;
+use crate::experiment::Record;
+use crate::spec::TopologySpec;
+use rayon::prelude::*;
+use sf_routing::{Router, RoutingSpec, RoutingTables};
+use sf_sim::{LoadSweep, SimConfig, Simulator};
+use sf_topo::Network;
+use sf_traffic::{TrafficPattern, TrafficSpec};
+use std::path::Path;
+use std::sync::OnceLock;
+use toml::{Map, Value};
+
+/// A declarative, serializable experiment: what a `figures/*.toml`
+/// file describes and the fluent builder lowers to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentPlan {
+    /// Short identifier (`fig8`); used in reports and logs.
+    pub name: String,
+    /// Optional human title for report headings.
+    pub title: Option<String>,
+    /// The sweeps, executed in order.
+    pub sweeps: Vec<SweepPlan>,
+}
+
+/// One sweep of a plan: topologies × routings × loads under one
+/// traffic pattern and simulator configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPlan {
+    /// Topologies, by declarative spec.
+    pub topos: Vec<TopologySpec>,
+    /// Routing schemes, in sweep order.
+    pub routings: Vec<RoutingSpec>,
+    /// Traffic pattern.
+    pub traffic: TrafficSpec,
+    /// Offered loads, in sweep order.
+    pub loads: Vec<f64>,
+    /// Fully-resolved simulator configuration.
+    pub sim: SimConfig,
+    /// Chain the loads of each (topology, routing) through one warm
+    /// simulator instead of cold per-load runs (off by default; results
+    /// for non-first loads are then near-identical, not bit-identical).
+    pub warm_start: bool,
+}
+
+impl Default for SweepPlan {
+    fn default() -> Self {
+        SweepPlan {
+            topos: Vec::new(),
+            routings: vec![RoutingSpec::Min],
+            traffic: TrafficSpec::Uniform,
+            loads: (1..10).map(|i| i as f64 / 10.0).collect(),
+            sim: SimConfig::default(),
+            warm_start: false,
+        }
+    }
+}
+
+impl ExperimentPlan {
+    /// Parses a TOML experiment file.
+    pub fn from_toml_str(text: &str) -> Result<Self, SfError> {
+        let value = toml::from_str(text).map_err(|e| SfError::Plan(e.to_string()))?;
+        Self::from_value(&value)
+    }
+
+    /// Parses a JSON experiment file (same schema as the TOML form).
+    pub fn from_json_str(text: &str) -> Result<Self, SfError> {
+        let value = toml::json::from_str(text).map_err(|e| SfError::Plan(e.to_string()))?;
+        Self::from_value(&value)
+    }
+
+    /// Loads a plan from a `.toml` or `.json` file (dispatching on the
+    /// extension).
+    pub fn from_path(path: &Path) -> Result<Self, SfError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SfError::Plan(format!("cannot read {}: {e}", path.display())))?;
+        let parsed = match path.extension().and_then(|e| e.to_str()) {
+            Some("toml") => Self::from_toml_str(&text),
+            Some("json") => Self::from_json_str(&text),
+            other => Err(SfError::Plan(format!(
+                "unsupported experiment-file extension {other:?} (expected .toml or .json)"
+            ))),
+        };
+        parsed.map_err(|e| match e {
+            SfError::Plan(msg) => SfError::Plan(format!("{}: {msg}", path.display())),
+            e => e,
+        })
+    }
+
+    /// Interprets a parsed value tree against the plan schema.
+    pub fn from_value(value: &Value) -> Result<Self, SfError> {
+        let root = value
+            .as_table()
+            .ok_or_else(|| plan_err("the experiment file must be a table at top level"))?;
+        for key in root.keys() {
+            if !matches!(key.as_str(), "figure" | "defaults" | "sweep") {
+                return Err(plan_err(&format!(
+                    "unknown top-level key {key:?} (expected figure, defaults, sweep)"
+                )));
+            }
+        }
+        let figure = value
+            .get("figure")
+            .ok_or_else(|| plan_err("missing [figure] table"))?;
+        let name = figure
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| plan_err("[figure] needs a string `name`"))?
+            .to_string();
+        let title = match figure.get("title") {
+            None => None,
+            Some(t) => Some(
+                t.as_str()
+                    .ok_or_else(|| plan_err("figure.title must be a string"))?
+                    .to_string(),
+            ),
+        };
+        for key in figure.as_table().into_iter().flat_map(|t| t.keys()) {
+            if !matches!(key.as_str(), "name" | "title") {
+                return Err(plan_err(&format!("unknown [figure] key {key:?}")));
+            }
+        }
+
+        let defaults = SweepDefaults::from_value(value.get("defaults"))?;
+        let sweeps_v = value
+            .get("sweep")
+            .and_then(Value::as_array)
+            .ok_or_else(|| plan_err("missing [[sweep]] entries"))?;
+        if sweeps_v.is_empty() {
+            return Err(plan_err("an experiment file needs at least one [[sweep]]"));
+        }
+        let sweeps = sweeps_v
+            .iter()
+            .enumerate()
+            .map(|(i, sv)| {
+                SweepPlan::from_value(sv, &defaults).map_err(|e| match e {
+                    // Keep leaf grammar errors typed; add sweep context
+                    // only to schema-shape failures.
+                    SfError::Plan(msg) => plan_err(&format!("sweep #{}: {msg}", i + 1)),
+                    other => other,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExperimentPlan {
+            name,
+            title,
+            sweeps,
+        })
+    }
+
+    /// Renders the plan as a canonical TOML document (fully resolved:
+    /// no `[defaults]`, every sweep carries its complete `sim` table).
+    /// `from_toml_str` of the result reproduces the plan exactly.
+    pub fn to_toml_string(&self) -> String {
+        let mut root = Map::new();
+        let mut figure = Map::new();
+        figure.insert("name".into(), Value::String(self.name.clone()));
+        if let Some(t) = &self.title {
+            figure.insert("title".into(), Value::String(t.clone()));
+        }
+        root.insert("figure".into(), Value::Table(figure));
+        let sweeps = self
+            .sweeps
+            .iter()
+            .map(|s| {
+                let mut t = Map::new();
+                t.insert(
+                    "topos".into(),
+                    Value::Array(
+                        s.topos
+                            .iter()
+                            .map(|x| Value::String(x.to_string()))
+                            .collect(),
+                    ),
+                );
+                t.insert(
+                    "routing".into(),
+                    Value::Array(
+                        s.routings
+                            .iter()
+                            .map(|x| Value::String(x.to_string()))
+                            .collect(),
+                    ),
+                );
+                t.insert("traffic".into(), Value::String(s.traffic.to_string()));
+                t.insert(
+                    "loads".into(),
+                    Value::Array(s.loads.iter().map(|&l| Value::Float(l)).collect()),
+                );
+                t.insert("warm_start".into(), Value::Boolean(s.warm_start));
+                t.insert("sim".into(), sim_to_value(&s.sim));
+                Value::Table(t)
+            })
+            .collect();
+        root.insert("sweep".into(), Value::Array(sweeps));
+        Value::Table(root).to_toml_string()
+    }
+
+    /// Expands the plan to its flat, deterministic [`JobSet`]: sweeps
+    /// in order, each over topologies → routings → loads, with
+    /// consecutive job ids. Validates loads, VC counts and routing
+    /// parameters; topology *construction* is deferred to
+    /// [`JobSet::prepare`].
+    pub fn expand(&self) -> Result<JobSet, SfError> {
+        let mut topos: Vec<TopologySpec> = Vec::new();
+        let mut jobs = Vec::new();
+        for (si, sweep) in self.sweeps.iter().enumerate() {
+            if sweep.loads.is_empty() {
+                return Err(SfError::Experiment("no offered loads configured".into()));
+            }
+            if let Some(&bad) = sweep
+                .loads
+                .iter()
+                .find(|l| !(0.0..=1.0).contains(*l) || l.is_nan())
+            {
+                return Err(SfError::Experiment(format!(
+                    "offered load {bad} outside [0, 1]"
+                )));
+            }
+            if sweep.sim.num_vcs == 0 {
+                return Err(SfError::Experiment(
+                    "num_vcs must be ≥ 1 (the simulator needs at least one virtual channel)".into(),
+                ));
+            }
+            if sweep.topos.is_empty() {
+                return Err(SfError::Experiment(format!(
+                    "sweep #{} names no topologies",
+                    si + 1
+                )));
+            }
+            if sweep.routings.is_empty() {
+                return Err(SfError::Experiment(format!(
+                    "sweep #{} names no routings",
+                    si + 1
+                )));
+            }
+            for topo in &sweep.topos {
+                let ti = match topos.iter().position(|t| t == topo) {
+                    Some(i) => i,
+                    None => {
+                        topos.push(topo.clone());
+                        topos.len() - 1
+                    }
+                };
+                for routing in &sweep.routings {
+                    routing.validate()?;
+                    let chains: Vec<Vec<f64>> = if sweep.warm_start {
+                        vec![sweep.loads.clone()]
+                    } else {
+                        sweep.loads.iter().map(|&l| vec![l]).collect()
+                    };
+                    for loads in chains {
+                        jobs.push(Job {
+                            id: jobs.len(),
+                            sweep: si,
+                            topo: ti,
+                            routing: *routing,
+                            traffic: sweep.traffic,
+                            loads,
+                            sim: sweep.sim,
+                            warm_start: sweep.warm_start,
+                        });
+                    }
+                }
+            }
+        }
+        // Deduplicate the expensive per-(topology, routing) router
+        // builds and per-(topology, traffic) pattern builds across
+        // jobs: with warm_start = false every load is its own job, and
+        // rebuilding e.g. FatPaths layer sets once per load point
+        // would multiply the precomputation by the sweep length.
+        let mut router_keys: Vec<(usize, RoutingSpec)> = Vec::new();
+        let mut pattern_keys: Vec<(usize, TrafficSpec)> = Vec::new();
+        let mut router_of = Vec::with_capacity(jobs.len());
+        let mut pattern_of = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let rk = (job.topo, job.routing);
+            router_of.push(match router_keys.iter().position(|k| *k == rk) {
+                Some(i) => i,
+                None => {
+                    router_keys.push(rk);
+                    router_keys.len() - 1
+                }
+            });
+            let pk = (job.topo, job.traffic);
+            pattern_of.push(match pattern_keys.iter().position(|k| *k == pk) {
+                Some(i) => i,
+                None => {
+                    pattern_keys.push(pk);
+                    pattern_keys.len() - 1
+                }
+            });
+        }
+        Ok(JobSet {
+            jobs,
+            topos,
+            ctxs: Vec::new(),
+            routers: (0..router_keys.len()).map(|_| OnceLock::new()).collect(),
+            router_of,
+            patterns: (0..pattern_keys.len()).map(|_| OnceLock::new()).collect(),
+            pattern_of,
+        })
+    }
+}
+
+fn plan_err(msg: &str) -> SfError {
+    SfError::Plan(msg.to_string())
+}
+
+/// Values a `[defaults]` table pre-sets for every sweep.
+#[derive(Clone, Debug, Default)]
+struct SweepDefaults {
+    routings: Option<Vec<RoutingSpec>>,
+    traffic: Option<TrafficSpec>,
+    loads: Option<Vec<f64>>,
+    sim: Option<Value>,
+    warm_start: Option<bool>,
+}
+
+impl SweepDefaults {
+    fn from_value(v: Option<&Value>) -> Result<Self, SfError> {
+        let Some(v) = v else {
+            return Ok(SweepDefaults::default());
+        };
+        let t = v
+            .as_table()
+            .ok_or_else(|| plan_err("[defaults] must be a table"))?;
+        for key in t.keys() {
+            if !matches!(
+                key.as_str(),
+                "routing" | "traffic" | "loads" | "sim" | "warm_start"
+            ) {
+                return Err(plan_err(&format!("unknown [defaults] key {key:?}")));
+            }
+        }
+        Ok(SweepDefaults {
+            routings: v.get("routing").map(parse_routings).transpose()?,
+            traffic: v.get("traffic").map(parse_traffic).transpose()?,
+            loads: v.get("loads").map(parse_loads).transpose()?,
+            sim: v.get("sim").cloned(),
+            warm_start: match v.get("warm_start") {
+                None => None,
+                Some(b) => Some(
+                    b.as_bool()
+                        .ok_or_else(|| plan_err("warm_start must be a boolean"))?,
+                ),
+            },
+        })
+    }
+}
+
+impl SweepPlan {
+    fn from_value(v: &Value, defaults: &SweepDefaults) -> Result<Self, SfError> {
+        let t = v
+            .as_table()
+            .ok_or_else(|| plan_err("each [[sweep]] must be a table"))?;
+        for key in t.keys() {
+            if !matches!(
+                key.as_str(),
+                "topo" | "topos" | "routing" | "traffic" | "loads" | "sim" | "warm_start"
+            ) {
+                return Err(plan_err(&format!("unknown sweep key {key:?}")));
+            }
+        }
+        let topos = match (v.get("topo"), v.get("topos")) {
+            (Some(_), Some(_)) => return Err(plan_err("give either `topo` or `topos`, not both")),
+            (Some(one), None) => vec![parse_topo(one)?],
+            (None, Some(many)) => many
+                .as_array()
+                .ok_or_else(|| plan_err("topos must be an array of spec strings"))?
+                .iter()
+                .map(parse_topo)
+                .collect::<Result<Vec<_>, _>>()?,
+            (None, None) => return Err(plan_err("missing `topo` (or `topos`)")),
+        };
+        if topos.is_empty() {
+            return Err(plan_err("`topos` must not be empty"));
+        }
+        let routings = match v.get("routing") {
+            Some(r) => parse_routings(r)?,
+            None => defaults
+                .routings
+                .clone()
+                .unwrap_or_else(|| vec![RoutingSpec::Min]),
+        };
+        let traffic = match v.get("traffic") {
+            Some(tr) => parse_traffic(tr)?,
+            None => defaults.traffic.unwrap_or(TrafficSpec::Uniform),
+        };
+        let loads = match v.get("loads") {
+            Some(l) => parse_loads(l)?,
+            None => defaults
+                .loads
+                .clone()
+                .unwrap_or_else(|| (1..10).map(|i| i as f64 / 10.0).collect()),
+        };
+        let mut sim = SimConfig::default();
+        if let Some(d) = &defaults.sim {
+            apply_sim(&mut sim, d)?;
+        }
+        if let Some(s) = v.get("sim") {
+            apply_sim(&mut sim, s)?;
+        }
+        let warm_start = match v.get("warm_start") {
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| plan_err("warm_start must be a boolean"))?,
+            None => defaults.warm_start.unwrap_or(false),
+        };
+        Ok(SweepPlan {
+            topos,
+            routings,
+            traffic,
+            loads,
+            sim,
+            warm_start,
+        })
+    }
+}
+
+fn parse_topo(v: &Value) -> Result<TopologySpec, SfError> {
+    v.as_str()
+        .ok_or_else(|| plan_err("topology entries must be spec strings like \"sf:q=19\""))?
+        .parse()
+}
+
+fn parse_routings(v: &Value) -> Result<Vec<RoutingSpec>, SfError> {
+    let one = |s: &Value| -> Result<RoutingSpec, SfError> {
+        Ok(s.as_str()
+            .ok_or_else(|| plan_err("routing entries must be spec strings like \"ugal-l:c=4\""))?
+            .parse::<RoutingSpec>()?)
+    };
+    match v {
+        Value::String(_) => Ok(vec![one(v)?]),
+        Value::Array(items) => items.iter().map(one).collect(),
+        _ => Err(plan_err(
+            "routing must be a spec string or an array of spec strings",
+        )),
+    }
+}
+
+fn parse_traffic(v: &Value) -> Result<TrafficSpec, SfError> {
+    Ok(v.as_str()
+        .ok_or_else(|| plan_err("traffic must be a pattern name like \"uniform\""))?
+        .parse::<TrafficSpec>()?)
+}
+
+fn parse_loads(v: &Value) -> Result<Vec<f64>, SfError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| plan_err("loads must be an array of numbers"))?;
+    items
+        .iter()
+        .map(|l| {
+            l.as_float()
+                .ok_or_else(|| plan_err("loads must be numbers"))
+        })
+        .collect()
+}
+
+/// Applies the keys of a `sim` table onto a [`SimConfig`].
+fn apply_sim(cfg: &mut SimConfig, v: &Value) -> Result<(), SfError> {
+    let t = v
+        .as_table()
+        .ok_or_else(|| plan_err("sim must be a table of SimConfig fields"))?;
+    for (key, val) in t {
+        let as_usize = || -> Result<usize, SfError> {
+            val.as_int()
+                .filter(|&i| i >= 0)
+                .map(|i| i as usize)
+                .ok_or_else(|| plan_err(&format!("sim.{key} must be a non-negative integer")))
+        };
+        let as_u32 = || -> Result<u32, SfError> {
+            val.as_int()
+                .filter(|&i| (0..=u32::MAX as i64).contains(&i))
+                .map(|i| i as u32)
+                .ok_or_else(|| plan_err(&format!("sim.{key} must be a u32 integer")))
+        };
+        match key.as_str() {
+            "num_vcs" => cfg.num_vcs = as_usize()?,
+            "buf_per_port" => cfg.buf_per_port = as_usize()?,
+            "channel_latency" => cfg.channel_latency = as_u32()?,
+            "router_delay" => cfg.router_delay = as_u32()?,
+            "credit_delay" => cfg.credit_delay = as_u32()?,
+            "output_speedup" => cfg.output_speedup = as_usize()?,
+            "output_queue_cap" => cfg.output_queue_cap = as_usize()?,
+            "warmup" => cfg.warmup = as_u32()?,
+            "measure" => cfg.measure = as_u32()?,
+            "drain" => cfg.drain = as_u32()?,
+            "seed" => {
+                // Seeds are u64; values above i64::MAX don't fit a TOML
+                // integer and travel as strings (see `sim_to_value`).
+                cfg.seed = match val {
+                    Value::String(s) => s.parse::<u64>().ok(),
+                    _ => val.as_int().filter(|&i| i >= 0).map(|i| i as u64),
+                }
+                .ok_or_else(|| plan_err("sim.seed must be a non-negative integer"))?
+            }
+            other => return Err(plan_err(&format!("unknown sim key {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+fn sim_to_value(cfg: &SimConfig) -> Value {
+    let mut t = Map::new();
+    t.insert("num_vcs".into(), Value::Integer(cfg.num_vcs as i64));
+    t.insert(
+        "buf_per_port".into(),
+        Value::Integer(cfg.buf_per_port as i64),
+    );
+    t.insert(
+        "channel_latency".into(),
+        Value::Integer(cfg.channel_latency as i64),
+    );
+    t.insert(
+        "router_delay".into(),
+        Value::Integer(cfg.router_delay as i64),
+    );
+    t.insert(
+        "credit_delay".into(),
+        Value::Integer(cfg.credit_delay as i64),
+    );
+    t.insert(
+        "output_speedup".into(),
+        Value::Integer(cfg.output_speedup as i64),
+    );
+    t.insert(
+        "output_queue_cap".into(),
+        Value::Integer(cfg.output_queue_cap as i64),
+    );
+    t.insert("warmup".into(), Value::Integer(cfg.warmup as i64));
+    t.insert("measure".into(), Value::Integer(cfg.measure as i64));
+    t.insert("drain".into(), Value::Integer(cfg.drain as i64));
+    t.insert(
+        "seed".into(),
+        match i64::try_from(cfg.seed) {
+            Ok(i) => Value::Integer(i),
+            // Too big for a TOML integer: string form, re-parsed as u64.
+            Err(_) => Value::String(cfg.seed.to_string()),
+        },
+    );
+    Value::Table(t)
+}
+
+/// One schedulable unit: a chain of offered loads on a fixed
+/// (topology, routing, traffic, simulator) configuration. With
+/// `warm_start = false` the chain has exactly one load.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Job {
+    /// Position in the deterministic output order.
+    pub id: usize,
+    /// Index of the sweep (in [`ExperimentPlan::sweeps`]) this job
+    /// came from.
+    pub sweep: usize,
+    /// Index into [`JobSet::topos`].
+    pub topo: usize,
+    /// Routing scheme.
+    pub routing: RoutingSpec,
+    /// Traffic pattern.
+    pub traffic: TrafficSpec,
+    /// Offered loads, run in order (one per job unless warm-started).
+    pub loads: Vec<f64>,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// Whether the loads chain through one warm simulator.
+    pub warm_start: bool,
+}
+
+/// A built (network, routing tables) pair shared by every job on one
+/// topology.
+pub struct JobCtx {
+    /// The concrete network.
+    pub net: Network,
+    /// All-pairs routing tables over `net.graph`.
+    pub tables: RoutingTables,
+}
+
+/// The flat, deterministic expansion of an [`ExperimentPlan`]: jobs in
+/// output order plus the deduplicated topology list they reference.
+pub struct JobSet {
+    jobs: Vec<Job>,
+    topos: Vec<TopologySpec>,
+    ctxs: Vec<JobCtx>,
+    /// Lazily built routers, one slot per distinct (topology, routing)
+    /// pair; `router_of[job.id]` is the slot. Construction is
+    /// deterministic, so a build race between workers settles on
+    /// identical content.
+    routers: Vec<OnceLock<Box<dyn Router>>>,
+    router_of: Vec<usize>,
+    /// Lazily built traffic patterns per distinct (topology, traffic).
+    patterns: Vec<OnceLock<TrafficPattern>>,
+    pattern_of: Vec<usize>,
+}
+
+impl std::fmt::Debug for JobSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Built contexts hold whole networks — summarize instead.
+        f.debug_struct("JobSet")
+            .field("jobs", &self.jobs)
+            .field("topos", &self.topos)
+            .field("prepared", &self.is_prepared())
+            .finish()
+    }
+}
+
+impl JobSet {
+    /// The jobs, in deterministic output (= id) order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The deduplicated topology specs jobs reference by index.
+    pub fn topos(&self) -> &[TopologySpec] {
+        &self.topos
+    }
+
+    /// Total records a full run will emit.
+    pub fn num_records(&self) -> usize {
+        self.jobs.iter().map(|j| j.loads.len()).sum()
+    }
+
+    /// Whether [`JobSet::prepare`] has run.
+    pub fn is_prepared(&self) -> bool {
+        self.ctxs.len() == self.topos.len()
+    }
+
+    /// Builds every referenced network and its routing tables (in
+    /// parallel across topologies). Idempotent; must run before
+    /// [`JobSet::run_job`].
+    pub fn prepare(&mut self) -> Result<(), SfError> {
+        if self.is_prepared() {
+            return Ok(());
+        }
+        let built: Vec<Result<JobCtx, SfError>> = self
+            .topos
+            .par_iter()
+            .map(|spec| {
+                let net = spec.build()?;
+                let tables = RoutingTables::new(&net.graph);
+                Ok(JobCtx { net, tables })
+            })
+            .collect();
+        let mut ctxs = Vec::with_capacity(built.len());
+        for b in built {
+            ctxs.push(b?);
+        }
+        self.ctxs = ctxs;
+        Ok(())
+    }
+
+    /// The built context of a job (panics if not [`prepare`](Self::prepare)d).
+    pub fn ctx(&self, job: &Job) -> &JobCtx {
+        &self.ctxs[job.topo]
+    }
+
+    /// Executes one job, returning its records in load order. The set
+    /// must be prepared. Deterministic: depends only on the job and
+    /// the topology, never on other jobs or thread timing. Router and
+    /// traffic-pattern construction is cached across the jobs sharing
+    /// them (build errors stay per-job and typed: failures are not
+    /// cached, they surface on every affected job).
+    pub fn run_job(&self, job: &Job) -> Result<Vec<Record>, SfError> {
+        assert!(self.is_prepared(), "JobSet::prepare must run before jobs");
+        let ctx = self.ctx(job);
+        let spec_str = self.topos[job.topo].to_string();
+        let router_slot = &self.routers[self.router_of[job.id]];
+        let router: &dyn Router = match router_slot.get() {
+            Some(r) => r.as_ref(),
+            None => {
+                let built = job.routing.build(&ctx.net.graph, &ctx.tables)?;
+                router_slot.get_or_init(|| built).as_ref()
+            }
+        };
+        let pattern_slot = &self.patterns[self.pattern_of[job.id]];
+        let pattern: &TrafficPattern = match pattern_slot.get() {
+            Some(p) => p,
+            None => {
+                let built = job.traffic.build(&ctx.net, &ctx.tables)?;
+                pattern_slot.get_or_init(|| built)
+            }
+        };
+        let results = if job.warm_start {
+            LoadSweep::run_warm(&ctx.net, &ctx.tables, router, pattern, &job.loads, job.sim)
+        } else {
+            // Cold per-load runs, bit-identical to the sequential
+            // builder path (same per-load seed derivation).
+            job.loads
+                .iter()
+                .map(|&load| {
+                    let mut c = job.sim;
+                    c.seed = LoadSweep::seed_for_load(&job.sim, load);
+                    Simulator::new(&ctx.net, &ctx.tables, router, pattern, load, c).run()
+                })
+                .collect()
+        };
+        Ok(results
+            .into_iter()
+            .map(|r| Record {
+                topology: ctx.net.name.clone(),
+                spec: spec_str.clone(),
+                routing: router.label(),
+                traffic: pattern.name().to_string(),
+                offered: r.offered_load,
+                latency: r.avg_latency,
+                p99: r.p99_latency,
+                accepted: r.accepted,
+                avg_hops: r.avg_hops,
+                saturated: r.saturated,
+                max_link_util: r.max_link_util,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG: &str = r#"
+        [figure]
+        name = "smoke"
+        title = "Smoke test"
+
+        [defaults]
+        loads = [0.1, 0.2]
+        routing = ["min", "val"]
+
+        [defaults.sim]
+        warmup = 150
+        measure = 300
+        drain = 1000
+
+        [[sweep]]
+        topo = "sf:q=5"
+
+        [[sweep]]
+        topos = ["sf:q=5", "df:p=3"]
+        routing = "ecmp"
+        traffic = "shift"
+        loads = [0.3]
+        warm_start = true
+
+        [sweep.sim]
+        num_vcs = 6
+    "#;
+
+    #[test]
+    fn parse_applies_defaults_and_overrides() {
+        let plan = ExperimentPlan::from_toml_str(FIG).unwrap();
+        assert_eq!(plan.name, "smoke");
+        assert_eq!(plan.title.as_deref(), Some("Smoke test"));
+        assert_eq!(plan.sweeps.len(), 2);
+        let s0 = &plan.sweeps[0];
+        assert_eq!(s0.topos, vec![TopologySpec::slimfly(5)]);
+        assert_eq!(
+            s0.routings,
+            vec![RoutingSpec::Min, RoutingSpec::Valiant { cap3: false }]
+        );
+        assert_eq!(s0.traffic, TrafficSpec::Uniform);
+        assert_eq!(s0.loads, vec![0.1, 0.2]);
+        assert_eq!(s0.sim.warmup, 150);
+        assert_eq!(s0.sim.num_vcs, SimConfig::default().num_vcs);
+        assert!(!s0.warm_start);
+        let s1 = &plan.sweeps[1];
+        assert_eq!(s1.topos.len(), 2);
+        assert_eq!(s1.routings, vec![RoutingSpec::Ecmp]);
+        assert_eq!(s1.traffic, TrafficSpec::Shift);
+        assert_eq!(s1.loads, vec![0.3]);
+        assert_eq!(s1.sim.num_vcs, 6);
+        assert_eq!(
+            s1.sim.warmup, 150,
+            "defaults.sim survives a sweep.sim override"
+        );
+        assert!(s1.warm_start);
+    }
+
+    #[test]
+    fn expansion_is_flat_and_deterministic() {
+        let plan = ExperimentPlan::from_toml_str(FIG).unwrap();
+        let set = plan.expand().unwrap();
+        // Sweep 0: 1 topo × 2 routings × 2 loads (cold: 1 job each) = 4.
+        // Sweep 1: 2 topos × 1 routing, warm: 1 chained job each = 2.
+        assert_eq!(set.jobs().len(), 6);
+        assert_eq!(set.num_records(), 6);
+        assert_eq!(set.topos().len(), 2, "sf:q=5 deduplicated across sweeps");
+        for (i, j) in set.jobs().iter().enumerate() {
+            assert_eq!(j.id, i);
+        }
+        assert_eq!(set.jobs()[0].loads, vec![0.1]);
+        assert_eq!(set.jobs()[1].loads, vec![0.2]);
+        assert_eq!(set.jobs()[4].loads, vec![0.3]);
+        assert!(set.jobs()[4].warm_start);
+        assert_eq!(set.jobs()[5].topo, 1);
+    }
+
+    #[test]
+    fn toml_round_trip_preserves_plan() {
+        let plan = ExperimentPlan::from_toml_str(FIG).unwrap();
+        let rendered = plan.to_toml_string();
+        let reparsed = ExperimentPlan::from_toml_str(&rendered).unwrap();
+        assert_eq!(plan, reparsed, "rendered:\n{rendered}");
+    }
+
+    #[test]
+    fn seeds_above_i64_max_round_trip() {
+        let mut plan = ExperimentPlan::from_toml_str(FIG).unwrap();
+        plan.sweeps[0].sim.seed = u64::MAX;
+        let rendered = plan.to_toml_string();
+        let reparsed = ExperimentPlan::from_toml_str(&rendered).unwrap();
+        assert_eq!(plan, reparsed, "rendered:\n{rendered}");
+        // Negative integer seeds are still a typed schema error.
+        let err = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n[sweep.sim]\nseed = -1",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfError::Plan(_)), "{err}");
+    }
+
+    #[test]
+    fn json_form_parses_identically() {
+        let json = r#"{
+            "figure": {"name": "smoke"},
+            "sweep": [{"topo": "sf:q=5", "routing": ["min"], "loads": [0.1], "sim": {"warmup": 100}}]
+        }"#;
+        let plan = ExperimentPlan::from_json_str(json).unwrap();
+        assert_eq!(plan.name, "smoke");
+        assert_eq!(plan.sweeps[0].sim.warmup, 100);
+        assert_eq!(plan.sweeps[0].loads, vec![0.1]);
+    }
+
+    #[test]
+    fn schema_errors_are_typed_and_specific() {
+        let cases: &[(&str, &str)] = &[
+            ("[figure]\nname = 3\n[[sweep]]\ntopo = \"sf:q=5\"", "name"),
+            ("[[sweep]]\ntopo = \"sf:q=5\"", "figure"),
+            ("[figure]\nname = \"x\"", "sweep"),
+            ("[figure]\nname = \"x\"\n[[sweep]]\nloads = [0.1]", "topo"),
+            (
+                "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nwat = 1",
+                "wat",
+            ),
+            (
+                "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n[sweep.sim]\nwarmup = -4",
+                "warmup",
+            ),
+            (
+                "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n[sweep.sim]\nwat = 1",
+                "wat",
+            ),
+        ];
+        for (doc, needle) in cases {
+            let err = ExperimentPlan::from_toml_str(doc).unwrap_err();
+            assert!(matches!(err, SfError::Plan(_)), "{doc} → {err}");
+            assert!(
+                err.to_string().contains(needle),
+                "{doc} → {err} (wanted {needle:?})"
+            );
+        }
+        // Leaf grammars keep their own typed errors.
+        let err =
+            ExperimentPlan::from_toml_str("[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"warp:q=9\"")
+                .unwrap_err();
+        assert!(matches!(err, SfError::ParseSpec { .. }), "{err}");
+        let err = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nrouting = \"warp\"",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfError::Routing(_)), "{err}");
+        let err = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\ntraffic = \"wurst\"",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfError::Traffic(_)), "{err}");
+    }
+
+    #[test]
+    fn expansion_validates_loads_and_vcs() {
+        let plan = |extra: &str| {
+            ExperimentPlan::from_toml_str(&format!(
+                "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n{extra}"
+            ))
+            .unwrap()
+        };
+        let err = plan("loads = []").expand().unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
+        let err = plan("loads = [1.5]").expand().unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
+        let err = plan("[sweep.sim]\nnum_vcs = 0").expand().unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
+        // Degenerate routing parameters are parse-time typed errors.
+        let err = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nrouting = [\"ugal-l:c=0\"]",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfError::Routing(_)), "{err}");
+    }
+
+    #[test]
+    fn run_job_executes_and_labels_records() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             [sweep.sim]\nwarmup = 150\nmeasure = 300\ndrain = 1000",
+        )
+        .unwrap();
+        let mut set = plan.expand().unwrap();
+        set.prepare().unwrap();
+        let records = set.run_job(&set.jobs()[0]).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].spec, "sf:q=5");
+        assert_eq!(records[0].routing, "MIN");
+        assert!(records[0].accepted > 0.0);
+    }
+}

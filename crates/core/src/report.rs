@@ -1,0 +1,283 @@
+//! The report generator: sink output → EXPERIMENTS.md.
+//!
+//! [`render_markdown`] turns a stream of [`Record`]s back into the
+//! figure-style summary the paper presents: one section per
+//! (topology, traffic) group with a **mean latency** and an **accepted
+//! throughput** table, routings as rows and offered loads as columns —
+//! the textual equivalent of a latency-vs-load curve. `sf-bench run
+//! <file> --report EXPERIMENTS.md` wires it to the sweep runner; the
+//! output is deterministic for a deterministic record stream, so
+//! generated reports diff cleanly across PRs.
+
+use crate::experiment::{fmt_float, Record};
+use crate::plan::ExperimentPlan;
+
+/// Renders records grouped per (topology, traffic) into markdown
+/// tables (see the [module docs](self)). `heading` becomes the
+/// top-level title; groups, routings and loads all appear in
+/// first-record order, so the layout follows the plan that produced
+/// the stream.
+pub fn render_markdown(heading: &str, records: &[Record]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {heading}\n"));
+    if records.is_empty() {
+        out.push_str("\n_No records._\n");
+        return out;
+    }
+    render_groups(&mut out, records, "");
+    out.push_str("\n† operated past saturation (sample packets not drained).\n");
+    out
+}
+
+/// Renders the (topology, traffic) groups of one record slice, with
+/// `suffix` appended to each group heading (used to disambiguate
+/// sweeps that share topology and traffic).
+fn render_groups(out: &mut String, records: &[Record], suffix: &str) {
+    // Group keys in first-appearance order.
+    let mut groups: Vec<(String, String)> = Vec::new();
+    for r in records {
+        let key = (r.topology.clone(), r.traffic.clone());
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    for (topology, traffic) in &groups {
+        let rows: Vec<&Record> = records
+            .iter()
+            .filter(|r| &r.topology == topology && &r.traffic == traffic)
+            .collect();
+        let mut loads: Vec<f64> = Vec::new();
+        let mut routings: Vec<String> = Vec::new();
+        for r in &rows {
+            if !loads.contains(&r.offered) {
+                loads.push(r.offered);
+            }
+            if !routings.contains(&r.routing) {
+                routings.push(r.routing.clone());
+            }
+        }
+        out.push_str(&format!("\n## {topology} — {traffic} traffic{suffix}\n"));
+        render_table(
+            out,
+            "Mean latency (cycles)",
+            &loads,
+            &routings,
+            &rows,
+            |r| fmt_float(r.latency),
+        );
+        render_table(
+            out,
+            "Accepted throughput (flits/endpoint/cycle)",
+            &loads,
+            &routings,
+            &rows,
+            |r| fmt_float(r.accepted),
+        );
+    }
+}
+
+/// One routing × load table for a single metric; saturated cells are
+/// marked `†`, (routing, load) pairs the stream never produced `—`.
+fn render_table(
+    out: &mut String,
+    title: &str,
+    loads: &[f64],
+    routings: &[String],
+    rows: &[&Record],
+    cell: impl Fn(&Record) -> String,
+) {
+    out.push_str(&format!("\n**{title}**\n\n"));
+    out.push_str("| routing |");
+    for l in loads {
+        out.push_str(&format!(" {} |", fmt_float(*l)));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in loads {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for routing in routings {
+        out.push_str(&format!("| {routing} |"));
+        for &l in loads {
+            let found = rows
+                .iter()
+                .find(|r| &r.routing == routing && r.offered == l);
+            match found {
+                Some(r) if r.saturated => out.push_str(&format!(" {} † |", cell(r))),
+                Some(r) => out.push_str(&format!(" {} |", cell(r))),
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+}
+
+/// Renders a plan's record stream with the plan's own title (falling
+/// back to its name), sectioned **per sweep** so sweeps that share a
+/// (topology, traffic) pair but differ in simulator configuration —
+/// e.g. fig8a's buffer-size series — stay separate tables instead of
+/// the first sweep shadowing the rest. Sweeps whose heading would
+/// collide with an earlier one get the differing `sim` keys appended
+/// (`buf_per_port = 16`). Falls back to the plain grouped rendering
+/// when the stream does not match the plan's expansion.
+pub fn render_plan_report(plan: &ExperimentPlan, records: &[Record]) -> String {
+    let heading = match &plan.title {
+        Some(t) => format!("{} — {t}", plan.name),
+        None => plan.name.clone(),
+    };
+    let Ok(set) = plan.expand() else {
+        return render_markdown(&heading, records);
+    };
+    if set.num_records() != records.len() {
+        return render_markdown(&heading, records);
+    }
+    // Jobs are contiguous per sweep in expansion order; chunk the
+    // record stream accordingly.
+    let mut per_sweep: Vec<usize> = vec![0; plan.sweeps.len()];
+    for job in set.jobs() {
+        per_sweep[job.sweep] += job.loads.len();
+    }
+    let mut out = String::new();
+    out.push_str(&format!("# {heading}\n"));
+    if records.is_empty() {
+        out.push_str("\n_No records._\n");
+        return out;
+    }
+    let mut offset = 0;
+    for (si, (sweep, count)) in plan.sweeps.iter().zip(&per_sweep).enumerate() {
+        let slice = &records[offset..offset + count];
+        offset += count;
+        // Disambiguate against earlier sweeps that render the same
+        // (topology, traffic) headings: list the sim keys that differ.
+        let suffix = plan.sweeps[..si]
+            .iter()
+            .find(|prev| prev.topos == sweep.topos && prev.traffic == sweep.traffic)
+            .map(|prev| {
+                let diff = sim_diff(&prev.sim, &sweep.sim);
+                if diff.is_empty() {
+                    format!(" (sweep {})", si + 1)
+                } else {
+                    format!(" ({diff})")
+                }
+            })
+            .unwrap_or_default();
+        render_groups(&mut out, slice, &suffix);
+    }
+    out.push_str("\n† operated past saturation (sample packets not drained).\n");
+    out
+}
+
+/// The `key = value` pairs in which `b` differs from `a`, in field
+/// order (the heading discriminator for same-topology sweeps).
+fn sim_diff(a: &sf_sim::SimConfig, b: &sf_sim::SimConfig) -> String {
+    let mut parts = Vec::new();
+    macro_rules! diff {
+        ($($field:ident),*) => {
+            $(if a.$field != b.$field {
+                parts.push(format!(concat!(stringify!($field), " = {}"), b.$field));
+            })*
+        };
+    }
+    diff!(
+        num_vcs,
+        buf_per_port,
+        channel_latency,
+        router_delay,
+        credit_delay,
+        output_speedup,
+        output_queue_cap,
+        warmup,
+        measure,
+        drain,
+        seed
+    );
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(topology: &str, routing: &str, offered: f64, latency: f64, saturated: bool) -> Record {
+        Record {
+            topology: topology.into(),
+            spec: "sf:q=5".into(),
+            routing: routing.into(),
+            traffic: "uniform".into(),
+            offered,
+            latency,
+            p99: latency * 2.0,
+            accepted: offered,
+            avg_hops: 1.6,
+            saturated,
+            max_link_util: 0.4,
+        }
+    }
+
+    #[test]
+    fn renders_one_table_per_group_and_metric() {
+        let records = vec![
+            rec("SF(q=5,p=4)", "MIN", 0.1, 11.0, false),
+            rec("SF(q=5,p=4)", "MIN", 0.5, 14.0, false),
+            rec("SF(q=5,p=4)", "VAL", 0.1, 15.0, false),
+            rec("SF(q=5,p=4)", "VAL", 0.5, 99.0, true),
+            rec("DF(p=3)", "MIN", 0.1, 12.0, false),
+        ];
+        let md = render_markdown("fig X", &records);
+        assert!(md.starts_with("# fig X\n"));
+        assert_eq!(md.matches("## ").count(), 2, "{md}");
+        assert_eq!(md.matches("**Mean latency").count(), 2);
+        assert_eq!(md.matches("**Accepted throughput").count(), 2);
+        assert!(md.contains("| MIN | 11.000 | 14.000 |"), "{md}");
+        assert!(md.contains("| VAL | 15.000 | 99.000 † |"), "{md}");
+        // The DF group never saw load 0.5 → no column for it.
+        let df_section = md.split("## DF(p=3)").nth(1).unwrap();
+        assert!(df_section.contains("| routing | 0.100 |"), "{df_section}");
+        assert!(md.contains("† operated past saturation"));
+    }
+
+    #[test]
+    fn empty_stream_renders_placeholder() {
+        let md = render_markdown("empty", &[]);
+        assert!(md.contains("_No records._"));
+    }
+
+    #[test]
+    fn plan_report_keeps_same_topology_sweeps_separate() {
+        // fig8a shape: sweeps identical except for sim.buf_per_port.
+        // Each must render its own section (disambiguated by the
+        // differing sim key) instead of the first shadowing the rest.
+        let plan = ExperimentPlan::from_toml_str(
+            r#"
+            [figure]
+            name = "bufsweep"
+            [[sweep]]
+            topo = "sf:q=5"
+            loads = [0.1]
+            [sweep.sim]
+            buf_per_port = 8
+            [[sweep]]
+            topo = "sf:q=5"
+            loads = [0.1]
+            [sweep.sim]
+            buf_per_port = 16
+            "#,
+        )
+        .unwrap();
+        let records = vec![
+            rec("SF(q=5,p=4)", "MIN", 0.1, 11.0, false),
+            rec("SF(q=5,p=4)", "MIN", 0.1, 14.0, false),
+        ];
+        let md = render_plan_report(&plan, &records);
+        assert_eq!(md.matches("## SF(q=5,p=4)").count(), 2, "{md}");
+        assert!(md.contains("(buf_per_port = 16)"), "{md}");
+        assert!(md.contains("| MIN | 11.000 |"), "{md}");
+        assert!(md.contains("| MIN | 14.000 |"), "{md}");
+
+        // A stream that does not match the expansion falls back to the
+        // plain grouped rendering (no panic, no drops beyond grouping).
+        let md = render_plan_report(&plan, &records[..1]);
+        assert_eq!(md.matches("## SF(q=5,p=4)").count(), 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! The work-stealing sweep scheduler.
+//!
+//! A [`Scheduler`] executes a [`JobSet`] on persistent worker threads:
+//! every worker owns a deque seeded round-robin with job ids, pops its
+//! own work from the front, and **steals from the back of a sibling's
+//! deque** when it runs dry — so a heterogeneous sweep (a saturated
+//! load next to one that drains instantly) keeps every core busy
+//! instead of leaving stragglers with a pre-assigned chunk, replacing
+//! the fixed-chunk scoped-thread loop the offline `rayon` stand-in
+//! used for sweeps.
+//!
+//! # Deterministic streaming
+//!
+//! Jobs finish in arbitrary order, but records reach the
+//! [`RecordSink`] strictly in **job-id order**: completed jobs park in
+//! a reorder buffer until every lower id has been emitted, then stream
+//! out immediately. The observable record stream is therefore
+//! byte-identical for any worker count — `workers = 1` and
+//! `workers = 16` produce the same file — while each record is still
+//! written as soon as its turn arrives (no whole-sweep buffering).
+//!
+//! ```no_run
+//! use slimfly::prelude::*;
+//! use slimfly::plan::ExperimentPlan;
+//! use slimfly::schedule::Scheduler;
+//! use slimfly::sink::MemorySink;
+//!
+//! let plan = ExperimentPlan::from_path("figures/fig8.toml".as_ref())?;
+//! let mut set = plan.expand()?;
+//! let mut sink = MemorySink::new();
+//! let report = Scheduler::new(4).run(&mut set, &mut sink)?;
+//! assert_eq!(report.records, sink.records().len());
+//! # Ok::<(), slimfly::SfError>(())
+//! ```
+
+use crate::error::SfError;
+use crate::plan::JobSet;
+use crate::sink::RecordSink;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Executes [`JobSet`]s on persistent work-stealing workers; see the
+/// [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    workers: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new(0)
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with the given worker count; `0` selects
+    /// [`Scheduler::default_workers`].
+    pub fn new(workers: usize) -> Self {
+        Scheduler {
+            workers: if workers == 0 {
+                Self::default_workers()
+            } else {
+                workers
+            },
+        }
+    }
+
+    /// The environment-driven default worker count: `SF_WORKERS` if
+    /// set, else `RAYON_NUM_THREADS` (the knob the sweep loops honoured
+    /// before the scheduler existed), else the machine's available
+    /// parallelism.
+    pub fn default_workers() -> usize {
+        for var in ["SF_WORKERS", "RAYON_NUM_THREADS"] {
+            if let Some(n) = std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+            {
+                return n;
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job of `set`, streaming records to `sink` in job-id
+    /// order (see the [module docs](self)). Prepares the set if the
+    /// caller has not. On a job failure, workers stop claiming further
+    /// jobs, the lowest failing job's error is returned once in-flight
+    /// jobs drain, and records of complete jobs *preceding* that id
+    /// keep streaming — the completed prefix survives in every sink.
+    pub fn run(
+        &self,
+        set: &mut JobSet,
+        sink: &mut dyn RecordSink,
+    ) -> Result<ScheduleReport, SfError> {
+        set.prepare()?;
+        let t0 = Instant::now();
+        let jobs = set.jobs();
+        let workers = self.workers.min(jobs.len()).max(1);
+        sink.begin()?;
+        let mut emitted = 0usize;
+        let mut steals = 0usize;
+        // First error of the run; the completed record prefix reaches
+        // the sink (and gets flushed) even on the error path.
+        let mut run_err: Option<SfError> = None;
+        if workers == 1 {
+            'seq: for job in jobs {
+                match set.run_job(job) {
+                    Ok(records) => {
+                        for r in &records {
+                            if let Err(e) = sink.record(r) {
+                                run_err = Some(e);
+                                break 'seq;
+                            }
+                            emitted += 1;
+                        }
+                    }
+                    Err(e) => {
+                        run_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Seed the worker deques round-robin so consecutive (often
+            // similarly heavy) jobs land on different workers.
+            let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+                .map(|w| {
+                    Mutex::new(
+                        (w..jobs.len())
+                            .step_by(workers)
+                            .collect::<VecDeque<usize>>(),
+                    )
+                })
+                .collect();
+            let steal_count = AtomicUsize::new(0);
+            // Raised on the first failure: workers stop *claiming* new
+            // jobs (in-flight simulations still finish and report), so
+            // a failing sweep does not burn hours on doomed work.
+            let abort = AtomicBool::new(false);
+            let (tx, rx) = mpsc::channel();
+            // Lowest failing job id and its error; records of complete
+            // jobs *below* that id still stream (the completed prefix
+            // survives in every sink). A sink failure stops emission
+            // outright.
+            let mut job_err: Option<(usize, SfError)> = None;
+            let mut sink_err: Option<SfError> = None;
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let tx = tx.clone();
+                    let queues = &queues;
+                    let steal_count = &steal_count;
+                    let abort = &abort;
+                    let set: &JobSet = set;
+                    scope.spawn(move || loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Own deque first (front), then steal from the
+                        // back of the first non-empty sibling.
+                        let mut claimed = queues[w].lock().expect("queue poisoned").pop_front();
+                        if claimed.is_none() {
+                            for v in 1..workers {
+                                let victim = (w + v) % workers;
+                                claimed = queues[victim].lock().expect("queue poisoned").pop_back();
+                                if claimed.is_some() {
+                                    steal_count.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(id) = claimed else { break };
+                        let result = set.run_job(&set.jobs()[id]);
+                        if tx.send((id, result)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                // Reorder frontier: stream each completed job the
+                // moment every lower job id has been emitted.
+                let mut pending: BTreeMap<usize, Vec<crate::experiment::Record>> = BTreeMap::new();
+                let mut next = 0usize;
+                for (id, result) in rx {
+                    match result {
+                        Ok(records) => {
+                            pending.insert(id, records);
+                            'emit: while sink_err.is_none()
+                                && job_err.as_ref().is_none_or(|(eid, _)| next < *eid)
+                            {
+                                let Some(records) = pending.remove(&next) else {
+                                    break;
+                                };
+                                for r in &records {
+                                    if let Err(e) = sink.record(r) {
+                                        sink_err = Some(e);
+                                        abort.store(true, Ordering::Relaxed);
+                                        break 'emit;
+                                    }
+                                    emitted += 1;
+                                }
+                                next += 1;
+                            }
+                        }
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            if job_err.as_ref().is_none_or(|(eid, _)| id < *eid) {
+                                job_err = Some((id, e));
+                            }
+                        }
+                    }
+                }
+            });
+            steals = steal_count.load(Ordering::Relaxed);
+            run_err = sink_err.or(job_err.map(|(_, e)| e));
+        }
+        if let Some(e) = run_err {
+            // Best-effort flush so the completed prefix reaches disk
+            // before the error surfaces (a finish failure here cannot
+            // outrank the original error).
+            let _ = sink.finish();
+            return Err(e);
+        }
+        sink.finish()?;
+        Ok(ScheduleReport {
+            jobs: jobs.len(),
+            records: emitted,
+            workers,
+            steals,
+            wall: t0.elapsed(),
+        })
+    }
+}
+
+/// Summary of one [`Scheduler::run`].
+#[derive(Clone, Debug)]
+pub struct ScheduleReport {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Records streamed to the sink.
+    pub records: usize,
+    /// Worker threads actually used (capped at the job count).
+    pub workers: usize,
+    /// Successful steals between worker deques (0 on sequential runs).
+    pub steals: usize,
+    /// Wall-clock execution time (excluding [`JobSet::prepare`] when
+    /// the caller prepared the set beforehand).
+    pub wall: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExperimentPlan;
+    use crate::sink::MemorySink;
+
+    fn tiny_plan(warm: bool) -> ExperimentPlan {
+        ExperimentPlan::from_toml_str(&format!(
+            r#"
+            [figure]
+            name = "sched-test"
+            [[sweep]]
+            topo = "sf:q=5"
+            routing = ["min", "val"]
+            loads = [0.1, 0.2, 0.3]
+            warm_start = {warm}
+            [sweep.sim]
+            warmup = 120
+            measure = 240
+            drain = 800
+            "#
+        ))
+        .unwrap()
+    }
+
+    fn csv_of(plan: &ExperimentPlan, workers: usize) -> String {
+        let mut set = plan.expand().unwrap();
+        let mut sink = MemorySink::new();
+        let report = Scheduler::new(workers).run(&mut set, &mut sink).unwrap();
+        assert_eq!(report.records, set.num_records());
+        sink.records()
+            .iter()
+            .map(|r| r.to_csv())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn parallel_stream_is_byte_identical_to_sequential() {
+        for warm in [false, true] {
+            let plan = tiny_plan(warm);
+            let seq = csv_of(&plan, 1);
+            let par = csv_of(&plan, 4);
+            assert_eq!(seq, par, "warm={warm}");
+        }
+    }
+
+    #[test]
+    fn report_counts_jobs_and_workers() {
+        let plan = tiny_plan(false);
+        let mut set = plan.expand().unwrap();
+        let mut sink = MemorySink::new();
+        let report = Scheduler::new(3).run(&mut set, &mut sink).unwrap();
+        assert_eq!(report.jobs, 6);
+        assert_eq!(report.records, 6);
+        assert_eq!(report.workers, 3);
+        // Worker cap: more workers than jobs clamps.
+        let report = Scheduler::new(64).run(&mut set, &mut sink).unwrap();
+        assert_eq!(report.workers, 6);
+    }
+
+    #[test]
+    fn job_errors_surface_after_drain() {
+        // A worst-case pattern on a topology without one fails inside
+        // the job, not at expansion.
+        let plan = ExperimentPlan::from_toml_str(
+            r#"
+            [figure]
+            name = "err"
+            [[sweep]]
+            topo = "dln:nr=16,y=2"
+            traffic = "worst"
+            loads = [0.1]
+            "#,
+        )
+        .unwrap();
+        let mut set = plan.expand().unwrap();
+        let mut sink = MemorySink::new();
+        let err = Scheduler::new(2).run(&mut set, &mut sink).unwrap_err();
+        assert!(matches!(err, SfError::Traffic(_)), "{err}");
+    }
+
+    #[test]
+    fn completed_prefix_streams_despite_a_later_job_error() {
+        // Job 0 (uniform sf:q=5) succeeds, job 1 (worst-case on a DLN)
+        // fails fast — often *before* job 0 completes on the second
+        // worker. The error must surface, but job 0's record precedes
+        // the failing id and must still reach the sink.
+        let plan = ExperimentPlan::from_toml_str(
+            r#"
+            [figure]
+            name = "prefix"
+            [defaults.sim]
+            warmup = 150
+            measure = 300
+            drain = 1000
+            [[sweep]]
+            topo = "sf:q=5"
+            loads = [0.3]
+            [[sweep]]
+            topo = "dln:nr=16,y=2"
+            traffic = "worst"
+            loads = [0.1]
+            "#,
+        )
+        .unwrap();
+        let mut set = plan.expand().unwrap();
+        let mut sink = MemorySink::new();
+        let err = Scheduler::new(2).run(&mut set, &mut sink).unwrap_err();
+        assert!(matches!(err, SfError::Traffic(_)), "{err}");
+        assert_eq!(sink.records().len(), 1, "job 0's record must survive");
+        assert_eq!(sink.records()[0].spec, "sf:q=5");
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(Scheduler::default_workers() >= 1);
+        assert!(Scheduler::default().workers() >= 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Streaming record sinks.
+//!
+//! A [`RecordSink`] receives [`Record`]s **as jobs finish** instead of
+//! after a whole sweep has been buffered: the
+//! [`Scheduler`](crate::schedule::Scheduler) calls
+//! [`RecordSink::record`] for every row the moment its job's position
+//! in the deterministic output order is reached, so a multi-hour sweep
+//! writes its CSV/JSON-lines file incrementally and an interrupted run
+//! keeps every completed prefix.
+//!
+//! Provided sinks:
+//!
+//! | Sink | Destination |
+//! |------|-------------|
+//! | [`CsvSink`] | CSV with header, any [`io::Write`] |
+//! | [`JsonLinesSink`] | one JSON object per line, any [`io::Write`] |
+//! | [`MemorySink`] | an in-memory `Vec<Record>` |
+//! | [`TeeSink`] | fan-out to several sinks |
+//!
+//! ```
+//! use slimfly::prelude::*;
+//! use slimfly::sink::{CsvSink, MemorySink, RecordSink, TeeSink};
+//!
+//! let mut buf = Vec::new();
+//! let mut tee = TeeSink::new(vec![
+//!     Box::new(CsvSink::new(&mut buf)),
+//!     Box::new(MemorySink::new()),
+//! ]);
+//! tee.begin()?;
+//! tee.finish()?;
+//! # Ok::<(), slimfly::SfError>(())
+//! ```
+
+use crate::error::SfError;
+use crate::experiment::Record;
+use std::io;
+
+/// A streaming consumer of experiment [`Record`]s.
+///
+/// Lifecycle: one [`begin`](RecordSink::begin), then
+/// [`record`](RecordSink::record) per row in deterministic job order,
+/// then one [`finish`](RecordSink::finish) (which flushes buffered
+/// writers). Sinks are driven from the scheduling thread only — they
+/// need no internal synchronization.
+pub trait RecordSink {
+    /// Called once before the first record (writes headers).
+    fn begin(&mut self) -> Result<(), SfError> {
+        Ok(())
+    }
+
+    /// Consumes one record.
+    fn record(&mut self, r: &Record) -> Result<(), SfError>;
+
+    /// Called once after the last record (flushes).
+    fn finish(&mut self) -> Result<(), SfError> {
+        Ok(())
+    }
+}
+
+/// Forwarding through mutable references, so a caller can tee over
+/// borrowed sinks and keep using them (e.g. read a [`MemorySink`]'s
+/// records) after the run.
+impl<S: RecordSink + ?Sized> RecordSink for &mut S {
+    fn begin(&mut self) -> Result<(), SfError> {
+        (**self).begin()
+    }
+
+    fn record(&mut self, r: &Record) -> Result<(), SfError> {
+        (**self).record(r)
+    }
+
+    fn finish(&mut self) -> Result<(), SfError> {
+        (**self).finish()
+    }
+}
+
+/// Streams records as a CSV table (the shared [`Record::CSV_HEADER`]
+/// schema, RFC 4180-quoted fields).
+pub struct CsvSink<W: io::Write> {
+    w: W,
+}
+
+impl<W: io::Write> CsvSink<W> {
+    /// A CSV sink over any writer.
+    pub fn new(w: W) -> Self {
+        CsvSink { w }
+    }
+}
+
+impl CsvSink<io::BufWriter<std::fs::File>> {
+    /// A buffered CSV sink writing to a freshly created file.
+    pub fn create(path: &std::path::Path) -> Result<Self, SfError> {
+        Ok(CsvSink::new(io::BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: io::Write> RecordSink for CsvSink<W> {
+    fn begin(&mut self) -> Result<(), SfError> {
+        writeln!(self.w, "{}", Record::CSV_HEADER)?;
+        Ok(())
+    }
+
+    fn record(&mut self, r: &Record) -> Result<(), SfError> {
+        writeln!(self.w, "{}", r.to_csv())?;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), SfError> {
+        self.w.flush()?;
+        Ok(())
+    }
+}
+
+/// Streams records as JSON lines (one object per line, non-finite
+/// floats as `null`).
+pub struct JsonLinesSink<W: io::Write> {
+    w: W,
+}
+
+impl<W: io::Write> JsonLinesSink<W> {
+    /// A JSON-lines sink over any writer.
+    pub fn new(w: W) -> Self {
+        JsonLinesSink { w }
+    }
+}
+
+impl JsonLinesSink<io::BufWriter<std::fs::File>> {
+    /// A buffered JSON-lines sink writing to a freshly created file.
+    pub fn create(path: &std::path::Path) -> Result<Self, SfError> {
+        Ok(JsonLinesSink::new(io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: io::Write> RecordSink for JsonLinesSink<W> {
+    fn record(&mut self, r: &Record) -> Result<(), SfError> {
+        writeln!(self.w, "{}", r.to_json())?;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), SfError> {
+        self.w.flush()?;
+        Ok(())
+    }
+}
+
+/// Collects records in memory (for callers that post-process, e.g.
+/// the report generator or [`Experiment::run`](crate::Experiment::run)).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Vec<Record>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The records received so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning its records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+}
+
+impl RecordSink for MemorySink {
+    fn record(&mut self, r: &Record) -> Result<(), SfError> {
+        self.records.push(r.clone());
+        Ok(())
+    }
+}
+
+/// Fans every record out to several sinks (e.g. CSV on stdout *and* an
+/// in-memory copy for a report). To read a component sink's state
+/// after the run, tee over `&mut` borrows (boxes of `&mut MemorySink`
+/// work via the forwarding impl) and let the tee drop first.
+pub struct TeeSink<'a> {
+    sinks: Vec<Box<dyn RecordSink + 'a>>,
+}
+
+impl<'a> TeeSink<'a> {
+    /// A tee over the given sinks (records delivered in vector order).
+    pub fn new(sinks: Vec<Box<dyn RecordSink + 'a>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl RecordSink for TeeSink<'_> {
+    fn begin(&mut self) -> Result<(), SfError> {
+        for s in &mut self.sinks {
+            s.begin()?;
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, r: &Record) -> Result<(), SfError> {
+        for s in &mut self.sinks {
+            s.record(r)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), SfError> {
+        for s in &mut self.sinks {
+            s.finish()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record {
+            topology: "SF(q=5,p=4)".into(),
+            spec: "sf:q=5".into(),
+            routing: "MIN".into(),
+            traffic: "uniform".into(),
+            offered: 0.1,
+            latency: 12.5,
+            p99: 20.0,
+            accepted: 0.1,
+            avg_hops: 1.6,
+            saturated: false,
+            max_link_util: 0.2,
+        }
+    }
+
+    #[test]
+    fn csv_sink_writes_header_and_rows() {
+        let mut buf = Vec::new();
+        let mut sink = CsvSink::new(&mut buf);
+        sink.begin().unwrap();
+        sink.record(&sample()).unwrap();
+        sink.record(&sample()).unwrap();
+        sink.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(Record::CSV_HEADER));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_sink_has_no_header() {
+        let mut buf = Vec::new();
+        let mut sink = JsonLinesSink::new(&mut buf);
+        sink.begin().unwrap();
+        sink.record(&sample()).unwrap();
+        sink.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.trim().starts_with('{'));
+    }
+
+    #[test]
+    fn tee_duplicates_records() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        {
+            let mut tee = TeeSink::new(vec![
+                Box::new(CsvSink::new(&mut a)),
+                Box::new(CsvSink::new(&mut b)),
+            ]);
+            tee.begin().unwrap();
+            tee.record(&sample()).unwrap();
+            tee.finish().unwrap();
+        }
+        assert_eq!(a, b);
+        assert_eq!(String::from_utf8(a).unwrap().lines().count(), 2);
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let mut mem = MemorySink::new();
+        mem.begin().unwrap();
+        mem.record(&sample()).unwrap();
+        mem.finish().unwrap();
+        assert_eq!(mem.records().len(), 1);
+        assert_eq!(mem.into_records()[0].routing, "MIN");
+    }
+}

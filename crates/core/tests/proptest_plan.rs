@@ -1,0 +1,144 @@
+//! Property tests for the experiment-plan layer: a generated
+//! [`ExperimentPlan`] must survive the parse → expand → serialize
+//! cycle — `from_toml_str(to_toml_string(p))` reproduces `p` exactly,
+//! and the re-parsed plan expands to the identical [`JobSet`] (same
+//! jobs, same ids, same deduplicated topology list). This is the
+//! config-file contract: a plan printed into `figures/*.toml` is the
+//! same experiment when read back.
+
+use proptest::prelude::*;
+use slimfly::plan::ExperimentPlan;
+use slimfly::prelude::*;
+use slimfly::SweepPlan;
+
+/// Topology specs across several families (kept to small, always-valid
+/// parameters — plan round-trips never build the networks).
+fn any_topo() -> impl Strategy<Value = TopologySpec> {
+    prop::sample::select(vec![
+        "sf:q=5",
+        "sf:q=7,p=4",
+        "df:p=3",
+        "ft3:p=8",
+        "torus3:k=6",
+        "hc:d=6",
+        "lh:d=6,l=3",
+        "fbf:c=4,dims=3",
+    ])
+    .prop_map(|s| s.parse().unwrap())
+}
+
+fn any_routing() -> impl Strategy<Value = RoutingSpec> {
+    (0usize..6, 1usize..9).prop_map(|(kind, n)| match kind {
+        0 => RoutingSpec::Min,
+        1 => RoutingSpec::Valiant { cap3: n % 2 == 0 },
+        2 => RoutingSpec::UgalL { candidates: n },
+        3 => RoutingSpec::UgalG { candidates: n },
+        4 => RoutingSpec::Ecmp,
+        _ => RoutingSpec::FatPaths { layers: 1 + n % 4 },
+    })
+}
+
+fn any_traffic() -> impl Strategy<Value = TrafficSpec> {
+    prop::sample::select(TrafficSpec::ALL.to_vec())
+}
+
+fn any_sim() -> impl Strategy<Value = SimConfig> {
+    (
+        1usize..7,
+        8usize..129,
+        1u32..2_001,
+        0u32..5,
+        1u64..1_000_000,
+    )
+        .prop_map(|(num_vcs, buf, warmup, delays, seed)| SimConfig {
+            num_vcs,
+            buf_per_port: buf,
+            channel_latency: 1 + delays,
+            router_delay: 1 + delays * 2,
+            credit_delay: 1 + delays,
+            warmup,
+            measure: warmup * 2,
+            drain: warmup * 3,
+            seed,
+            ..Default::default()
+        })
+}
+
+fn any_sweep() -> impl Strategy<Value = SweepPlan> {
+    (
+        prop::collection::vec(any_topo(), 1..4),
+        prop::collection::vec(any_routing(), 1..4),
+        any_traffic(),
+        prop::collection::vec(0u32..41, 1..6),
+        any_sim(),
+        any::<bool>(),
+    )
+        .prop_map(|(topos, routings, traffic, loads, sim, warm_start)| {
+            // Loads on a 0.025 grid: exactly representable, in [0, 1].
+            let loads: Vec<f64> = loads.into_iter().map(|l| l as f64 * 0.025).collect();
+            SweepPlan {
+                topos,
+                routings,
+                traffic,
+                loads,
+                sim,
+                warm_start,
+            }
+        })
+}
+
+fn any_plan() -> impl Strategy<Value = ExperimentPlan> {
+    (
+        prop::sample::select(vec!["fig6", "fig8", "a-b", "x_1"]),
+        any::<bool>(),
+        prop::collection::vec(any_sweep(), 1..4),
+    )
+        .prop_map(|(name, with_title, sweeps)| ExperimentPlan {
+            name: name.to_string(),
+            title: with_title.then(|| "Round-trip: \"quoted\", commas".to_string()),
+            sweeps,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_toml_round_trip(plan in any_plan()) {
+        let rendered = plan.to_toml_string();
+        let reparsed = ExperimentPlan::from_toml_str(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{rendered}"));
+        prop_assert_eq!(&plan, &reparsed, "rendered:\n{}", rendered);
+
+        // Expansion commutes with serialization: identical job lists.
+        let a = plan.expand().unwrap();
+        let b = reparsed.expand().unwrap();
+        prop_assert_eq!(a.jobs(), b.jobs());
+        prop_assert_eq!(a.topos(), b.topos());
+        prop_assert_eq!(a.num_records(), b.num_records());
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_well_formed(plan in any_plan()) {
+        let a = plan.expand().unwrap();
+        let b = plan.expand().unwrap();
+        prop_assert_eq!(a.jobs(), b.jobs());
+        // Ids are the positions; chained jobs appear iff warm-started;
+        // every topo index is in range.
+        let mut records = 0;
+        for (i, job) in a.jobs().iter().enumerate() {
+            prop_assert_eq!(job.id, i);
+            prop_assert!(job.topo < a.topos().len());
+            prop_assert!(!job.loads.is_empty());
+            if !job.warm_start {
+                prop_assert_eq!(job.loads.len(), 1);
+            }
+            records += job.loads.len();
+        }
+        prop_assert_eq!(records, a.num_records());
+        // The deduplicated topo list has no duplicates.
+        for (i, t) in a.topos().iter().enumerate() {
+            prop_assert!(!a.topos()[..i].contains(t));
+        }
+    }
+}

@@ -76,7 +76,7 @@ use sf_traffic::TrafficPattern;
 use std::collections::VecDeque;
 
 /// Router micro-architecture and measurement parameters (§V defaults).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimConfig {
     /// Virtual channels per port. The paper quotes 3; its §IV-D scheme
     /// needs 4 for 4-hop adaptive paths, so we default to 4 (see
@@ -472,6 +472,13 @@ pub struct Simulator<'a> {
     rng: StdRng,
     now: u32,
 
+    /// First cycle of the current measurement window (warm-up ends
+    /// here). Instance state, not derived from `cfg`, so a warm-start
+    /// chain can re-arm a fresh window mid-run ([`Simulator::rearm`]).
+    win_start: u32,
+    /// One past the last cycle of the current measurement window.
+    win_end: u32,
+
     stats: LatencyStats,
     hops_sum: u64,
     sample_generated: u64,
@@ -564,6 +571,8 @@ impl<'a> Simulator<'a> {
             ejected_seen: vec![0; net.num_endpoints()],
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
+            win_start: cfg.warmup,
+            win_end: cfg.warmup + cfg.measure,
             stats: LatencyStats::new(),
             hops_sum: 0,
             sample_generated: 0,
@@ -717,7 +726,7 @@ impl<'a> Simulator<'a> {
                 }
                 if self.rng.gen_bool(self.load) {
                     if let Some(d) = self.pattern.dest(e, &mut self.rng) {
-                        if now >= self.cfg.warmup && now < self.cfg.warmup + self.cfg.measure {
+                        if now >= self.win_start && now < self.win_end {
                             self.sample_generated += 1;
                         }
                         self.src_q[e as usize].push_back((now, d));
@@ -814,11 +823,10 @@ impl<'a> Simulator<'a> {
                     self.credit_buckets[credit_due].push((up_link, vc));
                 }
                 self.total_ejected += 1;
-                if now >= self.cfg.warmup && now < self.cfg.warmup + self.cfg.measure {
+                if now >= self.win_start && now < self.win_end {
                     self.window_ejected += 1;
                 }
-                if p.gen_time >= self.cfg.warmup && p.gen_time < self.cfg.warmup + self.cfg.measure
-                {
+                if p.gen_time >= self.win_start && p.gen_time < self.win_end {
                     self.sample_ejected += 1;
                     self.stats.record(now.saturating_sub(p.gen_time));
                     self.hops_sum += p.hop as u64;
@@ -921,7 +929,7 @@ impl<'a> Simulator<'a> {
         //    queues in ascending link order — the order a full scan
         //    over routers × links would visit them. (No RNG.)
         let flit_due = ((now + self.flit_eff) % (self.flit_eff + 1)) as usize;
-        let in_window = now >= self.cfg.warmup && now < self.cfg.warmup + self.cfg.measure;
+        let in_window = now >= self.win_start && now < self.win_end;
         let mut scratch = std::mem::take(&mut self.slot_scratch);
         scratch.clear();
         gather_segment(&self.staged_mask, 0, self.occ.len(), &mut scratch);
@@ -1014,11 +1022,50 @@ impl<'a> Simulator<'a> {
     /// Runs the configured warm-up + measurement (+ drain) phases and
     /// returns aggregate results.
     pub fn run(mut self) -> SimResult {
-        let end_measure = self.cfg.warmup + self.cfg.measure;
-        let horizon = end_measure + self.cfg.drain;
+        self.run_phase()
+    }
+
+    /// Re-arms the simulator for another offered load **without
+    /// clearing the warmed queue state**: buffers, credits, staged and
+    /// in-flight flits all carry over from the previous phase, while
+    /// every measurement counter resets and a fresh
+    /// warm-up + measurement window is scheduled starting at the
+    /// current cycle.
+    ///
+    /// This is the warm-start fast path for load sweeps
+    /// ([`LoadSweep::run_warm`]): consecutive loads on the same
+    /// (network, routing, traffic) configuration skip the cold ramp
+    /// from empty queues. Results are *not* bit-identical to cold
+    /// per-load runs (the queue history differs by construction), which
+    /// is why sweep drivers only take this path behind an explicit
+    /// opt-in flag.
+    pub fn rearm(&mut self, load: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&load));
+        self.load = load;
+        self.rng = StdRng::seed_from_u64(seed);
+        self.win_start = self.now + self.cfg.warmup;
+        self.win_end = self.win_start + self.cfg.measure;
+        self.stats = LatencyStats::new();
+        self.hops_sum = 0;
+        self.sample_generated = 0;
+        self.sample_ejected = 0;
+        self.window_ejected = 0;
+        self.total_ejected = 0;
+        for c in &mut self.link_flits {
+            *c = 0;
+        }
+    }
+
+    /// Drives the current warm-up + measurement (+ drain) phase to
+    /// completion and returns its aggregate results. Equivalent to
+    /// [`Simulator::run`] on a fresh simulator; after
+    /// [`Simulator::rearm`] it measures the re-armed window instead.
+    pub fn run_phase(&mut self) -> SimResult {
+        let phase_start = self.win_start - self.cfg.warmup;
+        let horizon = self.win_end + self.cfg.drain;
         while self.now < horizon {
             self.step();
-            if self.now >= end_measure && self.sample_ejected >= self.sample_generated {
+            if self.now >= self.win_end && self.sample_ejected >= self.sample_generated {
                 break;
             }
         }
@@ -1055,7 +1102,7 @@ impl<'a> Simulator<'a> {
             } else {
                 sum_util / nlinks as f64
             },
-            cycles: self.now,
+            cycles: self.now - phase_start,
         }
     }
 }
@@ -1080,10 +1127,49 @@ impl LoadSweep {
             .par_iter()
             .map(|&load| {
                 let mut c = cfg;
-                c.seed = cfg.seed.wrapping_add((load * 1e4) as u64);
+                c.seed = Self::seed_for_load(&cfg, load);
                 Simulator::new(net, tables, router, pattern, load, c).run()
             })
             .collect()
+    }
+
+    /// Per-load seed used by every sweep driver (cold and warm): the
+    /// base seed perturbed by the offered load, so each load point
+    /// draws an independent, reproducible stream.
+    pub fn seed_for_load(cfg: &SimConfig, load: f64) -> u64 {
+        cfg.seed.wrapping_add((load * 1e4) as u64)
+    }
+
+    /// Runs `loads` **sequentially on one warm simulator**: the first
+    /// load starts cold (bit-identical to [`LoadSweep::run`] for that
+    /// point), every later load re-arms the same simulator
+    /// ([`Simulator::rearm`]), reusing the warmed queue state instead
+    /// of re-warming from empty. Results for the later loads are close
+    /// to, but not bit-identical with, their cold equivalents — sweep
+    /// drivers expose this behind an explicit `warm_start` opt-in.
+    pub fn run_warm(
+        net: &Network,
+        tables: &RoutingTables,
+        router: &dyn Router,
+        pattern: &TrafficPattern,
+        loads: &[f64],
+        cfg: SimConfig,
+    ) -> Vec<SimResult> {
+        let mut out = Vec::with_capacity(loads.len());
+        let mut sim: Option<Simulator> = None;
+        for &load in loads {
+            let seed = Self::seed_for_load(&cfg, load);
+            match sim.as_mut() {
+                None => {
+                    let mut c = cfg;
+                    c.seed = seed;
+                    sim = Some(Simulator::new(net, tables, router, pattern, load, c));
+                }
+                Some(s) => s.rearm(load, seed),
+            }
+            out.push(sim.as_mut().unwrap().run_phase());
+        }
+        out
     }
 }
 
@@ -1274,6 +1360,37 @@ mod tests {
     }
 
     #[test]
+    fn longhop_farthest_translate_stresses_min() {
+        // The farthest-translate adversary pairs every router with its
+        // maximal-distance XOR offset — by construction the translate
+        // the long-hop masks do *not* shortcut — so at equal offered
+        // load MIN carries strictly more flits per channel (more hops
+        // per packet, concentrated on the few generator classes the
+        // minimal routes use) than under uniform traffic.
+        let lh = sf_topo::longhop::LongHop::new(6, 3);
+        let net = lh.network();
+        let tables = RoutingTables::new(&net.graph);
+        let worst = TrafficPattern::worst_case_longhop(&net, &tables).unwrap();
+        let uniform = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let mut cfg = quick_cfg(15);
+        cfg.num_vcs = 6;
+        let m_worst = Simulator::new(&net, &tables, &MinRouter, &worst, 0.5, cfg).run();
+        let m_unif = Simulator::new(&net, &tables, &MinRouter, &uniform, 0.5, cfg).run();
+        assert!(
+            m_worst.avg_hops > m_unif.avg_hops,
+            "every adversarial pair sits at the eccentricity: worst {} vs uniform {} hops",
+            m_worst.avg_hops,
+            m_unif.avg_hops
+        );
+        assert!(
+            m_worst.max_link_util > m_unif.max_link_util * 1.3,
+            "the translate must concentrate MIN traffic: worst {} vs uniform {}",
+            m_worst.max_link_util,
+            m_unif.max_link_util
+        );
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let (net, tables) = small_sf();
         let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
@@ -1370,6 +1487,55 @@ mod tests {
             sim.step();
         }
         sim.verify_occupancy_counters().unwrap();
+    }
+
+    #[test]
+    fn warm_chain_first_load_matches_cold_run() {
+        // The first load of a warm chain starts cold, so it must be
+        // bit-identical to the plain per-load path; later loads reuse
+        // warmed queues and must still produce sane, drained results.
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let loads = [0.1, 0.2, 0.3];
+        let cfg = quick_cfg(7);
+        let cold = LoadSweep::run(&net, &tables, &MinRouter, &pat, &loads, cfg);
+        let warm = LoadSweep::run_warm(&net, &tables, &MinRouter, &pat, &loads, cfg);
+        assert_eq!(warm.len(), 3);
+        assert_eq!(cold[0].avg_latency, warm[0].avg_latency);
+        assert_eq!(cold[0].ejected, warm[0].ejected);
+        assert_eq!(cold[0].cycles, warm[0].cycles);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.offered_load, w.offered_load);
+            assert!(!w.saturated, "warm chain must drain at low loads");
+            assert!(w.ejected > 0);
+            // Warm steady-state latency stays in the same regime as the
+            // cold measurement (loose envelope: it skips the cold ramp,
+            // not the physics).
+            assert!(
+                (w.avg_latency - c.avg_latency).abs() < 0.2 * c.avg_latency,
+                "load {}: warm {} vs cold {}",
+                c.offered_load,
+                w.avg_latency,
+                c.avg_latency
+            );
+        }
+    }
+
+    #[test]
+    fn rearm_resets_measurement_but_keeps_queues() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let mut sim = Simulator::new(&net, &tables, &MinRouter, &pat, 0.4, quick_cfg(8));
+        let first = sim.run_phase();
+        assert!(first.ejected > 0);
+        let cycles_so_far = sim.now();
+        sim.rearm(0.1, 42);
+        assert_eq!(sim.now(), cycles_so_far, "rearm must not advance time");
+        sim.verify_occupancy_counters().unwrap();
+        let second = sim.run_phase();
+        assert_eq!(second.offered_load, 0.1);
+        assert!(second.ejected > 0);
+        assert!(!second.saturated);
     }
 
     #[test]

@@ -337,6 +337,44 @@ impl TrafficPattern {
         }))
     }
 
+    /// The Long-Hop worst case: **farthest translate** — every router
+    /// `v` sends to `v ⊕ δ`, where the translate `δ` is chosen
+    /// adversarially against the *actual* link set (hypercube bits plus
+    /// the instance's long-hop masks) as the XOR offset at maximal
+    /// minimal-route distance from the origin (ties broken toward
+    /// higher Hamming weight, then lower id). XOR translation is a
+    /// graph automorphism of the Cayley graph over (Z₂)^d, so *every*
+    /// pair sits at that maximal distance: the pattern defeats exactly
+    /// the shortcut masks the construction added (a mask-aligned
+    /// translate would be one hop) and maximizes channel pressure
+    /// `load × hops` among all translate permutations. δ ⊕ δ = 0 makes
+    /// the permutation an involution, so endpoint pairing is symmetric.
+    pub fn worst_case_longhop(net: &Network, tables: &RoutingTables) -> Result<Self, TrafficError> {
+        if !matches!(net.kind, TopologyKind::LongHop { .. }) {
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        let nr = net.num_routers() as u32;
+        let mut delta = 0u32;
+        let mut best = (0u8, 0u32);
+        for v in 1..nr {
+            let key = (tables.distance(0, v), v.count_ones());
+            if key > best {
+                best = key;
+                delta = v;
+            }
+        }
+        if best.0 <= 1 {
+            // Fully-connected degenerate instance: every translate is a
+            // direct link, there is no adversarial distance to exploit.
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        Ok(Self::router_permutation(net, "worst-lh", |r| r ^ delta))
+    }
+
     /// The flattened-butterfly worst case: **row collision** — every
     /// router sends to its dimension-0 successor in the same row
     /// (`x_0 → x_0 + 1 mod c`, other coordinates fixed). The unique
@@ -693,6 +731,51 @@ mod tests {
         }
         // 2^6 routers, 2^3 palindromes: 56 of 64 routers participate.
         assert_eq!(active, 56);
+    }
+
+    #[test]
+    fn worst_case_longhop_is_a_maximal_distance_translate() {
+        let lh = sf_topo::longhop::LongHop::new(6, 3);
+        let net = lh.network();
+        let tables = RoutingTables::new(&net.graph);
+        let p = TrafficPattern::worst_case_longhop(&net, &tables).unwrap();
+        assert_eq!(p.name(), "worst-lh");
+
+        // Recover δ from endpoint 0's destination (p = 1: endpoint id
+        // == router id) and check the defining properties.
+        let mut rng = StdRng::seed_from_u64(17);
+        let delta = net.endpoint_router(p.dest(0, &mut rng).unwrap());
+        assert_ne!(delta, 0);
+        let ecc = (1..net.num_routers() as u32)
+            .map(|v| tables.distance(0, v))
+            .max()
+            .unwrap();
+        assert_eq!(
+            tables.distance(0, delta),
+            ecc,
+            "the translate must sit at the eccentricity of the origin"
+        );
+        assert!(ecc >= 2, "long-hop masks must not make δ a direct link");
+
+        // XOR translation is an automorphism: *every* pair is at that
+        // same maximal distance, and the permutation is a fixed-point
+        // free involution (endpoint-safe by symmetry).
+        for s in 0..net.num_endpoints() as u32 {
+            let rs = net.endpoint_router(s);
+            let d = p.dest(s, &mut rng).unwrap();
+            assert_eq!(net.endpoint_router(d), rs ^ delta, "s={s}");
+            assert_eq!(tables.distance(rs, rs ^ delta), ecc, "s={s}");
+            assert_eq!(p.dest(d, &mut rng), Some(s));
+        }
+        assert_eq!(p.num_active(), net.num_endpoints() as u32);
+    }
+
+    #[test]
+    fn worst_case_longhop_wrong_kind_errors() {
+        let hc = sf_topo::hypercube::Hypercube::new(4).network();
+        let err =
+            TrafficPattern::worst_case_longhop(&hc, &RoutingTables::new(&hc.graph)).unwrap_err();
+        assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
     }
 
     #[test]

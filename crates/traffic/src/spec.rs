@@ -19,7 +19,7 @@ pub enum TrafficError {
     UnknownPattern(String),
     /// A worst-case pattern was requested for a topology without one
     /// (adversarial permutations exist for SF, DF, FT-3, symmetric
-    /// tori, flattened butterflies and hypercubes).
+    /// tori, flattened butterflies, hypercubes and Long-Hop networks).
     UnsupportedWorstCase {
         /// Name of the offending network.
         topology: String,
@@ -43,7 +43,8 @@ impl fmt::Display for TrafficError {
                 f,
                 "no worst-case traffic pattern is defined for {topology} \
                  (Slim Fly, Dragonfly, fat-tree, symmetric-torus, \
-                 flattened-butterfly and hypercube networks have one)"
+                 flattened-butterfly, hypercube and Long-Hop networks \
+                 have one)"
             ),
         }
     }
@@ -112,6 +113,7 @@ impl TrafficSpec {
                 TopologyKind::Torus { .. } => TrafficPattern::worst_case_torus(net),
                 TopologyKind::FlattenedButterfly { .. } => TrafficPattern::worst_case_fbf(net),
                 TopologyKind::Hypercube { .. } => TrafficPattern::worst_case_hypercube(net),
+                TopologyKind::LongHop { .. } => TrafficPattern::worst_case_longhop(net, tables),
                 _ => Err(TrafficError::UnsupportedWorstCase {
                     topology: net.name.clone(),
                 }),
@@ -179,6 +181,14 @@ mod tests {
         let tables = RoutingTables::new(&net.graph);
         let err = TrafficSpec::WorstCase.build(&net, &tables).unwrap_err();
         assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
+    }
+
+    #[test]
+    fn worst_case_longhop_dispatches() {
+        let net = sf_topo::longhop::LongHop::new(5, 2).network();
+        let tables = RoutingTables::new(&net.graph);
+        let pat = TrafficSpec::WorstCase.build(&net, &tables).unwrap();
+        assert_eq!(pat.name(), "worst-lh");
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Golden-file test for the report generator: the markdown rendered
+//! from the deterministic `figures/smoke.toml` record stream must
+//! match `tests/golden/report_smoke.md` byte for byte. The simulation
+//! is seeded and the scheduler output order is defined, so the
+//! rendered report is stable across machines and worker counts.
+//!
+//! Regenerate after intentional changes (new columns, changed smoke
+//! sweep) with:  `SF_BLESS=1 cargo test --test report_golden`
+
+use slimfly::plan::ExperimentPlan;
+use slimfly::prelude::*;
+use slimfly::report::render_plan_report;
+use std::path::Path;
+
+#[test]
+fn report_matches_golden_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let plan = ExperimentPlan::from_path(&root.join("figures/smoke.toml")).unwrap();
+    let mut set = plan.expand().unwrap();
+    let mut sink = MemorySink::new();
+    Scheduler::new(1).run(&mut set, &mut sink).unwrap();
+    let got = render_plan_report(&plan, sink.records());
+
+    let golden = root.join("tests/golden/report_smoke.md");
+    if std::env::var_os("SF_BLESS").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &got).unwrap();
+        return;
+    }
+    let want =
+        std::fs::read_to_string(&golden).expect("golden file missing — regenerate with SF_BLESS=1");
+    assert_eq!(
+        got, want,
+        "report drifted from tests/golden/report_smoke.md; if intentional, \
+         regenerate with SF_BLESS=1 cargo test --test report_golden"
+    );
+}
