@@ -8,7 +8,7 @@
 //!   `fig6_latency [--traffic uniform|bitrev|shift|shuffle|bitcomp|worst]
 //!                 [--large] [--loads 0.1,0.2,...] [--ugal-paths 4]
 //!                 [--val-cap3] [--routing min,ugal-l:c=4,...]
-//!                 [--workers N]`
+//!                 [--packet-size 4] [--workers N]`
 //!
 //! `--routing` overrides the Slim Fly scheme list with any
 //! comma-separated `RoutingSpec` strings (e.g. `fatpaths:layers=3`).
@@ -86,12 +86,16 @@ fn main() {
                 ));
             }
         }
+        let packet_size = args.packet_size()?;
         for sweep in &mut plan.sweeps {
             if let Some(t) = traffic {
                 sweep.traffic = t;
             }
             if let Some(l) = &loads {
                 sweep.loads = l.clone();
+            }
+            if let Some(ps) = packet_size {
+                sweep.sim.packet_size = ps;
             }
             for r in &mut sweep.routings {
                 match r {

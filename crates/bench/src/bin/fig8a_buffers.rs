@@ -7,7 +7,8 @@
 //! per requested buffer size:
 //!
 //! Usage: `fig8a_buffers [--large] [--buffers 8,16,32,64,128,256]
-//!                       [--routing ugal-l:c=4] [--workers N]`
+//!                       [--routing ugal-l:c=4] [--packet-size 4]
+//!                       [--workers N]`
 //! Output: CSV `buffer_flits` + the shared experiment-record schema.
 //! Paper shape: smaller buffers → lower latency (stiffer backpressure);
 //! larger buffers → higher bandwidth.
@@ -45,12 +46,16 @@ fn main() {
                 })
                 .collect();
         }
+        let packet_size = args.packet_size()?;
         for sweep in &mut plan.sweeps {
             if args.flag("large") {
                 sweep.topos = vec![topo.clone()];
             }
             if args.get("routing").is_some() {
                 sweep.routings = routings.clone();
+            }
+            if let Some(ps) = packet_size {
+                sweep.sim.packet_size = ps;
             }
         }
 
@@ -61,9 +66,7 @@ fn main() {
         let prefixes: Vec<usize> = set
             .jobs()
             .iter()
-            .flat_map(|j| {
-                std::iter::repeat_n(plan.sweeps[j.sweep].sim.buf_per_port, j.loads.len())
-            })
+            .flat_map(|j| std::iter::repeat_n(plan.sweeps[j.sweep].sim.buf_per_port, j.loads.len()))
             .collect();
         struct PrefixSink {
             prefixes: Vec<usize>,

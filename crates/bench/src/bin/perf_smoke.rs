@@ -24,6 +24,12 @@
 //! machines; the simulated results are identical across repeats (same
 //! seed), only timing varies.
 //!
+//! A **wormhole section** re-times the same pinned cells at
+//! `packet_size = 4` and appends a `{tag}-pkt4` entry (topo key
+//! `…,pkt=4`, so it never mixes with the single-flit baseline): the
+//! multi-flit path's cost is tracked alongside the classic engine on
+//! every run, including `--quick` in CI.
+//!
 //! A second section then times the **work-stealing scheduler** on the
 //! same pinned sweep — a heterogeneous job mix (low loads drain almost
 //! instantly, the 0.5 UGAL-G point dominates) — once with a single
@@ -219,46 +225,91 @@ fn main() {
             net.num_endpoints(),
             net.num_routers()
         ));
-        print_raw_line("routing,load,wall_ms,cycles,cycles_per_sec,packets,packets_per_sec");
-        let mut cells = Vec::new();
-        for rspec in routings {
-            let parsed: RoutingSpec = rspec.parse()?;
-            let router = parsed.build(&net.graph, &tables)?;
-            for &load in &loads {
-                let mut c = cfg;
-                c.seed = LoadSweep::seed_for_load(&cfg, load);
-                let mut wall_ms = f64::INFINITY;
-                let mut res = None;
-                for _ in 0..repeat {
-                    let t0 = Instant::now();
-                    let r =
-                        sf_sim::Simulator::new(&net, &tables, router.as_ref(), &pattern, load, c)
-                            .run();
-                    wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-                    res = Some(r);
+        // One timing harness for both the single-flit baseline and the
+        // wormhole section: min-of-`repeat` wall time per (routing,
+        // load) cell, identical seed derivation, one throughput column
+        // (packets for size 1, flits otherwise — same unit as the
+        // offered load only in the flit case by coincidence; the
+        // column header says which).
+        let time_cells = |cfg: SimConfig| -> Result<Vec<Cell>, SfError> {
+            let unit = if cfg.packet_size == 1 {
+                "packets"
+            } else {
+                "flits"
+            };
+            print_raw_line(&format!(
+                "routing,load,wall_ms,cycles,cycles_per_sec,{unit},{unit}_per_sec"
+            ));
+            let mut cells = Vec::new();
+            for rspec in routings {
+                let parsed: RoutingSpec = rspec.parse()?;
+                let router = parsed.build(&net.graph, &tables)?;
+                for &load in &loads {
+                    let mut c = cfg;
+                    c.seed = LoadSweep::seed_for_load(&cfg, load);
+                    let mut wall_ms = f64::INFINITY;
+                    let mut res = None;
+                    for _ in 0..repeat {
+                        let t0 = Instant::now();
+                        let r = sf_sim::Simulator::new(
+                            &net,
+                            &tables,
+                            router.as_ref(),
+                            &pattern,
+                            load,
+                            c,
+                        )
+                        .run();
+                        wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                        res = Some(r);
+                    }
+                    let res = res.unwrap();
+                    let moved = if cfg.packet_size == 1 {
+                        res.ejected
+                    } else {
+                        res.ejected_flits
+                    };
+                    let secs = (wall_ms / 1e3).max(1e-12);
+                    print_raw_line(&format!(
+                        "{},{load},{:.1},{},{:.0},{moved},{:.0}",
+                        router.label(),
+                        wall_ms,
+                        res.cycles,
+                        res.cycles as f64 / secs,
+                        moved as f64 / secs,
+                    ));
+                    cells.push(Cell {
+                        routing: router.label(),
+                        load,
+                        wall_ms,
+                        cycles: res.cycles as u64,
+                        packets: res.ejected,
+                    });
                 }
-                let res = res.unwrap();
-                let secs = (wall_ms / 1e3).max(1e-12);
-                print_raw_line(&format!(
-                    "{},{load},{:.1},{},{:.0},{},{:.0}",
-                    router.label(),
-                    wall_ms,
-                    res.cycles,
-                    res.cycles as f64 / secs,
-                    res.ejected,
-                    res.ejected as f64 / secs,
-                ));
-                cells.push(Cell {
-                    routing: router.label(),
-                    load,
-                    wall_ms,
-                    cycles: res.cycles as u64,
-                    packets: res.ejected,
-                });
             }
-        }
+            Ok(cells)
+        };
+
+        let cells = time_cells(cfg)?;
         let total_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
         print_raw_line(&format!("total wall: {total_ms:.1} ms"));
+
+        // Wormhole section: the same pinned cells at packet_size = 4,
+        // so the multi-flit path's cost is tracked alongside the
+        // single-flit baseline on every run (including --quick in CI).
+        // The entry records its own topo key ("…,pkt=4"), so it never
+        // poisons, or is compared against, the single-flit baseline.
+        let pkt_size = 4usize;
+        let mut pcfg = cfg;
+        pcfg.packet_size = pkt_size;
+        print_raw_line(&format!("packet_size={pkt_size} (wormhole path):"));
+        let pkt_cells = time_cells(pcfg)?;
+        let pkt_total: f64 = pkt_cells.iter().map(|c| c.wall_ms).sum();
+        print_raw_line(&format!(
+            "packet_size={pkt_size} total wall: {pkt_total:.1} ms \
+             ({:.2}x the single-flit cells)",
+            pkt_total / total_ms.max(1e-12)
+        ));
 
         // Scheduler section: the same heterogeneous sweep as one
         // work-stealing JobSet, workers=1 vs workers=N (prepare —
@@ -335,6 +386,16 @@ fn main() {
         let entry = entry_json(&tag, topo, &cells, speedup);
         append_entry(&out, &entry)?;
         print_raw_line(&format!("appended entry '{tag}' to {out}"));
+        // Wormhole-path entry: its own topo key, compared only against
+        // earlier pkt entries by eye (speedup_vs_first stays null).
+        let entry = entry_json(
+            &format!("{tag}-pkt{pkt_size}"),
+            &format!("{topo},pkt={pkt_size}"),
+            &pkt_cells,
+            None,
+        );
+        append_entry(&out, &entry)?;
+        print_raw_line(&format!("appended entry '{tag}-pkt{pkt_size}' to {out}"));
         if let Some((wall1, walln)) = sched_walls {
             let entry = sched_entry_json(&format!("{tag}-sched"), topo, workers, wall1, walln);
             append_entry(&out, &entry)?;

@@ -247,6 +247,28 @@ impl SweepArgs {
         }
     }
 
+    /// Value of `--packet-size` (flits per packet) when present — the
+    /// shared multi-flit override of the figure wrappers: sizes > 1
+    /// run the sweep under wormhole flow control. `0` is a typed error
+    /// here, not a mid-sweep panic.
+    pub fn packet_size(&self) -> Result<Option<usize>, SfError> {
+        match self.get("packet-size") {
+            None => Ok(None),
+            Some(raw) => {
+                let ps: usize = raw
+                    .parse()
+                    .map_err(|_| SfError::Cli(format!("--packet-size: cannot parse {raw:?}")))?;
+                if !(1..=slimfly::sim::MAX_PACKET_SIZE).contains(&ps) {
+                    return Err(SfError::Cli(format!(
+                        "--packet-size must be in 1..={} flits, got {ps}",
+                        slimfly::sim::MAX_PACKET_SIZE
+                    )));
+                }
+                Ok(Some(ps))
+            }
+        }
+    }
+
     /// Errors on any `--flag` in the argv the program never queried —
     /// typo protection, called by [`run_cli`] after the body returns.
     pub fn check_unknown_flags(&self) -> Result<(), SfError> {

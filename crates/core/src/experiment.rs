@@ -103,9 +103,12 @@ pub struct Record {
     pub routing: String,
     /// Traffic-pattern name.
     pub traffic: String,
+    /// Flits per packet the run simulated (1 = classic single-flit).
+    pub packet_size: usize,
     /// Offered load (flits/endpoint/cycle).
     pub offered: f64,
-    /// Mean packet latency in cycles (NaN if nothing ejected).
+    /// Mean packet latency in cycles — generation to *tail*-flit
+    /// ejection, serialization included (NaN if nothing ejected).
     pub latency: f64,
     /// Approximate 99th-percentile latency.
     pub p99: f64,
@@ -122,17 +125,18 @@ pub struct Record {
 impl Record {
     /// Header row matching [`Record::to_csv`].
     pub const CSV_HEADER: &'static str =
-        "topology,spec,routing,traffic,offered,latency,p99,accepted,avg_hops,saturated,max_link_util";
+        "topology,spec,routing,traffic,packet_size,offered,latency,p99,accepted,avg_hops,saturated,max_link_util";
 
     /// One CSV row (fields in [`Record::CSV_HEADER`] order; fields
     /// containing commas are RFC 4180-quoted).
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_field(&self.topology),
             csv_field(&self.spec),
             csv_field(&self.routing),
             csv_field(&self.traffic),
+            self.packet_size,
             fmt_float(self.offered),
             fmt_float(self.latency),
             fmt_float(self.p99),
@@ -146,13 +150,15 @@ impl Record {
     /// One JSON object (a JSON-lines row; non-finite floats are `null`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"topology\":{},\"spec\":{},\"routing\":{},\"traffic\":{},\"offered\":{},\
+            "{{\"topology\":{},\"spec\":{},\"routing\":{},\"traffic\":{},\"packet_size\":{},\
+             \"offered\":{},\
              \"latency\":{},\"p99\":{},\"accepted\":{},\"avg_hops\":{},\"saturated\":{},\
              \"max_link_util\":{}}}",
             json_str(&self.topology),
             json_str(&self.spec),
             json_str(&self.routing),
             json_str(&self.traffic),
+            self.packet_size,
             json_num(self.offered),
             json_num(self.latency),
             json_num(self.p99),
@@ -335,6 +341,16 @@ impl Experiment {
         self
     }
 
+    /// Sets the flits-per-packet size (default 1). Sizes > 1 simulate
+    /// wormhole flow control: the head flit routes and allocates a VC
+    /// per hop, body/tail flits follow the reservation, and the tail
+    /// releases it. `0` is rejected as a typed error at
+    /// [`Experiment::run`].
+    pub fn packet_size(mut self, flits: usize) -> Self {
+        self.sim.packet_size = flits;
+        self
+    }
+
     /// Chains the loads of each routing through one warm simulator
     /// (instead of cold per-load runs): consecutive loads reuse the
     /// warmed queue state, skipping the cold ramp. Off by default
@@ -428,6 +444,13 @@ impl Experiment {
             return Err(SfError::Experiment(
                 "num_vcs must be ≥ 1 (the simulator needs at least one virtual channel)".into(),
             ));
+        }
+        if !(1..=sf_sim::MAX_PACKET_SIZE).contains(&self.sim.packet_size) {
+            return Err(SfError::Experiment(format!(
+                "packet_size must be in 1..={} flits, got {}",
+                sf_sim::MAX_PACKET_SIZE,
+                self.sim.packet_size
+            )));
         }
         let mut set = self.to_plan()?.expand()?;
         let mut sink = MemorySink::new();
@@ -578,15 +601,26 @@ mod tests {
     }
 
     #[test]
-    fn worst_case_on_wrong_topology_is_traffic_error() {
-        // Random DLNs have no adversarial permutation (hypercubes
-        // gained one: dimension reversal).
-        let err = Experiment::on("dln:nr=16,y=2")
+    fn worst_case_on_degenerate_topology_is_traffic_error() {
+        // Every spec-buildable family now has an adversary (DLN and
+        // BDF were the last two), but degenerate instances still error
+        // typed: a 4-router DLN with 2 shortcut rounds is the complete
+        // graph — no distance for the farthest-pair matching to
+        // exploit.
+        let err = Experiment::on("dln:nr=4,y=2")
             .traffic(TrafficSpec::WorstCase)
             .loads(&[0.1])
             .run()
             .unwrap_err();
         assert!(matches!(err, SfError::Traffic(_)), "{err}");
+        // And the non-degenerate DLN worst case runs end to end.
+        let records = Experiment::on("dln:nr=32,y=4")
+            .traffic(TrafficSpec::WorstCase)
+            .loads(&[0.1])
+            .sim(quick_sim())
+            .run()
+            .unwrap();
+        assert_eq!(records[0].traffic, "worst-dln");
     }
 
     #[test]
@@ -640,6 +674,7 @@ mod tests {
             spec: "dln:nr=64,y=4".into(),
             routing: "MIN".into(),
             traffic: "uniform".into(),
+            packet_size: 1,
             offered: 0.1,
             latency: 1.0,
             p99: 2.0,
@@ -659,6 +694,27 @@ mod tests {
             }
         }
         assert_eq!(fields + 1, Record::CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn packet_size_flows_from_builder_to_records() {
+        let records = Experiment::on(TopologySpec::slimfly(5))
+            .loads(&[0.1])
+            .sim(quick_sim())
+            .packet_size(4)
+            .run()
+            .unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].packet_size, 4);
+        assert!(records[0].to_csv().contains(",4,"));
+        assert!(records[0].to_json().contains("\"packet_size\":4"));
+        // Size 0 is a typed error, same family as the load checks.
+        let err = Experiment::on(TopologySpec::slimfly(5))
+            .packet_size(0)
+            .loads(&[0.1])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
     }
 
     #[test]

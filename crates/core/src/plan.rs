@@ -34,10 +34,23 @@
 //! topo = "sf:q=7"                   # or: topos = ["sf:q=7", "df:p=3"]
 //! traffic = "worst"                 # overrides the default
 //! loads = [0.05, 0.1, 0.2]
+//! packet_sizes = [1, 4, 16]         # matrix sugar: one sweep per size
+//! concentrations = [4, 6]           # matrix sugar: one sweep per p
 //!
 //! [sweep.sim]                       # per-sweep SimConfig overrides
 //! num_vcs = 6
+//! packet_size = 4                   # flits per packet (wormhole)
 //! ```
+//!
+//! **Matrix sugar**: `packet_sizes = [...]` and/or `concentrations =
+//! [...]` expand one `[[sweep]]` template into the cross product of
+//! sweeps (concentrations outer, packet sizes inner, both in file
+//! order) at parse time — `packet_sizes = [1, 4, 16]` is exactly three
+//! copies of the sweep differing only in `sim.packet_size`, and
+//! `concentrations = [4, 6]` rewrites every topology spec via
+//! [`TopologySpec::with_concentration`]. The canonical rendering
+//! ([`ExperimentPlan::to_toml_string`]) is always the fully-expanded
+//! form, so plan ⇄ TOML round trips are exact.
 //!
 //! The same structure as a JSON object (`{"figure": {...}, "sweep":
 //! [...]}`) parses through [`ExperimentPlan::from_json_str`]. Leaf
@@ -188,18 +201,16 @@ impl ExperimentPlan {
         if sweeps_v.is_empty() {
             return Err(plan_err("an experiment file needs at least one [[sweep]]"));
         }
-        let sweeps = sweeps_v
-            .iter()
-            .enumerate()
-            .map(|(i, sv)| {
-                SweepPlan::from_value(sv, &defaults).map_err(|e| match e {
-                    // Keep leaf grammar errors typed; add sweep context
-                    // only to schema-shape failures.
-                    SfError::Plan(msg) => plan_err(&format!("sweep #{}: {msg}", i + 1)),
-                    other => other,
-                })
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut sweeps = Vec::new();
+        for (i, sv) in sweeps_v.iter().enumerate() {
+            let expanded = SweepPlan::from_value(sv, &defaults).map_err(|e| match e {
+                // Keep leaf grammar errors typed; add sweep context
+                // only to schema-shape failures.
+                SfError::Plan(msg) => plan_err(&format!("sweep #{}: {msg}", i + 1)),
+                other => other,
+            })?;
+            sweeps.extend(expanded);
+        }
         Ok(ExperimentPlan {
             name,
             title,
@@ -281,15 +292,24 @@ impl ExperimentPlan {
                     "num_vcs must be ≥ 1 (the simulator needs at least one virtual channel)".into(),
                 ));
             }
+            if !(1..=sf_sim::MAX_PACKET_SIZE).contains(&sweep.sim.packet_size) {
+                return Err(SfError::Experiment(format!(
+                    "packet_size must be in 1..={} flits, got {}",
+                    sf_sim::MAX_PACKET_SIZE,
+                    sweep.sim.packet_size
+                )));
+            }
+            // Matrix sugar multiplies [[sweep]] blocks at parse time,
+            // so this index may not match a file ordinal — say so.
             if sweep.topos.is_empty() {
                 return Err(SfError::Experiment(format!(
-                    "sweep #{} names no topologies",
+                    "expanded sweep #{} names no topologies",
                     si + 1
                 )));
             }
             if sweep.routings.is_empty() {
                 return Err(SfError::Experiment(format!(
-                    "sweep #{} names no routings",
+                    "expanded sweep #{} names no routings",
                     si + 1
                 )));
             }
@@ -409,14 +429,28 @@ impl SweepDefaults {
 }
 
 impl SweepPlan {
-    fn from_value(v: &Value, defaults: &SweepDefaults) -> Result<Self, SfError> {
+    /// Interprets one `[[sweep]]` table. Matrix sugar — `packet_sizes =
+    /// [...]` and/or `concentrations = [...]` — expands the single
+    /// template into one sweep per combination (concentrations outer,
+    /// packet sizes inner, both in file order), so the plan that comes
+    /// back from [`ExperimentPlan::to_toml_string`] is always the
+    /// fully-expanded canonical form.
+    fn from_value(v: &Value, defaults: &SweepDefaults) -> Result<Vec<Self>, SfError> {
         let t = v
             .as_table()
             .ok_or_else(|| plan_err("each [[sweep]] must be a table"))?;
         for key in t.keys() {
             if !matches!(
                 key.as_str(),
-                "topo" | "topos" | "routing" | "traffic" | "loads" | "sim" | "warm_start"
+                "topo"
+                    | "topos"
+                    | "routing"
+                    | "traffic"
+                    | "loads"
+                    | "sim"
+                    | "warm_start"
+                    | "packet_sizes"
+                    | "concentrations"
             ) {
                 return Err(plan_err(&format!("unknown sweep key {key:?}")));
             }
@@ -466,15 +500,70 @@ impl SweepPlan {
                 .ok_or_else(|| plan_err("warm_start must be a boolean"))?,
             None => defaults.warm_start.unwrap_or(false),
         };
-        Ok(SweepPlan {
+        let template = SweepPlan {
             topos,
             routings,
             traffic,
             loads,
             sim,
             warm_start,
-        })
+        };
+
+        // Matrix sugar: expand the template over the requested axes.
+        let sizes_axis = match v.get("packet_sizes") {
+            None => None,
+            Some(a) => Some(parse_positive_ints(a, "packet_sizes")?),
+        };
+        let conc_axis = match v.get("concentrations") {
+            None => None,
+            Some(a) => Some(parse_positive_ints(a, "concentrations")?),
+        };
+        if sizes_axis.is_none() && conc_axis.is_none() {
+            return Ok(vec![template]);
+        }
+        let mut out = Vec::new();
+        for &conc in conc_axis.as_deref().unwrap_or(&[0]) {
+            let mut with_conc = template.clone();
+            if conc != 0 {
+                with_conc.topos = template
+                    .topos
+                    .iter()
+                    .map(|t| t.with_concentration(conc as u32))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            for &ps in sizes_axis.as_deref().unwrap_or(&[0]) {
+                let mut sweep = with_conc.clone();
+                if ps != 0 {
+                    sweep.sim.packet_size = ps as usize;
+                }
+                out.push(sweep);
+            }
+        }
+        Ok(out)
     }
+}
+
+/// Parses a non-empty array of positive integers (the matrix-sugar
+/// axes; 0 is rejected so the `0 = axis absent` sentinel above can
+/// never collide with a real value, and entries are capped at
+/// `u32::MAX` so the concentration cast can never truncate —
+/// out-of-range packet sizes are then caught by the expand-time
+/// `MAX_PACKET_SIZE` check with a precise message).
+fn parse_positive_ints(v: &Value, key: &str) -> Result<Vec<i64>, SfError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| plan_err(&format!("{key} must be an array of positive integers")))?;
+    if items.is_empty() {
+        return Err(plan_err(&format!("{key} must not be empty")));
+    }
+    items
+        .iter()
+        .map(|x| {
+            x.as_int()
+                .filter(|&i| (1..=u32::MAX as i64).contains(&i))
+                .ok_or_else(|| plan_err(&format!("{key} entries must be positive integers")))
+        })
+        .collect()
 }
 
 fn parse_topo(v: &Value) -> Result<TopologySpec, SfError> {
@@ -537,6 +626,7 @@ fn apply_sim(cfg: &mut SimConfig, v: &Value) -> Result<(), SfError> {
         };
         match key.as_str() {
             "num_vcs" => cfg.num_vcs = as_usize()?,
+            "packet_size" => cfg.packet_size = as_usize()?,
             "buf_per_port" => cfg.buf_per_port = as_usize()?,
             "channel_latency" => cfg.channel_latency = as_u32()?,
             "router_delay" => cfg.router_delay = as_u32()?,
@@ -564,6 +654,7 @@ fn apply_sim(cfg: &mut SimConfig, v: &Value) -> Result<(), SfError> {
 fn sim_to_value(cfg: &SimConfig) -> Value {
     let mut t = Map::new();
     t.insert("num_vcs".into(), Value::Integer(cfg.num_vcs as i64));
+    t.insert("packet_size".into(), Value::Integer(cfg.packet_size as i64));
     t.insert(
         "buf_per_port".into(),
         Value::Integer(cfg.buf_per_port as i64),
@@ -760,6 +851,7 @@ impl JobSet {
                 spec: spec_str.clone(),
                 routing: router.label(),
                 traffic: pattern.name().to_string(),
+                packet_size: r.packet_size,
                 offered: r.offered_load,
                 latency: r.avg_latency,
                 p99: r.p99_latency,
@@ -953,6 +1045,102 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SfError::Routing(_)), "{err}");
+    }
+
+    #[test]
+    fn packet_size_parses_and_validates() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n[sweep.sim]\npacket_size = 4",
+        )
+        .unwrap();
+        assert_eq!(plan.sweeps[0].sim.packet_size, 4);
+        let rendered = plan.to_toml_string();
+        assert!(rendered.contains("packet_size = 4"), "{rendered}");
+        assert_eq!(ExperimentPlan::from_toml_str(&rendered).unwrap(), plan);
+        // Zero is a typed expansion error (matching the builder path).
+        let bad = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n[sweep.sim]\npacket_size = 0",
+        )
+        .unwrap();
+        let err = bad.expand().unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
+        assert!(err.to_string().contains("packet_size"));
+    }
+
+    #[test]
+    fn packet_sizes_matrix_expands_one_template_into_sweeps() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             packet_sizes = [1, 4, 16]",
+        )
+        .unwrap();
+        assert_eq!(plan.sweeps.len(), 3);
+        assert_eq!(
+            plan.sweeps
+                .iter()
+                .map(|s| s.sim.packet_size)
+                .collect::<Vec<_>>(),
+            vec![1, 4, 16]
+        );
+        // Everything else is the shared template.
+        for s in &plan.sweeps {
+            assert_eq!(s.topos, vec![TopologySpec::slimfly(5)]);
+            assert_eq!(s.loads, vec![0.1]);
+        }
+        // The canonical render is the fully-expanded form and
+        // round-trips exactly.
+        let rendered = plan.to_toml_string();
+        assert_eq!(ExperimentPlan::from_toml_str(&rendered).unwrap(), plan);
+        assert!(!rendered.contains("packet_sizes"), "{rendered}");
+    }
+
+    #[test]
+    fn concentrations_matrix_rewrites_topologies() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             concentrations = [2, 4]\npacket_sizes = [1, 4]",
+        )
+        .unwrap();
+        // Concentrations outer, packet sizes inner.
+        assert_eq!(plan.sweeps.len(), 4);
+        let shapes: Vec<(String, usize)> = plan
+            .sweeps
+            .iter()
+            .map(|s| (s.topos[0].to_string(), s.sim.packet_size))
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                ("sf:q=5,p=2".to_string(), 1),
+                ("sf:q=5,p=2".to_string(), 4),
+                ("sf:q=5,p=4".to_string(), 1),
+                ("sf:q=5,p=4".to_string(), 4),
+            ]
+        );
+        let rendered = plan.to_toml_string();
+        assert_eq!(ExperimentPlan::from_toml_str(&rendered).unwrap(), plan);
+    }
+
+    #[test]
+    fn matrix_sugar_rejects_bad_axes() {
+        let base = "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n";
+        for extra in [
+            "packet_sizes = []",
+            "packet_sizes = [0]",
+            "packet_sizes = \"4\"",
+            "concentrations = [0]",
+            // Beyond u32: rejected at parse, never truncated.
+            "concentrations = [4294967300]",
+        ] {
+            let err = ExperimentPlan::from_toml_str(&format!("{base}{extra}")).unwrap_err();
+            assert!(matches!(err, SfError::Plan(_)), "{extra} → {err}");
+        }
+        // Families with structural concentration reject the axis.
+        let err = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"hc:d=4\"\nconcentrations = [2]",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfError::InvalidParam { .. }), "{err}");
     }
 
     #[test]

@@ -33,18 +33,23 @@ pub fn render_markdown(heading: &str, records: &[Record]) -> String {
 /// `suffix` appended to each group heading (used to disambiguate
 /// sweeps that share topology and traffic).
 fn render_groups(out: &mut String, records: &[Record], suffix: &str) {
-    // Group keys in first-appearance order.
-    let mut groups: Vec<(String, String)> = Vec::new();
+    // Group keys in first-appearance order. Packet size is part of the
+    // key so a multi-size sweep (fig_packets) renders one table pair
+    // per size instead of colliding rows; single-flit groups keep the
+    // historical heading (no size annotation).
+    let mut groups: Vec<(String, String, usize)> = Vec::new();
     for r in records {
-        let key = (r.topology.clone(), r.traffic.clone());
+        let key = (r.topology.clone(), r.traffic.clone(), r.packet_size);
         if !groups.contains(&key) {
             groups.push(key);
         }
     }
-    for (topology, traffic) in &groups {
+    for (topology, traffic, packet_size) in &groups {
         let rows: Vec<&Record> = records
             .iter()
-            .filter(|r| &r.topology == topology && &r.traffic == traffic)
+            .filter(|r| {
+                &r.topology == topology && &r.traffic == traffic && r.packet_size == *packet_size
+            })
             .collect();
         let mut loads: Vec<f64> = Vec::new();
         let mut routings: Vec<String> = Vec::new();
@@ -56,7 +61,14 @@ fn render_groups(out: &mut String, records: &[Record], suffix: &str) {
                 routings.push(r.routing.clone());
             }
         }
-        out.push_str(&format!("\n## {topology} — {traffic} traffic{suffix}\n"));
+        let size_note = if *packet_size == 1 {
+            String::new()
+        } else {
+            format!(", {packet_size}-flit packets")
+        };
+        out.push_str(&format!(
+            "\n## {topology} — {traffic} traffic{size_note}{suffix}\n"
+        ));
         render_table(
             out,
             "Mean latency (cycles)",
@@ -205,6 +217,7 @@ mod tests {
             spec: "sf:q=5".into(),
             routing: routing.into(),
             traffic: "uniform".into(),
+            packet_size: 1,
             offered,
             latency,
             p99: latency * 2.0,
@@ -235,6 +248,25 @@ mod tests {
         let df_section = md.split("## DF(p=3)").nth(1).unwrap();
         assert!(df_section.contains("| routing | 0.100 |"), "{df_section}");
         assert!(md.contains("† operated past saturation"));
+    }
+
+    #[test]
+    fn packet_sizes_get_their_own_groups() {
+        // A fig_packets-style stream: same topology/traffic/routing at
+        // two packet sizes must render two table pairs, with the
+        // multi-flit heading annotated and the single-flit heading
+        // unchanged (golden-report compatibility).
+        let mut r1 = rec("SF(q=5,p=4)", "MIN", 0.1, 11.0, false);
+        let mut r4 = rec("SF(q=5,p=4)", "MIN", 0.1, 14.5, false);
+        r1.packet_size = 1;
+        r4.packet_size = 4;
+        let md = render_markdown("fig_packets", &[r1, r4]);
+        assert_eq!(md.matches("## ").count(), 2, "{md}");
+        assert!(md.contains("## SF(q=5,p=4) — uniform traffic\n"), "{md}");
+        assert!(
+            md.contains("## SF(q=5,p=4) — uniform traffic, 4-flit packets\n"),
+            "{md}"
+        );
     }
 
     #[test]

@@ -327,7 +327,7 @@ mod tests {
             [figure]
             name = "err"
             [[sweep]]
-            topo = "dln:nr=16,y=2"
+            topo = "dln:nr=4,y=2"
             traffic = "worst"
             loads = [0.1]
             "#,
@@ -357,7 +357,7 @@ mod tests {
             topo = "sf:q=5"
             loads = [0.3]
             [[sweep]]
-            topo = "dln:nr=16,y=2"
+            topo = "dln:nr=4,y=2"
             traffic = "worst"
             loads = [0.1]
             "#,

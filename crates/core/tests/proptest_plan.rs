@@ -49,19 +49,23 @@ fn any_sim() -> impl Strategy<Value = SimConfig> {
         1u32..2_001,
         0u32..5,
         1u64..1_000_000,
+        1usize..33,
     )
-        .prop_map(|(num_vcs, buf, warmup, delays, seed)| SimConfig {
-            num_vcs,
-            buf_per_port: buf,
-            channel_latency: 1 + delays,
-            router_delay: 1 + delays * 2,
-            credit_delay: 1 + delays,
-            warmup,
-            measure: warmup * 2,
-            drain: warmup * 3,
-            seed,
-            ..Default::default()
-        })
+        .prop_map(
+            |(num_vcs, buf, warmup, delays, seed, packet_size)| SimConfig {
+                num_vcs,
+                buf_per_port: buf,
+                channel_latency: 1 + delays,
+                router_delay: 1 + delays * 2,
+                credit_delay: 1 + delays,
+                warmup,
+                measure: warmup * 2,
+                drain: warmup * 3,
+                packet_size,
+                seed,
+                ..Default::default()
+            },
+        )
 }
 
 fn any_sweep() -> impl Strategy<Value = SweepPlan> {
@@ -116,6 +120,63 @@ proptest! {
         prop_assert_eq!(a.jobs(), b.jobs());
         prop_assert_eq!(a.topos(), b.topos());
         prop_assert_eq!(a.num_records(), b.num_records());
+    }
+
+    #[test]
+    fn matrix_sugar_round_trips_and_expands_deterministically(
+        sizes in prop::collection::vec(1i64..64, 1..4),
+        with_concs in any::<bool>(),
+        concs_raw in prop::collection::vec(1i64..6, 1..4),
+        loads in prop::collection::vec(0u32..41, 1..4),
+    ) {
+        let concs = with_concs.then_some(concs_raw);
+        // A sweep template with `packet_sizes = [...]` (and optionally
+        // `concentrations = [...]`) must expand into the cross product
+        // in declaration order, and the canonical render — which is
+        // always the fully-expanded form — must parse back to the
+        // identical plan with the identical JobSet.
+        let loads: Vec<f64> = loads.into_iter().map(|l| l as f64 * 0.025).collect();
+        let loads_str = loads
+            .iter()
+            .map(|l| format!("{l:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let sizes_str = sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let conc_line = match &concs {
+            None => String::new(),
+            Some(cs) => format!(
+                "concentrations = [{}]\n",
+                cs.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+        };
+        let doc = format!(
+            "[figure]\nname = \"matrix\"\n[[sweep]]\ntopo = \"sf:q=5\"\n\
+             loads = [{loads_str}]\npacket_sizes = [{sizes_str}]\n{conc_line}"
+        );
+        let plan = ExperimentPlan::from_toml_str(&doc).unwrap();
+        let n_conc = concs.as_ref().map(|c| c.len()).unwrap_or(1);
+        prop_assert_eq!(plan.sweeps.len(), sizes.len() * n_conc);
+        for (i, sweep) in plan.sweeps.iter().enumerate() {
+            prop_assert_eq!(sweep.sim.packet_size, sizes[i % sizes.len()] as usize);
+            prop_assert_eq!(&sweep.loads, &loads);
+            if let Some(cs) = &concs {
+                let expect: TopologySpec =
+                    format!("sf:q=5,p={}", cs[i / sizes.len()]).parse().unwrap();
+                prop_assert_eq!(&sweep.topos, &vec![expect]);
+            }
+        }
+        // plan ⇄ TOML round trip of the expanded form.
+        let rendered = plan.to_toml_string();
+        let reparsed = ExperimentPlan::from_toml_str(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{rendered}"));
+        prop_assert_eq!(&plan, &reparsed, "rendered:\n{}", rendered);
+        let a = plan.expand().unwrap();
+        let b = reparsed.expand().unwrap();
+        prop_assert_eq!(a.jobs(), b.jobs());
     }
 
     #[test]

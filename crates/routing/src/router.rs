@@ -38,6 +38,15 @@ use sf_graph::Graph;
 /// queue length" the UGAL papers inspect. `to` **must** be a neighbor
 /// of `r` in the router graph; implementations may panic otherwise.
 ///
+/// **Occupancy counts flits, not packets.** Under multi-flit wormhole
+/// simulation (`packet_size > 1`) every body and tail flit occupies a
+/// staged slot or a downstream credit exactly like a head flit does,
+/// so a policy comparing occupancies automatically sees serialization
+/// pressure: a link carrying one 16-flit packet reads as 16× busier
+/// than a link carrying one single-flit packet. No per-packet
+/// normalization is applied — that matches what real UGAL hardware
+/// measures (buffer slots in use).
+///
 /// The view is a snapshot of the current cycle: occupancy does not
 /// change while a routing decision is being made. Implementations are
 /// **O(1) per query** — the engine maintains an incremental per-link
@@ -123,11 +132,24 @@ pub trait Router: Send + Sync {
     fn label(&self) -> String;
 
     /// Injection-time decision: a full source route or [`RouteDecision::PerHop`].
+    ///
+    /// Called exactly once per **packet**, when its *head flit* is
+    /// injected; under multi-flit wormhole simulation the body and
+    /// tail flits reuse the head's decision.
     fn route(&self, ctx: &RouteCtx<'_>, rng: &mut StdRng) -> RouteDecision;
 
     /// Per-hop decision for [`RouteDecision::PerHop`] packets sitting at
     /// router `cur`: the next-hop router (must be a neighbor of `cur`).
     /// Source-routing policies never receive this call.
+    ///
+    /// **Head-flit-only contract**: the engine reaches this hook only
+    /// for a packet's *head* flit (possibly several times, if the head
+    /// is blocked and re-arbitrated on later cycles). Once the head is
+    /// granted an output, the engine routes the packet's remaining
+    /// flits over the reserved (link, VC) without consulting the
+    /// policy — a policy can therefore never split one packet across
+    /// links, and any RNG it draws is drawn per head-flit arbitration,
+    /// never per body flit.
     fn next_hop(&self, ctx: &RouteCtx<'_>, cur: u32, rng: &mut StdRng) -> u32 {
         let _ = (ctx, cur, rng);
         unreachable!("next_hop called on a source-routing router")

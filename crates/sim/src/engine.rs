@@ -55,6 +55,62 @@
 //!   and the arrivals phase drains exactly the due events instead of
 //!   polling a timestamped queue on every link every cycle.
 //!
+//! # Packets, flits and wormhole flow control
+//!
+//! A **packet** is [`SimConfig::packet_size`] ≥ 1 flits; the engine
+//! moves *flits*, and a packet exists as state stretched across the
+//! network (wormhole switching). Every flit carries its packet's
+//! descriptor plus a sequence number: flit 0 is the **head**, flit
+//! `size − 1` the **tail** (a single-flit packet is both at once).
+//! The flit lifecycle:
+//!
+//! * **Generation** — a Bernoulli draw per endpoint per cycle with
+//!   probability `load / packet_size` creates one whole packet, so
+//!   `load` stays the offered load in *flits*/endpoint/cycle across
+//!   packet sizes.
+//! * **Injection** — an endpoint injects at most one flit per cycle
+//!   (serialization latency starts at the source). The head flit
+//!   triggers the routing decision ([`Router::route`]) and the VC-base
+//!   draw; the remaining flits of the same packet follow on subsequent
+//!   cycles before the next packet may start.
+//! * **Switch allocation** — only a **head** flit computes a route
+//!   ([`Router::next_hop`] for per-hop schemes) and performs VC
+//!   allocation: claiming output `(link, vc)` records the reservation
+//!   in two tables — `in_route[input slot] = (link, vc)` and
+//!   `out_owner[(link, vc)] = input slot` — and a head is *not*
+//!   granted while another packet owns the output VC. Body and tail
+//!   flits inherit the reserved `(link, vc)` from `in_route` without
+//!   consulting the routing policy. Every flit consumes one credit on
+//!   its output VC. The **tail** grant releases both reservations.
+//! * **Transmission / arrival / ejection** — per flit, exactly as for
+//!   single-flit packets: one flit per link per cycle leaves staging,
+//!   one flit per endpoint per cycle ejects, and every flit leaving an
+//!   input buffer returns one credit upstream.
+//!
+//! **Wormhole invariants** (checked by
+//! [`Simulator::verify_credit_round_trip`], property-tested):
+//!
+//! * *Credit conservation* — for every `(link, vc)`:
+//!   `vc_cap = credits + staged flits + flits on the wire + flits in
+//!   the downstream input buffer + credits in flight upstream`. Every
+//!   consumed credit returns exactly once.
+//! * *Allocation bijection* — `in_route[s] = (l, v)` iff
+//!   `out_owner[(l, v)] = s`; allocations exist only between a head
+//!   grant and the matching tail grant, and only for multi-flit
+//!   packets (at `packet_size = 1` both tables stay empty, which is
+//!   how the wormhole path degenerates to the classic engine).
+//! * *No interleaving* — because an output VC is owned from head to
+//!   tail and per-link staging is FIFO, a downstream input VC queue
+//!   always holds the flits of at most one unfinished packet, in
+//!   order; `in_route` therefore always describes the packet at the
+//!   queue front.
+//!
+//! Measurement is packet- and flit-aware: latency statistics are
+//! recorded at **tail** ejection (full-packet latency, including
+//! serialization), head-flit latency is tracked separately
+//! ([`SimResult::avg_head_latency`]), and throughput / link-utilization
+//! counters tick per flit.
+//!
 //! # Determinism contract
 //!
 //! Results are **bit-for-bit reproducible** given `SimConfig::seed`,
@@ -65,7 +121,11 @@
 //! phases only elide state that could not have produced a routing-hook
 //! call (`Router::next_hop` is reached for exactly the same packets in
 //! the same order). Any future fast-path must preserve both the RNG
-//! draw sequence and the occupancy values policies observe.
+//! draw sequence and the occupancy values policies observe. The
+//! wormhole path is additionally pinned to **degenerate exactly** at
+//! `packet_size = 1`: with single-flit packets every head is its own
+//! tail, no VC reservation outlives its grant, and the engine's curves
+//! match the pre-wormhole engine to the last bit.
 
 use crate::stats::LatencyStats;
 use rand::rngs::StdRng;
@@ -106,9 +166,20 @@ pub struct SimConfig {
     pub measure: u32,
     /// Extra drain cycles allowed after the window.
     pub drain: u32,
+    /// Flits per packet (≥ 1, ≤ [`MAX_PACKET_SIZE`]). Multi-flit
+    /// packets use wormhole flow control: the head flit routes and
+    /// allocates a VC per hop, body/tail flits inherit the reserved
+    /// (link, VC) path, the tail releases it. `1` (the default)
+    /// reproduces the classic single-flit engine bit for bit.
+    pub packet_size: usize,
     /// RNG seed (simulations are deterministic given the seed).
     pub seed: u64,
 }
+
+/// Upper bound on [`SimConfig::packet_size`] — flit sequence numbers
+/// are 16-bit and message sizes beyond this are unrealistic for the
+/// router buffers modeled here.
+pub const MAX_PACKET_SIZE: usize = 4096;
 
 impl Default for SimConfig {
     fn default() -> Self {
@@ -123,6 +194,7 @@ impl Default for SimConfig {
             warmup: 2_000,
             measure: 4_000,
             drain: 4_000,
+            packet_size: 1,
             seed: 0x5EED,
         }
     }
@@ -133,16 +205,28 @@ impl Default for SimConfig {
 pub struct SimResult {
     /// Offered load (flits/endpoint/cycle).
     pub offered_load: f64,
-    /// Mean end-to-end packet latency (cycles), over sample packets
-    /// (generated inside the measurement window). NaN if none ejected.
+    /// Flits per packet this run simulated.
+    pub packet_size: usize,
+    /// Mean end-to-end **packet** latency (cycles): generation to
+    /// *tail*-flit ejection, over sample packets (generated inside the
+    /// measurement window) — includes serialization latency. NaN if
+    /// none ejected.
     pub avg_latency: f64,
-    /// Approximate 99th percentile latency.
+    /// Approximate 99th percentile packet latency.
     pub p99_latency: f64,
+    /// Mean **head-flit** latency (cycles): generation to head-flit
+    /// ejection. Equals [`SimResult::avg_latency`] at `packet_size = 1`;
+    /// the gap between the two is the serialization tail (≈
+    /// `packet_size − 1` cycles at zero load). NaN if none ejected.
+    pub avg_head_latency: f64,
     /// Accepted throughput: flits ejected per active endpoint per cycle
     /// during the measurement window.
     pub accepted: f64,
-    /// Total packets ejected over the whole run.
+    /// Total packets ejected (tail flits delivered) over the whole run.
     pub ejected: u64,
+    /// Total flits ejected over the whole run
+    /// (`= ejected × packet_size` once fully drained).
+    pub ejected_flits: u64,
     /// True when the network could not drain the sample packets —
     /// operating past saturation.
     pub saturated: bool,
@@ -326,8 +410,12 @@ fn flow_id(src_ep: u32, dst_ep: u32) -> u64 {
     ((src_ep as u64) << 32) | dst_ep as u64
 }
 
+/// One flit on the move. Every flit carries its packet's descriptor
+/// (routing state is only *used* by the head; body/tail flits inherit
+/// the engine's per-VC reservations, but carrying the descriptor keeps
+/// termination checks and statistics local to the flit).
 #[derive(Clone, Copy)]
-struct Packet {
+struct Flit {
     src_ep: u32,
     dst_ep: u32,
     gen_time: u32,
@@ -336,7 +424,7 @@ struct Packet {
     /// router.
     path: [u32; 10],
     path_len: u8,
-    /// Index of the router the packet currently occupies (or is flying
+    /// Index of the router the flit currently occupies (or is flying
     /// toward) within `path`; doubles as the hop counter for adaptive.
     hop: u8,
     /// Base virtual channel: hop `i` travels on VC `vc_base + i`.
@@ -344,6 +432,25 @@ struct Packet {
     /// graph acyclic (the generalized Gopal scheme of §IV-D); bases are
     /// spread at injection to avoid VC-level head-of-line blocking.
     vc_base: u8,
+    /// Flit index within the packet: 0 is the head, `size − 1` the
+    /// tail.
+    seq: u16,
+    /// Total flits of the packet (`SimConfig::packet_size`).
+    size: u16,
+}
+
+impl Flit {
+    /// Head flits route and allocate; everyone else inherits.
+    #[inline]
+    fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+
+    /// Tail flits release the per-VC wormhole reservations.
+    #[inline]
+    fn is_tail(&self) -> bool {
+        self.seq + 1 == self.size
+    }
 }
 
 /// Appends the set bits of `mask` within the absolute bit range
@@ -400,7 +507,7 @@ pub struct Simulator<'a> {
     /// Credits per (link, VC): available downstream buffer slots.
     credits: Vec<u32>,
     /// Output staging queue per link (absorbs crossbar speedup).
-    staging: Vec<VecDeque<(Packet, u8)>>,
+    staging: Vec<VecDeque<(Flit, u8)>>,
     /// Bitmask over links: bit set ⇔ staging queue non-empty, so
     /// transmission visits exactly the staged links in link-id order.
     staged_mask: Vec<u64>,
@@ -424,7 +531,7 @@ pub struct Simulator<'a> {
     flit_eff: u32,
     /// Flits on the wire: bucket `(send_cycle + flit_eff) % (flit_eff+1)`
     /// holds (link, packet, VC) triples due that cycle.
-    flit_buckets: Vec<Vec<(u32, Packet, u8)>>,
+    flit_buckets: Vec<Vec<(u32, Flit, u8)>>,
     /// Effective credit delay (`credit_delay`, min 1).
     credit_eff: u32,
     /// Credits returning upstream: (link, VC) pairs per due cycle.
@@ -435,16 +542,34 @@ pub struct Simulator<'a> {
     /// then injection ports.
     port_base: Vec<u32>,
     /// Input buffers, indexed `flat_port * num_vcs + vc`.
-    in_buf: Vec<VecDeque<Packet>>,
+    in_buf: Vec<VecDeque<Flit>>,
     /// Bitmask over `in_buf` slots: bit set ⇔ queue non-empty. Lets
     /// ejection/allocation visit only occupied queues, in scan order.
     buf_mask: Vec<u64>,
 
+    // ---- wormhole per-VC allocation tables ----
+    /// Per input-buffer slot: the output `(link × num_vcs + vc)` the
+    /// slot's in-flight packet reserved at its head grant, or
+    /// `u32::MAX` when free. Body/tail flits are granted to this
+    /// reservation without consulting the routing policy; the tail
+    /// grant clears it. Only multi-flit packets ever populate it.
+    in_route: Vec<u32>,
+    /// Per output `(link × num_vcs + vc)`: the input slot owning the
+    /// VC from head grant to tail grant, or `u32::MAX` when free. A
+    /// head flit is not granted to an owned output VC (prevents flit
+    /// interleaving in the downstream input queue).
+    out_owner: Vec<u32>,
+
     // ---- endpoint state ----
     src_q: Vec<VecDeque<(u32, u32)>>, // per endpoint: (gen_time, dst)
-    /// Bitmask over endpoints: bit set ⇔ source queue non-empty, so
-    /// injection visits exactly the queued endpoints in ascending order.
+    /// Bitmask over endpoints: bit set ⇔ the endpoint has injection
+    /// work — a queued packet or a partially injected one — so
+    /// injection visits exactly those endpoints in ascending order.
     src_mask: Vec<u64>,
+    /// Per endpoint: the next body/tail flit of a partially injected
+    /// packet (endpoints inject one flit per cycle; the head's routing
+    /// decision is reused by the followers).
+    inj_progress: Vec<Option<Flit>>,
     ep_router: Vec<u32>,
     /// Flat `in_buf` slot (VC 0) of each endpoint's injection port.
     ep_inj_slot: Vec<u32>,
@@ -481,10 +606,16 @@ pub struct Simulator<'a> {
 
     stats: LatencyStats,
     hops_sum: u64,
+    /// Sum of head-flit latencies of sample packets (mean head latency
+    /// = `head_lat_sum / head_ejected`).
+    head_lat_sum: u64,
+    /// Head flits of sample packets ejected.
+    head_ejected: u64,
     sample_generated: u64,
     sample_ejected: u64,
     window_ejected: u64,
     total_ejected: u64,
+    total_ejected_flits: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -502,6 +633,11 @@ impl<'a> Simulator<'a> {
         assert_eq!(tables.num_routers(), net.num_routers());
         assert_eq!(pattern.num_endpoints() as usize, net.num_endpoints());
         assert!((0.0..=1.0).contains(&load));
+        assert!(
+            (1..=MAX_PACKET_SIZE).contains(&cfg.packet_size),
+            "packet_size must be in 1..={MAX_PACKET_SIZE}, got {}",
+            cfg.packet_size
+        );
         let nr = net.num_routers();
         let nvc = cfg.num_vcs;
         let vc_cap = (cfg.buf_per_port / nvc).max(1);
@@ -558,8 +694,11 @@ impl<'a> Simulator<'a> {
             port_base,
             in_buf: (0..nslots).map(|_| VecDeque::new()).collect(),
             buf_mask: vec![0; nslots.div_ceil(64)],
+            in_route: vec![u32::MAX; nslots],
+            out_owner: vec![u32::MAX; nlinks * nvc],
             src_q: vec![VecDeque::new(); net.num_endpoints()],
             src_mask: vec![0; net.num_endpoints().div_ceil(64)],
+            inj_progress: vec![None; net.num_endpoints()],
             ep_router,
             ep_inj_slot,
             r_buffered: vec![0; nr],
@@ -575,17 +714,20 @@ impl<'a> Simulator<'a> {
             win_end: cfg.warmup + cfg.measure,
             stats: LatencyStats::new(),
             hops_sum: 0,
+            head_lat_sum: 0,
+            head_ejected: 0,
             sample_generated: 0,
             sample_ejected: 0,
             window_ejected: 0,
             total_ejected: 0,
+            total_ejected_flits: 0,
         }
     }
 
     /// Pushes a packet into input-buffer slot `slot` of router `r`,
     /// maintaining the non-empty bitmask and the active-set counter.
     #[inline]
-    fn buf_push(&mut self, r: u32, slot: usize, p: Packet) {
+    fn buf_push(&mut self, r: u32, slot: usize, p: Flit) {
         self.in_buf[slot].push_back(p);
         self.buf_mask[slot / 64] |= 1 << (slot % 64);
         self.r_buffered[r as usize] += 1;
@@ -593,7 +735,7 @@ impl<'a> Simulator<'a> {
 
     /// Pops the head of input-buffer slot `slot` of router `r`.
     #[inline]
-    fn buf_pop(&mut self, r: u32, slot: usize) -> Packet {
+    fn buf_pop(&mut self, r: u32, slot: usize) -> Flit {
         let p = self.in_buf[slot].pop_front().unwrap();
         if self.in_buf[slot].is_empty() {
             self.buf_mask[slot / 64] &= !(1 << (slot % 64));
@@ -630,7 +772,7 @@ impl<'a> Simulator<'a> {
         };
         match self.router.route(&ctx, &mut self.rng) {
             RouteDecision::Path(v) => {
-                assert!(v.len() <= 10, "path longer than the Packet array: {v:?}");
+                assert!(v.len() <= 10, "path longer than the Flit array: {v:?}");
                 let mut a = [0u32; 10];
                 a[..v.len()].copy_from_slice(&v);
                 (a, v.len() as u8)
@@ -646,7 +788,7 @@ impl<'a> Simulator<'a> {
 
     /// Destination router of a packet.
     #[inline]
-    fn dst_router(&self, p: &Packet) -> u32 {
+    fn dst_router(&self, p: &Flit) -> u32 {
         if p.path_len == 0 {
             p.path[0]
         } else {
@@ -656,13 +798,13 @@ impl<'a> Simulator<'a> {
 
     /// Whether the packet terminates at router `r`.
     #[inline]
-    fn terminates_here(&self, p: &Packet, r: u32) -> bool {
+    fn terminates_here(&self, p: &Flit, r: u32) -> bool {
         self.dst_router(p) == r
     }
 
     /// Next-hop router for a packet sitting at `r`: the recorded source
     /// route, or the policy's per-hop hook for adaptive packets.
-    fn next_hop(&mut self, p: &Packet, r: u32) -> u32 {
+    fn next_hop(&mut self, p: &Flit, r: u32) -> u32 {
         if p.path_len > 0 {
             p.path[p.hop as usize + 1]
         } else {
@@ -719,12 +861,17 @@ impl<'a> Simulator<'a> {
 
         // 2. Traffic generation (Bernoulli per active endpoint). RNG
         //    phase: iterates every endpoint in order, unconditionally.
+        //    One draw generates a whole packet; the probability is
+        //    scaled by the packet size so `load` stays the offered
+        //    load in flits/endpoint/cycle (for packet_size = 1 the
+        //    division is exact and the draw sequence is unchanged).
         if self.load > 0.0 {
+            let p_gen = self.load / self.cfg.packet_size as f64;
             for e in 0..self.net.num_endpoints() as u32 {
                 if !self.pattern.is_active(e) {
                     continue;
                 }
-                if self.rng.gen_bool(self.load) {
+                if self.rng.gen_bool(p_gen) {
                     if let Some(d) = self.pattern.dest(e, &mut self.rng) {
                         if now >= self.win_start && now < self.win_end {
                             self.sample_generated += 1;
@@ -736,11 +883,14 @@ impl<'a> Simulator<'a> {
             }
         }
 
-        // 3. Injection: head-of-queue packets enter their router's
-        //    injection port (path chosen now, seeing current queues).
-        //    RNG phase: endpoints with queued packets are visited in
-        //    ascending order — exactly the endpoints a full scan would
-        //    visit (no RNG is drawn for endpoints with empty queues).
+        // 3. Injection: one flit per endpoint per cycle enters the
+        //    router's injection port. A *new* packet's head flit picks
+        //    its path now (seeing current queues); body/tail flits of a
+        //    partially injected packet follow on later cycles, before
+        //    the next packet may start. RNG phase: endpoints with
+        //    injection work are visited in ascending order — exactly
+        //    the endpoints a full scan would visit (no RNG is drawn for
+        //    idle endpoints or for body/tail flits).
         {
             let mut ep_scratch = std::mem::take(&mut self.ep_scratch);
             ep_scratch.clear();
@@ -750,11 +900,29 @@ impl<'a> Simulator<'a> {
                 if self.in_buf[slot].len() >= self.vc_cap {
                     continue;
                 }
+                let r = self.ep_router[e as usize];
+                if let Some(f) = self.inj_progress[e as usize] {
+                    // Body/tail flit of the packet in progress: no
+                    // routing, no RNG — serialization only.
+                    self.inj_progress[e as usize] = if f.is_tail() {
+                        None
+                    } else {
+                        Some(Flit {
+                            seq: f.seq + 1,
+                            ..f
+                        })
+                    };
+                    self.buf_push(r, slot, f);
+                    if self.inj_progress[e as usize].is_none() && self.src_q[e as usize].is_empty()
+                    {
+                        self.src_mask[e as usize / 64] &= !(1 << (e % 64));
+                    }
+                    continue;
+                }
                 let (gen_time, dst_ep) = self.src_q[e as usize].pop_front().unwrap();
-                if self.src_q[e as usize].is_empty() {
+                if self.src_q[e as usize].is_empty() && self.cfg.packet_size == 1 {
                     self.src_mask[e as usize / 64] &= !(1 << (e % 64));
                 }
-                let r = self.ep_router[e as usize];
                 let dst_r = self.ep_router[dst_ep as usize];
                 let (path, path_len) = self.choose_path(r, dst_r, flow_id(e, dst_ep));
                 // Spread packets over VC classes: an h-hop path may start at
@@ -771,19 +939,21 @@ impl<'a> Simulator<'a> {
                 } else {
                     self.rng.gen_range(0..=slack.min(self.cfg.num_vcs - 1)) as u8
                 };
-                self.buf_push(
-                    r,
-                    slot,
-                    Packet {
-                        src_ep: e,
-                        dst_ep,
-                        gen_time,
-                        path,
-                        path_len,
-                        hop: 0,
-                        vc_base,
-                    },
-                );
+                let head = Flit {
+                    src_ep: e,
+                    dst_ep,
+                    gen_time,
+                    path,
+                    path_len,
+                    hop: 0,
+                    vc_base,
+                    seq: 0,
+                    size: self.cfg.packet_size as u16,
+                };
+                if !head.is_tail() {
+                    self.inj_progress[e as usize] = Some(Flit { seq: 1, ..head });
+                }
+                self.buf_push(r, slot, head);
             }
             self.ep_scratch = ep_scratch;
         }
@@ -822,14 +992,26 @@ impl<'a> Simulator<'a> {
                     let vc = (slot - fp * nvc) as u8;
                     self.credit_buckets[credit_due].push((up_link, vc));
                 }
-                self.total_ejected += 1;
+                // Throughput ticks per flit; packet completion (and
+                // latency, measured to the *tail* — serialization
+                // included) ticks at the tail flit.
+                self.total_ejected_flits += 1;
                 if now >= self.win_start && now < self.win_end {
                     self.window_ejected += 1;
                 }
+                if p.is_tail() {
+                    self.total_ejected += 1;
+                }
                 if p.gen_time >= self.win_start && p.gen_time < self.win_end {
-                    self.sample_ejected += 1;
-                    self.stats.record(now.saturating_sub(p.gen_time));
-                    self.hops_sum += p.hop as u64;
+                    if p.is_head() {
+                        self.head_lat_sum += now.saturating_sub(p.gen_time) as u64;
+                        self.head_ejected += 1;
+                    }
+                    if p.is_tail() {
+                        self.sample_ejected += 1;
+                        self.stats.record(now.saturating_sub(p.gen_time));
+                        self.hops_sum += p.hop as u64;
+                    }
                 }
             }
             self.slot_scratch = scratch;
@@ -837,10 +1019,15 @@ impl<'a> Simulator<'a> {
 
         // 5. Switch allocation: round-robin over input VCs; each input
         //    grants ≤ 1 flit, each output accepts ≤ `output_speedup`.
-        //    `Router::next_hop` (which may draw RNG) is reached for
-        //    exactly the packets a full scan would reach, in the same
-        //    order: only non-empty queues are visited, in round-robin
-        //    order from the same per-cycle offset.
+        //    Only *head* flits route and allocate: a head consults
+        //    `Router::next_hop` (which may draw RNG), then claims the
+        //    output VC (`in_route`/`out_owner`) if no other packet owns
+        //    it; body/tail flits are granted straight to the recorded
+        //    reservation, and the tail releases it. `Router::next_hop`
+        //    is reached for exactly the packets a full scan would
+        //    reach, in the same order: only non-empty queues are
+        //    visited, in round-robin order from the same per-cycle
+        //    offset.
         for r in 0..nr {
             if self.r_buffered[r as usize] == 0 {
                 continue;
@@ -884,16 +1071,35 @@ impl<'a> Simulator<'a> {
                     if self.terminates_here(&head, r) {
                         continue; // handled by ejection
                     }
-                    let nxt = self.next_hop(&head, r);
-                    let l = self.links.link(r, nxt) as usize;
+                    let alloc = self.in_route[slot];
+                    let (l, next_vc) = if alloc != u32::MAX {
+                        // Body/tail flit: inherit the head's reserved
+                        // (link, VC) — the routing policy is never
+                        // consulted past the head flit.
+                        debug_assert!(!head.is_head());
+                        ((alloc as usize) / nvc, (alloc as usize) % nvc)
+                    } else {
+                        debug_assert!(head.is_head());
+                        let nxt = self.next_hop(&head, r);
+                        let l = self.links.link(r, nxt) as usize;
+                        let next_vc = (head.vc_base as usize + head.hop as usize).min(nvc - 1);
+                        (l, next_vc)
+                    };
                     let j = l - self.links.link_base[r as usize] as usize;
                     if self.out_grants[j] >= self.cfg.output_speedup as u32 {
                         continue;
                     }
-                    let next_vc = (head.vc_base as usize + head.hop as usize).min(nvc - 1);
                     if self.staging[l].len() >= self.cfg.output_queue_cap
                         || self.credits[l * nvc + next_vc] == 0
                     {
+                        continue;
+                    }
+                    if alloc == u32::MAX
+                        && head.size > 1
+                        && self.out_owner[l * nvc + next_vc] != u32::MAX
+                    {
+                        // Wormhole VC allocation: another packet owns
+                        // the output VC until its tail passes.
                         continue;
                     }
                     // Grant.
@@ -904,6 +1110,16 @@ impl<'a> Simulator<'a> {
                     } else {
                         pkt.hop + 1
                     };
+                    if pkt.size > 1 {
+                        if pkt.is_head() {
+                            self.in_route[slot] = (l * nvc + next_vc) as u32;
+                            self.out_owner[l * nvc + next_vc] = slot as u32;
+                        }
+                        if pkt.is_tail() {
+                            self.in_route[slot] = u32::MAX;
+                            self.out_owner[l * nvc + next_vc] = u32::MAX;
+                        }
+                    }
                     self.credits[l * nvc + next_vc] -= 1;
                     self.staging[l].push_back((pkt, next_vc as u8));
                     self.staged_mask[l / 64] |= 1 << (l % 64);
@@ -1009,12 +1225,143 @@ impl<'a> Simulator<'a> {
         }
         for (e, q) in self.src_q.iter().enumerate() {
             let bit = self.src_mask[e / 64] >> (e % 64) & 1 == 1;
-            if bit == q.is_empty() {
+            let has_work = !q.is_empty() || self.inj_progress[e].is_some();
+            if bit != has_work {
                 return Err(format!(
-                    "endpoint {e}: source-mask bit {bit} but queue len {}",
-                    q.len()
+                    "endpoint {e}: source-mask bit {bit} but queue len {} \
+                     and injection in progress {}",
+                    q.len(),
+                    self.inj_progress[e].is_some()
                 ));
             }
+        }
+        Ok(())
+    }
+
+    /// Validates the wormhole credit loop and per-VC allocation state
+    /// against a from-scratch recomputation:
+    ///
+    /// * **credit conservation** per `(link, VC)` — every consumed
+    ///   credit is accounted for exactly once, as a staged flit, a flit
+    ///   on the wire, a flit in the downstream input buffer, or a
+    ///   credit in flight back upstream (`vc_cap = credits + all of
+    ///   those`), so every credit returns exactly once;
+    /// * **allocation bijection** — `in_route[slot] = (l, v)` iff
+    ///   `out_owner[(l, v)] = slot`, every reservation names an output
+    ///   link of the slot's own router, and with `packet_size = 1`
+    ///   both tables are empty (tails released everything).
+    ///
+    /// Returns the first violation as an error. O(state); intended for
+    /// tests (property-tested after random step batches across routings
+    /// × packet sizes), not for the hot loop.
+    pub fn verify_credit_round_trip(&self) -> Result<(), String> {
+        let nvc = self.cfg.num_vcs;
+        let nlinks = self.occ.len();
+        // Flits on the wire / credits in flight, tallied per (link, VC).
+        let mut wire = vec![0u32; nlinks * nvc];
+        for bucket in &self.flit_buckets {
+            for &(l, _, vc) in bucket {
+                wire[l as usize * nvc + vc as usize] += 1;
+            }
+        }
+        let mut credit_flight = vec![0u32; nlinks * nvc];
+        for bucket in &self.credit_buckets {
+            for &(l, vc) in bucket {
+                credit_flight[l as usize * nvc + vc as usize] += 1;
+            }
+        }
+        for l in 0..nlinks {
+            let to = self.links.to[l] as usize;
+            let fp = (self.port_base[to] + self.links.to_port[l]) as usize;
+            for vc in 0..nvc {
+                let lv = l * nvc + vc;
+                let staged = self.staging[l]
+                    .iter()
+                    .filter(|&&(_, v)| v as usize == vc)
+                    .count() as u32;
+                let downstream = self.in_buf[fp * nvc + vc].len() as u32;
+                let accounted =
+                    self.credits[lv] + staged + wire[lv] + downstream + credit_flight[lv];
+                if accounted != self.vc_cap as u32 {
+                    return Err(format!(
+                        "link {l} vc {vc}: credit loop leaks — credits {} + staged \
+                         {staged} + wire {} + downstream {downstream} + in-flight \
+                         credits {} = {accounted}, expected vc_cap {}",
+                        self.credits[lv], wire[lv], credit_flight[lv], self.vc_cap
+                    ));
+                }
+            }
+        }
+        // Allocation bijection.
+        for (slot, &alloc) in self.in_route.iter().enumerate() {
+            if alloc == u32::MAX {
+                continue;
+            }
+            if self.cfg.packet_size == 1 {
+                return Err(format!(
+                    "slot {slot}: allocation {alloc} held at packet_size = 1"
+                ));
+            }
+            let owner = self.out_owner.get(alloc as usize).copied();
+            if owner != Some(slot as u32) {
+                return Err(format!(
+                    "slot {slot}: in_route {alloc} but out_owner {owner:?}"
+                ));
+            }
+            // The reservation must point at an output link of the
+            // router owning the input slot.
+            let fp = self.slot_port(slot) as u32;
+            let r = self.port_base.partition_point(|&b| b <= fp) - 1;
+            let link = alloc as usize / nvc;
+            if !self.links.links_of(r as u32).contains(&link) {
+                return Err(format!(
+                    "slot {slot} (router {r}): reservation names foreign link {link}"
+                ));
+            }
+        }
+        for (lv, &owner) in self.out_owner.iter().enumerate() {
+            if owner != u32::MAX && self.in_route[owner as usize] != lv as u32 {
+                return Err(format!(
+                    "output vc-slot {lv}: owner {owner} whose in_route is {}",
+                    self.in_route[owner as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Asserts the network is fully drained: no flits buffered, staged
+    /// or on the wire, every credit home, every wormhole reservation
+    /// released, and no packet mid-injection. The strongest form of the
+    /// credit-round-trip contract — after the sources go quiet, the
+    /// state must return to exactly the reset state.
+    pub fn verify_quiescent(&self) -> Result<(), String> {
+        self.verify_credit_round_trip()?;
+        self.verify_occupancy_counters()?;
+        if let Some(slot) = (0..self.in_buf.len()).find(|&s| !self.in_buf[s].is_empty()) {
+            return Err(format!("input slot {slot} still buffers flits"));
+        }
+        if let Some(l) = (0..self.staging.len()).find(|&l| !self.staging[l].is_empty()) {
+            return Err(format!("link {l} still stages flits"));
+        }
+        if self.flit_buckets.iter().any(|b| !b.is_empty()) {
+            return Err("flits still on the wire".into());
+        }
+        if self.credit_buckets.iter().any(|b| !b.is_empty()) {
+            return Err("credits still in flight".into());
+        }
+        if let Some(lv) = (0..self.credits.len()).find(|&lv| self.credits[lv] != self.vc_cap as u32)
+        {
+            return Err(format!(
+                "credit {lv} not home: {} of {}",
+                self.credits[lv], self.vc_cap
+            ));
+        }
+        if let Some(s) = (0..self.in_route.len()).find(|&s| self.in_route[s] != u32::MAX) {
+            return Err(format!("slot {s} still holds a VC reservation"));
+        }
+        if let Some(e) = (0..self.inj_progress.len()).find(|&e| self.inj_progress[e].is_some()) {
+            return Err(format!("endpoint {e} still mid-injection"));
         }
         Ok(())
     }
@@ -1047,10 +1394,13 @@ impl<'a> Simulator<'a> {
         self.win_end = self.win_start + self.cfg.measure;
         self.stats = LatencyStats::new();
         self.hops_sum = 0;
+        self.head_lat_sum = 0;
+        self.head_ejected = 0;
         self.sample_generated = 0;
         self.sample_ejected = 0;
         self.window_ejected = 0;
         self.total_ejected = 0;
+        self.total_ejected_flits = 0;
         for c in &mut self.link_flits {
             *c = 0;
         }
@@ -1082,14 +1432,21 @@ impl<'a> Simulator<'a> {
         let nlinks = self.link_flits.len();
         SimResult {
             offered_load: self.load,
+            packet_size: self.cfg.packet_size,
             avg_latency: self.stats.mean(),
             p99_latency: self
                 .stats
                 .quantile(0.99)
                 .map(|v| v as f64)
                 .unwrap_or(f64::NAN),
+            avg_head_latency: if self.head_ejected == 0 {
+                f64::NAN
+            } else {
+                self.head_lat_sum as f64 / self.head_ejected as f64
+            },
             accepted: self.window_ejected as f64 / (active * self.cfg.measure as f64),
             ejected: self.total_ejected,
+            ejected_flits: self.total_ejected_flits,
             saturated: !drained,
             avg_hops: if self.sample_ejected == 0 {
                 f64::NAN
@@ -1388,6 +1745,159 @@ mod tests {
             m_worst.max_link_util,
             m_unif.max_link_util
         );
+    }
+
+    #[test]
+    fn dln_farthest_pairs_crush_min_but_not_ugal() {
+        // The farthest-pair matching concentrates MIN's long routes on
+        // the few shared shortcut links (near-saturated hot channels at
+        // 30% load, collapse by 50%), while UGAL detours keep carrying
+        // the offered load.
+        let dln = sf_topo::random_dln::RandomDln::new(64, 4, 7);
+        let net = dln.network();
+        let tables = RoutingTables::new(&net.graph);
+        let worst = TrafficPattern::worst_case_dln(&net, &tables).unwrap();
+        let uniform = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let mut cfg = quick_cfg(31);
+        cfg.num_vcs = 6; // Valiant detours on a diameter-4 instance
+        let m_worst = Simulator::new(&net, &tables, &MinRouter, &worst, 0.3, cfg).run();
+        let m_unif = Simulator::new(&net, &tables, &MinRouter, &uniform, 0.3, cfg).run();
+        assert!(
+            m_worst.max_link_util > m_unif.max_link_util * 1.5,
+            "the matching must concentrate MIN traffic: worst {} vs uniform {}",
+            m_worst.max_link_util,
+            m_unif.max_link_util
+        );
+        let m_hi = Simulator::new(&net, &tables, &MinRouter, &worst, 0.5, cfg).run();
+        assert!(
+            m_hi.saturated || m_hi.accepted < 0.45,
+            "MIN must collapse under the DLN adversary, accepted {}",
+            m_hi.accepted
+        );
+        let ugal = UgalRouter::new(4, false).unwrap();
+        let a_hi = Simulator::new(&net, &tables, &ugal, &worst, 0.5, cfg).run();
+        assert!(
+            !a_hi.saturated && a_hi.accepted > m_hi.accepted,
+            "UGAL-L must sustain the adversarial load: {} vs MIN {}",
+            a_hi.accepted,
+            m_hi.accepted
+        );
+    }
+
+    #[test]
+    fn bdf_distance2_pairs_crush_min_but_not_ugal() {
+        // The polarity-graph adversary: every pair's minimal paths
+        // funnel through a single middle router (two polars meet in one
+        // point), so MIN saturates near 1/(p+1) while UGAL detours
+        // around the shared middles.
+        let plane = sf_topo::bdf::ProjectivePlaneGraph::new(5).unwrap();
+        let net = plane.network(3);
+        let tables = RoutingTables::new(&net.graph);
+        let worst = TrafficPattern::worst_case_bdf(&net, &tables).unwrap();
+        let cfg = quick_cfg(32);
+        let rmin = Simulator::new(&net, &tables, &MinRouter, &worst, 0.3, cfg).run();
+        assert!(
+            rmin.saturated || rmin.accepted < 0.28,
+            "MIN must collapse under the BDF adversary, accepted {}",
+            rmin.accepted
+        );
+        let ugal = UgalRouter::new(4, false).unwrap();
+        let rugal = Simulator::new(&net, &tables, &ugal, &worst, 0.3, cfg).run();
+        assert!(
+            !rugal.saturated && rugal.accepted > 0.28,
+            "UGAL-L must sustain the adversarial load: accepted {}",
+            rugal.accepted
+        );
+    }
+
+    #[test]
+    fn multi_flit_serialization_raises_zero_load_latency() {
+        // At near-zero load a size-S packet's tail trails the head by
+        // exactly S − 1 cycles (1 flit/cycle at the ejection port), so
+        // packet latency rises by S − 1 versus the single-flit engine
+        // while head latency stays put.
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let mut cfg1 = quick_cfg(21);
+        cfg1.packet_size = 1;
+        let r1 = Simulator::new(&net, &tables, &MinRouter, &pat, 0.02, cfg1).run();
+        let mut cfg4 = cfg1;
+        cfg4.packet_size = 4;
+        let r4 = Simulator::new(&net, &tables, &MinRouter, &pat, 0.02, cfg4).run();
+        assert!(!r1.saturated && !r4.saturated);
+        assert!(
+            r4.avg_latency > r1.avg_latency + 2.0,
+            "serialization must show: size 4 {} vs size 1 {}",
+            r4.avg_latency,
+            r1.avg_latency
+        );
+        // Head flits see the same contention-free pipeline.
+        assert!(
+            (r4.avg_head_latency - r1.avg_head_latency).abs() < 1.5,
+            "head latency {} vs {}",
+            r4.avg_head_latency,
+            r1.avg_head_latency
+        );
+        // The tail trails the head by at least S − 1 cycles.
+        assert!(r4.avg_latency - r4.avg_head_latency >= 3.0 - 1e-9);
+        assert_eq!(r4.packet_size, 4);
+        // Packets cut off by the horizon may have ejected a head
+        // without a tail, never the reverse.
+        assert!(r4.ejected_flits >= r4.ejected * 4);
+    }
+
+    #[test]
+    fn multi_flit_saturates_earlier_under_hol_blocking() {
+        // Same offered *flit* load, bigger packets: wormhole VC
+        // ownership and head-of-line blocking cost throughput, so the
+        // size-8 run accepts less at high load than the size-1 run.
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let mut cfg = quick_cfg(22);
+        cfg.packet_size = 1;
+        let r1 = Simulator::new(&net, &tables, &MinRouter, &pat, 0.85, cfg).run();
+        cfg.packet_size = 8;
+        let r8 = Simulator::new(&net, &tables, &MinRouter, &pat, 0.85, cfg).run();
+        assert!(
+            r8.accepted < r1.accepted,
+            "size 8 accepted {} must trail size 1 {} at 85% offered",
+            r8.accepted,
+            r1.accepted
+        );
+    }
+
+    #[test]
+    fn wormhole_credit_loop_validates_mid_run() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let router = UgalRouter::new(4, false).unwrap();
+        let mut cfg = quick_cfg(23);
+        cfg.packet_size = 4;
+        let mut sim = Simulator::new(&net, &tables, &router, &pat, 0.4, cfg);
+        for _ in 0..300 {
+            sim.step();
+        }
+        sim.verify_credit_round_trip().unwrap();
+        sim.verify_occupancy_counters().unwrap();
+        // Quiet the sources: the wormhole state must fully unwind.
+        sim.rearm(0.0, 99);
+        for _ in 0..5_000 {
+            sim.step();
+            if sim.verify_quiescent().is_ok() {
+                break;
+            }
+        }
+        sim.verify_quiescent().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "packet_size")]
+    fn zero_packet_size_is_rejected() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let mut cfg = quick_cfg(24);
+        cfg.packet_size = 0;
+        let _ = Simulator::new(&net, &tables, &MinRouter, &pat, 0.1, cfg);
     }
 
     #[test]

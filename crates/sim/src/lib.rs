@@ -5,7 +5,11 @@
 //!
 //! * input-queued routers with per-(port, VC) FIFO buffers and
 //!   credit-based flow control;
-//! * single-flit packets injected by a Bernoulli process;
+//! * packets of [`SimConfig::packet_size`] ≥ 1 flits injected by a
+//!   Bernoulli process, moved under **wormhole switching**: the head
+//!   flit routes and allocates a VC per hop, body/tail flits inherit
+//!   the reserved (link, VC) path, the tail releases it (size 1
+//!   reproduces the paper's single-flit model bit for bit);
 //! * router timing: channel latency, switch/VC allocation and crossbar
 //!   delays of 1 cycle each, credit-processing delay of 2 cycles,
 //!   internal speedup 2 over the channel rate;
@@ -27,5 +31,5 @@
 pub mod engine;
 pub mod stats;
 
-pub use engine::{LoadSweep, SimConfig, SimResult, Simulator};
+pub use engine::{LoadSweep, SimConfig, SimResult, Simulator, MAX_PACKET_SIZE};
 pub use stats::LatencyStats;

@@ -19,6 +19,13 @@ fn quick_cfg(seed: u64, vcs: usize, buf: usize) -> SimConfig {
     .with_seed(seed)
 }
 
+fn packet_cfg(seed: u64, vcs: usize, packet_size: usize) -> SimConfig {
+    SimConfig {
+        packet_size,
+        ..quick_cfg(seed, vcs, 64)
+    }
+}
+
 trait WithSeed {
     fn with_seed(self, seed: u64) -> Self;
 }
@@ -104,6 +111,111 @@ proptest! {
                 prop_assert!(false, "{} after {} cycles: {e}", router.label(), sim.now());
             }
         }
+    }
+
+    #[test]
+    fn credit_round_trip_holds_across_routings_and_packet_sizes(
+        load in 0.05f64..0.6,
+        seed in 0u64..500,
+        vcs in 3usize..6,
+        algo_idx in 0usize..6,
+        size_idx in 0usize..4,
+        batches in proptest::collection::vec(1usize..40, 1..6),
+    ) {
+        // The wormhole credit loop: after any random step sequence,
+        // every consumed credit must be accounted for exactly once
+        // (staged, on the wire, buffered downstream, or returning
+        // upstream) and the per-VC head/tail allocation tables must
+        // stay a bijection — for every routing scheme × packet size.
+        // Then, once the sources go quiet, the network must drain to
+        // the exact reset state: all credits home, all reservations
+        // released by tails (a leaked credit or allocation would strand
+        // flits or pin a VC forever).
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let spec: RoutingSpec =
+            ["min", "val", "ugal-l:c=4", "ugal-g:c=4", "fatpaths:layers=3", "ecmp"][algo_idx]
+                .parse()
+                .unwrap();
+        let packet_size = [1usize, 2, 4, 7][size_idx];
+        let router = spec.build(&net.graph, &tables).unwrap();
+        let mut sim = Simulator::new(
+            &net,
+            &tables,
+            router.as_ref(),
+            &pattern,
+            load,
+            packet_cfg(seed, vcs, packet_size),
+        );
+        for steps in batches {
+            for _ in 0..steps {
+                sim.step();
+            }
+            if let Err(e) = sim.verify_credit_round_trip() {
+                prop_assert!(false, "{} size {packet_size} after {} cycles: {e}",
+                    router.label(), sim.now());
+            }
+            if let Err(e) = sim.verify_occupancy_counters() {
+                prop_assert!(false, "{} size {packet_size} after {} cycles: {e}",
+                    router.label(), sim.now());
+            }
+        }
+        // Quiet the sources and drain: every credit must come home and
+        // every tail must have released its reservation.
+        sim.rearm(0.0, seed);
+        for _ in 0..20_000 {
+            sim.step();
+            if sim.verify_quiescent().is_ok() {
+                break;
+            }
+        }
+        if let Err(e) = sim.verify_quiescent() {
+            prop_assert!(false, "{} size {packet_size}: failed to drain: {e}",
+                router.label());
+        }
+    }
+
+    #[test]
+    fn multi_flit_conservation_and_sanity(
+        load in 0.05f64..0.4,
+        seed in 0u64..500,
+        size_idx in 0usize..3,
+    ) {
+        // Multi-flit runs obey the same conservation laws: accepted
+        // flit throughput never exceeds offered, packet latency is at
+        // least the head pipeline time plus the serialization tail,
+        // and the head-vs-packet latency gap is at least packet_size−1
+        // cycles (the tail cannot overtake the head).
+        let packet_size = [2usize, 4, 8][size_idx];
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let res = Simulator::new(
+            &net,
+            &tables,
+            &sf_routing::MinRouter,
+            &pattern,
+            load,
+            packet_cfg(seed, 4, packet_size),
+        )
+        .run();
+        prop_assert!(res.accepted <= load * 1.25 + 0.05,
+            "accepted {} offered {load}", res.accepted);
+        prop_assert_eq!(res.packet_size, packet_size);
+        // Every counted packet (tail) ejected all its flits first;
+        // packets still in flight at the horizon may have ejected a
+        // head without a tail.
+        prop_assert!(res.ejected_flits >= res.ejected * packet_size as u64,
+            "flits {} vs {} packets of {packet_size}", res.ejected_flits, res.ejected);
+        if !res.avg_latency.is_nan() {
+            prop_assert!(res.avg_latency >= res.avg_head_latency + packet_size as f64 - 1.0 - 1e-9,
+                "packet latency {} vs head {} at size {packet_size}",
+                res.avg_latency, res.avg_head_latency);
+        }
+        prop_assert!(res.max_link_util <= 1.0 + 1e-9);
     }
 
     #[test]

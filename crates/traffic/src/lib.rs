@@ -126,17 +126,13 @@ impl TrafficPattern {
         }
     }
 
-    /// The Slim Fly worst case (§V-C, Fig 9): routers are paired so that
-    /// each pair is at distance 2 with minimal paths funneled through a
-    /// single middle router; the p endpoint flows of each router then
-    /// collide on one link, capping MIN throughput near `1/(p+1)`.
-    ///
-    /// Greedy matching: scan routers in id order; pair each unpaired
-    /// router with an unpaired distance-2 partner, preferring partners
-    /// with the fewest shared minimal middles (1 in girth-5 MMS graphs).
-    /// Endpoints are paired index-to-index (a symmetric permutation —
-    /// endpoint-safe by construction).
-    pub fn worst_case_slimfly(net: &Network, tables: &RoutingTables) -> Self {
+    /// Greedy distance-2 router matching (the §V-C/Fig 9 adversary
+    /// scheme, shared by the Slim Fly and BDF worst cases): scan
+    /// routers in id order; pair each unpaired router with an unpaired
+    /// distance-2 partner, preferring partners with the fewest shared
+    /// minimal middles (1 in girth-5 MMS graphs and in projective-plane
+    /// polarity graphs, where two lines meet in one point).
+    fn pair_distance2(net: &Network, tables: &RoutingTables) -> Vec<u32> {
         let nr = net.num_routers() as u32;
         let mut partner = vec![u32::MAX; nr as usize];
         for r in 0..nr {
@@ -167,10 +163,16 @@ impl TrafficPattern {
                 partner[s as usize] = r;
             }
         }
-        // Endpoint permutation: index-to-index across paired routers;
-        // routers left unpaired (odd remainder) stay silent.
+        partner
+    }
+
+    /// Builds the endpoint permutation of a router-matching adversary:
+    /// endpoints are paired index-to-index across matched routers (a
+    /// symmetric permutation — endpoint-safe by construction); routers
+    /// left unmatched stay silent.
+    fn from_router_matching(net: &Network, partner: &[u32], name: &str) -> Self {
         let mut perm = vec![u32::MAX; net.num_endpoints()];
-        for r in 0..nr {
+        for r in 0..net.num_routers() as u32 {
             let s = partner[r as usize];
             if s == u32::MAX {
                 continue;
@@ -181,9 +183,94 @@ impl TrafficPattern {
                 perm[a as usize] = b;
             }
         }
-        let mut p = TrafficPattern::permutation(perm, "worst-sf");
+        let mut p = TrafficPattern::permutation(perm, name);
         p.n_total = net.num_endpoints() as u32;
         p
+    }
+
+    /// The Slim Fly worst case (§V-C, Fig 9): routers are paired so that
+    /// each pair is at distance 2 with minimal paths funneled through a
+    /// single middle router; the p endpoint flows of each router then
+    /// collide on one link, capping MIN throughput near `1/(p+1)`.
+    pub fn worst_case_slimfly(net: &Network, tables: &RoutingTables) -> Self {
+        let partner = Self::pair_distance2(net, tables);
+        Self::from_router_matching(net, &partner, "worst-sf")
+    }
+
+    /// The BDF worst case: the Slim Fly Fig 9 adversary transplanted to
+    /// the projective-plane polarity graph `P_u` — routers are paired
+    /// at distance 2, where minimal paths are funneled through a
+    /// *single* middle router (two polars meet in exactly one point, so
+    /// non-adjacent vertices share exactly one neighbor). All `p`
+    /// endpoint flows of a paired router collide on the one middle
+    /// link, capping MIN throughput near `1/(p+1)` while adaptive
+    /// schemes detour around the shared middle.
+    pub fn worst_case_bdf(net: &Network, tables: &RoutingTables) -> Result<Self, TrafficError> {
+        if !matches!(net.kind, TopologyKind::Bdf { .. }) {
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        let partner = Self::pair_distance2(net, tables);
+        let p = Self::from_router_matching(net, &partner, "worst-bdf");
+        if p.num_active() == 0 {
+            // Degenerate planes with no distance-2 pairs (nothing to
+            // adversarially collide).
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        Ok(p)
+    }
+
+    /// The DLN worst case: **farthest-pair matching** against the
+    /// *actual* shortcut instance — routers are greedily paired at
+    /// maximal minimal-route distance (scan in id order, each unpaired
+    /// router takes the lowest-id unpaired router at its current
+    /// maximum distance). Random shortcut networks have no algebraic
+    /// structure to exploit, but the matching maximizes `load × hops`
+    /// channel pressure and concentrates MIN traffic on the few
+    /// shortcut links the long routes share, while adaptive schemes
+    /// spread the detours. Deterministic for a given instance (the DLN
+    /// construction is seeded). Errors on degenerate instances whose
+    /// diameter is ≤ 1 (every pair is a direct link).
+    pub fn worst_case_dln(net: &Network, tables: &RoutingTables) -> Result<Self, TrafficError> {
+        if !matches!(net.kind, TopologyKind::RandomDln { .. }) {
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        let nr = net.num_routers() as u32;
+        let mut partner = vec![u32::MAX; nr as usize];
+        let mut max_dist = 0u8;
+        for r in 0..nr {
+            if partner[r as usize] != u32::MAX {
+                continue;
+            }
+            let mut best: Option<(u8, u32)> = None;
+            for s in 0..nr {
+                if s == r || partner[s as usize] != u32::MAX {
+                    continue;
+                }
+                let d = tables.distance(r, s);
+                if best.is_none_or(|(bd, _)| d > bd) {
+                    best = Some((d, s));
+                }
+            }
+            if let Some((d, s)) = best {
+                partner[r as usize] = s;
+                partner[s as usize] = r;
+                max_dist = max_dist.max(d);
+            }
+        }
+        if max_dist <= 1 {
+            // Fully-connected degenerate instance: no distance to
+            // exploit.
+            return Err(TrafficError::UnsupportedWorstCase {
+                topology: net.name.clone(),
+            });
+        }
+        Ok(Self::from_router_matching(net, &partner, "worst-dln"))
     }
 
     /// The Dragonfly worst case (Kim et al. §4.2): every endpoint in
@@ -768,6 +855,101 @@ mod tests {
             assert_eq!(p.dest(d, &mut rng), Some(s));
         }
         assert_eq!(p.num_active(), net.num_endpoints() as u32);
+    }
+
+    #[test]
+    fn worst_case_bdf_pairs_at_distance_2_through_unique_middles() {
+        let plane = sf_topo::bdf::ProjectivePlaneGraph::new(5).unwrap();
+        let net = plane.network(3);
+        let tables = RoutingTables::new(&net.graph);
+        let p = TrafficPattern::worst_case_bdf(&net, &tables).unwrap();
+        assert_eq!(p.name(), "worst-bdf");
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut checked = 0;
+        for s in 0..net.num_endpoints() as u32 {
+            if let Some(d) = p.dest(s, &mut rng) {
+                // Symmetric permutation over distance-2 router pairs.
+                assert_eq!(p.dest(d, &mut rng), Some(s));
+                let rs = net.endpoint_router(s);
+                let rd = net.endpoint_router(d);
+                assert_eq!(tables.distance(rs, rd), 2, "s={s}");
+                // The polarity graph funnels each pair through exactly
+                // one middle (two polars meet in one point).
+                let middles = net
+                    .graph
+                    .neighbors(rs)
+                    .iter()
+                    .filter(|&&m| net.graph.has_edge(m, rd))
+                    .count();
+                assert_eq!(middles, 1, "pair {rs}-{rd}");
+                checked += 1;
+            }
+        }
+        // P_5 has 31 routers: at least 30 pair up (odd remainder silent).
+        assert!(checked >= (net.num_endpoints() - 3) as u32, "{checked}");
+    }
+
+    #[test]
+    fn worst_case_dln_is_a_farthest_pair_matching() {
+        let dln = sf_topo::random_dln::RandomDln::new(64, 2, 7);
+        let net = dln.network();
+        let tables = RoutingTables::new(&net.graph);
+        let p = TrafficPattern::worst_case_dln(&net, &tables).unwrap();
+        assert_eq!(p.name(), "worst-dln");
+        let mut rng = StdRng::seed_from_u64(21);
+        // Router 0's partner sits at 0's eccentricity (the greedy takes
+        // the farthest router first).
+        let d0 = p.dest(0, &mut rng).unwrap();
+        let r0_partner = net.endpoint_router(d0);
+        let ecc0 = (1..net.num_routers() as u32)
+            .map(|v| tables.distance(0, v))
+            .max()
+            .unwrap();
+        assert_eq!(tables.distance(0, r0_partner), ecc0);
+        assert!(ecc0 >= 2, "a 64-router DLN-2-2 is not fully connected");
+        // Symmetric, endpoint-safe, and strictly longer than uniform on
+        // average: the matched pairs' mean distance beats the all-pairs
+        // average.
+        let mut pair_dist_sum = 0u64;
+        let mut pairs = 0u64;
+        for s in 0..net.num_endpoints() as u32 {
+            if let Some(d) = p.dest(s, &mut rng) {
+                assert_eq!(p.dest(d, &mut rng), Some(s));
+                pair_dist_sum +=
+                    tables.distance(net.endpoint_router(s), net.endpoint_router(d)) as u64;
+                pairs += 1;
+            }
+        }
+        let nr = net.num_routers() as u32;
+        let mut all_sum = 0u64;
+        let mut all = 0u64;
+        for a in 0..nr {
+            for b in 0..nr {
+                if a != b {
+                    all_sum += tables.distance(a, b) as u64;
+                    all += 1;
+                }
+            }
+        }
+        let pair_avg = pair_dist_sum as f64 / pairs as f64;
+        let all_avg = all_sum as f64 / all as f64;
+        assert!(
+            pair_avg > all_avg,
+            "farthest-pair matching must beat the uniform average: {pair_avg} vs {all_avg}"
+        );
+    }
+
+    #[test]
+    fn worst_case_dln_degenerate_and_wrong_kind_error() {
+        // A 4-router DLN with 2 shortcut rounds is the complete graph:
+        // every pair is a direct link, nothing to exploit.
+        let k4 = sf_topo::random_dln::RandomDln::new(4, 2, 1).network();
+        let err = TrafficPattern::worst_case_dln(&k4, &RoutingTables::new(&k4.graph)).unwrap_err();
+        assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
+        let hc = sf_topo::hypercube::Hypercube::new(4).network();
+        assert!(TrafficPattern::worst_case_dln(&hc, &RoutingTables::new(&hc.graph)).is_err());
+        // BDF guards its kind too.
+        assert!(TrafficPattern::worst_case_bdf(&hc, &RoutingTables::new(&hc.graph)).is_err());
     }
 
     #[test]

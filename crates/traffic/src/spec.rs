@@ -18,8 +18,11 @@ pub enum TrafficError {
     /// The pattern name is not one of [`TrafficSpec::ALL`].
     UnknownPattern(String),
     /// A worst-case pattern was requested for a topology without one
-    /// (adversarial permutations exist for SF, DF, FT-3, symmetric
-    /// tori, flattened butterflies, hypercubes and Long-Hop networks).
+    /// (adversarial permutations exist for every spec-buildable family
+    /// — SF, DF, FT-3, symmetric tori, flattened butterflies,
+    /// hypercubes, Long-Hop, DLN and BDF networks — but degenerate
+    /// instances, e.g. fully-connected DLNs or asymmetric tori, have
+    /// no adversarial structure to exploit).
     UnsupportedWorstCase {
         /// Name of the offending network.
         topology: String,
@@ -43,8 +46,9 @@ impl fmt::Display for TrafficError {
                 f,
                 "no worst-case traffic pattern is defined for {topology} \
                  (Slim Fly, Dragonfly, fat-tree, symmetric-torus, \
-                 flattened-butterfly, hypercube and Long-Hop networks \
-                 have one)"
+                 flattened-butterfly, hypercube, Long-Hop, DLN and BDF \
+                 networks have one; degenerate instances — fully \
+                 connected or asymmetric — do not)"
             ),
         }
     }
@@ -114,6 +118,8 @@ impl TrafficSpec {
                 TopologyKind::FlattenedButterfly { .. } => TrafficPattern::worst_case_fbf(net),
                 TopologyKind::Hypercube { .. } => TrafficPattern::worst_case_hypercube(net),
                 TopologyKind::LongHop { .. } => TrafficPattern::worst_case_longhop(net, tables),
+                TopologyKind::RandomDln { .. } => TrafficPattern::worst_case_dln(net, tables),
+                TopologyKind::Bdf { .. } => TrafficPattern::worst_case_bdf(net, tables),
                 _ => Err(TrafficError::UnsupportedWorstCase {
                     topology: net.name.clone(),
                 }),
@@ -177,10 +183,33 @@ mod tests {
 
     #[test]
     fn worst_case_unsupported_topologies_error() {
-        let net = sf_topo::random_dln::RandomDln::new(32, 2, 7).network();
+        // Every spec-buildable family now has an adversary; only
+        // generic (`Other`) networks and degenerate instances error.
+        let g = sf_graph::Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let net = sf_topo::Network::with_uniform_concentration(
+            g,
+            2,
+            "ring4".into(),
+            sf_topo::TopologyKind::Other,
+        );
         let tables = RoutingTables::new(&net.graph);
         let err = TrafficSpec::WorstCase.build(&net, &tables).unwrap_err();
         assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
+    }
+
+    #[test]
+    fn worst_case_dln_and_bdf_dispatch() {
+        let net = sf_topo::random_dln::RandomDln::new(32, 2, 7).network();
+        let tables = RoutingTables::new(&net.graph);
+        let pat = TrafficSpec::WorstCase.build(&net, &tables).unwrap();
+        assert_eq!(pat.name(), "worst-dln");
+
+        let net = sf_topo::bdf::ProjectivePlaneGraph::new(5)
+            .unwrap()
+            .network(3);
+        let tables = RoutingTables::new(&net.graph);
+        let pat = TrafficSpec::WorstCase.build(&net, &tables).unwrap();
+        assert_eq!(pat.name(), "worst-bdf");
     }
 
     #[test]

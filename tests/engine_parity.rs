@@ -1,4 +1,5 @@
-//! Engine-parity regression suite for the pluggable-routing refactor.
+//! Engine-parity regression suite for the pluggable-routing refactor
+//! and the multi-flit wormhole refactor.
 //!
 //! The routing policies used to live as `match` arms inside the
 //! simulator core; they are now `sf_routing::Router` trait impls behind
@@ -8,6 +9,18 @@
 //! tolerances absorb only future benign engine changes, not behavioral
 //! drift), and the paper's Fig 6 qualitative result — worst-case
 //! traffic crushes MIN but not UGAL — must keep holding end to end.
+//!
+//! The wormhole refactor is held to a stricter bar: at
+//! `packet_size = 1` every flit is its own head and tail, no VC
+//! reservation outlives its grant, and the engine must be **bit
+//! identical** to the pre-wormhole single-flit engine — the
+//! [`PRE_WORMHOLE_6DP`] table pins every (routing, load) cell to six
+//! decimals (the capture precision), including the per-hop adaptive
+//! curve whose `next_hop`/occupancy sequence is the most fragile. A
+//! `packet_size = 4` curve ([`WORMHOLE_PKT4_6DP`]) is pinned alongside:
+//! it demonstrates (and freezes) the serialization physics — higher
+//! zero-load latency by the S − 1 tail, earlier saturation, MIN/UGAL
+//! separation widening under wormhole head-of-line blocking.
 
 use slimfly::prelude::*;
 
@@ -50,6 +63,134 @@ const PRE_REFACTOR_ECMP: &[(&str, f64, f64, f64)] = &[
     ("ANCA", 0.3, 7.894476, 0.298475),
     ("ANCA", 0.5, 8.823595, 0.499525),
 ];
+
+/// (routing label, offered load, avg latency, accepted, avg hops)
+/// captured from the single-flit engine immediately **before** the
+/// wormhole refactor, `parity_cfg()` on `sf:q=5`, uniform traffic, to
+/// six decimals. The wormhole code path must degenerate *exactly* at
+/// `packet_size = 1`: same RNG call sequence, same occupancy values,
+/// bit-identical results.
+const PRE_WORMHOLE_6DP: &[(&str, f64, f64, f64, f64)] = &[
+    ("MIN", 0.1, 7.468813, 0.099269, 1.831590),
+    ("MIN", 0.3, 7.896257, 0.300419, 1.829341),
+    ("MIN", 0.5, 8.841631, 0.500494, 1.828173),
+    ("VAL", 0.1, 14.933872, 0.099369, 3.612824),
+    ("VAL", 0.3, 17.629093, 0.301787, 3.624365),
+    ("VAL", 0.5, 200.037457, 0.410737, 3.627611),
+    ("UGAL-L", 0.1, 8.505701, 0.100144, 2.082861),
+    ("UGAL-L", 0.3, 9.543049, 0.298269, 2.197735),
+    ("UGAL-L", 0.5, 10.390863, 0.502219, 2.148584),
+    ("UGAL-G", 0.1, 9.657796, 0.099450, 2.359591),
+    ("UGAL-G", 0.3, 9.428159, 0.298406, 2.170175),
+    ("UGAL-G", 0.5, 10.061011, 0.499431, 2.069556),
+    ("ANCA", 0.1, 7.477989, 0.099106, 1.833628),
+    ("ANCA", 0.3, 7.894476, 0.298475, 1.828803),
+    ("ANCA", 0.5, 8.823595, 0.499525, 1.829383),
+];
+
+/// Six-decimal equality: the capture precision of the pinned tables.
+/// Any drift here means the wormhole path did NOT degenerate exactly.
+fn assert_6dp(got: f64, want: f64, what: &str) {
+    assert!(
+        (got - want).abs() < 1e-6,
+        "{what}: {got} drifted from the pinned {want} (must match to 6 decimals)"
+    );
+}
+
+#[test]
+fn packet_size_1_is_bit_identical_to_the_pre_wormhole_engine() {
+    let records = Experiment::on("sf:q=5")
+        .routing_strs(&["min", "val", "ugal-l:c=4", "ugal-g:c=4", "ecmp"])
+        .loads(&[0.1, 0.3, 0.5])
+        .sim(parity_cfg())
+        .run()
+        .unwrap();
+    assert_eq!(records.len(), PRE_WORMHOLE_6DP.len());
+    for (r, &(label, offered, latency, accepted, hops)) in records.iter().zip(PRE_WORMHOLE_6DP) {
+        assert_eq!(r.routing, label);
+        assert_eq!(r.offered, offered);
+        assert_eq!(r.packet_size, 1);
+        assert_6dp(r.latency, latency, &format!("{label}@{offered} latency"));
+        assert_6dp(r.accepted, accepted, &format!("{label}@{offered} accepted"));
+        assert_6dp(r.avg_hops, hops, &format!("{label}@{offered} hops"));
+    }
+}
+
+/// (routing label, offered flit load, avg latency, accepted) captured
+/// from the wormhole engine at `packet_size = 4`, `parity_cfg()` on
+/// `sf:q=5`, uniform traffic, to six decimals. Pinned so future engine
+/// work cannot silently change the multi-flit physics.
+const WORMHOLE_PKT4_6DP: &[(&str, f64, f64, f64)] = &[
+    ("MIN", 0.1, 11.305102, 0.099869),
+    ("MIN", 0.3, 14.244411, 0.298606),
+    ("MIN", 0.5, 21.388065, 0.497462),
+    ("MIN", 0.7, 102.214268, 0.645644),
+    ("UGAL-L", 0.1, 12.294370, 0.098962),
+    ("UGAL-L", 0.3, 18.224009, 0.295981),
+    ("UGAL-L", 0.5, 32.583543, 0.499456),
+    ("UGAL-L", 0.7, 268.682354, 0.539950),
+];
+
+#[test]
+fn packet_size_4_curve_shows_serialization_and_is_pinned() {
+    let records = Experiment::on("sf:q=5")
+        .routing_strs(&["min", "ugal-l:c=4"])
+        .loads(&[0.1, 0.3, 0.5, 0.7])
+        .sim(parity_cfg())
+        .packet_size(4)
+        .run()
+        .unwrap();
+    assert_eq!(records.len(), WORMHOLE_PKT4_6DP.len());
+    for (r, &(label, offered, latency, accepted)) in records.iter().zip(WORMHOLE_PKT4_6DP) {
+        assert_eq!(r.routing, label);
+        assert_eq!(r.offered, offered);
+        assert_eq!(r.packet_size, 4);
+        assert_6dp(
+            r.latency,
+            latency,
+            &format!("{label}@{offered} pkt4 latency"),
+        );
+        assert_6dp(
+            r.accepted,
+            accepted,
+            &format!("{label}@{offered} pkt4 accepted"),
+        );
+    }
+    // Serialization physics versus the pinned single-flit curves:
+    // higher zero-load latency (the 3-flit tail), and earlier
+    // saturation at the same offered *flit* load.
+    let pkt4 = |label: &str, load: f64| {
+        WORMHOLE_PKT4_6DP
+            .iter()
+            .find(|&&(l, o, ..)| l == label && o == load)
+            .unwrap()
+    };
+    let flit1 = |label: &str, load: f64| {
+        PRE_WORMHOLE_6DP
+            .iter()
+            .find(|&&(l, o, ..)| l == label && o == load)
+            .unwrap()
+    };
+    for label in ["MIN", "UGAL-L"] {
+        let (_, _, lat4, _) = pkt4(label, 0.1);
+        let (_, _, lat1, _, _) = flit1(label, 0.1);
+        assert!(
+            *lat4 > lat1 + 3.0,
+            "{label}: size-4 zero-load latency {lat4} must exceed size-1 {lat1} by ≥ 3 cycles"
+        );
+    }
+    // At 70% offered the single-flit engine still accepts ~0.70 (see
+    // the capture runs); the wormhole run tops out well below — MIN at
+    // ~0.65 and UGAL-L, whose detours occupy VCs for whole packets, at
+    // ~0.54: the MIN/UGAL separation under serialization.
+    let (_, _, _, acc_min) = pkt4("MIN", 0.7);
+    let (_, _, _, acc_ugal) = pkt4("UGAL-L", 0.7);
+    assert!(*acc_min < 0.68, "MIN pkt4 saturates earlier: {acc_min}");
+    assert!(
+        *acc_ugal < *acc_min,
+        "UGAL-L pays more for wormhole detours: {acc_ugal} vs MIN {acc_min}"
+    );
+}
 
 #[test]
 fn min_val_ugal_curves_match_pre_refactor_values() {

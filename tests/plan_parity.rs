@@ -91,6 +91,49 @@ fn smoke_toml_runs_end_to_end_and_workers_do_not_change_records() {
 }
 
 #[test]
+fn fig_packets_toml_expands_the_matrix_and_is_worker_invariant() {
+    // The multi-flit figure: one sweep template with `packet_sizes =
+    // [1, 4, 16]` must expand into three sweeps, run end to end on the
+    // scheduler, stream byte-identically for any worker count, and
+    // show the serialization ordering (latency strictly increasing in
+    // packet size at the same low offered flit load).
+    let mut plan = ExperimentPlan::from_path(&repo_file("figures/fig_packets.toml")).unwrap();
+    assert_eq!(plan.name, "fig_packets");
+    assert_eq!(plan.sweeps.len(), 3, "packet_sizes = [1, 4, 16]");
+    assert_eq!(
+        plan.sweeps
+            .iter()
+            .map(|s| s.sim.packet_size)
+            .collect::<Vec<_>>(),
+        vec![1, 4, 16]
+    );
+    // Shrink for test runtime: one load, short windows, MIN only.
+    for sweep in &mut plan.sweeps {
+        sweep.loads = vec![0.2];
+        sweep.routings.truncate(1);
+        sweep.sim = SimConfig {
+            packet_size: sweep.sim.packet_size,
+            ..quick_sim()
+        };
+    }
+    let seq = run_plan(&plan, 1);
+    let par = run_plan(&plan, 4);
+    assert_eq!(csv_stream(&seq), csv_stream(&par));
+    assert_eq!(seq.len(), 3);
+    assert_eq!(
+        seq.iter().map(|r| r.packet_size).collect::<Vec<_>>(),
+        vec![1, 4, 16]
+    );
+    assert!(
+        seq[0].latency < seq[1].latency && seq[1].latency < seq[2].latency,
+        "serialization latency must grow with packet size: {} / {} / {}",
+        seq[0].latency,
+        seq[1].latency,
+        seq[2].latency
+    );
+}
+
+#[test]
 fn every_checked_in_figure_file_parses_and_expands() {
     let dir = repo_file("figures");
     let mut seen = 0;
