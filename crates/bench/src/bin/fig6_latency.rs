@@ -8,10 +8,19 @@
 //!   `fig6_latency [--traffic uniform|bitrev|shift|shuffle|bitcomp|worst]
 //!                 [--large] [--loads 0.1,0.2,...] [--ugal-paths 4]
 //!                 [--val-cap3] [--routing min,ugal-l:c=4,...]
-//!                 [--packet-size 4] [--workers N]`
+//!                 [--packet-size 4] [--backend cycle|flow] [--workers N]`
 //!
 //! `--routing` overrides the Slim Fly scheme list with any
 //! comma-separated `RoutingSpec` strings (e.g. `fatpaths:layers=3`).
+//!
+//! `--backend flow` swaps every sweep onto the max-min fair-share
+//! flow tier — same records, milliseconds instead of minutes. The
+//! file's FT-3 sweep routes with per-flit adaptive ECMP (ANCA), which
+//! the flow model cannot express: without `--routing` that combination
+//! is rejected with a typed error; with `--routing` the scheme list
+//! applies to *every* sweep (not just the Slim Fly one), so
+//! `--backend flow --routing min,ugal-l:c=4` compares flow-expressible
+//! schemes across all three topologies.
 //!
 //! `--large` substitutes the paper-size N ≈ 10K networks (SF q=19,
 //! DF p=7, FT p=22) and the §V measurement windows; the file's default
@@ -87,6 +96,7 @@ fn main() {
             }
         }
         let packet_size = args.packet_size()?;
+        let backend: Option<Backend> = args.get("backend").map(str::parse).transpose()?;
         for sweep in &mut plan.sweeps {
             if let Some(t) = traffic {
                 sweep.traffic = t;
@@ -96,6 +106,9 @@ fn main() {
             }
             if let Some(ps) = packet_size {
                 sweep.sim.packet_size = ps;
+            }
+            if let Some(b) = backend {
+                sweep.backend = b;
             }
             for r in &mut sweep.routings {
                 match r {
@@ -111,7 +124,16 @@ fn main() {
         }
         // The SF sweep is the file's first; --routing replaces its
         // scheme list (DF stays UGAL-L, FT stays ECMP, as in Fig 6).
+        // Under --backend flow an explicit --routing applies to every
+        // sweep instead: the file's FT-3 ANCA scheme has no fluid
+        // lowering, so keeping it would reject the whole plan.
         plan.sweeps[0].routings = args.routing("routing", &plan.sweeps[0].routings.clone())?;
+        if args.get("routing").is_some() && backend == Some(Backend::Flow) {
+            let list = plan.sweeps[0].routings.clone();
+            for sweep in plan.sweeps.iter_mut().skip(1) {
+                sweep.routings = list.clone();
+            }
+        }
 
         run_plan_stdout(&plan, workers)?;
         Ok(())

@@ -9,7 +9,8 @@
 //!
 //! Usage: `fig8_oversub [--large] [--concentrations 15,16,18]
 //!                      [--routing min,val,ugal-l:c=4,ugal-g:c=4]
-//!                      [--packet-size 4] [--workers N]`
+//!                      [--packet-size 4] [--backend cycle|flow]
+//!                      [--workers N]`
 //! Output: the shared experiment-record CSV schema (the spec column
 //! carries the concentration, e.g. `sf:q=19,p=18`).
 //! Paper checkpoints (q = 19): balanced p = 15 accepts ≈87.5% of uniform
@@ -55,12 +56,16 @@ fn main() {
             plan.sweeps = sweeps;
         }
         let packet_size = args.packet_size()?;
+        let backend: Option<Backend> = args.get("backend").map(str::parse).transpose()?;
         for sweep in &mut plan.sweeps {
             if args.get("routing").is_some() {
                 sweep.routings = routings.clone();
             }
             if let Some(ps) = packet_size {
                 sweep.sim.packet_size = ps;
+            }
+            if let Some(b) = backend {
+                sweep.backend = b;
             }
         }
 

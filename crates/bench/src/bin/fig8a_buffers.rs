@@ -8,7 +8,9 @@
 //!
 //! Usage: `fig8a_buffers [--large] [--buffers 8,16,32,64,128,256]
 //!                       [--routing ugal-l:c=4] [--packet-size 4]
-//!                       [--workers N]`
+//!                       [--backend cycle|flow] [--workers N]`
+//! (`--backend flow` ignores buffer sizes by construction — the fluid
+//! model has no buffers — but keeps the column for schema parity.)
 //! Output: CSV `buffer_flits` + the shared experiment-record schema.
 //! Paper shape: smaller buffers → lower latency (stiffer backpressure);
 //! larger buffers → higher bandwidth.
@@ -47,6 +49,7 @@ fn main() {
                 .collect();
         }
         let packet_size = args.packet_size()?;
+        let backend: Option<Backend> = args.get("backend").map(str::parse).transpose()?;
         for sweep in &mut plan.sweeps {
             if args.flag("large") {
                 sweep.topos = vec![topo.clone()];
@@ -56,6 +59,9 @@ fn main() {
             }
             if let Some(ps) = packet_size {
                 sweep.sim.packet_size = ps;
+            }
+            if let Some(b) = backend {
+                sweep.backend = b;
             }
         }
 

@@ -133,6 +133,25 @@ fn entry_json(tag: &str, topo: &str, cells: &[Cell], speedup_vs_first: Option<f6
     )
 }
 
+/// One flow-backend timing entry: the pinned sweep through the max-min
+/// fair-share tier, end to end (demand lowering + solve + records).
+/// Its own topo key (`…,backend=flow`) keeps it out of the cycle-engine
+/// baseline comparisons.
+fn flow_entry_json(tag: &str, topo: &str, wall_ms: f64, records: usize) -> String {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        "    {{\n      \"tag\": {},\n      \"topo\": {},\n      \
+         \"unix_time\": {unix_time},\n      \"total_wall_ms\": {},\n      \
+         \"records\": {records},\n      \"configs\": []\n    }}",
+        json_s(tag),
+        json_s(topo),
+        json_f(wall_ms),
+    )
+}
+
 /// One scheduler-timing entry: the pinned sweep through the
 /// work-stealing scheduler with one worker vs `workers` workers.
 fn sched_entry_json(tag: &str, topo: &str, workers: usize, wall1_ms: f64, walln_ms: f64) -> String {
@@ -311,6 +330,44 @@ fn main() {
             pkt_total / total_ms.max(1e-12)
         ));
 
+        // Flow-backend section: the same routings × loads through the
+        // max-min fair-share tier. A fresh JobSet per repeat so the
+        // OnceLock lowering caches don't turn later repeats into
+        // no-ops; network construction is excluded (prepare runs
+        // before the clock starts).
+        let flow_plan = slimfly::ExperimentPlan {
+            name: "perf_smoke_flow".into(),
+            title: None,
+            sweeps: vec![slimfly::SweepPlan {
+                topos: vec![spec.clone()],
+                routings: routings
+                    .iter()
+                    .map(|r| r.parse::<RoutingSpec>())
+                    .collect::<Result<_, _>>()?,
+                traffic: TrafficSpec::Uniform,
+                loads: loads.to_vec(),
+                sim: cfg,
+                backend: Backend::Flow,
+                warm_start: false,
+            }],
+        };
+        let mut flow_wall = f64::INFINITY;
+        let mut flow_records = 0usize;
+        for _ in 0..repeat {
+            let mut fset = flow_plan.expand()?;
+            fset.prepare()?;
+            let mut sink = MemorySink::new();
+            let t0 = Instant::now();
+            Scheduler::new(1).run(&mut fset, &mut sink)?;
+            flow_wall = flow_wall.min(t0.elapsed().as_secs_f64() * 1e3);
+            flow_records = sink.records().len();
+        }
+        print_raw_line(&format!(
+            "flow backend: {flow_records} records in {flow_wall:.1} ms \
+             ({:.0}x the cycle cells)",
+            total_ms / flow_wall.max(1e-12)
+        ));
+
         // Scheduler section: the same heterogeneous sweep as one
         // work-stealing JobSet, workers=1 vs workers=N (prepare —
         // topology + tables — excluded from both timings).
@@ -336,6 +393,7 @@ fn main() {
                     traffic: TrafficSpec::Uniform,
                     loads: loads.to_vec(),
                     sim: cfg,
+                    backend: Backend::Cycle,
                     warm_start: false,
                 }],
             };
@@ -396,6 +454,14 @@ fn main() {
         );
         append_entry(&out, &entry)?;
         print_raw_line(&format!("appended entry '{tag}-pkt{pkt_size}' to {out}"));
+        let entry = flow_entry_json(
+            &format!("{tag}-flow"),
+            &format!("{topo},backend=flow"),
+            flow_wall,
+            flow_records,
+        );
+        append_entry(&out, &entry)?;
+        print_raw_line(&format!("appended entry '{tag}-flow' to {out}"));
         if let Some((wall1, walln)) = sched_walls {
             let entry = sched_entry_json(&format!("{tag}-sched"), topo, workers, wall1, walln);
             append_entry(&out, &entry)?;

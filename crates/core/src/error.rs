@@ -6,6 +6,7 @@
 //! callers — bench binaries, examples, future config-file drivers — can
 //! report failures uniformly instead of panicking.
 
+use sf_flow::FlowError;
 use sf_routing::RoutingError;
 use sf_topo::slimfly::SlimFlyError;
 use sf_traffic::TrafficError;
@@ -35,6 +36,9 @@ pub enum SfError {
     Routing(RoutingError),
     /// Traffic-pattern parsing or instantiation failed.
     Traffic(TrafficError),
+    /// The flow-level backend cannot express the requested combination
+    /// (e.g. per-flit adaptive ANCA routing) or found demand unroutable.
+    Flow(FlowError),
     /// The experiment itself is ill-formed (e.g. an offered load outside
     /// [0, 1]).
     Experiment(String),
@@ -60,6 +64,7 @@ impl fmt::Display for SfError {
             SfError::Topology(e) => write!(f, "topology construction failed: {e}"),
             SfError::Routing(e) => write!(f, "routing error: {e}"),
             SfError::Traffic(e) => write!(f, "traffic pattern error: {e}"),
+            SfError::Flow(e) => write!(f, "flow backend error: {e}"),
             SfError::Experiment(msg) => write!(f, "ill-formed experiment: {msg}"),
             SfError::Cli(msg) => write!(f, "bad command line: {msg}"),
             SfError::Plan(msg) => write!(f, "bad experiment file: {msg}"),
@@ -74,6 +79,7 @@ impl std::error::Error for SfError {
             SfError::Topology(e) => Some(e),
             SfError::Routing(e) => Some(e),
             SfError::Traffic(e) => Some(e),
+            SfError::Flow(e) => Some(e),
             SfError::Io(e) => Some(e),
             _ => None,
         }
@@ -95,6 +101,12 @@ impl From<RoutingError> for SfError {
 impl From<TrafficError> for SfError {
     fn from(e: TrafficError) -> Self {
         SfError::Traffic(e)
+    }
+}
+
+impl From<FlowError> for SfError {
+    fn from(e: FlowError) -> Self {
+        SfError::Flow(e)
     }
 }
 

@@ -34,12 +34,11 @@
 //! surface as typed [`SfError`]s when the experiment executes.
 
 use crate::error::SfError;
-use crate::plan::{ExperimentPlan, SweepPlan};
+use crate::plan::{Backend, ExperimentPlan, SweepPlan};
 use crate::schedule::Scheduler;
 use crate::sink::MemorySink;
 use crate::spec::TopologySpec;
 use sf_cost::{CostBreakdown, CostModel};
-use sf_flow::{average_hops_uniform, uniform_channel_loads};
 use sf_routing::RoutingSpec;
 use sf_sim::SimConfig;
 use sf_topo::Network;
@@ -103,6 +102,9 @@ pub struct Record {
     pub routing: String,
     /// Traffic-pattern name.
     pub traffic: String,
+    /// Which backend produced the row: `"cycle"` (flit simulator) or
+    /// `"flow"` (max-min fair-share solver).
+    pub backend: String,
     /// Flits per packet the run simulated (1 = classic single-flit).
     pub packet_size: usize,
     /// Offered load (flits/endpoint/cycle).
@@ -125,17 +127,18 @@ pub struct Record {
 impl Record {
     /// Header row matching [`Record::to_csv`].
     pub const CSV_HEADER: &'static str =
-        "topology,spec,routing,traffic,packet_size,offered,latency,p99,accepted,avg_hops,saturated,max_link_util";
+        "topology,spec,routing,traffic,backend,packet_size,offered,latency,p99,accepted,avg_hops,saturated,max_link_util";
 
     /// One CSV row (fields in [`Record::CSV_HEADER`] order; fields
     /// containing commas are RFC 4180-quoted).
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_field(&self.topology),
             csv_field(&self.spec),
             csv_field(&self.routing),
             csv_field(&self.traffic),
+            csv_field(&self.backend),
             self.packet_size,
             fmt_float(self.offered),
             fmt_float(self.latency),
@@ -150,14 +153,15 @@ impl Record {
     /// One JSON object (a JSON-lines row; non-finite floats are `null`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"topology\":{},\"spec\":{},\"routing\":{},\"traffic\":{},\"packet_size\":{},\
-             \"offered\":{},\
+            "{{\"topology\":{},\"spec\":{},\"routing\":{},\"traffic\":{},\"backend\":{},\
+             \"packet_size\":{},\"offered\":{},\
              \"latency\":{},\"p99\":{},\"accepted\":{},\"avg_hops\":{},\"saturated\":{},\
              \"max_link_util\":{}}}",
             json_str(&self.topology),
             json_str(&self.spec),
             json_str(&self.routing),
             json_str(&self.traffic),
+            json_str(&self.backend),
             self.packet_size,
             json_num(self.offered),
             json_num(self.latency),
@@ -265,6 +269,7 @@ pub struct Experiment {
     traffic: TrafficSpec,
     loads: Vec<f64>,
     sim: SimConfig,
+    backend: Backend,
     warm_start: bool,
 }
 
@@ -281,8 +286,22 @@ impl Experiment {
             traffic: TrafficSpec::Uniform,
             loads: (1..10).map(|i| i as f64 / 10.0).collect(),
             sim: SimConfig::default(),
+            backend: Backend::default(),
             warm_start: false,
         }
+    }
+
+    /// Selects the evaluation tier (default [`Backend::Cycle`]).
+    /// [`Backend::Flow`] runs the same sweep through the max-min
+    /// fair-share solver instead of the flit simulator — same jobs,
+    /// workers, and record stream, minutes-to-milliseconds faster and
+    /// usable at scales the flit engine can never touch. Combinations
+    /// the flow model cannot express (per-flit adaptive ECMP/ANCA, the
+    /// `val3` ablation) are rejected with a typed [`SfError::Flow`]
+    /// when the experiment executes.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Adds one routing scheme to the sweep (replaces the MIN default
@@ -412,6 +431,7 @@ impl Experiment {
                 traffic: self.traffic,
                 loads: self.loads.clone(),
                 sim: self.sim,
+                backend: self.backend,
                 warm_start: self.warm_start,
             }],
         })
@@ -458,25 +478,36 @@ impl Experiment {
         Ok(sink.into_records())
     }
 
-    /// Evaluates the analytic flow model on the topology (no
-    /// simulation): average hops and uniform channel loads.
+    /// Summarizes the topology under the flow backend's uniform MIN
+    /// lowering (no load sweep): average hops, channel-load extremes,
+    /// and the saturation bound `1 / max load`.
+    ///
+    /// This is a convenience view over the same model the
+    /// [`Backend::Flow`] tier dispatches through — for full sweeps
+    /// (per-load records, VAL/UGAL/FatPaths lowerings, the exact
+    /// max-min solver) use `.backend(Backend::Flow).run()` instead.
     pub fn flow(&self) -> Result<FlowSummary, SfError> {
         let spec = self.spec()?;
         let net = spec.build()?;
-        let loads = uniform_channel_loads(&net);
+        let idx = sf_flow::EdgeIndex::new(&net.graph);
+        let demand = sf_flow::Demand::uniform(&net);
+        let rl = sf_flow::min_loads(&net, &idx, &demand)?;
         Ok(FlowSummary {
             topology: net.name.clone(),
             spec: spec.to_string(),
             endpoints: net.num_endpoints(),
             routers: net.num_routers(),
-            avg_hops: average_hops_uniform(&net),
-            saturation_bound: loads.saturation_bound(),
-            max_channel_load: loads.max(),
-            mean_channel_load: loads.mean(),
+            avg_hops: rl.avg_hops,
+            saturation_bound: rl.saturation(),
+            max_channel_load: rl.max_load,
+            mean_channel_load: rl.mean_load(),
         })
     }
 
-    /// Prices the topology under a cost model (§VI).
+    /// Prices the topology under a cost model (§VI). Like
+    /// [`Experiment::flow`], a load-independent convenience view: it
+    /// shares the builder's topology resolution but produces a
+    /// [`CostBreakdown`] instead of records.
     pub fn cost(&self, model: &CostModel) -> Result<CostBreakdown, SfError> {
         Ok(CostBreakdown::compute(&self.spec()?.build()?, model))
     }
@@ -674,6 +705,7 @@ mod tests {
             spec: "dln:nr=64,y=4".into(),
             routing: "MIN".into(),
             traffic: "uniform".into(),
+            backend: "cycle".into(),
             packet_size: 1,
             offered: 0.1,
             latency: 1.0,

@@ -64,7 +64,7 @@
 //! | [`routing`] | `sf-routing` | MIN/VAL/UGAL paths, deadlock freedom |
 //! | [`sim`] | `sf-sim` | cycle-based flit-level simulator |
 //! | [`traffic`] | `sf-traffic` | uniform/permutation/worst-case patterns |
-//! | [`flow`] | `sf-flow` | analytic channel-load model |
+//! | [`flow`] | `sf-flow` | flow-level backend: max-min solver, saturation bounds |
 //! | [`cost`] | `sf-cost` | physical layout, cost & power models |
 //!
 //! On top of those this crate provides the experiment layer:
@@ -102,7 +102,7 @@ pub mod zoo;
 
 pub use error::SfError;
 pub use experiment::{Experiment, FlowSummary, Record};
-pub use plan::{ExperimentPlan, Job, JobSet, SweepPlan};
+pub use plan::{Backend, ExperimentPlan, Job, JobSet, SweepPlan};
 pub use schedule::Scheduler;
 pub use sf_routing::{Router, RoutingError, RoutingSpec};
 pub use sf_topo::{Network, SlimFly, TopologyKind};
@@ -114,13 +114,16 @@ pub use spec::TopologySpec;
 pub mod prelude {
     pub use crate::error::SfError;
     pub use crate::experiment::{write_csv, write_json_lines, Experiment, FlowSummary, Record};
-    pub use crate::plan::{ExperimentPlan, Job, JobSet, SweepPlan};
+    pub use crate::plan::{Backend, ExperimentPlan, Job, JobSet, SweepPlan};
     pub use crate::schedule::Scheduler;
     pub use crate::sink::{CsvSink, JsonLinesSink, MemorySink, RecordSink, TeeSink};
     pub use crate::spec::{self, TopologySpec};
     pub use crate::zoo::{self, SlimFlyConfig};
     pub use sf_cost::{CostBreakdown, CostModel};
-    pub use sf_flow::{average_hops_uniform, uniform_channel_loads};
+    pub use sf_flow::{
+        average_hops_uniform, evaluate, max_min_rates, min_loads, uniform_channel_loads, Demand,
+        EdgeIndex, FlowError, FlowPoint, FlowSet, RoutingLoads,
+    };
     pub use sf_graph::{metrics, partition, Graph};
     pub use sf_routing::{
         AdaptiveEcmpRouter, FatPathsRouter, MinRouter, QueueView, RouteAlgo, Router, RoutingError,

@@ -23,6 +23,7 @@
 //! loads = [0.1, 0.5, 0.9]
 //! routing = ["min", "ugal-l:c=4"]
 //! traffic = "uniform"
+//! backend = "cycle"                 # or "flow"
 //! warm_start = false
 //!
 //! [defaults.sim]                    # any SimConfig field
@@ -34,6 +35,8 @@
 //! topo = "sf:q=7"                   # or: topos = ["sf:q=7", "df:p=3"]
 //! traffic = "worst"                 # overrides the default
 //! loads = [0.05, 0.1, 0.2]
+//! backend = "flow"                  # simulation tier for this sweep
+//! backends = ["cycle", "flow"]      # matrix sugar: one sweep per tier
 //! packet_sizes = [1, 4, 16]         # matrix sugar: one sweep per size
 //! concentrations = [4, 6]           # matrix sugar: one sweep per p
 //!
@@ -42,15 +45,29 @@
 //! packet_size = 4                   # flits per packet (wormhole)
 //! ```
 //!
-//! **Matrix sugar**: `packet_sizes = [...]` and/or `concentrations =
-//! [...]` expand one `[[sweep]]` template into the cross product of
-//! sweeps (concentrations outer, packet sizes inner, both in file
-//! order) at parse time — `packet_sizes = [1, 4, 16]` is exactly three
-//! copies of the sweep differing only in `sim.packet_size`, and
-//! `concentrations = [4, 6]` rewrites every topology spec via
+//! **Matrix sugar**: `backends = [...]`, `packet_sizes = [...]` and/or
+//! `concentrations = [...]` expand one `[[sweep]]` template into the
+//! cross product of sweeps (backends outermost, then concentrations,
+//! packet sizes innermost, each in file order) at parse time —
+//! `packet_sizes = [1, 4, 16]` is exactly three copies of the sweep
+//! differing only in `sim.packet_size`, and `concentrations = [4, 6]`
+//! rewrites every topology spec via
 //! [`TopologySpec::with_concentration`]. The canonical rendering
 //! ([`ExperimentPlan::to_toml_string`]) is always the fully-expanded
 //! form, so plan ⇄ TOML round trips are exact.
+//!
+//! # Backends
+//!
+//! `backend` selects the simulation tier per sweep: `"cycle"` (default)
+//! runs the flit-level engine; `"flow"` runs the analytic flow-level
+//! backend in `sf-flow` — max-min fair-share rates over the same
+//! topology/routing/traffic grammars, which scales to networks the flit
+//! engine cannot touch (an `sf:q=79` Slim Fly has ~50k endpoints).
+//! Flow jobs run through the same scheduler, workers and sinks, and
+//! emit the same [`Record`] rows tagged `backend = "flow"`. Routings
+//! whose decisions depend on live queue state per flit (`ecmp`/ANCA)
+//! and the `val:cap3` ablation have no flow lowering and are rejected
+//! at [`ExperimentPlan::expand`] with a typed [`SfError::Flow`].
 //!
 //! The same structure as a JSON object (`{"figure": {...}, "sweep":
 //! [...]}`) parses through [`ExperimentPlan::from_json_str`]. Leaf
@@ -75,13 +92,58 @@ use crate::error::SfError;
 use crate::experiment::Record;
 use crate::spec::TopologySpec;
 use rayon::prelude::*;
+use sf_flow::{Demand, EdgeIndex, FlowError, RoutingLoads};
 use sf_routing::{Router, RoutingSpec, RoutingTables};
 use sf_sim::{LoadSweep, SimConfig, Simulator};
 use sf_topo::Network;
 use sf_traffic::{TrafficPattern, TrafficSpec};
+use std::fmt;
 use std::path::Path;
+use std::str::FromStr;
 use std::sync::OnceLock;
 use toml::{Map, Value};
+
+/// The simulation tier a sweep runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The cycle-based flit-level engine (`sf-sim`).
+    #[default]
+    Cycle,
+    /// The analytic flow-level backend (`sf-flow`): max-min fair-share
+    /// rates over lowered path sets.
+    Flow,
+}
+
+impl Backend {
+    /// Canonical name, as used in plan files and the `backend` record
+    /// column.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Cycle => "cycle",
+            Backend::Flow => "flow",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = SfError;
+
+    fn from_str(s: &str) -> Result<Self, SfError> {
+        match s {
+            "cycle" => Ok(Backend::Cycle),
+            "flow" => Ok(Backend::Flow),
+            other => Err(SfError::Plan(format!(
+                "unknown backend {other:?} (expected \"cycle\" or \"flow\")"
+            ))),
+        }
+    }
+}
 
 /// A declarative, serializable experiment: what a `figures/*.toml`
 /// file describes and the fluent builder lowers to.
@@ -109,6 +171,8 @@ pub struct SweepPlan {
     pub loads: Vec<f64>,
     /// Fully-resolved simulator configuration.
     pub sim: SimConfig,
+    /// Simulation tier (cycle engine or flow-level model).
+    pub backend: Backend,
     /// Chain the loads of each (topology, routing) through one warm
     /// simulator instead of cold per-load runs (off by default; results
     /// for non-first loads are then near-identical, not bit-identical).
@@ -123,6 +187,7 @@ impl Default for SweepPlan {
             traffic: TrafficSpec::Uniform,
             loads: (1..10).map(|i| i as f64 / 10.0).collect(),
             sim: SimConfig::default(),
+            backend: Backend::Cycle,
             warm_start: false,
         }
     }
@@ -253,6 +318,7 @@ impl ExperimentPlan {
                     ),
                 );
                 t.insert("traffic".into(), Value::String(s.traffic.to_string()));
+                t.insert("backend".into(), Value::String(s.backend.to_string()));
                 t.insert(
                     "loads".into(),
                     Value::Array(s.loads.iter().map(|&l| Value::Float(l)).collect()),
@@ -323,6 +389,9 @@ impl ExperimentPlan {
                 };
                 for routing in &sweep.routings {
                     routing.validate()?;
+                    if sweep.backend == Backend::Flow {
+                        flow_lowering_exists(routing)?;
+                    }
                     let chains: Vec<Vec<f64>> = if sweep.warm_start {
                         vec![sweep.loads.clone()]
                     } else {
@@ -337,6 +406,7 @@ impl ExperimentPlan {
                             traffic: sweep.traffic,
                             loads,
                             sim: sweep.sim,
+                            backend: sweep.backend,
                             warm_start: sweep.warm_start,
                         });
                     }
@@ -350,8 +420,10 @@ impl ExperimentPlan {
         // would multiply the precomputation by the sweep length.
         let mut router_keys: Vec<(usize, RoutingSpec)> = Vec::new();
         let mut pattern_keys: Vec<(usize, TrafficSpec)> = Vec::new();
+        let mut flow_keys: Vec<(usize, RoutingSpec, TrafficSpec)> = Vec::new();
         let mut router_of = Vec::with_capacity(jobs.len());
         let mut pattern_of = Vec::with_capacity(jobs.len());
+        let mut flow_of = Vec::with_capacity(jobs.len());
         for job in &jobs {
             let rk = (job.topo, job.routing);
             router_of.push(match router_keys.iter().position(|k| *k == rk) {
@@ -369,7 +441,16 @@ impl ExperimentPlan {
                     pattern_keys.len() - 1
                 }
             });
+            let fk = (job.topo, job.routing, job.traffic);
+            flow_of.push(match flow_keys.iter().position(|k| *k == fk) {
+                Some(i) => i,
+                None => {
+                    flow_keys.push(fk);
+                    flow_keys.len() - 1
+                }
+            });
         }
+        let num_topos = topos.len();
         Ok(JobSet {
             jobs,
             topos,
@@ -378,8 +459,35 @@ impl ExperimentPlan {
             router_of,
             patterns: (0..pattern_keys.len()).map(|_| OnceLock::new()).collect(),
             pattern_of,
+            flow_shared: (0..pattern_keys.len())
+                .map(|_| SharedFlow::default())
+                .collect(),
+            flow_loads: (0..flow_keys.len()).map(|_| OnceLock::new()).collect(),
+            flow_of,
+            edge_idx: (0..num_topos).map(|_| OnceLock::new()).collect(),
         })
     }
+}
+
+/// Checks that a routing has a flow-level lowering; typed error
+/// otherwise (satellite of the backend unification: one dispatch path,
+/// inexpressible combinations rejected up front at expansion).
+fn flow_lowering_exists(routing: &RoutingSpec) -> Result<(), SfError> {
+    let reason = match routing {
+        RoutingSpec::Ecmp => {
+            "per-flit adaptive ECMP (ANCA) decides from live queue state, \
+             which a fluid model does not have"
+        }
+        RoutingSpec::Valiant { cap3: true } => {
+            "the ≤3-hop Valiant ablation rejects paths per sampled \
+             intermediate, which has no closed fluid form"
+        }
+        _ => return Ok(()),
+    };
+    Err(SfError::Flow(FlowError::UnsupportedRouting {
+        label: routing.label(),
+        reason: reason.into(),
+    }))
 }
 
 fn plan_err(msg: &str) -> SfError {
@@ -393,6 +501,7 @@ struct SweepDefaults {
     traffic: Option<TrafficSpec>,
     loads: Option<Vec<f64>>,
     sim: Option<Value>,
+    backend: Option<Backend>,
     warm_start: Option<bool>,
 }
 
@@ -407,7 +516,7 @@ impl SweepDefaults {
         for key in t.keys() {
             if !matches!(
                 key.as_str(),
-                "routing" | "traffic" | "loads" | "sim" | "warm_start"
+                "routing" | "traffic" | "loads" | "sim" | "backend" | "warm_start"
             ) {
                 return Err(plan_err(&format!("unknown [defaults] key {key:?}")));
             }
@@ -417,6 +526,7 @@ impl SweepDefaults {
             traffic: v.get("traffic").map(parse_traffic).transpose()?,
             loads: v.get("loads").map(parse_loads).transpose()?,
             sim: v.get("sim").cloned(),
+            backend: v.get("backend").map(parse_backend).transpose()?,
             warm_start: match v.get("warm_start") {
                 None => None,
                 Some(b) => Some(
@@ -448,6 +558,8 @@ impl SweepPlan {
                     | "traffic"
                     | "loads"
                     | "sim"
+                    | "backend"
+                    | "backends"
                     | "warm_start"
                     | "packet_sizes"
                     | "concentrations"
@@ -500,16 +612,43 @@ impl SweepPlan {
                 .ok_or_else(|| plan_err("warm_start must be a boolean"))?,
             None => defaults.warm_start.unwrap_or(false),
         };
+        let backend = match (v.get("backend"), v.get("backends")) {
+            (Some(_), Some(_)) => {
+                return Err(plan_err("give either `backend` or `backends`, not both"))
+            }
+            (Some(b), None) => parse_backend(b)?,
+            (None, _) => defaults.backend.unwrap_or_default(),
+        };
         let template = SweepPlan {
             topos,
             routings,
             traffic,
             loads,
             sim,
+            backend,
             warm_start,
         };
 
-        // Matrix sugar: expand the template over the requested axes.
+        // Matrix sugar: expand the template over the requested axes
+        // (backends outermost, then concentrations, packet sizes
+        // innermost).
+        let backends_axis = match v.get("backends") {
+            None => None,
+            Some(a) => {
+                let items = a
+                    .as_array()
+                    .ok_or_else(|| plan_err("backends must be an array of backend names"))?;
+                if items.is_empty() {
+                    return Err(plan_err("backends must not be empty"));
+                }
+                Some(
+                    items
+                        .iter()
+                        .map(parse_backend)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+        };
         let sizes_axis = match v.get("packet_sizes") {
             None => None,
             Some(a) => Some(parse_positive_ints(a, "packet_sizes")?),
@@ -518,25 +657,28 @@ impl SweepPlan {
             None => None,
             Some(a) => Some(parse_positive_ints(a, "concentrations")?),
         };
-        if sizes_axis.is_none() && conc_axis.is_none() {
+        if backends_axis.is_none() && sizes_axis.is_none() && conc_axis.is_none() {
             return Ok(vec![template]);
         }
         let mut out = Vec::new();
-        for &conc in conc_axis.as_deref().unwrap_or(&[0]) {
-            let mut with_conc = template.clone();
-            if conc != 0 {
-                with_conc.topos = template
-                    .topos
-                    .iter()
-                    .map(|t| t.with_concentration(conc as u32))
-                    .collect::<Result<Vec<_>, _>>()?;
-            }
-            for &ps in sizes_axis.as_deref().unwrap_or(&[0]) {
-                let mut sweep = with_conc.clone();
-                if ps != 0 {
-                    sweep.sim.packet_size = ps as usize;
+        for &be in backends_axis.as_deref().unwrap_or(&[backend]) {
+            for &conc in conc_axis.as_deref().unwrap_or(&[0]) {
+                let mut with_conc = template.clone();
+                with_conc.backend = be;
+                if conc != 0 {
+                    with_conc.topos = template
+                        .topos
+                        .iter()
+                        .map(|t| t.with_concentration(conc as u32))
+                        .collect::<Result<Vec<_>, _>>()?;
                 }
-                out.push(sweep);
+                for &ps in sizes_axis.as_deref().unwrap_or(&[0]) {
+                    let mut sweep = with_conc.clone();
+                    if ps != 0 {
+                        sweep.sim.packet_size = ps as usize;
+                    }
+                    out.push(sweep);
+                }
             }
         }
         Ok(out)
@@ -585,6 +727,12 @@ fn parse_routings(v: &Value) -> Result<Vec<RoutingSpec>, SfError> {
             "routing must be a spec string or an array of spec strings",
         )),
     }
+}
+
+fn parse_backend(v: &Value) -> Result<Backend, SfError> {
+    v.as_str()
+        .ok_or_else(|| plan_err("backend must be \"cycle\" or \"flow\""))?
+        .parse()
 }
 
 fn parse_traffic(v: &Value) -> Result<TrafficSpec, SfError> {
@@ -713,18 +861,49 @@ pub struct Job {
     pub loads: Vec<f64>,
     /// Simulator configuration.
     pub sim: SimConfig,
+    /// Which evaluation tier runs this job.
+    pub backend: Backend,
     /// Whether the loads chain through one warm simulator.
     pub warm_start: bool,
 }
 
-/// A built (network, routing tables) pair shared by every job on one
-/// topology.
+/// A built network plus lazily built routing tables, shared by every
+/// job on one topology. Tables are deferred because the flow backend
+/// often never needs them (all-pairs tables on `sf:q=79` would cost
+/// hundreds of MB); the first cycle-backend or table-hungry job on the
+/// topology builds them once.
 pub struct JobCtx {
     /// The concrete network.
     pub net: Network,
-    /// All-pairs routing tables over `net.graph`.
-    pub tables: RoutingTables,
+    tables: OnceLock<RoutingTables>,
 }
+
+impl JobCtx {
+    /// All-pairs routing tables over `net.graph`, built on first use.
+    /// Construction is deterministic, so a build race between workers
+    /// settles on identical content.
+    pub fn tables(&self) -> &RoutingTables {
+        self.tables
+            .get_or_init(|| RoutingTables::new(&self.net.graph))
+    }
+}
+
+/// Lazily built flow-backend state per distinct (topology, traffic)
+/// pair: the router-level demand matrix and the MIN/VAL channel loads
+/// that every flow routing lowers through. Unlike the router slots,
+/// these cache the full `Result`: a lowering can take seconds at
+/// q = 79, and `OnceLock::get_or_init` makes concurrent workers block
+/// on one computation instead of racing to repeat it. The cached
+/// error is deterministic (it depends only on topology and demand),
+/// so every affected job surfaces the identical typed failure.
+#[derive(Default)]
+struct SharedFlow {
+    demand: OnceLock<Demand>,
+    min: FlowSlot,
+    val: FlowSlot,
+}
+
+type FlowSlot = OnceLock<Result<RoutingLoads, FlowError>>;
 
 /// The flat, deterministic expansion of an [`ExperimentPlan`]: jobs in
 /// output order plus the deduplicated topology list they reference.
@@ -741,6 +920,14 @@ pub struct JobSet {
     /// Lazily built traffic patterns per distinct (topology, traffic).
     patterns: Vec<OnceLock<TrafficPattern>>,
     pattern_of: Vec<usize>,
+    /// Flow-backend caches: demand + MIN/VAL loads per (topology,
+    /// traffic) — same slot space as `patterns` — and the per-routing
+    /// lowering result per (topology, routing, traffic).
+    flow_shared: Vec<SharedFlow>,
+    flow_loads: Vec<FlowSlot>,
+    flow_of: Vec<usize>,
+    /// Directed-channel index per topology, built on first flow job.
+    edge_idx: Vec<OnceLock<EdgeIndex>>,
 }
 
 impl std::fmt::Debug for JobSet {
@@ -775,9 +962,9 @@ impl JobSet {
         self.ctxs.len() == self.topos.len()
     }
 
-    /// Builds every referenced network and its routing tables (in
-    /// parallel across topologies). Idempotent; must run before
-    /// [`JobSet::run_job`].
+    /// Builds every referenced network (in parallel across
+    /// topologies); routing tables are built lazily on first use per
+    /// topology. Idempotent; must run before [`JobSet::run_job`].
     pub fn prepare(&mut self) -> Result<(), SfError> {
         if self.is_prepared() {
             return Ok(());
@@ -787,8 +974,10 @@ impl JobSet {
             .par_iter()
             .map(|spec| {
                 let net = spec.build()?;
-                let tables = RoutingTables::new(&net.graph);
-                Ok(JobCtx { net, tables })
+                Ok(JobCtx {
+                    net,
+                    tables: OnceLock::new(),
+                })
             })
             .collect();
         let mut ctxs = Vec::with_capacity(built.len());
@@ -806,32 +995,34 @@ impl JobSet {
 
     /// Executes one job, returning its records in load order. The set
     /// must be prepared. Deterministic: depends only on the job and
-    /// the topology, never on other jobs or thread timing. Router and
-    /// traffic-pattern construction is cached across the jobs sharing
-    /// them (build errors stay per-job and typed: failures are not
-    /// cached, they surface on every affected job).
+    /// the topology, never on other jobs or thread timing. Router,
+    /// traffic-pattern, and flow-lowering construction is cached
+    /// across the jobs sharing them; failures stay typed and surface
+    /// on every affected job (router/pattern build errors are retried
+    /// per job, flow-lowering errors are deterministic and cached by
+    /// the set's shared flow slots).
     pub fn run_job(&self, job: &Job) -> Result<Vec<Record>, SfError> {
         assert!(self.is_prepared(), "JobSet::prepare must run before jobs");
+        match job.backend {
+            Backend::Cycle => self.run_cycle_job(job),
+            Backend::Flow => self.run_flow_job(job),
+        }
+    }
+
+    fn run_cycle_job(&self, job: &Job) -> Result<Vec<Record>, SfError> {
         let ctx = self.ctx(job);
         let spec_str = self.topos[job.topo].to_string();
         let router_slot = &self.routers[self.router_of[job.id]];
         let router: &dyn Router = match router_slot.get() {
             Some(r) => r.as_ref(),
             None => {
-                let built = job.routing.build(&ctx.net.graph, &ctx.tables)?;
+                let built = job.routing.build(&ctx.net.graph, ctx.tables())?;
                 router_slot.get_or_init(|| built).as_ref()
             }
         };
-        let pattern_slot = &self.patterns[self.pattern_of[job.id]];
-        let pattern: &TrafficPattern = match pattern_slot.get() {
-            Some(p) => p,
-            None => {
-                let built = job.traffic.build(&ctx.net, &ctx.tables)?;
-                pattern_slot.get_or_init(|| built)
-            }
-        };
+        let pattern = self.pattern(job)?;
         let results = if job.warm_start {
-            LoadSweep::run_warm(&ctx.net, &ctx.tables, router, pattern, &job.loads, job.sim)
+            LoadSweep::run_warm(&ctx.net, ctx.tables(), router, pattern, &job.loads, job.sim)
         } else {
             // Cold per-load runs, bit-identical to the sequential
             // builder path (same per-load seed derivation).
@@ -840,7 +1031,7 @@ impl JobSet {
                 .map(|&load| {
                     let mut c = job.sim;
                     c.seed = LoadSweep::seed_for_load(&job.sim, load);
-                    Simulator::new(&ctx.net, &ctx.tables, router, pattern, load, c).run()
+                    Simulator::new(&ctx.net, ctx.tables(), router, pattern, load, c).run()
                 })
                 .collect()
         };
@@ -851,6 +1042,7 @@ impl JobSet {
                 spec: spec_str.clone(),
                 routing: router.label(),
                 traffic: pattern.name().to_string(),
+                backend: Backend::Cycle.as_str().to_string(),
                 packet_size: r.packet_size,
                 offered: r.offered_load,
                 latency: r.avg_latency,
@@ -861,6 +1053,130 @@ impl JobSet {
                 max_link_util: r.max_link_util,
             })
             .collect())
+    }
+
+    /// The shared traffic pattern of a job, built on first use.
+    /// Routing tables are only constructed if the pattern itself needs
+    /// them (worst-case placement), so flow jobs on table-free
+    /// patterns never pay for all-pairs tables.
+    fn pattern(&self, job: &Job) -> Result<&TrafficPattern, SfError> {
+        let ctx = self.ctx(job);
+        let pattern_slot = &self.patterns[self.pattern_of[job.id]];
+        match pattern_slot.get() {
+            Some(p) => Ok(p),
+            None => {
+                let built = job.traffic.build_with(&ctx.net, || ctx.tables())?;
+                Ok(pattern_slot.get_or_init(|| built))
+            }
+        }
+    }
+
+    fn run_flow_job(&self, job: &Job) -> Result<Vec<Record>, SfError> {
+        let ctx = self.ctx(job);
+        let spec_str = self.topos[job.topo].to_string();
+        let pattern = self.pattern(job)?;
+        let idx = self.edge_idx[job.topo].get_or_init(|| EdgeIndex::new(&ctx.net.graph));
+        let shared = &self.flow_shared[self.pattern_of[job.id]];
+        let demand = shared
+            .demand
+            .get_or_init(|| Demand::from_pattern(&ctx.net, pattern));
+
+        let min = || cached_loads(&shared.min, || sf_flow::min_loads(&ctx.net, idx, demand));
+        let val = || {
+            cached_loads(&shared.val, || {
+                sf_flow::valiant_loads(&ctx.net, idx, demand)
+            })
+        };
+
+        let rl: &RoutingLoads = match job.routing {
+            RoutingSpec::Min => min()?,
+            RoutingSpec::Valiant { cap3: false } => val()?,
+            RoutingSpec::UgalL { .. } | RoutingSpec::UgalG { .. } => {
+                // Fluid UGAL ignores the candidate count: with exact
+                // load knowledge every candidate set converges to the
+                // same min/Valiant mixture, so UGAL-L ≡ UGAL-G here.
+                cached_loads(&self.flow_loads[self.flow_of[job.id]], || {
+                    Ok(sf_flow::ugal_mix(min()?, val()?))
+                })?
+            }
+            RoutingSpec::FatPaths { layers } => {
+                cached_loads(&self.flow_loads[self.flow_of[job.id]], || {
+                    sf_flow::fatpaths_loads(&ctx.net, idx, demand, ctx.tables(), layers)
+                })?
+            }
+            // expand() rejects these; keep the typed error as defense
+            // for hand-built Jobs.
+            RoutingSpec::Ecmp | RoutingSpec::Valiant { cap3: true } => {
+                flow_lowering_exists(&job.routing)?;
+                unreachable!("flow_lowering_exists accepted an inexpressible routing")
+            }
+        };
+
+        Ok(job
+            .loads
+            .iter()
+            .map(|&load| {
+                let p = sf_flow::evaluate(rl, load);
+                let (latency, p99) = flow_latency(&p, &job.sim);
+                Record {
+                    topology: ctx.net.name.clone(),
+                    spec: spec_str.clone(),
+                    routing: job.routing.label(),
+                    traffic: pattern.name().to_string(),
+                    backend: Backend::Flow.as_str().to_string(),
+                    packet_size: job.sim.packet_size,
+                    offered: load,
+                    latency,
+                    p99,
+                    accepted: p.accepted,
+                    avg_hops: p.avg_hops,
+                    saturated: p.saturated,
+                    max_link_util: p.max_util,
+                }
+            })
+            .collect())
+    }
+}
+
+/// Returns a cached flow lowering, building it inside the slot's
+/// `get_or_init` so concurrent workers block on one computation
+/// instead of racing to repeat a multi-second solve (see
+/// [`SharedFlow`] on why errors are cached here).
+fn cached_loads(
+    slot: &FlowSlot,
+    build: impl FnOnce() -> Result<RoutingLoads, FlowError>,
+) -> Result<&RoutingLoads, FlowError> {
+    match slot.get_or_init(build) {
+        Ok(r) => Ok(r),
+        Err(e) => Err(e.clone()),
+    }
+}
+
+/// M/D/1-style latency estimate for a flow-level operating point, in
+/// the cycle engine's units (cycles). The deterministic service time
+/// is one packet (`packet_size` flits per channel); the zero-load
+/// base is injection + per-hop pipeline + serialization, matching the
+/// cycle engine's zero-load anatomy. Past saturation queues grow
+/// without bound and the estimate is `NaN`.
+fn flow_latency(p: &sf_flow::FlowPoint, sim: &SimConfig) -> (f64, f64) {
+    let ps = sim.packet_size as f64;
+    let per_hop = (sim.channel_latency + sim.router_delay) as f64;
+    let base = 1.0 + p.avg_hops * per_hop + (ps - 1.0);
+    let wq = |rho: f64| -> f64 {
+        if rho >= 1.0 - 1e-12 {
+            f64::NAN
+        } else {
+            ps * rho / (2.0 * (1.0 - rho))
+        }
+    };
+    if p.saturated {
+        (f64::NAN, f64::NAN)
+    } else {
+        // p99 ≈ mean + tail factor on the *hottest* channel's wait:
+        // exponential waiting-tail approximation, ln(100) ≈ 4.6.
+        let latency = base + p.avg_hops * wq(p.mean_util);
+        let p99 = base + p.avg_hops * wq(p.max_util) * 100f64.ln();
+        (latency, p99)
     }
 }
 
@@ -1156,6 +1472,126 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].spec, "sf:q=5");
         assert_eq!(records[0].routing, "MIN");
+        assert_eq!(records[0].backend, "cycle");
         assert!(records[0].accepted > 0.0);
+    }
+
+    #[test]
+    fn backend_key_parses_defaults_and_round_trips() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[defaults]\nbackend = \"flow\"\n\
+             [[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             [[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.2]\nbackend = \"cycle\"",
+        )
+        .unwrap();
+        assert_eq!(plan.sweeps[0].backend, Backend::Flow);
+        assert_eq!(plan.sweeps[1].backend, Backend::Cycle);
+        let rendered = plan.to_toml_string();
+        assert_eq!(ExperimentPlan::from_toml_str(&rendered).unwrap(), plan);
+
+        let err = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nbackend = \"quantum\"",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfError::Plan(_)), "{err}");
+    }
+
+    #[test]
+    fn backends_matrix_sugar_is_outermost_axis() {
+        // backends × packet_sizes: backends vary slowest, sizes fastest.
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             backends = [\"cycle\", \"flow\"]\npacket_sizes = [1, 4]",
+        )
+        .unwrap();
+        let got: Vec<(Backend, usize)> = plan
+            .sweeps
+            .iter()
+            .map(|s| (s.backend, s.sim.packet_size))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (Backend::Cycle, 1),
+                (Backend::Cycle, 4),
+                (Backend::Flow, 1),
+                (Backend::Flow, 4),
+            ]
+        );
+        let rendered = plan.to_toml_string();
+        assert_eq!(ExperimentPlan::from_toml_str(&rendered).unwrap(), plan);
+
+        // backend and backends on one sweep contradict each other.
+        let err = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n\
+             backend = \"flow\"\nbackends = [\"cycle\"]",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfError::Plan(_)), "{err}");
+    }
+
+    #[test]
+    fn flow_backend_runs_jobs_through_the_same_set() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[defaults]\nbackend = \"flow\"\n\
+             routing = [\"min\", \"val\", \"ugal-l:c=4\", \"fatpaths:layers=2\"]\n\
+             [[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.2, 1.0]",
+        )
+        .unwrap();
+        let mut set = plan.expand().unwrap();
+        set.prepare().unwrap();
+        let mut records = Vec::new();
+        for job in set.jobs() {
+            records.extend(set.run_job(job).unwrap());
+        }
+        assert_eq!(records.len(), 8);
+        assert!(records.iter().all(|r| r.backend == "flow"));
+        assert!(records.iter().all(|r| r.accepted > 0.0));
+        // Below saturation the flow tier delivers the offered load
+        // exactly and reports a finite latency above the zero-load base.
+        let low = &records[0];
+        assert!((low.accepted - 0.2).abs() < 1e-9, "{low:?}");
+        assert!(!low.saturated);
+        assert!(low.latency.is_finite() && low.latency > 1.0);
+        assert!(low.p99 >= low.latency);
+        // MIN on uniform sf:q=5 saturates below full injection (max
+        // channel load > 1 at λ = 1); the record says so and clamps
+        // accepted to the max-min fair share.
+        let high = &records[1];
+        assert!(high.saturated, "{high:?}");
+        assert!(high.accepted < 1.0);
+        assert!(high.latency.is_nan());
+        // UGAL's knee is no worse than MIN's on any shared load.
+        let ugal_high = &records[5];
+        assert!(ugal_high.accepted >= high.accepted - 1e-9);
+    }
+
+    #[test]
+    fn flow_backend_rejects_inexpressible_routings_at_expand() {
+        for routing in ["ecmp", "val:cap3"] {
+            let plan = ExperimentPlan::from_toml_str(&format!(
+                "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n\
+                 backend = \"flow\"\nrouting = \"{routing}\"\nloads = [0.1]"
+            ))
+            .unwrap();
+            let err = plan.expand().unwrap_err();
+            assert!(matches!(err, SfError::Flow(_)), "{routing} → {err}");
+        }
+    }
+
+    #[test]
+    fn flow_jobs_skip_routing_table_construction() {
+        // The lazy-tables contract: a pure flow sweep on a table-free
+        // traffic pattern must never build all-pairs tables (at q=79
+        // they would dwarf the solve itself).
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n\
+             backend = \"flow\"\nloads = [0.5]",
+        )
+        .unwrap();
+        let mut set = plan.expand().unwrap();
+        set.prepare().unwrap();
+        set.run_job(&set.jobs()[0]).unwrap();
+        assert!(set.ctxs[0].tables.get().is_none());
     }
 }

@@ -25,6 +25,7 @@ pub fn render_markdown(heading: &str, records: &[Record]) -> String {
         return out;
     }
     render_groups(&mut out, records, "");
+    render_backend_comparison(&mut out, records);
     out.push_str("\n† operated past saturation (sample packets not drained).\n");
     out
 }
@@ -36,19 +37,29 @@ fn render_groups(out: &mut String, records: &[Record], suffix: &str) {
     // Group keys in first-appearance order. Packet size is part of the
     // key so a multi-size sweep (fig_packets) renders one table pair
     // per size instead of colliding rows; single-flit groups keep the
-    // historical heading (no size annotation).
-    let mut groups: Vec<(String, String, usize)> = Vec::new();
+    // historical heading (no size annotation). The backend is part of
+    // the key too, so a flow-vs-cycle comparison stream renders one
+    // table pair per tier; cycle groups keep the historical heading.
+    let mut groups: Vec<(String, String, usize, String)> = Vec::new();
     for r in records {
-        let key = (r.topology.clone(), r.traffic.clone(), r.packet_size);
+        let key = (
+            r.topology.clone(),
+            r.traffic.clone(),
+            r.packet_size,
+            r.backend.clone(),
+        );
         if !groups.contains(&key) {
             groups.push(key);
         }
     }
-    for (topology, traffic, packet_size) in &groups {
+    for (topology, traffic, packet_size, backend) in &groups {
         let rows: Vec<&Record> = records
             .iter()
             .filter(|r| {
-                &r.topology == topology && &r.traffic == traffic && r.packet_size == *packet_size
+                &r.topology == topology
+                    && &r.traffic == traffic
+                    && r.packet_size == *packet_size
+                    && &r.backend == backend
             })
             .collect();
         let mut loads: Vec<f64> = Vec::new();
@@ -66,8 +77,13 @@ fn render_groups(out: &mut String, records: &[Record], suffix: &str) {
         } else {
             format!(", {packet_size}-flit packets")
         };
+        let backend_note = if backend == "cycle" {
+            String::new()
+        } else {
+            format!(", {backend} backend")
+        };
         out.push_str(&format!(
-            "\n## {topology} — {traffic} traffic{size_note}{suffix}\n"
+            "\n## {topology} — {traffic} traffic{size_note}{backend_note}{suffix}\n"
         ));
         render_table(
             out,
@@ -85,6 +101,60 @@ fn render_groups(out: &mut String, records: &[Record], suffix: &str) {
             &rows,
             |r| fmt_float(r.accepted),
         );
+    }
+}
+
+/// When the stream carries more than one backend, appends a
+/// flow-vs-cycle saturation summary: for each (topology, traffic,
+/// routing) present in both tiers, the highest accepted throughput
+/// either backend reached across its load sweep — the measured knee
+/// for the cycle engine, the max-min fair-share bound for the flow
+/// solver — plus their ratio. This is the cross-validation table
+/// EXPERIMENTS.md pins: ratios near 1 mean the fluid model tracks the
+/// flit engine's knee.
+fn render_backend_comparison(out: &mut String, records: &[Record]) {
+    let has = |b: &str| records.iter().any(|r| r.backend == b);
+    if !(has("cycle") && has("flow")) {
+        return;
+    }
+    let sat_of = |topology: &str, traffic: &str, routing: &str, backend: &str| -> Option<f64> {
+        records
+            .iter()
+            .filter(|r| {
+                r.topology == topology
+                    && r.traffic == traffic
+                    && r.routing == routing
+                    && r.backend == backend
+            })
+            .map(|r| r.accepted)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+    };
+    let mut combos: Vec<(String, String, String)> = Vec::new();
+    for r in records {
+        let key = (r.topology.clone(), r.traffic.clone(), r.routing.clone());
+        if !combos.contains(&key) {
+            combos.push(key);
+        }
+    }
+    out.push_str("\n## Flow vs cycle saturation\n");
+    out.push_str("\n| topology | traffic | routing | cycle knee | flow bound | flow/cycle |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for (topology, traffic, routing) in &combos {
+        let (Some(cycle), Some(flow)) = (
+            sat_of(topology, traffic, routing, "cycle"),
+            sat_of(topology, traffic, routing, "flow"),
+        ) else {
+            continue;
+        };
+        let ratio = if cycle > 0.0 { flow / cycle } else { f64::NAN };
+        out.push_str(&format!(
+            "| {topology} | {traffic} | {routing} | {} | {} | {} |\n",
+            fmt_float(cycle),
+            fmt_float(flow),
+            fmt_float(ratio),
+        ));
     }
 }
 
@@ -176,6 +246,7 @@ pub fn render_plan_report(plan: &ExperimentPlan, records: &[Record]) -> String {
             .unwrap_or_default();
         render_groups(&mut out, slice, &suffix);
     }
+    render_backend_comparison(&mut out, records);
     out.push_str("\n† operated past saturation (sample packets not drained).\n");
     out
 }
@@ -217,6 +288,7 @@ mod tests {
             spec: "sf:q=5".into(),
             routing: routing.into(),
             traffic: "uniform".into(),
+            backend: "cycle".into(),
             packet_size: 1,
             offered,
             latency,

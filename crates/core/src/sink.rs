@@ -226,6 +226,7 @@ mod tests {
             spec: "sf:q=5".into(),
             routing: "MIN".into(),
             traffic: "uniform".into(),
+            backend: "cycle".into(),
             packet_size: 1,
             offered: 0.1,
             latency: 12.5,

@@ -76,19 +76,40 @@ fn any_sweep() -> impl Strategy<Value = SweepPlan> {
         prop::collection::vec(0u32..41, 1..6),
         any_sim(),
         any::<bool>(),
+        any::<bool>(),
     )
-        .prop_map(|(topos, routings, traffic, loads, sim, warm_start)| {
-            // Loads on a 0.025 grid: exactly representable, in [0, 1].
-            let loads: Vec<f64> = loads.into_iter().map(|l| l as f64 * 0.025).collect();
-            SweepPlan {
-                topos,
-                routings,
-                traffic,
-                loads,
-                sim,
-                warm_start,
-            }
-        })
+        .prop_map(
+            |(topos, mut routings, traffic, loads, sim, flow, warm_start)| {
+                // Loads on a 0.025 grid: exactly representable, in [0, 1].
+                let loads: Vec<f64> = loads.into_iter().map(|l| l as f64 * 0.025).collect();
+                let backend = if flow { Backend::Flow } else { Backend::Cycle };
+                if backend == Backend::Flow {
+                    // Keep generated flow sweeps expressible: expand()
+                    // rejects per-flit adaptive ECMP and the val3
+                    // ablation under the flow backend (by design — a
+                    // separate test pins that), so substitute their
+                    // nearest expressible kin here.
+                    for r in &mut routings {
+                        match r {
+                            RoutingSpec::Ecmp => *r = RoutingSpec::Min,
+                            RoutingSpec::Valiant { cap3: true } => {
+                                *r = RoutingSpec::Valiant { cap3: false }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                SweepPlan {
+                    topos,
+                    routings,
+                    traffic,
+                    loads,
+                    sim,
+                    backend,
+                    warm_start,
+                }
+            },
+        )
 }
 
 fn any_plan() -> impl Strategy<Value = ExperimentPlan> {

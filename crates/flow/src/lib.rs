@@ -1,15 +1,40 @@
-//! # sf-flow — analytic flow-level model
+//! # sf-flow — flow-level simulation backend
 //!
-//! Closed-form and matrix-based analyses that complement the cycle-level
-//! simulator for large networks:
+//! A full simulation tier that complements the cycle-level engine for
+//! large networks:
 //!
 //! * endpoint-weighted **average hop counts** under uniform traffic with
 //!   minimal routing (Fig 1);
 //! * **channel loads** under minimal ECMP routing for an arbitrary
 //!   traffic matrix, and the implied saturation-throughput bound
 //!   (1 / max channel load);
+//! * **routing lowerings** ([`min_loads`], [`valiant_loads`],
+//!   [`ugal_mix`], [`fatpaths_loads`]) that reduce the same
+//!   `RoutingSpec` grammar the cycle engine uses to per-channel loads
+//!   and — on small networks — per-flow path sets;
+//! * an exact **max-min fair-share solver** ([`max_min_rates`],
+//!   progressive filling) and a fluid clamp for at-scale runs, both
+//!   reached through [`evaluate`];
 //! * the paper's **balanced-concentration** algebra of §II-B2
 //!   (`l = (2Nr − k' − 2)p²/k'`, `p ≈ ⌈k'/2⌉`).
+//!
+//! The `slimfly` facade exposes all of this as `backend = "flow"` in
+//! experiment plans; see the README's "Backends" section for when to
+//! trust which tier.
+
+pub mod index;
+pub mod model;
+pub mod solve;
+
+pub use index::EdgeIndex;
+pub use model::{
+    fatpaths_loads, min_loads, min_loads_dense, ugal_mix, valiant_loads, Demand, FlowError,
+    RoutingLoads,
+};
+pub use solve::{
+    average_flowsets, evaluate, max_min_rates, min_flowset, mix_flowsets, valiant_flowset, Flow,
+    FlowPoint, FlowSet, SolveResult, EXACT_MAX_ROUTERS,
+};
 
 use rayon::prelude::*;
 use sf_graph::metrics;
@@ -98,18 +123,17 @@ where
     let g = &net.graph;
     let nr = g.num_vertices();
     let edges = g.edge_list();
-    // Directed edge index lookup.
-    let eidx = |u: u32, v: u32| -> usize {
-        let (a, b, dir) = if u < v { (u, v, 0) } else { (v, u, 1) };
-        let pos = edges.binary_search(&(a, b)).expect("edge exists");
-        2 * pos + dir
-    };
+    // Prebuilt CSR directed-edge index: the hot loop below addresses
+    // the channel u→v as base(u) + j (j = v's position in u's sorted
+    // neighbor list) with no per-hop search at all.
+    let idx = EdgeIndex::new(g);
+    let nc = idx.num_channels();
 
     // Process per destination: propagate flow backward from far to near.
     let partial: Vec<Vec<f64>> = (0..nr as u32)
         .into_par_iter()
         .map(|d| {
-            let mut load = vec![0.0f64; 2 * edges.len()];
+            let mut load = vec![0.0f64; nc];
             let dist = metrics::bfs_distances(g, d);
             // inflow[u]: traffic at router u destined to d (own demand +
             // transit), processed in decreasing distance order.
@@ -126,27 +150,39 @@ where
                     continue;
                 }
                 let du = dist[u as usize];
-                let next: Vec<u32> = g
-                    .neighbors(u)
-                    .iter()
-                    .copied()
-                    .filter(|&v| dist[v as usize] + 1 == du)
-                    .collect();
-                let share = f / next.len() as f64;
-                for v in next {
-                    load[eidx(u, v)] += share;
-                    inflow[v as usize] += share;
+                let nbrs = g.neighbors(u);
+                let mut n_min = 0usize;
+                for &v in nbrs {
+                    if dist[v as usize] + 1 == du {
+                        n_min += 1;
+                    }
+                }
+                let share = f / n_min as f64;
+                let ubase = idx.base(u);
+                for (j, &v) in nbrs.iter().enumerate() {
+                    if dist[v as usize] + 1 == du {
+                        load[(ubase + j as u32) as usize] += share;
+                        inflow[v as usize] += share;
+                    }
                 }
             }
             load
         })
         .collect();
 
-    let mut load = vec![0.0f64; 2 * edges.len()];
+    let mut csr = vec![0.0f64; nc];
     for part in partial {
-        for (a, b) in load.iter_mut().zip(part) {
+        for (a, b) in csr.iter_mut().zip(part) {
             *a += b;
         }
+    }
+    // Pure permutation copy from CSR ids into the canonical 2e + dir
+    // layout: every slot receives exactly the value the old per-hop
+    // binary-search accumulation produced, bit for bit.
+    let slots = idx.canonical_slots(&edges);
+    let mut load = vec![0.0f64; nc];
+    for (c, &slot) in slots.iter().enumerate() {
+        load[slot as usize] = csr[c];
     }
     ChannelLoads { edges, load }
 }

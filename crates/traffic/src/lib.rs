@@ -566,6 +566,72 @@ impl TrafficPattern {
             Some(d)
         }
     }
+
+    /// The exact destination distribution [`TrafficPattern::dest`]
+    /// samples from, as data — the input the fluid/flow-level model
+    /// needs. Weights sum to at most 1; mass lost to self-mapped or
+    /// out-of-range destinations (the cases where `dest` returns
+    /// `None`) is simply absent, mirroring the injection process.
+    pub fn dest_mix(&self, src: u32) -> DestMix {
+        if !self.is_active(src) {
+            return DestMix::Inactive;
+        }
+        let b = self.n_active.trailing_zeros();
+        let keep = |d: u32| d != src && d < self.n_total;
+        match self.kind {
+            Kind::Uniform => {
+                if self.n_total < 2 {
+                    DestMix::Inactive
+                } else {
+                    DestMix::Uniform
+                }
+            }
+            Kind::Shuffle => {
+                let d = ((src << 1) | (src >> (b - 1))) & (self.n_active - 1);
+                DestMix::Pairs(if keep(d) { vec![(d, 1.0)] } else { Vec::new() })
+            }
+            Kind::BitReversal => {
+                let mut d = 0u32;
+                for i in 0..b {
+                    if src & (1 << i) != 0 {
+                        d |= 1 << (b - 1 - i);
+                    }
+                }
+                DestMix::Pairs(if keep(d) { vec![(d, 1.0)] } else { Vec::new() })
+            }
+            Kind::BitComplement => {
+                let d = !src & (self.n_active - 1);
+                DestMix::Pairs(if keep(d) { vec![(d, 1.0)] } else { Vec::new() })
+            }
+            Kind::Shift => {
+                let half = self.n_active / 2;
+                let low = src % half;
+                let mut pairs = Vec::new();
+                for d in [low + half, low] {
+                    if keep(d) {
+                        pairs.push((d, 0.5));
+                    }
+                }
+                DestMix::Pairs(pairs)
+            }
+            Kind::Permutation => {
+                let d = self.perm.as_ref().unwrap()[src as usize];
+                DestMix::Pairs(if keep(d) { vec![(d, 1.0)] } else { Vec::new() })
+            }
+        }
+    }
+}
+
+/// The destination distribution of one source endpoint, from
+/// [`TrafficPattern::dest_mix`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DestMix {
+    /// The source never injects.
+    Inactive,
+    /// Uniform over all other endpoints (weight `1/(N−1)` each).
+    Uniform,
+    /// Explicit `(destination, weight)` pairs; weights sum to ≤ 1.
+    Pairs(Vec<(u32, f64)>),
 }
 
 #[cfg(test)]

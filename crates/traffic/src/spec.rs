@@ -103,6 +103,18 @@ impl TrafficSpec {
         net: &Network,
         tables: &RoutingTables,
     ) -> Result<TrafficPattern, TrafficError> {
+        self.build_with(net, || tables)
+    }
+
+    /// Like [`TrafficSpec::build`], but takes the routing tables lazily:
+    /// only worst-case patterns force the closure. Large flow-model runs
+    /// use this to instantiate uniform/bit-permutation traffic without
+    /// ever paying for an all-pairs distance matrix.
+    pub fn build_with<'a>(
+        &self,
+        net: &Network,
+        tables: impl FnOnce() -> &'a RoutingTables,
+    ) -> Result<TrafficPattern, TrafficError> {
         let n = net.num_endpoints() as u32;
         match self {
             TrafficSpec::Uniform => Ok(TrafficPattern::uniform(n)),
@@ -110,20 +122,25 @@ impl TrafficSpec {
             TrafficSpec::BitReversal => Ok(TrafficPattern::bit_reversal(n)),
             TrafficSpec::BitComplement => Ok(TrafficPattern::bit_complement(n)),
             TrafficSpec::Shift => Ok(TrafficPattern::shift(n)),
-            TrafficSpec::WorstCase => match net.kind {
-                TopologyKind::SlimFly { .. } => Ok(TrafficPattern::worst_case_slimfly(net, tables)),
-                TopologyKind::Dragonfly { .. } => TrafficPattern::worst_case_dragonfly(net),
-                TopologyKind::FatTree3 { .. } => TrafficPattern::worst_case_fattree(net),
-                TopologyKind::Torus { .. } => TrafficPattern::worst_case_torus(net),
-                TopologyKind::FlattenedButterfly { .. } => TrafficPattern::worst_case_fbf(net),
-                TopologyKind::Hypercube { .. } => TrafficPattern::worst_case_hypercube(net),
-                TopologyKind::LongHop { .. } => TrafficPattern::worst_case_longhop(net, tables),
-                TopologyKind::RandomDln { .. } => TrafficPattern::worst_case_dln(net, tables),
-                TopologyKind::Bdf { .. } => TrafficPattern::worst_case_bdf(net, tables),
-                _ => Err(TrafficError::UnsupportedWorstCase {
-                    topology: net.name.clone(),
-                }),
-            },
+            TrafficSpec::WorstCase => {
+                let tables = tables();
+                match net.kind {
+                    TopologyKind::SlimFly { .. } => {
+                        Ok(TrafficPattern::worst_case_slimfly(net, tables))
+                    }
+                    TopologyKind::Dragonfly { .. } => TrafficPattern::worst_case_dragonfly(net),
+                    TopologyKind::FatTree3 { .. } => TrafficPattern::worst_case_fattree(net),
+                    TopologyKind::Torus { .. } => TrafficPattern::worst_case_torus(net),
+                    TopologyKind::FlattenedButterfly { .. } => TrafficPattern::worst_case_fbf(net),
+                    TopologyKind::Hypercube { .. } => TrafficPattern::worst_case_hypercube(net),
+                    TopologyKind::LongHop { .. } => TrafficPattern::worst_case_longhop(net, tables),
+                    TopologyKind::RandomDln { .. } => TrafficPattern::worst_case_dln(net, tables),
+                    TopologyKind::Bdf { .. } => TrafficPattern::worst_case_bdf(net, tables),
+                    _ => Err(TrafficError::UnsupportedWorstCase {
+                        topology: net.name.clone(),
+                    }),
+                }
+            }
         }
     }
 }

@@ -55,7 +55,7 @@ fn records_serialize_to_csv_and_json() {
     let mut csv = Vec::new();
     write_csv(&records, &mut csv).unwrap();
     let csv = String::from_utf8(csv).unwrap();
-    assert!(csv.starts_with("topology,spec,routing,traffic,packet_size,offered"));
+    assert!(csv.starts_with("topology,spec,routing,traffic,backend,packet_size,offered"));
     assert!(csv.contains("SF(q=5,p=4)"));
 
     let mut json = Vec::new();

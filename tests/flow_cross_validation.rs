@@ -1,0 +1,70 @@
+//! Cross-validation of the two evaluation tiers: the flow solver's
+//! max-min saturation bound against the cycle engine's measured
+//! accepted-throughput knee, on the same Hoffman–Singleton Slim Fly
+//! grid (`figures/flow_compare.toml`) for MIN, VAL and UGAL.
+//!
+//! The fluid model ignores queueing, head-of-line blocking and
+//! allocation conflicts, so its bound is an *upper* envelope of what
+//! the flit engine delivers — the knee must never exceed it, and on
+//! this topology it lands within 50% of it. Measured ratios
+//! (flow bound / cycle knee) pinned by the golden report
+//! `tests/golden/report_flow_compare.md`: MIN 1.27, VAL 1.17,
+//! UGAL-L 1.38. Both backends are deterministic, so drift here means
+//! a real model change, not noise.
+
+use slimfly::plan::ExperimentPlan;
+use slimfly::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Max accepted throughput per (routing, backend) over the load sweep.
+fn knees(records: &[Record]) -> BTreeMap<(String, String), f64> {
+    let mut knee: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for r in records {
+        let e = knee
+            .entry((r.routing.clone(), r.backend.clone()))
+            .or_insert(0.0);
+        if r.accepted > *e {
+            *e = r.accepted;
+        }
+    }
+    knee
+}
+
+#[test]
+fn flow_saturation_bound_brackets_cycle_knee() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let plan = ExperimentPlan::from_path(&root.join("figures/flow_compare.toml")).unwrap();
+    let mut set = plan.expand().unwrap();
+    let mut sink = MemorySink::new();
+    Scheduler::new(1).run(&mut set, &mut sink).unwrap();
+    let knee = knees(sink.records());
+
+    let of = |routing: &str, backend: &str| -> f64 {
+        *knee
+            .get(&(routing.to_string(), backend.to_string()))
+            .unwrap_or_else(|| panic!("no {backend} records for {routing}"))
+    };
+
+    for routing in ["MIN", "VAL", "UGAL-L"] {
+        let cycle = of(routing, "cycle");
+        let flow = of(routing, "flow");
+        assert!(
+            flow >= cycle * 0.98,
+            "{routing}: flow bound {flow:.3} fell below the cycle knee {cycle:.3} — \
+             the fluid model is an upper envelope and must not undercut the flit engine"
+        );
+        assert!(
+            flow <= cycle * 1.5,
+            "{routing}: flow bound {flow:.3} exceeds the cycle knee {cycle:.3} by more \
+             than the documented 50% tolerance (measured ratios: MIN 1.27, VAL 1.17, \
+             UGAL-L 1.38)"
+        );
+    }
+
+    // The tiers must also agree on the routing *ordering*: Valiant halves
+    // uniform throughput by doubling path length, so VAL sits below MIN in
+    // both models.
+    assert!(of("VAL", "cycle") < of("MIN", "cycle"));
+    assert!(of("VAL", "flow") < of("MIN", "flow"));
+}

@@ -35,3 +35,34 @@ fn report_matches_golden_file() {
          regenerate with SF_BLESS=1 cargo test --test report_golden"
     );
 }
+
+/// The flow-vs-cycle comparison report: `figures/flow_compare.toml`
+/// runs the same sf:q=5 grid through both backends, and the rendered
+/// report — per-backend latency/throughput sections plus the "Flow vs
+/// cycle saturation" table — must match the golden file byte for
+/// byte. The cycle engine is seeded and the flow solver is
+/// deterministic, so the table's knee/bound ratios are stable; this
+/// is the pinned form of the cross-validation EXPERIMENTS.md shows.
+#[test]
+fn flow_compare_report_matches_golden_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let plan = ExperimentPlan::from_path(&root.join("figures/flow_compare.toml")).unwrap();
+    let mut set = plan.expand().unwrap();
+    let mut sink = MemorySink::new();
+    Scheduler::new(1).run(&mut set, &mut sink).unwrap();
+    let got = render_plan_report(&plan, sink.records());
+
+    let golden = root.join("tests/golden/report_flow_compare.md");
+    if std::env::var_os("SF_BLESS").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &got).unwrap();
+        return;
+    }
+    let want =
+        std::fs::read_to_string(&golden).expect("golden file missing — regenerate with SF_BLESS=1");
+    assert_eq!(
+        got, want,
+        "report drifted from tests/golden/report_flow_compare.md; if intentional, \
+         regenerate with SF_BLESS=1 cargo test --test report_golden"
+    );
+}
