@@ -6,6 +6,7 @@
 //!                 [--format csv|jsonl] [--report PATH]
 //!                 [--check-builder] [--quiet]`
 //!   `sf-bench validate <file>...`
+//!   `sf-bench verify <file>... [--quiet]`
 //!
 //! `run` parses an [`ExperimentPlan`], expands it to a deterministic
 //! job set and executes it on the work-stealing scheduler, streaming
@@ -19,6 +20,16 @@
 //!
 //! `validate` parses and expands each file without running anything
 //! (CI does this for every checked-in `figures/*.toml`).
+//!
+//! `verify` goes one tier further: for every distinct (topology,
+//! routing, VC budget, packet size) combination a cycle-backend job
+//! would exercise, it builds the wormhole-aware channel dependency
+//! graph under the engine's exact VC-allocation arithmetic and
+//! certifies deadlock freedom and routing totality, printing one
+//! certificate line per combination. A proven deadlock fails the run
+//! with the offending channel cycle rendered in the error. `run`
+//! performs the same pass automatically before simulating. CI verifies
+//! every checked-in `figures/*.toml`.
 
 use sf_bench::{print_raw_line, run_cli, StdoutCsvSink};
 use slimfly::plan::ExperimentPlan;
@@ -31,8 +42,9 @@ fn main() {
     run_cli(|args| match args.positional(0) {
         Some("run") => cmd_run(args),
         Some("validate") => cmd_validate(args),
+        Some("verify") => cmd_verify(args),
         _ => Err(SfError::Cli(
-            "usage: sf-bench <run|validate> <file.toml|file.json> ...".into(),
+            "usage: sf-bench <run|validate|verify> <file.toml|file.json> ...".into(),
         )),
     })
 }
@@ -56,6 +68,22 @@ fn cmd_run(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
 
     let plan = ExperimentPlan::from_path(Path::new(&file))?;
     let mut set = plan.expand()?;
+
+    // Static verification gate: certify every cycle-backend combo
+    // deadlock-free and total before burning cycles on it.
+    let certs = set.verify()?;
+    if !quiet && !certs.is_empty() {
+        let warn = certs.iter().filter(|c| !c.certified()).count();
+        eprintln!(
+            "sf-bench: verified {} routing/VC combination(s) deadlock-free{}",
+            certs.len(),
+            if warn > 0 {
+                format!(" ({warn} unchecked — see `sf-bench verify {file}`)")
+            } else {
+                String::new()
+            }
+        );
+    }
 
     // Tee over borrowed sinks: stdout stays readable afterwards (it
     // collects the records for --report/--check-builder).
@@ -149,5 +177,47 @@ fn cmd_validate(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
     if seen == 0 {
         return Err(SfError::Cli("validate: no experiment files given".into()));
     }
+    Ok(())
+}
+
+fn cmd_verify(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
+    let quiet = args.flag("quiet");
+    let mut idx = 1;
+    let mut seen = 0;
+    let mut combos = 0;
+    let mut unchecked = 0;
+    while let Some(file) = args.positional(idx) {
+        let plan = ExperimentPlan::from_path(Path::new(file))?;
+        let mut set = plan.expand()?;
+        let certs = set.verify()?;
+        for c in &certs {
+            if !c.certified() {
+                unchecked += 1;
+            }
+            if !quiet {
+                print_raw_line(&format!("{file}: {c}"));
+            }
+        }
+        print_raw_line(&format!(
+            "{file}: VERIFIED — {} combination(s) over {} topologies ({} jobs)",
+            certs.len(),
+            set.topos().len(),
+            set.jobs().len()
+        ));
+        combos += certs.len();
+        idx += 1;
+        seen += 1;
+    }
+    if seen == 0 {
+        return Err(SfError::Cli("verify: no experiment files given".into()));
+    }
+    eprintln!(
+        "sf-bench verify: {seen} file(s), {combos} combination(s) certified{}",
+        if unchecked > 0 {
+            format!(", {unchecked} unchecked (too large for CDG construction)")
+        } else {
+            String::new()
+        }
+    );
     Ok(())
 }

@@ -1,19 +1,25 @@
 //! §IV-D: deadlock freedom — virtual channels / layers required.
 //!
-//! 1. Verifies the hop-index VC scheme: 2 VCs suffice for minimal
-//!    routing on diameter-2 SF, 4 VCs for ≤4-hop Valiant paths, and the
-//!    resulting channel dependency graphs are acyclic.
-//! 2. Runs the DFSSSP-style greedy layered VC assignment on SF vs
-//!    random DLN networks — the paper reports 3 VCs for SF (OFED
-//!    DFSSSP) vs 8–15 VLs for DLN.
+//! A thin CLI over `sf_verify::vc_requirements` (the same
+//! implementation the EXPERIMENTS.md "Static verification" section
+//! renders from):
 //!
-//! Usage: `vc_count [--q 5] [--dln-routers 170]`
-//! Output: CSV `network,routers,scheme,vcs,acyclic`.
+//! 1. The hop-index VC scheme: 2 VCs suffice for minimal routing on
+//!    diameter-2 SF, and the resulting channel dependency graph is
+//!    acyclic.
+//! 2. The *wormhole-aware* minimum: the smallest VC budget whose CDG
+//!    under the engine's exact allocation arithmetic (base slack +
+//!    per-hop clamp) stays acyclic.
+//! 3. The DFSSSP-style greedy layered VC assignment on SF vs random
+//!    DLN networks — the paper reports ~3 VCs for SF (OFED DFSSSP) vs
+//!    8–15 VLs for DLN.
+//!
+//! Usage: `vc_count [--q 5] [--dln-routers 170] [--markdown]`
+//! Output: CSV `network,routers,scheme,vcs,acyclic`, or the
+//! EXPERIMENTS.md markdown table with `--markdown`.
 
-use sf_bench::{print_csv_row, run_cli, BENCH_SEED};
-use sf_routing::deadlock::{
-    all_pairs_min_paths, hop_index_is_deadlock_free, layered_vc_count, vcs_required,
-};
+use sf_bench::{print_csv_row, print_raw_line, run_cli, BENCH_SEED};
+use sf_verify::{render_vc_markdown, vc_requirements, VcRow};
 use slimfly::prelude::*;
 
 fn main() {
@@ -23,14 +29,7 @@ fn main() {
         // paper's DLN-2-y networks are sparse (y = 2 shortcuts, degree
         // 4) — that sparsity is what drives their 8–15 VL requirement.
         let dln_nr: usize = args.value("dln-routers", 170)?;
-
-        print_csv_row(&[
-            "network".into(),
-            "routers".into(),
-            "scheme".into(),
-            "vcs".into(),
-            "acyclic".into(),
-        ]);
+        let markdown = args.flag("markdown");
 
         let specs = [
             TopologySpec::slimfly(q),
@@ -40,21 +39,51 @@ fn main() {
                 seed: BENCH_SEED,
             },
         ];
+        let mut rows = Vec::new();
         for topo in specs {
             let net = topo.build()?;
-            let paths = all_pairs_min_paths(&net.graph, BENCH_SEED);
+            let tables = RoutingTables::new(&net.graph);
+            rows.push(VcRow {
+                network: net.name.clone(),
+                routers: net.num_routers(),
+                req: vc_requirements(&net.graph, &tables, BENCH_SEED),
+            });
+        }
+
+        if markdown {
+            for line in render_vc_markdown(&rows).lines() {
+                print_raw_line(line);
+            }
+            return Ok(());
+        }
+
+        print_csv_row(&[
+            "network".into(),
+            "routers".into(),
+            "scheme".into(),
+            "vcs".into(),
+            "acyclic".into(),
+        ]);
+        for r in &rows {
             print_csv_row(&[
-                net.name.clone(),
-                net.num_routers().to_string(),
+                r.network.clone(),
+                r.routers.to_string(),
                 "hop-index".into(),
-                vcs_required(&paths).to_string(),
-                hop_index_is_deadlock_free(&paths).to_string(),
+                r.req.hop_index.to_string(),
+                r.req.hop_index_acyclic.to_string(),
             ]);
             print_csv_row(&[
-                net.name.clone(),
-                net.num_routers().to_string(),
+                r.network.clone(),
+                r.routers.to_string(),
+                "wormhole-min".into(),
+                r.req.wormhole_min.to_string(),
+                "true".into(),
+            ]);
+            print_csv_row(&[
+                r.network.clone(),
+                r.routers.to_string(),
                 "layered(DFSSSP-style)".into(),
-                layered_vc_count(&paths).to_string(),
+                r.req.layered.to_string(),
                 "true".into(),
             ]);
         }

@@ -10,6 +10,7 @@ use sf_flow::FlowError;
 use sf_routing::RoutingError;
 use sf_topo::slimfly::SlimFlyError;
 use sf_traffic::TrafficError;
+use sf_verify::VerifyError;
 use std::fmt;
 
 /// Any error produced by the `slimfly` experiment layer.
@@ -39,6 +40,10 @@ pub enum SfError {
     /// The flow-level backend cannot express the requested combination
     /// (e.g. per-flit adaptive ANCA routing) or found demand unroutable.
     Flow(FlowError),
+    /// Static verification rejected a configuration: a proven wormhole
+    /// deadlock (with cycle witness), an unroutable pair, or a
+    /// spec-level screen (e.g. Valiant detours on a single VC).
+    Verify(VerifyError),
     /// The experiment itself is ill-formed (e.g. an offered load outside
     /// [0, 1]).
     Experiment(String),
@@ -65,6 +70,7 @@ impl fmt::Display for SfError {
             SfError::Routing(e) => write!(f, "routing error: {e}"),
             SfError::Traffic(e) => write!(f, "traffic pattern error: {e}"),
             SfError::Flow(e) => write!(f, "flow backend error: {e}"),
+            SfError::Verify(e) => write!(f, "static verification failed: {e}"),
             SfError::Experiment(msg) => write!(f, "ill-formed experiment: {msg}"),
             SfError::Cli(msg) => write!(f, "bad command line: {msg}"),
             SfError::Plan(msg) => write!(f, "bad experiment file: {msg}"),
@@ -80,6 +86,7 @@ impl std::error::Error for SfError {
             SfError::Routing(e) => Some(e),
             SfError::Traffic(e) => Some(e),
             SfError::Flow(e) => Some(e),
+            SfError::Verify(e) => Some(e),
             SfError::Io(e) => Some(e),
             _ => None,
         }
@@ -107,6 +114,12 @@ impl From<TrafficError> for SfError {
 impl From<FlowError> for SfError {
     fn from(e: FlowError) -> Self {
         SfError::Flow(e)
+    }
+}
+
+impl From<VerifyError> for SfError {
+    fn from(e: VerifyError) -> Self {
+        SfError::Verify(e)
     }
 }
 

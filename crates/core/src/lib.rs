@@ -61,8 +61,9 @@
 //! | [`arith`] | `sf-arith` | finite fields GF(p^n) |
 //! | [`graph`] | `sf-graph` | graph substrate, metrics, partitioning, failures |
 //! | [`topo`] | `sf-topo` | SF MMS + all comparison topologies |
-//! | [`routing`] | `sf-routing` | MIN/VAL/UGAL paths, deadlock freedom |
+//! | [`routing`] | `sf-routing` | MIN/VAL/UGAL path generation and routers |
 //! | [`sim`] | `sf-sim` | cycle-based flit-level simulator |
+//! | [`verify`] | `sf-verify` | static deadlock certificates, VC counts, totality |
 //! | [`traffic`] | `sf-traffic` | uniform/permutation/worst-case patterns |
 //! | [`flow`] | `sf-flow` | flow-level backend: max-min solver, saturation bounds |
 //! | [`cost`] | `sf-cost` | physical layout, cost & power models |
@@ -89,6 +90,7 @@ pub use sf_routing as routing;
 pub use sf_sim as sim;
 pub use sf_topo as topo;
 pub use sf_traffic as traffic;
+pub use sf_verify as verify;
 
 pub mod error;
 pub mod expansion;

@@ -391,6 +391,15 @@ impl ExperimentPlan {
                     routing.validate()?;
                     if sweep.backend == Backend::Flow {
                         flow_lowering_exists(routing)?;
+                    } else {
+                        // Topology-independent deadlock screen: some
+                        // (routing, VC budget) combinations are proven
+                        // deadlocks on *every* topology (e.g. Valiant
+                        // detours on one VC reverse a link at the
+                        // intermediate). Reject them before any cycle
+                        // is simulated; the full per-topology CDG pass
+                        // runs in [`JobSet::verify`].
+                        sf_verify::spec_screen(routing, sweep.sim.num_vcs)?;
                     }
                     let chains: Vec<Vec<f64>> = if sweep.warm_start {
                         vec![sweep.loads.clone()]
@@ -991,6 +1000,43 @@ impl JobSet {
     /// The built context of a job (panics if not [`prepare`](Self::prepare)d).
     pub fn ctx(&self, job: &Job) -> &JobCtx {
         &self.ctxs[job.topo]
+    }
+
+    /// Statically verifies every distinct (topology, routing, VC
+    /// budget, packet size) combination a cycle-backend job will
+    /// exercise: routing totality (every router pair reachable within
+    /// the scheme's hop bound) and wormhole deadlock freedom under the
+    /// engine's exact VC-allocation arithmetic. Returns one
+    /// [`sf_verify::ComboCertificate`] per combination, in job order;
+    /// fails with a typed [`SfError::Verify`] — including a rendered
+    /// cycle witness for proven deadlocks — before any cycle is
+    /// simulated. Flow-backend jobs are skipped: they have no VC or
+    /// wormhole semantics (and flow-only plans never build tables).
+    pub fn verify(&mut self) -> Result<Vec<sf_verify::ComboCertificate>, SfError> {
+        self.prepare()?;
+        let mut seen: Vec<(usize, RoutingSpec, usize, usize)> = Vec::new();
+        let mut certs = Vec::new();
+        for job in &self.jobs {
+            if job.backend != Backend::Cycle {
+                continue;
+            }
+            let key = (job.topo, job.routing, job.sim.num_vcs, job.sim.packet_size);
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let ctx = &self.ctxs[job.topo];
+            let cert = sf_verify::verify_combo(
+                &self.topos[job.topo].to_string(),
+                &ctx.net.graph,
+                ctx.tables(),
+                &job.routing,
+                job.sim.num_vcs,
+                job.sim.packet_size,
+            )?;
+            certs.push(cert);
+        }
+        Ok(certs)
     }
 
     /// Executes one job, returning its records in load order. The set

@@ -103,6 +103,7 @@ impl Scheduler {
         sink: &mut dyn RecordSink,
     ) -> Result<ScheduleReport, SfError> {
         set.prepare()?;
+        // sf-lint: allow(wall-clock): operator-facing elapsed-time meter; never feeds records
         let t0 = Instant::now();
         let jobs = set.jobs();
         let workers = self.workers.min(jobs.len()).max(1);

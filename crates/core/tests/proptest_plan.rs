@@ -98,6 +98,22 @@ fn any_sweep() -> impl Strategy<Value = SweepPlan> {
                             _ => {}
                         }
                     }
+                } else if sim.num_vcs == 1 {
+                    // Keep generated cycle sweeps certifiable: the
+                    // static deadlock screen rejects detour routings on
+                    // a single VC on every topology (by design — the
+                    // verify tests pin that), so substitute minimal
+                    // routing here.
+                    for r in &mut routings {
+                        if matches!(
+                            r,
+                            RoutingSpec::Valiant { .. }
+                                | RoutingSpec::UgalL { .. }
+                                | RoutingSpec::UgalG { .. }
+                        ) {
+                            *r = RoutingSpec::Min;
+                        }
+                    }
                 }
                 SweepPlan {
                     topos,

@@ -1,0 +1,44 @@
+//! `sf-lint` — scan the determinism-bound crates and exit non-zero on
+//! findings. Usage: `sf-lint [repo-root]` (default: current dir).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let (findings, nfiles) = match sf_lint::scan_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sf-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if nfiles == 0 {
+        eprintln!(
+            "sf-lint: no sources found under {}/crates/{{{}}}/src — wrong root?",
+            root.display(),
+            sf_lint::DETERMINISM_CRATES.join(",")
+        );
+        return ExitCode::from(2);
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!(
+            "sf-lint: {} files across {} crates: clean",
+            nfiles,
+            sf_lint::DETERMINISM_CRATES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "sf-lint: {} finding(s) in {} files scanned",
+            findings.len(),
+            nfiles
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -53,7 +53,7 @@ pub fn edge_disjoint_paths(g: &Graph, s: u32, t: u32) -> usize {
         // Augment along the found path.
         let mut v = t;
         while v != s {
-            let u = parent[v as usize].unwrap();
+            let u = parent[v as usize].expect("v is on the BFS-augmenting path back to s");
             let (pos, dir) = eidx(u, v);
             cap[pos][dir] -= 1;
             cap[pos][1 - dir] += 1;

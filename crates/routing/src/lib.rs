@@ -15,13 +15,14 @@
 //! * [`tables::RoutingTables`] — all-pairs distance tables with
 //!   ECMP-aware minimal next-hop queries;
 //! * [`paths`] — the path generators the policies draw from (random
-//!   minimal paths, Valiant detours, UGAL candidate sets);
-//! * [`deadlock`] — virtual-channel assignment (hop-index scheme of
-//!   Gopal, §IV-D), channel-dependency-graph acyclicity checking, and a
-//!   DFSSSP-style layered VC assignment that reproduces the paper's
-//!   "SF needs ~3 VCs, random DLN needs 8–15 VLs" experiment.
+//!   minimal paths, Valiant detours, UGAL candidate sets).
+//!
+//! Deadlock analysis — VC assignment schemes, wormhole-aware channel
+//! dependency graphs, cycle witnesses, and routing-totality
+//! certificates — lives in the `sf-verify` crate, which rebuilds the
+//! dependency relation from the exact allocation arithmetic `sf-sim`
+//! exports.
 
-pub mod deadlock;
 pub mod diversity;
 pub mod paths;
 pub mod router;

@@ -353,8 +353,8 @@ struct Layer {
 /// candidate subgraph degrades too far. Deadlock freedom rides on the
 /// strictly increasing hop-index VC scheme exactly as Valiant detours
 /// do — the CDG of hop-indexed channels over all layers' paths is
-/// acyclic (validated in tests with
-/// [`crate::deadlock::ChannelDependencyGraph`]). That argument needs
+/// acyclic (validated by the `sf-verify` crate's
+/// `ChannelDependencyGraph`). That argument needs
 /// one VC per hop: like Valiant on deep topologies, simulating with
 /// `num_vcs <` [`FatPathsRouter::max_path_hops`] clamps trailing hops
 /// to the last VC and weakens the guarantee — on diameter-2 Slim Fly
@@ -514,7 +514,6 @@ impl Router for FatPathsRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::deadlock::{hop_index_is_deadlock_free, hop_index_vcs, ChannelDependencyGraph};
     use crate::paths::RouteAlgo;
     use rand::SeedableRng;
 
@@ -710,33 +709,6 @@ mod tests {
             .map(|w| fp.layer_for(42, w * FATPATHS_FLOWLET_CYCLES))
             .collect();
         assert!(visited.len() > 1, "flows re-balance between windows");
-    }
-
-    #[test]
-    fn fatpaths_hop_index_vcs_stay_deadlock_free() {
-        // The engine routes FatPaths packets with the hop-index VC
-        // scheme; the channel dependency graph over all layers' paths
-        // must stay acyclic (§IV-D validated via the CDG checker).
-        let (g, t) = sf5();
-        let fp = FatPathsRouter::build(&g, &t, 3, FATPATHS_SEED).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut cdg = ChannelDependencyGraph::new();
-        let mut all_paths = Vec::new();
-        for l in 0..fp.num_layers() {
-            let gen = PathGen::new(fp.layer_graph(l), fp.layer_tables(l));
-            for s in 0..g.num_vertices() as u32 {
-                for d in 0..g.num_vertices() as u32 {
-                    if s == d {
-                        continue;
-                    }
-                    let p = gen.min_path(s, d, &mut rng);
-                    cdg.add_path(&p, &hop_index_vcs(&p));
-                    all_paths.push(p);
-                }
-            }
-        }
-        assert!(cdg.is_acyclic(), "hop-index CDG over all layers");
-        assert!(hop_index_is_deadlock_free(&all_paths));
     }
 
     #[test]

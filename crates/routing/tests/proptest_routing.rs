@@ -1,10 +1,10 @@
 //! Property-based tests for routing: path validity, minimality, and
-//! deadlock-freedom invariants over random topologies and endpoints.
+//! distance-table invariants over random topologies and endpoints.
+//! (Deadlock-freedom properties live in `crates/verify/tests/`.)
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sf_routing::deadlock::{hop_index_is_deadlock_free, hop_index_vcs, ChannelDependencyGraph};
 use sf_routing::{PathGen, RoutingTables};
 use sf_topo::SlimFly;
 
@@ -86,65 +86,6 @@ proptest! {
     }
 
     #[test]
-    fn hop_index_always_deadlock_free(
-        q in prop::sample::select(&[5u32, 7][..]),
-        seeds in prop::collection::vec(0u64..500, 1..20),
-    ) {
-        // Any mixture of random minimal + Valiant paths is deadlock-free
-        // under the hop-index VC assignment.
-        let g = slimfly_graph(q);
-        let n = g.num_vertices() as u32;
-        let t = RoutingTables::new(&g);
-        let gen = PathGen::new(&g, &t);
-        let mut paths = Vec::new();
-        for seed in seeds {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let s = (seed % n as u64) as u32;
-            let d = ((seed * 31 + 7) % n as u64) as u32;
-            paths.push(gen.min_path(s, d, &mut rng));
-            paths.push(gen.valiant_path(s, d, false, &mut rng));
-        }
-        prop_assert!(hop_index_is_deadlock_free(&paths));
-    }
-
-    #[test]
-    fn single_vc_detects_ring_cycles(len in 3u32..12) {
-        // Paths chasing each other around a ring on one VC must be
-        // reported cyclic; hop-index must clear it.
-        let paths: Vec<Vec<u32>> = (0..len)
-            .map(|i| vec![i, (i + 1) % len, (i + 2) % len])
-            .collect();
-        let mut cdg = ChannelDependencyGraph::new();
-        for p in &paths {
-            cdg.add_path(p, &[0, 0]);
-        }
-        prop_assert!(!cdg.is_acyclic());
-        prop_assert!(hop_index_is_deadlock_free(&paths));
-    }
-
-    #[test]
-    fn try_add_path_rollback_preserves_acyclicity(len in 3u32..10) {
-        // After a rejected insertion the CDG stays acyclic and accepts
-        // non-conflicting paths again.
-        let mut cdg = ChannelDependencyGraph::new();
-        let ring: Vec<Vec<u32>> = (0..len)
-            .map(|i| vec![i, (i + 1) % len, (i + 2) % len])
-            .collect();
-        let mut rejected = 0;
-        for p in &ring {
-            if !cdg.try_add_path_acyclic(p, 0) {
-                rejected += 1;
-            }
-        }
-        prop_assert!(rejected >= 1, "the full ring cannot fit one layer");
-        prop_assert!(cdg.is_acyclic());
-        // A fresh disjoint path (vertex ids beyond the ring) must insert.
-        let far = vec![100, 101, 102];
-        prop_assert!(cdg.try_add_path_acyclic(&far, 0));
-        prop_assert!(cdg.is_acyclic());
-    }
-
-    #[test]
     fn distance_matrix_triangle_inequality(
         q in prop::sample::select(&[5u32, 7][..]),
         a_raw in 0u32..1000,
@@ -160,12 +101,4 @@ proptest! {
         prop_assert_eq!(t.distance(a, a), 0);
     }
 
-    #[test]
-    fn hop_index_vcs_strictly_increase(path_len in 2usize..8) {
-        let path: Vec<u32> = (0..path_len as u32).collect();
-        let vcs = hop_index_vcs(&path);
-        for w in vcs.windows(2) {
-            prop_assert!(w[1] == w[0] + 1);
-        }
-    }
 }

@@ -126,6 +126,18 @@
 //! `packet_size = 1`: with single-flit packets every head is its own
 //! tail, no VC reservation outlives its grant, and the engine's curves
 //! match the pre-wormhole engine to the last bit.
+//!
+//! The contract is also *statically linted*: the `sf-lint` binary
+//! (`cargo run --bin sf-lint`) scans this crate — along with
+//! `sf-routing`, `sf-flow`, `sf-core` and `sf-verify` — and rejects
+//! unordered hash-container use (`HashMap`/`HashSet` iteration order
+//! would leak into record streams), wall-clock reads
+//! (`Instant::now`/`SystemTime` inside simulation state), and bare
+//! `unwrap()` in library code. The VC-allocation semantics themselves
+//! are exported ([`vc_base_slack`], [`hop_vc`],
+//! [`ADAPTIVE_HOP_BUDGET`]) so the `sf-verify` crate builds its
+//! wormhole-aware channel dependency graphs from the *same* arithmetic
+//! the engine executes.
 
 use crate::stats::LatencyStats;
 use rand::rngs::StdRng;
@@ -180,6 +192,37 @@ pub struct SimConfig {
 /// are 16-bit and message sizes beyond this are unrealistic for the
 /// router buffers modeled here.
 pub const MAX_PACKET_SIZE: usize = 4096;
+
+/// Hop budget assumed for adaptively-routed packets (no precomputed
+/// path): UGAL / ECMP detours are at most `2 × diameter`, and every
+/// topology in the suite has diameter ≤ 2, so 4 hops bound the VC
+/// ladder. `sf-verify` mirrors this constant when it reconstructs the
+/// engine's VC assignment statically.
+pub const ADAPTIVE_HOP_BUDGET: u8 = 4;
+
+/// Slack available when choosing a packet's base VC: with `hops`
+/// remaining and `num_vcs` virtual channels, bases `0..=slack` all
+/// keep the per-hop ladder `vc_base + hop` within budget. Zero slack
+/// means the ladder may clamp at `num_vcs - 1` (see [`hop_vc`]).
+///
+/// This is the exact arithmetic of the engine's injection path;
+/// `sf-verify` builds its wormhole-aware channel dependency graphs
+/// from it rather than re-deriving the semantics.
+#[inline]
+pub fn vc_base_slack(num_vcs: usize, hops: usize) -> usize {
+    num_vcs.saturating_sub(hops.max(1))
+}
+
+/// The VC a packet with base `vc_base` uses on its `hop`-th hop
+/// (0-based): the ladder `vc_base + hop`, clamped to the top VC. The
+/// clamp is what makes under-budgeted configs statically dangerous —
+/// once two different hops share `num_vcs - 1`, the VC ordering
+/// argument for deadlock freedom no longer applies, and `sf-verify`
+/// falls back to explicit cycle detection.
+#[inline]
+pub fn hop_vc(num_vcs: usize, vc_base: u8, hop: usize) -> usize {
+    (vc_base as usize + hop).min(num_vcs - 1)
+}
 
 impl Default for SimConfig {
     fn default() -> Self {
@@ -306,7 +349,11 @@ impl LinkIndex {
         let mut rev = Vec::with_capacity(acc as usize);
         for r in 0..nr as u32 {
             for &v in g.neighbors(r) {
-                let back = g.neighbors(v).binary_search(&r).unwrap() as u32;
+                let back = g
+                    .neighbors(v)
+                    .binary_search(&r)
+                    .expect("graph edges are symmetric: reverse edge exists")
+                    as u32;
                 to.push(v);
                 to_port.push(back);
                 rev.push(link_base[v as usize] + back);
@@ -642,7 +689,10 @@ impl<'a> Simulator<'a> {
         let nvc = cfg.num_vcs;
         let vc_cap = (cfg.buf_per_port / nvc).max(1);
         let links = LinkIndex::new(net);
-        let nlinks = *links.link_base.last().unwrap() as usize;
+        let nlinks = *links
+            .link_base
+            .last()
+            .expect("link_base has nr + 1 entries") as usize;
 
         let mut port_base = Vec::with_capacity(nr + 1);
         let mut acc = 0u32;
@@ -736,7 +786,9 @@ impl<'a> Simulator<'a> {
     /// Pops the head of input-buffer slot `slot` of router `r`.
     #[inline]
     fn buf_pop(&mut self, r: u32, slot: usize) -> Flit {
-        let p = self.in_buf[slot].pop_front().unwrap();
+        let p = self.in_buf[slot]
+            .pop_front()
+            .expect("buf_pop is only called on slots the mask marks occupied");
         if self.in_buf[slot].is_empty() {
             self.buf_mask[slot / 64] &= !(1 << (slot % 64));
         }
@@ -919,7 +971,9 @@ impl<'a> Simulator<'a> {
                     }
                     continue;
                 }
-                let (gen_time, dst_ep) = self.src_q[e as usize].pop_front().unwrap();
+                let (gen_time, dst_ep) = self.src_q[e as usize]
+                    .pop_front()
+                    .expect("src_mask marks this endpoint's queue non-empty");
                 if self.src_q[e as usize].is_empty() && self.cfg.packet_size == 1 {
                     self.src_mask[e as usize / 64] &= !(1 << (e % 64));
                 }
@@ -929,11 +983,11 @@ impl<'a> Simulator<'a> {
                 // any base with base + h ≤ num_vcs (adaptive paths reserve
                 // the full diameter-bound budget).
                 let hops = if path_len == 0 {
-                    self.tables.distance(r, dst_r).min(4) as usize
+                    self.tables.distance(r, dst_r).min(ADAPTIVE_HOP_BUDGET) as usize
                 } else {
                     path_len as usize - 1
                 };
-                let slack = self.cfg.num_vcs.saturating_sub(hops.max(1));
+                let slack = vc_base_slack(self.cfg.num_vcs, hops);
                 let vc_base = if slack == 0 {
                     0
                 } else {
@@ -1082,7 +1136,7 @@ impl<'a> Simulator<'a> {
                         debug_assert!(head.is_head());
                         let nxt = self.next_hop(&head, r);
                         let l = self.links.link(r, nxt) as usize;
-                        let next_vc = (head.vc_base as usize + head.hop as usize).min(nvc - 1);
+                        let next_vc = hop_vc(nvc, head.vc_base, head.hop as usize);
                         (l, next_vc)
                     };
                     let j = l - self.links.link_base[r as usize] as usize;
@@ -1151,7 +1205,9 @@ impl<'a> Simulator<'a> {
         gather_segment(&self.staged_mask, 0, self.occ.len(), &mut scratch);
         for &l in &scratch {
             let l = l as usize;
-            let (pkt, vc) = self.staging[l].pop_front().unwrap();
+            let (pkt, vc) = self.staging[l]
+                .pop_front()
+                .expect("staged_mask marks this staging queue non-empty");
             if self.staging[l].is_empty() {
                 self.staged_mask[l / 64] &= !(1 << (l % 64));
             }
@@ -1524,7 +1580,11 @@ impl LoadSweep {
                 }
                 Some(s) => s.rearm(load, seed),
             }
-            out.push(sim.as_mut().unwrap().run_phase());
+            out.push(
+                sim.as_mut()
+                    .expect("sim is constructed on the first iteration")
+                    .run_phase(),
+            );
         }
         out
     }

@@ -31,5 +31,8 @@
 pub mod engine;
 pub mod stats;
 
-pub use engine::{LoadSweep, SimConfig, SimResult, Simulator, MAX_PACKET_SIZE};
+pub use engine::{
+    hop_vc, vc_base_slack, LoadSweep, SimConfig, SimResult, Simulator, ADAPTIVE_HOP_BUDGET,
+    MAX_PACKET_SIZE,
+};
 pub use stats::LatencyStats;

@@ -1,22 +1,17 @@
-//! Deadlock freedom: virtual-channel assignment and channel-dependency
-//! analysis (paper §IV-D).
-//!
-//! Three pieces:
+//! Virtual-channel assignment schemes and their deadlock analyses
+//! (paper §IV-D).
 //!
 //! 1. **Hop-index VC assignment** (Gopal's scheme as used by the paper):
 //!    hop `i` of an n-hop path uses VC `i`. With diameter-2 minimal
 //!    routing this needs 2 VCs; with ≤4-hop Valiant/UGAL paths, 4 VCs.
-//! 2. **Channel dependency graph (CDG)**: nodes are directed channels
-//!    `(u → v, vc)`; an edge connects consecutive channels of some path.
-//!    Dally & Seitz: routing is deadlock-free iff the CDG is acyclic.
-//! 3. **Layered VC assignment** (DFSSSP-flavoured): greedily assign each
+//! 2. **Layered VC assignment** (DFSSSP-flavoured): greedily assign each
 //!    *path* to the lowest virtual layer in which its channel
 //!    dependencies keep that layer's CDG acyclic — an offline stand-in
 //!    for OFED's DFSSSP, reproducing the paper's observed VC counts
 //!    (SF ≈ 3, DLN ≈ 8–15).
 
+use crate::cdg::ChannelDependencyGraph;
 use sf_graph::Graph;
-use std::collections::HashMap;
 
 /// The paper's hop-index VC assignment: hop `i` uses VC `i`.
 pub fn hop_index_vcs(path: &[u32]) -> Vec<u8> {
@@ -31,142 +26,6 @@ pub fn vcs_required(paths: &[Vec<u32>]) -> usize {
         .map(|p| p.len().saturating_sub(1))
         .max()
         .unwrap_or(0)
-}
-
-/// A channel dependency graph over directed channels tagged with VCs.
-#[derive(Default)]
-pub struct ChannelDependencyGraph {
-    /// Dense ids for (from, to, vc) channels.
-    ids: HashMap<(u32, u32, u8), u32>,
-    /// Adjacency: dependency edges between channel ids.
-    succ: Vec<Vec<u32>>,
-}
-
-impl ChannelDependencyGraph {
-    /// Creates an empty CDG.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn channel_id(&mut self, from: u32, to: u32, vc: u8) -> u32 {
-        let next = self.ids.len() as u32;
-        let id = *self.ids.entry((from, to, vc)).or_insert(next);
-        if id as usize >= self.succ.len() {
-            self.succ.resize(id as usize + 1, Vec::new());
-        }
-        id
-    }
-
-    /// Adds the dependencies induced by routing `path` with per-hop VCs
-    /// `vcs` (`vcs.len() == path.len() − 1`).
-    pub fn add_path(&mut self, path: &[u32], vcs: &[u8]) {
-        assert_eq!(vcs.len(), path.len().saturating_sub(1));
-        let mut prev: Option<u32> = None;
-        for (i, w) in path.windows(2).enumerate() {
-            let c = self.channel_id(w[0], w[1], vcs[i]);
-            if let Some(p) = prev {
-                if !self.succ[p as usize].contains(&c) {
-                    self.succ[p as usize].push(c);
-                }
-            }
-            prev = Some(c);
-        }
-    }
-
-    /// Number of distinct channels seen.
-    pub fn num_channels(&self) -> usize {
-        self.ids.len()
-    }
-
-    /// Attempts to add `path` (all hops on VC `vc`); if the addition
-    /// would create a cycle the graph is rolled back and `false` is
-    /// returned. Used by the incremental layered assignment.
-    pub fn try_add_path_acyclic(&mut self, path: &[u32], vc: u8) -> bool {
-        // Record sizes for rollback.
-        let ids_before = self.ids.len();
-        let mut touched: Vec<(u32, usize)> = Vec::new(); // (node, succ len before)
-        let mut prev: Option<u32> = None;
-        let mut new_edges: Vec<(u32, u32)> = Vec::new();
-        for w in path.windows(2) {
-            let c = self.channel_id(w[0], w[1], vc);
-            if let Some(p) = prev {
-                if !self.succ[p as usize].contains(&c) {
-                    touched.push((p, self.succ[p as usize].len()));
-                    self.succ[p as usize].push(c);
-                    new_edges.push((p, c));
-                }
-            }
-            prev = Some(c);
-        }
-        // Cycle exists iff some new edge (p → c) closes a path c ⇝ p.
-        let ok = new_edges.iter().all(|&(p, c)| !self.reaches(c, p));
-        if !ok {
-            // Roll back succ additions and any fresh channel ids.
-            for &(node, len) in touched.iter().rev() {
-                self.succ[node as usize].truncate(len);
-            }
-            if self.ids.len() > ids_before {
-                self.ids.retain(|_, &mut id| (id as usize) < ids_before);
-                self.succ.truncate(ids_before);
-            }
-        }
-        ok
-    }
-
-    /// DFS reachability from `from` to `to`.
-    fn reaches(&self, from: u32, to: u32) -> bool {
-        if from == to {
-            return true;
-        }
-        let mut seen = vec![false; self.succ.len()];
-        let mut stack = vec![from];
-        seen[from as usize] = true;
-        while let Some(v) = stack.pop() {
-            for &u in &self.succ[v as usize] {
-                if u == to {
-                    return true;
-                }
-                if !seen[u as usize] {
-                    seen[u as usize] = true;
-                    stack.push(u);
-                }
-            }
-        }
-        false
-    }
-
-    /// True iff the dependency graph is acyclic (⇒ deadlock-free).
-    pub fn is_acyclic(&self) -> bool {
-        // Iterative three-color DFS.
-        let n = self.succ.len();
-        let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
-        let mut stack: Vec<(u32, usize)> = Vec::new();
-        for start in 0..n as u32 {
-            if color[start as usize] != 0 {
-                continue;
-            }
-            color[start as usize] = 1;
-            stack.push((start, 0));
-            while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
-                if *idx < self.succ[v as usize].len() {
-                    let u = self.succ[v as usize][*idx];
-                    *idx += 1;
-                    match color[u as usize] {
-                        0 => {
-                            color[u as usize] = 1;
-                            stack.push((u, 0));
-                        }
-                        1 => return false, // back edge
-                        _ => {}
-                    }
-                } else {
-                    color[v as usize] = 2;
-                    stack.pop();
-                }
-            }
-        }
-        true
-    }
 }
 
 /// Checks that hop-index VC assignment makes a path set deadlock-free
@@ -214,10 +73,10 @@ pub fn layered_vc_count(paths: &[Vec<u32>]) -> usize {
 /// Convenience: all-pairs random minimal paths of a graph (one per
 /// ordered router pair), the workload for [`layered_vc_count`].
 pub fn all_pairs_min_paths(g: &Graph, seed: u64) -> Vec<Vec<u32>> {
-    use crate::paths::PathGen;
-    use crate::tables::RoutingTables;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sf_routing::paths::PathGen;
+    use sf_routing::tables::RoutingTables;
     let tables = RoutingTables::new(g);
     let gen = PathGen::new(g, &tables);
     let mut rng = StdRng::seed_from_u64(seed);

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example routing_comparison -- [q]`
 
 use slimfly::prelude::*;
-use slimfly::routing::deadlock::{
+use slimfly::verify::{
     all_pairs_min_paths, hop_index_is_deadlock_free, layered_vc_count, vcs_required,
 };
 

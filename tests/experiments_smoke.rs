@@ -83,7 +83,7 @@ fn e5_diameter_two() {
 /// E16 / §IV-D: 2 VCs for minimal SF routing, acyclic CDG.
 #[test]
 fn e16_vc_counts() {
-    use slimfly::routing::deadlock::*;
+    use slimfly::verify::*;
     let g = SlimFly::new(5).unwrap().router_graph();
     let paths = all_pairs_min_paths(&g, 5);
     assert_eq!(vcs_required(&paths), 2);

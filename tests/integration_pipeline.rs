@@ -20,10 +20,8 @@ fn full_pipeline_slimfly_q5() {
     // §IV: routing tables and deadlock-free minimal routing.
     let tables = RoutingTables::new(&net.graph);
     assert_eq!(tables.max_distance(), 2);
-    let paths = slimfly::routing::deadlock::all_pairs_min_paths(&net.graph, 9);
-    assert!(slimfly::routing::deadlock::hop_index_is_deadlock_free(
-        &paths
-    ));
+    let paths = slimfly::verify::all_pairs_min_paths(&net.graph, 9);
+    assert!(slimfly::verify::hop_index_is_deadlock_free(&paths));
 
     // §V: simulate uniform traffic at moderate load.
     let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);

@@ -1,0 +1,120 @@
+//! Plan-level integration tests for the static verification tier:
+//! `ExperimentPlan` → `JobSet::verify()` certificates, expansion-time
+//! deadlock screening, and proven-deadlock rejection with a rendered
+//! cycle witness — the same pass `sf-bench verify figures/*.toml` and
+//! `sf-bench run` execute before any cycle is simulated.
+
+use slimfly::plan::ExperimentPlan;
+use slimfly::verify::{DeadlockStatus, VerifyError};
+use slimfly::SfError;
+
+#[test]
+fn good_plan_certifies_every_combo() {
+    let plan = ExperimentPlan::from_toml_str(
+        "[figure]\nname = \"verify-good\"\n\
+         [[sweep]]\ntopo = \"sf:q=5\"\nrouting = [\"min\", \"val\", \"ugal-l:c=4\"]\n\
+         loads = [0.1]\n",
+    )
+    .unwrap();
+    let mut set = plan.expand().unwrap();
+    let certs = set.verify().unwrap();
+    assert_eq!(certs.len(), 3, "one certificate per routing");
+    for c in &certs {
+        assert!(c.certified(), "{c}");
+        assert_eq!(c.diameter, 2);
+        assert!(
+            matches!(c.status, DeadlockStatus::CdgAcyclic { clamped: false, .. }),
+            "diameter-2 SF at 4 VCs never clamps: {c}"
+        );
+    }
+    // The rendered certificate names the combo and the proof.
+    let line = certs[0].to_string();
+    assert!(
+        line.contains("sf:q=5") && line.contains("deadlock-free"),
+        "{line}"
+    );
+}
+
+#[test]
+fn single_vc_detour_plans_are_rejected_at_expansion() {
+    // Valiant on one VC deadlocks on every topology with ≥ 3 routers
+    // (the detour reverses a link at the intermediate) — the screen
+    // rejects the plan before any network is even built.
+    let plan = ExperimentPlan::from_toml_str(
+        "[figure]\nname = \"verify-1vc\"\n\
+         [[sweep]]\ntopo = \"sf:q=5\"\nrouting = [\"val\"]\nloads = [0.1]\n\
+         [sweep.sim]\nnum_vcs = 1\n",
+    )
+    .unwrap();
+    let err = plan
+        .expand()
+        .expect_err("1-VC Valiant must be screened out");
+    match err {
+        SfError::Verify(VerifyError::SpecDeadlock { num_vcs, .. }) => assert_eq!(num_vcs, 1),
+        other => panic!("expected SfError::Verify(SpecDeadlock), got {other}"),
+    }
+}
+
+#[test]
+fn under_budgeted_ring_plan_fails_verify_with_witness() {
+    // MIN on a large ring with one VC passes the topology-independent
+    // screen but is a proven wormhole deadlock once the CDG is built:
+    // verify() must fail with the offending channel cycle rendered.
+    let plan = ExperimentPlan::from_toml_str(
+        "[figure]\nname = \"verify-ring\"\n\
+         [[sweep]]\ntopo = \"torus:dims=16\"\nrouting = [\"min\"]\nloads = [0.1]\n\
+         [sweep.sim]\nnum_vcs = 1\n",
+    )
+    .unwrap();
+    let mut set = plan.expand().unwrap();
+    let err = set
+        .verify()
+        .expect_err("a 1-VC ring must fail verification");
+    let SfError::Verify(VerifyError::Deadlock {
+        ref witness,
+        num_vcs,
+        ..
+    }) = err
+    else {
+        panic!("expected SfError::Verify(Deadlock), got {err}");
+    };
+    assert_eq!(num_vcs, 1);
+    assert!(witness.len() >= 2);
+    assert_eq!(witness.first(), witness.last(), "witness is a closed chain");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("vc0") && msg.contains("→"),
+        "rendered error carries the channel cycle: {msg}"
+    );
+}
+
+#[test]
+fn flow_only_plans_verify_vacuously() {
+    // Flow jobs have no VC/wormhole semantics; verify() must skip them
+    // (and, per the pinned plan-layer behavior, never build tables).
+    let plan = ExperimentPlan::from_toml_str(
+        "[figure]\nname = \"verify-flow\"\n\
+         [[sweep]]\ntopo = \"sf:q=5\"\nbackend = \"flow\"\nrouting = [\"min\"]\n\
+         loads = [0.5]\n",
+    )
+    .unwrap();
+    let mut set = plan.expand().unwrap();
+    let certs = set.verify().unwrap();
+    assert!(certs.is_empty(), "flow jobs yield no certificates");
+}
+
+#[test]
+fn verified_plans_still_run() {
+    // End to end: a verified plan simulates normally afterwards.
+    let plan = ExperimentPlan::from_toml_str(
+        "[figure]\nname = \"verify-run\"\n\
+         [[sweep]]\ntopo = \"sf:q=5\"\nrouting = [\"min\"]\nloads = [0.1]\n\
+         [sweep.sim]\nwarmup = 100\nmeasure = 200\ndrain = 400\n",
+    )
+    .unwrap();
+    let mut set = plan.expand().unwrap();
+    assert_eq!(set.verify().unwrap().len(), 1);
+    let mut sink = slimfly::sink::MemorySink::new();
+    slimfly::Scheduler::new(1).run(&mut set, &mut sink).unwrap();
+    assert_eq!(sink.records().len(), 1);
+}
