@@ -30,6 +30,11 @@
 //! multi-flit path's cost is tracked alongside the classic engine on
 //! every run, including `--quick` in CI.
 //!
+//! A **fault section** re-times the same cells on a boot-degraded
+//! network (2% of cables killed by the seeded kill-set sampler) and
+//! appends a `{tag}-faults` entry (topo key `…,faults=0.02`), so the
+//! degraded-routing path's cost is tracked on every run too.
+//!
 //! A second section then times the **work-stealing scheduler** on the
 //! same pinned sweep — a heterogeneous job mix (low loads drain almost
 //! instantly, the 0.5 UGAL-G point dominates) — once with a single
@@ -250,7 +255,11 @@ fn main() {
         // (packets for size 1, flits otherwise — same unit as the
         // offered load only in the flit case by coincidence; the
         // column header says which).
-        let time_cells = |cfg: SimConfig| -> Result<Vec<Cell>, SfError> {
+        let time_cells = |net: &Network,
+                          tables: &RoutingTables,
+                          pattern: &TrafficPattern,
+                          cfg: SimConfig|
+         -> Result<Vec<Cell>, SfError> {
             let unit = if cfg.packet_size == 1 {
                 "packets"
             } else {
@@ -262,7 +271,7 @@ fn main() {
             let mut cells = Vec::new();
             for rspec in routings {
                 let parsed: RoutingSpec = rspec.parse()?;
-                let router = parsed.build(&net.graph, &tables)?;
+                let router = parsed.build(&net.graph, tables)?;
                 for &load in &loads {
                     let mut c = cfg;
                     c.seed = LoadSweep::seed_for_load(&cfg, load);
@@ -270,15 +279,9 @@ fn main() {
                     let mut res = None;
                     for _ in 0..repeat {
                         let t0 = Instant::now();
-                        let r = sf_sim::Simulator::new(
-                            &net,
-                            &tables,
-                            router.as_ref(),
-                            &pattern,
-                            load,
-                            c,
-                        )
-                        .run();
+                        let r =
+                            sf_sim::Simulator::new(net, tables, router.as_ref(), pattern, load, c)
+                                .run();
                         wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
                         res = Some(r);
                     }
@@ -309,7 +312,7 @@ fn main() {
             Ok(cells)
         };
 
-        let cells = time_cells(cfg)?;
+        let cells = time_cells(&net, &tables, &pattern, cfg)?;
         let total_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
         print_raw_line(&format!("total wall: {total_ms:.1} ms"));
 
@@ -322,12 +325,42 @@ fn main() {
         let mut pcfg = cfg;
         pcfg.packet_size = pkt_size;
         print_raw_line(&format!("packet_size={pkt_size} (wormhole path):"));
-        let pkt_cells = time_cells(pcfg)?;
+        let pkt_cells = time_cells(&net, &tables, &pattern, pcfg)?;
         let pkt_total: f64 = pkt_cells.iter().map(|c| c.wall_ms).sum();
         print_raw_line(&format!(
             "packet_size={pkt_size} total wall: {pkt_total:.1} ms \
              ({:.2}x the single-flit cells)",
             pkt_total / total_ms.max(1e-12)
+        ));
+
+        // Fault-mode section: the same pinned cells on a boot-degraded
+        // network (2% of cables killed, seed 7, random — the FaultPlan
+        // defaults), tracking the degraded-routing path's cost on
+        // every run. Its own topo key ("…,faults=0.02") keeps it out
+        // of the intact baseline comparisons.
+        let fault_frac = 0.02;
+        let kill = slimfly::graph::fault::kill_set(
+            &net.graph,
+            fault_frac,
+            0.0,
+            7,
+            slimfly::graph::fault::FaultMode::Random,
+        );
+        let fnet = net
+            .degrade(&kill, &format!(" [faults l={fault_frac} r=0 s=7 random]"))
+            .map_err(|e| SfError::Experiment(e.to_string()))?;
+        let ftables = RoutingTables::new(&fnet.graph);
+        let fpattern = TrafficSpec::Uniform.build(&fnet, &ftables)?;
+        print_raw_line(&format!(
+            "faults={fault_frac} ({} cables dead, degraded routing):",
+            kill.links.len()
+        ));
+        let fault_cells = time_cells(&fnet, &ftables, &fpattern, cfg)?;
+        let fault_total: f64 = fault_cells.iter().map(|c| c.wall_ms).sum();
+        print_raw_line(&format!(
+            "faults={fault_frac} total wall: {fault_total:.1} ms \
+             ({:.2}x the intact cells)",
+            fault_total / total_ms.max(1e-12)
         ));
 
         // Flow-backend section: the same routings × loads through the
@@ -349,6 +382,7 @@ fn main() {
                 sim: cfg,
                 backend: Backend::Flow,
                 warm_start: false,
+                faults: None,
             }],
         };
         let mut flow_wall = f64::INFINITY;
@@ -395,6 +429,7 @@ fn main() {
                     sim: cfg,
                     backend: Backend::Cycle,
                     warm_start: false,
+                    faults: None,
                 }],
             };
             let mut set = plan.expand()?;
@@ -454,6 +489,16 @@ fn main() {
         );
         append_entry(&out, &entry)?;
         print_raw_line(&format!("appended entry '{tag}-pkt{pkt_size}' to {out}"));
+        // Fault-mode entry: its own topo key, never compared against
+        // the intact baseline (speedup_vs_first stays null).
+        let entry = entry_json(
+            &format!("{tag}-faults"),
+            &format!("{topo},faults={fault_frac}"),
+            &fault_cells,
+            None,
+        );
+        append_entry(&out, &entry)?;
+        print_raw_line(&format!("appended entry '{tag}-faults' to {out}"));
         let entry = flow_entry_json(
             &format!("{tag}-flow"),
             &format!("{topo},backend=flow"),

@@ -7,6 +7,7 @@
 //!                 [--check-builder] [--quiet]`
 //!   `sf-bench validate <file>...`
 //!   `sf-bench verify <file>... [--quiet]`
+//!   `sf-bench survive <file>...`
 //!
 //! `run` parses an [`ExperimentPlan`], expands it to a deterministic
 //! job set and executes it on the work-stealing scheduler, streaming
@@ -30,6 +31,16 @@
 //! with the offending channel cycle rendered in the error. `run`
 //! performs the same pass automatically before simulating. CI verifies
 //! every checked-in `figures/*.toml`.
+//!
+//! `survive` audits the fault plans of experiment files: for every
+//! topology instance with a `[sweep.faults]` table it lowers the plan
+//! to its concrete seeded kill-set, reports whether that exact
+//! kill-set boots (the degradation connectivity check), and estimates
+//! the Monte-Carlo survival probability at the same cable-loss
+//! fraction (`sf_graph::failure`, the paper's §III-D resiliency
+//! analysis) — the two views agree on the sampler by construction, so
+//! a plan's seeded outcome can be read against the population
+//! statistics it was drawn from.
 
 use sf_bench::{print_raw_line, run_cli, StdoutCsvSink};
 use slimfly::plan::ExperimentPlan;
@@ -43,8 +54,9 @@ fn main() {
         Some("run") => cmd_run(args),
         Some("validate") => cmd_validate(args),
         Some("verify") => cmd_verify(args),
+        Some("survive") => cmd_survive(args),
         _ => Err(SfError::Cli(
-            "usage: sf-bench <run|validate|verify> <file.toml|file.json> ...".into(),
+            "usage: sf-bench <run|validate|verify|survive> <file.toml|file.json> ...".into(),
         )),
     })
 }
@@ -176,6 +188,63 @@ fn cmd_validate(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
     }
     if seen == 0 {
         return Err(SfError::Cli("validate: no experiment files given".into()));
+    }
+    Ok(())
+}
+
+fn cmd_survive(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
+    use slimfly::graph::failure::{survival_probability, FailureConfig, Property};
+    use slimfly::graph::fault::kill_set;
+    let mut idx = 1;
+    let mut seen = 0;
+    let mut audited = 0;
+    while let Some(file) = args.positional(idx) {
+        let plan = ExperimentPlan::from_path(Path::new(file))?;
+        let set = plan.expand()?;
+        for (spec, fp) in set.topos().iter().zip(set.topo_faults()) {
+            let Some(f) = fp else { continue };
+            let net = spec.build()?;
+            let kill = kill_set(&net.graph, f.links, f.routers, f.seed, f.mode);
+            // The concrete seeded outcome this plan will boot with.
+            let boot = match net.degrade(&kill, &f.suffix()) {
+                Ok(d) => format!(
+                    "boots ({} of {} cables live, {} of {} routers)",
+                    d.graph.num_edges(),
+                    net.graph.num_edges(),
+                    (0..d.graph.num_vertices() as u32)
+                        .filter(|&v| d.graph.degree(v) > 0)
+                        .count(),
+                    net.num_routers(),
+                ),
+                Err(e) => format!("REFUSED at boot: {e}"),
+            };
+            // The population view: Monte-Carlo survival at the same
+            // cable-loss fraction, over the identical sampler.
+            let (p, samples) = survival_probability(
+                &net.graph,
+                f.links,
+                Property::Connected,
+                &FailureConfig::default(),
+            );
+            print_raw_line(&format!(
+                "{file}: {spec}{} — kill-set: {} cables, {} routers; {boot}; \
+                 P[connected | {:.1}% random cable loss] ≈ {p:.3} ({samples} samples)",
+                f.suffix(),
+                kill.links.len(),
+                kill.routers.len(),
+                f.links * 100.0,
+            ));
+            audited += 1;
+        }
+        idx += 1;
+        seen += 1;
+    }
+    if seen == 0 {
+        return Err(SfError::Cli("survive: no experiment files given".into()));
+    }
+    eprintln!("sf-bench survive: {seen} file(s), {audited} fault plan(s) audited");
+    if audited == 0 {
+        eprintln!("sf-bench survive: no [sweep.faults] tables found — nothing to audit");
     }
     Ok(())
 }

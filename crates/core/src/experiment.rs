@@ -433,6 +433,7 @@ impl Experiment {
                 sim: self.sim,
                 backend: self.backend,
                 warm_start: self.warm_start,
+                faults: None,
             }],
         })
     }

@@ -104,7 +104,7 @@ pub mod zoo;
 
 pub use error::SfError;
 pub use experiment::{Experiment, FlowSummary, Record};
-pub use plan::{Backend, ExperimentPlan, Job, JobSet, SweepPlan};
+pub use plan::{Backend, ExperimentPlan, FaultPlan, Job, JobSet, SweepPlan};
 pub use schedule::Scheduler;
 pub use sf_routing::{Router, RoutingError, RoutingSpec};
 pub use sf_topo::{Network, SlimFly, TopologyKind};
@@ -116,7 +116,7 @@ pub use spec::TopologySpec;
 pub mod prelude {
     pub use crate::error::SfError;
     pub use crate::experiment::{write_csv, write_json_lines, Experiment, FlowSummary, Record};
-    pub use crate::plan::{Backend, ExperimentPlan, Job, JobSet, SweepPlan};
+    pub use crate::plan::{Backend, ExperimentPlan, FaultPlan, Job, JobSet, SweepPlan};
     pub use crate::schedule::Scheduler;
     pub use crate::sink::{CsvSink, JsonLinesSink, MemorySink, RecordSink, TeeSink};
     pub use crate::spec::{self, TopologySpec};

@@ -39,22 +39,49 @@
 //! backends = ["cycle", "flow"]      # matrix sugar: one sweep per tier
 //! packet_sizes = [1, 4, 16]         # matrix sugar: one sweep per size
 //! concentrations = [4, 6]           # matrix sugar: one sweep per p
+//! fault_fractions = [0.0, 0.02]     # matrix sugar: one sweep per kill fraction
+//!
+//! [sweep.faults]                    # boot-time fault injection
+//! links = 0.02                      # fraction of cables killed
+//! routers = 0.0                     # fraction of routers killed
+//! seed = 7                          # kill-set sampler seed
+//! mode = "random"                   # or "adversarial"
 //!
 //! [sweep.sim]                       # per-sweep SimConfig overrides
 //! num_vcs = 6
 //! packet_size = 4                   # flits per packet (wormhole)
 //! ```
 //!
-//! **Matrix sugar**: `backends = [...]`, `packet_sizes = [...]` and/or
-//! `concentrations = [...]` expand one `[[sweep]]` template into the
-//! cross product of sweeps (backends outermost, then concentrations,
-//! packet sizes innermost, each in file order) at parse time —
+//! **Matrix sugar**: `backends = [...]`, `fault_fractions = [...]`,
+//! `packet_sizes = [...]` and/or `concentrations = [...]` expand one
+//! `[[sweep]]` template into the cross product of sweeps (backends
+//! outermost, then fault fractions, concentrations, packet sizes
+//! innermost, each in file order) at parse time —
 //! `packet_sizes = [1, 4, 16]` is exactly three copies of the sweep
 //! differing only in `sim.packet_size`, and `concentrations = [4, 6]`
 //! rewrites every topology spec via
-//! [`TopologySpec::with_concentration`]. The canonical rendering
+//! [`TopologySpec::with_concentration`]. `fault_fractions` copies the
+//! sweep per fraction, overriding `faults.links` (other [`FaultPlan`]
+//! fields — `routers`, `seed`, `mode` — come from the sweep's `faults`
+//! table, or its defaults). The canonical rendering
 //! ([`ExperimentPlan::to_toml_string`]) is always the fully-expanded
 //! form, so plan ⇄ TOML round trips are exact.
+//!
+//! # Fault injection
+//!
+//! A sweep's `faults` table lowers to an explicit seeded kill-set
+//! ([`sf_graph::fault::kill_set`]) that [`JobSet::prepare`] applies to
+//! the freshly built network via [`Network::degrade`]: dead routers
+//! lose their endpoints, dead cables vanish from the router graph, and
+//! routing tables, routers, traffic patterns, flow lowerings and the
+//! static deadlock certificates are all derived from the **degraded**
+//! topology. A kill-set that partitions the live routers is a typed
+//! boot-time error, not a silent skew. Zero-fraction fault plans are
+//! normalized away at expansion, so they share the intact topology
+//! context with fault-free sweeps — bit-identical records, proven by
+//! test. Worst-case traffic composed with fault injection is rejected
+//! at expansion: the adversarial permutations are derived from intact
+//! structure and would silently target dead routers.
 //!
 //! # Backends
 //!
@@ -93,6 +120,7 @@ use crate::experiment::Record;
 use crate::spec::TopologySpec;
 use rayon::prelude::*;
 use sf_flow::{Demand, EdgeIndex, FlowError, RoutingLoads};
+use sf_graph::fault::{self, FaultMode};
 use sf_routing::{Router, RoutingSpec, RoutingTables};
 use sf_sim::{LoadSweep, SimConfig, Simulator};
 use sf_topo::Network;
@@ -145,6 +173,109 @@ impl FromStr for Backend {
     }
 }
 
+/// A sweep's declarative fault injection: the fractions, seed and
+/// sampling mode that lower to an explicit kill-set
+/// ([`sf_graph::fault::kill_set`]) on the sweep's topologies at
+/// [`JobSet::prepare`] time. Deterministic: one `(links, routers,
+/// seed, mode)` tuple names one kill-set per topology, forever.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Fraction of cables killed, in \[0, 1\].
+    pub links: f64,
+    /// Fraction of routers killed, in \[0, 1\] (their endpoints and
+    /// incident cables die with them).
+    pub routers: f64,
+    /// Seed of the kill-set sampler.
+    pub seed: u64,
+    /// Sampling mode: uniformly random or adversarially concentrated.
+    pub mode: FaultMode,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            links: 0.0,
+            routers: 0.0,
+            seed: 7,
+            mode: FaultMode::Random,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when the plan kills nothing; expansion normalizes such
+    /// plans away so they share topology contexts (and therefore
+    /// records, bit for bit) with fault-free sweeps.
+    pub fn is_noop(&self) -> bool {
+        self.links == 0.0 && self.routers == 0.0
+    }
+
+    /// The name suffix a degraded network instance carries (appended
+    /// to the intact name by [`Network::degrade`]).
+    pub fn suffix(&self) -> String {
+        format!(
+            " [faults l={} r={} s={} {}]",
+            self.links, self.routers, self.seed, self.mode
+        )
+    }
+
+    /// Interprets a `faults` table.
+    fn from_value(v: &Value) -> Result<Self, SfError> {
+        let t = v.as_table().ok_or_else(|| {
+            plan_err("faults must be a table like { links = 0.02, seed = 7, mode = \"random\" }")
+        })?;
+        let mut fp = FaultPlan::default();
+        for (key, val) in t {
+            match key.as_str() {
+                "links" => fp.links = parse_fraction(val, "faults.links")?,
+                "routers" => fp.routers = parse_fraction(val, "faults.routers")?,
+                "seed" => {
+                    // Same u64 handling as sim.seed: values above
+                    // i64::MAX travel as strings.
+                    fp.seed = match val {
+                        Value::String(s) => s.parse::<u64>().ok(),
+                        _ => val.as_int().filter(|&i| i >= 0).map(|i| i as u64),
+                    }
+                    .ok_or_else(|| plan_err("faults.seed must be a non-negative integer"))?
+                }
+                "mode" => {
+                    fp.mode = val
+                        .as_str()
+                        .ok_or_else(|| {
+                            plan_err("faults.mode must be \"random\" or \"adversarial\"")
+                        })?
+                        .parse()
+                        .map_err(|e: String| plan_err(&e))?
+                }
+                other => return Err(plan_err(&format!("unknown faults key {other:?}"))),
+            }
+        }
+        Ok(fp)
+    }
+
+    fn to_value(self) -> Value {
+        let mut t = Map::new();
+        t.insert("links".into(), Value::Float(self.links));
+        t.insert("routers".into(), Value::Float(self.routers));
+        t.insert(
+            "seed".into(),
+            match i64::try_from(self.seed) {
+                Ok(i) => Value::Integer(i),
+                Err(_) => Value::String(self.seed.to_string()),
+            },
+        );
+        t.insert("mode".into(), Value::String(self.mode.to_string()));
+        Value::Table(t)
+    }
+}
+
+/// Parses a fault fraction: a number in \[0, 1\].
+fn parse_fraction(v: &Value, key: &str) -> Result<f64, SfError> {
+    v.as_float()
+        .filter(|f| (0.0..=1.0).contains(f) && !f.is_nan())
+        .ok_or_else(|| plan_err(&format!("{key} must be a number in [0, 1]")))
+}
+
 /// A declarative, serializable experiment: what a `figures/*.toml`
 /// file describes and the fluent builder lowers to.
 #[derive(Clone, Debug, PartialEq)]
@@ -177,6 +308,9 @@ pub struct SweepPlan {
     /// simulator instead of cold per-load runs (off by default; results
     /// for non-first loads are then near-identical, not bit-identical).
     pub warm_start: bool,
+    /// Boot-time fault injection applied to every topology of this
+    /// sweep (`None`: intact network).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SweepPlan {
@@ -189,6 +323,7 @@ impl Default for SweepPlan {
             sim: SimConfig::default(),
             backend: Backend::Cycle,
             warm_start: false,
+            faults: None,
         }
     }
 }
@@ -324,6 +459,9 @@ impl ExperimentPlan {
                     Value::Array(s.loads.iter().map(|&l| Value::Float(l)).collect()),
                 );
                 t.insert("warm_start".into(), Value::Boolean(s.warm_start));
+                if let Some(fp) = &s.faults {
+                    t.insert("faults".into(), fp.to_value());
+                }
                 t.insert("sim".into(), sim_to_value(&s.sim));
                 Value::Table(t)
             })
@@ -339,6 +477,7 @@ impl ExperimentPlan {
     /// [`JobSet::prepare`].
     pub fn expand(&self) -> Result<JobSet, SfError> {
         let mut topos: Vec<TopologySpec> = Vec::new();
+        let mut topo_faults: Vec<Option<FaultPlan>> = Vec::new();
         let mut jobs = Vec::new();
         for (si, sweep) in self.sweeps.iter().enumerate() {
             if sweep.loads.is_empty() {
@@ -379,11 +518,40 @@ impl ExperimentPlan {
                     si + 1
                 )));
             }
+            // Normalize no-op fault plans away: a zero-fraction plan
+            // names the intact topology instance, so it deduplicates
+            // with fault-free sweeps and is bit-identical end to end.
+            let fp = sweep.faults.filter(|f| !f.is_noop());
+            if let Some(f) = &fp {
+                // Parse already bounds the fractions; re-check here so
+                // hand-built plans get the same typed error.
+                for (field, x) in [("links", f.links), ("routers", f.routers)] {
+                    if !(0.0..=1.0).contains(&x) || x.is_nan() {
+                        return Err(SfError::Experiment(format!(
+                            "faults.{field} = {x} outside [0, 1]"
+                        )));
+                    }
+                }
+                if sweep.traffic == TrafficSpec::WorstCase {
+                    return Err(SfError::Experiment(format!(
+                        "sweep #{}: worst-case traffic cannot be combined with fault \
+                         injection — the adversarial permutation is derived from the \
+                         intact structure and would silently target dead routers \
+                         (sweep uniform or a bit permutation instead)",
+                        si + 1
+                    )));
+                }
+            }
             for topo in &sweep.topos {
-                let ti = match topos.iter().position(|t| t == topo) {
+                let ti = match topos
+                    .iter()
+                    .zip(&topo_faults)
+                    .position(|(t, f)| t == topo && *f == fp)
+                {
                     Some(i) => i,
                     None => {
                         topos.push(topo.clone());
+                        topo_faults.push(fp);
                         topos.len() - 1
                     }
                 };
@@ -463,6 +631,7 @@ impl ExperimentPlan {
         Ok(JobSet {
             jobs,
             topos,
+            faults: topo_faults,
             ctxs: Vec::new(),
             routers: (0..router_keys.len()).map(|_| OnceLock::new()).collect(),
             router_of,
@@ -572,6 +741,8 @@ impl SweepPlan {
                     | "warm_start"
                     | "packet_sizes"
                     | "concentrations"
+                    | "faults"
+                    | "fault_fractions"
             ) {
                 return Err(plan_err(&format!("unknown sweep key {key:?}")));
             }
@@ -628,6 +799,10 @@ impl SweepPlan {
             (Some(b), None) => parse_backend(b)?,
             (None, _) => defaults.backend.unwrap_or_default(),
         };
+        let faults = match v.get("faults") {
+            None => None,
+            Some(fv) => Some(FaultPlan::from_value(fv)?),
+        };
         let template = SweepPlan {
             topos,
             routings,
@@ -636,11 +811,12 @@ impl SweepPlan {
             sim,
             backend,
             warm_start,
+            faults,
         };
 
         // Matrix sugar: expand the template over the requested axes
-        // (backends outermost, then concentrations, packet sizes
-        // innermost).
+        // (backends outermost, then fault fractions, concentrations,
+        // packet sizes innermost).
         let backends_axis = match v.get("backends") {
             None => None,
             Some(a) => {
@@ -666,27 +842,46 @@ impl SweepPlan {
             None => None,
             Some(a) => Some(parse_positive_ints(a, "concentrations")?),
         };
-        if backends_axis.is_none() && sizes_axis.is_none() && conc_axis.is_none() {
+        if backends_axis.is_none()
+            && sizes_axis.is_none()
+            && conc_axis.is_none()
+            && v.get("fault_fractions").is_none()
+        {
             return Ok(vec![template]);
         }
+        // `None` entries mean "axis absent: keep the template value".
+        let frac_axis: Vec<Option<f64>> = match v.get("fault_fractions") {
+            None => vec![None],
+            Some(a) => parse_fault_fractions(a)?.into_iter().map(Some).collect(),
+        };
         let mut out = Vec::new();
         for &be in backends_axis.as_deref().unwrap_or(&[backend]) {
-            for &conc in conc_axis.as_deref().unwrap_or(&[0]) {
-                let mut with_conc = template.clone();
-                with_conc.backend = be;
-                if conc != 0 {
-                    with_conc.topos = template
-                        .topos
-                        .iter()
-                        .map(|t| t.with_concentration(conc as u32))
-                        .collect::<Result<Vec<_>, _>>()?;
+            for &frac in &frac_axis {
+                let mut with_fault = template.clone();
+                with_fault.backend = be;
+                if let Some(f) = frac {
+                    // The fraction overrides `faults.links`; routers,
+                    // seed and mode come from the sweep's `faults`
+                    // table (or its defaults).
+                    let base = template.faults.unwrap_or_default();
+                    with_fault.faults = Some(FaultPlan { links: f, ..base });
                 }
-                for &ps in sizes_axis.as_deref().unwrap_or(&[0]) {
-                    let mut sweep = with_conc.clone();
-                    if ps != 0 {
-                        sweep.sim.packet_size = ps as usize;
+                for &conc in conc_axis.as_deref().unwrap_or(&[0]) {
+                    let mut with_conc = with_fault.clone();
+                    if conc != 0 {
+                        with_conc.topos = template
+                            .topos
+                            .iter()
+                            .map(|t| t.with_concentration(conc as u32))
+                            .collect::<Result<Vec<_>, _>>()?;
                     }
-                    out.push(sweep);
+                    for &ps in sizes_axis.as_deref().unwrap_or(&[0]) {
+                        let mut sweep = with_conc.clone();
+                        if ps != 0 {
+                            sweep.sim.packet_size = ps as usize;
+                        }
+                        out.push(sweep);
+                    }
                 }
             }
         }
@@ -714,6 +909,21 @@ fn parse_positive_ints(v: &Value, key: &str) -> Result<Vec<i64>, SfError> {
                 .filter(|&i| (1..=u32::MAX as i64).contains(&i))
                 .ok_or_else(|| plan_err(&format!("{key} entries must be positive integers")))
         })
+        .collect()
+}
+
+/// Parses the `fault_fractions` matrix axis: a non-empty array of
+/// numbers in \[0, 1\].
+fn parse_fault_fractions(v: &Value) -> Result<Vec<f64>, SfError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| plan_err("fault_fractions must be an array of numbers in [0, 1]"))?;
+    if items.is_empty() {
+        return Err(plan_err("fault_fractions must not be empty"));
+    }
+    items
+        .iter()
+        .map(|x| parse_fraction(x, "fault_fractions entries"))
         .collect()
 }
 
@@ -915,10 +1125,17 @@ struct SharedFlow {
 type FlowSlot = OnceLock<Result<RoutingLoads, FlowError>>;
 
 /// The flat, deterministic expansion of an [`ExperimentPlan`]: jobs in
-/// output order plus the deduplicated topology list they reference.
+/// output order plus the deduplicated topology list they reference. A
+/// topology *instance* is a (spec, fault plan) pair — the same spec
+/// under two different kill-sets is two entries, each with its own
+/// network, tables, routers and flow caches, all derived from the
+/// degraded graph.
 pub struct JobSet {
     jobs: Vec<Job>,
     topos: Vec<TopologySpec>,
+    /// Fault plan per topology instance, aligned with `topos` (`None`:
+    /// intact; no-op plans are normalized to `None` at expansion).
+    faults: Vec<Option<FaultPlan>>,
     ctxs: Vec<JobCtx>,
     /// Lazily built routers, one slot per distinct (topology, routing)
     /// pair; `router_of[job.id]` is the slot. Construction is
@@ -961,6 +1178,12 @@ impl JobSet {
         &self.topos
     }
 
+    /// The fault plan of each topology instance, aligned with
+    /// [`topos`](Self::topos) (`None`: intact network).
+    pub fn topo_faults(&self) -> &[Option<FaultPlan>] {
+        &self.faults
+    }
+
     /// Total records a full run will emit.
     pub fn num_records(&self) -> usize {
         self.jobs.iter().map(|j| j.loads.len()).sum()
@@ -972,17 +1195,30 @@ impl JobSet {
     }
 
     /// Builds every referenced network (in parallel across
-    /// topologies); routing tables are built lazily on first use per
-    /// topology. Idempotent; must run before [`JobSet::run_job`].
+    /// topologies), applying each instance's fault plan: the plan
+    /// lowers to a seeded kill-set on the freshly built graph and
+    /// [`Network::degrade`] produces the degraded view every later
+    /// stage (tables, routers, patterns, flow lowerings, verification)
+    /// derives from. A kill-set that partitions the live routers is a
+    /// typed error here, before anything runs. Routing tables are
+    /// built lazily on first use per topology. Idempotent; must run
+    /// before [`JobSet::run_job`].
     pub fn prepare(&mut self) -> Result<(), SfError> {
         if self.is_prepared() {
             return Ok(());
         }
-        let built: Vec<Result<JobCtx, SfError>> = self
-            .topos
+        let inputs: Vec<(&TopologySpec, &Option<FaultPlan>)> =
+            self.topos.iter().zip(&self.faults).collect();
+        let built: Vec<Result<JobCtx, SfError>> = inputs
             .par_iter()
-            .map(|spec| {
-                let net = spec.build()?;
+            .map(|&(spec, fp)| {
+                let mut net = spec.build()?;
+                if let Some(f) = fp {
+                    let kill = fault::kill_set(&net.graph, f.links, f.routers, f.seed, f.mode);
+                    net = net
+                        .degrade(&kill, &f.suffix())
+                        .map_err(|e| SfError::Experiment(format!("fault plan on {spec}: {e}")))?;
+                }
                 Ok(JobCtx {
                     net,
                     tables: OnceLock::new(),
@@ -1026,8 +1262,15 @@ impl JobSet {
             }
             seen.push(key);
             let ctx = &self.ctxs[job.topo];
+            // Certificates name the topology *instance*: the spec plus
+            // its fault suffix when degraded, so a degraded CDG proof
+            // is never mistaken for the intact one.
+            let label = match &self.faults[job.topo] {
+                None => self.topos[job.topo].to_string(),
+                Some(f) => format!("{}{}", self.topos[job.topo], f.suffix()),
+            };
             let cert = sf_verify::verify_combo(
-                &self.topos[job.topo].to_string(),
+                &label,
                 &ctx.net.graph,
                 ctx.tables(),
                 &job.routing,
@@ -1503,6 +1746,216 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SfError::InvalidParam { .. }), "{err}");
+    }
+
+    #[test]
+    fn fault_plan_parses_round_trips_and_rejects_bad_input() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             [sweep.faults]\nlinks = 0.02\nmode = \"adversarial\"",
+        )
+        .unwrap();
+        let fp = plan.sweeps[0].faults.unwrap();
+        assert_eq!(fp.links, 0.02);
+        assert_eq!(fp.routers, 0.0);
+        assert_eq!(fp.seed, 7, "seed defaults to 7");
+        assert_eq!(fp.mode, FaultMode::Adversarial);
+        let rendered = plan.to_toml_string();
+        assert!(rendered.contains("links = 0.02"), "{rendered}");
+        assert_eq!(ExperimentPlan::from_toml_str(&rendered).unwrap(), plan);
+        // Bad keys and values are typed plan errors.
+        for bad in [
+            "[sweep.faults]\nwat = 1",
+            "[sweep.faults]\nlinks = 1.5",
+            "[sweep.faults]\nlinks = -0.1",
+            "[sweep.faults]\nseed = -1",
+            "[sweep.faults]\nmode = \"warp\"",
+            "faults = 3",
+        ] {
+            let doc = format!("[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n{bad}");
+            let err = ExperimentPlan::from_toml_str(&doc).unwrap_err();
+            assert!(matches!(err, SfError::Plan(_)), "{bad} → {err}");
+        }
+        // faults is a per-sweep key, not a [defaults] key: a kill-set
+        // silently inherited by every sweep of a figure is exactly the
+        // kind of spooky action the schema rejects.
+        let err = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[defaults.faults]\nlinks = 0.1\n\
+             [[sweep]]\ntopo = \"sf:q=5\"",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfError::Plan(_)), "{err}");
+        assert!(err.to_string().contains("faults"), "{err}");
+    }
+
+    #[test]
+    fn fault_fractions_matrix_expands_between_backends_and_sizes() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             backends = [\"cycle\", \"flow\"]\nfault_fractions = [0.0, 0.05]\n\
+             packet_sizes = [1, 4]\n[sweep.faults]\nseed = 9\nmode = \"adversarial\"",
+        )
+        .unwrap();
+        // backends outermost, then fractions, packet sizes innermost.
+        let got: Vec<(Backend, f64, usize)> = plan
+            .sweeps
+            .iter()
+            .map(|s| (s.backend, s.faults.unwrap().links, s.sim.packet_size))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (Backend::Cycle, 0.0, 1),
+                (Backend::Cycle, 0.0, 4),
+                (Backend::Cycle, 0.05, 1),
+                (Backend::Cycle, 0.05, 4),
+                (Backend::Flow, 0.0, 1),
+                (Backend::Flow, 0.0, 4),
+                (Backend::Flow, 0.05, 1),
+                (Backend::Flow, 0.05, 4),
+            ]
+        );
+        // routers/seed/mode inherit from the sweep's faults table.
+        for s in &plan.sweeps {
+            let f = s.faults.unwrap();
+            assert_eq!(f.seed, 9);
+            assert_eq!(f.mode, FaultMode::Adversarial);
+        }
+        // The canonical render is the expanded form and round-trips.
+        let rendered = plan.to_toml_string();
+        assert!(!rendered.contains("fault_fractions"), "{rendered}");
+        assert_eq!(ExperimentPlan::from_toml_str(&rendered).unwrap(), plan);
+        // Bad axes are typed errors.
+        for bad in [
+            "fault_fractions = []",
+            "fault_fractions = [1.5]",
+            "fault_fractions = \"x\"",
+        ] {
+            let doc = format!("[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\n{bad}");
+            let err = ExperimentPlan::from_toml_str(&doc).unwrap_err();
+            assert!(matches!(err, SfError::Plan(_)), "{bad} → {err}");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_faults_share_the_intact_topology_instance() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n\
+             [[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             [[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.2]\n[sweep.faults]\nlinks = 0.0\n\
+             [[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.3]\n[sweep.faults]\nlinks = 0.02",
+        )
+        .unwrap();
+        let set = plan.expand().unwrap();
+        // Sweeps 1 and 2 share the intact instance (no-op normalized
+        // away); sweep 3's kill-set is a distinct instance of the same
+        // spec.
+        assert_eq!(set.topos().len(), 2);
+        assert_eq!(set.topo_faults()[0], None);
+        let f = set.topo_faults()[1].unwrap();
+        assert_eq!(f.links, 0.02);
+        assert_eq!(set.jobs()[0].topo, set.jobs()[1].topo);
+        assert_eq!(set.jobs()[2].topo, 1);
+    }
+
+    #[test]
+    fn zero_fraction_fault_records_are_identical_to_fault_free() {
+        // The parity guard: the fault machinery must be free when
+        // unused — a links = 0.0 plan emits byte-identical records.
+        let body = "[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.2]\n\
+                    [sweep.sim]\nwarmup = 150\nmeasure = 300\ndrain = 1000";
+        let intact =
+            ExperimentPlan::from_toml_str(&format!("[figure]\nname = \"x\"\n{body}")).unwrap();
+        let noop = ExperimentPlan::from_toml_str(&format!(
+            "[figure]\nname = \"x\"\n{body}\n[sweep.faults]\nlinks = 0.0\nrouters = 0.0"
+        ))
+        .unwrap();
+        let run = |plan: &ExperimentPlan| -> Vec<String> {
+            let mut set = plan.expand().unwrap();
+            set.prepare().unwrap();
+            set.run_job(&set.jobs()[0])
+                .unwrap()
+                .iter()
+                .map(|r| r.to_csv())
+                .collect()
+        };
+        assert_eq!(run(&intact), run(&noop));
+    }
+
+    #[test]
+    fn degraded_jobs_run_on_the_degraded_network() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.2]\n\
+             routing = [\"min\", \"ugal-l:c=4\"]\nbackends = [\"cycle\", \"flow\"]\n\
+             [sweep.faults]\nlinks = 0.05\n\
+             [sweep.sim]\nwarmup = 150\nmeasure = 300\ndrain = 1000",
+        )
+        .unwrap();
+        let mut set = plan.expand().unwrap();
+        set.prepare().unwrap();
+        let ctx = set.ctx(&set.jobs()[0]);
+        assert!(ctx.net.degraded);
+        assert!(ctx.net.name.contains("faults"), "{}", ctx.net.name);
+        // sf:q=5 has 175 cables; 5% kills 9 of them.
+        assert_eq!(ctx.net.graph.num_edges(), 175 - 9);
+        for job in set.jobs() {
+            let records = set.run_job(job).unwrap();
+            assert_eq!(records.len(), 1);
+            assert!(records[0].accepted > 0.0, "{records:?}");
+            assert!(records[0].topology.contains("faults"));
+            assert_eq!(records[0].spec, "sf:q=5");
+        }
+    }
+
+    #[test]
+    fn worst_case_traffic_with_faults_is_rejected_at_expand() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\ntraffic = \"worst\"\n\
+             loads = [0.1]\n[sweep.faults]\nlinks = 0.02",
+        )
+        .unwrap();
+        let err = plan.expand().unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
+        assert!(err.to_string().contains("worst-case"), "{err}");
+        // A zero-fraction plan is normalized away and composes fine.
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\ntraffic = \"worst\"\n\
+             loads = [0.1]\n[sweep.faults]\nlinks = 0.0",
+        )
+        .unwrap();
+        assert!(plan.expand().is_ok());
+    }
+
+    #[test]
+    fn partitioning_kill_set_is_a_typed_prepare_error() {
+        // links = 1.0 kills every cable: the live routers are all
+        // isolated, which the boot-time connectivity contract rejects.
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             [sweep.faults]\nlinks = 1.0",
+        )
+        .unwrap();
+        let mut set = plan.expand().unwrap();
+        let err = set.prepare().unwrap_err();
+        assert!(matches!(err, SfError::Experiment(_)), "{err}");
+        assert!(err.to_string().contains("partitions"), "{err}");
+        assert!(err.to_string().contains("sf:q=5"), "{err}");
+    }
+
+    #[test]
+    fn verify_certifies_the_degraded_cdg() {
+        let plan = ExperimentPlan::from_toml_str(
+            "[figure]\nname = \"x\"\n[[sweep]]\ntopo = \"sf:q=5\"\nloads = [0.1]\n\
+             [sweep.faults]\nlinks = 0.05\nrouters = 0.04",
+        )
+        .unwrap();
+        let mut set = plan.expand().unwrap();
+        let certs = set.verify().unwrap();
+        assert_eq!(certs.len(), 1);
+        // The certificate names the degraded instance and was computed
+        // on the degraded graph (dead routers host no endpoint pairs:
+        // 49 live routers → 49 · 48 ordered pairs).
+        assert!(certs[0].topo.contains("faults"), "{}", certs[0].topo);
     }
 
     #[test]

@@ -68,6 +68,25 @@ fn any_sim() -> impl Strategy<Value = SimConfig> {
         )
 }
 
+/// Optional fault plans on a 0.025 fraction grid (exactly
+/// representable, so plan ⇄ TOML round trips stay bit-exact).
+fn any_faults() -> impl Strategy<Value = Option<FaultPlan>> {
+    (any::<bool>(), 0u32..5, 0u32..3, 1u64..1_000, any::<bool>()).prop_map(
+        |(present, links, routers, seed, adversarial)| {
+            present.then_some(FaultPlan {
+                links: links as f64 * 0.025,
+                routers: routers as f64 * 0.025,
+                seed,
+                mode: if adversarial {
+                    sf_graph::fault::FaultMode::Adversarial
+                } else {
+                    sf_graph::fault::FaultMode::Random
+                },
+            })
+        },
+    )
+}
+
 fn any_sweep() -> impl Strategy<Value = SweepPlan> {
     (
         prop::collection::vec(any_topo(), 1..4),
@@ -77,9 +96,17 @@ fn any_sweep() -> impl Strategy<Value = SweepPlan> {
         any_sim(),
         any::<bool>(),
         any::<bool>(),
+        any_faults(),
     )
         .prop_map(
-            |(topos, mut routings, traffic, loads, sim, flow, warm_start)| {
+            |(topos, mut routings, mut traffic, loads, sim, flow, warm_start, faults)| {
+                // Worst-case traffic composed with (non-noop) fault
+                // injection is rejected at expand() by design — a
+                // dedicated test pins that; keep generated plans
+                // expandable by substituting uniform.
+                if faults.is_some_and(|f| !f.is_noop()) && traffic == TrafficSpec::WorstCase {
+                    traffic = TrafficSpec::Uniform;
+                }
                 // Loads on a 0.025 grid: exactly representable, in [0, 1].
                 let loads: Vec<f64> = loads.into_iter().map(|l| l as f64 * 0.025).collect();
                 let backend = if flow { Backend::Flow } else { Backend::Cycle };
@@ -123,6 +150,7 @@ fn any_sweep() -> impl Strategy<Value = SweepPlan> {
                     sim,
                     backend,
                     warm_start,
+                    faults,
                 }
             },
         )
@@ -156,6 +184,7 @@ proptest! {
         let b = reparsed.expand().unwrap();
         prop_assert_eq!(a.jobs(), b.jobs());
         prop_assert_eq!(a.topos(), b.topos());
+        prop_assert_eq!(a.topo_faults(), b.topo_faults());
         prop_assert_eq!(a.num_records(), b.num_records());
     }
 
@@ -234,9 +263,15 @@ proptest! {
             records += job.loads.len();
         }
         prop_assert_eq!(records, a.num_records());
-        // The deduplicated topo list has no duplicates.
-        for (i, t) in a.topos().iter().enumerate() {
-            prop_assert!(!a.topos()[..i].contains(t));
+        // The deduplicated topology-instance list — (spec, fault plan)
+        // pairs — has no duplicates, and noop fault plans never
+        // survive normalization.
+        let instances: Vec<_> = a.topos().iter().zip(a.topo_faults()).collect();
+        for (i, inst) in instances.iter().enumerate() {
+            prop_assert!(!instances[..i].contains(inst));
+        }
+        for f in a.topo_faults().iter().flatten() {
+            prop_assert!(!f.is_noop());
         }
     }
 }

@@ -20,9 +20,6 @@
 
 use crate::metrics;
 use crate::Graph;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use rayon::prelude::*;
 
 /// The survivability property checked after link removal.
@@ -83,9 +80,11 @@ fn survives_removal_cfg(
     seed: u64,
     distance_sources: usize,
 ) -> bool {
-    let mut edges = g.edge_list();
-    let mut rng = StdRng::seed_from_u64(seed);
-    edges.shuffle(&mut rng);
+    // The shared fault sampler (crate::fault): a seeded shuffle of the
+    // canonical edge list. Bit-identical to the historical in-place
+    // sampler, so survival estimates are stable across the refactor —
+    // and identical to the kill-sets the simulation tier degrades with.
+    let edges = crate::fault::shuffled_edges(g, seed);
     let removed = &edges[..count.min(edges.len())];
     let h = g.without_edges(removed);
     match property {

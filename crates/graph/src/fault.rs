@@ -1,0 +1,309 @@
+//! Seeded fault-injection kill-sets: the one sampler shared by static
+//! survival analysis ([`crate::failure`]), topology degradation
+//! (`sf-topo`), and the experiment plan's `FaultPlan` lowering.
+//!
+//! A **kill-set** is an explicit, deterministic list of dead cables and
+//! dead routers derived from `(graph, fractions, seed, mode)`. The link
+//! sampler is *exactly* the Monte-Carlo sampler `failure::survives_removal`
+//! has always used — a seeded Fisher–Yates shuffle of the canonical edge
+//! list, prefix-truncated — so a simulated degraded run and the paper's
+//! §III-D resiliency analysis agree on which cables die for a given seed.
+//!
+//! Two sampling modes:
+//!
+//! * [`FaultMode::Random`] — uniformly random cables (and, independently,
+//!   uniformly random routers), the paper's §III-D model;
+//! * [`FaultMode::Adversarial`] — damage concentrated to consume path
+//!   diversity: victims are visited in seeded order and stripped of
+//!   incident cables down to a single live link each (no router is ever
+//!   isolated by the sampler itself), and router kills target the
+//!   highest-degree routers first. Adversarial kill-sets can still
+//!   partition a network at high fractions; the degradation layer's
+//!   connectivity check is the safety net, not this sampler.
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Stride separating the router-kill RNG stream from the link-kill
+/// stream derived from the same user seed (golden-ratio constant, the
+/// same one `failure::survival_probability` strides its samples with).
+pub const ROUTER_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// How a kill-set is sampled from the fault fractions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Uniformly random cables/routers (paper §III-D).
+    Random,
+    /// Concentrated damage: clustered cable kills, highest-degree
+    /// routers first.
+    Adversarial,
+}
+
+impl FaultMode {
+    /// Canonical lowercase name (the TOML syntax).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultMode::Random => "random",
+            FaultMode::Adversarial => "adversarial",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for FaultMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "random" => Ok(FaultMode::Random),
+            "adversarial" => Ok(FaultMode::Adversarial),
+            other => Err(format!(
+                "unknown fault mode {other:?} (expected \"random\" or \"adversarial\")"
+            )),
+        }
+    }
+}
+
+/// An explicit, deterministic set of dead cables and routers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KillSet {
+    /// Dead cables, canonical `(u, v)` with `u < v`, in kill order.
+    pub links: Vec<(u32, u32)>,
+    /// Dead routers, in kill order. A dead router's incident cables are
+    /// all dead too (the degradation layer removes them).
+    pub routers: Vec<u32>,
+}
+
+impl KillSet {
+    /// True when nothing is killed (degradation must be a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.routers.is_empty()
+    }
+}
+
+/// The canonical edge list of `g`, shuffled by `StdRng::seed_from_u64(seed)`.
+/// This is **the** link-failure sampler: `failure::survives_removal`
+/// removes a prefix of exactly this permutation.
+pub fn shuffled_edges(g: &Graph, seed: u64) -> Vec<(u32, u32)> {
+    let mut edges = g.edge_list();
+    let mut rng = StdRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+    edges
+}
+
+/// Number of cables a removal fraction kills: `round(fraction · |E|)`
+/// (the rounding `failure::survival_probability` has always used).
+pub fn link_kill_count(g: &Graph, fraction: f64) -> usize {
+    (fraction * g.num_edges() as f64).round() as usize
+}
+
+/// Uniformly random cable kills: the first `round(fraction · |E|)`
+/// entries of the seeded shuffle.
+pub fn sample_links(g: &Graph, fraction: f64, seed: u64) -> Vec<(u32, u32)> {
+    let mut edges = shuffled_edges(g, seed);
+    edges.truncate(link_kill_count(g, fraction).min(g.num_edges()));
+    edges
+}
+
+/// Uniformly random router kills: a seeded shuffle of the router ids,
+/// prefix-truncated to `round(fraction · Nr)`. Drawn from a stream
+/// strided away from the link stream so `links` and `routers` fractions
+/// compose independently under one user seed.
+pub fn sample_routers(g: &Graph, fraction: f64, seed: u64) -> Vec<u32> {
+    let n = g.num_vertices();
+    let count = ((fraction * n as f64).round() as usize).min(n);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(ROUTER_SEED_STRIDE));
+    ids.shuffle(&mut rng);
+    ids.truncate(count);
+    ids
+}
+
+/// Adversarial cable kills: victims in seeded order are stripped of
+/// incident cables down to one live link each. Concentrating failures
+/// around few routers consumes exactly the local path diversity that
+/// MIN/UGAL/FatPaths rely on, which is the worst case the FatPaths
+/// paper studies. The sampler never isolates a router (every endpoint
+/// keeps ≥ 1 live cable), so the budget may be under-filled on very
+/// sparse graphs or extreme fractions.
+pub fn adversarial_links(g: &Graph, fraction: f64, seed: u64) -> Vec<(u32, u32)> {
+    let budget = link_kill_count(g, fraction).min(g.num_edges());
+    let mut victims: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    victims.shuffle(&mut rng);
+    let mut live_deg: Vec<usize> = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+    let mut killed = Vec::with_capacity(budget);
+    'outer: for &v in &victims {
+        for &u in g.neighbors(v) {
+            if killed.len() >= budget {
+                break 'outer;
+            }
+            let e = if v < u { (v, u) } else { (u, v) };
+            if killed.contains(&e) {
+                continue;
+            }
+            if live_deg[v as usize] > 1 && live_deg[u as usize] > 1 {
+                live_deg[v as usize] -= 1;
+                live_deg[u as usize] -= 1;
+                killed.push(e);
+            }
+        }
+    }
+    killed
+}
+
+/// Adversarial router kills: highest-degree routers first (id order
+/// breaks ties), `round(fraction · Nr)` of them. On regular graphs this
+/// degenerates to id order — still deterministic and documented.
+pub fn adversarial_routers(g: &Graph, fraction: f64) -> Vec<u32> {
+    let n = g.num_vertices();
+    let count = ((fraction * n as f64).round() as usize).min(n);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    ids.truncate(count);
+    ids
+}
+
+/// Lowers `(fractions, seed, mode)` to an explicit kill-set — the
+/// single entry point the `FaultPlan` layer and `sf-bench survive` use.
+/// Deterministic: identical inputs produce identical kill-sets.
+pub fn kill_set(g: &Graph, links: f64, routers: f64, seed: u64, mode: FaultMode) -> KillSet {
+    let link_kills = match mode {
+        FaultMode::Random => sample_links(g, links, seed),
+        FaultMode::Adversarial => adversarial_links(g, links, seed),
+    };
+    let router_kills = match mode {
+        FaultMode::Random => sample_routers(g, routers, seed),
+        FaultMode::Adversarial => adversarial_routers(g, routers),
+    };
+    KillSet {
+        links: link_kills,
+        routers: router_kills,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::empty(n);
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn link_sampler_is_deterministic_and_canonical() {
+        let g = complete(8);
+        let a = sample_links(&g, 0.25, 42);
+        let b = sample_links(&g, 0.25, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), link_kill_count(&g, 0.25));
+        assert!(a.iter().all(|&(u, v)| u < v && g.has_edge(u, v)));
+        // A different seed draws a different prefix.
+        assert_ne!(a, sample_links(&g, 0.25, 43));
+    }
+
+    #[test]
+    fn zero_fraction_kills_nothing() {
+        let g = complete(6);
+        assert!(sample_links(&g, 0.0, 7).is_empty());
+        assert!(sample_routers(&g, 0.0, 7).is_empty());
+        assert!(adversarial_links(&g, 0.0, 7).is_empty());
+        assert!(kill_set(&g, 0.0, 0.0, 7, FaultMode::Random).is_empty());
+        assert!(kill_set(&g, 0.0, 0.0, 7, FaultMode::Adversarial).is_empty());
+    }
+
+    #[test]
+    fn link_prefix_matches_survives_removal_sampler() {
+        // The unification contract: removing the kill-set must be the
+        // same experiment failure::survives_removal runs for (count, seed).
+        let g = complete(10);
+        let count = link_kill_count(&g, 0.2);
+        let kills = sample_links(&g, 0.2, 99);
+        let survived_here = crate::metrics::is_connected(&g.without_edges(&kills));
+        let survived_there =
+            crate::failure::survives_removal(&g, count, crate::failure::Property::Connected, 99);
+        assert_eq!(survived_here, survived_there);
+        assert_eq!(kills, shuffled_edges(&g, 99)[..count].to_vec());
+    }
+
+    #[test]
+    fn router_sampler_is_independent_of_link_stream() {
+        let g = complete(10);
+        let ks = kill_set(&g, 0.1, 0.2, 5, FaultMode::Random);
+        assert_eq!(ks.links, sample_links(&g, 0.1, 5));
+        assert_eq!(ks.routers, sample_routers(&g, 0.2, 5));
+        assert_eq!(ks.routers.len(), 2);
+        // Same seed, link-only vs combined: identical link kills.
+        let link_only = kill_set(&g, 0.1, 0.0, 5, FaultMode::Random);
+        assert_eq!(ks.links, link_only.links);
+    }
+
+    #[test]
+    fn adversarial_never_isolates_a_router() {
+        let g = complete(8);
+        for frac in [0.1, 0.3, 0.5, 0.9] {
+            let kills = adversarial_links(&g, frac, 11);
+            let h = g.without_edges(&kills);
+            assert!(h.min_degree() >= 1, "fraction {frac} isolated a router");
+        }
+    }
+
+    #[test]
+    fn adversarial_concentrates_damage() {
+        // On a complete graph the first victim loses all but one cable:
+        // some router's degree drops far below the random sampler's
+        // expectation at the same fraction.
+        let g = complete(12);
+        let kills = adversarial_links(&g, 0.3, 3);
+        let h = g.without_edges(&kills);
+        assert_eq!(kills.len(), link_kill_count(&g, 0.3));
+        assert!(
+            h.min_degree() <= 2,
+            "adversarial damage should crater one victim, min degree {}",
+            h.min_degree()
+        );
+    }
+
+    #[test]
+    fn adversarial_routers_target_high_degree() {
+        // Star-ish graph: router 0 has degree 5, the leaves degree ≤ 2.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2)]);
+        assert_eq!(adversarial_routers(&g, 0.2), vec![0]);
+    }
+
+    #[test]
+    fn fault_mode_round_trips() {
+        for m in [FaultMode::Random, FaultMode::Adversarial] {
+            assert_eq!(m.as_str().parse::<FaultMode>().unwrap(), m);
+        }
+        assert!("warp".parse::<FaultMode>().is_err());
+    }
+
+    #[test]
+    fn sparse_budget_underfill_is_allowed() {
+        // A cycle has min degree 2: adversarial can kill at most every
+        // other cable before the no-isolation guard stops it.
+        let g = cycle(8);
+        let kills = adversarial_links(&g, 1.0, 1);
+        let h = g.without_edges(&kills);
+        assert!(h.min_degree() >= 1);
+        assert!(kills.len() < g.num_edges());
+    }
+}

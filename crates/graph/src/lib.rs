@@ -10,7 +10,10 @@
 //!   multi-start Fiduccia–Mattheyses refinement), the stand-in for the
 //!   METIS run the paper uses to estimate bisection bandwidth (§III-C);
 //! * [`failure`] — Monte-Carlo random link-failure experiments backing the
-//!   three resiliency metrics of §III-D.
+//!   three resiliency metrics of §III-D;
+//! * [`fault`] — deterministic seeded kill-sets (dead cables + routers),
+//!   the one sampler shared by the failure analysis, the `sf-topo`
+//!   degradation layer, and the experiment plan's `FaultPlan`.
 //!
 //! ```
 //! use sf_graph::Graph;
@@ -23,6 +26,7 @@
 //! ```
 
 pub mod failure;
+pub mod fault;
 pub mod graph;
 pub mod metrics;
 pub mod partition;

@@ -115,7 +115,7 @@ impl<'a> PathGen<'a> {
                 debug_assert!(n > 0, "no minimal next hop {cur}->{d}");
                 let mut k = rng.gen_range(0..n);
                 for &v in nbrs {
-                    if row[v as usize] + 1 == need {
+                    if need != crate::tables::UNREACHABLE && row[v as usize] + 1 == need {
                         if k == 0 {
                             cur = v;
                             break;
@@ -160,7 +160,15 @@ impl<'a> PathGen<'a> {
             while r == s || r == d {
                 r = rng.gen_range(0..nr);
             }
-            let hops = row_s[r as usize] as u32 + row_d[r as usize] as u32;
+            let (leg_s, leg_d) = (row_s[r as usize], row_d[r as usize]);
+            if leg_s == crate::tables::UNREACHABLE || leg_d == crate::tables::UNREACHABLE {
+                // Degraded graphs only: an intermediate in another
+                // component (or an isolated dead router) cannot host a
+                // detour — redraw. On connected graphs this branch is
+                // unreachable, so the RNG draw sequence is unchanged.
+                continue;
+            }
+            let hops = leg_s as u32 + leg_d as u32;
             if cap3 && hops > 3 {
                 continue;
             }

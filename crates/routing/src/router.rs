@@ -333,6 +333,20 @@ struct Layer {
     tables: RoutingTables,
 }
 
+/// The degraded-operation connectivity criterion for FatPaths layers:
+/// every **live** router of the base graph (degree > 0 — a degraded
+/// [`sf_topo::Network`] zeroes dead routers' cables and endpoints
+/// together, so degree-0 routers host no traffic) must reach every
+/// other live router in the candidate layer `t`. On an intact base
+/// every router is live and this is the classic all-pairs check.
+fn live_connected(base: &Graph, t: &RoutingTables) -> bool {
+    let mut live = (0..base.num_vertices() as u32).filter(|&v| base.degree(v) > 0);
+    match live.next() {
+        None => true,
+        Some(first) => live.all(|v| t.distance(first, v) != crate::tables::UNREACHABLE),
+    }
+}
+
 /// FatPaths-style layered multipath routing (Besta et al. 2020, "High-
 /// Performance Routing with Multipathing and Path Diversity").
 ///
@@ -410,6 +424,13 @@ impl FatPathsRouter {
                 FATPATHS_MAX_LAYER_HOPS
             )));
         }
+        if !live_connected(graph, tables) {
+            return Err(invalid(
+                "base graph's live routers are not connected (degraded \
+                 networks must pass the partition check before routing)"
+                    .into(),
+            ));
+        }
         // Degraded layers may detour at most 2 hops past the base
         // diameter: keeps VC pressure near the simulator's default
         // budget (see the deadlock note on the type).
@@ -436,14 +457,18 @@ impl FatPathsRouter {
             let start = (l - 1) * ne / (num_layers - 1);
             let mut removed: Vec<(u32, u32)> =
                 (0..slice).map(|i| edges[(start + i) % ne]).collect();
-            // Degrade gracefully: halve the deletion set until the layer
-            // is connected and within the hop budget (empty set = layer 0
-            // topology, which is known good).
+            // Layer-repair fallback: halve the deletion set until the
+            // layer connects every live router within the hop budget
+            // (empty set = layer 0 topology, which is known good). On a
+            // fault-degraded base this is the documented "layer died"
+            // path — a layer whose slice would cut off live routers
+            // sheds deletions until it survives, in the worst case
+            // collapsing onto the degraded base graph itself, so every
+            // layer remains a valid (if less diverse) routing function.
             let layer = loop {
                 let g = graph.without_edges(&removed);
                 let t = RoutingTables::new(&g);
-                let connected = (0..g.num_vertices() as u32)
-                    .all(|v| t.distance(0, v) != crate::tables::UNREACHABLE);
+                let connected = live_connected(graph, &t);
                 if connected && (t.max_distance() as usize) <= hop_budget {
                     break Layer {
                         graph: g,
@@ -726,6 +751,39 @@ mod tests {
         let long = Graph::from_edges(16, &(0..15u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
         let lt = RoutingTables::new(&long);
         assert!(FatPathsRouter::build(&long, &lt, 2, 1).is_err());
+    }
+
+    #[test]
+    fn fatpaths_builds_on_router_killed_degraded_graph() {
+        // Kill router 0 of SF(q=5): all its incident edges go away and it
+        // becomes an isolated (dead) vertex. FatPaths must still build,
+        // connecting every *live* router in every layer — the classic
+        // vertex-0-anchored check would reject this graph outright.
+        let (g, _) = sf5();
+        let dead: Vec<(u32, u32)> = g.neighbors(0).iter().map(|&v| (0, v)).collect();
+        let dg = g.without_edges(&dead);
+        assert_eq!(dg.degree(0), 0);
+        let dt = RoutingTables::new(&dg);
+        let fp = FatPathsRouter::build(&dg, &dt, 3, FATPATHS_SEED).unwrap();
+        for l in 0..fp.num_layers() {
+            let lt = fp.layer_tables(l);
+            for v in 2..dg.num_vertices() as u32 {
+                assert_ne!(lt.distance(1, v), crate::tables::UNREACHABLE, "layer {l}");
+            }
+        }
+        // Routes between live routers stay valid on the degraded graph.
+        let mut rng = StdRng::seed_from_u64(5);
+        let ctx = RouteCtx::offline(&dg, &dt, 1, 40);
+        match fp.route(&ctx, &mut rng) {
+            RouteDecision::Path(p) => validate_path(&dg, &p, 1, 40),
+            RouteDecision::PerHop => panic!("FatPaths is source-routed"),
+        }
+        // A base whose *live* routers are partitioned is a typed error:
+        // two disjoint live edges plus isolated vertices.
+        let split = Graph::from_edges(6, &[(0, 1), (2, 3)]);
+        let st = RoutingTables::new(&split);
+        let err = FatPathsRouter::build(&split, &st, 2, 1).unwrap_err();
+        assert!(err.to_string().contains("live routers"), "{err}");
     }
 
     #[test]

@@ -127,6 +127,44 @@
 //! tail, no VC reservation outlives its grant, and the engine's curves
 //! match the pre-wormhole engine to the last bit.
 //!
+//! # Fault injection and degraded operation
+//!
+//! The engine supports two failure modes (see `sf_topo::Network::degrade`
+//! and `sf_graph::fault` for the kill-set machinery):
+//!
+//! * **Boot-time degradation** — construct the [`Simulator`] over an
+//!   already-degraded `Network` (dead routers have zero concentration
+//!   and no cables). Nothing engine-side changes: the degraded graph is
+//!   just a smaller graph, and `Network::degrade` guarantees the live
+//!   routers stay connected.
+//! * **Mid-run link kills** — [`Simulator::apply_fault`] marks links
+//!   dead *while flits are in flight* and swaps in routing state
+//!   re-derived on the degraded graph. Recovery is an **administrative
+//!   drain**, not a vaporization: flits already staged or on the wire
+//!   finish crossing (transmission never consults the dead set — the
+//!   cable fails for *new* allocations, in-flight symbols land), and
+//!   only new head-flit allocations are refused. A head that would
+//!   cross a dead link, or whose destination became unreachable, is
+//!   **dropped** at the input buffer; for a multi-flit packet the drop
+//!   plants a sentinel in the wormhole reservation table
+//!   (`in_route[slot] = DROP_ROUTE`) so the trailing body/tail flits
+//!   are discarded one by one as they arrive, the tail clearing the
+//!   sentinel. Every drop returns its upstream credit exactly like a
+//!   grant, so the credit-conservation invariant
+//!   ([`Simulator::verify_credit_round_trip`]) holds *through* the
+//!   kill, and after the sources quiet down the network provably
+//!   returns to the reset state ([`Simulator::verify_quiescent`]) — no
+//!   flit is ever stranded on a dead cable.
+//!
+//! Drop accounting surfaces in [`SimResult::dropped_flits`] (flits
+//! administratively discarded) and [`SimResult::unreachable_pairs`]
+//! (packets whose destination router was unreachable when generated or
+//! injected); dropped sample packets count toward the drain condition,
+//! so a post-kill run still terminates. A fault-free run never touches
+//! any of this: the guards key on the dead-link table being non-empty,
+//! and the RNG draw sequence is bit-identical to the pre-fault engine
+//! (pinned by the zero-fault parity tests).
+//!
 //! The contract is also *statically linted*: the `sf-lint` binary
 //! (`cargo run --bin sf-lint`) scans this crate — along with
 //! `sf-routing`, `sf-flow`, `sf-core` and `sf-verify` — and rejects
@@ -142,10 +180,21 @@
 use crate::stats::LatencyStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sf_graph::Graph;
+use sf_routing::tables::UNREACHABLE;
 use sf_routing::{QueueView, RouteCtx, RouteDecision, Router, RoutingTables};
 use sf_topo::Network;
 use sf_traffic::TrafficPattern;
 use std::collections::VecDeque;
+
+/// `in_route` sentinel: the slot's in-flight packet was administratively
+/// dropped at its head flit (dead output link or unreachable
+/// destination after [`Simulator::apply_fault`]). Trailing body/tail
+/// flits arriving at the slot are discarded instead of granted; the
+/// tail drop clears the sentinel. Distinct from `u32::MAX` ("free") and
+/// from every real reservation (which is a `link × num_vcs + vc` index,
+/// far below this value for any simulatable network).
+const DROP_ROUTE: u32 = u32::MAX - 1;
 
 /// Router micro-architecture and measurement parameters (§V defaults).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -280,6 +329,18 @@ pub struct SimResult {
     pub max_link_util: f64,
     /// Mean channel utilization over the measurement window.
     pub mean_link_util: f64,
+    /// Flits administratively dropped over the whole phase because of
+    /// an applied fault ([`Simulator::apply_fault`]): heads refused a
+    /// dead link or an unreachable destination, their trailing flits,
+    /// and whole packets discarded at generation/injection. Always 0 on
+    /// a fault-free run.
+    pub dropped_flits: u64,
+    /// Packets whose destination router was unreachable on the degraded
+    /// graph at generation or injection time (counted per packet; their
+    /// flits are included in [`SimResult::dropped_flits`]). Always 0 on
+    /// a fault-free run, and 0 under faults that keep the live network
+    /// connected.
+    pub unreachable_pairs: u64,
     /// Simulated cycles actually executed (the drain phase exits early
     /// once all sample packets are delivered).
     pub cycles: u32,
@@ -544,6 +605,11 @@ pub struct Simulator<'a> {
     tables: &'a RoutingTables,
     router: &'a dyn Router,
     pattern: &'a TrafficPattern,
+    /// The graph routing decisions see ([`RouteCtx::graph`]): `net.graph`
+    /// until [`Simulator::apply_fault`] swaps in the degraded graph.
+    /// Micro-architectural state (ports, links, endpoints) always keys
+    /// off the boot-time `net`.
+    route_graph: &'a Graph,
     cfg: SimConfig,
     load: f64,
 
@@ -562,6 +628,11 @@ pub struct Simulator<'a> {
     occ: Vec<u32>,
     /// Flits sent per link during the measurement window.
     link_flits: Vec<u64>,
+    /// Per-link dead flag after [`Simulator::apply_fault`]; **empty**
+    /// on a fault-free run, so every fault guard in the hot path is one
+    /// `is_empty()` test and the fault machinery costs nothing when
+    /// unused (pinned by the zero-fault parity tests).
+    link_dead: Vec<bool>,
 
     // ---- time-bucketed in-flight events ----
     // Wire and credit delays are run constants, so every event lands a
@@ -660,9 +731,15 @@ pub struct Simulator<'a> {
     head_ejected: u64,
     sample_generated: u64,
     sample_ejected: u64,
+    /// Sample packets (generated inside the window) administratively
+    /// dropped; counts toward the drain condition so a post-kill phase
+    /// still terminates.
+    sample_dropped: u64,
     window_ejected: u64,
     total_ejected: u64,
     total_ejected_flits: u64,
+    dropped_flits: u64,
+    unreachable_pairs: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -728,6 +805,7 @@ impl<'a> Simulator<'a> {
             tables,
             router,
             pattern,
+            route_graph: &net.graph,
             cfg,
             load,
             vc_cap,
@@ -737,6 +815,7 @@ impl<'a> Simulator<'a> {
             staged_mask: vec![0; nlinks.div_ceil(64)],
             occ: vec![0; nlinks],
             link_flits: vec![0; nlinks],
+            link_dead: Vec::new(),
             flit_eff,
             flit_buckets: (0..=flit_eff).map(|_| Vec::new()).collect(),
             credit_eff,
@@ -768,9 +847,12 @@ impl<'a> Simulator<'a> {
             head_ejected: 0,
             sample_generated: 0,
             sample_ejected: 0,
+            sample_dropped: 0,
             window_ejected: 0,
             total_ejected: 0,
             total_ejected_flits: 0,
+            dropped_flits: 0,
+            unreachable_pairs: 0,
         }
     }
 
@@ -814,7 +896,7 @@ impl<'a> Simulator<'a> {
             occ: &self.occ,
         };
         let ctx = RouteCtx {
-            graph: &self.net.graph,
+            graph: self.route_graph,
             tables: self.tables,
             queues: &queues,
             src: src_r,
@@ -865,7 +947,7 @@ impl<'a> Simulator<'a> {
                 occ: &self.occ,
             };
             let ctx = RouteCtx {
-                graph: &self.net.graph,
+                graph: self.route_graph,
                 tables: self.tables,
                 queues: &queues,
                 src: r,
@@ -875,6 +957,75 @@ impl<'a> Simulator<'a> {
             };
             self.router.next_hop(&ctx, r, &mut self.rng)
         }
+    }
+
+    /// Whether traffic from router `src_r` to router `dst_r` has no
+    /// route on the (degraded) tables. Only meaningful after
+    /// [`Simulator::apply_fault`] — the boot graph is connected.
+    #[inline]
+    fn unroutable(&self, src_r: u32, dst_r: u32) -> bool {
+        src_r != dst_r && self.tables.distance(src_r, dst_r) == UNREACHABLE
+    }
+
+    /// Administratively drops the front flit of input slot `slot` at
+    /// router `r` (see the module docs): frees the buffer, returns the
+    /// upstream credit exactly like a grant, and maintains the drop
+    /// accounting and the [`DROP_ROUTE`] sentinel — a multi-flit head
+    /// plants it for the trailing flits, the tail clears it and closes
+    /// the packet's sample accounting.
+    fn drop_front(&mut self, r: u32, slot: usize, net_deg: usize, credit_due: usize) {
+        let pkt = self.buf_pop(r, slot);
+        let fp = self.slot_port(slot);
+        let port = fp - self.port_base[r as usize] as usize;
+        if port < net_deg {
+            let down = self.links.link_base[r as usize] as usize + port;
+            let up_link = self.links.rev[down];
+            let vc = (slot - fp * self.cfg.num_vcs) as u8;
+            self.credit_buckets[credit_due].push((up_link, vc));
+        }
+        self.dropped_flits += 1;
+        if pkt.size > 1 {
+            self.in_route[slot] = if pkt.is_tail() { u32::MAX } else { DROP_ROUTE };
+        }
+        if pkt.is_tail() && pkt.gen_time >= self.win_start && pkt.gen_time < self.win_end {
+            self.sample_dropped += 1;
+        }
+    }
+
+    /// Kills links mid-run and swaps in routing state re-derived on the
+    /// degraded graph. `dead_links` are router pairs (either
+    /// orientation); `graph`/`tables`/`router` must be the degraded
+    /// graph (e.g. `net.graph.without_edges(dead_links)` or
+    /// `Network::degrade(...)`), its tables, and a policy rebuilt over
+    /// them. A policy that cannot be rebuilt on a degraded base (e.g.
+    /// FatPaths when the kill partitions the live routers) must be
+    /// replaced by one that can — MIN always can.
+    ///
+    /// Committed wormhole traffic is **not** vaporized: see the module
+    /// docs for the administrative-drain semantics. An empty kill set
+    /// is a no-op, keeping the fault-free hot path untouched.
+    pub fn apply_fault(
+        &mut self,
+        dead_links: &[(u32, u32)],
+        graph: &'a Graph,
+        tables: &'a RoutingTables,
+        router: &'a dyn Router,
+    ) {
+        if dead_links.is_empty() {
+            return;
+        }
+        assert_eq!(tables.num_routers(), self.net.num_routers());
+        if self.link_dead.is_empty() {
+            self.link_dead = vec![false; self.occ.len()];
+        }
+        for &(u, v) in dead_links {
+            let l = self.links.link(u, v) as usize;
+            self.link_dead[l] = true;
+            self.link_dead[self.links.rev[l] as usize] = true;
+        }
+        self.route_graph = graph;
+        self.tables = tables;
+        self.router = router;
     }
 
     /// Advances the simulation by one cycle.
@@ -925,6 +1076,19 @@ impl<'a> Simulator<'a> {
                 }
                 if self.rng.gen_bool(p_gen) {
                     if let Some(d) = self.pattern.dest(e, &mut self.rng) {
+                        // Degraded operation: a packet for a router the
+                        // fault disconnected is dropped at the source —
+                        // never queued, never counted as a sample. The
+                        // guard draws no RNG, so a fault-free run is
+                        // bit-identical.
+                        if !self.link_dead.is_empty()
+                            && self
+                                .unroutable(self.ep_router[e as usize], self.ep_router[d as usize])
+                        {
+                            self.dropped_flits += self.cfg.packet_size as u64;
+                            self.unreachable_pairs += 1;
+                            continue;
+                        }
                         if now >= self.win_start && now < self.win_end {
                             self.sample_generated += 1;
                         }
@@ -974,10 +1138,25 @@ impl<'a> Simulator<'a> {
                 let (gen_time, dst_ep) = self.src_q[e as usize]
                     .pop_front()
                     .expect("src_mask marks this endpoint's queue non-empty");
+                let dst_r = self.ep_router[dst_ep as usize];
+                // Degraded operation: a packet queued *before* a fault
+                // whose destination is now unreachable is dropped here
+                // instead of injected (its flits never entered the
+                // network, but it was already counted as a sample).
+                if !self.link_dead.is_empty() && self.unroutable(r, dst_r) {
+                    self.dropped_flits += self.cfg.packet_size as u64;
+                    self.unreachable_pairs += 1;
+                    if gen_time >= self.win_start && gen_time < self.win_end {
+                        self.sample_dropped += 1;
+                    }
+                    if self.src_q[e as usize].is_empty() {
+                        self.src_mask[e as usize / 64] &= !(1 << (e % 64));
+                    }
+                    continue;
+                }
                 if self.src_q[e as usize].is_empty() && self.cfg.packet_size == 1 {
                     self.src_mask[e as usize / 64] &= !(1 << (e % 64));
                 }
-                let dst_r = self.ep_router[dst_ep as usize];
                 let (path, path_len) = self.choose_path(r, dst_r, flow_id(e, dst_ep));
                 // Spread packets over VC classes: an h-hop path may start at
                 // any base with base + h ≤ num_vcs (adaptive paths reserve
@@ -1126,6 +1305,15 @@ impl<'a> Simulator<'a> {
                         continue; // handled by ejection
                     }
                     let alloc = self.in_route[slot];
+                    if alloc == DROP_ROUTE {
+                        // Trailing flit of an administratively dropped
+                        // packet: discard it (the tail clears the
+                        // sentinel — see the module docs).
+                        debug_assert!(!head.is_head());
+                        self.drop_front(r, slot, net_deg, credit_due);
+                        self.in_grants[port] = iter as u32 + 1;
+                        continue;
+                    }
                     let (l, next_vc) = if alloc != u32::MAX {
                         // Body/tail flit: inherit the head's reserved
                         // (link, VC) — the routing policy is never
@@ -1134,8 +1322,26 @@ impl<'a> Simulator<'a> {
                         ((alloc as usize) / nvc, (alloc as usize) % nvc)
                     } else {
                         debug_assert!(head.is_head());
+                        if !self.link_dead.is_empty() && self.unroutable(r, self.dst_router(&head))
+                        {
+                            // The fault disconnected this in-flight
+                            // packet's destination: drop before asking
+                            // the (degraded) routing policy, which has
+                            // no answer for it.
+                            self.drop_front(r, slot, net_deg, credit_due);
+                            self.in_grants[port] = iter as u32 + 1;
+                            continue;
+                        }
                         let nxt = self.next_hop(&head, r);
                         let l = self.links.link(r, nxt) as usize;
+                        if !self.link_dead.is_empty() && self.link_dead[l] {
+                            // A stale source route (chosen before the
+                            // kill) crosses a dead cable: refuse the
+                            // allocation and drop the packet here.
+                            self.drop_front(r, slot, net_deg, credit_due);
+                            self.in_grants[port] = iter as u32 + 1;
+                            continue;
+                        }
                         let next_vc = hop_vc(nvc, head.vc_base, head.hop as usize);
                         (l, next_vc)
                     };
@@ -1358,6 +1564,11 @@ impl<'a> Simulator<'a> {
                     "slot {slot}: allocation {alloc} held at packet_size = 1"
                 ));
             }
+            if alloc == DROP_ROUTE {
+                // A condemned packet's trailing flits are still inbound;
+                // no output VC is owned, so there is nothing to mirror.
+                continue;
+            }
             let owner = self.out_owner.get(alloc as usize).copied();
             if owner != Some(slot as u32) {
                 return Err(format!(
@@ -1454,9 +1665,12 @@ impl<'a> Simulator<'a> {
         self.head_ejected = 0;
         self.sample_generated = 0;
         self.sample_ejected = 0;
+        self.sample_dropped = 0;
         self.window_ejected = 0;
         self.total_ejected = 0;
         self.total_ejected_flits = 0;
+        self.dropped_flits = 0;
+        self.unreachable_pairs = 0;
         for c in &mut self.link_flits {
             *c = 0;
         }
@@ -1471,12 +1685,16 @@ impl<'a> Simulator<'a> {
         let horizon = self.win_end + self.cfg.drain;
         while self.now < horizon {
             self.step();
-            if self.now >= self.win_end && self.sample_ejected >= self.sample_generated {
+            if self.now >= self.win_end
+                && self.sample_ejected + self.sample_dropped >= self.sample_generated
+            {
                 break;
             }
         }
         let active = self.pattern.num_active().max(1) as f64;
-        let drained = self.sample_ejected >= self.sample_generated;
+        // Administratively dropped sample packets count as resolved:
+        // a fault that disconnects traffic must not read as saturation.
+        let drained = self.sample_ejected + self.sample_dropped >= self.sample_generated;
         let mcycles = self.cfg.measure.max(1) as f64;
         let mut max_util = 0.0f64;
         let mut sum_util = 0.0f64;
@@ -1515,6 +1733,8 @@ impl<'a> Simulator<'a> {
             } else {
                 sum_util / nlinks as f64
             },
+            dropped_flits: self.dropped_flits,
+            unreachable_pairs: self.unreachable_pairs,
             cycles: self.now - phase_start,
         }
     }
@@ -2106,6 +2326,137 @@ mod tests {
         assert_eq!(second.offered_load, 0.1);
         assert!(second.ejected > 0);
         assert!(!second.saturated);
+    }
+
+    fn ring_net(n: u32, conc: u32) -> Network {
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Network::new(
+            sf_graph::Graph::from_edges(n as usize, &edges),
+            vec![conc; n as usize],
+            format!("ring{n}"),
+            sf_topo::TopologyKind::Other,
+        )
+    }
+
+    #[test]
+    fn empty_fault_is_a_no_op_and_bit_identical() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let a = Simulator::new(&net, &tables, &MinRouter, &pat, 0.3, quick_cfg(41)).run();
+        let mut sim = Simulator::new(&net, &tables, &MinRouter, &pat, 0.3, quick_cfg(41));
+        sim.apply_fault(&[], &net.graph, &tables, &MinRouter);
+        let b = sim.run_phase();
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.ejected, b.ejected);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(b.dropped_flits, 0);
+        assert_eq!(b.unreachable_pairs, 0);
+    }
+
+    #[test]
+    fn mid_run_link_kill_drops_stale_routes_and_quiesces() {
+        // Kill 2% of SF(q=5)'s cables between two measurement phases:
+        // packets in flight with stale source routes across the dead
+        // links are administratively dropped, new traffic re-routes on
+        // the degraded graph, the phase drains, and after quieting the
+        // sources the state provably returns to reset.
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let mut cfg = quick_cfg(42);
+        cfg.packet_size = 4;
+        let mut sim = Simulator::new(&net, &tables, &MinRouter, &pat, 0.4, cfg);
+        let first = sim.run_phase();
+        assert!(!first.saturated);
+        assert_eq!(first.dropped_flits, 0);
+        let kill =
+            sf_graph::fault::kill_set(&net.graph, 0.02, 0.0, 7, sf_graph::fault::FaultMode::Random);
+        assert!(!kill.links.is_empty());
+        let dg = net.graph.without_edges(&kill.links);
+        assert!(sf_graph::metrics::is_connected(&dg), "pick another seed");
+        let dt = RoutingTables::new(&dg);
+        sim.apply_fault(&kill.links, &dg, &dt, &MinRouter);
+        sim.rearm(0.4, 43);
+        let second = sim.run_phase();
+        assert!(!second.saturated, "drops must count toward the drain");
+        assert!(second.ejected > 0, "the degraded network still delivers");
+        assert!(
+            second.dropped_flits > 0,
+            "in-flight stale routes must hit the dead links"
+        );
+        assert_eq!(
+            second.unreachable_pairs, 0,
+            "this kill keeps the network connected"
+        );
+        sim.verify_credit_round_trip().unwrap();
+        // Quiet the sources: no flit may be stranded on a dead cable.
+        sim.rearm(0.0, 44);
+        for _ in 0..5_000 {
+            sim.step();
+            if sim.verify_quiescent().is_ok() {
+                break;
+            }
+        }
+        sim.verify_quiescent().unwrap();
+    }
+
+    #[test]
+    fn mid_run_partition_drops_unreachable_traffic_and_quiesces() {
+        // Cutting a ring in two mid-run: cross-cut traffic becomes
+        // unreachable and is dropped (at generation, injection, or en
+        // route), intra-half traffic keeps flowing, and the run still
+        // drains — a partition must read as drops, not saturation.
+        let net = ring_net(8, 2);
+        let tables = RoutingTables::new(&net.graph);
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let mut cfg = quick_cfg(45);
+        cfg.num_vcs = 5; // diameter-4 ring paths
+        let mut sim = Simulator::new(&net, &tables, &MinRouter, &pat, 0.2, cfg);
+        let first = sim.run_phase();
+        assert!(!first.saturated);
+        let dead = [(0u32, 1u32), (4u32, 5u32)];
+        let dg = net.graph.without_edges(&dead);
+        let dt = RoutingTables::new(&dg);
+        sim.apply_fault(&dead, &dg, &dt, &MinRouter);
+        sim.rearm(0.2, 46);
+        let second = sim.run_phase();
+        assert!(!second.saturated, "a partition must not read as saturation");
+        assert!(second.unreachable_pairs > 0, "cross-cut pairs must drop");
+        assert!(second.dropped_flits >= second.unreachable_pairs);
+        assert!(second.ejected > 0, "intra-half traffic keeps flowing");
+        sim.rearm(0.0, 47);
+        for _ in 0..5_000 {
+            sim.step();
+            if sim.verify_quiescent().is_ok() {
+                break;
+            }
+        }
+        sim.verify_quiescent().unwrap();
+    }
+
+    #[test]
+    fn boot_degraded_network_runs_fault_free() {
+        // A boot-time degraded Network (dead router: no cables, no
+        // endpoints) is just a smaller network to the engine — no
+        // drops, no unreachable pairs, normal drain.
+        let (net, _) = small_sf();
+        let kill = sf_graph::fault::kill_set(
+            &net.graph,
+            0.01,
+            0.03,
+            7,
+            sf_graph::fault::FaultMode::Random,
+        );
+        assert!(!kill.routers.is_empty());
+        let dnet = net.degrade(&kill, " [test]").unwrap();
+        assert!(dnet.degraded);
+        assert!(dnet.num_endpoints() < net.num_endpoints());
+        let dt = RoutingTables::new(&dnet.graph);
+        let pat = TrafficPattern::uniform(dnet.num_endpoints() as u32);
+        let r = Simulator::new(&dnet, &dt, &MinRouter, &pat, 0.2, quick_cfg(48)).run();
+        assert!(!r.saturated);
+        assert!(r.ejected > 0);
+        assert_eq!(r.dropped_flits, 0);
+        assert_eq!(r.unreachable_pairs, 0);
     }
 
     #[test]

@@ -219,6 +219,107 @@ proptest! {
     }
 
     #[test]
+    fn mid_run_kill_conserves_credits_and_quiesces(
+        load in 0.05f64..0.25,
+        seed in 0u64..200,
+        kill_seed in 0u64..50,
+        frac_idx in 0usize..3,
+        algo_idx in 0usize..5,
+        size_idx in 0usize..3,
+    ) {
+        // Random kill-sets × routings × packet sizes: after a mid-run
+        // link kill the credit loop must still balance, the phase must
+        // drain (administrative drops count toward quiescence, even if
+        // the kill partitions the network), and quieting the sources
+        // must return the engine to its exact reset state — no flit
+        // stranded on a dead cable, no credit lost across the cut.
+        use sf_graph::fault::{kill_set, FaultMode};
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let tables = RoutingTables::new(&net.graph);
+        let pattern = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let spec: RoutingSpec =
+            ["min", "val", "ugal-l:c=4", "ugal-g:c=4", "fatpaths:layers=3"][algo_idx]
+                .parse()
+                .unwrap();
+        let packet_size = [1usize, 3, 5][size_idx];
+        let router = spec.build(&net.graph, &tables).unwrap();
+        let mut sim = Simulator::new(
+            &net,
+            &tables,
+            router.as_ref(),
+            &pattern,
+            load,
+            packet_cfg(seed, 5, packet_size),
+        );
+        let warm = sim.run_phase();
+        prop_assert!(!warm.saturated, "{} must drain fault-free", router.label());
+        let frac = [0.01, 0.03, 0.05][frac_idx];
+        let kill = kill_set(&net.graph, frac, 0.0, kill_seed, FaultMode::Random);
+        prop_assert!(!kill.links.is_empty());
+        let dg = net.graph.without_edges(&kill.links);
+        let dt = RoutingTables::new(&dg);
+        // Rebuild the same policy on the degraded graph; one that
+        // cannot be rebuilt there (FatPaths on an unlucky cut) falls
+        // back to MIN — the documented degraded-mode fallback.
+        let drouter = spec
+            .build(&dg, &dt)
+            .unwrap_or(Box::new(sf_routing::MinRouter));
+        sim.apply_fault(&kill.links, &dg, &dt, drouter.as_ref());
+        sim.rearm(load, seed ^ 0x5EED);
+        let phase = sim.run_phase();
+        prop_assert!(!phase.saturated, "{}: drops must count toward the drain", drouter.label());
+        if let Err(e) = sim.verify_credit_round_trip() {
+            prop_assert!(false, "{} after kill: {e}", drouter.label());
+        }
+        if let Err(e) = sim.verify_occupancy_counters() {
+            prop_assert!(false, "{} after kill: {e}", drouter.label());
+        }
+        sim.rearm(0.0, seed ^ 0xDEAD);
+        for _ in 0..20_000 {
+            sim.step();
+            if sim.verify_quiescent().is_ok() {
+                break;
+            }
+        }
+        if let Err(e) = sim.verify_quiescent() {
+            prop_assert!(
+                false,
+                "{} size {packet_size} frac {frac}: failed to quiesce after kill: {e}",
+                drouter.label()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_kill_set_is_bit_identical_to_fault_free(
+        load in 0.05f64..0.4,
+        seed in 0u64..200,
+    ) {
+        // The zero-fault parity guard at the engine level: degrading by
+        // an empty kill-set and applying an empty fault must leave the
+        // engine on its fault-free hot path — results are bit-identical
+        // to a run that never heard of faults.
+        let sf = SlimFly::new(5).unwrap();
+        let net = sf.network();
+        let kill = sf_graph::fault::KillSet::default();
+        let dnet = net.degrade(&kill, " [noop]").unwrap();
+        prop_assert!(!dnet.degraded);
+        let tables = RoutingTables::new(&net.graph);
+        let a = Simulator::new(&net, &tables, &sf_routing::MinRouter, &TrafficPattern::uniform(net.num_endpoints() as u32), load, quick_cfg(seed, 4, 64)).run();
+        let dt = RoutingTables::new(&dnet.graph);
+        let pat = TrafficPattern::uniform(dnet.num_endpoints() as u32);
+        let mut sim = Simulator::new(&dnet, &dt, &sf_routing::MinRouter, &pat, load, quick_cfg(seed, 4, 64));
+        sim.apply_fault(&[], &dnet.graph, &dt, &sf_routing::MinRouter);
+        let b = sim.run();
+        prop_assert_eq!(a.ejected, b.ejected);
+        prop_assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
+        prop_assert_eq!(a.accepted.to_bits(), b.accepted.to_bits());
+        prop_assert_eq!(b.dropped_flits, 0);
+        prop_assert_eq!(b.unreachable_pairs, 0);
+    }
+
+    #[test]
     fn determinism(load in 0.05f64..0.4, seed in 0u64..200) {
         let sf = SlimFly::new(5).unwrap();
         let net = sf.network();

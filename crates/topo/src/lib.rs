@@ -36,5 +36,5 @@ pub mod random_dln;
 pub mod slimfly;
 pub mod torus;
 
-pub use network::{Network, TopologyKind};
+pub use network::{DegradeError, Network, TopologyKind};
 pub use slimfly::SlimFly;

@@ -10,7 +10,8 @@
 //! * `Nr` — number of routers,
 //! * `D`  — network diameter.
 
-use sf_graph::Graph;
+use sf_graph::fault::KillSet;
+use sf_graph::{metrics, Graph};
 
 /// Which topology family a [`Network`] instance belongs to.
 ///
@@ -59,6 +60,11 @@ pub struct Network {
     pub name: String,
     /// Structural annotation.
     pub kind: TopologyKind,
+    /// Whether this instance is a fault-degraded view of another
+    /// network (see [`Network::degrade`]). Structure-derived consumers
+    /// — worst-case traffic adversaries, closed-form cost/diameter
+    /// formulas — must not assume the intact instance when this is set.
+    pub degraded: bool,
 }
 
 impl Network {
@@ -79,6 +85,7 @@ impl Network {
             offsets,
             name,
             kind,
+            degraded: false,
         }
     }
 
@@ -200,6 +207,72 @@ impl Network {
         }
     }
 
+    /// The degraded view of this network under an explicit
+    /// [`KillSet`]: dead cables are removed, dead routers additionally
+    /// lose every incident cable *and* their endpoints (concentration
+    /// zeroed — a dead router hosts no traffic). `suffix` is appended
+    /// to the instance name so degraded records group separately in
+    /// reports.
+    ///
+    /// **Parity contract**: an empty kill-set returns a clone of the
+    /// intact instance — same name, `degraded` unset — so zero-fraction
+    /// fault plans are bit-identical to fault-free ones end to end.
+    ///
+    /// **Connectivity contract**: every *live* router (not explicitly
+    /// killed) must remain in one connected component, otherwise some
+    /// endpoint pair is permanently unreachable at boot and the typed
+    /// [`DegradeError::Partitioned`] is returned. (Mid-run kills inside
+    /// the simulator are allowed to disconnect — the engine counts the
+    /// resulting drops instead; this check guards *boot-time* degraded
+    /// topologies, where unreachable pairs would silently skew curves.)
+    pub fn degrade(&self, kill: &KillSet, suffix: &str) -> Result<Network, DegradeError> {
+        if kill.is_empty() {
+            return Ok(self.clone());
+        }
+        let nr = self.num_routers();
+        let mut dead_router = vec![false; nr];
+        for &r in &kill.routers {
+            dead_router[r as usize] = true;
+        }
+        let mut dead_edges = kill.links.clone();
+        for &r in &kill.routers {
+            for &u in self.graph.neighbors(r) {
+                dead_edges.push(if r < u { (r, u) } else { (u, r) });
+            }
+        }
+        let g = self.graph.without_edges(&dead_edges);
+        let live: Vec<u32> = (0..nr as u32)
+            .filter(|&r| !dead_router[r as usize])
+            .collect();
+        let first = *live.first().ok_or(DegradeError::AllRoutersDead)?;
+        let dist = metrics::bfs_distances(&g, first);
+        let reached = live
+            .iter()
+            .filter(|&&r| dist[r as usize] != metrics::UNREACHABLE)
+            .count();
+        if reached != live.len() {
+            return Err(DegradeError::Partitioned {
+                topo: self.name.clone(),
+                live: live.len(),
+                reached,
+                dead_links: kill.links.len(),
+                dead_routers: kill.routers.len(),
+            });
+        }
+        let mut concentration = self.concentration.clone();
+        for &r in &kill.routers {
+            concentration[r as usize] = 0;
+        }
+        let mut net = Network::new(
+            g,
+            concentration,
+            format!("{}{}", self.name, suffix),
+            self.kind.clone(),
+        );
+        net.degraded = true;
+        Ok(net)
+    }
+
     /// One-line summary used by example binaries and benches.
     pub fn summary(&self) -> String {
         format!(
@@ -214,6 +287,48 @@ impl Network {
         )
     }
 }
+
+/// Why a [`KillSet`] cannot be applied as a boot-time degradation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeError {
+    /// The kill-set disconnects the live routers: some endpoint pair
+    /// would be permanently unreachable.
+    Partitioned {
+        /// Name of the intact instance.
+        topo: String,
+        /// Live (not explicitly killed) routers.
+        live: usize,
+        /// Live routers reachable from the first live router.
+        reached: usize,
+        /// Dead cables in the kill-set (excluding router-incident ones).
+        dead_links: usize,
+        /// Dead routers in the kill-set.
+        dead_routers: usize,
+    },
+    /// The kill-set leaves no live router at all.
+    AllRoutersDead,
+}
+
+impl std::fmt::Display for DegradeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeError::Partitioned {
+                topo,
+                live,
+                reached,
+                dead_links,
+                dead_routers,
+            } => write!(
+                f,
+                "fault kill-set ({dead_links} links, {dead_routers} routers) partitions \
+                 {topo}: only {reached} of {live} live routers remain connected"
+            ),
+            DegradeError::AllRoutersDead => write!(f, "fault kill-set leaves no live router"),
+        }
+    }
+}
+
+impl std::error::Error for DegradeError {}
 
 #[cfg(test)]
 mod tests {
@@ -267,5 +382,99 @@ mod tests {
         assert_eq!(n.num_endpoints(), 20);
         assert_eq!(n.endpoint_router(19), 3);
         assert_eq!(n.endpoint_router(0), 0);
+    }
+
+    fn ring4() -> Network {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        Network::with_uniform_concentration(g, 2, "ring4".into(), TopologyKind::Other)
+    }
+
+    #[test]
+    fn degrade_empty_kill_set_is_identity() {
+        let n = ring4();
+        let d = n.degrade(&KillSet::default(), " [f]").unwrap();
+        assert_eq!(d.name, "ring4", "no annotation without faults");
+        assert!(!d.degraded);
+        assert_eq!(d.graph, n.graph);
+        assert_eq!(d.concentration, n.concentration);
+    }
+
+    #[test]
+    fn degrade_removes_links_and_annotates() {
+        let n = ring4();
+        let kill = KillSet {
+            links: vec![(0, 1)],
+            routers: vec![],
+        };
+        let d = n.degrade(&kill, " [l=1]").unwrap();
+        assert_eq!(d.name, "ring4 [l=1]");
+        assert!(d.degraded);
+        assert_eq!(d.graph.num_edges(), 3);
+        assert!(!d.graph.has_edge(0, 1));
+        assert_eq!(d.num_endpoints(), 8, "link kills keep endpoints");
+    }
+
+    #[test]
+    fn degrade_kills_router_with_incident_links_and_endpoints() {
+        let n = ring4();
+        let kill = KillSet {
+            links: vec![],
+            routers: vec![2],
+        };
+        let d = n.degrade(&kill, " [r=1]").unwrap();
+        assert!(d.degraded);
+        assert_eq!(d.graph.degree(2), 0);
+        assert_eq!(d.concentration[2], 0);
+        assert_eq!(d.num_endpoints(), 6);
+        // Live routers 0,1,3 stay connected through the surviving arc.
+        assert_eq!(d.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn degrade_partition_is_typed_error() {
+        let n = ring4();
+        // Cutting both arcs between {0,1} and {2,3} partitions the ring.
+        let kill = KillSet {
+            links: vec![(1, 2), (0, 3)],
+            routers: vec![],
+        };
+        let err = n.degrade(&kill, " [cut]").unwrap_err();
+        match &err {
+            DegradeError::Partitioned { live, reached, .. } => {
+                assert_eq!(*live, 4);
+                assert_eq!(*reached, 2);
+            }
+            other => panic!("expected Partitioned, got {other:?}"),
+        }
+        assert!(err.to_string().contains("partitions"));
+        // Isolating a *live* router is also a partition: it still
+        // hosts endpoints but can reach nobody.
+        let iso = KillSet {
+            links: vec![(0, 1), (0, 3)],
+            routers: vec![],
+        };
+        assert!(matches!(
+            n.degrade(&iso, " [iso]").unwrap_err(),
+            DegradeError::Partitioned { .. }
+        ));
+        // Killing that router instead (endpoints gone too) is fine.
+        let dead = KillSet {
+            links: vec![],
+            routers: vec![0],
+        };
+        assert!(n.degrade(&dead, " [r0]").is_ok());
+    }
+
+    #[test]
+    fn degrade_all_routers_dead_is_typed_error() {
+        let n = ring4();
+        let kill = KillSet {
+            links: vec![],
+            routers: vec![0, 1, 2, 3],
+        };
+        assert!(matches!(
+            n.degrade(&kill, " [all]").unwrap_err(),
+            DegradeError::AllRoutersDead
+        ));
     }
 }

@@ -27,6 +27,16 @@ pub enum TrafficError {
         /// Name of the offending network.
         topology: String,
     },
+    /// A worst-case pattern was requested for a fault-degraded network.
+    /// The adversarial permutations are derived from the *intact*
+    /// structure (MMS subgroup cosets, Dragonfly group order, torus
+    /// axes, …); on a degraded instance they would silently address
+    /// dead routers' endpoints or exploit cables that no longer exist,
+    /// so the combination is a typed error rather than a skewed curve.
+    WorstCaseOnDegraded {
+        /// Name of the degraded network instance.
+        topology: String,
+    },
 }
 
 impl fmt::Display for TrafficError {
@@ -49,6 +59,14 @@ impl fmt::Display for TrafficError {
                  flattened-butterfly, hypercube, Long-Hop, DLN and BDF \
                  networks have one; degenerate instances — fully \
                  connected or asymmetric — do not)"
+            ),
+            TrafficError::WorstCaseOnDegraded { topology } => write!(
+                f,
+                "worst-case traffic is undefined on the fault-degraded \
+                 network {topology}: the adversarial permutation is \
+                 derived from the intact structure and would silently \
+                 target dead routers (use uniform or a bit permutation \
+                 for resilience sweeps)"
             ),
         }
     }
@@ -123,6 +141,11 @@ impl TrafficSpec {
             TrafficSpec::BitComplement => Ok(TrafficPattern::bit_complement(n)),
             TrafficSpec::Shift => Ok(TrafficPattern::shift(n)),
             TrafficSpec::WorstCase => {
+                if net.degraded {
+                    return Err(TrafficError::WorstCaseOnDegraded {
+                        topology: net.name.clone(),
+                    });
+                }
                 let tables = tables();
                 match net.kind {
                     TopologyKind::SlimFly { .. } => {
@@ -212,6 +235,26 @@ mod tests {
         let tables = RoutingTables::new(&net.graph);
         let err = TrafficSpec::WorstCase.build(&net, &tables).unwrap_err();
         assert!(matches!(err, TrafficError::UnsupportedWorstCase { .. }));
+    }
+
+    #[test]
+    fn worst_case_on_degraded_network_is_typed_error() {
+        use sf_graph::fault::{kill_set, FaultMode};
+        let net = SlimFly::new(5).unwrap().network();
+        let kill = kill_set(&net.graph, 0.02, 0.0, 7, FaultMode::Random);
+        let degraded = net.degrade(&kill, " [faults l=0.02]").unwrap();
+        let tables = RoutingTables::new(&degraded.graph);
+        let err = TrafficSpec::WorstCase
+            .build(&degraded, &tables)
+            .unwrap_err();
+        assert!(matches!(err, TrafficError::WorstCaseOnDegraded { .. }));
+        assert!(err.to_string().contains("degraded"), "{err}");
+        // Every non-worst pattern still builds on the degraded view.
+        for &spec in TrafficSpec::ALL {
+            if spec != TrafficSpec::WorstCase {
+                assert!(spec.build(&degraded, &tables).is_ok(), "{spec}");
+            }
+        }
     }
 
     #[test]

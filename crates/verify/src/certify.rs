@@ -214,12 +214,18 @@ pub fn verify_combo(
     let n = tables.num_routers();
     // Totality: every ordered pair must have a finite route. All
     // schemes here route over minimal-path segments, so table
-    // reachability is exactly path coverage.
+    // reachability is exactly path coverage. Degree-0 routers are
+    // dead (a degraded `Network` strips a killed router's cables and
+    // endpoints together), so pairs touching them host no traffic
+    // and are exempt from totality.
     let mut pairs = 0usize;
     for s in 0..n as u32 {
+        if g.degree(s) == 0 {
+            continue;
+        }
         let row = tables.row(s);
         for d in 0..n as u32 {
-            if s == d {
+            if s == d || g.degree(d) == 0 {
                 continue;
             }
             if row[d as usize] == UNREACHABLE {
@@ -380,6 +386,28 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
         let t = RoutingTables::new(&g);
         let err = verify_combo("split", &g, &t, &RoutingSpec::Min, 4, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::Unroutable { src: 0, dst: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn dead_routers_are_exempt_from_totality() {
+        // Ring of 6 with router 0 killed (all incident edges removed):
+        // the 5 live routers form a path and must still certify; pairs
+        // touching the dead router are not counted.
+        let edges: Vec<(u32, u32)> = (0..6u32).map(|i| (i, (i + 1) % 6)).collect();
+        let g = Graph::from_edges(6, &edges).without_edges(&[(0, 1), (0, 5)]);
+        assert_eq!(g.degree(0), 0);
+        let t = RoutingTables::new(&g);
+        let cert = verify_combo("ring6-deg", &g, &t, &RoutingSpec::Min, 5, 2).unwrap();
+        assert!(cert.certified());
+        assert_eq!(cert.pairs, 5 * 4, "dead-router pairs host no traffic");
+        // A *live* unreachable pair is still a typed totality error.
+        let split = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let st = RoutingTables::new(&split);
+        let err = verify_combo("split-deg", &split, &st, &RoutingSpec::Min, 4, 1).unwrap_err();
         assert!(matches!(
             err,
             VerifyError::Unroutable { src: 0, dst: 2, .. }
