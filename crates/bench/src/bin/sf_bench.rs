@@ -2,8 +2,8 @@
 //! data, not binaries.
 //!
 //! Usage:
-//!   `sf-bench run <file.toml|file.json> [--workers N] [--out PATH]
-//!                 [--format csv|jsonl] [--report PATH]
+//!   `sf-bench run <file.toml|file.json> [--workers N] [--threads N]
+//!                 [--out PATH] [--format csv|jsonl] [--report PATH]
 //!                 [--check-builder] [--quiet]`
 //!   `sf-bench validate <file>...`
 //!   `sf-bench verify <file>... [--quiet]`
@@ -13,7 +13,12 @@
 //! job set and executes it on the work-stealing scheduler, streaming
 //! records as jobs finish: CSV to stdout (unless `--quiet`), plus
 //! `--out` (CSV, or JSON lines with `--format jsonl`) and a markdown
-//! report per `--report` (the EXPERIMENTS.md generator). A run summary
+//! report per `--report` (the EXPERIMENTS.md generator). `--threads N`
+//! overrides the engine thread count of every job (the `[sweep.sim]
+//! threads` plan knob); because engine output is thread-count
+//! independent, the record stream is byte-identical for any value — CI
+//! exercises exactly that by diffing a `--threads 2` run against
+//! `--threads 1`. A run summary
 //! goes to stderr, keeping stdout pure CSV. `--check-builder` re-runs
 //! the whole plan sequentially through the single-worker path and
 //! fails unless both record streams are byte-identical — the
@@ -67,6 +72,7 @@ fn cmd_run(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
         .ok_or_else(|| SfError::Cli("run: missing experiment file".into()))?
         .to_string();
     let workers: usize = args.value("workers", 0)?;
+    let threads: usize = args.value("threads", 0)?;
     let quiet = args.flag("quiet");
     let out: Option<String> = args.get("out").map(str::to_string);
     let format: String = args.value("format", "csv".to_string())?;
@@ -80,6 +86,7 @@ fn cmd_run(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
 
     let plan = ExperimentPlan::from_path(Path::new(&file))?;
     let mut set = plan.expand()?;
+    set.override_threads(threads);
 
     // Static verification gate: certify every cycle-backend combo
     // deadlock-free and total before burning cycles on it.

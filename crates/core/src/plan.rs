@@ -50,6 +50,7 @@
 //! [sweep.sim]                       # per-sweep SimConfig overrides
 //! num_vcs = 6
 //! packet_size = 4                   # flits per packet (wormhole)
+//! threads = 2                       # intra-simulation engine threads
 //! ```
 //!
 //! **Matrix sugar**: `backends = [...]`, `fault_fractions = [...]`,
@@ -1003,6 +1004,11 @@ fn apply_sim(cfg: &mut SimConfig, v: &Value) -> Result<(), SfError> {
             "warmup" => cfg.warmup = as_u32()?,
             "measure" => cfg.measure = as_u32()?,
             "drain" => cfg.drain = as_u32()?,
+            // Intra-simulation engine threads (the cycle engine's
+            // sharded driver). Results are independent of this value;
+            // the engine clamps it to its shard count, the scheduler
+            // clamps workers × threads to the machine.
+            "threads" => cfg.threads = as_usize()?,
             "seed" => {
                 // Seeds are u64; values above i64::MAX don't fit a TOML
                 // integer and travel as strings (see `sim_to_value`).
@@ -1046,6 +1052,7 @@ fn sim_to_value(cfg: &SimConfig) -> Value {
         "output_queue_cap".into(),
         Value::Integer(cfg.output_queue_cap as i64),
     );
+    t.insert("threads".into(), Value::Integer(cfg.threads as i64));
     t.insert("warmup".into(), Value::Integer(cfg.warmup as i64));
     t.insert("measure".into(), Value::Integer(cfg.measure as i64));
     t.insert("drain".into(), Value::Integer(cfg.drain as i64));
@@ -1187,6 +1194,20 @@ impl JobSet {
     /// Total records a full run will emit.
     pub fn num_records(&self) -> usize {
         self.jobs.iter().map(|j| j.loads.len()).sum()
+    }
+
+    /// Overrides the engine thread count of every job — the `--threads`
+    /// CLI escape hatch, applied after expansion so it wins over plan
+    /// values. `0` (the CLI default) leaves the plan untouched. The
+    /// record stream is unaffected either way: engine output is
+    /// thread-count independent by contract (see `sf_sim::engine`).
+    pub fn override_threads(&mut self, threads: usize) {
+        if threads == 0 {
+            return;
+        }
+        for job in &mut self.jobs {
+            job.sim.threads = threads;
+        }
     }
 
     /// Whether [`JobSet::prepare`] has run.

@@ -19,6 +19,19 @@
 //! `workers = 16` produce the same file — while each record is still
 //! written as soon as its turn arrives (no whole-sweep buffering).
 //!
+//! # Oversubscription policy
+//!
+//! Cycle-engine jobs may themselves be multi-threaded (`[sweep.sim]
+//! threads`, see `sf_sim::engine`), so two thread pools compete for
+//! the same cores. The default (machine-derived) worker count is
+//! therefore clamped per run to `available_parallelism /
+//! max(engine threads over the jobs)` — workers × engine threads
+//! never exceeds the core count unless the operator explicitly asks:
+//! a nonzero `Scheduler::new` argument (`--workers`) or an
+//! `SF_WORKERS`/`RAYON_NUM_THREADS` override is honored verbatim.
+//! The clamp only moves wall-clock time, never output: both layers
+//! are deterministic for any thread/worker count.
+//!
 //! ```no_run
 //! use slimfly::prelude::*;
 //! use slimfly::plan::ExperimentPlan;
@@ -46,6 +59,13 @@ use std::time::{Duration, Instant};
 #[derive(Clone, Debug)]
 pub struct Scheduler {
     workers: usize,
+    /// Whether `workers` was requested explicitly (constructor arg or
+    /// `SF_WORKERS`/`RAYON_NUM_THREADS`). Explicit counts are honored
+    /// verbatim; the machine-derived default additionally clamps
+    /// against the jobs' engine thread counts in [`Scheduler::run`] so
+    /// scheduler workers × engine threads never oversubscribe
+    /// `available_parallelism` unless the operator asked for it.
+    explicit: bool,
 }
 
 impl Default for Scheduler {
@@ -56,39 +76,81 @@ impl Default for Scheduler {
 
 impl Scheduler {
     /// A scheduler with the given worker count; `0` selects
-    /// [`Scheduler::default_workers`].
+    /// [`Scheduler::default_workers`] (and enables the oversubscription
+    /// clamp described there — an explicit nonzero count is honored
+    /// verbatim).
     pub fn new(workers: usize) -> Self {
+        if workers > 0 {
+            return Scheduler {
+                workers,
+                explicit: true,
+            };
+        }
+        if let Some(n) = Self::env_workers() {
+            return Scheduler {
+                workers: n,
+                explicit: true,
+            };
+        }
         Scheduler {
-            workers: if workers == 0 {
-                Self::default_workers()
-            } else {
-                workers
-            },
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            explicit: false,
         }
     }
 
-    /// The environment-driven default worker count: `SF_WORKERS` if
-    /// set, else `RAYON_NUM_THREADS` (the knob the sweep loops honoured
-    /// before the scheduler existed), else the machine's available
-    /// parallelism.
-    pub fn default_workers() -> usize {
+    /// The environment override, if any: `SF_WORKERS` if set, else
+    /// `RAYON_NUM_THREADS` (the knob the sweep loops honoured before
+    /// the scheduler existed).
+    fn env_workers() -> Option<usize> {
         for var in ["SF_WORKERS", "RAYON_NUM_THREADS"] {
             if let Some(n) = std::env::var(var)
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|&n| n > 0)
             {
-                return n;
+                return Some(n);
             }
         }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        None
     }
 
-    /// The configured worker count.
+    /// The environment-driven default worker count: `SF_WORKERS` if
+    /// set, else `RAYON_NUM_THREADS`, else the machine's available
+    /// parallelism. When neither variable is set the count is treated
+    /// as machine-derived, and [`Scheduler::run`] additionally divides
+    /// it by the largest engine thread count among the jobs, so a sweep
+    /// of `threads = 4` simulations on an 8-core box runs 2 workers ×
+    /// 4 engine threads instead of 8 × 4 = 32 runnable threads (the
+    /// `dev-sched` 0.86× oversubscription regression).
+    pub fn default_workers() -> usize {
+        Self::env_workers().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// The configured worker count (before the per-run clamps).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The worker count a run over `jobs` jobs with at most
+    /// `engine_threads` engine threads per job actually uses on a
+    /// `cores`-way machine: capped at the job count, and — for
+    /// machine-derived defaults only — at `cores / engine_threads`, so
+    /// the product of scheduler workers and intra-simulation engine
+    /// threads never exceeds available parallelism by default.
+    /// Explicitly requested counts (`--workers`, `SF_WORKERS`) skip the
+    /// oversubscription clamp: the operator's word wins.
+    fn effective_workers(&self, jobs: usize, engine_threads: usize, cores: usize) -> usize {
+        let mut w = self.workers.min(jobs).max(1);
+        if !self.explicit {
+            w = w.min((cores / engine_threads.max(1)).max(1));
+        }
+        w
     }
 
     /// Runs every job of `set`, streaming records to `sink` in job-id
@@ -106,7 +168,11 @@ impl Scheduler {
         // sf-lint: allow(wall-clock): operator-facing elapsed-time meter; never feeds records
         let t0 = Instant::now();
         let jobs = set.jobs();
-        let workers = self.workers.min(jobs.len()).max(1);
+        let engine_threads = jobs.iter().map(|j| j.sim.threads.max(1)).max().unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = self.effective_workers(jobs.len(), engine_threads, cores);
         sink.begin()?;
         let mut emitted = 0usize;
         let mut steals = 0usize;
@@ -249,7 +315,9 @@ pub struct ScheduleReport {
     pub jobs: usize,
     /// Records streamed to the sink.
     pub records: usize,
-    /// Worker threads actually used (capped at the job count).
+    /// Worker threads actually used (capped at the job count and, for
+    /// machine-derived defaults, by the oversubscription clamp — see
+    /// the [module docs](self)).
     pub workers: usize,
     /// Successful steals between worker deques (0 on sequential runs).
     pub steals: usize,
@@ -376,5 +444,61 @@ mod tests {
     fn default_workers_is_positive() {
         assert!(Scheduler::default_workers() >= 1);
         assert!(Scheduler::default().workers() >= 1);
+    }
+
+    #[test]
+    fn oversubscription_clamp_divides_default_workers_by_engine_threads() {
+        let implicit = Scheduler {
+            workers: 8,
+            explicit: false,
+        };
+        // 8 cores / 4 engine threads → 2 workers; jobs are plentiful.
+        assert_eq!(implicit.effective_workers(100, 4, 8), 2);
+        // Sequential engines keep the full default.
+        assert_eq!(implicit.effective_workers(100, 1, 8), 8);
+        // The clamp never starves the run below one worker.
+        assert_eq!(implicit.effective_workers(100, 16, 1), 1);
+        // Job-count cap still applies first.
+        assert_eq!(implicit.effective_workers(3, 1, 8), 3);
+
+        // Explicit counts (--workers / SF_WORKERS) skip the clamp.
+        let explicit = Scheduler {
+            workers: 8,
+            explicit: true,
+        };
+        assert_eq!(explicit.effective_workers(100, 4, 8), 8);
+        assert_eq!(explicit.effective_workers(3, 4, 8), 3);
+    }
+
+    #[test]
+    fn engine_threaded_jobs_clamp_a_default_run_to_the_core_budget() {
+        // Every job asks for more engine threads than the machine has
+        // cores, so a machine-derived default must fall to one worker
+        // (the engine's own threads fill the budget).
+        let plan = ExperimentPlan::from_toml_str(
+            r#"
+            [figure]
+            name = "clamp"
+            [[sweep]]
+            topo = "sf:q=5"
+            routing = ["min", "val"]
+            loads = [0.1, 0.2]
+            [sweep.sim]
+            warmup = 120
+            measure = 240
+            drain = 800
+            threads = 64
+            "#,
+        )
+        .unwrap();
+        let mut set = plan.expand().unwrap();
+        let mut sink = MemorySink::new();
+        let sched = Scheduler {
+            workers: Scheduler::default_workers(),
+            explicit: false,
+        };
+        let report = sched.run(&mut set, &mut sink).unwrap();
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.records, 4);
     }
 }

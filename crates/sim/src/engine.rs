@@ -111,21 +111,65 @@
 //! ([`SimResult::avg_head_latency`]), and throughput / link-utilization
 //! counters tick per flit.
 //!
+//! # Sharding and intra-simulation parallelism
+//!
+//! The engine is **sharded**: routers are split into at most
+//! [`ENGINE_SHARDS`] contiguous ranges, and every derived index space
+//! (endpoints, ports, input-buffer slots, links — all CSR-contiguous by
+//! router) splits along the same boundaries. Each shard owns the
+//! mutable state in its ranges; cross-shard effects exist only as
+//! *events* (flits put on a wire, credits returning upstream), which
+//! are routed to the destination shard's rotating delay buckets through
+//! an `EventSink`.
+//!
+//! [`SimConfig::threads`] picks the driver, not the semantics:
+//!
+//! * `threads = 1` (the default) runs the shards on the calling thread,
+//!   phase-major, with **no barriers, locks or outbox indirection** —
+//!   events are pushed straight into the destination shard's buckets.
+//! * `threads = N` distributes contiguous shard ranges over `N` scoped
+//!   worker threads that run three barrier-separated phase groups per
+//!   cycle — {event delivery + arrivals} | {generation, injection,
+//!   ejection} | {switch allocation, transmission} — with cross-shard
+//!   events accumulated in per-thread outboxes, published to per-shard
+//!   mailboxes at the end of the cycle, and drained by the owner at the
+//!   next cycle's first group (wire/credit delays are ≥ 1 cycle, so a
+//!   delivery at the start of the next cycle is never late).
+//!
+//! The barrier placement is what makes the shared reads race-free: the
+//! occupancy counters are written only in the first and third groups
+//! (credit arrival / grant / transmission) and read globally only in
+//! the second (injection-time routing), and allocation-phase occupancy
+//! reads are restricted to the deciding router's own links (asserted —
+//! see the `QueueView` contract in `sf-routing`). Shared bitmask words
+//! that straddle a shard boundary use relaxed atomic bit operations;
+//! every bit still has exactly one writer.
+//!
 //! # Determinism contract
 //!
 //! Results are **bit-for-bit reproducible** given `SimConfig::seed`,
-//! and the layout optimizations above are required to preserve the
-//! exact RNG call sequence of the straightforward engine (pinned by the
-//! `engine_parity` suite): traffic generation and injection iterate
-//! endpoints in ascending order unconditionally, and the skipping
-//! phases only elide state that could not have produced a routing-hook
-//! call (`Router::next_hop` is reached for exactly the same packets in
-//! the same order). Any future fast-path must preserve both the RNG
-//! draw sequence and the occupancy values policies observe. The
-//! wormhole path is additionally pinned to **degenerate exactly** at
-//! `packet_size = 1`: with single-flit packets every head is its own
-//! tail, no VC reservation outlives its grant, and the engine's curves
-//! match the pre-wormhole engine to the last bit.
+//! and **independent of `SimConfig::threads`**: the output is a pure
+//! function of (plan, seed). Each shard draws from its own
+//! splitmix64-derived RNG stream keyed on `(seed, shard_id)`
+//! (`shard_seed`), and the shard count is a function of the topology
+//! alone (`min(ENGINE_SHARDS, routers)`) — threads only schedule
+//! shards onto workers. Within a shard, RNG-bearing phases iterate
+//! endpoints/routers in ascending order exactly as the sequential
+//! engine always has (`Router::next_hop` is reached for exactly the
+//! same packets in the same order); across shards, the only
+//! communication is delay-bucket events whose within-cycle delivery
+//! order is not observable (each link carries at most one flit per
+//! cycle, so flit deliveries land in distinct queues, and credit
+//! effects are commutative counter increments). The
+//! `thread_count_is_not_observable` test and the sharded-equivalence
+//! proptests pin `threads = N` to `threads = 1` exactly; the
+//! `engine_parity` suite pins the absolute curves. Any future
+//! fast-path must preserve both the per-shard RNG draw sequences and
+//! the occupancy values policies observe. The wormhole path is
+//! additionally pinned to **degenerate exactly** at `packet_size = 1`:
+//! with single-flit packets every head is its own tail, no VC
+//! reservation outlives its grant, and the engine's curves match the
+//! pre-wormhole engine to the last bit.
 //!
 //! # Fault injection and degraded operation
 //!
@@ -186,6 +230,8 @@ use sf_routing::{QueueView, RouteCtx, RouteDecision, Router, RoutingTables};
 use sf_topo::Network;
 use sf_traffic::TrafficPattern;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::{Barrier, Mutex};
 
 /// `in_route` sentinel: the slot's in-flight packet was administratively
 /// dropped at its head flit (dead output link or unreachable
@@ -235,6 +281,16 @@ pub struct SimConfig {
     pub packet_size: usize,
     /// RNG seed (simulations are deterministic given the seed).
     pub seed: u64,
+    /// Worker threads driving this simulation's shards (clamped to the
+    /// shard count; `0` is treated as 1). **Results are independent of
+    /// this knob** — see the determinism contract in the module docs:
+    /// `1` (the default) runs the shards sequentially on the calling
+    /// thread with zero synchronization, `N > 1` distributes them over
+    /// `N` scoped threads with per-phase barriers. Sweep drivers
+    /// multiply this by their own job-level workers, so keep
+    /// `scheduler workers × threads ≤ available_parallelism` (the
+    /// `Scheduler` default clamp does this automatically).
+    pub threads: usize,
 }
 
 /// Upper bound on [`SimConfig::packet_size`] — flit sequence numbers
@@ -248,6 +304,14 @@ pub const MAX_PACKET_SIZE: usize = 4096;
 /// ladder. `sf-verify` mirrors this constant when it reconstructs the
 /// engine's VC assignment statically.
 pub const ADAPTIVE_HOP_BUDGET: u8 = 4;
+
+/// Upper bound on the number of engine shards. The actual shard count
+/// of a simulation is `min(ENGINE_SHARDS, routers)` — a function of
+/// the **topology only**, never of the thread count or the machine, so
+/// per-shard RNG streams (and therefore results) are reproducible
+/// everywhere. 8 covers the core counts the cycle tier realistically
+/// gets a share of once the job-level scheduler has taken its cut.
+pub const ENGINE_SHARDS: usize = 8;
 
 /// Slack available when choosing a packet's base VC: with `hops`
 /// remaining and `num_vcs` virtual channels, bases `0..=slack` all
@@ -273,6 +337,18 @@ pub fn hop_vc(num_vcs: usize, vc_base: u8, hop: usize) -> usize {
     (vc_base as usize + hop).min(num_vcs - 1)
 }
 
+/// The RNG stream seed of shard `s` under run seed `seed`: one
+/// splitmix64 finalizer round over the pair. Streams for distinct
+/// shards (and distinct run seeds) are statistically independent; the
+/// mapping is pure arithmetic, so any host reproduces it.
+#[inline]
+fn shard_seed(seed: u64, s: usize) -> u64 {
+    let mut z = seed.wrapping_add((s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
@@ -288,6 +364,7 @@ impl Default for SimConfig {
             drain: 4_000,
             packet_size: 1,
             seed: 0x5EED,
+            threads: 1,
         }
     }
 }
@@ -387,7 +464,7 @@ fn fast_mod(a: u32, magic: u64, m: u32) -> u32 {
 /// `a / d` via a precomputed magic `⌊2^64 / d⌋ + 1`; exact for every
 /// `a < 2^32` and `d ≥ 2`. For `d = 1` the magic wraps to 0 and this
 /// returns 0 — callers must special-case the identity (see
-/// `Simulator::slot_port`).
+/// `StepCtx::slot_port`).
 #[inline]
 fn fast_div(a: u32, magic: u64) -> u32 {
     ((magic as u128 * a as u128) >> 64) as u32
@@ -490,22 +567,49 @@ impl LinkIndex {
     }
 }
 
-/// The queue-state window the engine exposes to [`Router`] policies:
-/// occupancy of any output link, exactly as the engine's own allocator
-/// sees it (staged flits + downstream slots in use). With the
-/// incremental counters this is one perfect-hash lookup plus one array
-/// read — O(1) per query. The engine hands this to every routing
-/// decision; *which* links a policy inspects is the policy's business
-/// (see the `QueueView` contract in `sf-routing`).
+/// The queue-state window the engine exposes to [`Router`] policies at
+/// **injection time**: occupancy of any output link in the network,
+/// exactly as the engine's own allocator sees it (staged flits +
+/// downstream slots in use). With the incremental counters this is one
+/// perfect-hash lookup plus one relaxed atomic read — O(1) per query.
+/// Injection runs in a phase group that never writes occupancy, so the
+/// global window is race-free under sharded execution.
 struct EngineQueues<'b> {
     links: &'b LinkIndex,
-    occ: &'b [u32],
+    occ: &'b [AtomicU32],
 }
 
 impl QueueView for EngineQueues<'_> {
     #[inline]
     fn occupancy(&self, r: u32, to: u32) -> u32 {
-        self.occ[self.links.link(r, to) as usize]
+        self.occ[self.links.link(r, to) as usize].load(Relaxed)
+    }
+}
+
+/// The queue-state window handed to [`Router::next_hop`] during
+/// **switch allocation**: same data as [`EngineQueues`], but queries
+/// are asserted to stay on the deciding router's own output links —
+/// the allocation phase runs concurrently with other shards' grants,
+/// and only the decider's own counters are stable (single-writer) at
+/// that point. This is the allocation-phase clause of the `QueueView`
+/// contract in `sf-routing`; every in-tree per-hop policy already
+/// satisfies it.
+struct AllocQueues<'b> {
+    links: &'b LinkIndex,
+    occ: &'b [AtomicU32],
+    decider: u32,
+}
+
+impl QueueView for AllocQueues<'_> {
+    #[inline]
+    fn occupancy(&self, r: u32, to: u32) -> u32 {
+        assert_eq!(
+            r, self.decider,
+            "allocation-phase occupancy query for a foreign router \
+             (QueueView contract: next_hop may only probe the deciding \
+             router's own output links)"
+        );
+        self.occ[self.links.link(r, to) as usize].load(Relaxed)
     }
 }
 
@@ -559,17 +663,30 @@ impl Flit {
     fn is_tail(&self) -> bool {
         self.seq + 1 == self.size
     }
+
+    /// Destination router of the packet.
+    #[inline]
+    fn dst_router(&self) -> u32 {
+        if self.path_len == 0 {
+            self.path[0]
+        } else {
+            self.path[self.path_len as usize - 1]
+        }
+    }
 }
 
 /// Appends the set bits of `mask` within the absolute bit range
-/// `[from, to)` to `out`, in ascending order.
-fn gather_segment(mask: &[u64], from: usize, to: usize, out: &mut Vec<u32>) {
+/// `[from, to)` to `out`, in ascending order. The loads are relaxed
+/// atomic reads: concurrent writers only ever touch bits *outside* the
+/// caller's owned range (shard boundaries straddle words), so the bits
+/// this gathers are stable.
+fn gather_segment(mask: &[AtomicU64], from: usize, to: usize, out: &mut Vec<u32>) {
     if from >= to {
         return;
     }
     let last = (to - 1) / 64;
     let mut w = from / 64;
-    let mut word = mask[w] & (!0u64 << (from % 64));
+    let mut word = mask[w].load(Relaxed) & (!0u64 << (from % 64));
     loop {
         let mut m = word;
         if w == last {
@@ -586,142 +703,112 @@ fn gather_segment(mask: &[u64], from: usize, to: usize, out: &mut Vec<u32>) {
             break;
         }
         w += 1;
-        word = mask[w];
+        word = mask[w].load(Relaxed);
     }
 }
 
-/// A single simulation instance.
-///
-/// The engine owns router micro-architecture (buffers, credits,
-/// allocation, VCs) but **no routing policy**: every path decision is
-/// delegated to the [`Router`] trait object, which sees live queue
-/// state only through the narrow [`QueueView`] window.
-///
-/// All mutable state is laid out flat (see the module docs): per-link
-/// arrays in CSR order, per-(port, VC) input queues in one flat vector,
-/// and persistent scratch for the per-cycle allocator working set.
-pub struct Simulator<'a> {
-    net: &'a Network,
-    tables: &'a RoutingTables,
-    router: &'a dyn Router,
-    pattern: &'a TrafficPattern,
-    /// The graph routing decisions see ([`RouteCtx::graph`]): `net.graph`
-    /// until [`Simulator::apply_fault`] swaps in the degraded graph.
-    /// Micro-architectural state (ports, links, endpoints) always keys
-    /// off the boot-time `net`.
-    route_graph: &'a Graph,
-    cfg: SimConfig,
-    load: f64,
+/// Sets bit `i` of an atomic bitmask (relaxed; each bit has one owner).
+#[inline]
+fn mask_set(mask: &[AtomicU64], i: usize) {
+    mask[i / 64].fetch_or(1 << (i % 64), Relaxed);
+}
 
-    vc_cap: usize,
-    links: LinkIndex,
+/// Clears bit `i` of an atomic bitmask (relaxed; each bit has one owner).
+#[inline]
+fn mask_clear(mask: &[AtomicU64], i: usize) {
+    mask[i / 64].fetch_and(!(1 << (i % 64)), Relaxed);
+}
 
-    // ---- per-link state, indexed by flat link id (× VC where noted) ----
-    /// Credits per (link, VC): available downstream buffer slots.
-    credits: Vec<u32>,
-    /// Output staging queue per link (absorbs crossbar speedup).
-    staging: Vec<VecDeque<(Flit, u8)>>,
-    /// Bitmask over links: bit set ⇔ staging queue non-empty, so
-    /// transmission visits exactly the staged links in link-id order.
-    staged_mask: Vec<u64>,
-    /// Incremental occupancy counter per link (see the module docs).
-    occ: Vec<u32>,
-    /// Flits sent per link during the measurement window.
-    link_flits: Vec<u64>,
-    /// Per-link dead flag after [`Simulator::apply_fault`]; **empty**
-    /// on a fault-free run, so every fault guard in the hot path is one
-    /// `is_empty()` test and the fault machinery costs nothing when
-    /// unused (pinned by the zero-fault parity tests).
-    link_dead: Vec<bool>,
+/// Reads bit `i` of an atomic bitmask.
+#[inline]
+fn mask_get(mask: &[AtomicU64], i: usize) -> bool {
+    mask[i / 64].load(Relaxed) >> (i % 64) & 1 == 1
+}
 
-    // ---- time-bucketed in-flight events ----
-    // Wire and credit delays are run constants, so every event lands a
-    // fixed number of cycles after it is produced: a rotating bucket per
-    // future cycle replaces per-link timestamped queues, and the
-    // arrivals phase drains exactly the due events instead of polling
-    // every link. Delivery effects (input-buffer pushes to distinct
-    // queues, credit/occupancy increments) are commutative within a
-    // cycle and each link produces at most one flit per cycle, so
-    // bucket order reproduces the old per-link scan bit-for-bit.
-    /// Effective flit delay (`router_delay + channel_latency`, min 1 —
-    /// a zero-delay flit still arrives the next cycle because
-    /// transmission runs after arrivals).
-    flit_eff: u32,
-    /// Flits on the wire: bucket `(send_cycle + flit_eff) % (flit_eff+1)`
-    /// holds (link, packet, VC) triples due that cycle.
-    flit_buckets: Vec<Vec<(u32, Flit, u8)>>,
-    /// Effective credit delay (`credit_delay`, min 1).
-    credit_eff: u32,
-    /// Credits returning upstream: (link, VC) pairs per due cycle.
-    credit_buckets: Vec<Vec<(u32, u8)>>,
+/// Adds `delta` to an occupancy counter. Relaxed load + store (not an
+/// RMW): by the ownership structure every counter has exactly one
+/// writer shard per phase group, so no increment can be lost.
+#[inline]
+fn occ_add(c: &AtomicU32, delta: i32) {
+    c.store(c.load(Relaxed).wrapping_add(delta as u32), Relaxed);
+}
 
-    // ---- per-port state ----
-    /// First flat input-port index per router; network ports first,
-    /// then injection ports.
-    port_base: Vec<u32>,
-    /// Input buffers, indexed `flat_port * num_vcs + vc`.
-    in_buf: Vec<VecDeque<Flit>>,
-    /// Bitmask over `in_buf` slots: bit set ⇔ queue non-empty. Lets
-    /// ejection/allocation visit only occupied queues, in scan order.
-    buf_mask: Vec<u64>,
+/// The shard layout of one simulation: routers split into
+/// `min(ENGINE_SHARDS, routers)` contiguous ranges, with every derived
+/// index space (endpoints, ports / input-buffer slots, links — all
+/// CSR-contiguous by router) split along the same router boundaries.
+/// A function of the topology only, so results never depend on the
+/// thread count (see the determinism contract in the module docs).
+struct ShardPlan {
+    /// Router range of shard `s`: `r_bounds[s]..r_bounds[s + 1]`.
+    r_bounds: Vec<u32>,
+    /// Endpoint range of shard `s` (endpoints are router-major).
+    ep_bounds: Vec<u32>,
+    /// Link range of shard `s` (`link_base[r_bounds[s]]`).
+    link_bounds: Vec<u32>,
+    /// Port range of shard `s` (`port_base[r_bounds[s]]`); the
+    /// input-buffer slot range is this × `num_vcs`.
+    port_bounds: Vec<u32>,
+    /// Owning shard per link (the shard of its *source* router) —
+    /// credit events for link `l` are delivered here.
+    link_shard: Vec<u8>,
+    /// Destination shard per link (the shard of `links.to[l]`) — flit
+    /// events crossing link `l` are delivered here.
+    flit_dest: Vec<u8>,
+}
 
-    // ---- wormhole per-VC allocation tables ----
-    /// Per input-buffer slot: the output `(link × num_vcs + vc)` the
-    /// slot's in-flight packet reserved at its head grant, or
-    /// `u32::MAX` when free. Body/tail flits are granted to this
-    /// reservation without consulting the routing policy; the tail
-    /// grant clears it. Only multi-flit packets ever populate it.
-    in_route: Vec<u32>,
-    /// Per output `(link × num_vcs + vc)`: the input slot owning the
-    /// VC from head grant to tail grant, or `u32::MAX` when free. A
-    /// head flit is not granted to an owned output VC (prevents flit
-    /// interleaving in the downstream input queue).
-    out_owner: Vec<u32>,
+impl ShardPlan {
+    fn new(net: &Network, links: &LinkIndex, port_base: &[u32]) -> Self {
+        let nr = net.num_routers();
+        let s_count = nr.clamp(1, ENGINE_SHARDS);
+        let mut r_bounds = Vec::with_capacity(s_count + 1);
+        let mut ep_bounds = Vec::with_capacity(s_count + 1);
+        let mut link_bounds = Vec::with_capacity(s_count + 1);
+        let mut port_bounds = Vec::with_capacity(s_count + 1);
+        for s in 0..=s_count {
+            let r = (s * nr / s_count) as u32;
+            r_bounds.push(r);
+            ep_bounds.push(if (r as usize) < nr {
+                net.endpoints_of_router(r).start
+            } else {
+                net.num_endpoints() as u32
+            });
+            link_bounds.push(links.link_base[r as usize]);
+            port_bounds.push(port_base[r as usize]);
+        }
+        let nlinks = *link_bounds.last().expect("bounds are non-empty") as usize;
+        let mut link_shard = vec![0u8; nlinks];
+        let mut flit_dest = vec![0u8; nlinks];
+        for s in 0..s_count {
+            let (lo, hi) = (link_bounds[s] as usize, link_bounds[s + 1] as usize);
+            link_shard[lo..hi].fill(s as u8);
+        }
+        for (l, d) in flit_dest.iter_mut().enumerate() {
+            let to = links.to[l];
+            let owner = r_bounds.partition_point(|&b| b <= to) - 1;
+            *d = owner as u8;
+        }
+        ShardPlan {
+            r_bounds,
+            ep_bounds,
+            link_bounds,
+            port_bounds,
+            link_shard,
+            flit_dest,
+        }
+    }
 
-    // ---- endpoint state ----
-    src_q: Vec<VecDeque<(u32, u32)>>, // per endpoint: (gen_time, dst)
-    /// Bitmask over endpoints: bit set ⇔ the endpoint has injection
-    /// work — a queued packet or a partially injected one — so
-    /// injection visits exactly those endpoints in ascending order.
-    src_mask: Vec<u64>,
-    /// Per endpoint: the next body/tail flit of a partially injected
-    /// packet (endpoints inject one flit per cycle; the head's routing
-    /// decision is reused by the followers).
-    inj_progress: Vec<Option<Flit>>,
-    ep_router: Vec<u32>,
-    /// Flat `in_buf` slot (VC 0) of each endpoint's injection port.
-    ep_inj_slot: Vec<u32>,
+    /// Number of shards.
+    #[inline]
+    fn len(&self) -> usize {
+        self.r_bounds.len() - 1
+    }
+}
 
-    // ---- active-set counters ----
-    /// Packets buffered in the router's input queues (ejection and
-    /// switch allocation skip routers at zero).
-    r_buffered: Vec<u32>,
-
-    // ---- persistent per-cycle scratch (hoisted allocations) ----
-    /// Switch-allocator grants per output link of the current router.
-    out_grants: Vec<u32>,
-    /// Switch-allocator grants per input port of the current router.
-    in_grants: Vec<u32>,
-    /// Non-empty input slots of the current router, in scan order.
-    slot_scratch: Vec<u32>,
-    /// Endpoints with queued packets, gathered per injection pass.
-    ep_scratch: Vec<u32>,
-    /// Lemire magic for dividing flat input-slot ids by `num_vcs`.
-    nvc_magic: u64,
-    /// Generation-stamped "endpoint ejected this cycle" set: the
-    /// endpoint received a flit in cycle `now` iff stamp == now + 1.
-    ejected_seen: Vec<u32>,
-
-    rng: StdRng,
-    now: u32,
-
-    /// First cycle of the current measurement window (warm-up ends
-    /// here). Instance state, not derived from `cfg`, so a warm-start
-    /// chain can re-arm a fresh window mid-run ([`Simulator::rearm`]).
-    win_start: u32,
-    /// One past the last cycle of the current measurement window.
-    win_end: u32,
-
+/// Per-shard measurement accumulators. Counters are integers and the
+/// latency histogram merges exactly, so summing shards in ascending
+/// shard order reproduces the single-accumulator totals bit for bit.
+struct Meters {
     stats: LatencyStats,
     hops_sum: u64,
     /// Sum of head-flit latencies of sample packets (mean head latency
@@ -740,6 +827,317 @@ pub struct Simulator<'a> {
     total_ejected_flits: u64,
     dropped_flits: u64,
     unreachable_pairs: u64,
+}
+
+impl Meters {
+    fn new() -> Self {
+        Meters {
+            stats: LatencyStats::new(),
+            hops_sum: 0,
+            head_lat_sum: 0,
+            head_ejected: 0,
+            sample_generated: 0,
+            sample_ejected: 0,
+            sample_dropped: 0,
+            window_ejected: 0,
+            total_ejected: 0,
+            total_ejected_flits: 0,
+            dropped_flits: 0,
+            unreachable_pairs: 0,
+        }
+    }
+
+    /// Folds another shard's accumulators into this one.
+    fn absorb(&mut self, o: &Meters) {
+        self.stats.merge(&o.stats);
+        self.hops_sum += o.hops_sum;
+        self.head_lat_sum += o.head_lat_sum;
+        self.head_ejected += o.head_ejected;
+        self.sample_generated += o.sample_generated;
+        self.sample_ejected += o.sample_ejected;
+        self.sample_dropped += o.sample_dropped;
+        self.window_ejected += o.window_ejected;
+        self.total_ejected += o.total_ejected;
+        self.total_ejected_flits += o.total_ejected_flits;
+        self.dropped_flits += o.dropped_flits;
+        self.unreachable_pairs += o.unreachable_pairs;
+    }
+}
+
+/// Per-shard per-cycle scratch (hoisted allocations), one set per
+/// shard so phases run shard-parallel without sharing.
+struct Scratch {
+    /// Switch-allocator grants per output link of the current router.
+    out_grants: Vec<u32>,
+    /// Switch-allocator grants per input port of the current router.
+    in_grants: Vec<u32>,
+    /// Non-empty input slots of the current router, in scan order.
+    slots: Vec<u32>,
+    /// Endpoints with queued packets, gathered per injection pass.
+    eps: Vec<u32>,
+}
+
+/// A shard's rotating delay buckets: flits on the wire and credits
+/// returning upstream, indexed by due-cycle modulo the (constant)
+/// effective delay + 1. A bucket belongs to the shard that will
+/// *process* its events — the destination shard for flits, the link
+/// owner for credits — so the arrivals phase is entirely shard-local.
+struct ShardBuckets {
+    /// Flits on the wire: bucket `(send + flit_eff) % (flit_eff + 1)`
+    /// holds (link, packet, VC) triples due that cycle.
+    flit: Vec<Vec<(u32, Flit, u8)>>,
+    /// Credits returning upstream: (link, VC) pairs per due cycle.
+    credit: Vec<Vec<(u32, u8)>>,
+}
+
+impl ShardBuckets {
+    fn new(flit_eff: u32, credit_eff: u32) -> Self {
+        ShardBuckets {
+            flit: (0..=flit_eff).map(|_| Vec::new()).collect(),
+            credit: (0..=credit_eff).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// Cross-thread event envelope: events bound for a shard owned by
+/// another worker, tagged with their due bucket. Flushed into the
+/// destination's mailbox once per cycle and drained by the owner at
+/// the next cycle's first phase group (delays are ≥ 1 cycle, so the
+/// one-cycle hand-off is never late — see the module docs).
+#[derive(Default)]
+struct Mail {
+    flit: Vec<(usize, u32, Flit, u8)>,
+    credit: Vec<(usize, u32, u8)>,
+}
+
+/// Where a phase deposits the events it produces. The two impls are
+/// the whole difference between the sequential and the parallel
+/// drivers: [`DirectSink`] pushes straight into the destination
+/// shard's buckets (single thread, no indirection), [`OutboxSink`]
+/// keeps foreign-shard events in per-destination outboxes for the
+/// end-of-cycle mailbox flush.
+trait EventSink {
+    /// A flit leaving on link `l`, due in bucket `due`.
+    fn flit(&mut self, due: usize, l: u32, f: Flit, vc: u8);
+    /// A credit returning on link `l`, due in bucket `due`.
+    fn credit(&mut self, due: usize, l: u32, vc: u8);
+}
+
+/// Sequential-path sink: all shards' buckets are at hand, events land
+/// directly where their owner will drain them.
+struct DirectSink<'d> {
+    plan: &'d ShardPlan,
+    buckets: &'d mut [ShardBuckets],
+}
+
+impl EventSink for DirectSink<'_> {
+    #[inline]
+    fn flit(&mut self, due: usize, l: u32, f: Flit, vc: u8) {
+        let d = self.plan.flit_dest[l as usize] as usize;
+        self.buckets[d].flit[due].push((l, f, vc));
+    }
+
+    #[inline]
+    fn credit(&mut self, due: usize, l: u32, vc: u8) {
+        let d = self.plan.link_shard[l as usize] as usize;
+        self.buckets[d].credit[due].push((l, vc));
+    }
+}
+
+/// Parallel-path sink for one shard: own-shard events go straight into
+/// the shard's buckets, foreign-shard events into the per-destination
+/// outbox (flushed to mailboxes at the cycle's end).
+struct OutboxSink<'d> {
+    plan: &'d ShardPlan,
+    shard: usize,
+    own: &'d mut ShardBuckets,
+    out: &'d mut [Mail],
+}
+
+impl EventSink for OutboxSink<'_> {
+    #[inline]
+    fn flit(&mut self, due: usize, l: u32, f: Flit, vc: u8) {
+        let d = self.plan.flit_dest[l as usize] as usize;
+        if d == self.shard {
+            self.own.flit[due].push((l, f, vc));
+        } else {
+            self.out[d].flit.push((due, l, f, vc));
+        }
+    }
+
+    #[inline]
+    fn credit(&mut self, due: usize, l: u32, vc: u8) {
+        let d = self.plan.link_shard[l as usize] as usize;
+        if d == self.shard {
+            self.own.credit[due].push((l, vc));
+        } else {
+            self.out[d].credit.push((due, l, vc));
+        }
+    }
+}
+
+/// Moves a mailbox's contents into the owner's buckets.
+fn drain_mail(m: &mut Mail, bk: &mut ShardBuckets) {
+    for (due, l, f, vc) in m.flit.drain(..) {
+        bk.flit[due].push((l, f, vc));
+    }
+    for (due, l, vc) in m.credit.drain(..) {
+        bk.credit[due].push((l, vc));
+    }
+}
+
+/// Flat input port of input-buffer slot `slot` (`slot / num_vcs`,
+/// strength-reduced; `num_vcs == 1` makes it the identity).
+#[inline]
+fn slot_port_of(nvc: usize, magic: u64, slot: usize) -> usize {
+    if nvc == 1 {
+        slot
+    } else {
+        fast_div(slot as u32, magic) as usize
+    }
+}
+
+/// Carves the first `$n` elements off a `&mut [T]` binding, leaving
+/// the tail in place — the split-at-mut idiom the shard-view builder
+/// uses to hand each shard exclusive slices of the flat arrays.
+macro_rules! carve {
+    ($rest:ident, $n:expr) => {{
+        let (head, tail) = std::mem::take(&mut $rest).split_at_mut($n);
+        $rest = tail;
+        head
+    }};
+}
+
+/// A single simulation instance.
+///
+/// The engine owns router micro-architecture (buffers, credits,
+/// allocation, VCs) but **no routing policy**: every path decision is
+/// delegated to the [`Router`] trait object, which sees live queue
+/// state only through the narrow [`QueueView`] window.
+///
+/// All mutable state is laid out flat (see the module docs): per-link
+/// arrays in CSR order, per-(port, VC) input queues in one flat vector,
+/// and persistent per-shard scratch for the per-cycle allocator working
+/// set. The flat arrays split into contiguous per-shard slices for the
+/// step drivers ([`SimConfig::threads`]); between steps they read as
+/// plain global arrays, which is what the `verify_*` checkers use.
+pub struct Simulator<'a> {
+    net: &'a Network,
+    tables: &'a RoutingTables,
+    router: &'a dyn Router,
+    pattern: &'a TrafficPattern,
+    /// The graph routing decisions see ([`RouteCtx::graph`]): `net.graph`
+    /// until [`Simulator::apply_fault`] swaps in the degraded graph.
+    /// Micro-architectural state (ports, links, endpoints) always keys
+    /// off the boot-time `net`.
+    route_graph: &'a Graph,
+    cfg: SimConfig,
+    load: f64,
+
+    vc_cap: usize,
+    links: LinkIndex,
+    /// Shard layout: contiguous router/endpoint/port/link ranges (a
+    /// function of the topology only — see the determinism contract).
+    plan: ShardPlan,
+
+    // ---- per-link state, indexed by flat link id (× VC where noted) ----
+    /// Credits per (link, VC): available downstream buffer slots.
+    credits: Vec<u32>,
+    /// Output staging queue per link (absorbs crossbar speedup).
+    staging: Vec<VecDeque<(Flit, u8)>>,
+    /// Bitmask over links: bit set ⇔ staging queue non-empty, so
+    /// transmission visits exactly the staged links in link-id order.
+    /// Atomic words because shard boundaries straddle them; every bit
+    /// still has exactly one writer shard.
+    staged_mask: Vec<AtomicU64>,
+    /// Incremental occupancy counter per link (see the module docs).
+    /// Atomic because routing policies read any link's counter at
+    /// injection time while only the owner shard ever writes it, in
+    /// phase groups where no one reads cross-shard.
+    occ: Vec<AtomicU32>,
+    /// Flits sent per link during the measurement window.
+    link_flits: Vec<u64>,
+    /// Per-link dead flag after [`Simulator::apply_fault`]; **empty**
+    /// on a fault-free run, so every fault guard in the hot path is one
+    /// `is_empty()` test and the fault machinery costs nothing when
+    /// unused (pinned by the zero-fault parity tests).
+    link_dead: Vec<bool>,
+
+    // ---- time-bucketed in-flight events ----
+    /// Effective flit delay (`router_delay + channel_latency`, min 1 —
+    /// a zero-delay flit still arrives the next cycle because
+    /// transmission runs after arrivals).
+    flit_eff: u32,
+    /// Effective credit delay (`credit_delay`, min 1).
+    credit_eff: u32,
+    /// Per-shard rotating delay buckets (owned by the shard that will
+    /// process the events — see [`ShardBuckets`]).
+    buckets: Vec<ShardBuckets>,
+
+    // ---- per-port state ----
+    /// First flat input-port index per router; network ports first,
+    /// then injection ports.
+    port_base: Vec<u32>,
+    /// Input buffers, indexed `flat_port * num_vcs + vc`.
+    in_buf: Vec<VecDeque<Flit>>,
+    /// Bitmask over `in_buf` slots: bit set ⇔ queue non-empty. Lets
+    /// ejection/allocation visit only occupied queues, in scan order.
+    buf_mask: Vec<AtomicU64>,
+
+    // ---- wormhole per-VC allocation tables ----
+    /// Per input-buffer slot: the output `(link × num_vcs + vc)` the
+    /// slot's in-flight packet reserved at its head grant, or
+    /// `u32::MAX` when free. Body/tail flits are granted to this
+    /// reservation without consulting the routing policy; the tail
+    /// grant clears it. Only multi-flit packets ever populate it.
+    /// Values are **global** link × VC indices (shard views translate).
+    in_route: Vec<u32>,
+    /// Per output `(link × num_vcs + vc)`: the input slot owning the
+    /// VC from head grant to tail grant, or `u32::MAX` when free. A
+    /// head flit is not granted to an owned output VC (prevents flit
+    /// interleaving in the downstream input queue).
+    out_owner: Vec<u32>,
+
+    // ---- endpoint state ----
+    src_q: Vec<VecDeque<(u32, u32)>>, // per endpoint: (gen_time, dst)
+    /// Bitmask over endpoints: bit set ⇔ the endpoint has injection
+    /// work — a queued packet or a partially injected one — so
+    /// injection visits exactly those endpoints in ascending order.
+    src_mask: Vec<AtomicU64>,
+    /// Per endpoint: the next body/tail flit of a partially injected
+    /// packet (endpoints inject one flit per cycle; the head's routing
+    /// decision is reused by the followers).
+    inj_progress: Vec<Option<Flit>>,
+    ep_router: Vec<u32>,
+    /// Flat `in_buf` slot (VC 0) of each endpoint's injection port.
+    ep_inj_slot: Vec<u32>,
+
+    // ---- active-set counters ----
+    /// Packets buffered in the router's input queues (ejection and
+    /// switch allocation skip routers at zero).
+    r_buffered: Vec<u32>,
+
+    // ---- persistent per-cycle scratch (hoisted allocations) ----
+    /// One scratch set per shard, so phases run shard-parallel.
+    scratch: Vec<Scratch>,
+    /// Lemire magic for dividing flat input-slot ids by `num_vcs`.
+    nvc_magic: u64,
+    /// Generation-stamped "endpoint ejected this cycle" set: the
+    /// endpoint received a flit in cycle `now` iff stamp == now + 1.
+    ejected_seen: Vec<u32>,
+
+    /// One RNG stream per shard, seeded `shard_seed(cfg.seed, s)`.
+    rngs: Vec<StdRng>,
+    /// One measurement accumulator per shard (merged in shard order).
+    meters: Vec<Meters>,
+    now: u32,
+
+    /// First cycle of the current measurement window (warm-up ends
+    /// here). Instance state, not derived from `cfg`, so a warm-start
+    /// chain can re-arm a fresh window mid-run ([`Simulator::rearm`]).
+    win_start: u32,
+    /// One past the last cycle of the current measurement window.
+    win_end: u32,
 }
 
 impl<'a> Simulator<'a> {
@@ -798,6 +1196,8 @@ impl<'a> Simulator<'a> {
             .max()
             .unwrap_or(0);
 
+        let plan = ShardPlan::new(net, &links, &port_base);
+        let s_count = plan.len();
         let flit_eff = (cfg.router_delay + cfg.channel_latency).max(1);
         let credit_eff = cfg.credit_delay.max(1);
         Simulator {
@@ -810,186 +1210,60 @@ impl<'a> Simulator<'a> {
             load,
             vc_cap,
             links,
+            plan,
             credits: vec![vc_cap as u32; nlinks * nvc],
             staging: (0..nlinks).map(|_| VecDeque::new()).collect(),
-            staged_mask: vec![0; nlinks.div_ceil(64)],
-            occ: vec![0; nlinks],
+            staged_mask: (0..nlinks.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            occ: (0..nlinks).map(|_| AtomicU32::new(0)).collect(),
             link_flits: vec![0; nlinks],
             link_dead: Vec::new(),
             flit_eff,
-            flit_buckets: (0..=flit_eff).map(|_| Vec::new()).collect(),
             credit_eff,
-            credit_buckets: (0..=credit_eff).map(|_| Vec::new()).collect(),
+            buckets: (0..s_count)
+                .map(|_| ShardBuckets::new(flit_eff, credit_eff))
+                .collect(),
             port_base,
             in_buf: (0..nslots).map(|_| VecDeque::new()).collect(),
-            buf_mask: vec![0; nslots.div_ceil(64)],
+            buf_mask: (0..nslots.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             in_route: vec![u32::MAX; nslots],
             out_owner: vec![u32::MAX; nlinks * nvc],
             src_q: vec![VecDeque::new(); net.num_endpoints()],
-            src_mask: vec![0; net.num_endpoints().div_ceil(64)],
+            src_mask: (0..net.num_endpoints().div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             inj_progress: vec![None; net.num_endpoints()],
             ep_router,
             ep_inj_slot,
             r_buffered: vec![0; nr],
-            out_grants: vec![0; max_deg],
-            in_grants: vec![0; max_ports],
-            slot_scratch: Vec::with_capacity(max_ports * nvc),
-            ep_scratch: Vec::new(),
+            scratch: (0..s_count)
+                .map(|_| Scratch {
+                    out_grants: vec![0; max_deg],
+                    in_grants: vec![0; max_ports],
+                    slots: Vec::with_capacity(max_ports * nvc),
+                    eps: Vec::new(),
+                })
+                .collect(),
             nvc_magic: (u64::MAX / nvc as u64).wrapping_add(1),
             ejected_seen: vec![0; net.num_endpoints()],
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rngs: (0..s_count)
+                .map(|s| StdRng::seed_from_u64(shard_seed(cfg.seed, s)))
+                .collect(),
+            meters: (0..s_count).map(|_| Meters::new()).collect(),
             now: 0,
             win_start: cfg.warmup,
             win_end: cfg.warmup + cfg.measure,
-            stats: LatencyStats::new(),
-            hops_sum: 0,
-            head_lat_sum: 0,
-            head_ejected: 0,
-            sample_generated: 0,
-            sample_ejected: 0,
-            sample_dropped: 0,
-            window_ejected: 0,
-            total_ejected: 0,
-            total_ejected_flits: 0,
-            dropped_flits: 0,
-            unreachable_pairs: 0,
         }
     }
 
-    /// Pushes a packet into input-buffer slot `slot` of router `r`,
-    /// maintaining the non-empty bitmask and the active-set counter.
-    #[inline]
-    fn buf_push(&mut self, r: u32, slot: usize, p: Flit) {
-        self.in_buf[slot].push_back(p);
-        self.buf_mask[slot / 64] |= 1 << (slot % 64);
-        self.r_buffered[r as usize] += 1;
-    }
-
-    /// Pops the head of input-buffer slot `slot` of router `r`.
-    #[inline]
-    fn buf_pop(&mut self, r: u32, slot: usize) -> Flit {
-        let p = self.in_buf[slot]
-            .pop_front()
-            .expect("buf_pop is only called on slots the mask marks occupied");
-        if self.in_buf[slot].is_empty() {
-            self.buf_mask[slot / 64] &= !(1 << (slot % 64));
-        }
-        self.r_buffered[r as usize] -= 1;
-        p
-    }
-
-    /// Flat input port of input-buffer slot `slot` (`slot / num_vcs`,
-    /// strength-reduced; `num_vcs == 1` makes it the identity).
-    #[inline]
-    fn slot_port(&self, slot: usize) -> usize {
-        if self.cfg.num_vcs == 1 {
-            slot
-        } else {
-            fast_div(slot as u32, self.nvc_magic) as usize
-        }
-    }
-
-    /// Asks the routing policy for an injection-time decision.
-    fn choose_path(&mut self, src_r: u32, dst_r: u32, flow: u64) -> ([u32; 10], u8) {
-        let queues = EngineQueues {
-            links: &self.links,
-            occ: &self.occ,
-        };
-        let ctx = RouteCtx {
-            graph: self.route_graph,
-            tables: self.tables,
-            queues: &queues,
-            src: src_r,
-            dst: dst_r,
-            flow,
-            now: self.now,
-        };
-        match self.router.route(&ctx, &mut self.rng) {
-            RouteDecision::Path(v) => {
-                assert!(v.len() <= 10, "path longer than the Flit array: {v:?}");
-                let mut a = [0u32; 10];
-                a[..v.len()].copy_from_slice(&v);
-                (a, v.len() as u8)
-            }
-            RouteDecision::PerHop => {
-                // Per-hop routing: packet only carries the destination.
-                let mut a = [0u32; 10];
-                a[0] = dst_r;
-                (a, 0)
-            }
-        }
-    }
-
-    /// Destination router of a packet.
-    #[inline]
-    fn dst_router(&self, p: &Flit) -> u32 {
-        if p.path_len == 0 {
-            p.path[0]
-        } else {
-            p.path[p.path_len as usize - 1]
-        }
-    }
-
-    /// Whether the packet terminates at router `r`.
-    #[inline]
-    fn terminates_here(&self, p: &Flit, r: u32) -> bool {
-        self.dst_router(p) == r
-    }
-
-    /// Next-hop router for a packet sitting at `r`: the recorded source
-    /// route, or the policy's per-hop hook for adaptive packets.
-    fn next_hop(&mut self, p: &Flit, r: u32) -> u32 {
-        if p.path_len > 0 {
-            p.path[p.hop as usize + 1]
-        } else {
-            let queues = EngineQueues {
-                links: &self.links,
-                occ: &self.occ,
-            };
-            let ctx = RouteCtx {
-                graph: self.route_graph,
-                tables: self.tables,
-                queues: &queues,
-                src: r,
-                dst: p.path[0],
-                flow: flow_id(p.src_ep, p.dst_ep),
-                now: self.now,
-            };
-            self.router.next_hop(&ctx, r, &mut self.rng)
-        }
-    }
-
-    /// Whether traffic from router `src_r` to router `dst_r` has no
-    /// route on the (degraded) tables. Only meaningful after
-    /// [`Simulator::apply_fault`] — the boot graph is connected.
-    #[inline]
-    fn unroutable(&self, src_r: u32, dst_r: u32) -> bool {
-        src_r != dst_r && self.tables.distance(src_r, dst_r) == UNREACHABLE
-    }
-
-    /// Administratively drops the front flit of input slot `slot` at
-    /// router `r` (see the module docs): frees the buffer, returns the
-    /// upstream credit exactly like a grant, and maintains the drop
-    /// accounting and the [`DROP_ROUTE`] sentinel — a multi-flit head
-    /// plants it for the trailing flits, the tail clears it and closes
-    /// the packet's sample accounting.
-    fn drop_front(&mut self, r: u32, slot: usize, net_deg: usize, credit_due: usize) {
-        let pkt = self.buf_pop(r, slot);
-        let fp = self.slot_port(slot);
-        let port = fp - self.port_base[r as usize] as usize;
-        if port < net_deg {
-            let down = self.links.link_base[r as usize] as usize + port;
-            let up_link = self.links.rev[down];
-            let vc = (slot - fp * self.cfg.num_vcs) as u8;
-            self.credit_buckets[credit_due].push((up_link, vc));
-        }
-        self.dropped_flits += 1;
-        if pkt.size > 1 {
-            self.in_route[slot] = if pkt.is_tail() { u32::MAX } else { DROP_ROUTE };
-        }
-        if pkt.is_tail() && pkt.gen_time >= self.win_start && pkt.gen_time < self.win_end {
-            self.sample_dropped += 1;
-        }
+    /// Number of engine shards this simulation runs with — a function
+    /// of the topology only (`min(ENGINE_SHARDS, routers)`), never of
+    /// [`SimConfig::threads`] or the machine.
+    pub fn num_shards(&self) -> usize {
+        self.plan.len()
     }
 
     /// Kills links mid-run and swaps in routing state re-derived on the
@@ -1027,291 +1301,504 @@ impl<'a> Simulator<'a> {
         self.tables = tables;
         self.router = router;
     }
+}
 
-    /// Advances the simulation by one cycle.
-    ///
-    /// Public for embedding and invariant testing (see
-    /// [`Simulator::verify_occupancy_counters`]); [`Simulator::run`]
-    /// drives the full warm-up / measure / drain schedule.
-    pub fn step(&mut self) {
-        let nr = self.net.num_routers() as u32;
-        let nvc = self.cfg.num_vcs;
-        let now = self.now;
+/// The immutable (or shard-safely shared) step context: everything a
+/// phase needs beyond its own shard's mutable state. `Copy`, so the
+/// sequential driver and every worker thread hold the same value.
+///
+/// The atomic members (`occ` and the bitmasks) are globally readable;
+/// writes are disjoint by the shard-ownership rules in the module docs.
+#[derive(Clone, Copy)]
+struct StepCtx<'c> {
+    net: &'c Network,
+    tables: &'c RoutingTables,
+    router: &'c dyn Router,
+    pattern: &'c TrafficPattern,
+    route_graph: &'c Graph,
+    cfg: SimConfig,
+    load: f64,
+    vc_cap: usize,
+    links: &'c LinkIndex,
+    plan: &'c ShardPlan,
+    port_base: &'c [u32],
+    ep_router: &'c [u32],
+    ep_inj_slot: &'c [u32],
+    link_dead: &'c [bool],
+    occ: &'c [AtomicU32],
+    buf_mask: &'c [AtomicU64],
+    src_mask: &'c [AtomicU64],
+    staged_mask: &'c [AtomicU64],
+    nvc_magic: u64,
+    flit_eff: u32,
+    credit_eff: u32,
+    win_start: u32,
+    win_end: u32,
+}
 
-        // 1. Arrivals: flying flits reach downstream input buffers;
-        //    credits mature. Events live in per-cycle buckets, so the
-        //    drain touches exactly the due events (no RNG; delivery
-        //    effects within a cycle are commutative — see the bucket
-        //    field docs).
-        let fb = (now % (self.flit_eff + 1)) as usize;
-        let mut bucket = std::mem::take(&mut self.flit_buckets[fb]);
+impl StepCtx<'_> {
+    #[inline]
+    fn slot_port(&self, slot: usize) -> usize {
+        slot_port_of(self.cfg.num_vcs, self.nvc_magic, slot)
+    }
+
+    /// Whether traffic from router `src_r` to router `dst_r` has no
+    /// route on the (degraded) tables. Only meaningful after
+    /// [`Simulator::apply_fault`] — the boot graph is connected.
+    #[inline]
+    fn unroutable(&self, src_r: u32, dst_r: u32) -> bool {
+        src_r != dst_r && self.tables.distance(src_r, dst_r) == UNREACHABLE
+    }
+
+    /// Asks the routing policy for an injection-time decision, drawing
+    /// from the calling shard's RNG stream.
+    fn choose_path(
+        &self,
+        rng: &mut StdRng,
+        src_r: u32,
+        dst_r: u32,
+        flow: u64,
+        now: u32,
+    ) -> ([u32; 10], u8) {
+        let queues = EngineQueues {
+            links: self.links,
+            occ: self.occ,
+        };
+        let ctx = RouteCtx {
+            graph: self.route_graph,
+            tables: self.tables,
+            queues: &queues,
+            src: src_r,
+            dst: dst_r,
+            flow,
+            now,
+        };
+        match self.router.route(&ctx, rng) {
+            RouteDecision::Path(v) => {
+                assert!(v.len() <= 10, "path longer than the Flit array: {v:?}");
+                let mut a = [0u32; 10];
+                a[..v.len()].copy_from_slice(&v);
+                (a, v.len() as u8)
+            }
+            RouteDecision::PerHop => {
+                // Per-hop routing: packet only carries the destination.
+                let mut a = [0u32; 10];
+                a[0] = dst_r;
+                (a, 0)
+            }
+        }
+    }
+
+    /// Next-hop router for a packet sitting at `r`: the recorded source
+    /// route, or the policy's per-hop hook for adaptive packets. The
+    /// per-hop hook sees queues through [`AllocQueues`], which enforces
+    /// the allocation-phase QueueView contract (own links only).
+    fn next_hop(&self, rng: &mut StdRng, p: &Flit, r: u32, now: u32) -> u32 {
+        if p.path_len > 0 {
+            p.path[p.hop as usize + 1]
+        } else {
+            let queues = AllocQueues {
+                links: self.links,
+                occ: self.occ,
+                decider: r,
+            };
+            let ctx = RouteCtx {
+                graph: self.route_graph,
+                tables: self.tables,
+                queues: &queues,
+                src: r,
+                dst: p.path[0],
+                flow: flow_id(p.src_ep, p.dst_ep),
+                now,
+            };
+            self.router.next_hop(&ctx, r, rng)
+        }
+    }
+}
+
+/// One shard's exclusive window onto the flat engine arrays, plus its
+/// private RNG stream, meters and scratch. Built fresh per
+/// `advance()` call by splitting the `Simulator`'s global arrays at the
+/// [`ShardPlan`] boundaries; indices arriving from global index spaces
+/// (flat slots, link × VC, endpoints, routers) are translated by
+/// subtracting the shard's `*_lo` offsets. Values *stored* in the
+/// tables (`in_route`, `out_owner`) stay global encodings so the
+/// whole-array `verify_*` checkers read them unchanged.
+struct ShardView<'v> {
+    r_lo: u32,
+    r_hi: u32,
+    ep_lo: u32,
+    ep_hi: u32,
+    link_lo: u32,
+    link_hi: u32,
+    /// First flat input-buffer slot of this shard.
+    slot_lo: usize,
+    /// First link × VC index of this shard.
+    lv_lo: usize,
+    credits: &'v mut [u32],
+    staging: &'v mut [VecDeque<(Flit, u8)>],
+    in_buf: &'v mut [VecDeque<Flit>],
+    in_route: &'v mut [u32],
+    out_owner: &'v mut [u32],
+    src_q: &'v mut [VecDeque<(u32, u32)>],
+    inj_progress: &'v mut [Option<Flit>],
+    ejected_seen: &'v mut [u32],
+    r_buffered: &'v mut [u32],
+    link_flits: &'v mut [u64],
+    rng: &'v mut StdRng,
+    m: &'v mut Meters,
+    scr: &'v mut Scratch,
+}
+
+impl ShardView<'_> {
+    /// Pushes a packet into input-buffer slot `slot` (global index) of
+    /// router `r`, maintaining the non-empty bitmask and the active-set
+    /// counter.
+    #[inline]
+    fn buf_push(&mut self, ctx: &StepCtx, r: u32, slot: usize, p: Flit) {
+        self.in_buf[slot - self.slot_lo].push_back(p);
+        mask_set(ctx.buf_mask, slot);
+        self.r_buffered[(r - self.r_lo) as usize] += 1;
+    }
+
+    /// Pops the head of input-buffer slot `slot` (global index) of
+    /// router `r`.
+    #[inline]
+    fn buf_pop(&mut self, ctx: &StepCtx, r: u32, slot: usize) -> Flit {
+        let q = &mut self.in_buf[slot - self.slot_lo];
+        let p = q
+            .pop_front()
+            .expect("buf_pop is only called on slots the mask marks occupied");
+        if q.is_empty() {
+            mask_clear(ctx.buf_mask, slot);
+        }
+        self.r_buffered[(r - self.r_lo) as usize] -= 1;
+        p
+    }
+
+    /// Administratively drops the front flit of input slot `slot` at
+    /// router `r` (see the module docs): frees the buffer, returns the
+    /// upstream credit exactly like a grant, and maintains the drop
+    /// accounting and the [`DROP_ROUTE`] sentinel — a multi-flit head
+    /// plants it for the trailing flits, the tail clears it and closes
+    /// the packet's sample accounting.
+    fn drop_front(
+        &mut self,
+        ctx: &StepCtx,
+        sink: &mut impl EventSink,
+        r: u32,
+        slot: usize,
+        net_deg: usize,
+        credit_due: usize,
+    ) {
+        let pkt = self.buf_pop(ctx, r, slot);
+        let fp = ctx.slot_port(slot);
+        let port = fp - ctx.port_base[r as usize] as usize;
+        if port < net_deg {
+            let down = ctx.links.link_base[r as usize] as usize + port;
+            let up_link = ctx.links.rev[down];
+            let vc = (slot - fp * ctx.cfg.num_vcs) as u8;
+            sink.credit(credit_due, up_link, vc);
+        }
+        self.m.dropped_flits += 1;
+        if pkt.size > 1 {
+            self.in_route[slot - self.slot_lo] = if pkt.is_tail() { u32::MAX } else { DROP_ROUTE };
+        }
+        if pkt.is_tail() && pkt.gen_time >= ctx.win_start && pkt.gen_time < ctx.win_end {
+            self.m.sample_dropped += 1;
+        }
+    }
+
+    /// Phase 1 — arrivals: flying flits reach downstream input buffers;
+    /// credits mature. Events live in the shard's per-cycle buckets, so
+    /// the drain touches exactly the due events (no RNG; delivery
+    /// effects within a cycle are commutative — see the bucket docs).
+    fn arrivals(&mut self, ctx: &StepCtx, bk: &mut ShardBuckets, now: u32) {
+        let nvc = ctx.cfg.num_vcs;
+        let fb = (now % (ctx.flit_eff + 1)) as usize;
+        let mut bucket = std::mem::take(&mut bk.flit[fb]);
         for &(l, pkt, vc) in &bucket {
-            let to = self.links.to[l as usize];
-            let fp = self.port_base[to as usize] + self.links.to_port[l as usize];
+            let to = ctx.links.to[l as usize];
+            let fp = ctx.port_base[to as usize] + ctx.links.to_port[l as usize];
             let slot = fp as usize * nvc + vc as usize;
-            self.buf_push(to, slot, pkt);
+            self.buf_push(ctx, to, slot, pkt);
         }
         bucket.clear();
-        self.flit_buckets[fb] = bucket;
-        let cb = (now % (self.credit_eff + 1)) as usize;
-        let mut bucket = std::mem::take(&mut self.credit_buckets[cb]);
+        bk.flit[fb] = bucket;
+        let cb = (now % (ctx.credit_eff + 1)) as usize;
+        let mut bucket = std::mem::take(&mut bk.credit[cb]);
         for &(l, vc) in &bucket {
-            self.credits[l as usize * nvc + vc as usize] += 1;
-            self.occ[l as usize] -= 1;
+            self.credits[l as usize * nvc + vc as usize - self.lv_lo] += 1;
+            occ_add(&ctx.occ[l as usize], -1);
         }
         bucket.clear();
-        self.credit_buckets[cb] = bucket;
+        bk.credit[cb] = bucket;
+    }
 
-        // 2. Traffic generation (Bernoulli per active endpoint). RNG
-        //    phase: iterates every endpoint in order, unconditionally.
-        //    One draw generates a whole packet; the probability is
-        //    scaled by the packet size so `load` stays the offered
-        //    load in flits/endpoint/cycle (for packet_size = 1 the
-        //    division is exact and the draw sequence is unchanged).
-        if self.load > 0.0 {
-            let p_gen = self.load / self.cfg.packet_size as f64;
-            for e in 0..self.net.num_endpoints() as u32 {
-                if !self.pattern.is_active(e) {
-                    continue;
-                }
-                if self.rng.gen_bool(p_gen) {
-                    if let Some(d) = self.pattern.dest(e, &mut self.rng) {
-                        // Degraded operation: a packet for a router the
-                        // fault disconnected is dropped at the source —
-                        // never queued, never counted as a sample. The
-                        // guard draws no RNG, so a fault-free run is
-                        // bit-identical.
-                        if !self.link_dead.is_empty()
-                            && self
-                                .unroutable(self.ep_router[e as usize], self.ep_router[d as usize])
-                        {
-                            self.dropped_flits += self.cfg.packet_size as u64;
-                            self.unreachable_pairs += 1;
-                            continue;
-                        }
-                        if now >= self.win_start && now < self.win_end {
-                            self.sample_generated += 1;
-                        }
-                        self.src_q[e as usize].push_back((now, d));
-                        self.src_mask[e as usize / 64] |= 1 << (e % 64);
-                    }
-                }
-            }
+    /// Phase 2 — traffic generation (Bernoulli per active endpoint).
+    /// RNG phase: iterates the shard's endpoints in order,
+    /// unconditionally, on the shard's private stream. One draw
+    /// generates a whole packet; the probability is scaled by the
+    /// packet size so `load` stays the offered load in
+    /// flits/endpoint/cycle.
+    fn generation(&mut self, ctx: &StepCtx, now: u32) {
+        if ctx.load <= 0.0 {
+            return;
         }
-
-        // 3. Injection: one flit per endpoint per cycle enters the
-        //    router's injection port. A *new* packet's head flit picks
-        //    its path now (seeing current queues); body/tail flits of a
-        //    partially injected packet follow on later cycles, before
-        //    the next packet may start. RNG phase: endpoints with
-        //    injection work are visited in ascending order — exactly
-        //    the endpoints a full scan would visit (no RNG is drawn for
-        //    idle endpoints or for body/tail flits).
-        {
-            let mut ep_scratch = std::mem::take(&mut self.ep_scratch);
-            ep_scratch.clear();
-            gather_segment(&self.src_mask, 0, self.net.num_endpoints(), &mut ep_scratch);
-            for &e in &ep_scratch {
-                let slot = self.ep_inj_slot[e as usize] as usize;
-                if self.in_buf[slot].len() >= self.vc_cap {
-                    continue;
-                }
-                let r = self.ep_router[e as usize];
-                if let Some(f) = self.inj_progress[e as usize] {
-                    // Body/tail flit of the packet in progress: no
-                    // routing, no RNG — serialization only.
-                    self.inj_progress[e as usize] = if f.is_tail() {
-                        None
-                    } else {
-                        Some(Flit {
-                            seq: f.seq + 1,
-                            ..f
-                        })
-                    };
-                    self.buf_push(r, slot, f);
-                    if self.inj_progress[e as usize].is_none() && self.src_q[e as usize].is_empty()
-                    {
-                        self.src_mask[e as usize / 64] &= !(1 << (e % 64));
-                    }
-                    continue;
-                }
-                let (gen_time, dst_ep) = self.src_q[e as usize]
-                    .pop_front()
-                    .expect("src_mask marks this endpoint's queue non-empty");
-                let dst_r = self.ep_router[dst_ep as usize];
-                // Degraded operation: a packet queued *before* a fault
-                // whose destination is now unreachable is dropped here
-                // instead of injected (its flits never entered the
-                // network, but it was already counted as a sample).
-                if !self.link_dead.is_empty() && self.unroutable(r, dst_r) {
-                    self.dropped_flits += self.cfg.packet_size as u64;
-                    self.unreachable_pairs += 1;
-                    if gen_time >= self.win_start && gen_time < self.win_end {
-                        self.sample_dropped += 1;
-                    }
-                    if self.src_q[e as usize].is_empty() {
-                        self.src_mask[e as usize / 64] &= !(1 << (e % 64));
-                    }
-                    continue;
-                }
-                if self.src_q[e as usize].is_empty() && self.cfg.packet_size == 1 {
-                    self.src_mask[e as usize / 64] &= !(1 << (e % 64));
-                }
-                let (path, path_len) = self.choose_path(r, dst_r, flow_id(e, dst_ep));
-                // Spread packets over VC classes: an h-hop path may start at
-                // any base with base + h ≤ num_vcs (adaptive paths reserve
-                // the full diameter-bound budget).
-                let hops = if path_len == 0 {
-                    self.tables.distance(r, dst_r).min(ADAPTIVE_HOP_BUDGET) as usize
-                } else {
-                    path_len as usize - 1
-                };
-                let slack = vc_base_slack(self.cfg.num_vcs, hops);
-                let vc_base = if slack == 0 {
-                    0
-                } else {
-                    self.rng.gen_range(0..=slack.min(self.cfg.num_vcs - 1)) as u8
-                };
-                let head = Flit {
-                    src_ep: e,
-                    dst_ep,
-                    gen_time,
-                    path,
-                    path_len,
-                    hop: 0,
-                    vc_base,
-                    seq: 0,
-                    size: self.cfg.packet_size as u16,
-                };
-                if !head.is_tail() {
-                    self.inj_progress[e as usize] = Some(Flit { seq: 1, ..head });
-                }
-                self.buf_push(r, slot, head);
-            }
-            self.ep_scratch = ep_scratch;
-        }
-
-        // 4. Ejection: one flit per endpoint per cycle. (No RNG.)
-        let eject_stamp = now + 1;
-        let credit_due = ((now + self.credit_eff) % (self.credit_eff + 1)) as usize;
-        for r in 0..nr {
-            if self.r_buffered[r as usize] == 0 {
+        let p_gen = ctx.load / ctx.cfg.packet_size as f64;
+        for e in self.ep_lo..self.ep_hi {
+            if !ctx.pattern.is_active(e) {
                 continue;
             }
-            let lo = self.port_base[r as usize] as usize * nvc;
-            let hi = self.port_base[r as usize + 1] as usize * nvc;
-            let net_deg = self.net.graph.degree(r);
-            let mut scratch = std::mem::take(&mut self.slot_scratch);
+            if self.rng.gen_bool(p_gen) {
+                if let Some(d) = ctx.pattern.dest(e, self.rng) {
+                    // Degraded operation: a packet for a router the
+                    // fault disconnected is dropped at the source —
+                    // never queued, never counted as a sample. The
+                    // guard draws no RNG, so a fault-free run is
+                    // bit-identical.
+                    if !ctx.link_dead.is_empty()
+                        && ctx.unroutable(ctx.ep_router[e as usize], ctx.ep_router[d as usize])
+                    {
+                        self.m.dropped_flits += ctx.cfg.packet_size as u64;
+                        self.m.unreachable_pairs += 1;
+                        continue;
+                    }
+                    if now >= ctx.win_start && now < ctx.win_end {
+                        self.m.sample_generated += 1;
+                    }
+                    self.src_q[(e - self.ep_lo) as usize].push_back((now, d));
+                    mask_set(ctx.src_mask, e as usize);
+                }
+            }
+        }
+    }
+
+    /// Phase 3 — injection: one flit per endpoint per cycle enters the
+    /// router's injection port. A *new* packet's head flit picks its
+    /// path now (seeing current queues); body/tail flits of a partially
+    /// injected packet follow on later cycles, before the next packet
+    /// may start. RNG phase: the shard's endpoints with injection work
+    /// are visited in ascending order — exactly the endpoints a full
+    /// scan would visit (no RNG is drawn for idle endpoints or for
+    /// body/tail flits).
+    fn injection(&mut self, ctx: &StepCtx, now: u32) {
+        let mut eps = std::mem::take(&mut self.scr.eps);
+        eps.clear();
+        gather_segment(
+            ctx.src_mask,
+            self.ep_lo as usize,
+            self.ep_hi as usize,
+            &mut eps,
+        );
+        for &e in &eps {
+            let slot = ctx.ep_inj_slot[e as usize] as usize;
+            if self.in_buf[slot - self.slot_lo].len() >= ctx.vc_cap {
+                continue;
+            }
+            let r = ctx.ep_router[e as usize];
+            let el = (e - self.ep_lo) as usize;
+            if let Some(f) = self.inj_progress[el] {
+                // Body/tail flit of the packet in progress: no
+                // routing, no RNG — serialization only.
+                self.inj_progress[el] = if f.is_tail() {
+                    None
+                } else {
+                    Some(Flit {
+                        seq: f.seq + 1,
+                        ..f
+                    })
+                };
+                self.buf_push(ctx, r, slot, f);
+                if self.inj_progress[el].is_none() && self.src_q[el].is_empty() {
+                    mask_clear(ctx.src_mask, e as usize);
+                }
+                continue;
+            }
+            let (gen_time, dst_ep) = self.src_q[el]
+                .pop_front()
+                .expect("src_mask marks this endpoint's queue non-empty");
+            let dst_r = ctx.ep_router[dst_ep as usize];
+            // Degraded operation: a packet queued *before* a fault
+            // whose destination is now unreachable is dropped here
+            // instead of injected (its flits never entered the
+            // network, but it was already counted as a sample).
+            if !ctx.link_dead.is_empty() && ctx.unroutable(r, dst_r) {
+                self.m.dropped_flits += ctx.cfg.packet_size as u64;
+                self.m.unreachable_pairs += 1;
+                if gen_time >= ctx.win_start && gen_time < ctx.win_end {
+                    self.m.sample_dropped += 1;
+                }
+                if self.src_q[el].is_empty() {
+                    mask_clear(ctx.src_mask, e as usize);
+                }
+                continue;
+            }
+            if self.src_q[el].is_empty() && ctx.cfg.packet_size == 1 {
+                mask_clear(ctx.src_mask, e as usize);
+            }
+            let (path, path_len) = ctx.choose_path(self.rng, r, dst_r, flow_id(e, dst_ep), now);
+            // Spread packets over VC classes: an h-hop path may start at
+            // any base with base + h ≤ num_vcs (adaptive paths reserve
+            // the full diameter-bound budget).
+            let hops = if path_len == 0 {
+                ctx.tables.distance(r, dst_r).min(ADAPTIVE_HOP_BUDGET) as usize
+            } else {
+                path_len as usize - 1
+            };
+            let slack = vc_base_slack(ctx.cfg.num_vcs, hops);
+            let vc_base = if slack == 0 {
+                0
+            } else {
+                self.rng.gen_range(0..=slack.min(ctx.cfg.num_vcs - 1)) as u8
+            };
+            let head = Flit {
+                src_ep: e,
+                dst_ep,
+                gen_time,
+                path,
+                path_len,
+                hop: 0,
+                vc_base,
+                seq: 0,
+                size: ctx.cfg.packet_size as u16,
+            };
+            if !head.is_tail() {
+                self.inj_progress[el] = Some(Flit { seq: 1, ..head });
+            }
+            self.buf_push(ctx, r, slot, head);
+        }
+        self.scr.eps = eps;
+    }
+
+    /// Phase 4 — ejection: one flit per endpoint per cycle. (No RNG.)
+    fn ejection(&mut self, ctx: &StepCtx, sink: &mut impl EventSink, now: u32) {
+        let nvc = ctx.cfg.num_vcs;
+        let eject_stamp = now + 1;
+        let credit_due = ((now + ctx.credit_eff) % (ctx.credit_eff + 1)) as usize;
+        for r in self.r_lo..self.r_hi {
+            if self.r_buffered[(r - self.r_lo) as usize] == 0 {
+                continue;
+            }
+            let lo = ctx.port_base[r as usize] as usize * nvc;
+            let hi = ctx.port_base[r as usize + 1] as usize * nvc;
+            let net_deg = ctx.net.graph.degree(r);
+            let mut scratch = std::mem::take(&mut self.scr.slots);
             scratch.clear();
-            gather_segment(&self.buf_mask, lo, hi, &mut scratch);
+            gather_segment(ctx.buf_mask, lo, hi, &mut scratch);
             for &slot in &scratch {
                 let slot = slot as usize;
                 let eject = matches!(
-                    self.in_buf[slot].front(),
-                    Some(p) if self.terminates_here(p, r)
-                        && self.ejected_seen[p.dst_ep as usize] != eject_stamp
+                    self.in_buf[slot - self.slot_lo].front(),
+                    Some(p) if p.dst_router() == r
+                        && self.ejected_seen[(p.dst_ep - self.ep_lo) as usize] != eject_stamp
                 );
                 if !eject {
                     continue;
                 }
-                let p = self.buf_pop(r, slot);
-                self.ejected_seen[p.dst_ep as usize] = eject_stamp;
-                // Return a credit upstream for network ports.
-                let fp = self.slot_port(slot);
-                let port = fp - self.port_base[r as usize] as usize;
+                let p = self.buf_pop(ctx, r, slot);
+                self.ejected_seen[(p.dst_ep - self.ep_lo) as usize] = eject_stamp;
+                // Return a credit upstream for network ports. The
+                // upstream link belongs to the *neighbor's* shard, so
+                // this goes through the sink.
+                let fp = ctx.slot_port(slot);
+                let port = fp - ctx.port_base[r as usize] as usize;
                 if port < net_deg {
-                    let down = self.links.link_base[r as usize] as usize + port;
-                    let up_link = self.links.rev[down];
+                    let down = ctx.links.link_base[r as usize] as usize + port;
+                    let up_link = ctx.links.rev[down];
                     let vc = (slot - fp * nvc) as u8;
-                    self.credit_buckets[credit_due].push((up_link, vc));
+                    sink.credit(credit_due, up_link, vc);
                 }
                 // Throughput ticks per flit; packet completion (and
                 // latency, measured to the *tail* — serialization
                 // included) ticks at the tail flit.
-                self.total_ejected_flits += 1;
-                if now >= self.win_start && now < self.win_end {
-                    self.window_ejected += 1;
+                self.m.total_ejected_flits += 1;
+                if now >= ctx.win_start && now < ctx.win_end {
+                    self.m.window_ejected += 1;
                 }
                 if p.is_tail() {
-                    self.total_ejected += 1;
+                    self.m.total_ejected += 1;
                 }
-                if p.gen_time >= self.win_start && p.gen_time < self.win_end {
+                if p.gen_time >= ctx.win_start && p.gen_time < ctx.win_end {
                     if p.is_head() {
-                        self.head_lat_sum += now.saturating_sub(p.gen_time) as u64;
-                        self.head_ejected += 1;
+                        self.m.head_lat_sum += now.saturating_sub(p.gen_time) as u64;
+                        self.m.head_ejected += 1;
                     }
                     if p.is_tail() {
-                        self.sample_ejected += 1;
-                        self.stats.record(now.saturating_sub(p.gen_time));
-                        self.hops_sum += p.hop as u64;
+                        self.m.sample_ejected += 1;
+                        self.m.stats.record(now.saturating_sub(p.gen_time));
+                        self.m.hops_sum += p.hop as u64;
                     }
                 }
             }
-            self.slot_scratch = scratch;
+            self.scr.slots = scratch;
         }
+    }
 
-        // 5. Switch allocation: round-robin over input VCs; each input
-        //    grants ≤ 1 flit, each output accepts ≤ `output_speedup`.
-        //    Only *head* flits route and allocate: a head consults
-        //    `Router::next_hop` (which may draw RNG), then claims the
-        //    output VC (`in_route`/`out_owner`) if no other packet owns
-        //    it; body/tail flits are granted straight to the recorded
-        //    reservation, and the tail releases it. `Router::next_hop`
-        //    is reached for exactly the packets a full scan would
-        //    reach, in the same order: only non-empty queues are
-        //    visited, in round-robin order from the same per-cycle
-        //    offset.
-        for r in 0..nr {
-            if self.r_buffered[r as usize] == 0 {
+    /// Phase 5 — switch allocation: round-robin over input VCs; each
+    /// input grants ≤ 1 flit, each output accepts ≤ `output_speedup`.
+    /// Only *head* flits route and allocate: a head consults
+    /// `Router::next_hop` (which may draw from the shard's RNG stream),
+    /// then claims the output VC (`in_route`/`out_owner`) if no other
+    /// packet owns it; body/tail flits are granted straight to the
+    /// recorded reservation, and the tail releases it. `Router::next_hop`
+    /// is reached for exactly the packets a full scan would reach, in
+    /// the same order: only non-empty queues are visited, in
+    /// round-robin order from the same per-cycle offset.
+    fn allocation(&mut self, ctx: &StepCtx, sink: &mut impl EventSink, now: u32) {
+        let nvc = ctx.cfg.num_vcs;
+        let credit_due = ((now + ctx.credit_eff) % (ctx.credit_eff + 1)) as usize;
+        for r in self.r_lo..self.r_hi {
+            if self.r_buffered[(r - self.r_lo) as usize] == 0 {
                 continue;
             }
-            let base = self.port_base[r as usize] as usize;
-            let nports = self.port_base[r as usize + 1] as usize - base;
+            let base = ctx.port_base[r as usize] as usize;
+            let nports = ctx.port_base[r as usize + 1] as usize - base;
             let total = nports * nvc;
             // The pre-CSR engine kept a per-router round-robin cursor
             // incremented once per cycle; it always equals `now`.
             let start = now as usize % total.max(1);
-            let net_deg = self.net.graph.degree(r);
-            let nlinks_r = self.links.links_of(r).len();
-            self.out_grants[..nlinks_r].fill(0);
-            self.in_grants[..nports].fill(0);
+            let net_deg = ctx.net.graph.degree(r);
+            let nlinks_r = ctx.links.links_of(r).len();
+            self.scr.out_grants[..nlinks_r].fill(0);
+            self.scr.in_grants[..nports].fill(0);
 
             // Candidate queues, gathered once in round-robin order
             // (allocation only ever empties queues, so the set cannot
             // grow mid-phase; emptied queues are re-checked cheaply).
             let lo = base * nvc;
             let hi = lo + total;
-            let mut scratch = std::mem::take(&mut self.slot_scratch);
+            let mut scratch = std::mem::take(&mut self.scr.slots);
             scratch.clear();
-            gather_segment(&self.buf_mask, lo + start, hi, &mut scratch);
-            gather_segment(&self.buf_mask, lo, lo + start, &mut scratch);
+            gather_segment(ctx.buf_mask, lo + start, hi, &mut scratch);
+            gather_segment(ctx.buf_mask, lo, lo + start, &mut scratch);
 
             // Internal speedup: the crossbar runs `output_speedup`
             // allocation iterations per cycle; an input may win once per
             // iteration (and sees its new queue head in the next one).
-            for iter in 0..self.cfg.output_speedup {
+            for iter in 0..ctx.cfg.output_speedup {
                 for &slot in &scratch {
                     let slot = slot as usize;
-                    let fp = self.slot_port(slot);
+                    let fp = ctx.slot_port(slot);
                     let port = fp - base;
-                    if self.in_grants[port] > iter as u32 {
+                    if self.scr.in_grants[port] > iter as u32 {
                         continue;
                     }
-                    let head = match self.in_buf[slot].front() {
+                    let head = match self.in_buf[slot - self.slot_lo].front() {
                         Some(p) => *p,
                         None => continue,
                     };
-                    if self.terminates_here(&head, r) {
+                    if head.dst_router() == r {
                         continue; // handled by ejection
                     }
-                    let alloc = self.in_route[slot];
+                    let alloc = self.in_route[slot - self.slot_lo];
                     if alloc == DROP_ROUTE {
                         // Trailing flit of an administratively dropped
                         // packet: discard it (the tail clears the
                         // sentinel — see the module docs).
                         debug_assert!(!head.is_head());
-                        self.drop_front(r, slot, net_deg, credit_due);
-                        self.in_grants[port] = iter as u32 + 1;
+                        self.drop_front(ctx, sink, r, slot, net_deg, credit_due);
+                        self.scr.in_grants[port] = iter as u32 + 1;
                         continue;
                     }
                     let (l, next_vc) = if alloc != u32::MAX {
@@ -1322,48 +1809,47 @@ impl<'a> Simulator<'a> {
                         ((alloc as usize) / nvc, (alloc as usize) % nvc)
                     } else {
                         debug_assert!(head.is_head());
-                        if !self.link_dead.is_empty() && self.unroutable(r, self.dst_router(&head))
-                        {
+                        if !ctx.link_dead.is_empty() && ctx.unroutable(r, head.dst_router()) {
                             // The fault disconnected this in-flight
                             // packet's destination: drop before asking
                             // the (degraded) routing policy, which has
                             // no answer for it.
-                            self.drop_front(r, slot, net_deg, credit_due);
-                            self.in_grants[port] = iter as u32 + 1;
+                            self.drop_front(ctx, sink, r, slot, net_deg, credit_due);
+                            self.scr.in_grants[port] = iter as u32 + 1;
                             continue;
                         }
-                        let nxt = self.next_hop(&head, r);
-                        let l = self.links.link(r, nxt) as usize;
-                        if !self.link_dead.is_empty() && self.link_dead[l] {
+                        let nxt = ctx.next_hop(self.rng, &head, r, now);
+                        let l = ctx.links.link(r, nxt) as usize;
+                        if !ctx.link_dead.is_empty() && ctx.link_dead[l] {
                             // A stale source route (chosen before the
                             // kill) crosses a dead cable: refuse the
                             // allocation and drop the packet here.
-                            self.drop_front(r, slot, net_deg, credit_due);
-                            self.in_grants[port] = iter as u32 + 1;
+                            self.drop_front(ctx, sink, r, slot, net_deg, credit_due);
+                            self.scr.in_grants[port] = iter as u32 + 1;
                             continue;
                         }
                         let next_vc = hop_vc(nvc, head.vc_base, head.hop as usize);
                         (l, next_vc)
                     };
-                    let j = l - self.links.link_base[r as usize] as usize;
-                    if self.out_grants[j] >= self.cfg.output_speedup as u32 {
+                    let j = l - ctx.links.link_base[r as usize] as usize;
+                    if self.scr.out_grants[j] >= ctx.cfg.output_speedup as u32 {
                         continue;
                     }
-                    if self.staging[l].len() >= self.cfg.output_queue_cap
-                        || self.credits[l * nvc + next_vc] == 0
+                    // The granted output link belongs to this router,
+                    // hence this shard: translate to local indices.
+                    let ll = l - self.link_lo as usize;
+                    let lvl = l * nvc + next_vc - self.lv_lo;
+                    if self.staging[ll].len() >= ctx.cfg.output_queue_cap || self.credits[lvl] == 0
                     {
                         continue;
                     }
-                    if alloc == u32::MAX
-                        && head.size > 1
-                        && self.out_owner[l * nvc + next_vc] != u32::MAX
-                    {
+                    if alloc == u32::MAX && head.size > 1 && self.out_owner[lvl] != u32::MAX {
                         // Wormhole VC allocation: another packet owns
                         // the output VC until its tail passes.
                         continue;
                     }
                     // Grant.
-                    let mut pkt = self.buf_pop(r, slot);
+                    let mut pkt = self.buf_pop(ctx, r, slot);
                     pkt.hop = if pkt.path_len == 0 {
                         // Adaptive: record chosen hop implicitly by counter.
                         pkt.hop.saturating_add(1)
@@ -1372,67 +1858,411 @@ impl<'a> Simulator<'a> {
                     };
                     if pkt.size > 1 {
                         if pkt.is_head() {
-                            self.in_route[slot] = (l * nvc + next_vc) as u32;
-                            self.out_owner[l * nvc + next_vc] = slot as u32;
+                            self.in_route[slot - self.slot_lo] = (l * nvc + next_vc) as u32;
+                            self.out_owner[lvl] = slot as u32;
                         }
                         if pkt.is_tail() {
-                            self.in_route[slot] = u32::MAX;
-                            self.out_owner[l * nvc + next_vc] = u32::MAX;
+                            self.in_route[slot - self.slot_lo] = u32::MAX;
+                            self.out_owner[lvl] = u32::MAX;
                         }
                     }
-                    self.credits[l * nvc + next_vc] -= 1;
-                    self.staging[l].push_back((pkt, next_vc as u8));
-                    self.staged_mask[l / 64] |= 1 << (l % 64);
+                    self.credits[lvl] -= 1;
+                    self.staging[ll].push_back((pkt, next_vc as u8));
+                    mask_set(ctx.staged_mask, l);
                     // One staged flit + one downstream slot consumed.
-                    self.occ[l] += 2;
-                    self.out_grants[j] += 1;
-                    self.in_grants[port] = iter as u32 + 1;
-                    // Credit to upstream for the freed input slot.
+                    occ_add(&ctx.occ[l], 2);
+                    self.scr.out_grants[j] += 1;
+                    self.scr.in_grants[port] = iter as u32 + 1;
+                    // Credit to upstream for the freed input slot (the
+                    // upstream link is the neighbor shard's: sink).
                     if port < net_deg {
-                        let down = self.links.link_base[r as usize] as usize + port;
-                        let up_link = self.links.rev[down];
+                        let down = ctx.links.link_base[r as usize] as usize + port;
+                        let up_link = ctx.links.rev[down];
                         let vc = (slot - fp * nvc) as u8;
-                        self.credit_buckets[credit_due].push((up_link, vc));
+                        sink.credit(credit_due, up_link, vc);
                     }
                 }
             }
-            self.slot_scratch = scratch;
+            self.scr.slots = scratch;
         }
+    }
 
-        // 6. Channel transmission: one flit per link per cycle leaves
-        //    staging; arrival after router pipeline + wire delay. The
-        //    staged-link bitmask yields exactly the non-empty staging
-        //    queues in ascending link order — the order a full scan
-        //    over routers × links would visit them. (No RNG.)
-        let flit_due = ((now + self.flit_eff) % (self.flit_eff + 1)) as usize;
-        let in_window = now >= self.win_start && now < self.win_end;
-        let mut scratch = std::mem::take(&mut self.slot_scratch);
+    /// Phase 6 — channel transmission: one flit per link per cycle
+    /// leaves staging; arrival after router pipeline + wire delay. The
+    /// staged-link bitmask yields exactly the shard's non-empty staging
+    /// queues in ascending link order — the order a full scan over
+    /// routers × links would visit them. (No RNG.)
+    fn transmission(&mut self, ctx: &StepCtx, sink: &mut impl EventSink, now: u32) {
+        let flit_due = ((now + ctx.flit_eff) % (ctx.flit_eff + 1)) as usize;
+        let in_window = now >= ctx.win_start && now < ctx.win_end;
+        let mut scratch = std::mem::take(&mut self.scr.slots);
         scratch.clear();
-        gather_segment(&self.staged_mask, 0, self.occ.len(), &mut scratch);
+        gather_segment(
+            ctx.staged_mask,
+            self.link_lo as usize,
+            self.link_hi as usize,
+            &mut scratch,
+        );
         for &l in &scratch {
             let l = l as usize;
-            let (pkt, vc) = self.staging[l]
+            let ll = l - self.link_lo as usize;
+            let (pkt, vc) = self.staging[ll]
                 .pop_front()
                 .expect("staged_mask marks this staging queue non-empty");
-            if self.staging[l].is_empty() {
-                self.staged_mask[l / 64] &= !(1 << (l % 64));
+            if self.staging[ll].is_empty() {
+                mask_clear(ctx.staged_mask, l);
             }
-            self.flit_buckets[flit_due].push((l as u32, pkt, vc));
-            self.occ[l] -= 1;
+            sink.flit(flit_due, l as u32, pkt, vc);
+            occ_add(&ctx.occ[l], -1);
             if in_window {
-                self.link_flits[l] += 1;
+                self.link_flits[ll] += 1;
             }
         }
-        self.slot_scratch = scratch;
+        self.scr.slots = scratch;
+    }
+}
 
-        self.now += 1;
+impl<'a> Simulator<'a> {
+    /// Effective worker count for the parallel driver: `cfg.threads`
+    /// clamped to `[1, num_shards]` (`0` reads as 1). Results never
+    /// depend on this value — threads only schedule shards.
+    fn effective_threads(&self) -> usize {
+        self.cfg.threads.max(1).min(self.plan.len())
+    }
+
+    /// Advances the simulation to `horizon` (at most), dispatching to
+    /// the sequential or the barrier-parallel driver per
+    /// [`SimConfig::threads`]. With `early`, stops at the first cycle ≥
+    /// the measurement-window end where every sample packet has been
+    /// resolved (ejected or administratively dropped) — the drain
+    /// early-exit of [`Simulator::run_phase`]. Both drivers take the
+    /// exit decision on identical totals, at identical cycles.
+    fn advance(&mut self, horizon: u32, early: bool) {
+        let threads = self.effective_threads();
+        let nvc = self.cfg.num_vcs;
+        // Destructure so the shard views (mutable slices) and the step
+        // context (shared refs) borrow disjoint fields.
+        let Simulator {
+            net,
+            tables,
+            router,
+            pattern,
+            route_graph,
+            cfg,
+            load,
+            vc_cap,
+            links,
+            plan,
+            credits,
+            staging,
+            staged_mask,
+            occ,
+            link_flits,
+            link_dead,
+            flit_eff,
+            credit_eff,
+            buckets,
+            port_base,
+            in_buf,
+            buf_mask,
+            in_route,
+            out_owner,
+            src_q,
+            src_mask,
+            inj_progress,
+            ep_router,
+            ep_inj_slot,
+            r_buffered,
+            scratch,
+            nvc_magic,
+            ejected_seen,
+            rngs,
+            meters,
+            now,
+            win_start,
+            win_end,
+        } = self;
+        let ctx = StepCtx {
+            net,
+            tables,
+            router: *router,
+            pattern,
+            route_graph,
+            cfg: *cfg,
+            load: *load,
+            vc_cap: *vc_cap,
+            links: &*links,
+            plan: &*plan,
+            port_base,
+            ep_router,
+            ep_inj_slot,
+            link_dead,
+            occ,
+            buf_mask,
+            src_mask,
+            staged_mask,
+            nvc_magic: *nvc_magic,
+            flit_eff: *flit_eff,
+            credit_eff: *credit_eff,
+            win_start: *win_start,
+            win_end: *win_end,
+        };
+
+        // Carve the flat arrays into per-shard exclusive views.
+        let s_count = ctx.plan.len();
+        let mut views: Vec<ShardView> = Vec::with_capacity(s_count);
+        {
+            let mut credits_s = credits.as_mut_slice();
+            let mut staging_s = staging.as_mut_slice();
+            let mut in_buf_s = in_buf.as_mut_slice();
+            let mut in_route_s = in_route.as_mut_slice();
+            let mut out_owner_s = out_owner.as_mut_slice();
+            let mut src_q_s = src_q.as_mut_slice();
+            let mut inj_s = inj_progress.as_mut_slice();
+            let mut seen_s = ejected_seen.as_mut_slice();
+            let mut rbuf_s = r_buffered.as_mut_slice();
+            let mut lf_s = link_flits.as_mut_slice();
+            let mut rng_s = rngs.as_mut_slice();
+            let mut met_s = meters.as_mut_slice();
+            let mut scr_s = scratch.as_mut_slice();
+            for s in 0..s_count {
+                let p = ctx.plan;
+                let (r_lo, r_hi) = (p.r_bounds[s], p.r_bounds[s + 1]);
+                let (ep_lo, ep_hi) = (p.ep_bounds[s], p.ep_bounds[s + 1]);
+                let (link_lo, link_hi) = (p.link_bounds[s], p.link_bounds[s + 1]);
+                let slot_lo = p.port_bounds[s] as usize * nvc;
+                let nslots = (p.port_bounds[s + 1] as usize - p.port_bounds[s] as usize) * nvc;
+                let lv_lo = link_lo as usize * nvc;
+                let nlv = (link_hi - link_lo) as usize * nvc;
+                views.push(ShardView {
+                    r_lo,
+                    r_hi,
+                    ep_lo,
+                    ep_hi,
+                    link_lo,
+                    link_hi,
+                    slot_lo,
+                    lv_lo,
+                    credits: carve!(credits_s, nlv),
+                    staging: carve!(staging_s, (link_hi - link_lo) as usize),
+                    in_buf: carve!(in_buf_s, nslots),
+                    in_route: carve!(in_route_s, nslots),
+                    out_owner: carve!(out_owner_s, nlv),
+                    src_q: carve!(src_q_s, (ep_hi - ep_lo) as usize),
+                    inj_progress: carve!(inj_s, (ep_hi - ep_lo) as usize),
+                    ejected_seen: carve!(seen_s, (ep_hi - ep_lo) as usize),
+                    r_buffered: carve!(rbuf_s, (r_hi - r_lo) as usize),
+                    link_flits: carve!(lf_s, (link_hi - link_lo) as usize),
+                    rng: &mut carve!(rng_s, 1)[0],
+                    m: &mut carve!(met_s, 1)[0],
+                    scr: &mut carve!(scr_s, 1)[0],
+                });
+            }
+        }
+
+        if threads == 1 {
+            // Sequential driver: phase-major over the shards on the
+            // calling thread. No barriers, no locks, no outboxes —
+            // events go straight into the destination shard's buckets.
+            while *now < horizon {
+                let t = *now;
+                for (s, v) in views.iter_mut().enumerate() {
+                    v.arrivals(&ctx, &mut buckets[s], t);
+                }
+                for v in views.iter_mut() {
+                    v.generation(&ctx, t);
+                }
+                for v in views.iter_mut() {
+                    v.injection(&ctx, t);
+                }
+                for v in views.iter_mut() {
+                    let mut sink = DirectSink {
+                        plan: ctx.plan,
+                        buckets: buckets.as_mut_slice(),
+                    };
+                    v.ejection(&ctx, &mut sink, t);
+                }
+                for v in views.iter_mut() {
+                    let mut sink = DirectSink {
+                        plan: ctx.plan,
+                        buckets: buckets.as_mut_slice(),
+                    };
+                    v.allocation(&ctx, &mut sink, t);
+                }
+                for v in views.iter_mut() {
+                    let mut sink = DirectSink {
+                        plan: ctx.plan,
+                        buckets: buckets.as_mut_slice(),
+                    };
+                    v.transmission(&ctx, &mut sink, t);
+                }
+                *now += 1;
+                if early && *now >= ctx.win_end {
+                    let gen: u64 = views.iter().map(|v| v.m.sample_generated).sum();
+                    let done: u64 = views
+                        .iter()
+                        .map(|v| v.m.sample_ejected + v.m.sample_dropped)
+                        .sum();
+                    if done >= gen {
+                        break;
+                    }
+                }
+            }
+            return;
+        }
+
+        // Parallel driver: contiguous shard ranges on scoped worker
+        // threads, three barriers per cycle (see the module docs).
+        // Cross-shard events accumulate in per-thread outboxes, are
+        // published to per-(writer, destination) mailboxes at the end
+        // of the cycle and drained by the owner — in writer order, so
+        // delivery order is a function of the shard layout alone — at
+        // the next cycle's first group.
+        let t_bounds: Vec<usize> = (0..=threads).map(|t| t * s_count / threads).collect();
+        let barrier = Barrier::new(threads);
+        let mail: Vec<Vec<Mutex<Mail>>> = (0..threads)
+            .map(|_| (0..s_count).map(|_| Mutex::new(Mail::default())).collect())
+            .collect();
+        // Per-shard drain totals, published before the cycle's last
+        // barrier and read after it, so every worker snapshots the
+        // same totals and takes the same early-exit decision.
+        let pub_gen: Vec<AtomicU64> = (0..s_count).map(|_| AtomicU64::new(0)).collect();
+        let pub_done: Vec<AtomicU64> = (0..s_count).map(|_| AtomicU64::new(0)).collect();
+        let finished = AtomicU32::new(*now);
+        let start = *now;
+        std::thread::scope(|sc| {
+            let mut views_rest = views.as_mut_slice();
+            let mut buckets_rest = buckets.as_mut_slice();
+            for t in 0..threads {
+                let n = t_bounds[t + 1] - t_bounds[t];
+                let vchunk = carve!(views_rest, n);
+                let bchunk = carve!(buckets_rest, n);
+                let s_lo = t_bounds[t];
+                let (barrier, mail) = (&barrier, &mail);
+                let (pub_gen, pub_done, finished) = (&pub_gen, &pub_done, &finished);
+                sc.spawn(move || {
+                    let mut outb: Vec<Mail> = (0..s_count).map(|_| Mail::default()).collect();
+                    let mut t_now = start;
+                    while t_now < horizon {
+                        // Group X: deliver last cycle's cross-shard
+                        // events into the owner's buckets, then run
+                        // arrivals. Wire and credit delays are ≥ 1
+                        // cycle, so next-cycle delivery is never late.
+                        for (i, v) in vchunk.iter_mut().enumerate() {
+                            for row in mail.iter() {
+                                let mut mb = row[s_lo + i]
+                                    .lock()
+                                    .expect("mailbox mutex is never poisoned");
+                                drain_mail(&mut mb, &mut bchunk[i]);
+                            }
+                            v.arrivals(&ctx, &mut bchunk[i], t_now);
+                        }
+                        barrier.wait();
+                        // Group Y: generation, injection, ejection.
+                        // Injection-time routing reads foreign `occ`
+                        // freely — no shard writes `occ` in this group.
+                        for (i, v) in vchunk.iter_mut().enumerate() {
+                            v.generation(&ctx, t_now);
+                            v.injection(&ctx, t_now);
+                            let mut sink = OutboxSink {
+                                plan: ctx.plan,
+                                shard: s_lo + i,
+                                own: &mut bchunk[i],
+                                out: &mut outb,
+                            };
+                            v.ejection(&ctx, &mut sink, t_now);
+                        }
+                        barrier.wait();
+                        // Group Z: switch allocation + transmission
+                        // (occ writes are own-shard only; per-hop
+                        // policies probe own links only — enforced by
+                        // AllocQueues). Then publish the outboxes and,
+                        // near the window end, the drain totals.
+                        for (i, v) in vchunk.iter_mut().enumerate() {
+                            let mut sink = OutboxSink {
+                                plan: ctx.plan,
+                                shard: s_lo + i,
+                                own: &mut bchunk[i],
+                                out: &mut outb,
+                            };
+                            v.allocation(&ctx, &mut sink, t_now);
+                            v.transmission(&ctx, &mut sink, t_now);
+                        }
+                        for (d, ob) in outb.iter_mut().enumerate() {
+                            if ob.flit.is_empty() && ob.credit.is_empty() {
+                                continue;
+                            }
+                            let mut mb =
+                                mail[t][d].lock().expect("mailbox mutex is never poisoned");
+                            mb.flit.append(&mut ob.flit);
+                            mb.credit.append(&mut ob.credit);
+                        }
+                        if early && t_now + 1 >= ctx.win_end {
+                            for (i, v) in vchunk.iter().enumerate() {
+                                pub_gen[s_lo + i].store(v.m.sample_generated, Relaxed);
+                                pub_done[s_lo + i]
+                                    .store(v.m.sample_ejected + v.m.sample_dropped, Relaxed);
+                            }
+                        }
+                        barrier.wait();
+                        t_now += 1;
+                        // Identical inputs on every worker: the same
+                        // t_now and the same published totals (their
+                        // writers passed the same barrier), so all
+                        // workers break together or none do.
+                        if early && t_now >= ctx.win_end {
+                            let gen: u64 = pub_gen.iter().map(|a| a.load(Relaxed)).sum();
+                            let done: u64 = pub_done.iter().map(|a| a.load(Relaxed)).sum();
+                            if done >= gen {
+                                break;
+                            }
+                        }
+                    }
+                    // The final cycle's cross-shard events are still in
+                    // the mailboxes: deliver them, so post-run state is
+                    // identical to the sequential driver's.
+                    for (i, bk) in bchunk.iter_mut().enumerate() {
+                        for row in mail.iter() {
+                            let mut mb = row[s_lo + i]
+                                .lock()
+                                .expect("mailbox mutex is never poisoned");
+                            drain_mail(&mut mb, bk);
+                        }
+                    }
+                    if t == 0 {
+                        finished.store(t_now, Relaxed);
+                    }
+                });
+            }
+        });
+        *now = finished.load(Relaxed);
+    }
+
+    /// Advances the simulation by one cycle.
+    ///
+    /// Public for embedding and invariant testing (see
+    /// [`Simulator::verify_occupancy_counters`]); [`Simulator::run`]
+    /// drives the full warm-up / measure / drain schedule.
+    pub fn step(&mut self) {
+        let h = self.now + 1;
+        self.advance(h, false);
+    }
+
+    /// Advances the simulation by `n` cycles in one driver dispatch —
+    /// under `threads > 1` the worker threads and barriers are set up
+    /// once for the whole batch, not per cycle.
+    pub fn step_n(&mut self, n: u32) {
+        let h = self.now.saturating_add(n);
+        self.advance(h, false);
     }
 
     /// Current simulation cycle.
     pub fn now(&self) -> u32 {
         self.now
     }
+}
 
+impl<'a> Simulator<'a> {
     /// Checks every incremental counter against a from-scratch
     /// recomputation: per-link occupancy (staging + credits in use),
     /// the per-router active-set counters, and the input-queue,
@@ -1447,11 +2277,11 @@ impl<'a> Simulator<'a> {
                 .map(|vc| self.vc_cap as u32 - self.credits[l * nvc + vc])
                 .sum();
             let expect = self.staging[l].len() as u32 + used;
-            if self.occ[l] != expect {
+            if self.occ[l].load(Relaxed) != expect {
                 return Err(format!(
                     "link {l}: occ counter {} != recomputed {expect} \
                      (staging {}, credits in use {used})",
-                    self.occ[l],
+                    self.occ[l].load(Relaxed),
                     self.staging[l].len()
                 ));
             }
@@ -1467,7 +2297,7 @@ impl<'a> Simulator<'a> {
                 ));
             }
             for slot in lo..hi {
-                let bit = self.buf_mask[slot / 64] >> (slot % 64) & 1 == 1;
+                let bit = mask_get(&self.buf_mask, slot);
                 if bit == self.in_buf[slot].is_empty() {
                     return Err(format!(
                         "slot {slot}: mask bit {bit} but queue len {}",
@@ -1477,7 +2307,7 @@ impl<'a> Simulator<'a> {
             }
         }
         for l in 0..nlinks {
-            let bit = self.staged_mask[l / 64] >> (l % 64) & 1 == 1;
+            let bit = mask_get(&self.staged_mask, l);
             if bit == self.staging[l].is_empty() {
                 return Err(format!(
                     "link {l}: staged-mask bit {bit} but staging len {}",
@@ -1486,7 +2316,7 @@ impl<'a> Simulator<'a> {
             }
         }
         for (e, q) in self.src_q.iter().enumerate() {
-            let bit = self.src_mask[e / 64] >> (e % 64) & 1 == 1;
+            let bit = mask_get(&self.src_mask, e);
             let has_work = !q.is_empty() || self.inj_progress[e].is_some();
             if bit != has_work {
                 return Err(format!(
@@ -1519,17 +2349,20 @@ impl<'a> Simulator<'a> {
     pub fn verify_credit_round_trip(&self) -> Result<(), String> {
         let nvc = self.cfg.num_vcs;
         let nlinks = self.occ.len();
-        // Flits on the wire / credits in flight, tallied per (link, VC).
+        // Flits on the wire / credits in flight, tallied per (link, VC)
+        // across every shard's delay buckets.
         let mut wire = vec![0u32; nlinks * nvc];
-        for bucket in &self.flit_buckets {
-            for &(l, _, vc) in bucket {
-                wire[l as usize * nvc + vc as usize] += 1;
-            }
-        }
         let mut credit_flight = vec![0u32; nlinks * nvc];
-        for bucket in &self.credit_buckets {
-            for &(l, vc) in bucket {
-                credit_flight[l as usize * nvc + vc as usize] += 1;
+        for sb in &self.buckets {
+            for bucket in &sb.flit {
+                for &(l, _, vc) in bucket {
+                    wire[l as usize * nvc + vc as usize] += 1;
+                }
+            }
+            for bucket in &sb.credit {
+                for &(l, vc) in bucket {
+                    credit_flight[l as usize * nvc + vc as usize] += 1;
+                }
             }
         }
         for l in 0..nlinks {
@@ -1577,7 +2410,7 @@ impl<'a> Simulator<'a> {
             }
             // The reservation must point at an output link of the
             // router owning the input slot.
-            let fp = self.slot_port(slot) as u32;
+            let fp = slot_port_of(nvc, self.nvc_magic, slot) as u32;
             let r = self.port_base.partition_point(|&b| b <= fp) - 1;
             let link = alloc as usize / nvc;
             if !self.links.links_of(r as u32).contains(&link) {
@@ -1611,10 +2444,18 @@ impl<'a> Simulator<'a> {
         if let Some(l) = (0..self.staging.len()).find(|&l| !self.staging[l].is_empty()) {
             return Err(format!("link {l} still stages flits"));
         }
-        if self.flit_buckets.iter().any(|b| !b.is_empty()) {
+        if self
+            .buckets
+            .iter()
+            .any(|sb| sb.flit.iter().any(|b| !b.is_empty()))
+        {
             return Err("flits still on the wire".into());
         }
-        if self.credit_buckets.iter().any(|b| !b.is_empty()) {
+        if self
+            .buckets
+            .iter()
+            .any(|sb| sb.credit.iter().any(|b| !b.is_empty()))
+        {
             return Err("credits still in flight".into());
         }
         if let Some(lv) = (0..self.credits.len()).find(|&lv| self.credits[lv] != self.vc_cap as u32)
@@ -1644,7 +2485,8 @@ impl<'a> Simulator<'a> {
     /// in-flight flits all carry over from the previous phase, while
     /// every measurement counter resets and a fresh
     /// warm-up + measurement window is scheduled starting at the
-    /// current cycle.
+    /// current cycle. The per-shard RNG streams reseed from
+    /// `shard_seed(seed, shard)`, mirroring construction.
     ///
     /// This is the warm-start fast path for load sweeps
     /// ([`LoadSweep::run_warm`]): consecutive loads on the same
@@ -1656,21 +2498,14 @@ impl<'a> Simulator<'a> {
     pub fn rearm(&mut self, load: f64, seed: u64) {
         assert!((0.0..=1.0).contains(&load));
         self.load = load;
-        self.rng = StdRng::seed_from_u64(seed);
+        for (s, rng) in self.rngs.iter_mut().enumerate() {
+            *rng = StdRng::seed_from_u64(shard_seed(seed, s));
+        }
         self.win_start = self.now + self.cfg.warmup;
         self.win_end = self.win_start + self.cfg.measure;
-        self.stats = LatencyStats::new();
-        self.hops_sum = 0;
-        self.head_lat_sum = 0;
-        self.head_ejected = 0;
-        self.sample_generated = 0;
-        self.sample_ejected = 0;
-        self.sample_dropped = 0;
-        self.window_ejected = 0;
-        self.total_ejected = 0;
-        self.total_ejected_flits = 0;
-        self.dropped_flits = 0;
-        self.unreachable_pairs = 0;
+        for m in &mut self.meters {
+            *m = Meters::new();
+        }
         for c in &mut self.link_flits {
             *c = 0;
         }
@@ -1683,18 +2518,18 @@ impl<'a> Simulator<'a> {
     pub fn run_phase(&mut self) -> SimResult {
         let phase_start = self.win_start - self.cfg.warmup;
         let horizon = self.win_end + self.cfg.drain;
-        while self.now < horizon {
-            self.step();
-            if self.now >= self.win_end
-                && self.sample_ejected + self.sample_dropped >= self.sample_generated
-            {
-                break;
-            }
+        self.advance(horizon, true);
+        // Merge the per-shard meters in ascending shard order — integer
+        // counters and the latency histogram merge exactly, so the
+        // totals match a single global accumulator bit for bit.
+        let mut m = Meters::new();
+        for sm in &self.meters {
+            m.absorb(sm);
         }
         let active = self.pattern.num_active().max(1) as f64;
         // Administratively dropped sample packets count as resolved:
         // a fault that disconnects traffic must not read as saturation.
-        let drained = self.sample_ejected + self.sample_dropped >= self.sample_generated;
+        let drained = m.sample_ejected + m.sample_dropped >= m.sample_generated;
         let mcycles = self.cfg.measure.max(1) as f64;
         let mut max_util = 0.0f64;
         let mut sum_util = 0.0f64;
@@ -1707,25 +2542,21 @@ impl<'a> Simulator<'a> {
         SimResult {
             offered_load: self.load,
             packet_size: self.cfg.packet_size,
-            avg_latency: self.stats.mean(),
-            p99_latency: self
-                .stats
-                .quantile(0.99)
-                .map(|v| v as f64)
-                .unwrap_or(f64::NAN),
-            avg_head_latency: if self.head_ejected == 0 {
+            avg_latency: m.stats.mean(),
+            p99_latency: m.stats.quantile(0.99).map(|v| v as f64).unwrap_or(f64::NAN),
+            avg_head_latency: if m.head_ejected == 0 {
                 f64::NAN
             } else {
-                self.head_lat_sum as f64 / self.head_ejected as f64
+                m.head_lat_sum as f64 / m.head_ejected as f64
             },
-            accepted: self.window_ejected as f64 / (active * self.cfg.measure as f64),
-            ejected: self.total_ejected,
-            ejected_flits: self.total_ejected_flits,
+            accepted: m.window_ejected as f64 / (active * self.cfg.measure as f64),
+            ejected: m.total_ejected,
+            ejected_flits: m.total_ejected_flits,
             saturated: !drained,
-            avg_hops: if self.sample_ejected == 0 {
+            avg_hops: if m.sample_ejected == 0 {
                 f64::NAN
             } else {
-                self.hops_sum as f64 / self.sample_ejected as f64
+                m.hops_sum as f64 / m.sample_ejected as f64
             },
             max_link_util: max_util,
             mean_link_util: if nlinks == 0 {
@@ -1733,8 +2564,8 @@ impl<'a> Simulator<'a> {
             } else {
                 sum_util / nlinks as f64
             },
-            dropped_flits: self.dropped_flits,
-            unreachable_pairs: self.unreachable_pairs,
+            dropped_flits: m.dropped_flits,
+            unreachable_pairs: m.unreachable_pairs,
             cycles: self.now - phase_start,
         }
     }
@@ -1809,7 +2640,6 @@ impl LoadSweep {
         out
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2459,9 +3289,55 @@ mod tests {
         assert_eq!(r.unreachable_pairs, 0);
     }
 
+    /// The determinism-contract acceptance test: results are a pure
+    /// function of (plan, seed) — `threads` schedules shards onto
+    /// workers and must never be observable in the output. Exact
+    /// comparison via the Debug rendering (distinct f64 bit patterns
+    /// render distinctly), across packet sizes and an RNG-heavy
+    /// adaptive routing.
+    #[test]
+    fn thread_count_is_not_observable() {
+        let (net, tables) = small_sf();
+        let pat = TrafficPattern::uniform(net.num_endpoints() as u32);
+        let ugal = UgalRouter::new(4, false).unwrap();
+        for packet_size in [1, 4] {
+            for (label, router) in [
+                ("MIN", &MinRouter as &dyn Router),
+                ("UGAL-L", &ugal as &dyn Router),
+            ] {
+                let cfg = SimConfig {
+                    packet_size,
+                    ..quick_cfg(77)
+                };
+                let base = format!(
+                    "{:?}",
+                    Simulator::new(&net, &tables, router, &pat, 0.3, cfg).run()
+                );
+                for threads in [2, 3, 5, ENGINE_SHARDS] {
+                    let cfg = SimConfig {
+                        threads,
+                        packet_size,
+                        ..quick_cfg(77)
+                    };
+                    let got = format!(
+                        "{:?}",
+                        Simulator::new(&net, &tables, router, &pat, 0.3, cfg).run()
+                    );
+                    assert_eq!(
+                        got, base,
+                        "{label} pkt{packet_size}: threads={threads} diverged from threads=1"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn gather_segment_handles_word_boundaries() {
-        let mask = [0b1010u64, !0u64, 1u64];
+        let mask: Vec<AtomicU64> = [0b1010u64, !0u64, 1u64]
+            .into_iter()
+            .map(AtomicU64::new)
+            .collect();
         let mut out = Vec::new();
         gather_segment(&mask, 0, 192, &mut out);
         let expect: Vec<u32> = [1u32, 3].into_iter().chain(64..128).chain([128]).collect();
