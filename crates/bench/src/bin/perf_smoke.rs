@@ -52,6 +52,17 @@
 //! parallelism if larger), asserting both record streams are
 //! byte-identical and appending a `workers=N` speedup entry to
 //! `BENCH_sim.json`. `--seq-only` skips this section.
+//!
+//! A **cache section** times the pinned sweep through the scheduler
+//! with a persistent content-addressed result cache
+//! (`slimfly::cache`): once cold (all-miss — simulate and write
+//! through) and once warm (all-hit — replay stored records). The
+//! record streams are asserted byte-identical, and the `{tag}-cache`
+//! entry records the hit counts of both runs honestly alongside the
+//! replay speedup. On a full (non-`--quick`) run the same cold/warm
+//! comparison additionally covers the whole `figures/fig8.toml` plan
+//! (`{tag}-cache-fig8`) — the figure-regeneration loop the cache
+//! exists for.
 
 use sf_bench::{print_raw_line, run_cli};
 use slimfly::prelude::*;
@@ -222,6 +233,39 @@ fn shards_entry_json(
         json_f(wall1_ms),
         json_f(walln_ms),
         json_f(wall1_ms / walln_ms.max(1e-12)),
+    )
+}
+
+/// One result-cache timing entry: a sweep run cold (all-miss —
+/// simulate + write through) vs warm (all-hit — replay) through the
+/// scheduler with a fresh cache directory. `warm_hits`/`warm_misses`
+/// are the warm run's actual counters, recorded honestly: a warm run
+/// that failed to all-hit would show it here.
+fn cache_entry_json(
+    tag: &str,
+    topo: &str,
+    jobs: usize,
+    warm_hits: usize,
+    warm_misses: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+) -> String {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        "    {{\n      \"tag\": {},\n      \"topo\": {},\n      \
+         \"unix_time\": {unix_time},\n      \"jobs\": {jobs},\n      \
+         \"warm_hits\": {warm_hits},\n      \"warm_misses\": {warm_misses},\n      \
+         \"cache_wall_ms_cold\": {},\n      \
+         \"cache_wall_ms_warm\": {},\n      \
+         \"cache_replay_speedup\": {},\n      \"configs\": []\n    }}",
+        json_s(tag),
+        json_s(topo),
+        json_f(cold_ms),
+        json_f(warm_ms),
+        json_f(cold_ms / warm_ms.max(1e-12)),
     )
 }
 
@@ -538,6 +582,111 @@ fn main() {
             sched_walls = Some((wall1, walln));
         }
 
+        // Result-cache section: the pinned sweep through the scheduler
+        // with a persistent content-addressed cache, cold (all-miss)
+        // vs warm (all-hit replay). Prepare (topology + tables) is
+        // excluded from both timings; the cache is cleared between
+        // cold repeats so every cold measurement really simulates.
+        let cache_dir = std::env::temp_dir().join(format!("sf-perf-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let time_cached = |plan: &ExperimentPlan,
+                           reps: usize|
+         -> Result<(f64, f64, usize, usize, usize), SfError> {
+            let cache = ResultCache::open(&cache_dir)?;
+            let mut set = plan.expand()?;
+            set.prepare()?;
+            let (mut cold, mut warm) = (f64::INFINITY, f64::INFINITY);
+            let (mut jobs, mut warm_hits, mut warm_misses) = (0usize, 0usize, 0usize);
+            let (mut cold_rows, mut warm_rows) = (Vec::new(), Vec::new());
+            for _ in 0..reps {
+                cache.clear()?;
+                let mut sink = MemorySink::new();
+                let t0 = Instant::now();
+                let rep = Scheduler::new(1)
+                    .with_cache(Some(cache.clone()))
+                    .run(&mut set, &mut sink)?;
+                cold = cold.min(t0.elapsed().as_secs_f64() * 1e3);
+                jobs = rep.jobs;
+                if rep.cache_hits != 0 || rep.cache_store_errors != 0 {
+                    return Err(SfError::Experiment(format!(
+                        "cold cache run: expected 0 hits / 0 store errors, got {} / {}",
+                        rep.cache_hits, rep.cache_store_errors
+                    )));
+                }
+                cold_rows = sink
+                    .records()
+                    .iter()
+                    .map(|r| r.to_csv())
+                    .collect::<Vec<_>>();
+                let mut sink = MemorySink::new();
+                let t0 = Instant::now();
+                let rep = Scheduler::new(1)
+                    .with_cache(Some(cache.clone()))
+                    .run(&mut set, &mut sink)?;
+                warm = warm.min(t0.elapsed().as_secs_f64() * 1e3);
+                warm_hits = rep.cache_hits;
+                warm_misses = rep.cache_misses;
+                warm_rows = sink
+                    .records()
+                    .iter()
+                    .map(|r| r.to_csv())
+                    .collect::<Vec<_>>();
+            }
+            if cold_rows != warm_rows {
+                return Err(SfError::Experiment(
+                    "cache replay diverged from the cold record stream".into(),
+                ));
+            }
+            Ok((cold, warm, jobs, warm_hits, warm_misses))
+        };
+        let cache_plan = slimfly::ExperimentPlan {
+            name: "perf_smoke_cache".into(),
+            title: None,
+            sweeps: vec![slimfly::SweepPlan {
+                topos: vec![spec.clone()],
+                routings: routings
+                    .iter()
+                    .map(|r| r.parse::<RoutingSpec>())
+                    .collect::<Result<_, _>>()?,
+                traffic: TrafficSpec::Uniform,
+                loads: loads.to_vec(),
+                sim: cfg,
+                backend: Backend::Cycle,
+                warm_start: false,
+                faults: None,
+            }],
+        };
+        let (cache_cold, cache_warm, cache_jobs, cache_hits, cache_misses) =
+            time_cached(&cache_plan, repeat)?;
+        print_raw_line(&format!(
+            "cache: cold {cache_cold:.1} ms, warm {cache_warm:.1} ms \
+             ({:.0}x replay speedup, {cache_hits}/{cache_jobs} warm hits)",
+            cache_cold / cache_warm.max(1e-12),
+        ));
+        // Full runs only: the acceptance-scale demonstration — the
+        // whole fig8 figure cold vs warm through the cache.
+        let mut fig8_cache: Option<(f64, f64, usize, usize, usize)> = None;
+        if !quick {
+            let fig8 = std::path::Path::new("figures/fig8.toml");
+            if fig8.exists() {
+                let plan8 = ExperimentPlan::from_path(fig8)?;
+                let stats = time_cached(&plan8, 1)?;
+                print_raw_line(&format!(
+                    "cache fig8: cold {:.1} ms, warm {:.1} ms \
+                     ({:.0}x replay speedup, {}/{} warm hits)",
+                    stats.0,
+                    stats.1,
+                    stats.0 / stats.1.max(1e-12),
+                    stats.3,
+                    stats.2,
+                ));
+                fig8_cache = Some(stats);
+            } else {
+                print_raw_line("cache fig8: figures/fig8.toml not found — skipped");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&cache_dir);
+
         if no_write {
             return Ok(());
         }
@@ -600,6 +749,32 @@ fn main() {
             let entry = sched_entry_json(&format!("{tag}-sched"), topo, workers, wall1, walln);
             append_entry(&out, &entry)?;
             print_raw_line(&format!("appended entry '{tag}-sched' to {out}"));
+        }
+        // Result-cache entries: cold vs warm with honest hit counts
+        // (their own topo keys keep them out of baseline comparisons).
+        let entry = cache_entry_json(
+            &format!("{tag}-cache"),
+            &format!("{topo},cache"),
+            cache_jobs,
+            cache_hits,
+            cache_misses,
+            cache_cold,
+            cache_warm,
+        );
+        append_entry(&out, &entry)?;
+        print_raw_line(&format!("appended entry '{tag}-cache' to {out}"));
+        if let Some((c8, w8, j8, h8, m8)) = fig8_cache {
+            let entry = cache_entry_json(
+                &format!("{tag}-cache-fig8"),
+                "fig8.toml,cache",
+                j8,
+                h8,
+                m8,
+                c8,
+                w8,
+            );
+            append_entry(&out, &entry)?;
+            print_raw_line(&format!("appended entry '{tag}-cache-fig8' to {out}"));
         }
         Ok(())
     })

@@ -4,10 +4,12 @@
 //! Usage:
 //!   `sf-bench run <file.toml|file.json> [--workers N] [--threads N]
 //!                 [--out PATH] [--format csv|jsonl] [--report PATH]
+//!                 [--cache DIR | --no-cache]
 //!                 [--check-builder] [--quiet]`
 //!   `sf-bench validate <file>...`
 //!   `sf-bench verify <file>... [--quiet]`
 //!   `sf-bench survive <file>...`
+//!   `sf-bench cache <stats|gc|clear> [--cache DIR]`
 //!
 //! `run` parses an [`ExperimentPlan`], expands it to a deterministic
 //! job set and executes it on the work-stealing scheduler, streaming
@@ -23,6 +25,22 @@
 //! the whole plan sequentially through the single-worker path and
 //! fails unless both record streams are byte-identical — the
 //! scheduler-determinism guard CI exercises on every push.
+//!
+//! `run` consults a persistent content-addressed **result cache** when
+//! one is configured: `--cache DIR` names the directory explicitly,
+//! the `SF_CACHE_DIR` environment variable supplies a default, and
+//! `--no-cache` disables caching even when the variable is set. Each
+//! job is keyed by a stable hash of everything its records depend on —
+//! the canonical plan rendering (topology + fault plan, routing,
+//! traffic, backend, loads, warm-start, sim config minus `threads`)
+//! plus the seed and the engine epoch — so hits replay stored records
+//! byte-identically to a cold run, while misses simulate and write
+//! through. Re-submitting a figure with one new load point simulates
+//! only the delta. The summary line reports `cache: hits=H misses=M`.
+//!
+//! `cache` inspects and maintains a cache directory: `stats` counts
+//! valid/stale/corrupt entries, `gc` removes entries stranded by an
+//! engine-epoch bump (and anything corrupt), `clear` removes all.
 //!
 //! `validate` parses and expands each file without running anything
 //! (CI does this for every checked-in `figures/*.toml`).
@@ -48,6 +66,7 @@
 //! statistics it was drawn from.
 
 use sf_bench::{print_raw_line, run_cli, StdoutCsvSink};
+use slimfly::cache::ResultCache;
 use slimfly::plan::ExperimentPlan;
 use slimfly::report::render_plan_report;
 use slimfly::sink::{CsvSink, JsonLinesSink, MemorySink, RecordSink, TeeSink};
@@ -60,10 +79,22 @@ fn main() {
         Some("validate") => cmd_validate(args),
         Some("verify") => cmd_verify(args),
         Some("survive") => cmd_survive(args),
+        Some("cache") => cmd_cache(args),
         _ => Err(SfError::Cli(
-            "usage: sf-bench <run|validate|verify|survive> <file.toml|file.json> ...".into(),
+            "usage: sf-bench <run|validate|verify|survive|cache> <file.toml|file.json> ...".into(),
         )),
     })
+}
+
+/// Resolves the cache directory for a command: `--cache DIR` wins,
+/// then the `SF_CACHE_DIR` environment variable; `--no-cache` beats
+/// both. `None` means caching is off.
+fn resolve_cache_dir(args: &sf_bench::SweepArgs) -> Option<String> {
+    let explicit = args.get("cache").map(str::to_string);
+    if args.flag("no-cache") {
+        return None;
+    }
+    explicit.or_else(|| std::env::var("SF_CACHE_DIR").ok().filter(|d| !d.is_empty()))
 }
 
 fn cmd_run(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
@@ -83,6 +114,10 @@ fn cmd_run(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
     }
     let report_path: Option<String> = args.get("report").map(str::to_string);
     let check_builder = args.flag("check-builder");
+    let cache = match resolve_cache_dir(args) {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
 
     let plan = ExperimentPlan::from_path(Path::new(&file))?;
     let mut set = plan.expand()?;
@@ -127,7 +162,9 @@ fn cmd_run(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
             sinks.push(Box::new(&mut **f));
         }
         let mut tee = TeeSink::new(sinks);
-        Scheduler::new(workers).run(&mut set, &mut tee)?
+        Scheduler::new(workers)
+            .with_cache(cache.clone())
+            .run(&mut set, &mut tee)?
     };
     let records = stdout_sink.records;
     eprintln!(
@@ -138,6 +175,19 @@ fn cmd_run(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
         report.steals,
         report.wall.as_secs_f64()
     );
+    if let Some(c) = &cache {
+        eprintln!(
+            "sf-bench run {file}: cache: hits={} misses={} ({}{})",
+            report.cache_hits,
+            report.cache_misses,
+            c.root().display(),
+            if report.cache_store_errors > 0 {
+                format!(", {} store error(s)", report.cache_store_errors)
+            } else {
+                String::new()
+            }
+        );
+    }
 
     if let Some(path) = &report_path {
         let body = render_plan_report(&plan, &records);
@@ -151,7 +201,9 @@ fn cmd_run(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
     if check_builder {
         // Re-run the same prepared set sequentially: run_job is
         // read-only, so networks/tables/routers/patterns are reused
-        // and only the simulations repeat.
+        // and only the simulations repeat. Deliberately cache-free —
+        // the reference stream must come from real simulation, so
+        // this also cross-checks cache replay on warm runs.
         let mut ref_sink = MemorySink::new();
         Scheduler::new(1).run(&mut set, &mut ref_sink)?;
         let got: Vec<String> = records.iter().map(|r| r.to_csv()).collect();
@@ -173,6 +225,59 @@ fn cmd_run(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
             "sf-bench: --check-builder OK ({} records byte-identical to the sequential path)",
             got.len()
         );
+    }
+    Ok(())
+}
+
+fn cmd_cache(args: &sf_bench::SweepArgs) -> Result<(), SfError> {
+    let action = args
+        .positional(1)
+        .ok_or_else(|| SfError::Cli("usage: sf-bench cache <stats|gc|clear> [--cache DIR]".into()))?
+        .to_string();
+    let dir = resolve_cache_dir(args).ok_or_else(|| {
+        SfError::Cli("cache: no directory (pass --cache DIR or set SF_CACHE_DIR)".into())
+    })?;
+    let cache = ResultCache::open(&dir)?;
+    match action.as_str() {
+        "stats" => {
+            let st = cache.stats()?;
+            print_raw_line(&format!(
+                "{dir}: {} entr{} ({} bytes) — {} valid (epoch {}), {} stale, {} corrupt",
+                st.entries(),
+                if st.entries() == 1 { "y" } else { "ies" },
+                st.bytes,
+                st.valid,
+                slimfly::sim::ENGINE_EPOCH,
+                st.stale,
+                st.corrupt
+            ));
+        }
+        "gc" => {
+            let rep = cache.gc()?;
+            print_raw_line(&format!(
+                "{dir}: removed {} stale + {} corrupt entr{}, kept {} valid",
+                rep.removed_stale,
+                rep.removed_corrupt,
+                if rep.removed_stale + rep.removed_corrupt == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                rep.kept
+            ));
+        }
+        "clear" => {
+            let n = cache.clear()?;
+            print_raw_line(&format!(
+                "{dir}: removed {n} entr{}",
+                if n == 1 { "y" } else { "ies" }
+            ));
+        }
+        other => {
+            return Err(SfError::Cli(format!(
+                "cache: unknown action {other:?} (expected stats, gc, or clear)"
+            )))
+        }
     }
     Ok(())
 }

@@ -76,6 +76,8 @@
 //!   expanded to a deterministic [`JobSet`];
 //! * [`schedule`] — the work-stealing [`Scheduler`] executing job sets
 //!   on persistent workers;
+//! * [`cache`] — the persistent content-addressed result cache the
+//!   scheduler consults before simulating ([`ResultCache`]);
 //! * [`sink`] — streaming [`RecordSink`]s (CSV/JSON-lines/memory/tee);
 //! * [`report`] — markdown report generation for EXPERIMENTS.md;
 //! * [`error`] — the workspace-wide [`SfError`];
@@ -92,6 +94,7 @@ pub use sf_topo as topo;
 pub use sf_traffic as traffic;
 pub use sf_verify as verify;
 
+pub mod cache;
 pub mod error;
 pub mod expansion;
 pub mod experiment;
@@ -102,6 +105,7 @@ pub mod sink;
 pub mod spec;
 pub mod zoo;
 
+pub use cache::{CacheKey, ResultCache};
 pub use error::SfError;
 pub use experiment::{Experiment, FlowSummary, Record};
 pub use plan::{Backend, ExperimentPlan, FaultPlan, Job, JobSet, SweepPlan};
@@ -114,6 +118,7 @@ pub use spec::TopologySpec;
 
 /// Commonly used items for quick experiments.
 pub mod prelude {
+    pub use crate::cache::{CacheKey, ResultCache};
     pub use crate::error::SfError;
     pub use crate::experiment::{write_csv, write_json_lines, Experiment, FlowSummary, Record};
     pub use crate::plan::{Backend, ExperimentPlan, FaultPlan, Job, JobSet, SweepPlan};

@@ -1196,6 +1196,18 @@ impl JobSet {
         self.jobs.iter().map(|j| j.loads.len()).sum()
     }
 
+    /// The content-address of `job`'s records in a [`ResultCache`]
+    /// (see [`crate::cache::job_key`]): a stable hash over the job's
+    /// topology instance (spec + fault plan), routing, traffic,
+    /// backend, loads, warm-start flag, and every `sim` field except
+    /// `threads` — plus the engine epoch. Identical across worker and
+    /// thread counts, and across plans that merely reposition the job.
+    ///
+    /// [`ResultCache`]: crate::cache::ResultCache
+    pub fn job_key(&self, job: &Job) -> crate::cache::CacheKey {
+        crate::cache::job_key(&self.topos[job.topo], &self.faults[job.topo], job)
+    }
+
     /// Overrides the engine thread count of every job — the `--threads`
     /// CLI escape hatch, applied after expansion so it wins over plan
     /// values. `0` (the CLI default) leaves the plan untouched. The

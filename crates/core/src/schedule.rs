@@ -46,7 +46,9 @@
 //! # Ok::<(), slimfly::SfError>(())
 //! ```
 
+use crate::cache::ResultCache;
 use crate::error::SfError;
+use crate::experiment::Record;
 use crate::plan::JobSet;
 use crate::sink::RecordSink;
 use std::collections::{BTreeMap, VecDeque};
@@ -66,6 +68,9 @@ pub struct Scheduler {
     /// scheduler workers × engine threads never oversubscribe
     /// `available_parallelism` unless the operator asked for it.
     explicit: bool,
+    /// Optional persistent result cache, consulted per job before any
+    /// worker claims it; see [`Scheduler::with_cache`].
+    cache: Option<ResultCache>,
 }
 
 impl Default for Scheduler {
@@ -84,12 +89,14 @@ impl Scheduler {
             return Scheduler {
                 workers,
                 explicit: true,
+                cache: None,
             };
         }
         if let Some(n) = Self::env_workers() {
             return Scheduler {
                 workers: n,
                 explicit: true,
+                cache: None,
             };
         }
         Scheduler {
@@ -97,7 +104,30 @@ impl Scheduler {
                 .map(|n| n.get())
                 .unwrap_or(1),
             explicit: false,
+            cache: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a persistent
+    /// [`ResultCache`]. Before any worker claims a job, the scheduler
+    /// looks its [content address](JobSet::job_key) up: hits stream
+    /// their stored records through the same job-id-ordered reorder
+    /// frontier as simulated results — the sink cannot tell the
+    /// difference, so a warm run's output is byte-identical to a cold
+    /// one — and only the misses are dealt to the worker deques.
+    /// Completed misses write through on the emitter thread; a store
+    /// failure is counted ([`ScheduleReport::cache_store_errors`]),
+    /// never fatal. The cache key excludes engine `threads` and is
+    /// independent of the worker count, so any thread/worker
+    /// combination shares one entry per job.
+    pub fn with_cache(mut self, cache: Option<ResultCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
     }
 
     /// The environment override, if any: `SF_WORKERS` if set, else
@@ -172,38 +202,81 @@ impl Scheduler {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let workers = self.effective_workers(jobs.len(), engine_threads, cores);
-        sink.begin()?;
-        let mut emitted = 0usize;
-        let mut steals = 0usize;
-        // First error of the run; the completed record prefix reaches
-        // the sink (and gets flushed) even on the error path.
-        let mut run_err: Option<SfError> = None;
-        if workers == 1 {
-            'seq: for job in jobs {
-                match set.run_job(job) {
-                    Ok(records) => {
-                        for r in &records {
-                            if let Err(e) = sink.record(r) {
-                                run_err = Some(e);
-                                break 'seq;
-                            }
-                            emitted += 1;
-                        }
-                    }
-                    Err(e) => {
-                        run_err = Some(e);
-                        break;
+        // Cache prepass: resolve every job's content address before
+        // any worker claims anything. Hits park in the reorder
+        // frontier up front (they stream in job-id order exactly like
+        // simulated results); only misses are dealt to workers — so
+        // the worker count, the steal pattern, and the wall-clock all
+        // scale with the *delta*, not the plan size.
+        let mut hits: BTreeMap<usize, Vec<Record>> = BTreeMap::new();
+        if let Some(cache) = &self.cache {
+            for job in jobs {
+                if let Some(records) = cache.lookup(&set.job_key(job)) {
+                    // Belt and braces: an entry that does not carry
+                    // one record per load cannot be this job's.
+                    if records.len() == job.loads.len() {
+                        hits.insert(job.id, records);
                     }
                 }
             }
+        }
+        let cache_hits = hits.len();
+        let cache_misses = if self.cache.is_some() {
+            jobs.len() - cache_hits
         } else {
-            // Seed the worker deques round-robin so consecutive (often
-            // similarly heavy) jobs land on different workers.
+            0
+        };
+        let miss_ids: Vec<usize> = jobs
+            .iter()
+            .map(|j| j.id)
+            .filter(|id| !hits.contains_key(id))
+            .collect();
+        let workers = self.effective_workers(miss_ids.len(), engine_threads, cores);
+        sink.begin()?;
+        let mut emitted = 0usize;
+        let mut steals = 0usize;
+        let mut cache_store_errors = 0usize;
+        // First error of the run; the completed record prefix reaches
+        // the sink (and gets flushed) even on the error path.
+        let mut run_err: Option<SfError> = None;
+        if workers == 1 || miss_ids.is_empty() {
+            'seq: for job in jobs {
+                let records = match hits.remove(&job.id) {
+                    Some(cached) => cached,
+                    None => match set.run_job(job) {
+                        Ok(records) => {
+                            if let Some(cache) = &self.cache {
+                                if cache.store(&set.job_key(job), &records).is_err() {
+                                    cache_store_errors += 1;
+                                }
+                            }
+                            records
+                        }
+                        Err(e) => {
+                            run_err = Some(e);
+                            break;
+                        }
+                    },
+                };
+                for r in &records {
+                    if let Err(e) = sink.record(r) {
+                        run_err = Some(e);
+                        break 'seq;
+                    }
+                    emitted += 1;
+                }
+            }
+        } else {
+            // Seed the worker deques round-robin over the *misses* so
+            // consecutive (often similarly heavy) jobs land on
+            // different workers.
             let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
                 .map(|w| {
                     Mutex::new(
-                        (w..jobs.len())
+                        miss_ids
+                            .iter()
+                            .copied()
+                            .skip(w)
                             .step_by(workers)
                             .collect::<VecDeque<usize>>(),
                     )
@@ -253,30 +326,71 @@ impl Scheduler {
                     });
                 }
                 drop(tx);
+                /// Streams every frontier job whose turn has come:
+                /// records reach the sink strictly in job-id order, up
+                /// to (never past) the lowest failing id.
+                fn drain(
+                    pending: &mut BTreeMap<usize, Vec<Record>>,
+                    next: &mut usize,
+                    sink: &mut dyn RecordSink,
+                    emitted: &mut usize,
+                    job_err: &Option<(usize, SfError)>,
+                    sink_err: &mut Option<SfError>,
+                    abort: &AtomicBool,
+                ) {
+                    'emit: while sink_err.is_none()
+                        && job_err.as_ref().is_none_or(|(eid, _)| *next < *eid)
+                    {
+                        let Some(records) = pending.remove(next) else {
+                            break;
+                        };
+                        for r in &records {
+                            if let Err(e) = sink.record(r) {
+                                *sink_err = Some(e);
+                                abort.store(true, Ordering::Relaxed);
+                                break 'emit;
+                            }
+                            *emitted += 1;
+                        }
+                        *next += 1;
+                    }
+                }
                 // Reorder frontier: stream each completed job the
-                // moment every lower job id has been emitted.
-                let mut pending: BTreeMap<usize, Vec<crate::experiment::Record>> = BTreeMap::new();
+                // moment every lower job id has been emitted. Cache
+                // hits are parked here up front; drain once before
+                // listening so an all-hit prefix streams immediately.
+                let mut pending = hits;
                 let mut next = 0usize;
+                drain(
+                    &mut pending,
+                    &mut next,
+                    &mut *sink,
+                    &mut emitted,
+                    &job_err,
+                    &mut sink_err,
+                    &abort,
+                );
                 for (id, result) in rx {
                     match result {
                         Ok(records) => {
-                            pending.insert(id, records);
-                            'emit: while sink_err.is_none()
-                                && job_err.as_ref().is_none_or(|(eid, _)| next < *eid)
-                            {
-                                let Some(records) = pending.remove(&next) else {
-                                    break;
-                                };
-                                for r in &records {
-                                    if let Err(e) = sink.record(r) {
-                                        sink_err = Some(e);
-                                        abort.store(true, Ordering::Relaxed);
-                                        break 'emit;
-                                    }
-                                    emitted += 1;
+                            // Write-through on the emitter thread (the
+                            // workers stay pure simulation); a store
+                            // failure downgrades to a counter.
+                            if let Some(cache) = &self.cache {
+                                if cache.store(&set.job_key(&jobs[id]), &records).is_err() {
+                                    cache_store_errors += 1;
                                 }
-                                next += 1;
                             }
+                            pending.insert(id, records);
+                            drain(
+                                &mut pending,
+                                &mut next,
+                                &mut *sink,
+                                &mut emitted,
+                                &job_err,
+                                &mut sink_err,
+                                &abort,
+                            );
                         }
                         Err(e) => {
                             abort.store(true, Ordering::Relaxed);
@@ -286,6 +400,18 @@ impl Scheduler {
                         }
                     }
                 }
+                // Workers are done; a failing run may still have
+                // cache hits parked below the failing id — the
+                // completed-prefix contract covers them too.
+                drain(
+                    &mut pending,
+                    &mut next,
+                    &mut *sink,
+                    &mut emitted,
+                    &job_err,
+                    &mut sink_err,
+                    &abort,
+                );
             });
             steals = steal_count.load(Ordering::Relaxed);
             run_err = sink_err.or(job_err.map(|(_, e)| e));
@@ -303,6 +429,9 @@ impl Scheduler {
             records: emitted,
             workers,
             steals,
+            cache_hits,
+            cache_misses,
+            cache_store_errors,
             wall: t0.elapsed(),
         })
     }
@@ -321,6 +450,17 @@ pub struct ScheduleReport {
     pub workers: usize,
     /// Successful steals between worker deques (0 on sequential runs).
     pub steals: usize,
+    /// Jobs served from the attached [`ResultCache`] (0 when no cache
+    /// is attached). `cache_hits + cache_misses = jobs` exactly when a
+    /// cache is in play.
+    pub cache_hits: usize,
+    /// Jobs that simulated because the cache had no valid entry — the
+    /// *delta* of an incremental resubmission (0 when no cache is
+    /// attached).
+    pub cache_misses: usize,
+    /// Completed jobs whose write-through to the cache failed (disk
+    /// full, permissions); the run itself is unaffected.
+    pub cache_store_errors: usize,
     /// Wall-clock execution time (excluding [`JobSet::prepare`] when
     /// the caller prepared the set beforehand).
     pub wall: Duration,
@@ -451,6 +591,7 @@ mod tests {
         let implicit = Scheduler {
             workers: 8,
             explicit: false,
+            cache: None,
         };
         // 8 cores / 4 engine threads → 2 workers; jobs are plentiful.
         assert_eq!(implicit.effective_workers(100, 4, 8), 2);
@@ -465,6 +606,7 @@ mod tests {
         let explicit = Scheduler {
             workers: 8,
             explicit: true,
+            cache: None,
         };
         assert_eq!(explicit.effective_workers(100, 4, 8), 8);
         assert_eq!(explicit.effective_workers(3, 4, 8), 3);
@@ -496,6 +638,7 @@ mod tests {
         let sched = Scheduler {
             workers: Scheduler::default_workers(),
             explicit: false,
+            cache: None,
         };
         let report = sched.run(&mut set, &mut sink).unwrap();
         assert_eq!(report.workers, 1);

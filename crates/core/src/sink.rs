@@ -8,6 +8,12 @@
 //! writes its CSV/JSON-lines file incrementally and an interrupted run
 //! keeps every completed prefix.
 //!
+//! Sinks are deliberately oblivious to *where* records come from: a
+//! [`ResultCache`](crate::cache::ResultCache) hit replays its stored
+//! records through the same job-id-ordered frontier as a fresh
+//! simulation, so a warm run's sink output is byte-identical to a
+//! cold run's — no sink needs (or gets) a "cached" flag.
+//!
 //! Provided sinks:
 //!
 //! | Sink | Destination |

@@ -313,6 +313,21 @@ pub const ADAPTIVE_HOP_BUDGET: u8 = 4;
 /// gets a share of once the job-level scheduler has taken its cut.
 pub const ENGINE_SHARDS: usize = 8;
 
+/// The engine's **output epoch**: a monotone counter bumped every time
+/// the engine's output for a fixed (plan, seed) changes — i.e. at
+/// every pinned-curve re-pin. Within one epoch, a simulation's records
+/// are a pure function of plan + seed (independent of thread count,
+/// worker count, and machine), so persisted results keyed on
+/// (plan, seed, epoch) stay valid exactly as long as they are
+/// reproducible. Content-addressed result caches (`slimfly::cache`)
+/// salt their keys with this constant: bumping it invalidates every
+/// stored entry at once, without touching cache directories.
+///
+/// History: epoch 1 was the pre-shard sequential RNG regime; epoch 2
+/// is the per-shard splitmix64 stream re-pin that landed with the
+/// sharded engine (see `rng_streams` in the module docs).
+pub const ENGINE_EPOCH: u32 = 2;
+
 /// Slack available when choosing a packet's base VC: with `hops`
 /// remaining and `num_vcs` virtual channels, bases `0..=slack` all
 /// keep the per-hop ladder `vc_base + hop` within budget. Zero slack

@@ -33,6 +33,6 @@ pub mod stats;
 
 pub use engine::{
     hop_vc, vc_base_slack, LoadSweep, SimConfig, SimResult, Simulator, ADAPTIVE_HOP_BUDGET,
-    ENGINE_SHARDS, MAX_PACKET_SIZE,
+    ENGINE_EPOCH, ENGINE_SHARDS, MAX_PACKET_SIZE,
 };
 pub use stats::LatencyStats;
